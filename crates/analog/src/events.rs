@@ -1,0 +1,519 @@
+//! Sense-amplifier operation sequences and sensing experiments.
+//!
+//! Implements the event schedules of Fig. 2c (classic) and Fig. 9b (OCSA):
+//!
+//! | Classic (Fig. 2c)            | OCSA (Fig. 9b)                       |
+//! |------------------------------|--------------------------------------|
+//! | precharge/equalise (PEQ)     | precharge (PRE, with ISO+OC for EQ)  |
+//! | ① charge sharing             | ① offset cancellation                |
+//! | ② latching & restore         | ② charge sharing (*delayed*, §VI-D)  |
+//! | ③ precharge                  | ③ pre-sensing (no bitline load)      |
+//! |                              | ④ restore (ISO on), then precharge   |
+//!
+//! The testbench hangs a one-cell MAT column off `BL` (the activated MAT) and
+//! a dummy column off `BLB` (the reference MAT of the open-bitline scheme),
+//! injects threshold mismatch into a latch transistor, and reports whether
+//! the amplifier latched the right value.
+
+use crate::sim::{AnalogCircuit, SimError, Stimulus, Transient, Waveforms};
+use hifi_circuit::topology::{self, SaDimensions, SaTopologyKind};
+use hifi_circuit::TransistorDims;
+use hifi_units::{Femtofarads, Nanometers};
+
+/// Phase durations for an activation, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseTimings {
+    /// Initial precharge hold before the row activation.
+    pub precharge_ns: f64,
+    /// OCSA offset-cancellation phase (ignored by the classic schedule).
+    pub offset_cancel_ns: f64,
+    /// Charge-sharing window between wordline rise and latch enable.
+    pub charge_share_ns: f64,
+    /// Latch/pre-sense amplification window.
+    pub sense_ns: f64,
+    /// Restore window (full-rail drive back into the cell).
+    pub restore_ns: f64,
+    /// Final precharge/equalise window.
+    pub final_precharge_ns: f64,
+    /// Control-signal slew time.
+    pub slew_ns: f64,
+}
+
+impl Default for PhaseTimings {
+    fn default() -> Self {
+        Self {
+            precharge_ns: 2.0,
+            offset_cancel_ns: 4.0,
+            charge_share_ns: 4.0,
+            sense_ns: 4.0,
+            restore_ns: 12.0,
+            final_precharge_ns: 6.0,
+            slew_ns: 0.5,
+        }
+    }
+}
+
+/// Testbench configuration for an activation experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivationConfig {
+    /// Array rail voltage (V). DDR4 cores run ≈1.1–1.2 V.
+    pub vdd: f64,
+    /// Bitline precharge reference (V), typically `vdd/2`.
+    pub vpre: f64,
+    /// Boosted wordline / pass-gate level (V).
+    pub v_boost: f64,
+    /// Cell capacitance (fF).
+    pub c_cell_ff: f64,
+    /// Bitline capacitance (fF). The default (180 fF) yields a ~50 mV
+    /// charge-sharing signal, typical of long modern bitlines.
+    pub c_bitline_ff: f64,
+    /// Threshold mismatch injected into the left nSA latch transistor (V).
+    /// Negative values make it conduct early — the failure direction for a
+    /// stored 1.
+    pub nsa_vt_offset: f64,
+    /// Transistor dimensions used to instantiate the topology.
+    pub dims: SaDimensions,
+    /// Phase durations.
+    pub timings: PhaseTimings,
+}
+
+impl Default for ActivationConfig {
+    fn default() -> Self {
+        Self {
+            vdd: 1.1,
+            vpre: 0.55,
+            v_boost: 2.4,
+            c_cell_ff: 18.0,
+            c_bitline_ff: 180.0,
+            nsa_vt_offset: 0.0,
+            dims: SaDimensions::default(),
+            timings: PhaseTimings::default(),
+        }
+    }
+}
+
+/// Outcome of one simulated activation.
+#[derive(Debug, Clone)]
+pub struct SenseReport {
+    /// All recorded node waveforms.
+    pub waveforms: Waveforms,
+    /// The value the latch settled on.
+    pub sensed_one: bool,
+    /// Whether the sensed value matches the stored value.
+    pub correct: bool,
+    /// Time (s) at which the cell's storage node first moved — the onset of
+    /// charge sharing. In OCSA schedules this is *delayed* by the
+    /// offset-cancellation phase (Section VI-D).
+    pub charge_sharing_onset: Option<f64>,
+    /// Time (s) at which the latch nodes split by ≥ half a rail.
+    pub latch_split_time: Option<f64>,
+    /// Final cell storage-node voltage after restore (V).
+    pub restored_level: f64,
+    /// The topology simulated.
+    pub topology: SaTopologyKind,
+}
+
+fn build_testbench(
+    kind: SaTopologyKind,
+    cfg: &ActivationConfig,
+) -> (hifi_circuit::Netlist, &'static str, &'static str) {
+    // Latch observation nodes differ: the classic latch drains *are* the
+    // bitlines; the OCSA latch drains are the internal SABL/SABLB nodes.
+    let (circuit, node_l, node_r) = match kind {
+        SaTopologyKind::Classic => (topology::classic_sa(cfg.dims.clone()), "BL", "BLB"),
+        SaTopologyKind::OffsetCancellation => (topology::ocsa(cfg.dims.clone()), "SABL", "SABLB"),
+        SaTopologyKind::ClassicWithIsolation => (
+            topology::classic_sa_with_isolation(cfg.dims.clone()),
+            "IBL",
+            "IBLB",
+        ),
+    };
+    let mut nl = circuit.into_netlist();
+    let access = TransistorDims::new(Nanometers(40.0), Nanometers(20.0));
+    // Activated MAT column on BL, reference column on BLB (never activated).
+    topology::attach_mat_column(
+        &mut nl,
+        "BL",
+        1,
+        Femtofarads(cfg.c_cell_ff),
+        Femtofarads(cfg.c_bitline_ff),
+        access,
+    );
+    topology::attach_mat_column(
+        &mut nl,
+        "BLB",
+        1,
+        Femtofarads(cfg.c_cell_ff),
+        Femtofarads(cfg.c_bitline_ff),
+        access,
+    );
+    // Explicit parasitics on internal latch nodes keep integration smooth.
+    for pair in [("SABL", "SABLB"), ("IBL", "IBLB")] {
+        if nl.net(pair.0).is_some() {
+            let gnd = nl.add_net("GND");
+            let l = nl.net(pair.0).expect("internal node");
+            let r = nl.net(pair.1).expect("internal node");
+            nl.add_capacitor(format!("c_{}", pair.0), Femtofarads(8.0), l, gnd);
+            nl.add_capacitor(format!("c_{}", pair.1), Femtofarads(8.0), r, gnd);
+        }
+    }
+    (nl, node_l, node_r)
+}
+
+fn report_from(
+    waveforms: Waveforms,
+    kind: SaTopologyKind,
+    cfg: &ActivationConfig,
+    stored_one: bool,
+    node_l: &str,
+    node_r: &str,
+    read_time: f64,
+) -> SenseReport {
+    // During the final precharge the latch nodes re-equalise; read the
+    // decision at the end of restore instead of the end of simulation.
+    let v_l = waveforms.voltage(node_l, read_time).unwrap_or(0.0);
+    let v_r = waveforms.voltage(node_r, read_time).unwrap_or(0.0);
+    let sensed_one = v_l > v_r;
+    // Charge-sharing onset: first movement of the active cell node.
+    let sn = "SN0_BL";
+    let initial = if stored_one { cfg.vdd } else { 0.0 };
+    let onset = waveforms.trace(sn).and_then(|t| {
+        t.iter()
+            .position(|&v| (v - initial).abs() > 0.02)
+            .map(|i| i as f64 * waveforms.sample_interval())
+    });
+    let split = waveforms.split_time(node_l, node_r, cfg.vdd / 2.0);
+    let restored = waveforms.voltage(sn, read_time).unwrap_or(f64::NAN);
+    SenseReport {
+        sensed_one,
+        correct: sensed_one == stored_one,
+        charge_sharing_onset: onset,
+        latch_split_time: split,
+        restored_level: restored,
+        topology: kind,
+        waveforms,
+    }
+}
+
+/// Simulates a full classic-SA activation (Fig. 2c) for a cell storing
+/// `stored_one`, returning the sensing outcome.
+///
+/// # Panics
+///
+/// Panics if the internally-built testbench is inconsistent (a bug, not a
+/// user error).
+pub fn simulate_classic_activation(cfg: &ActivationConfig, stored_one: bool) -> SenseReport {
+    try_simulate(SaTopologyKind::Classic, cfg, stored_one).expect("internal testbench is valid")
+}
+
+/// Simulates a full OCSA activation (Fig. 9b) for a cell storing
+/// `stored_one`.
+///
+/// # Panics
+///
+/// Panics if the internally-built testbench is inconsistent.
+pub fn simulate_ocsa_activation(cfg: &ActivationConfig, stored_one: bool) -> SenseReport {
+    try_simulate(SaTopologyKind::OffsetCancellation, cfg, stored_one)
+        .expect("internal testbench is valid")
+}
+
+/// Simulates one activation of the given topology.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the configuration produces an invalid testbench
+/// (for example a non-positive timestep via pathological timings).
+pub fn try_simulate(
+    kind: SaTopologyKind,
+    cfg: &ActivationConfig,
+    stored_one: bool,
+) -> Result<SenseReport, SimError> {
+    let (nl, node_l, node_r) = build_testbench(kind, cfg);
+    let mut circuit = AnalogCircuit::from_netlist(&nl);
+    if cfg.nsa_vt_offset != 0.0 {
+        circuit = circuit.with_vt_offset("nSA_l", cfg.nsa_vt_offset)?;
+    }
+
+    let t = &cfg.timings;
+    let ns = 1e-9;
+    let slew = t.slew_ns * ns;
+    let t_act = t.precharge_ns * ns; // ACT command arrives here.
+
+    let mut stim = Stimulus::new();
+    stim.hold("GND", 0.0);
+    stim.hold("Y0", 0.0); // column not selected during activation
+    stim.hold("VPRE", cfg.vpre);
+    stim.hold("WL0_BLB", 0.0); // reference MAT never activated
+
+    let (t_share, t_sense, t_restore_end, t_end);
+    match kind {
+        SaTopologyKind::Classic | SaTopologyKind::ClassicWithIsolation => {
+            // Charge sharing starts right after ACT.
+            t_share = t_act;
+            t_sense = t_share + t.charge_share_ns * ns;
+            t_restore_end = t_sense + t.sense_ns * ns + t.restore_ns * ns;
+            t_end = t_restore_end + t.final_precharge_ns * ns;
+            // PEQ: on during precharge, off at ACT, on again at the end.
+            stim.pwl(
+                "PEQ",
+                vec![
+                    (0.0, cfg.v_boost),
+                    (t_act, cfg.v_boost),
+                    (t_act + slew, 0.0),
+                    (t_restore_end, 0.0),
+                    (t_restore_end + slew, cfg.v_boost),
+                ],
+            );
+            if kind == SaTopologyKind::ClassicWithIsolation {
+                stim.hold("ISO", cfg.v_boost); // statically connected
+            }
+            stim.pwl(
+                "WL0_BL",
+                vec![
+                    (0.0, 0.0),
+                    (t_share, 0.0),
+                    (t_share + slew, cfg.v_boost),
+                    (t_restore_end, cfg.v_boost),
+                    (t_restore_end + slew, 0.0),
+                ],
+            );
+            // Latch rails: parked at Vpre, driven apart during sensing,
+            // re-parked for the final precharge.
+            stim.pwl(
+                "LA",
+                vec![
+                    (0.0, cfg.vpre),
+                    (t_sense, cfg.vpre),
+                    (t_sense + 2.0 * slew, cfg.vdd),
+                    (t_restore_end, cfg.vdd),
+                    (t_restore_end + slew, cfg.vpre),
+                ],
+            );
+            stim.pwl(
+                "LAB",
+                vec![
+                    (0.0, cfg.vpre),
+                    (t_sense, cfg.vpre),
+                    (t_sense + 2.0 * slew, 0.0),
+                    (t_restore_end, 0.0),
+                    (t_restore_end + slew, cfg.vpre),
+                ],
+            );
+        }
+        SaTopologyKind::OffsetCancellation => {
+            // Fig. 9b: offset cancellation precedes charge sharing.
+            let t_oc_end = t_act + t.offset_cancel_ns * ns;
+            t_share = t_oc_end;
+            t_sense = t_share + t.charge_share_ns * ns;
+            let t_restore = t_sense + t.sense_ns * ns;
+            t_restore_end = t_restore + t.restore_ns * ns;
+            t_end = t_restore_end + t.final_precharge_ns * ns;
+            // PRE: on during initial precharge and final precharge only.
+            stim.pwl(
+                "PRE",
+                vec![
+                    (0.0, cfg.v_boost),
+                    (t_act, cfg.v_boost),
+                    (t_act + slew, 0.0),
+                    (t_restore_end, 0.0),
+                    (t_restore_end + slew, cfg.v_boost),
+                ],
+            );
+            // ISO: on in precharge (and for equalisation), off from ACT
+            // until the restore phase reconnects the latch to the bitlines.
+            stim.pwl(
+                "ISO",
+                vec![
+                    (0.0, cfg.v_boost),
+                    (t_act, cfg.v_boost),
+                    (t_act + slew, 0.0),
+                    (t_restore, 0.0),
+                    (t_restore + slew, cfg.v_boost),
+                ],
+            );
+            // OC: on during precharge (equalisation = ISO+OC) and during the
+            // offset-cancellation phase.
+            stim.pwl(
+                "OC",
+                vec![
+                    (0.0, cfg.v_boost),
+                    (t_oc_end, cfg.v_boost),
+                    (t_oc_end + slew, 0.0),
+                    (t_restore_end, 0.0),
+                    (t_restore_end + slew, cfg.v_boost),
+                ],
+            );
+            // Wordline rises only after offset cancellation.
+            stim.pwl(
+                "WL0_BL",
+                vec![
+                    (0.0, 0.0),
+                    (t_share, 0.0),
+                    (t_share + slew, cfg.v_boost),
+                    (t_restore_end, cfg.v_boost),
+                    (t_restore_end + slew, 0.0),
+                ],
+            );
+            // LAB drops at the start of offset cancellation to enable the
+            // nSA diode action; LA ramps only at pre-sensing.
+            stim.pwl(
+                "LAB",
+                vec![
+                    (0.0, cfg.vpre),
+                    (t_act, cfg.vpre),
+                    (t_act + 2.0 * slew, 0.0),
+                    (t_restore_end, 0.0),
+                    (t_restore_end + slew, cfg.vpre),
+                ],
+            );
+            stim.pwl(
+                "LA",
+                vec![
+                    (0.0, cfg.vpre),
+                    (t_sense, cfg.vpre),
+                    (t_sense + 2.0 * slew, cfg.vdd),
+                    (t_restore_end, cfg.vdd),
+                    (t_restore_end + slew, cfg.vpre),
+                ],
+            );
+        }
+    }
+
+    let mut tr = Transient::new(t_end)
+        .with_initial("BL", cfg.vpre)
+        .with_initial("BLB", cfg.vpre)
+        .with_initial("SN0_BL", if stored_one { cfg.vdd } else { 0.0 })
+        .with_initial("SN0_BLB", 0.0);
+    for internal in ["SABL", "SABLB", "IBL", "IBLB"] {
+        if nl.net(internal).is_some() {
+            tr = tr.with_initial(internal, cfg.vpre);
+        }
+    }
+    tr.dt = 0.25e-12;
+    let waveforms = tr.run(&circuit, &stim)?;
+    Ok(report_from(
+        waveforms,
+        kind,
+        cfg,
+        stored_one,
+        node_l,
+        node_r,
+        t_restore_end,
+    ))
+}
+
+/// Sweeps threshold mismatch and returns the largest offset magnitude (in
+/// millivolts, at `step_mv` granularity up to `max_mv`) for which the
+/// topology senses **both** stored values correctly with **both** offset
+/// polarities.
+///
+/// Classic SAs fail once the offset rivals the charge-sharing signal
+/// (tens of mV); OCSAs cancel the offset and tolerate much more — the reason
+/// the paper found them deployed in modern chips.
+///
+/// # Panics
+///
+/// Panics if `step_mv` is not positive or `max_mv < step_mv`.
+pub fn max_tolerated_offset(
+    kind: SaTopologyKind,
+    cfg: &ActivationConfig,
+    step_mv: f64,
+    max_mv: f64,
+) -> f64 {
+    assert!(step_mv > 0.0 && max_mv >= step_mv, "invalid sweep bounds");
+    let mut tolerated = 0.0;
+    let mut offset = step_mv;
+    while offset <= max_mv + 1e-9 {
+        let mut all_ok = true;
+        'combo: for stored in [false, true] {
+            for sign in [-1.0, 1.0] {
+                let mut c = cfg.clone();
+                c.nsa_vt_offset = sign * offset * 1e-3;
+                let rep = try_simulate(kind, &c, stored).expect("valid testbench");
+                if !rep.correct {
+                    all_ok = false;
+                    break 'combo;
+                }
+            }
+        }
+        if !all_ok {
+            break;
+        }
+        tolerated = offset;
+        offset += step_mv;
+    }
+    tolerated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_senses_both_values() {
+        let cfg = ActivationConfig::default();
+        for stored in [false, true] {
+            let rep = simulate_classic_activation(&cfg, stored);
+            assert!(
+                rep.correct,
+                "classic failed stored={stored}: sensed_one={}",
+                rep.sensed_one
+            );
+        }
+    }
+
+    #[test]
+    fn ocsa_senses_both_values() {
+        let cfg = ActivationConfig::default();
+        for stored in [false, true] {
+            let rep = simulate_ocsa_activation(&cfg, stored);
+            assert!(
+                rep.correct,
+                "ocsa failed stored={stored}: sensed_one={}",
+                rep.sensed_one
+            );
+        }
+    }
+
+    #[test]
+    fn classic_restores_the_cell() {
+        let cfg = ActivationConfig::default();
+        let rep = simulate_classic_activation(&cfg, true);
+        assert!(
+            rep.restored_level > 0.9 * cfg.vdd,
+            "restore reached {} V",
+            rep.restored_level
+        );
+        let rep0 = simulate_classic_activation(&cfg, false);
+        assert!(rep0.restored_level < 0.1 * cfg.vdd);
+    }
+
+    #[test]
+    fn ocsa_charge_sharing_is_delayed() {
+        // Section VI-D: charge sharing happens after offset cancellation in
+        // OCSA chips, not immediately at ACT.
+        let cfg = ActivationConfig::default();
+        let classic = simulate_classic_activation(&cfg, true);
+        let ocsa = simulate_ocsa_activation(&cfg, true);
+        let tc = classic.charge_sharing_onset.expect("classic shares charge");
+        let to = ocsa.charge_sharing_onset.expect("ocsa shares charge");
+        let expected_delay = cfg.timings.offset_cancel_ns * 1e-9;
+        assert!(
+            to - tc > 0.8 * expected_delay,
+            "ocsa onset {to} vs classic {tc}"
+        );
+    }
+
+    #[test]
+    fn large_offset_breaks_classic_but_not_ocsa() {
+        let mut cfg = ActivationConfig::default();
+        cfg.nsa_vt_offset = -0.08; // 80 mV early-conduction mismatch
+        let classic = simulate_classic_activation(&cfg, true);
+        assert!(
+            !classic.correct,
+            "80 mV offset should defeat the classic latch"
+        );
+        let ocsa = simulate_ocsa_activation(&cfg, true);
+        assert!(ocsa.correct, "ocsa should cancel an 80 mV offset");
+    }
+}

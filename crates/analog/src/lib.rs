@@ -1,0 +1,33 @@
+//! Transient analog simulation of DRAM sense amplifiers.
+//!
+//! Research that modifies sense amplifiers validates its changes with analog
+//! simulation; the paper shows those simulations are only as good as the
+//! circuit topology and transistor dimensions they assume (Section VI-A).
+//! This crate is the workspace's analog engine:
+//!
+//! - [`MosfetModel`] — a square-law (SPICE level-1 style) MOSFET with
+//!   per-device threshold mismatch, the mechanism behind sensing offset,
+//! - [`sim`] — a fixed-timestep transient solver over [`hifi_circuit::Netlist`]s
+//!   with piecewise-linear stimuli and recorded waveforms,
+//! - [`events`] — the paper's SA operation sequences: the classic events of
+//!   Fig. 2c (charge sharing → latch & restore → precharge/equalise) and the
+//!   OCSA events of Fig. 9b (offset cancellation → *delayed* charge sharing →
+//!   pre-sensing → restore), plus offset-tolerance sweeps that reproduce why
+//!   vendors moved to offset-cancellation designs.
+//!
+//! # Examples
+//!
+//! ```
+//! use hifi_analog::events::{simulate_classic_activation, ActivationConfig};
+//!
+//! let report = simulate_classic_activation(&ActivationConfig::default(), true);
+//! assert!(report.correct, "a healthy classic SA senses a stored 1");
+//! ```
+
+pub mod events;
+mod model;
+pub mod reliability;
+pub mod sim;
+
+pub use model::{MosfetModel, MosfetOpRegion};
+pub use sim::{AnalogCircuit, SimError, Stimulus, Transient, Waveform, Waveforms};

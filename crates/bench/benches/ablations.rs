@@ -1,0 +1,75 @@
+//! Ablation benches for the design choices DESIGN.md calls out: detector
+//! choice, dwell time (noise), denoising strength and alignment method —
+//! mirroring the imaging-parameter trade-offs of Section IV.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use hifi_circuit::topology::SaTopologyKind;
+use hifi_imaging::{acquire, align, chambolle_tv, AlignMethod, DetectorKind, ImagingConfig};
+use hifi_synth::{generate_region, SaRegionSpec};
+
+fn bench_ablations(c: &mut Criterion) {
+    let spec = SaRegionSpec::new(SaTopologyKind::Classic)
+        .with_pairs(1)
+        .with_voxel_nm(10.0);
+    let volume = generate_region(&spec).voxelize();
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+
+    // Dwell time: longer dwell = less noise but linearly more beam time —
+    // the imaging-cost trade-off of Section IV.
+    for dwell in [3.0, 6.0, 12.0] {
+        g.bench_with_input(BenchmarkId::new("acquire_dwell_us", dwell as u32), &dwell, |b, &d| {
+            let cfg = ImagingConfig {
+                dwell_us: d,
+                slice_voxels: 2,
+                ..ImagingConfig::default()
+            };
+            b.iter(|| acquire(&volume, &cfg));
+        });
+    }
+
+    // Detector choice: SE vs BSE contrast rendering.
+    for (name, det) in [("se", DetectorKind::Se), ("bse", DetectorKind::Bse)] {
+        g.bench_with_input(BenchmarkId::new("acquire_detector", name), &det, |b, &d| {
+            let cfg = ImagingConfig {
+                detector: d,
+                slice_voxels: 2,
+                ..ImagingConfig::default()
+            };
+            b.iter(|| acquire(&volume, &cfg));
+        });
+    }
+
+    let cfg = ImagingConfig {
+        slice_voxels: 2,
+        ..ImagingConfig::default()
+    };
+    let (stack, _) = acquire(&volume, &cfg);
+
+    // Denoise iteration count.
+    for iters in [5usize, 20, 40] {
+        g.bench_with_input(BenchmarkId::new("chambolle_iters", iters), &iters, |b, &n| {
+            b.iter(|| chambolle_tv(stack.slice(0), 8.0, n));
+        });
+    }
+
+    // Alignment metric: MI (paper's choice) vs SSD.
+    for (name, method) in [
+        ("mutual_information", AlignMethod::MutualInformation),
+        ("squared_difference", AlignMethod::SquaredDifference),
+    ] {
+        g.bench_with_input(BenchmarkId::new("align_method", name), &method, |b, &m| {
+            b.iter_batched(
+                || stack.clone(),
+                |mut s| align(&mut s, m, 3),
+                BatchSize::LargeInput,
+            );
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Analog transient performance: the Fig. 2c and Fig. 9b event schedules.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hifi_analog::events::{
+    simulate_classic_activation, simulate_ocsa_activation, try_simulate, ActivationConfig,
+};
+use hifi_circuit::topology::SaTopologyKind;
+
+fn bench_analog(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analog");
+    g.sample_size(10);
+    let cfg = ActivationConfig::default();
+
+    g.bench_function("fig2c_classic_activation", |b| {
+        b.iter(|| simulate_classic_activation(&cfg, true));
+    });
+    g.bench_function("fig9b_ocsa_activation", |b| {
+        b.iter(|| simulate_ocsa_activation(&cfg, true));
+    });
+    g.bench_function("classic_with_isolation_activation", |b| {
+        b.iter(|| try_simulate(SaTopologyKind::ClassicWithIsolation, &cfg, true).expect("runs"));
+    });
+    let mut offset_cfg = cfg.clone();
+    offset_cfg.nsa_vt_offset = -0.06;
+    g.bench_function("ocsa_with_offset", |b| {
+        b.iter(|| simulate_ocsa_activation(&offset_cfg, true));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_analog);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Performance of the evaluation kernels behind Table II and Figs. 11–14.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hifi_data::{chips, crow, rem, DdrGeneration};
+use hifi_eval::models::{compare_model, fig11_rows, fig12_comparisons};
+use hifi_eval::overhead::{fig14, table2};
+
+fn bench_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("evaluation");
+    let cs = chips();
+
+    g.bench_function("table2_full", |b| b.iter(table2));
+    g.bench_function("fig11_rows", |b| b.iter(|| fig11_rows(&cs)));
+    g.bench_function("fig12_all_models", |b| b.iter(|| fig12_comparisons(&cs)));
+    g.bench_function("fig12_single_model", |b| {
+        b.iter(|| compare_model(&crow(), &cs, DdrGeneration::Ddr4));
+    });
+    g.bench_function("fig12_rem_ddr5", |b| {
+        b.iter(|| compare_model(&rem(), &cs, DdrGeneration::Ddr5));
+    });
+    g.bench_function("fig14_per_vendor", |b| b.iter(fig14));
+    g.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

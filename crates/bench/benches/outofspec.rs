@@ -1,0 +1,53 @@
+//! Out-of-spec experiment performance (Section VI-D) and in-spec traffic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hifi_circuit::topology::SaTopologyKind;
+use hifi_dramsim::outofspec::{attempt_row_copy, row_copy_gap_sweep, truncated_restore};
+use hifi_dramsim::{DeviceConfig, DramDevice};
+use hifi_units::Nanoseconds;
+
+fn bench_dramsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dramsim");
+
+    g.bench_function("in_spec_row_sweep", |b| {
+        b.iter(|| {
+            let mut dev = DramDevice::new(DeviceConfig::ddr4(SaTopologyKind::Classic));
+            for row in 0..32 {
+                dev.activate(0, row).expect("in range");
+                dev.write(0, 0, row as u8).expect("open row");
+                assert_eq!(dev.read(0, 0).expect("open row"), row as u8);
+                dev.precharge(0).expect("in range");
+            }
+            dev.now()
+        });
+    });
+
+    g.bench_function("row_copy_classic", |b| {
+        b.iter(|| {
+            let mut dev = DramDevice::new(DeviceConfig::ddr4(SaTopologyKind::Classic));
+            attempt_row_copy(&mut dev, 0, 1, 2, Nanoseconds(2.0)).expect("runs")
+        });
+    });
+
+    g.bench_function("row_copy_gap_sweep_both", |b| {
+        let gaps = [1.0, 2.0, 4.0, 8.0, 12.0, 16.0];
+        b.iter(|| {
+            (
+                row_copy_gap_sweep(SaTopologyKind::Classic, &gaps),
+                row_copy_gap_sweep(SaTopologyKind::OffsetCancellation, &gaps),
+            )
+        });
+    });
+
+    g.bench_function("truncated_restore", |b| {
+        b.iter(|| {
+            let mut dev = DramDevice::new(DeviceConfig::ddr4(SaTopologyKind::Classic));
+            truncated_restore(&mut dev, 0, 4, Nanoseconds(3.0)).expect("runs")
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_dramsim);
+criterion_main!(benches);

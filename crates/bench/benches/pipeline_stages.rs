@@ -1,0 +1,63 @@
+//! Performance of every pipeline stage: generate → voxelise → image →
+//! denoise → align → reconstruct → extract → identify (PIPE experiment).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hifi_circuit::identify::TopologyLibrary;
+use hifi_circuit::topology::SaTopologyKind;
+use hifi_imaging::{acquire, align, chambolle_tv, reconstruct, AlignMethod, ImagingConfig};
+use hifi_synth::{generate_region, SaRegionSpec};
+
+fn spec() -> SaRegionSpec {
+    SaRegionSpec::new(SaTopologyKind::OffsetCancellation)
+        .with_pairs(1)
+        .with_voxel_nm(10.0)
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+
+    g.bench_function("generate_region", |b| {
+        b.iter(|| generate_region(&spec()));
+    });
+
+    let region = generate_region(&spec());
+    g.bench_function("voxelize", |b| b.iter(|| region.voxelize()));
+
+    let volume = region.voxelize();
+    let cfg = ImagingConfig {
+        slice_voxels: 2,
+        ..ImagingConfig::default()
+    };
+    g.bench_function("sem_acquire", |b| b.iter(|| acquire(&volume, &cfg)));
+
+    let (stack, _) = acquire(&volume, &cfg);
+    g.bench_function("chambolle_denoise_slice", |b| {
+        b.iter(|| chambolle_tv(stack.slice(0), 8.0, 20));
+    });
+
+    g.bench_function("mi_align_stack", |b| {
+        b.iter_batched(
+            || stack.clone(),
+            |mut s| align(&mut s, AlignMethod::MutualInformation, 3),
+            BatchSize::LargeInput,
+        );
+    });
+
+    g.bench_function("reconstruct", |b| b.iter(|| reconstruct(&stack)));
+
+    g.bench_function("extract_netlist", |b| {
+        b.iter(|| hifi_extract::extract(&volume).expect("extraction"));
+    });
+
+    let extraction = hifi_extract::extract(&volume).expect("extraction");
+    let library = TopologyLibrary::standard();
+    g.bench_function("identify_topology", |b| {
+        b.iter(|| library.identify(&extraction.netlist));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Emits the full dataset release document (the paper's open-data artefact)
+//! as JSON on stdout.
+fn main() {
+    println!("{}", hifi_dram::data::export::to_json());
+}

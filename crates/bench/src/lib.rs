@@ -1,0 +1,12 @@
+//! Regeneration harness: one function per table/figure of the paper.
+//!
+//! Each `regen-*` binary in `src/bin/` prints one artefact of the paper's
+//! evaluation, computed live from the workspace (never hard-coded). The
+//! Criterion benches in `benches/` measure the performance of the pipeline
+//! stages and evaluation kernels. `EXPERIMENTS.md` records paper-reported vs
+//! regenerated values for every artefact.
+
+pub mod regen;
+pub mod table;
+
+pub use regen::*;

@@ -1,0 +1,546 @@
+//! One regeneration function per paper artefact.
+
+use crate::table::Table;
+use hifi_analog::events::{
+    max_tolerated_offset, simulate_classic_activation, simulate_ocsa_activation, ActivationConfig,
+};
+use hifi_circuit::topology::SaTopologyKind;
+use hifi_circuit::TransistorClass;
+use hifi_data::{chips, crow, rem, DdrGeneration};
+use hifi_dram::pipeline::{Pipeline, PipelineConfig};
+use hifi_dramsim::outofspec::{attempt_majority, row_copy_gap_sweep};
+use hifi_dramsim::{DeviceConfig, DramDevice};
+use hifi_eval::models::{compare_model, DimensionMetric};
+use hifi_eval::overhead::{fig14, i1_average_mat_extension, table2 as eval_table2};
+use hifi_eval::{bitline, space};
+use hifi_imaging::ImagingConfig;
+
+/// Table I: the six studied chips.
+pub fn table1() -> String {
+    let mut t = Table::new(vec![
+        "ID", "Vendor", "Storage", "Yr.", "Size", "Det.", "MATs", "Pixl.Res.", "SA",
+    ]);
+    for c in chips() {
+        t.row(vec![
+            c.name().to_string(),
+            format!("{} ({})", c.vendor(), c.generation()),
+            format!("{}Gb", c.density_gbit()),
+            format!("'{}", c.production_year() % 100),
+            format!("{}mm^2", c.die_area().value()),
+            c.detector().to_string(),
+            if c.mats_visible_after_decap() { "V." } else { "N.V." }.into(),
+            format!("{} nm", c.pixel_resolution().value()),
+            c.topology().to_string(),
+        ]);
+    }
+    format!("Table I — studied chips\n\n{}", t.render())
+}
+
+/// Table II: research inaccuracies, overhead error and portability cost.
+pub fn table2() -> String {
+    let mut t = Table::new(vec!["Research", "Inacc.", "Error", "Port. Cost", "DDR", "Yr."]);
+    for row in eval_table2() {
+        let inacc = row
+            .paper
+            .inaccuracies
+            .iter()
+            .map(|i| i.to_string().trim_start_matches('I').to_owned())
+            .collect::<Vec<_>>()
+            .join(",");
+        t.row(vec![
+            row.paper.name.to_owned(),
+            format!("I{inacc}"),
+            row.overhead_error
+                .map(|e| e.as_times())
+                .unwrap_or_else(|| "N/A".into()),
+            row.porting_cost.as_times(),
+            match row.paper.original_generation {
+                DdrGeneration::Ddr3 => "3",
+                DdrGeneration::Ddr4 => "4",
+                DdrGeneration::Ddr5 => "5",
+            }
+            .into(),
+            format!("'{}", row.paper.year % 100),
+        ]);
+    }
+    format!(
+        "Table II — evaluated papers\n\n{}\nI1 papers' MAT extension alone: {:.0}% of the chip (paper: 57%)\n",
+        t.render(),
+        i1_average_mat_extension().as_percent()
+    )
+}
+
+fn waveform_table(report: &hifi_analog::events::SenseReport, nodes: &[&str]) -> String {
+    let wf = &report.waveforms;
+    let dt = wf.sample_interval();
+    let n = wf.trace(nodes[0]).map(|t| t.len()).unwrap_or(0);
+    let mut header = vec!["t (ns)"];
+    header.extend_from_slice(nodes);
+    let mut t = Table::new(header);
+    let step = (n / 24).max(1);
+    for i in (0..n).step_by(step) {
+        let mut row = vec![format!("{:6.2}", i as f64 * dt * 1e9)];
+        for node in nodes {
+            let v = wf.trace(node).map(|tr| tr[i]).unwrap_or(f64::NAN);
+            row.push(format!("{v:6.3}"));
+        }
+        t.row(row);
+    }
+    t.render()
+}
+
+/// Fig. 2c: classic SA events (charge sharing → latch & restore → precharge).
+pub fn fig2c() -> String {
+    let cfg = ActivationConfig::default();
+    let report = simulate_classic_activation(&cfg, true);
+    format!(
+        "Fig. 2c — classic SA activation events (stored 1)\n\n\
+         charge-sharing onset: {:.2} ns\nlatch split (>Vdd/2): {:.2} ns\n\
+         restored cell level:  {:.3} V (Vdd = {})\ncorrect: {}\n\n{}",
+        report.charge_sharing_onset.unwrap_or(f64::NAN) * 1e9,
+        report.latch_split_time.unwrap_or(f64::NAN) * 1e9,
+        report.restored_level,
+        cfg.vdd,
+        report.correct,
+        waveform_table(&report, &["BL", "BLB", "SN0_BL", "LA", "LAB"]),
+    )
+}
+
+/// Fig. 9b: OCSA events (offset cancellation → delayed charge sharing →
+/// pre-sensing → restore).
+pub fn fig9b() -> String {
+    let cfg = ActivationConfig::default();
+    let classic = simulate_classic_activation(&cfg, true);
+    let report = simulate_ocsa_activation(&cfg, true);
+    let delay = report.charge_sharing_onset.unwrap_or(f64::NAN)
+        - classic.charge_sharing_onset.unwrap_or(f64::NAN);
+    format!(
+        "Fig. 9b — OCSA activation events (stored 1)\n\n\
+         charge-sharing onset: {:.2} ns ({:+.2} ns vs classic — delayed by the\n\
+         offset-cancellation phase, Section VI-D)\nlatch split: {:.2} ns\n\
+         restored cell level: {:.3} V\ncorrect: {}\n\n{}",
+        report.charge_sharing_onset.unwrap_or(f64::NAN) * 1e9,
+        delay * 1e9,
+        report.latch_split_time.unwrap_or(f64::NAN) * 1e9,
+        report.restored_level,
+        report.correct,
+        waveform_table(&report, &["BL", "BLB", "SABL", "SABLB", "SN0_BL"]),
+    )
+}
+
+/// Offset-tolerance comparison backing the OCSA-deployment argument.
+pub fn offset_tolerance() -> String {
+    let cfg = ActivationConfig::default();
+    let classic = max_tolerated_offset(SaTopologyKind::Classic, &cfg, 20.0, 160.0);
+    let ocsa = max_tolerated_offset(SaTopologyKind::OffsetCancellation, &cfg, 20.0, 160.0);
+    format!(
+        "Offset tolerance (max Vt mismatch sensed correctly, 20 mV steps)\n\n\
+         classic SA: {classic:.0} mV\nOCSA:       {ocsa:.0} mV\n\n\
+         The OCSA tolerates ≥{:.1}x the mismatch — why two of three vendors\n\
+         deployed offset-cancellation designs (Section V).\n",
+        ocsa / classic.max(1.0)
+    )
+}
+
+/// Fig. 11: measured pSA/nSA dimensions per chip, plus REM (CROW omitted as
+/// out of range, as in the paper).
+pub fn fig11() -> String {
+    let mut t = Table::new(vec!["Chip", "nSA W", "nSA L", "pSA W", "pSA L", "nSA W/L", "pSA W/L"]);
+    for row in hifi_eval::models::fig11_rows(&chips()) {
+        t.row(vec![
+            row.label.clone(),
+            format!("{:.0}", row.nsa.width.value()),
+            format!("{:.0}", row.nsa.length.value()),
+            format!("{:.0}", row.psa.width.value()),
+            format!("{:.0}", row.psa.length.value()),
+            format!("{:.2}", row.nsa.w_over_l()),
+            format!("{:.2}", row.psa.w_over_l()),
+        ]);
+    }
+    format!("Fig. 11 — latch transistor sizes (nm); CROW omitted (out of range)\n\n{}", t.render())
+}
+
+/// Fig. 12: average/maximum inaccuracies of REM and CROW.
+pub fn fig12() -> String {
+    let cs = chips();
+    let mut t = Table::new(vec!["Model", "Tech", "avg W/L", "max W/L (@)", "avg W", "max W (@)", "avg L", "max L (@)"]);
+    for model in [rem(), crow()] {
+        for gen in [DdrGeneration::Ddr4, DdrGeneration::Ddr5] {
+            let cmp = compare_model(&model, &cs, gen);
+            let cell = |m: DimensionMetric| {
+                let mx = cmp.maximum(m);
+                (
+                    format!("{:.0}%", cmp.average(m).as_percent()),
+                    format!("{:.0}% ({} {})", mx.inaccuracy.as_percent(), mx.chip, mx.class),
+                )
+            };
+            let (awl, mwl) = cell(DimensionMetric::WOverL);
+            let (aw, mw) = cell(DimensionMetric::Width);
+            let (al, ml) = cell(DimensionMetric::Length);
+            t.row(vec![
+                model.name().to_owned(),
+                format!("{gen}{}", if gen == DdrGeneration::Ddr5 { " (¥)" } else { "" }),
+                awl, mwl, aw, mw, al, ml,
+            ]);
+        }
+    }
+    format!("Fig. 12 — model inaccuracies vs measured transistors\n\n{}", t.render())
+}
+
+/// Fig. 13: free-space checks behind I1 and I2.
+pub fn fig13() -> String {
+    let mut t = Table::new(vec!["Chip", "BL pitch", "BL width", "usable gap", "extra BL fits?"]);
+    for c in chips() {
+        let check = space::mat_free_space(&c);
+        t.row(vec![
+            c.name().to_string(),
+            format!("{:.0} nm", c.geometry().bitline_pitch().value()),
+            format!("{:.0} nm", c.geometry().bitline_width().value()),
+            format!("{:.0} nm", check.usable_gap.value()),
+            if check.fits { "yes" } else { "no (I1/I2)" }.into(),
+        ]);
+    }
+    format!(
+        "Fig. 13 — no free space for extra bitlines in MAT (I1) or SA region (I2)\n\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 14: per-vendor overhead error / porting cost (papers ≤10x).
+pub fn fig14_table() -> String {
+    let mut t = Table::new(vec!["Paper", "Chip", "Vendor", "Value", "Kind"]);
+    for e in fig14() {
+        t.row(vec![
+            e.paper.to_owned(),
+            e.chip.to_string(),
+            e.vendor.to_string(),
+            e.value.as_times(),
+            if e.is_porting { "porting" } else { "error" }.into(),
+        ]);
+    }
+    format!(
+        "Fig. 14 — per-vendor overhead error / porting cost (papers >10x omitted)\n\n{}",
+        t.render()
+    )
+}
+
+/// Appendix A: bitline-change arithmetic (Eq. 1) and electrical factors.
+pub fn appendix_a() -> String {
+    let cs = chips();
+    let ext = bitline::halved_bitline_extension();
+    let mut t = Table::new(vec!["Chip", "MAT+SA frac", "chip overhead"]);
+    for c in &cs {
+        t.row(vec![
+            c.name().to_string(),
+            format!(
+                "{:.1}%",
+                (c.geometry().mat_fraction().value() + c.geometry().sa_fraction().value()) * 100.0
+            ),
+            format!("{:.1}%", bitline::halved_bitline_chip_overhead(c).as_percent()),
+        ]);
+    }
+    let scaling = bitline::BitlineScaling::new(0.5, 0.5);
+    format!(
+        "Appendix A — halving bitline widths (Eq. 1)\n\n\
+         SA-region extension: {:.1}% (paper: ~33%)\n\n{}\n\
+         Electrical penalties of 0.5x width/spacing: resistance x{:.1}, crosstalk x{:.1}\n",
+        ext.as_percent(),
+        t.render(),
+        scaling.resistance_factor(),
+        scaling.crosstalk_factor()
+    )
+}
+
+/// Section V-B: the measurement campaign — reverse engineer every chip's
+/// generated region and compare measured dimensions with the dataset.
+pub fn measurements() -> String {
+    let mut t = Table::new(vec!["Chip", "topology identified", "devices", "worst dim. dev."]);
+    let mut total = 0usize;
+    for chip in chips() {
+        let report = Pipeline::new(PipelineConfig::for_chip(&chip))
+            .run()
+            .expect("pipeline runs");
+        total += report.measurement.total_measurements;
+        t.row(vec![
+            chip.name().to_string(),
+            format!(
+                "{} ({})",
+                report
+                    .identified
+                    .map(|k| k.to_string())
+                    .unwrap_or_else(|| "unmatched".into()),
+                if report.topology_correct() { "correct" } else { "WRONG" }
+            ),
+            report.device_count.to_string(),
+            format!(
+                "{:.1}%",
+                report
+                    .worst_dimension_deviation
+                    .map(|d| d.as_percent())
+                    .unwrap_or(f64::NAN)
+            ),
+        ]);
+    }
+    format!(
+        "Section V-B — automated measurement campaign over all six chips\n\n{}\n\
+         pipeline measurements this run: {total}\n\
+         dataset size measurements (paper): {}\n",
+        t.render(),
+        hifi_data::TOTAL_SIZE_MEASUREMENTS
+    )
+}
+
+/// Section V-C: layout findings.
+pub fn layout_findings() -> String {
+    let cs = chips();
+    let avg = |gen: DdrGeneration| {
+        let v: Vec<f64> = cs
+            .iter()
+            .filter(|c| c.generation() == gen)
+            .map(|c| c.geometry().mat_to_sa_transition.value())
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let split = |gen: DdrGeneration| {
+        let v: Vec<f64> = cs
+            .iter()
+            .filter(|c| c.generation() == gen)
+            .map(|c| {
+                c.geometry()
+                    .split_mat_overhead(c.isolation_dims_for_overheads().length)
+                    .as_percent()
+            })
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let mut common_gate = String::new();
+    for class in [
+        TransistorClass::Precharge,
+        TransistorClass::Equalizer,
+        TransistorClass::Isolation,
+        TransistorClass::OffsetCancel,
+    ] {
+        common_gate.push_str(&format!(
+            "  {class}: common gate spanning the region (insertion costs its LENGTH)\n"
+        ));
+    }
+    format!(
+        "Section V-C — layout findings\n\n\
+         stacked SAs between MATs: 2 on every chip (SA1/SA2, Fig. 10)\n\
+         column transistors are the FIRST elements after the MAT\n\
+         MAT→SA transition: {:.0} nm avg DDR4 (paper: 318), {:.0} nm avg DDR5 (paper: 275)\n\
+         split-MAT isolation overhead: {:.1}% of a MAT on DDR4 (paper: 1.6%), {:.1}% on DDR5 (paper: 1.1%)\n\
+         common-gate elements:\n{common_gate}",
+        avg(DdrGeneration::Ddr4),
+        avg(DdrGeneration::Ddr5),
+        split(DdrGeneration::Ddr4),
+        split(DdrGeneration::Ddr5),
+    )
+}
+
+/// Section VI-D: out-of-spec experiments, classic vs OCSA.
+pub fn outofspec() -> String {
+    let gaps = [1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 20.0];
+    let classic = row_copy_gap_sweep(SaTopologyKind::Classic, &gaps);
+    let ocsa = row_copy_gap_sweep(SaTopologyKind::OffsetCancellation, &gaps);
+    let mut t = Table::new(vec!["PRE→ACT gap (ns)", "classic copy", "OCSA copy"]);
+    for (c, o) in classic.iter().zip(&ocsa) {
+        t.row(vec![
+            format!("{:.0}", c.gap.value()),
+            if c.copied { "success" } else { "fail" }.into(),
+            if o.copied { "success" } else { "fail" }.into(),
+        ]);
+    }
+    let patterns: [&[u8]; 3] = [&[0b1100_1010], &[0b1010_0110], &[0b0110_1100]];
+    let mut mt = Table::new(vec!["Topology", "MAJ3 result", "verdict"]);
+    for kind in [SaTopologyKind::Classic, SaTopologyKind::OffsetCancellation] {
+        let mut dev = DramDevice::new(DeviceConfig::ddr4(kind));
+        let out = attempt_majority(&mut dev, 0, [1, 2, 3], patterns).expect("valid rows");
+        mt.row(vec![
+            kind.to_string(),
+            format!("{:#04x} (expected {:#04x})", out.result[0], out.expected[0]),
+            if out.correct_majority { "correct" } else { "CORRUPTED" }.into(),
+        ]);
+    }
+    format!(
+        "Section VI-D — out-of-spec in-DRAM row copy (ComputeDRAM-style)\n\n{}\n\
+         On OCSA chips the offset-cancellation phase precedes charge sharing,\n\
+         destroying the residual bitline charge: the trick never works.\n\n\
+         AMBIT-style triple-row majority:\n\n{}",
+        t.render(),
+        mt.render()
+    )
+}
+
+/// Monte-Carlo sensing yield vs threshold mismatch (the paper's motivation
+/// for OCSA deployment, Section II-A).
+pub fn yield_analysis() -> String {
+    use hifi_analog::reliability::yield_curve;
+    let sigmas = [20.0, 40.0, 60.0, 80.0];
+    let base = ActivationConfig::default();
+    let trials = 12;
+    let classic = yield_curve(SaTopologyKind::Classic, &sigmas, trials, &base);
+    let ocsa = yield_curve(SaTopologyKind::OffsetCancellation, &sigmas, trials, &base);
+    let mut t = Table::new(vec!["mismatch σ (mV)", "classic yield", "OCSA yield"]);
+    for (c, o) in classic.iter().zip(&ocsa) {
+        t.row(vec![
+            format!("{:.0}", c.sigma_mv),
+            format!("{:.0}%", c.yield_fraction * 100.0),
+            format!("{:.0}%", o.yield_fraction * 100.0),
+        ]);
+    }
+    format!(
+        "Sensing yield vs latch mismatch ({} Monte-Carlo trials per point)\n\n{}\n\
+         Shrinking nodes push mismatch up and the classic SA off a cliff;\n\
+         the OCSA cancels the offset — why A4, A5 and B5 deploy it.\n",
+        trials,
+        t.render()
+    )
+}
+
+/// Recommendation R1 quantified: how much do optimistic assumptions (drawn
+/// sizes, a single SA per gap) underestimate the transistor-level papers?
+pub fn sensitivity() -> String {
+    let mut t = Table::new(vec!["Paper", "full assumptions", "optimistic", "underestimated by"]);
+    for row in hifi_eval::sensitivity::sensitivity_report() {
+        t.row(vec![
+            row.paper.to_owned(),
+            format!("{:.3}%", row.with_full_assumptions.as_percent()),
+            format!("{:.3}%", row.with_optimistic_assumptions.as_percent()),
+            format!("{:.2}x", row.underestimation()),
+        ]);
+    }
+    format!(
+        "Recommendation R1 — sensitivity of overheads to estimation assumptions\n\n{}\n\
+         \"Optimistic\" = drawn transistor sizes (no spacing margins) and one SA\n\
+         per MAT gap instead of the two the paper found. Area-doubling papers\n\
+         (I1/I2) are unaffected: no sizing optimism rescues a missing bitline.\n",
+        t.render()
+    )
+}
+
+/// Scoring example modifications with the Section VI-C cost model.
+pub fn modification_costs() -> String {
+    use hifi_eval::modification::{cost_report, Modification};
+    let mods: [(&str, Modification); 4] = [
+        (
+            "2 shared isolation elements (R.B.DEC.-style)",
+            Modification::AddCommonGateElements {
+                class: TransistorClass::Isolation,
+                count: 2,
+            },
+        ),
+        (
+            "1 extra latch pair per SA",
+            Modification::AddPerSaTransistors {
+                class: TransistorClass::NSa,
+                count: 2,
+            },
+        ),
+        (
+            "1 new bitline per 3 (REGA-style)",
+            Modification::AddBitlines { per_existing: 3 },
+        ),
+        ("split every MAT (TL-DRAM-style)", Modification::SplitMat),
+    ];
+    let mut out = String::from("Modification cost model (Section V-C layout rules)\n\n");
+    for (name, m) in mods {
+        let costs = cost_report(m);
+        out.push_str(&format!("{name}:\n"));
+        for c in costs {
+            out.push_str(&format!(
+                "  {}: {:.3}% of the chip (SA height +{:.0} nm)\n",
+                c.chip,
+                c.chip_overhead.as_percent(),
+                c.sa_height_increase.value()
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// End-to-end fidelity: full FIB/SEM + post-processing + extraction run.
+pub fn pipeline_fidelity() -> String {
+    let mut out = String::from("End-to-end pipeline fidelity (simulated FIB/SEM)\n\n");
+    for kind in [SaTopologyKind::Classic, SaTopologyKind::OffsetCancellation] {
+        let imaging = ImagingConfig {
+            dwell_us: 6.0,
+            drift_sigma_px: 0.6,
+            brightness_wander: 1.0,
+            slice_voxels: 2,
+            ..ImagingConfig::default()
+        };
+        let report = Pipeline::new(PipelineConfig::with_imaging(kind, imaging))
+            .run()
+            .expect("pipeline runs");
+        let total_correction: i32 = report
+            .alignment_corrections
+            .iter()
+            .map(|(a, b)| a.abs() + b.abs())
+            .sum();
+        out.push_str(&format!(
+            "{kind}: identified={} devices={} worst-dim-dev={:.1}% drift-corrections={} px total\n",
+            report
+                .identified
+                .map(|k| k.to_string())
+                .unwrap_or_else(|| "unmatched".into()),
+            report.device_count,
+            report
+                .worst_dimension_deviation
+                .map(|d| d.as_percent())
+                .unwrap_or(f64::NAN),
+            total_correction,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_chips() {
+        let s = table1();
+        for id in ["A4", "B4", "C4", "A5", "B5", "C5"] {
+            assert!(s.contains(id), "{id} missing:\n{s}");
+        }
+        assert!(s.contains("offset-cancellation"));
+    }
+
+    #[test]
+    fn table2_lists_all_papers_and_headline() {
+        let s = table2();
+        assert!(s.contains("CoolDRAM"));
+        assert!(s.contains("N/A"), "DDR3 papers report N/A error");
+        assert!(s.contains("AMBIT"));
+    }
+
+    #[test]
+    fn fig12_places_maxima_on_c4_precharge() {
+        let s = fig12();
+        assert!(s.contains("C4 PRE"), "max inaccuracies at C4's precharge:\n{s}");
+    }
+
+    #[test]
+    fn fig13_denies_free_space_everywhere() {
+        let s = fig13();
+        assert!(!s.contains("yes"));
+        assert_eq!(s.matches("no (I1/I2)").count(), 6);
+    }
+
+    #[test]
+    fn outofspec_shows_divergence() {
+        let s = outofspec();
+        assert!(s.contains("success"), "classic copies at short gaps");
+        // The OCSA column is all "fail": ensure at least as many fails as gaps.
+        assert!(s.matches("fail").count() >= 7);
+    }
+
+    #[test]
+    fn appendix_a_reports_one_third() {
+        let s = appendix_a();
+        assert!(s.contains("33.3%"));
+    }
+}

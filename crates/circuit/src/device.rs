@@ -1,0 +1,255 @@
+//! Netlist devices: MOSFETs and capacitors.
+
+use crate::NetId;
+use hifi_units::{Femtofarads, Nanometers};
+
+/// MOSFET channel polarity.
+///
+/// The paper notes NMOS and PMOS were *visually indistinguishable* in the
+/// imagery and had to be inferred from the design convention that pSA latch
+/// transistors are narrower than nSA (Section V-A, step viii).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// N-channel.
+    Nmos,
+    /// P-channel.
+    Pmos,
+}
+
+impl core::fmt::Display for Polarity {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Polarity::Nmos => "NMOS",
+            Polarity::Pmos => "PMOS",
+        })
+    }
+}
+
+/// Functional class of a transistor in the SA region, as identified during
+/// reverse engineering (Section V-A classifies multiplexer, common-gate and
+/// coupled transistors, then maps them to these circuit roles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum TransistorClass {
+    /// NMOS half of the cross-coupled latch.
+    NSa,
+    /// PMOS half of the cross-coupled latch.
+    PSa,
+    /// Bitline precharge device.
+    Precharge,
+    /// Bitline equaliser (classic circuit only).
+    Equalizer,
+    /// Column multiplexer device.
+    Column,
+    /// Isolation device (OCSA, and several research proposals).
+    Isolation,
+    /// Offset-cancellation device (OCSA only).
+    OffsetCancel,
+    /// LIO-side secondary latch (present in the SA region but not part of the
+    /// SA circuit, Fig. 10 "LSA").
+    LocalSa,
+    /// MAT cell access transistor (BCAT).
+    Access,
+}
+
+impl TransistorClass {
+    /// All classes, in a stable order.
+    pub const ALL: [TransistorClass; 9] = [
+        TransistorClass::NSa,
+        TransistorClass::PSa,
+        TransistorClass::Precharge,
+        TransistorClass::Equalizer,
+        TransistorClass::Column,
+        TransistorClass::Isolation,
+        TransistorClass::OffsetCancel,
+        TransistorClass::LocalSa,
+        TransistorClass::Access,
+    ];
+
+    /// Short name used in tables ("nSA", "pSA", …).
+    pub const fn short_name(self) -> &'static str {
+        match self {
+            TransistorClass::NSa => "nSA",
+            TransistorClass::PSa => "pSA",
+            TransistorClass::Precharge => "PRE",
+            TransistorClass::Equalizer => "EQ",
+            TransistorClass::Column => "COL",
+            TransistorClass::Isolation => "ISO",
+            TransistorClass::OffsetCancel => "OC",
+            TransistorClass::LocalSa => "LSA",
+            TransistorClass::Access => "ACC",
+        }
+    }
+
+    /// Whether this class is laid out with a common gate spanning the SA
+    /// region along Y (Section V-C), so inserting one grows the SA height by
+    /// its *length*; other classes grow it by their *width*.
+    pub const fn is_common_gate(self) -> bool {
+        matches!(
+            self,
+            TransistorClass::Precharge
+                | TransistorClass::Equalizer
+                | TransistorClass::Isolation
+                | TransistorClass::OffsetCancel
+        )
+    }
+}
+
+impl core::fmt::Display for TransistorClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Drawn transistor dimensions.
+///
+/// The paper measures length as the gate pitch between source and drain and
+/// width as the gate/active-region overlap (Section V-B).
+///
+/// ```
+/// use hifi_circuit::TransistorDims;
+/// use hifi_units::Nanometers;
+/// let d = TransistorDims::new(Nanometers(220.0), Nanometers(55.0));
+/// assert!((d.w_over_l() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TransistorDims {
+    /// Channel width (gate ∩ active overlap).
+    pub width: Nanometers,
+    /// Channel length (source–drain gate pitch).
+    pub length: Nanometers,
+}
+
+impl TransistorDims {
+    /// Creates dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not strictly positive.
+    pub fn new(width: Nanometers, length: Nanometers) -> Self {
+        assert!(
+            width.value() > 0.0 && length.value() > 0.0,
+            "transistor dimensions must be positive, got W={width} L={length}"
+        );
+        Self { width, length }
+    }
+
+    /// The width-to-length ratio: the paper's primary accuracy metric for
+    /// analog models ("higher W/L ratios correspond to more optimistic
+    /// simulations", Section VI-A).
+    pub fn w_over_l(&self) -> f64 {
+        self.width / self.length
+    }
+}
+
+impl Default for TransistorDims {
+    /// A representative modern-node SA transistor (W = 200 nm, L = 60 nm).
+    fn default() -> Self {
+        Self::new(Nanometers(200.0), Nanometers(60.0))
+    }
+}
+
+impl core::fmt::Display for TransistorDims {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "W={} L={}", self.width, self.length)
+    }
+}
+
+/// A MOSFET instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mosfet {
+    /// Instance name (for example `"nSA_left"`).
+    pub name: String,
+    /// Channel polarity.
+    pub polarity: Polarity,
+    /// Functional class.
+    pub class: TransistorClass,
+    /// Drawn dimensions.
+    pub dims: TransistorDims,
+    /// Gate net.
+    pub gate: NetId,
+    /// Source net (interchangeable with drain for matching purposes).
+    pub source: NetId,
+    /// Drain net.
+    pub drain: NetId,
+}
+
+/// A two-terminal capacitor (cell capacitor or bitline parasitic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacitorDevice {
+    /// Instance name.
+    pub name: String,
+    /// Capacitance.
+    pub value: Femtofarads,
+    /// First terminal.
+    pub a: NetId,
+    /// Second terminal.
+    pub b: NetId,
+}
+
+/// Any netlist device.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Device {
+    /// A MOSFET.
+    Mosfet(Mosfet),
+    /// A capacitor.
+    Capacitor(CapacitorDevice),
+}
+
+impl Device {
+    /// The instance name.
+    pub fn name(&self) -> &str {
+        match self {
+            Device::Mosfet(m) => &m.name,
+            Device::Capacitor(c) => &c.name,
+        }
+    }
+
+    /// The nets this device touches.
+    pub fn terminals(&self) -> Vec<NetId> {
+        match self {
+            Device::Mosfet(m) => vec![m.gate, m.source, m.drain],
+            Device::Capacitor(c) => vec![c.a, c.b],
+        }
+    }
+
+    /// The MOSFET, if this device is one.
+    pub fn as_mosfet(&self) -> Option<&Mosfet> {
+        match self {
+            Device::Mosfet(m) => Some(m),
+            Device::Capacitor(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn w_over_l() {
+        let d = TransistorDims::new(Nanometers(320.0), Nanometers(80.0));
+        assert!((d.w_over_l() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_panics() {
+        let _ = TransistorDims::new(Nanometers(0.0), Nanometers(10.0));
+    }
+
+    #[test]
+    fn common_gate_classes() {
+        assert!(TransistorClass::Precharge.is_common_gate());
+        assert!(TransistorClass::OffsetCancel.is_common_gate());
+        assert!(!TransistorClass::NSa.is_common_gate());
+        assert!(!TransistorClass::Column.is_common_gate());
+    }
+
+    #[test]
+    fn class_short_names_unique() {
+        let mut names: Vec<_> = TransistorClass::ALL.iter().map(|c| c.short_name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), TransistorClass::ALL.len());
+    }
+}

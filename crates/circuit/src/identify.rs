@@ -1,0 +1,426 @@
+//! Structural netlist matching: colour refinement + backtracking isomorphism.
+//!
+//! The paper identifies the imaged circuits by mapping their full connectivity
+//! and then recognising the result as a known topology ("we could finally
+//! pin-point the reverse-engineered circuits to one design", Section V-A).
+//! This module automates that recognition. Matching is purely structural:
+//!
+//! - device **values** (W/L, capacitance) are ignored,
+//! - MOSFET **polarity** is ignored — NMOS and PMOS were visually
+//!   indistinguishable in the paper's imagery,
+//! - the **gate** terminal is distinguished from source/drain, which are
+//!   interchangeable,
+//! - net and device **names** are ignored.
+
+use crate::device::Device;
+use crate::netlist::{DeviceId, NetId, Netlist};
+use crate::topology::{self, SaDimensions, SaTopologyKind};
+
+/// Deterministic 64-bit mixer (SplitMix64 finaliser).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+fn hash_seq(base: u64, items: &[u64]) -> u64 {
+    let mut acc = mix(base);
+    for &it in items {
+        acc = mix(acc ^ it);
+    }
+    acc
+}
+
+/// One round of Weisfeiler–Lehman style colour refinement over the bipartite
+/// net/device graph. Returns `(net_colors, device_colors)`.
+fn refine(nl: &Netlist, rounds: usize) -> (Vec<u64>, Vec<u64>) {
+    let mut net_colors = vec![1u64; nl.net_count()];
+    let mut dev_colors: Vec<u64> = nl
+        .devices()
+        .map(|(_, d)| match d {
+            Device::Mosfet(_) => mix(101),
+            Device::Capacitor(_) => mix(202),
+        })
+        .collect();
+
+    for _ in 0..rounds {
+        // Devices absorb their terminal net colours (gate separate, s/d as a
+        // sorted pair so the orientation does not matter).
+        let mut new_dev = dev_colors.clone();
+        for (i, (_, d)) in nl.devices().enumerate() {
+            match d {
+                Device::Mosfet(m) => {
+                    let mut sd = [net_colors[m.source.0], net_colors[m.drain.0]];
+                    sd.sort_unstable();
+                    new_dev[i] = hash_seq(dev_colors[i], &[net_colors[m.gate.0], sd[0], sd[1]]);
+                }
+                Device::Capacitor(c) => {
+                    let mut ab = [net_colors[c.a.0], net_colors[c.b.0]];
+                    ab.sort_unstable();
+                    new_dev[i] = hash_seq(dev_colors[i], &ab);
+                }
+            }
+        }
+        // Nets absorb the colours of attached device terminals with roles.
+        let mut incidences: Vec<Vec<u64>> = vec![Vec::new(); nl.net_count()];
+        for (i, (_, d)) in nl.devices().enumerate() {
+            match d {
+                Device::Mosfet(m) => {
+                    incidences[m.gate.0].push(mix(new_dev[i] ^ 0x67617465)); // "gate"
+                    incidences[m.source.0].push(mix(new_dev[i] ^ 0x7364)); // "sd"
+                    incidences[m.drain.0].push(mix(new_dev[i] ^ 0x7364));
+                }
+                Device::Capacitor(c) => {
+                    incidences[c.a.0].push(mix(new_dev[i] ^ 0x636170)); // "cap"
+                    incidences[c.b.0].push(mix(new_dev[i] ^ 0x636170));
+                }
+            }
+        }
+        let mut new_net = net_colors.clone();
+        for (n, inc) in incidences.iter_mut().enumerate() {
+            inc.sort_unstable();
+            new_net[n] = hash_seq(net_colors[n], inc);
+        }
+        net_colors = new_net;
+        dev_colors = new_dev;
+    }
+    (net_colors, dev_colors)
+}
+
+/// A refinement-based structural invariant. Isomorphic netlists always share
+/// a signature; unequal signatures prove non-isomorphism. (Like all WL-style
+/// invariants it is not a *complete* test — use [`are_isomorphic`] for
+/// certainty.)
+///
+/// ```
+/// use hifi_circuit::{identify, topology};
+/// let a = topology::classic_sa(Default::default());
+/// let b = topology::ocsa(Default::default());
+/// assert_ne!(identify::signature(a.netlist()), identify::signature(b.netlist()));
+/// ```
+pub fn signature(nl: &Netlist) -> u64 {
+    let (mut nets, mut devs) = refine(nl, 6);
+    nets.sort_unstable();
+    devs.sort_unstable();
+    hash_seq(hash_seq(0xabcde, &nets), &devs)
+}
+
+/// Exact structural isomorphism between two netlists, by colour-guided
+/// backtracking over device mappings.
+///
+/// ```
+/// use hifi_circuit::{identify, topology};
+/// let a = topology::ocsa(Default::default());
+/// let b = topology::ocsa(Default::default());
+/// assert!(identify::are_isomorphic(a.netlist(), b.netlist()));
+/// ```
+pub fn are_isomorphic(a: &Netlist, b: &Netlist) -> bool {
+    if a.device_count() != b.device_count() || a.net_count() != b.net_count() {
+        return false;
+    }
+    let (na, da) = refine(a, 6);
+    let (nb, db) = refine(b, 6);
+    let mut sa = na.clone();
+    let mut sb = nb.clone();
+    sa.sort_unstable();
+    sb.sort_unstable();
+    if sa != sb {
+        return false;
+    }
+    let mut ta = da.clone();
+    let mut tb = db.clone();
+    ta.sort_unstable();
+    tb.sort_unstable();
+    if ta != tb {
+        return false;
+    }
+
+    // Order a-devices rarest-colour-first for effective pruning.
+    let mut order: Vec<usize> = (0..a.device_count()).collect();
+    let rarity = |c: u64| da.iter().filter(|&&x| x == c).count();
+    order.sort_by_key(|&i| (rarity(da[i]), da[i]));
+
+    let mut dev_map: Vec<Option<usize>> = vec![None; a.device_count()];
+    let mut dev_used = vec![false; b.device_count()];
+    let mut net_map: Vec<Option<usize>> = vec![None; a.net_count()];
+    let mut net_rev: Vec<Option<usize>> = vec![None; b.net_count()];
+
+    fn try_bind(
+        na: NetId,
+        nb: NetId,
+        net_map: &mut [Option<usize>],
+        net_rev: &mut [Option<usize>],
+        trail: &mut Vec<(usize, usize)>,
+    ) -> bool {
+        match (net_map[na.0], net_rev[nb.0]) {
+            (Some(m), _) if m == nb.0 => true,
+            (None, None) => {
+                net_map[na.0] = Some(nb.0);
+                net_rev[nb.0] = Some(na.0);
+                trail.push((na.0, nb.0));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn undo(trail: &[(usize, usize)], net_map: &mut [Option<usize>], net_rev: &mut [Option<usize>]) {
+        for &(x, y) in trail {
+            net_map[x] = None;
+            net_rev[y] = None;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn search(
+        k: usize,
+        order: &[usize],
+        a: &Netlist,
+        b: &Netlist,
+        da: &[u64],
+        db: &[u64],
+        na_colors: &[u64],
+        nb_colors: &[u64],
+        dev_map: &mut Vec<Option<usize>>,
+        dev_used: &mut Vec<bool>,
+        net_map: &mut Vec<Option<usize>>,
+        net_rev: &mut Vec<Option<usize>>,
+    ) -> bool {
+        if k == order.len() {
+            return true;
+        }
+        let ai = order[k];
+        let dev_a = a.device(DeviceId(ai));
+        for bi in 0..b.device_count() {
+            if dev_used[bi] || da[ai] != db[bi] {
+                continue;
+            }
+            let dev_b = b.device(DeviceId(bi));
+            // Enumerate terminal alignments.
+            let alignments: Vec<Vec<(NetId, NetId)>> = match (dev_a, dev_b) {
+                (Device::Mosfet(ma), Device::Mosfet(mb)) => vec![
+                    vec![(ma.gate, mb.gate), (ma.source, mb.source), (ma.drain, mb.drain)],
+                    vec![(ma.gate, mb.gate), (ma.source, mb.drain), (ma.drain, mb.source)],
+                ],
+                (Device::Capacitor(ca), Device::Capacitor(cb)) => vec![
+                    vec![(ca.a, cb.a), (ca.b, cb.b)],
+                    vec![(ca.a, cb.b), (ca.b, cb.a)],
+                ],
+                _ => continue,
+            };
+            for pairs in alignments {
+                // Colour pre-check on the nets.
+                if pairs
+                    .iter()
+                    .any(|&(x, y)| na_colors[x.0] != nb_colors[y.0])
+                {
+                    continue;
+                }
+                let mut trail = Vec::new();
+                let ok = pairs
+                    .iter()
+                    .all(|&(x, y)| try_bind(x, y, net_map, net_rev, &mut trail));
+                if ok {
+                    dev_map[ai] = Some(bi);
+                    dev_used[bi] = true;
+                    if search(
+                        k + 1, order, a, b, da, db, na_colors, nb_colors, dev_map, dev_used,
+                        net_map, net_rev,
+                    ) {
+                        return true;
+                    }
+                    dev_map[ai] = None;
+                    dev_used[bi] = false;
+                }
+                undo(&trail, net_map, net_rev);
+            }
+        }
+        false
+    }
+
+    search(
+        0, &order, a, b, &da, &db, &na, &nb, &mut dev_map, &mut dev_used, &mut net_map,
+        &mut net_rev,
+    )
+}
+
+/// A library of known SA topologies to match extracted circuits against.
+#[derive(Debug, Clone)]
+pub struct TopologyLibrary {
+    entries: Vec<(SaTopologyKind, Netlist)>,
+}
+
+impl TopologyLibrary {
+    /// The library used throughout the workspace: classic, OCSA and the
+    /// research classic+isolation variant.
+    pub fn standard() -> Self {
+        let d = SaDimensions::default;
+        Self {
+            entries: vec![
+                (
+                    SaTopologyKind::Classic,
+                    topology::classic_sa(d()).into_netlist(),
+                ),
+                (
+                    SaTopologyKind::OffsetCancellation,
+                    topology::ocsa(d()).into_netlist(),
+                ),
+                (
+                    SaTopologyKind::ClassicWithIsolation,
+                    topology::classic_sa_with_isolation(d()).into_netlist(),
+                ),
+            ],
+        }
+    }
+
+    /// Identifies a netlist, returning the topology family it is structurally
+    /// isomorphic to, or `None` if it matches nothing in the library.
+    pub fn identify(&self, netlist: &Netlist) -> Option<SaTopologyKind> {
+        self.entries
+            .iter()
+            .find(|(_, reference)| are_isomorphic(netlist, reference))
+            .map(|(kind, _)| *kind)
+    }
+
+    /// The topologies in this library.
+    pub fn kinds(&self) -> impl Iterator<Item = SaTopologyKind> + '_ {
+        self.entries.iter().map(|(k, _)| *k)
+    }
+}
+
+impl Default for TopologyLibrary {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{Polarity, TransistorClass, TransistorDims};
+
+    #[test]
+    fn self_isomorphism() {
+        for kind in TopologyLibrary::standard().kinds().collect::<Vec<_>>() {
+            let lib = TopologyLibrary::standard();
+            let nl = lib
+                .entries
+                .iter()
+                .find(|(k, _)| *k == kind)
+                .map(|(_, n)| n.clone())
+                .unwrap();
+            assert_eq!(lib.identify(&nl), Some(kind), "{kind} identifies itself");
+        }
+    }
+
+    #[test]
+    fn renamed_and_reordered_netlist_still_identified() {
+        // Build an OCSA with scrambled names and device order, as an
+        // extractor would: the identification must be name-independent.
+        let reference = topology::ocsa(SaDimensions::default());
+        let src = reference.netlist();
+        let mut scrambled = Netlist::new("extracted-x17");
+        // Insert devices in reverse order with anonymous net names.
+        let rename = |id: crate::NetId| format!("n{}", id.0);
+        let devices: Vec<_> = src.devices().map(|(_, d)| d.clone()).collect();
+        for d in devices.iter().rev() {
+            match d {
+                Device::Mosfet(m) => {
+                    let g = scrambled.add_net(rename(m.gate));
+                    let s = scrambled.add_net(rename(m.source));
+                    let dr = scrambled.add_net(rename(m.drain));
+                    // Swap source/drain too; polarity deliberately wrong.
+                    scrambled.add_mosfet(
+                        format!("x_{}", m.name),
+                        Polarity::Nmos,
+                        TransistorClass::Access, // class labels must not matter
+                        m.dims,
+                        g,
+                        dr,
+                        s,
+                    );
+                }
+                Device::Capacitor(c) => {
+                    let a = scrambled.add_net(rename(c.a));
+                    let b = scrambled.add_net(rename(c.b));
+                    scrambled.add_capacitor(format!("x_{}", c.name), c.value, b, a);
+                }
+            }
+        }
+        let lib = TopologyLibrary::standard();
+        assert_eq!(
+            lib.identify(&scrambled),
+            Some(SaTopologyKind::OffsetCancellation)
+        );
+    }
+
+    #[test]
+    fn distinct_topologies_do_not_cross_match() {
+        let classic = topology::classic_sa(SaDimensions::default());
+        let ocsa_c = topology::ocsa(SaDimensions::default());
+        let iso = topology::classic_sa_with_isolation(SaDimensions::default());
+        assert!(!are_isomorphic(classic.netlist(), ocsa_c.netlist()));
+        assert!(!are_isomorphic(classic.netlist(), iso.netlist()));
+        assert!(!are_isomorphic(ocsa_c.netlist(), iso.netlist()));
+    }
+
+    #[test]
+    fn signature_consistency() {
+        let a = topology::ocsa(SaDimensions::default());
+        let b = topology::ocsa(SaDimensions::default());
+        assert_eq!(signature(a.netlist()), signature(b.netlist()));
+    }
+
+    #[test]
+    fn perturbed_circuit_is_rejected() {
+        // Drop one device from the OCSA: must no longer identify.
+        let src = topology::ocsa(SaDimensions::default());
+        let nl = src.netlist();
+        let mut cut = Netlist::new("cut");
+        let devices: Vec<_> = nl.devices().map(|(_, d)| d.clone()).collect();
+        for d in devices.iter().skip(1) {
+            match d {
+                Device::Mosfet(m) => {
+                    let g = cut.add_net(nl.net_name(m.gate));
+                    let s = cut.add_net(nl.net_name(m.source));
+                    let dr = cut.add_net(nl.net_name(m.drain));
+                    cut.add_mosfet(m.name.clone(), m.polarity, m.class, m.dims, g, s, dr);
+                }
+                Device::Capacitor(c) => {
+                    let a = cut.add_net(nl.net_name(c.a));
+                    let b = cut.add_net(nl.net_name(c.b));
+                    cut.add_capacitor(c.name.clone(), c.value, a, b);
+                }
+            }
+        }
+        assert_eq!(TopologyLibrary::standard().identify(&cut), None);
+    }
+
+    #[test]
+    fn rewired_same_counts_rejected() {
+        // Same device and net counts as classic, but different wiring: the
+        // equaliser shorts BL to VPRE instead of BL to BLB.
+        let good = topology::classic_sa(SaDimensions::default());
+        let mut bad = Netlist::new("bad");
+        let src = good.netlist();
+        let devices: Vec<_> = src.devices().map(|(_, d)| d.clone()).collect();
+        for d in &devices {
+            match d {
+                Device::Mosfet(m) => {
+                    let g = bad.add_net(src.net_name(m.gate));
+                    let (s, dr) = if m.name == "eq" {
+                        (bad.add_net("VPRE"), bad.add_net("BLB"))
+                    } else {
+                        (bad.add_net(src.net_name(m.source)), bad.add_net(src.net_name(m.drain)))
+                    };
+                    bad.add_mosfet(m.name.clone(), m.polarity, m.class, m.dims, g, s, dr);
+                }
+                Device::Capacitor(_) => unreachable!("classic sa has no capacitors"),
+            }
+        }
+        // Force BL net to still exist even though eq no longer touches it.
+        assert_eq!(bad.net_count(), src.net_count());
+        assert!(!are_isomorphic(&bad, src));
+    }
+}

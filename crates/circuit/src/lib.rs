@@ -1,0 +1,37 @@
+//! Sense-amplifier circuit netlists and topology identification.
+//!
+//! Section V of the paper reverse engineers the SA circuits of six DRAM chips
+//! and matches three of them (A4, A5, B5) to a published offset-cancellation
+//! design and the other three (B4, C4, C5) to the classic textbook circuit.
+//! This crate provides:
+//!
+//! - [`Netlist`] — a transistor-level netlist (MOSFETs, capacitors, nets),
+//! - [`topology`] — constructors for the classic SA (Fig. 2b), the OCSA
+//!   (Fig. 9a), and research variants (isolation-transistor SA, dual-contact
+//!   cell),
+//! - [`identify`] — colour-refinement + backtracking graph isomorphism used
+//!   to match an *extracted* netlist against the topology library, the
+//!   software analogue of the paper's step of pin-pointing the imaged circuit
+//!   to a known design.
+//!
+//! # Examples
+//!
+//! ```
+//! use hifi_circuit::{topology, identify::TopologyLibrary};
+//!
+//! let unknown = topology::ocsa(Default::default());
+//! let library = TopologyLibrary::standard();
+//! let matched = library.identify(unknown.netlist()).expect("known circuit");
+//! assert_eq!(matched, topology::SaTopologyKind::OffsetCancellation);
+//! ```
+
+mod device;
+pub mod identify;
+mod netlist;
+mod signal;
+pub mod spice;
+pub mod topology;
+
+pub use device::{Device, Mosfet, Polarity, TransistorClass, TransistorDims};
+pub use netlist::{DeviceId, Net, NetId, Netlist};
+pub use signal::ControlSignal;

@@ -1,0 +1,261 @@
+//! Transistor-level netlist container.
+
+use crate::device::{CapacitorDevice, Device, Mosfet, Polarity, TransistorClass, TransistorDims};
+use hifi_units::Femtofarads;
+use std::collections::HashMap;
+
+/// Index of a net within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub usize);
+
+/// Index of a device within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub usize);
+
+/// A named electrical node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Net {
+    name: String,
+}
+
+impl Net {
+    /// The net name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A flat transistor-level netlist.
+///
+/// ```
+/// use hifi_circuit::{Netlist, Polarity, TransistorClass, TransistorDims};
+///
+/// let mut nl = Netlist::new("half-latch");
+/// let bl = nl.add_net("BL");
+/// let blb = nl.add_net("BLB");
+/// let gnd = nl.add_net("LAB");
+/// nl.add_mosfet("nSA_l", Polarity::Nmos, TransistorClass::NSa,
+///     TransistorDims::default(), blb, gnd, bl);
+/// assert_eq!(nl.device_count(), 1);
+/// assert_eq!(nl.net_count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Netlist {
+    name: String,
+    nets: Vec<Net>,
+    devices: Vec<Device>,
+    by_name: HashMap<String, NetId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            nets: Vec::new(),
+            devices: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// The netlist name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds (or retrieves) a net by name.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        let name = name.into();
+        if let Some(&id) = self.by_name.get(&name) {
+            return id;
+        }
+        let id = NetId(self.nets.len());
+        self.by_name.insert(name.clone(), id);
+        self.nets.push(Net { name });
+        id
+    }
+
+    /// Looks up a net by name.
+    pub fn net(&self, name: &str) -> Option<NetId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn net_name(&self, id: NetId) -> &str {
+        self.nets[id.0].name()
+    }
+
+    /// Adds a MOSFET and returns its id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_mosfet(
+        &mut self,
+        name: impl Into<String>,
+        polarity: Polarity,
+        class: TransistorClass,
+        dims: TransistorDims,
+        gate: NetId,
+        source: NetId,
+        drain: NetId,
+    ) -> DeviceId {
+        let id = DeviceId(self.devices.len());
+        self.devices.push(Device::Mosfet(Mosfet {
+            name: name.into(),
+            polarity,
+            class,
+            dims,
+            gate,
+            source,
+            drain,
+        }));
+        id
+    }
+
+    /// Adds a capacitor and returns its id.
+    pub fn add_capacitor(
+        &mut self,
+        name: impl Into<String>,
+        value: Femtofarads,
+        a: NetId,
+        b: NetId,
+    ) -> DeviceId {
+        let id = DeviceId(self.devices.len());
+        self.devices.push(Device::Capacitor(CapacitorDevice {
+            name: name.into(),
+            value,
+            a,
+            b,
+        }));
+        id
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Iterates over devices.
+    pub fn devices(&self) -> impl Iterator<Item = (DeviceId, &Device)> {
+        self.devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DeviceId(i), d))
+    }
+
+    /// Iterates over MOSFETs only.
+    pub fn mosfets(&self) -> impl Iterator<Item = &Mosfet> {
+        self.devices.iter().filter_map(Device::as_mosfet)
+    }
+
+    /// MOSFETs of a given functional class.
+    pub fn mosfets_of_class(&self, class: TransistorClass) -> impl Iterator<Item = &Mosfet> {
+        self.mosfets().filter(move |m| m.class == class)
+    }
+
+    /// The device with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.0]
+    }
+
+    /// The devices connected to a net.
+    pub fn devices_on_net(&self, net: NetId) -> Vec<DeviceId> {
+        self.devices()
+            .filter(|(_, d)| d.terminals().contains(&net))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Degree of a net (number of device terminals attached).
+    pub fn net_degree(&self, net: NetId) -> usize {
+        self.devices
+            .iter()
+            .flat_map(|d| d.terminals())
+            .filter(|&t| t == net)
+            .count()
+    }
+
+    /// Re-labels a MOSFET's functional class and polarity — used by the
+    /// extractor once classification has run (classes are unknown at
+    /// netlist-building time when reverse engineering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or not a MOSFET.
+    pub fn set_mosfet_role(&mut self, id: DeviceId, class: TransistorClass, polarity: Polarity) {
+        match &mut self.devices[id.0] {
+            Device::Mosfet(m) => {
+                m.class = class;
+                m.polarity = polarity;
+            }
+            Device::Capacitor(_) => panic!("device {} is not a mosfet", id.0),
+        }
+    }
+
+    /// Counts devices per transistor class.
+    pub fn class_histogram(&self) -> HashMap<TransistorClass, usize> {
+        let mut h = HashMap::new();
+        for m in self.mosfets() {
+            *h.entry(m.class).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hifi_units::Nanometers;
+
+    fn dims() -> TransistorDims {
+        TransistorDims::new(Nanometers(200.0), Nanometers(60.0))
+    }
+
+    #[test]
+    fn nets_are_deduplicated_by_name() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("BL");
+        let b = nl.add_net("BL");
+        assert_eq!(a, b);
+        assert_eq!(nl.net_count(), 1);
+        assert_eq!(nl.net("BL"), Some(a));
+        assert_eq!(nl.net("missing"), None);
+    }
+
+    #[test]
+    fn degree_and_lookup() {
+        let mut nl = Netlist::new("t");
+        let bl = nl.add_net("BL");
+        let blb = nl.add_net("BLB");
+        let la = nl.add_net("LA");
+        nl.add_mosfet("p1", Polarity::Pmos, TransistorClass::PSa, dims(), blb, la, bl);
+        nl.add_mosfet("p2", Polarity::Pmos, TransistorClass::PSa, dims(), bl, la, blb);
+        assert_eq!(nl.net_degree(la), 2);
+        assert_eq!(nl.net_degree(bl), 2);
+        assert_eq!(nl.devices_on_net(bl).len(), 2);
+        assert_eq!(nl.mosfets_of_class(TransistorClass::PSa).count(), 2);
+        assert_eq!(nl.class_histogram()[&TransistorClass::PSa], 2);
+    }
+
+    #[test]
+    fn capacitors_tracked() {
+        let mut nl = Netlist::new("t");
+        let bl = nl.add_net("BL");
+        let gnd = nl.add_net("GND");
+        nl.add_capacitor("cbl", Femtofarads(90.0), bl, gnd);
+        assert_eq!(nl.device_count(), 1);
+        assert_eq!(nl.mosfets().count(), 0);
+        assert_eq!(nl.net_degree(bl), 1);
+    }
+}

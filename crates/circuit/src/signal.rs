@@ -1,0 +1,81 @@
+//! Control signals of the sense-amplifier region.
+
+/// A control line in the SA region, as named in the paper's figures.
+///
+/// The classic circuit (Fig. 2b) uses `LA`/`LAB` (latch rails), `PEQ`
+/// (combined precharge+equalise) and `Yi` (column select). The OCSA (Fig. 9a)
+/// splits precharge out (`PRE`), drops the equaliser, and adds `ISO`
+/// (isolation) and `OC` (offset cancellation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ControlSignal {
+    /// Latch rail driven high to activate the pSA pair.
+    La,
+    /// Latch rail driven low to activate the nSA pair.
+    Lab,
+    /// Combined precharge-and-equalise gate of the classic circuit.
+    Peq,
+    /// Stand-alone precharge gate (OCSA).
+    Pre,
+    /// Isolation gate decoupling bitlines from the latch drains (OCSA).
+    Iso,
+    /// Offset-cancellation gate (OCSA).
+    Oc,
+    /// Column select for SA group `i`.
+    Yi(u8),
+    /// A wordline in the MAT.
+    WordLine(u16),
+}
+
+impl ControlSignal {
+    /// The canonical schematic name.
+    pub fn name(&self) -> String {
+        match self {
+            ControlSignal::La => "LA".into(),
+            ControlSignal::Lab => "LAB".into(),
+            ControlSignal::Peq => "PEQ".into(),
+            ControlSignal::Pre => "PRE".into(),
+            ControlSignal::Iso => "ISO".into(),
+            ControlSignal::Oc => "OC".into(),
+            ControlSignal::Yi(i) => format!("Y{i}"),
+            ControlSignal::WordLine(i) => format!("WL{i}"),
+        }
+    }
+
+    /// Whether this signal's gate physically spans the whole SA region
+    /// (Section V-C: precharge, isolation and offset-cancellation transistors
+    /// share a common gate along Y, so their *length* — not width — adds to
+    /// the SA height when elements are inserted).
+    pub fn is_region_spanning(&self) -> bool {
+        matches!(
+            self,
+            ControlSignal::Peq | ControlSignal::Pre | ControlSignal::Iso | ControlSignal::Oc
+        )
+    }
+}
+
+impl core::fmt::Display for ControlSignal {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(ControlSignal::La.name(), "LA");
+        assert_eq!(ControlSignal::Yi(3).name(), "Y3");
+        assert_eq!(ControlSignal::WordLine(511).to_string(), "WL511");
+    }
+
+    #[test]
+    fn region_spanning_flags() {
+        assert!(ControlSignal::Peq.is_region_spanning());
+        assert!(ControlSignal::Iso.is_region_spanning());
+        assert!(ControlSignal::Oc.is_region_spanning());
+        assert!(!ControlSignal::La.is_region_spanning());
+        assert!(!ControlSignal::Yi(0).is_region_spanning());
+    }
+}

@@ -1,0 +1,361 @@
+//! Sense-amplifier topology constructors.
+//!
+//! Builders for the circuits the paper found deployed in commodity DRAM:
+//! the classic SA (Fig. 2b; chips B4, C4, C5) and the offset-cancellation SA
+//! (Fig. 9a; chips A4, A5, B5), plus research variants referenced by the
+//! evaluated papers (classic + isolation transistors) and a MAT bitline
+//! column used by the analog and DRAM simulators.
+
+use crate::device::{Polarity, TransistorClass, TransistorDims};
+use crate::netlist::Netlist;
+use hifi_units::Femtofarads;
+
+/// The SA circuit families the paper distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum SaTopologyKind {
+    /// The textbook cross-coupled latch with combined precharge/equalise
+    /// (PEQ) — deployed on B4, C4 and C5.
+    Classic,
+    /// Offset-cancellation SA with ISO/OC devices and stand-alone precharge —
+    /// deployed on A4, A5 and B5; first publicly reported by this paper.
+    OffsetCancellation,
+    /// Classic SA plus research-style isolation transistors that decouple the
+    /// bitlines from the whole latch (as assumed by several prior papers;
+    /// *different* from OCSA isolation, Section V).
+    ClassicWithIsolation,
+}
+
+impl SaTopologyKind {
+    /// Human-readable name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SaTopologyKind::Classic => "classic",
+            SaTopologyKind::OffsetCancellation => "offset-cancellation",
+            SaTopologyKind::ClassicWithIsolation => "classic+isolation",
+        }
+    }
+}
+
+impl core::fmt::Display for SaTopologyKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-class transistor dimensions used when instantiating a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaDimensions {
+    /// nSA latch transistor dimensions.
+    pub nsa: TransistorDims,
+    /// pSA latch transistor dimensions (narrower than nSA by convention —
+    /// the paper uses this to tell PMOS from NMOS).
+    pub psa: TransistorDims,
+    /// Precharge transistor dimensions.
+    pub precharge: TransistorDims,
+    /// Equaliser transistor dimensions (classic only).
+    pub equalizer: TransistorDims,
+    /// Column multiplexer dimensions.
+    pub column: TransistorDims,
+    /// Isolation transistor dimensions (OCSA / research variants).
+    pub isolation: TransistorDims,
+    /// Offset-cancellation transistor dimensions (OCSA only).
+    pub offset_cancel: TransistorDims,
+}
+
+impl Default for SaDimensions {
+    fn default() -> Self {
+        use hifi_units::Nanometers as Nm;
+        let d = |w: f64, l: f64| TransistorDims::new(Nm(w), Nm(l));
+        Self {
+            nsa: d(260.0, 70.0),
+            psa: d(150.0, 70.0),
+            precharge: d(110.0, 65.0),
+            equalizer: d(110.0, 65.0),
+            column: d(130.0, 60.0),
+            isolation: d(120.0, 60.0),
+            offset_cancel: d(120.0, 60.0),
+        }
+    }
+}
+
+/// A built SA circuit: the netlist plus its family tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaCircuit {
+    kind: SaTopologyKind,
+    netlist: Netlist,
+}
+
+impl SaCircuit {
+    /// The topology family.
+    pub fn kind(&self) -> SaTopologyKind {
+        self.kind
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Consumes the circuit, returning the netlist.
+    pub fn into_netlist(self) -> Netlist {
+        self.netlist
+    }
+}
+
+/// Builds the classic sense amplifier of Fig. 2b.
+///
+/// Nine transistors: a cross-coupled latch (2×nSA + 2×pSA), two precharge
+/// devices and one equaliser all gated by `PEQ`, and two column devices gated
+/// by `Y0` connecting to `LIO`/`LIOB`.
+///
+/// ```
+/// use hifi_circuit::topology::{classic_sa, SaTopologyKind};
+/// let sa = classic_sa(Default::default());
+/// assert_eq!(sa.kind(), SaTopologyKind::Classic);
+/// assert_eq!(sa.netlist().device_count(), 9);
+/// ```
+pub fn classic_sa(dims: SaDimensions) -> SaCircuit {
+    let mut nl = Netlist::new("classic-sa");
+    let bl = nl.add_net("BL");
+    let blb = nl.add_net("BLB");
+    let la = nl.add_net("LA");
+    let lab = nl.add_net("LAB");
+    let vpre = nl.add_net("VPRE");
+    let peq = nl.add_net("PEQ");
+    let yi = nl.add_net("Y0");
+    let lio = nl.add_net("LIO");
+    let liob = nl.add_net("LIOB");
+
+    // Cross-coupled latch: gates on the opposite bitline, drains on their own.
+    nl.add_mosfet("pSA_l", Polarity::Pmos, TransistorClass::PSa, dims.psa, blb, la, bl);
+    nl.add_mosfet("pSA_r", Polarity::Pmos, TransistorClass::PSa, dims.psa, bl, la, blb);
+    nl.add_mosfet("nSA_l", Polarity::Nmos, TransistorClass::NSa, dims.nsa, blb, lab, bl);
+    nl.add_mosfet("nSA_r", Polarity::Nmos, TransistorClass::NSa, dims.nsa, bl, lab, blb);
+    // Precharge: each bitline to Vpre; equalise: bitline to bitline. All share PEQ.
+    nl.add_mosfet("pre_l", Polarity::Nmos, TransistorClass::Precharge, dims.precharge, peq, vpre, bl);
+    nl.add_mosfet("pre_r", Polarity::Nmos, TransistorClass::Precharge, dims.precharge, peq, vpre, blb);
+    nl.add_mosfet("eq", Polarity::Nmos, TransistorClass::Equalizer, dims.equalizer, peq, bl, blb);
+    // Column multiplexer.
+    nl.add_mosfet("col_l", Polarity::Nmos, TransistorClass::Column, dims.column, yi, bl, lio);
+    nl.add_mosfet("col_r", Polarity::Nmos, TransistorClass::Column, dims.column, yi, blb, liob);
+
+    SaCircuit {
+        kind: SaTopologyKind::Classic,
+        netlist: nl,
+    }
+}
+
+/// Builds the offset-cancellation sense amplifier of Fig. 9a.
+///
+/// Twelve transistors. Relative to the classic circuit it adds two isolation
+/// (`ISO`) and two offset-cancellation (`OC`) devices and a second control
+/// signal, drops the equaliser (equalisation is performed by activating ISO
+/// and OC simultaneously, Section V), and decouples the bitlines from the
+/// latch *drains* (internal nodes `SABL`/`SABLB`) while keeping them on the
+/// latch *gates*.
+///
+/// ```
+/// use hifi_circuit::topology::{ocsa, SaTopologyKind};
+/// let sa = ocsa(Default::default());
+/// assert_eq!(sa.kind(), SaTopologyKind::OffsetCancellation);
+/// assert_eq!(sa.netlist().device_count(), 12);
+/// ```
+pub fn ocsa(dims: SaDimensions) -> SaCircuit {
+    let mut nl = Netlist::new("ocsa");
+    let bl = nl.add_net("BL");
+    let blb = nl.add_net("BLB");
+    let sabl = nl.add_net("SABL");
+    let sablb = nl.add_net("SABLB");
+    let la = nl.add_net("LA");
+    let lab = nl.add_net("LAB");
+    let vpre = nl.add_net("VPRE");
+    let pre = nl.add_net("PRE");
+    let iso = nl.add_net("ISO");
+    let oc = nl.add_net("OC");
+    let yi = nl.add_net("Y0");
+    let lio = nl.add_net("LIO");
+    let liob = nl.add_net("LIOB");
+
+    // Latch: gates on bitlines, drains on internal nodes.
+    nl.add_mosfet("pSA_l", Polarity::Pmos, TransistorClass::PSa, dims.psa, blb, la, sabl);
+    nl.add_mosfet("pSA_r", Polarity::Pmos, TransistorClass::PSa, dims.psa, bl, la, sablb);
+    nl.add_mosfet("nSA_l", Polarity::Nmos, TransistorClass::NSa, dims.nsa, blb, lab, sabl);
+    nl.add_mosfet("nSA_r", Polarity::Nmos, TransistorClass::NSa, dims.nsa, bl, lab, sablb);
+    // Isolation: internal node to its own bitline.
+    nl.add_mosfet("iso_l", Polarity::Nmos, TransistorClass::Isolation, dims.isolation, iso, sabl, bl);
+    nl.add_mosfet("iso_r", Polarity::Nmos, TransistorClass::Isolation, dims.isolation, iso, sablb, blb);
+    // Offset cancellation: internal node to the *opposite* bitline, which
+    // diode-connects each latch transistor during the OC phase.
+    nl.add_mosfet("oc_l", Polarity::Nmos, TransistorClass::OffsetCancel, dims.offset_cancel, oc, sabl, blb);
+    nl.add_mosfet("oc_r", Polarity::Nmos, TransistorClass::OffsetCancel, dims.offset_cancel, oc, sablb, bl);
+    // Stand-alone precharge (no equaliser).
+    nl.add_mosfet("pre_l", Polarity::Nmos, TransistorClass::Precharge, dims.precharge, pre, vpre, bl);
+    nl.add_mosfet("pre_r", Polarity::Nmos, TransistorClass::Precharge, dims.precharge, pre, vpre, blb);
+    // Column multiplexer.
+    nl.add_mosfet("col_l", Polarity::Nmos, TransistorClass::Column, dims.column, yi, bl, lio);
+    nl.add_mosfet("col_r", Polarity::Nmos, TransistorClass::Column, dims.column, yi, blb, liob);
+
+    SaCircuit {
+        kind: SaTopologyKind::OffsetCancellation,
+        netlist: nl,
+    }
+}
+
+/// Builds the research-style "classic + isolation" SA assumed by several of
+/// the evaluated papers: a classic SA whose bitlines pass through isolation
+/// transistors that decouple them from the *entire* latch (gates and drains)
+/// — unlike OCSA isolation (Section V, "Isolation and equalization in
+/// OCSAs").
+pub fn classic_sa_with_isolation(dims: SaDimensions) -> SaCircuit {
+    let mut nl = Netlist::new("classic-sa-iso");
+    let bl = nl.add_net("BL");
+    let blb = nl.add_net("BLB");
+    let ibl = nl.add_net("IBL");
+    let iblb = nl.add_net("IBLB");
+    let la = nl.add_net("LA");
+    let lab = nl.add_net("LAB");
+    let vpre = nl.add_net("VPRE");
+    let peq = nl.add_net("PEQ");
+    let iso = nl.add_net("ISO");
+    let yi = nl.add_net("Y0");
+    let lio = nl.add_net("LIO");
+    let liob = nl.add_net("LIOB");
+
+    nl.add_mosfet("iso_l", Polarity::Nmos, TransistorClass::Isolation, dims.isolation, iso, bl, ibl);
+    nl.add_mosfet("iso_r", Polarity::Nmos, TransistorClass::Isolation, dims.isolation, iso, blb, iblb);
+    nl.add_mosfet("pSA_l", Polarity::Pmos, TransistorClass::PSa, dims.psa, iblb, la, ibl);
+    nl.add_mosfet("pSA_r", Polarity::Pmos, TransistorClass::PSa, dims.psa, ibl, la, iblb);
+    nl.add_mosfet("nSA_l", Polarity::Nmos, TransistorClass::NSa, dims.nsa, iblb, lab, ibl);
+    nl.add_mosfet("nSA_r", Polarity::Nmos, TransistorClass::NSa, dims.nsa, ibl, lab, iblb);
+    nl.add_mosfet("pre_l", Polarity::Nmos, TransistorClass::Precharge, dims.precharge, peq, vpre, ibl);
+    nl.add_mosfet("pre_r", Polarity::Nmos, TransistorClass::Precharge, dims.precharge, peq, vpre, iblb);
+    nl.add_mosfet("eq", Polarity::Nmos, TransistorClass::Equalizer, dims.equalizer, peq, ibl, iblb);
+    nl.add_mosfet("col_l", Polarity::Nmos, TransistorClass::Column, dims.column, yi, ibl, lio);
+    nl.add_mosfet("col_r", Polarity::Nmos, TransistorClass::Column, dims.column, yi, iblb, liob);
+
+    SaCircuit {
+        kind: SaTopologyKind::ClassicWithIsolation,
+        netlist: nl,
+    }
+}
+
+/// Appends a MAT bitline column to `netlist`: `n_cells` access transistors
+/// and cell capacitors hanging off net `bl_name`, each gated by its own
+/// wordline, plus the lumped bitline parasitic to ground.
+///
+/// Returns the wordline net ids in cell order.
+pub fn attach_mat_column(
+    netlist: &mut Netlist,
+    bl_name: &str,
+    n_cells: usize,
+    c_cell: Femtofarads,
+    c_bitline: Femtofarads,
+    access_dims: TransistorDims,
+) -> Vec<crate::NetId> {
+    let bl = netlist.add_net(bl_name);
+    let gnd = netlist.add_net("GND");
+    netlist.add_capacitor(format!("c_{bl_name}"), c_bitline, bl, gnd);
+    let mut wordlines = Vec::with_capacity(n_cells);
+    for i in 0..n_cells {
+        let wl = netlist.add_net(format!("WL{i}_{bl_name}"));
+        let sn = netlist.add_net(format!("SN{i}_{bl_name}"));
+        netlist.add_mosfet(
+            format!("acc{i}_{bl_name}"),
+            Polarity::Nmos,
+            TransistorClass::Access,
+            access_dims,
+            wl,
+            sn,
+            bl,
+        );
+        netlist.add_capacitor(format!("cell{i}_{bl_name}"), c_cell, sn, gnd);
+        wordlines.push(wl);
+    }
+    wordlines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_structure() {
+        let sa = classic_sa(SaDimensions::default());
+        let nl = sa.netlist();
+        assert_eq!(nl.device_count(), 9);
+        let h = nl.class_histogram();
+        assert_eq!(h[&TransistorClass::NSa], 2);
+        assert_eq!(h[&TransistorClass::PSa], 2);
+        assert_eq!(h[&TransistorClass::Precharge], 2);
+        assert_eq!(h[&TransistorClass::Equalizer], 1);
+        assert_eq!(h[&TransistorClass::Column], 2);
+        // PEQ drives precharge and equaliser: 3 gates.
+        let peq = nl.net("PEQ").unwrap();
+        assert_eq!(nl.net_degree(peq), 3);
+    }
+
+    #[test]
+    fn ocsa_structure() {
+        let sa = ocsa(SaDimensions::default());
+        let nl = sa.netlist();
+        assert_eq!(nl.device_count(), 12);
+        let h = nl.class_histogram();
+        assert_eq!(h[&TransistorClass::Isolation], 2);
+        assert_eq!(h[&TransistorClass::OffsetCancel], 2);
+        assert!(!h.contains_key(&TransistorClass::Equalizer));
+        // OCSA adds exactly 4 transistors and 2 control signals vs classic
+        // (and removes the equaliser): 9 - 1 + 4 = 12.
+        let classic = classic_sa(SaDimensions::default());
+        assert_eq!(nl.device_count(), classic.netlist().device_count() + 3);
+    }
+
+    #[test]
+    fn ocsa_bitlines_on_latch_gates_not_drains() {
+        let sa = ocsa(SaDimensions::default());
+        let nl = sa.netlist();
+        let bl = nl.net("BL").unwrap();
+        let blb = nl.net("BLB").unwrap();
+        for m in nl.mosfets_of_class(TransistorClass::NSa) {
+            // Gates on a bitline...
+            assert!(m.gate == bl || m.gate == blb, "latch gate on bitline");
+            // ...but neither source nor drain directly on a bitline.
+            assert!(m.source != bl && m.source != blb);
+            assert!(m.drain != bl && m.drain != blb);
+        }
+    }
+
+    #[test]
+    fn equalisation_path_via_iso_plus_oc() {
+        // With ISO and OC both on, BL and BLB must be connected:
+        // BL -iso_l- SABL -oc_l- BLB.
+        let sa = ocsa(SaDimensions::default());
+        let nl = sa.netlist();
+        let bl = nl.net("BL").unwrap();
+        let blb = nl.net("BLB").unwrap();
+        let sabl = nl.net("SABL").unwrap();
+        let iso_connects = nl.mosfets_of_class(TransistorClass::Isolation).any(|m| {
+            (m.source == sabl && m.drain == bl) || (m.source == bl && m.drain == sabl)
+        });
+        let oc_connects = nl.mosfets_of_class(TransistorClass::OffsetCancel).any(|m| {
+            (m.source == sabl && m.drain == blb) || (m.source == blb && m.drain == sabl)
+        });
+        assert!(iso_connects && oc_connects);
+    }
+
+    #[test]
+    fn mat_column_attaches_cells() {
+        let mut nl = Netlist::new("mat");
+        let wls = attach_mat_column(
+            &mut nl,
+            "BL",
+            4,
+            Femtofarads(18.0),
+            Femtofarads(90.0),
+            TransistorDims::default(),
+        );
+        assert_eq!(wls.len(), 4);
+        // 4 access fets + 4 cell caps + 1 bitline cap.
+        assert_eq!(nl.device_count(), 9);
+        assert_eq!(nl.mosfets_of_class(TransistorClass::Access).count(), 4);
+    }
+}

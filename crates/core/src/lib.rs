@@ -1,0 +1,44 @@
+//! HiFi-DRAM: a full software reproduction of *"HiFi-DRAM: Enabling
+//! High-fidelity DRAM Research by Uncovering Sense Amplifiers with IC
+//! Imaging"* (ISCA 2024).
+//!
+//! This facade crate re-exports the workspace's subsystems and provides the
+//! end-to-end [`pipeline`] that mirrors the paper's methodology on synthetic
+//! silicon: generate a chip region with known ground truth, image it with
+//! the simulated FIB/SEM, post-process (denoise, align), reconstruct,
+//! reverse engineer the circuit, identify the SA topology, and measure the
+//! transistors — then validate everything against the ground truth.
+//!
+//! | Paper artefact | Workspace crate |
+//! |---|---|
+//! | Physical DDR4/DDR5 dies | [`synth`] (generator with ground truth) |
+//! | FIB/SEM + Dragonfly post-processing | [`imaging`] |
+//! | Manual circuit reverse engineering | [`extract`] + [`circuit`] |
+//! | Reverse-engineered dataset (Table I, Fig. 11, layouts) | [`data`] |
+//! | Evaluation of models & 13 papers (Figs. 12–14, Table II) | [`eval`] |
+//! | SA analog behaviour (Figs. 2c, 9b) | [`analog`] |
+//! | Out-of-spec DRAM experiments (§VI-D) | [`dramsim`] |
+//!
+//! # Examples
+//!
+//! ```
+//! use hifi_dram::pipeline::{Pipeline, PipelineConfig};
+//! use hifi_dram::circuit::topology::SaTopologyKind;
+//!
+//! let report = Pipeline::new(PipelineConfig::pristine(SaTopologyKind::Classic)).run()?;
+//! assert_eq!(report.identified, Some(SaTopologyKind::Classic));
+//! # Ok::<(), hifi_dram::pipeline::PipelineError>(())
+//! ```
+
+pub use hifi_analog as analog;
+pub use hifi_circuit as circuit;
+pub use hifi_data as data;
+pub use hifi_dramsim as dramsim;
+pub use hifi_eval as eval;
+pub use hifi_extract as extract;
+pub use hifi_geometry as geometry;
+pub use hifi_imaging as imaging;
+pub use hifi_synth as synth;
+pub use hifi_units as units;
+
+pub mod pipeline;

@@ -1,0 +1,262 @@
+//! The end-to-end reverse-engineering pipeline.
+
+use hifi_circuit::identify::TopologyLibrary;
+use hifi_circuit::topology::{SaDimensions, SaTopologyKind};
+use hifi_circuit::TransistorClass;
+use hifi_data::Chip;
+use hifi_extract::{measure, ExtractError, Extraction, MeasurementReport};
+use hifi_imaging::{acquire, align, denoise, reconstruct, AlignMethod, ImagingConfig};
+use hifi_synth::{generate_region, SaRegionSpec};
+use hifi_units::Ratio;
+
+/// Error produced by the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// Circuit extraction failed.
+    Extract(ExtractError),
+    /// The requested window pair index is out of range.
+    WindowOutOfRange {
+        /// Requested pair.
+        pair: usize,
+        /// Pairs available.
+        available: usize,
+    },
+}
+
+impl core::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PipelineError::Extract(e) => write!(f, "extraction failed: {e}"),
+            PipelineError::WindowOutOfRange { pair, available } => {
+                write!(f, "window pair {pair} out of range ({available} pairs)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<ExtractError> for PipelineError {
+    fn from(e: ExtractError) -> Self {
+        PipelineError::Extract(e)
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// The region to generate.
+    pub spec: SaRegionSpec,
+    /// Imaging simulation; `None` extracts from the pristine volume (an
+    /// upper bound on fidelity, useful for isolating extraction issues).
+    pub imaging: Option<ImagingConfig>,
+    /// TV-denoise strength (λ) when imaging is enabled.
+    pub denoise_lambda: f32,
+    /// TV-denoise iterations.
+    pub denoise_iterations: usize,
+    /// Alignment search window (pixels).
+    pub align_window: i32,
+    /// Which bitline pair's cell window to extract.
+    pub window_pair: usize,
+}
+
+impl PipelineConfig {
+    /// Extraction from the pristine generated volume (no imaging noise).
+    pub fn pristine(topology: SaTopologyKind) -> Self {
+        Self {
+            spec: SaRegionSpec::new(topology).with_pairs(1),
+            imaging: None,
+            denoise_lambda: 2.0,
+            denoise_iterations: 10,
+            align_window: 4,
+            window_pair: 0,
+        }
+    }
+
+    /// Full pipeline with simulated FIB/SEM imaging in between.
+    pub fn with_imaging(topology: SaTopologyKind, imaging: ImagingConfig) -> Self {
+        Self {
+            imaging: Some(imaging),
+            ..Self::pristine(topology)
+        }
+    }
+
+    /// Uses a studied chip's measured dimensions and topology, emulating the
+    /// reverse engineering of that chip.
+    pub fn for_chip(chip: &Chip) -> Self {
+        let mut cfg = Self::pristine(chip.topology());
+        cfg.spec = cfg.spec.with_dims(dims_for_chip(chip)).with_transition_nm(
+            chip.geometry().mat_to_sa_transition.value().round() as i64,
+        );
+        cfg
+    }
+}
+
+/// Builds generator dimensions from a chip's measured dataset entry
+/// (classes the chip lacks fall back to scaled defaults, mirroring
+/// Section VI-C's procedure for missing isolation transistors).
+pub fn dims_for_chip(chip: &Chip) -> SaDimensions {
+    let defaults = SaDimensions::default();
+    let get = |class: TransistorClass, fallback| {
+        chip.transistor(class).map(|t| t.dims).unwrap_or(fallback)
+    };
+    SaDimensions {
+        nsa: get(TransistorClass::NSa, defaults.nsa),
+        psa: get(TransistorClass::PSa, defaults.psa),
+        precharge: get(TransistorClass::Precharge, defaults.precharge),
+        equalizer: get(TransistorClass::Equalizer, defaults.equalizer),
+        column: get(TransistorClass::Column, defaults.column),
+        isolation: get(TransistorClass::Isolation, defaults.isolation),
+        offset_cancel: get(TransistorClass::OffsetCancel, defaults.offset_cancel),
+    }
+}
+
+/// The pipeline's findings, validated against generator ground truth.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Topology the extracted netlist was identified as (`None` = no match
+    /// in the library).
+    pub identified: Option<SaTopologyKind>,
+    /// The topology that was actually generated.
+    pub expected: SaTopologyKind,
+    /// Per-class dimension measurements.
+    pub measurement: MeasurementReport,
+    /// Worst relative deviation of measured vs ground-truth dimensions.
+    pub worst_dimension_deviation: Option<Ratio>,
+    /// Number of transistors extracted from the window.
+    pub device_count: usize,
+    /// Alignment corrections applied per slice (empty without imaging).
+    pub alignment_corrections: Vec<(i32, i32)>,
+    /// The raw extraction, for further analysis.
+    pub extraction: Extraction,
+}
+
+impl PipelineReport {
+    /// Whether the identified topology matches the generated one.
+    pub fn topology_correct(&self) -> bool {
+        self.identified == Some(self.expected)
+    }
+}
+
+/// The end-to-end pipeline driver.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Creates a pipeline.
+    pub fn new(config: PipelineConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs generate → (image → post-process → reconstruct) → extract →
+    /// identify → measure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] if extraction or classification fails or
+    /// the window index is invalid.
+    pub fn run(&self) -> Result<PipelineReport, PipelineError> {
+        let cfg = &self.config;
+        if cfg.window_pair >= cfg.spec.n_pairs {
+            return Err(PipelineError::WindowOutOfRange {
+                pair: cfg.window_pair,
+                available: cfg.spec.n_pairs,
+            });
+        }
+        let region = generate_region(&cfg.spec);
+        let volume = region.voxelize();
+
+        let (volume, corrections) = match &cfg.imaging {
+            None => (volume, Vec::new()),
+            Some(imaging_cfg) => {
+                let (mut stack, _truth) = acquire(&volume, imaging_cfg);
+                stack.normalize_brightness();
+                // Alignment first (registration uses median-filtered copies
+                // internally), then light TV denoising. Averaging along the
+                // milling axis is available (`average_slices`) but blends
+                // across any residual per-slice misalignment, so the default
+                // pipeline relies on TV alone.
+                let corrections =
+                    align(&mut stack, AlignMethod::MutualInformation, cfg.align_window);
+                denoise(&mut stack, cfg.denoise_lambda, cfg.denoise_iterations);
+                (reconstruct(&stack), corrections)
+            }
+        };
+
+        // Crop to one cell's SA window, as the analyst crops the ROI.
+        let window = region.cell_window(cfg.window_pair);
+        let voxel = volume.voxel_nm();
+        let to_vox = |nm: i64| ((nm as f64) / voxel).round().max(0.0) as usize;
+        let cropped = volume.crop(
+            to_vox(window.min().x),
+            to_vox(window.max().x),
+            to_vox(window.min().y),
+            to_vox(window.max().y),
+        );
+
+        let extraction = hifi_extract::extract(&cropped)?;
+        let identified = TopologyLibrary::standard().identify(&extraction.netlist);
+        let measurement = measure(&extraction);
+        let worst = measurement.worst_deviation(&region.ground_truth().cell.dims_by_class);
+
+        Ok(PipelineReport {
+            identified,
+            expected: cfg.spec.topology,
+            device_count: extraction.devices.len(),
+            worst_dimension_deviation: worst,
+            measurement,
+            alignment_corrections: corrections,
+            extraction,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pristine_pipeline_identifies_both_topologies() {
+        for kind in [SaTopologyKind::Classic, SaTopologyKind::OffsetCancellation] {
+            let report = Pipeline::new(PipelineConfig::pristine(kind)).run().unwrap();
+            assert_eq!(report.identified, Some(kind));
+            assert!(report.topology_correct());
+            let expected_devices = match kind {
+                SaTopologyKind::Classic => 9,
+                _ => 12,
+            };
+            assert_eq!(report.device_count, expected_devices);
+            let worst = report.worst_dimension_deviation.unwrap();
+            assert!(worst.value() < 0.2, "worst deviation {}", worst);
+        }
+    }
+
+    #[test]
+    fn chip_driven_pipeline_uses_measured_dimensions() {
+        let chips = hifi_data::chips();
+        let b5 = chips
+            .iter()
+            .find(|c| c.name() == hifi_data::ChipName::B5)
+            .unwrap();
+        let cfg = PipelineConfig::for_chip(b5);
+        assert_eq!(cfg.spec.topology, SaTopologyKind::OffsetCancellation);
+        let report = Pipeline::new(cfg).run().unwrap();
+        assert_eq!(report.identified, Some(SaTopologyKind::OffsetCancellation));
+        // Measured nSA width ≈ B5's 241 nm entry.
+        let nsa = report
+            .measurement
+            .class(TransistorClass::NSa)
+            .expect("nsa measured");
+        assert!((nsa.mean_width.value() - 241.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn window_bounds_checked() {
+        let mut cfg = PipelineConfig::pristine(SaTopologyKind::Classic);
+        cfg.window_pair = 7;
+        let err = Pipeline::new(cfg).run().unwrap_err();
+        assert!(matches!(err, PipelineError::WindowOutOfRange { .. }));
+    }
+}

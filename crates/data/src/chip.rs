@@ -1,0 +1,545 @@
+//! The six studied chips (Table I) with measured transistor dimensions.
+
+use crate::geometry::ChipGeometry;
+use hifi_circuit::topology::SaTopologyKind;
+use hifi_circuit::{TransistorClass, TransistorDims};
+use hifi_units::{Nanometers, SquareMillimeters};
+use serde::{Deserialize, Serialize};
+
+/// Anonymised DRAM vendor (the three major manufacturers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Vendor {
+    /// Vendor A.
+    A,
+    /// Vendor B.
+    B,
+    /// Vendor C.
+    C,
+}
+
+impl core::fmt::Display for Vendor {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Vendor::A => "A",
+            Vendor::B => "B",
+            Vendor::C => "C",
+        })
+    }
+}
+
+/// DDR protocol generation of a studied chip or evaluated paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DdrGeneration {
+    /// DDR3 (evaluated papers only; no DDR3 chip was imaged).
+    Ddr3,
+    /// DDR4.
+    Ddr4,
+    /// DDR5.
+    Ddr5,
+}
+
+impl core::fmt::Display for DdrGeneration {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            DdrGeneration::Ddr3 => "DDR3",
+            DdrGeneration::Ddr4 => "DDR4",
+            DdrGeneration::Ddr5 => "DDR5",
+        })
+    }
+}
+
+/// SEM detector used for a chip's acquisition (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Detector {
+    /// Secondary-electron detector (conductivity contrast).
+    Se,
+    /// Backscatter-electron detector (atomic-number contrast).
+    Bse,
+}
+
+impl core::fmt::Display for Detector {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Detector::Se => "SE",
+            Detector::Bse => "BSE",
+        })
+    }
+}
+
+/// Identifier of a studied chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum ChipName {
+    A4,
+    B4,
+    C4,
+    A5,
+    B5,
+    C5,
+}
+
+impl ChipName {
+    /// All chips in Table I order.
+    pub const ALL: [ChipName; 6] = [
+        ChipName::A4,
+        ChipName::B4,
+        ChipName::C4,
+        ChipName::A5,
+        ChipName::B5,
+        ChipName::C5,
+    ];
+
+    /// The table label ("A4", …).
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            ChipName::A4 => "A4",
+            ChipName::B4 => "B4",
+            ChipName::C4 => "C4",
+            ChipName::A5 => "A5",
+            ChipName::B5 => "B5",
+            ChipName::C5 => "C5",
+        }
+    }
+}
+
+impl core::fmt::Display for ChipName {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One transistor class's measured dimensions on a chip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredTransistor {
+    /// The functional class.
+    pub class: TransistorClass,
+    /// Drawn dimensions (gate pitch → L, gate ∩ active → W; Section V-B).
+    pub dims: TransistorDims,
+    /// Effective spacing dimensions: element size including the full gate
+    /// dimension and the clearance from neighbours. Always larger than the
+    /// drawn dimensions; this is what overhead calculations must use
+    /// (Section V-B, "Effective sizes").
+    pub effective: TransistorDims,
+    /// How many distinct measurements back this entry (the dataset total is
+    /// the paper's 835).
+    pub n_measurements: usize,
+}
+
+/// One studied chip: Table I metadata plus measured circuit data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Chip {
+    name: ChipName,
+    vendor: Vendor,
+    generation: DdrGeneration,
+    density_gbit: u32,
+    production_year: u16,
+    detector: Detector,
+    mats_visible_after_decap: bool,
+    pixel_resolution: Nanometers,
+    topology: SaTopologyKind,
+    transistors: Vec<MeasuredTransistor>,
+    geometry: ChipGeometry,
+}
+
+impl Chip {
+    /// The chip's identifier.
+    pub fn name(&self) -> ChipName {
+        self.name
+    }
+
+    /// The (anonymised) vendor.
+    pub fn vendor(&self) -> Vendor {
+        self.vendor
+    }
+
+    /// DDR generation.
+    pub fn generation(&self) -> DdrGeneration {
+        self.generation
+    }
+
+    /// Storage density in Gbit.
+    pub fn density_gbit(&self) -> u32 {
+        self.density_gbit
+    }
+
+    /// Production year.
+    pub fn production_year(&self) -> u16 {
+        self.production_year
+    }
+
+    /// SEM detector used (Table I).
+    pub fn detector(&self) -> Detector {
+        self.detector
+    }
+
+    /// Whether die extraction already exposed the MAT layers (Table I "MATs
+    /// V./N.V."), which simplifies ROI identification (Section IV-A).
+    pub fn mats_visible_after_decap(&self) -> bool {
+        self.mats_visible_after_decap
+    }
+
+    /// SEM pixel resolution achieved (Table I).
+    pub fn pixel_resolution(&self) -> Nanometers {
+        self.pixel_resolution
+    }
+
+    /// The deployed SA topology (Section V: OCSA on A4, A5, B5; classic on
+    /// B4, C4, C5).
+    pub fn topology(&self) -> SaTopologyKind {
+        self.topology
+    }
+
+    /// Measured transistors by class.
+    pub fn transistors(&self) -> &[MeasuredTransistor] {
+        &self.transistors
+    }
+
+    /// The measured entry for one class, if that class exists on this chip.
+    pub fn transistor(&self, class: TransistorClass) -> Option<&MeasuredTransistor> {
+        self.transistors.iter().find(|t| t.class == class)
+    }
+
+    /// Isolation-transistor dimensions for overhead math: the chip's own ISO
+    /// device if present, else the workspace-average ISO scaled to this
+    /// chip's feature size (Section VI-C's stated procedure for papers that
+    /// need isolation transistors on chips without them).
+    pub fn isolation_dims_for_overheads(&self) -> TransistorDims {
+        if let Some(t) = self.transistor(TransistorClass::Isolation) {
+            return t.effective;
+        }
+        let f = self.geometry.feature_size.value();
+        // Average OCSA ISO multiples (5.5F × 2.8F) with the effective margin.
+        TransistorDims::new(
+            Nanometers((5.5 * f * EFFECTIVE_MARGIN).round()),
+            Nanometers((2.8 * f * EFFECTIVE_MARGIN).round()),
+        )
+    }
+
+    /// Region geometry.
+    pub fn geometry(&self) -> &ChipGeometry {
+        &self.geometry
+    }
+
+    /// Die area (Table I).
+    pub fn die_area(&self) -> SquareMillimeters {
+        self.geometry.die_area
+    }
+}
+
+/// Ratio of effective (spacing-inclusive) to drawn dimensions used when
+/// synthesising the dataset.
+pub(crate) const EFFECTIVE_MARGIN: f64 = 1.30;
+
+fn measured(class: TransistorClass, w: f64, l: f64, n: usize) -> MeasuredTransistor {
+    let dims = TransistorDims::new(Nanometers(w), Nanometers(l));
+    let effective = TransistorDims::new(
+        Nanometers((w * EFFECTIVE_MARGIN).round()),
+        Nanometers((l * EFFECTIVE_MARGIN).round()),
+    );
+    MeasuredTransistor {
+        class,
+        dims,
+        effective,
+        n_measurements: n,
+    }
+}
+
+/// The six studied chips (Table I) with the full reverse-engineered dataset.
+///
+/// ```
+/// use hifi_data::chips;
+/// assert_eq!(chips().len(), 6);
+/// ```
+pub fn chips() -> Vec<Chip> {
+    use TransistorClass as T;
+    // Measurement counts per entry sum to 835 across the dataset
+    // (33 entries: 25 each + 10 entries with one extra).
+    vec![
+        Chip {
+            name: ChipName::A4,
+            vendor: Vendor::A,
+            generation: DdrGeneration::Ddr4,
+            density_gbit: 8,
+            production_year: 2017,
+            detector: Detector::Se,
+            mats_visible_after_decap: true,
+            pixel_resolution: Nanometers(10.4),
+            topology: SaTopologyKind::OffsetCancellation,
+            transistors: vec![
+                measured(T::NSa, 262.0, 64.0, 26),
+                measured(T::PSa, 147.0, 67.0, 26),
+                measured(T::Precharge, 130.0, 75.0, 26),
+                measured(T::Column, 140.0, 56.0, 26),
+                measured(T::Isolation, 106.0, 50.0, 25),
+                measured(T::OffsetCancel, 96.0, 51.0, 25),
+            ],
+            geometry: ChipGeometry {
+                feature_size: Nanometers(19.2),
+                mat_rows: 768,
+                mat_cols: 1024,
+                n_mats: 10_923,
+                sa_region_height: Nanometers(6_960.0),
+                mat_to_sa_transition: Nanometers(310.0),
+                die_area: SquareMillimeters(34.0),
+                stacked_sa_count: 2,
+            },
+        },
+        Chip {
+            name: ChipName::B4,
+            vendor: Vendor::B,
+            generation: DdrGeneration::Ddr4,
+            density_gbit: 4,
+            production_year: 2022,
+            detector: Detector::Bse,
+            mats_visible_after_decap: false,
+            pixel_resolution: Nanometers(3.4),
+            topology: SaTopologyKind::Classic,
+            transistors: vec![
+                measured(T::NSa, 416.0, 118.0, 26),
+                measured(T::PSa, 238.0, 120.0, 26),
+                measured(T::Precharge, 161.0, 117.0, 26),
+                measured(T::Equalizer, 143.0, 68.0, 25),
+                measured(T::Column, 226.0, 102.0, 25),
+            ],
+            geometry: ChipGeometry {
+                feature_size: Nanometers(33.0),
+                mat_rows: 768,
+                mat_cols: 1024,
+                n_mats: 5_461,
+                sa_region_height: Nanometers(7_540.0),
+                mat_to_sa_transition: Nanometers(330.0),
+                die_area: SquareMillimeters(48.0),
+                stacked_sa_count: 2,
+            },
+        },
+        Chip {
+            name: ChipName::C4,
+            vendor: Vendor::C,
+            generation: DdrGeneration::Ddr4,
+            density_gbit: 8,
+            production_year: 2018,
+            detector: Detector::Bse,
+            mats_visible_after_decap: true,
+            pixel_resolution: Nanometers(5.0),
+            topology: SaTopologyKind::Classic,
+            transistors: vec![
+                measured(T::NSa, 284.0, 76.0, 26),
+                measured(T::PSa, 164.0, 76.0, 26),
+                measured(T::Precharge, 101.0, 81.0, 25),
+                measured(T::Equalizer, 92.0, 46.0, 25),
+                measured(T::Column, 153.0, 66.0, 25),
+            ],
+            geometry: ChipGeometry {
+                feature_size: Nanometers(21.9),
+                mat_rows: 768,
+                mat_cols: 1024,
+                n_mats: 10_923,
+                sa_region_height: Nanometers(5_150.0),
+                mat_to_sa_transition: Nanometers(314.0),
+                die_area: SquareMillimeters(42.0),
+                stacked_sa_count: 2,
+            },
+        },
+        Chip {
+            name: ChipName::A5,
+            vendor: Vendor::A,
+            generation: DdrGeneration::Ddr5,
+            density_gbit: 16,
+            production_year: 2021,
+            detector: Detector::Se,
+            mats_visible_after_decap: false,
+            pixel_resolution: Nanometers(5.2),
+            topology: SaTopologyKind::OffsetCancellation,
+            transistors: vec![
+                measured(T::NSa, 268.0, 65.0, 26),
+                measured(T::PSa, 150.0, 69.0, 25),
+                measured(T::Precharge, 133.0, 76.0, 25),
+                measured(T::Column, 143.0, 57.0, 25),
+                measured(T::Isolation, 108.0, 51.0, 25),
+                measured(T::OffsetCancel, 98.0, 52.0, 25),
+            ],
+            geometry: ChipGeometry {
+                feature_size: Nanometers(19.6),
+                mat_rows: 1024,
+                mat_cols: 1024,
+                n_mats: 16_384,
+                sa_region_height: Nanometers(10_700.0),
+                mat_to_sa_transition: Nanometers(272.0),
+                die_area: SquareMillimeters(75.0),
+                stacked_sa_count: 2,
+            },
+        },
+        Chip {
+            name: ChipName::B5,
+            vendor: Vendor::B,
+            generation: DdrGeneration::Ddr5,
+            density_gbit: 16,
+            production_year: 2022,
+            detector: Detector::Bse,
+            mats_visible_after_decap: false,
+            pixel_resolution: Nanometers(4.2),
+            topology: SaTopologyKind::OffsetCancellation,
+            transistors: vec![
+                measured(T::NSa, 241.0, 68.0, 25),
+                measured(T::PSa, 138.0, 70.0, 25),
+                measured(T::Precharge, 93.0, 68.0, 25),
+                measured(T::Column, 131.0, 59.0, 25),
+                measured(T::Isolation, 107.0, 53.0, 25),
+                measured(T::OffsetCancel, 94.0, 55.0, 25),
+            ],
+            geometry: ChipGeometry {
+                feature_size: Nanometers(19.1),
+                mat_rows: 1024,
+                mat_cols: 1024,
+                n_mats: 16_384,
+                sa_region_height: Nanometers(7_410.0),
+                mat_to_sa_transition: Nanometers(280.0),
+                die_area: SquareMillimeters(68.0),
+                stacked_sa_count: 2,
+            },
+        },
+        Chip {
+            name: ChipName::C5,
+            vendor: Vendor::C,
+            generation: DdrGeneration::Ddr5,
+            density_gbit: 16,
+            production_year: 2022,
+            detector: Detector::Bse,
+            mats_visible_after_decap: true,
+            pixel_resolution: Nanometers(5.0),
+            topology: SaTopologyKind::Classic,
+            transistors: vec![
+                measured(T::NSa, 249.0, 67.0, 25),
+                measured(T::PSa, 144.0, 67.0, 25),
+                measured(T::Precharge, 88.0, 71.0, 25),
+                measured(T::Equalizer, 81.0, 40.0, 25),
+                measured(T::Column, 134.0, 58.0, 25),
+            ],
+            geometry: ChipGeometry {
+                feature_size: Nanometers(19.2),
+                mat_rows: 1024,
+                mat_cols: 1024,
+                n_mats: 16_384,
+                sa_region_height: Nanometers(5_740.0),
+                mat_to_sa_transition: Nanometers(273.0),
+                die_area: SquareMillimeters(66.0),
+                stacked_sa_count: 2,
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_metadata_matches_paper() {
+        let cs = chips();
+        assert_eq!(cs.len(), 6);
+        let by = |n: ChipName| cs.iter().find(|c| c.name() == n).unwrap().clone();
+        assert_eq!(by(ChipName::A4).die_area(), SquareMillimeters(34.0));
+        assert_eq!(by(ChipName::B4).die_area(), SquareMillimeters(48.0));
+        assert_eq!(by(ChipName::C4).die_area(), SquareMillimeters(42.0));
+        assert_eq!(by(ChipName::A5).die_area(), SquareMillimeters(75.0));
+        assert_eq!(by(ChipName::B5).die_area(), SquareMillimeters(68.0));
+        assert_eq!(by(ChipName::C5).die_area(), SquareMillimeters(66.0));
+        assert_eq!(by(ChipName::B4).pixel_resolution(), Nanometers(3.4));
+        assert_eq!(by(ChipName::A4).detector(), Detector::Se);
+        assert_eq!(by(ChipName::C5).detector(), Detector::Bse);
+        assert_eq!(by(ChipName::B4).density_gbit(), 4);
+        assert_eq!(by(ChipName::A5).production_year(), 2021);
+    }
+
+    #[test]
+    fn topology_split_matches_section_v() {
+        for c in chips() {
+            let expected = match c.name() {
+                ChipName::A4 | ChipName::A5 | ChipName::B5 => {
+                    SaTopologyKind::OffsetCancellation
+                }
+                _ => SaTopologyKind::Classic,
+            };
+            assert_eq!(c.topology(), expected, "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn ocsa_chips_have_iso_oc_but_no_equalizer() {
+        for c in chips() {
+            let has_eq = c.transistor(TransistorClass::Equalizer).is_some();
+            let has_iso = c.transistor(TransistorClass::Isolation).is_some();
+            let has_oc = c.transistor(TransistorClass::OffsetCancel).is_some();
+            match c.topology() {
+                SaTopologyKind::OffsetCancellation => {
+                    assert!(!has_eq && has_iso && has_oc, "{}", c.name());
+                }
+                _ => assert!(has_eq && !has_iso && !has_oc, "{}", c.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn psa_narrower_than_nsa_on_every_chip() {
+        // The paper's PMOS-identification heuristic (Section V-A viii).
+        for c in chips() {
+            let nsa = c.transistor(TransistorClass::NSa).unwrap();
+            let psa = c.transistor(TransistorClass::PSa).unwrap();
+            assert!(psa.dims.width < nsa.dims.width, "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn effective_sizes_exceed_drawn() {
+        for c in chips() {
+            for t in c.transistors() {
+                assert!(t.effective.width > t.dims.width);
+                assert!(t.effective.length > t.dims.length);
+            }
+        }
+    }
+
+    #[test]
+    fn iso_fallback_scales_with_feature_size() {
+        let cs = chips();
+        let c4 = cs.iter().find(|c| c.name() == ChipName::C4).unwrap();
+        let iso = c4.isolation_dims_for_overheads();
+        // 5.5F × 1.3 at F=21.9 ≈ 157 nm.
+        assert!((iso.width.value() - 157.0).abs() < 2.0, "{}", iso.width);
+        // A chip with its own ISO returns the measured effective dims.
+        let b5 = cs.iter().find(|c| c.name() == ChipName::B5).unwrap();
+        assert_eq!(
+            b5.isolation_dims_for_overheads(),
+            b5.transistor(TransistorClass::Isolation).unwrap().effective
+        );
+    }
+
+    #[test]
+    fn geometry_fractions_in_expected_bands() {
+        // Papers affected by I1 need ~57% chip overhead for the MAT
+        // extension: the average MAT fraction must sit near 0.57.
+        let cs = chips();
+        let avg_mat: f64 =
+            cs.iter().map(|c| c.geometry().mat_fraction().value()).sum::<f64>() / 6.0;
+        assert!((avg_mat - 0.57).abs() < 0.03, "avg mat fraction {avg_mat}");
+        for c in &cs {
+            let s = c.geometry().sa_fraction().value();
+            assert!(s > 0.04 && s < 0.12, "{} sa fraction {s}", c.name());
+        }
+    }
+
+    #[test]
+    fn transition_overheads_match_section_vc() {
+        let cs = chips();
+        let avg = |gen: DdrGeneration| {
+            let v: Vec<f64> = cs
+                .iter()
+                .filter(|c| c.generation() == gen)
+                .map(|c| c.geometry().mat_to_sa_transition.value())
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!((avg(DdrGeneration::Ddr4) - 318.0).abs() < 1.0);
+        assert!((avg(DdrGeneration::Ddr5) - 275.0).abs() < 1.0);
+    }
+}

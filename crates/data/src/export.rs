@@ -1,0 +1,97 @@
+//! Serialising the dataset — the "open sourcing" of the paper.
+//!
+//! The paper releases its reverse-engineered data publicly; this module
+//! provides the same artefact for our dataset: a versioned JSON document
+//! with every chip, every measured transistor, the region geometry and the
+//! public models, plus a loader so downstream tools can consume it without
+//! linking this crate's constructors.
+
+use crate::{chips, crow, rem, AnalogModel, Chip};
+use serde::{Deserialize, Serialize};
+
+/// The versioned release document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetRelease {
+    /// Schema version (bumped on breaking changes).
+    pub version: u32,
+    /// Human-readable provenance.
+    pub source: String,
+    /// The six studied chips.
+    pub chips: Vec<Chip>,
+    /// The public analog models evaluated against them.
+    pub models: Vec<AnalogModel>,
+}
+
+/// Current schema version.
+pub const DATASET_VERSION: u32 = 1;
+
+/// Builds the release document from the in-crate dataset.
+pub fn dataset_release() -> DatasetRelease {
+    DatasetRelease {
+        version: DATASET_VERSION,
+        source: "hifi-dram reproduction (synthesised, calibrated to the paper's aggregates)"
+            .into(),
+        chips: chips(),
+        models: vec![rem(), crow()],
+    }
+}
+
+/// Serialises the release to pretty JSON.
+///
+/// # Panics
+///
+/// Never panics for the in-crate dataset (all values are finite and
+/// serialisable).
+pub fn to_json() -> String {
+    serde_json::to_string_pretty(&dataset_release()).expect("dataset serialises")
+}
+
+/// Parses a release document.
+///
+/// # Errors
+///
+/// Returns the underlying `serde_json` error on malformed input.
+pub fn from_json(text: &str) -> Result<DatasetRelease, serde_json::Error> {
+    serde_json::from_str(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hifi_circuit::TransistorClass;
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let json = to_json();
+        let parsed = from_json(&json).expect("round trip parses");
+        assert_eq!(parsed, dataset_release());
+        assert_eq!(parsed.version, DATASET_VERSION);
+        assert_eq!(parsed.chips.len(), 6);
+        assert_eq!(parsed.models.len(), 2);
+    }
+
+    #[test]
+    fn json_contains_measured_dimensions() {
+        let json = to_json();
+        // Spot check: B5's nSA width (241 nm) appears in the document.
+        assert!(json.contains("241"));
+        assert!(json.contains("OffsetCancellation"));
+    }
+
+    #[test]
+    fn parsed_chips_expose_the_same_queries() {
+        let parsed = from_json(&to_json()).unwrap();
+        let b4 = parsed
+            .chips
+            .iter()
+            .find(|c| c.name() == crate::ChipName::B4)
+            .unwrap();
+        assert!(b4.transistor(TransistorClass::Equalizer).is_some());
+        assert!(b4.geometry().mat_fraction().value() > 0.5);
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(from_json("{\"version\": []").is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! Per-chip region geometry and derived areas.
+
+use hifi_units::{Nanometers, Ratio, SquareMillimeters, SquareNanometers};
+use serde::{Deserialize, Serialize};
+
+/// Physical geometry of one chip's array organisation, as measured from the
+/// reconstructed layouts (Section V-B/C).
+///
+/// Axis convention follows Fig. 10: **X** is the bitline direction ("SA
+/// height" extends along X); **Y** is the wordline direction (common gates
+/// span the region along Y; "SA width" equals the MAT width).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipGeometry {
+    /// Process feature size `F` (nm); cells are 6F² open-bitline.
+    pub feature_size: Nanometers,
+    /// Rows per MAT (wordlines).
+    pub mat_rows: u32,
+    /// Columns per MAT (bitline pairs terminating on each side).
+    pub mat_cols: u32,
+    /// Number of MATs in the chip; the paper's formulas use one SA region
+    /// per MAT (each inter-MAT gap is shared by its two neighbours).
+    pub n_mats: u32,
+    /// Height of the SA region along the bitline direction (X). Contains two
+    /// stacked SAs plus LSA datapath latches (Section V-C).
+    pub sa_region_height: Nanometers,
+    /// Bitline-direction overhead of one MAT→SA logic transition
+    /// (318 nm avg on DDR4, 275 nm avg on DDR5; Section V-C).
+    pub mat_to_sa_transition: Nanometers,
+    /// Die area from Table I.
+    pub die_area: SquareMillimeters,
+    /// Number of stacked SAs between two MATs (2 in every studied chip).
+    pub stacked_sa_count: u32,
+}
+
+impl ChipGeometry {
+    /// MAT width along Y: `2F` bitline pitch × columns.
+    pub fn mat_width(&self) -> Nanometers {
+        self.feature_size * 2.0 * self.mat_cols as f64
+    }
+
+    /// MAT height along X: `3F` wordline pitch × rows.
+    pub fn mat_height(&self) -> Nanometers {
+        self.feature_size * 3.0 * self.mat_rows as f64
+    }
+
+    /// Bitline width on M1 (≈ `F`, the narrowest wires; Appendix A).
+    pub fn bitline_width(&self) -> Nanometers {
+        self.feature_size
+    }
+
+    /// Bitline pitch on M1 (`2F`: width + equal spacing).
+    pub fn bitline_pitch(&self) -> Nanometers {
+        self.feature_size * 2.0
+    }
+
+    /// M2 wire width (≈ 8× the M1 bitline width; Appendix A).
+    pub fn m2_wire_width(&self) -> Nanometers {
+        self.feature_size * 8.0
+    }
+
+    /// Area of one MAT.
+    pub fn mat_area(&self) -> SquareNanometers {
+        self.mat_width().by(self.mat_height())
+    }
+
+    /// Area of one SA region (width = MAT width).
+    pub fn sa_region_area(&self) -> SquareNanometers {
+        self.mat_width().by(self.sa_region_height)
+    }
+
+    /// Total MAT area in the chip.
+    pub fn total_mat_area(&self) -> SquareNanometers {
+        self.mat_area() * self.n_mats as f64
+    }
+
+    /// Total SA-region area in the chip.
+    pub fn total_sa_area(&self) -> SquareNanometers {
+        self.sa_region_area() * self.n_mats as f64
+    }
+
+    /// Fraction of the die covered by MATs.
+    pub fn mat_fraction(&self) -> Ratio {
+        Ratio(self.total_mat_area() / self.die_area.to_square_nanometers())
+    }
+
+    /// Fraction of the die covered by SA regions.
+    pub fn sa_fraction(&self) -> Ratio {
+        Ratio(self.total_sa_area() / self.die_area.to_square_nanometers())
+    }
+
+    /// Storage bits implied by the array organisation.
+    pub fn array_bits(&self) -> u64 {
+        self.mat_rows as u64 * self.mat_cols as u64 * self.n_mats as u64
+    }
+
+    /// Chip-area overhead of splitting every MAT in two with an isolation
+    /// transistor (the Tiered-Latency-DRAM-style modification discussed in
+    /// Section V-C): two MAT→SA transitions plus the isolation transistor
+    /// length, as a fraction of the MAT height.
+    pub fn split_mat_overhead(&self, iso_effective_length: Nanometers) -> Ratio {
+        let extra = self.mat_to_sa_transition * 2.0 + iso_effective_length;
+        Ratio(extra / self.mat_height())
+    }
+
+    /// Appendix A, Eq. 1: relative Y-extension of the SA region if bitline
+    /// width were halved while keeping the safe distance `d = B_w/2`:
+    /// `4/3 − 1 ≈ 33%`.
+    pub fn halved_bitline_extension() -> Ratio {
+        Ratio(4.0 / 3.0 - 1.0)
+    }
+
+    /// Appendix A: chip-area overhead of the halved-bitline extension — the
+    /// extension applies to the MAT as well, so it scales the combined
+    /// MAT+SA fraction (≈21% on B5).
+    pub fn halved_bitline_chip_overhead(&self) -> Ratio {
+        let ext = Self::halved_bitline_extension();
+        Ratio(ext.value() * (self.mat_fraction().value() + self.sa_fraction().value()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ChipGeometry {
+        ChipGeometry {
+            feature_size: Nanometers(20.0),
+            mat_rows: 768,
+            mat_cols: 1024,
+            n_mats: 10_000,
+            sa_region_height: Nanometers(6000.0),
+            mat_to_sa_transition: Nanometers(318.0),
+            die_area: SquareMillimeters(34.0),
+            stacked_sa_count: 2,
+        }
+    }
+
+    #[test]
+    fn derived_dimensions() {
+        let g = sample();
+        assert_eq!(g.mat_width(), Nanometers(40_960.0));
+        assert_eq!(g.mat_height(), Nanometers(46_080.0));
+        assert_eq!(g.bitline_pitch(), Nanometers(40.0));
+        assert_eq!(g.m2_wire_width(), Nanometers(160.0));
+    }
+
+    #[test]
+    fn fractions_are_sane() {
+        let g = sample();
+        let m = g.mat_fraction().value();
+        let s = g.sa_fraction().value();
+        assert!(m > 0.4 && m < 0.7, "mat fraction {m}");
+        assert!(s > 0.02 && s < 0.15, "sa fraction {s}");
+        assert!(m > s, "mats dominate the die");
+    }
+
+    #[test]
+    fn eq1_extension_is_one_third() {
+        let e = ChipGeometry::halved_bitline_extension();
+        assert!((e.value() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_mat_overhead_matches_hand_calc() {
+        let g = sample();
+        let o = g.split_mat_overhead(Nanometers(64.0));
+        let expect = (2.0 * 318.0 + 64.0) / 46_080.0;
+        assert!((o.value() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn array_bits() {
+        let g = sample();
+        assert_eq!(g.array_bits(), 768 * 1024 * 10_000);
+    }
+}

@@ -1,0 +1,53 @@
+//! The HiFi-DRAM reverse-engineered dataset as a typed library.
+//!
+//! The paper open-sources the data extracted from six commodity DRAM chips:
+//! circuit topologies, transistor dimensions (835 size measurements), region
+//! geometry and physical layouts. This crate is that dataset in code form —
+//! the substitute for the proprietary measurements we cannot take without a
+//! FIB/SEM (see `DESIGN.md`). Values are synthesised to be consistent with
+//! every aggregate the paper reports; the consistency is *checked* by the
+//! evaluation engine's tests in `hifi-eval`, never assumed.
+//!
+//! - [`Chip`] / [`chips()`] — Table I's six chips with per-transistor-class
+//!   dimensions and region geometry,
+//! - [`ChipGeometry`] — MAT/SA-region dimensions and derived areas,
+//! - [`AnalogModel`] / [`rem()`] / [`crow()`] — the two public DDR4 SA models
+//!   the paper compares against (Section VI-A).
+//!
+//! # Examples
+//!
+//! ```
+//! use hifi_data::{chips, ChipName};
+//! use hifi_circuit::topology::SaTopologyKind;
+//!
+//! let b5 = chips().into_iter().find(|c| c.name() == ChipName::B5).unwrap();
+//! assert_eq!(b5.topology(), SaTopologyKind::OffsetCancellation);
+//! ```
+
+mod chip;
+pub mod export;
+mod geometry;
+mod model;
+
+pub use chip::{chips, Chip, ChipName, DdrGeneration, Detector, MeasuredTransistor, Vendor};
+pub use geometry::ChipGeometry;
+pub use model::{crow, rem, AnalogModel};
+
+/// Total number of size measurements in the dataset (Section V-B: "we make
+/// 835 size measurements").
+pub const TOTAL_SIZE_MEASUREMENTS: usize = 835;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_count_matches_paper() {
+        let total: usize = chips()
+            .iter()
+            .flat_map(|c| c.transistors())
+            .map(|t| t.n_measurements)
+            .sum();
+        assert_eq!(total, TOTAL_SIZE_MEASUREMENTS);
+    }
+}

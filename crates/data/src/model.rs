@@ -1,0 +1,142 @@
+//! The public analog DRAM models the paper evaluates (Section VI-A).
+
+use hifi_circuit::{TransistorClass, TransistorDims};
+use hifi_units::Nanometers;
+use serde::{Deserialize, Serialize};
+
+/// A published analog SA model (CROW or REM) with its transistor dimensions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalogModel {
+    name: String,
+    publication_year: u16,
+    /// Technology node the model claims (nm), if stated.
+    technology_nm: Option<f64>,
+    /// Whether the model's dimensions come from a real device (REM: Zentel
+    /// 25 nm DDR4) or best guesses (CROW).
+    based_on_real_device: bool,
+    /// Whether the model includes column transistors (CROW does not).
+    includes_column: bool,
+    transistors: Vec<(TransistorClass, TransistorDims)>,
+}
+
+impl AnalogModel {
+    /// The model's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Publication year.
+    pub fn publication_year(&self) -> u16 {
+        self.publication_year
+    }
+
+    /// Claimed technology node in nm, if any.
+    pub fn technology_nm(&self) -> Option<f64> {
+        self.technology_nm
+    }
+
+    /// Whether the dimensions come from a real device.
+    pub fn based_on_real_device(&self) -> bool {
+        self.based_on_real_device
+    }
+
+    /// Whether column transistors are modelled.
+    pub fn includes_column(&self) -> bool {
+        self.includes_column
+    }
+
+    /// Neither public model includes the OCSA design (Section VI-A).
+    pub fn includes_ocsa(&self) -> bool {
+        false
+    }
+
+    /// The modelled transistor classes and dimensions.
+    pub fn transistors(&self) -> &[(TransistorClass, TransistorDims)] {
+        &self.transistors
+    }
+
+    /// Dimensions for one class, if modelled.
+    pub fn transistor(&self, class: TransistorClass) -> Option<TransistorDims> {
+        self.transistors
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, d)| *d)
+    }
+}
+
+fn dims(w: f64, l: f64) -> TransistorDims {
+    TransistorDims::new(Nanometers(w), Nanometers(l))
+}
+
+/// The REM model (2022): based on real DDR4 transistor dimensions from a
+/// smaller vendor (Zentel) in 25 nm technology — one generation older than
+/// the studied commodity chips. Includes column transistors; no OCSA.
+pub fn rem() -> AnalogModel {
+    use TransistorClass as T;
+    AnalogModel {
+        name: "REM".into(),
+        publication_year: 2022,
+        technology_nm: Some(25.0),
+        based_on_real_device: true,
+        includes_column: true,
+        transistors: vec![
+            (T::NSa, dims(330.0, 95.0)),
+            (T::PSa, dims(190.0, 95.0)),
+            (T::Precharge, dims(120.0, 78.0)),
+            (T::Equalizer, dims(110.0, 92.0)),
+            (T::Column, dims(180.0, 75.0)),
+        ],
+    }
+}
+
+/// The CROW model (2019): transistor dimensions are best guesses; no column
+/// transistors, no OCSA. The paper finds it the least accurate public model
+/// (average W/L inaccuracy ≈236%, widths up to ≈938% off).
+pub fn crow() -> AnalogModel {
+    use TransistorClass as T;
+    AnalogModel {
+        name: "CROW".into(),
+        publication_year: 2019,
+        technology_nm: None,
+        based_on_real_device: false,
+        includes_column: false,
+        transistors: vec![
+            (T::NSa, dims(520.0, 80.0)),
+            (T::PSa, dims(430.0, 80.0)),
+            (T::Precharge, dims(1043.0, 126.0)),
+            (T::Equalizer, dims(230.0, 60.0)),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rem_models_five_classes_including_column() {
+        let m = rem();
+        assert!(m.includes_column());
+        assert!(m.based_on_real_device());
+        assert_eq!(m.transistors().len(), 5);
+        assert!(m.transistor(TransistorClass::Column).is_some());
+        assert!(!m.includes_ocsa());
+    }
+
+    #[test]
+    fn crow_lacks_column_transistors() {
+        let m = crow();
+        assert!(!m.includes_column());
+        assert!(!m.based_on_real_device());
+        assert!(m.transistor(TransistorClass::Column).is_none());
+        assert!(m.transistor(TransistorClass::Isolation).is_none());
+    }
+
+    #[test]
+    fn crow_precharge_is_vastly_out_of_range() {
+        // Fig. 11 omits CROW "as severely out of the range": its precharge
+        // width dwarfs every measured value (~88–161 nm).
+        let pre = crow().transistor(TransistorClass::Precharge).unwrap();
+        assert!(pre.width.value() > 1000.0);
+    }
+}

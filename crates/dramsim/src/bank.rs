@@ -1,0 +1,363 @@
+//! Bank state with a topology-aware behavioural bitline model.
+
+use hifi_circuit::topology::SaTopologyKind;
+use hifi_units::Nanoseconds;
+use std::collections::HashSet;
+
+/// Row-buffer state machine of a bank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BankState {
+    /// No open row; bitlines idle.
+    Idle,
+    /// A row is open (sensing may still be in flight; see timestamps on the
+    /// device).
+    Active {
+        /// The open row.
+        row: usize,
+        /// When the activation was issued.
+        opened_at: Nanoseconds,
+    },
+    /// Precharge in progress.
+    Precharging {
+        /// When the precharge was issued.
+        since: Nanoseconds,
+        /// The row that was open before the precharge.
+        closed_row: usize,
+        /// Whether the row had fully latched before the precharge.
+        was_latched: bool,
+    },
+}
+
+/// Electrical state of the bank's bitlines — the heart of Section VI-D.
+///
+/// The classic circuit has two stable bitline conditions (latched, or
+/// precharged/equalised); interrupting a precharge leaves *residual charge*
+/// that out-of-spec tricks exploit. OCSAs add a third condition: during the
+/// offset-cancellation phase the bitlines are driven to the diode-connected
+/// bias, which destroys any residual charge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BitlineState {
+    /// Equalised at Vpre.
+    Precharged,
+    /// Fully latched to the open row's data.
+    Latched {
+        /// The row whose data the SAs hold.
+        row: usize,
+    },
+    /// A precharge was interrupted early: the bitlines still carry most of
+    /// `row`'s latched values (the ComputeDRAM/AMBIT enabling condition).
+    ResidualCharge {
+        /// The row whose data lingers on the bitlines.
+        row: usize,
+    },
+    /// OCSA only: bitlines parked at the diode-connected offset bias.
+    OffsetBiased,
+}
+
+/// One DRAM bank: cell array + row buffer + bitline model.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    rows: usize,
+    cols: usize,
+    topology: SaTopologyKind,
+    cells: Vec<Vec<u8>>,
+    /// Rows whose restore was interrupted; their charge is degraded and
+    /// reads return corrupted data until the row is rewritten.
+    weak_rows: HashSet<usize>,
+    state: BankState,
+    bitlines: BitlineState,
+}
+
+impl Bank {
+    /// Creates a zero-initialised bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn new(rows: usize, cols: usize, topology: SaTopologyKind) -> Self {
+        assert!(rows > 0 && cols > 0, "bank dimensions must be non-zero");
+        Self {
+            rows,
+            cols,
+            topology,
+            cells: vec![vec![0u8; cols]; rows],
+            weak_rows: HashSet::new(),
+            state: BankState::Idle,
+            bitlines: BitlineState::Precharged,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BankState {
+        self.state
+    }
+
+    /// Current bitline condition.
+    pub fn bitlines(&self) -> BitlineState {
+        self.bitlines
+    }
+
+    /// The SA topology of this bank.
+    pub fn topology(&self) -> SaTopologyKind {
+        self.topology
+    }
+
+    /// Whether a row's charge has been degraded by an interrupted restore.
+    pub fn is_weak(&self, row: usize) -> bool {
+        self.weak_rows.contains(&row)
+    }
+
+    /// Raw cell access for experiment setup/verification (bypasses timing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn cell(&self, row: usize, col: usize) -> u8 {
+        self.cells[row][col]
+    }
+
+    /// Raw cell write (bypasses timing; clears weakness).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set_cell(&mut self, row: usize, col: usize, data: u8) {
+        self.cells[row][col] = data;
+        self.weak_rows.remove(&row);
+    }
+
+    /// Applies an activation's *sensing outcome* at latch-complete time.
+    /// Called by the device; `row` is the activated row.
+    ///
+    /// The bitline precondition decides what gets sensed and restored:
+    ///
+    /// - `Precharged` — normal sensing: the row's own data is latched and
+    ///   restored (a weak row reads corrupted and is restored corrupted).
+    /// - `ResidualCharge { row: src }` — **classic SA**: charge sharing
+    ///   happens immediately at ACT against bitlines still biased to `src`'s
+    ///   data, which overpowers the weak cell signal: `row` is overwritten
+    ///   with `src`'s values (in-DRAM row copy). **OCSA**: the
+    ///   offset-cancellation phase re-biases the bitlines *before* charge
+    ///   sharing (Fig. 9b), so the residue is destroyed and the row senses
+    ///   normally.
+    /// - `OffsetBiased` — normal sensing (the bias is the intended OCSA
+    ///   starting condition).
+    pub fn complete_activation(&mut self, row: usize, opened_at: Nanoseconds) {
+        match (self.bitlines, self.topology) {
+            (BitlineState::ResidualCharge { row: src }, SaTopologyKind::Classic)
+            | (BitlineState::ResidualCharge { row: src }, SaTopologyKind::ClassicWithIsolation) => {
+                // Row copy: the destination row's cells take the source data.
+                let src_data = self.cells[src].clone();
+                self.cells[row] = src_data;
+                self.weak_rows.remove(&row);
+            }
+            (BitlineState::ResidualCharge { .. }, SaTopologyKind::OffsetCancellation) => {
+                // Residue destroyed by the OC phase: normal self-sensing.
+                self.sense_own_data(row);
+            }
+            _ => self.sense_own_data(row),
+        }
+        self.bitlines = BitlineState::Latched { row };
+        self.state = BankState::Active { row, opened_at };
+    }
+
+    fn sense_own_data(&mut self, row: usize) {
+        if self.weak_rows.contains(&row) {
+            // Degraded charge: the latch resolves to the offset-favoured
+            // value; model as zeroed data, then restored as such.
+            for c in &mut self.cells[row] {
+                *c = 0;
+            }
+            self.weak_rows.remove(&row);
+        }
+    }
+
+    /// Marks an activation as *started* (before the latch completes). During
+    /// the OCSA offset-cancellation phase the bitlines go to the diode bias.
+    pub fn begin_activation(&mut self, row: usize, now: Nanoseconds) {
+        if self.topology == SaTopologyKind::OffsetCancellation {
+            self.bitlines = BitlineState::OffsetBiased;
+        }
+        self.state = BankState::Active {
+            row,
+            opened_at: now,
+        };
+    }
+
+    /// Applies a precharge issued at `now`. `restore_done` says whether the
+    /// open row had completed its restore (tRAS honoured); if not, the row's
+    /// charge is degraded (it was sensed but never fully written back).
+    pub fn begin_precharge(&mut self, now: Nanoseconds, restore_done: bool) {
+        if let BankState::Active { row, .. } = self.state {
+            if !restore_done {
+                self.weak_rows.insert(row);
+            }
+            let was_latched = matches!(self.bitlines, BitlineState::Latched { .. });
+            self.state = BankState::Precharging {
+                since: now,
+                closed_row: row,
+                was_latched,
+            };
+        }
+    }
+
+    /// AMBIT-style simultaneous multi-row activation (out-of-spec): the
+    /// selected rows charge-share onto the same bitlines and the SA latches
+    /// the **majority** value, which is then restored into *all* the rows.
+    ///
+    /// On OCSA devices the offset-cancellation phase consumes roughly one
+    /// cell's worth of signal margin before sensing (the bitlines sit at the
+    /// diode bias, not Vpre, when charge sharing finally happens —
+    /// Section VI-D), so only *unanimous* bits resolve reliably; split
+    /// majorities latch the complemented value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or has an even length (majority undefined).
+    pub fn multi_activate_majority(&mut self, rows: &[usize], now: Nanoseconds) {
+        assert!(
+            !rows.is_empty() && rows.len() % 2 == 1,
+            "majority needs an odd, non-empty row set"
+        );
+        let cols = self.cols;
+        let mut result = vec![0u8; cols];
+        for (c, r) in result.iter_mut().enumerate() {
+            for bit in 0..8 {
+                let ones = rows
+                    .iter()
+                    .filter(|&&row| self.cells[row][c] & (1 << bit) != 0)
+                    .count();
+                let zeros = rows.len() - ones;
+                let unanimous = ones == rows.len() || zeros == rows.len();
+                let majority_one = ones > zeros;
+                let sensed = match self.topology {
+                    SaTopologyKind::OffsetCancellation => {
+                        // Split decisions lose their margin to the OC bias
+                        // and resolve inverted; unanimous bits survive.
+                        if unanimous {
+                            majority_one
+                        } else {
+                            !majority_one
+                        }
+                    }
+                    _ => majority_one,
+                };
+                if sensed {
+                    *r |= 1 << bit;
+                }
+            }
+        }
+        for &row in rows {
+            self.cells[row] = result.clone();
+            self.weak_rows.remove(&row);
+        }
+        self.bitlines = BitlineState::Latched { row: rows[0] };
+        self.state = BankState::Active {
+            row: rows[0],
+            opened_at: now,
+        };
+    }
+
+    /// Completes (or truncates) a precharge: called when the next command
+    /// arrives. `fully_precharged` reflects whether tRP elapsed.
+    pub fn finish_precharge(&mut self, fully_precharged: bool) {
+        if let BankState::Precharging {
+            closed_row,
+            was_latched,
+            ..
+        } = self.state
+        {
+            self.bitlines = if fully_precharged || !was_latched {
+                BitlineState::Precharged
+            } else {
+                BitlineState::ResidualCharge { row: closed_row }
+            };
+            self.state = BankState::Idle;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank(t: SaTopologyKind) -> Bank {
+        let mut b = Bank::new(8, 4, t);
+        for c in 0..4 {
+            b.set_cell(1, c, 0xA0 + c as u8);
+            b.set_cell(2, c, 0x11);
+        }
+        b
+    }
+
+    #[test]
+    fn truncated_precharge_leaves_residual_charge_on_classic() {
+        let mut b = bank(SaTopologyKind::Classic);
+        b.begin_activation(1, Nanoseconds(0.0));
+        b.complete_activation(1, Nanoseconds(0.0));
+        b.begin_precharge(Nanoseconds(40.0), true);
+        b.finish_precharge(false); // interrupted before tRP
+        assert_eq!(b.bitlines(), BitlineState::ResidualCharge { row: 1 });
+    }
+
+    #[test]
+    fn residual_charge_copies_row_on_classic() {
+        let mut b = bank(SaTopologyKind::Classic);
+        b.begin_activation(1, Nanoseconds(0.0));
+        b.complete_activation(1, Nanoseconds(0.0));
+        b.begin_precharge(Nanoseconds(40.0), true);
+        b.finish_precharge(false);
+        b.begin_activation(2, Nanoseconds(50.0));
+        b.complete_activation(2, Nanoseconds(50.0));
+        // Row 2 now carries row 1's data: in-DRAM copy.
+        assert_eq!(b.cell(2, 0), 0xA0);
+        assert_eq!(b.cell(2, 3), 0xA3);
+    }
+
+    #[test]
+    fn ocsa_destroys_residual_charge() {
+        let mut b = bank(SaTopologyKind::OffsetCancellation);
+        b.begin_activation(1, Nanoseconds(0.0));
+        b.complete_activation(1, Nanoseconds(0.0));
+        b.begin_precharge(Nanoseconds(40.0), true);
+        b.finish_precharge(false);
+        assert_eq!(b.bitlines(), BitlineState::ResidualCharge { row: 1 });
+        b.begin_activation(2, Nanoseconds(50.0));
+        // The OC phase re-biases the bitlines before charge sharing.
+        assert_eq!(b.bitlines(), BitlineState::OffsetBiased);
+        b.complete_activation(2, Nanoseconds(50.0));
+        // Row 2 keeps its own data: the copy trick fails.
+        assert_eq!(b.cell(2, 0), 0x11);
+    }
+
+    #[test]
+    fn interrupted_restore_degrades_the_row() {
+        let mut b = bank(SaTopologyKind::Classic);
+        b.begin_activation(1, Nanoseconds(0.0));
+        b.complete_activation(1, Nanoseconds(0.0));
+        b.begin_precharge(Nanoseconds(2.0), false); // way before tRAS
+        b.finish_precharge(true);
+        assert!(b.is_weak(1));
+        // Re-activating senses corrupted data.
+        b.begin_activation(1, Nanoseconds(100.0));
+        b.complete_activation(1, Nanoseconds(100.0));
+        assert_eq!(b.cell(1, 0), 0);
+        assert!(!b.is_weak(1), "restore rewrites the (corrupted) charge");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_rows_rejected() {
+        let _ = Bank::new(0, 4, SaTopologyKind::Classic);
+    }
+}

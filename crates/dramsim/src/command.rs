@@ -1,0 +1,99 @@
+//! DRAM commands and the command trace.
+
+use hifi_units::Nanoseconds;
+
+/// A DDR command as issued by the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Command {
+    /// Open a row in a bank.
+    Activate {
+        /// Bank index.
+        bank: usize,
+        /// Row index.
+        row: usize,
+    },
+    /// Read a column of the open row.
+    Read {
+        /// Bank index.
+        bank: usize,
+        /// Column index.
+        col: usize,
+    },
+    /// Write a column of the open row.
+    Write {
+        /// Bank index.
+        bank: usize,
+        /// Column index.
+        col: usize,
+        /// Data byte.
+        data: u8,
+    },
+    /// Close the open row (precharge the bitlines).
+    Precharge {
+        /// Bank index.
+        bank: usize,
+    },
+    /// Refresh all banks.
+    Refresh,
+}
+
+impl Command {
+    /// The bank this command addresses, if bank-scoped.
+    pub fn bank(&self) -> Option<usize> {
+        match self {
+            Command::Activate { bank, .. }
+            | Command::Read { bank, .. }
+            | Command::Write { bank, .. }
+            | Command::Precharge { bank } => Some(*bank),
+            Command::Refresh => None,
+        }
+    }
+
+    /// Mnemonic as printed in traces.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Command::Activate { .. } => "ACT",
+            Command::Read { .. } => "RD",
+            Command::Write { .. } => "WR",
+            Command::Precharge { .. } => "PRE",
+            Command::Refresh => "REF",
+        }
+    }
+}
+
+impl core::fmt::Display for Command {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Command::Activate { bank, row } => write!(f, "ACT b{bank} r{row}"),
+            Command::Read { bank, col } => write!(f, "RD b{bank} c{col}"),
+            Command::Write { bank, col, data } => write!(f, "WR b{bank} c{col} = {data:#04x}"),
+            Command::Precharge { bank } => write!(f, "PRE b{bank}"),
+            Command::Refresh => write!(f, "REF"),
+        }
+    }
+}
+
+/// One issued command with its timestamp and spec-compliance flag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommandRecord {
+    /// Issue time.
+    pub at: Nanoseconds,
+    /// The command.
+    pub command: Command,
+    /// Whether the command respected all timing constraints.
+    pub in_spec: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_bank() {
+        let c = Command::Activate { bank: 2, row: 100 };
+        assert_eq!(c.to_string(), "ACT b2 r100");
+        assert_eq!(c.bank(), Some(2));
+        assert_eq!(Command::Refresh.bank(), None);
+        assert_eq!(Command::Refresh.mnemonic(), "REF");
+    }
+}

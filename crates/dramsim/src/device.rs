@@ -1,0 +1,449 @@
+//! The DRAM device: banks + clock + timing checker.
+
+use crate::bank::{Bank, BankState};
+use crate::command::{Command, CommandRecord};
+use crate::timing::TimingParams;
+use hifi_circuit::topology::SaTopologyKind;
+use hifi_units::Nanoseconds;
+
+/// Device organisation and timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceConfig {
+    /// Number of banks.
+    pub banks: usize,
+    /// Rows per bank.
+    pub rows: usize,
+    /// Columns per row (byte-wide for simplicity).
+    pub cols: usize,
+    /// Deployed SA topology (drives out-of-spec behaviour).
+    pub topology: SaTopologyKind,
+    /// Timing parameters.
+    pub timing: TimingParams,
+}
+
+impl DeviceConfig {
+    /// A small DDR4-class device with the given SA topology.
+    pub fn ddr4(topology: SaTopologyKind) -> Self {
+        Self {
+            banks: 4,
+            rows: 128,
+            cols: 64,
+            topology,
+            timing: TimingParams::ddr4(topology),
+        }
+    }
+
+    /// A small DDR5-class device.
+    pub fn ddr5(topology: SaTopologyKind) -> Self {
+        Self {
+            banks: 8,
+            rows: 128,
+            cols: 64,
+            topology,
+            timing: TimingParams::ddr5(topology),
+        }
+    }
+}
+
+/// Error produced by the device.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DramError {
+    /// An address was out of range.
+    AddressOutOfRange(String),
+    /// A command violated a timing constraint (in checked mode).
+    TimingViolation {
+        /// Which constraint.
+        constraint: &'static str,
+        /// Required delay.
+        required: Nanoseconds,
+        /// Actual elapsed time.
+        actual: Nanoseconds,
+    },
+    /// Read/write with no (fully open) row.
+    NoOpenRow {
+        /// The bank addressed.
+        bank: usize,
+    },
+}
+
+impl core::fmt::Display for DramError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DramError::AddressOutOfRange(s) => write!(f, "address out of range: {s}"),
+            DramError::TimingViolation {
+                constraint,
+                required,
+                actual,
+            } => write!(f, "{constraint} violated: {actual} < required {required}"),
+            DramError::NoOpenRow { bank } => write!(f, "no open row in bank {bank}"),
+        }
+    }
+}
+
+impl std::error::Error for DramError {}
+
+/// A simulated DRAM device.
+///
+/// The *checked* API (`activate`/`read`/`write`/`precharge`) auto-advances
+/// the clock to satisfy JEDEC timings, like a well-behaved controller. The
+/// *unchecked* API (`issue_at`) places commands at explicit times and lets
+/// them violate timings — the out-of-spec experiments of Section VI-D.
+#[derive(Debug, Clone)]
+pub struct DramDevice {
+    config: DeviceConfig,
+    banks: Vec<Bank>,
+    now: Nanoseconds,
+    /// Last ACT time per bank.
+    last_act: Vec<Option<Nanoseconds>>,
+    /// Last PRE time per bank.
+    last_pre: Vec<Option<Nanoseconds>>,
+    /// Last column command time.
+    last_col: Option<Nanoseconds>,
+    trace: Vec<CommandRecord>,
+}
+
+impl DramDevice {
+    /// Creates a device.
+    pub fn new(config: DeviceConfig) -> Self {
+        let banks = (0..config.banks)
+            .map(|_| Bank::new(config.rows, config.cols, config.topology))
+            .collect();
+        let n = config.banks;
+        Self {
+            config,
+            banks,
+            now: Nanoseconds(0.0),
+            last_act: vec![None; n],
+            last_pre: vec![None; n],
+            last_col: None,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Nanoseconds {
+        self.now
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Bank accessor (experiment setup/verification).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn bank(&self, i: usize) -> &Bank {
+        &self.banks[i]
+    }
+
+    /// Mutable bank accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn bank_mut(&mut self, i: usize) -> &mut Bank {
+        &mut self.banks[i]
+    }
+
+    /// The command trace.
+    pub fn trace(&self) -> &[CommandRecord] {
+        &self.trace
+    }
+
+    /// Advances the clock.
+    pub fn step(&mut self, dt: Nanoseconds) {
+        self.now += dt;
+    }
+
+    fn check_bank(&self, bank: usize) -> Result<(), DramError> {
+        if bank >= self.banks.len() {
+            return Err(DramError::AddressOutOfRange(format!("bank {bank}")));
+        }
+        Ok(())
+    }
+
+    /// Issues a command at the current time **without** enforcing timings.
+    /// Sub-tRP precharge gaps and sub-tRAS activations take their
+    /// (topology-dependent) electrical consequences. Returns read data when
+    /// applicable.
+    ///
+    /// # Errors
+    ///
+    /// Only address errors are reported; timing violations are recorded in
+    /// the trace as `in_spec: false` and applied behaviourally.
+    pub fn issue_unchecked(&mut self, command: Command) -> Result<Option<u8>, DramError> {
+        self.issue_inner(command, false)
+    }
+
+    fn issue_inner(&mut self, command: Command, checked: bool) -> Result<Option<u8>, DramError> {
+        let t = self.config.timing.clone();
+        let mut in_spec = true;
+        let result = match command {
+            Command::Activate { bank, row } => {
+                self.check_bank(bank)?;
+                if row >= self.config.rows {
+                    return Err(DramError::AddressOutOfRange(format!("row {row}")));
+                }
+                // Resolve any precharge in flight.
+                let fully = match self.last_pre[bank] {
+                    Some(p) => (self.now - p) >= t.t_rp,
+                    None => true,
+                };
+                if !fully {
+                    in_spec = false;
+                    if checked {
+                        return Err(DramError::TimingViolation {
+                            constraint: "tRP",
+                            required: t.t_rp,
+                            actual: self.now - self.last_pre[bank].expect("pre recorded"),
+                        });
+                    }
+                }
+                self.banks[bank].finish_precharge(fully);
+                let now = self.now;
+                self.banks[bank].begin_activation(row, now);
+                // The latch completes after the (topology-dependent) phases;
+                // the behavioural model applies the outcome immediately but
+                // the timestamp gates read/write eligibility.
+                self.banks[bank].complete_activation(row, now);
+                self.last_act[bank] = Some(now);
+                None
+            }
+            Command::Read { bank, col } | Command::Write { bank, col, .. } => {
+                self.check_bank(bank)?;
+                if col >= self.config.cols {
+                    return Err(DramError::AddressOutOfRange(format!("col {col}")));
+                }
+                let BankState::Active { row, opened_at } = self.banks[bank].state() else {
+                    return Err(DramError::NoOpenRow { bank });
+                };
+                if self.now - opened_at < t.t_rcd {
+                    in_spec = false;
+                    if checked {
+                        return Err(DramError::TimingViolation {
+                            constraint: "tRCD",
+                            required: t.t_rcd,
+                            actual: self.now - opened_at,
+                        });
+                    }
+                }
+                if let Some(c) = self.last_col {
+                    if self.now - c < t.t_ccd {
+                        in_spec = false;
+                        if checked {
+                            return Err(DramError::TimingViolation {
+                                constraint: "tCCD",
+                                required: t.t_ccd,
+                                actual: self.now - c,
+                            });
+                        }
+                    }
+                }
+                self.last_col = Some(self.now);
+                match command {
+                    Command::Read { .. } => Some(self.banks[bank].cell(row, col)),
+                    Command::Write { data, .. } => {
+                        self.banks[bank].set_cell(row, col, data);
+                        None
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            Command::Precharge { bank } => {
+                self.check_bank(bank)?;
+                let restore_done = match (self.banks[bank].state(), self.last_act[bank]) {
+                    (BankState::Active { .. }, Some(a)) => {
+                        let elapsed = self.now - a;
+                        if elapsed < t.t_ras {
+                            in_spec = false;
+                            if checked {
+                                return Err(DramError::TimingViolation {
+                                    constraint: "tRAS",
+                                    required: t.t_ras,
+                                    actual: elapsed,
+                                });
+                            }
+                        }
+                        elapsed >= t.latch_complete() + Nanoseconds(2.0)
+                    }
+                    _ => true,
+                };
+                let now = self.now;
+                self.banks[bank].begin_precharge(now, restore_done);
+                self.last_pre[bank] = Some(now);
+                None
+            }
+            Command::Refresh => {
+                // All banks must be idle; refresh restores every weak row in
+                // a real device — modelled as a no-op on healthy data.
+                None
+            }
+        };
+        self.trace.push(CommandRecord {
+            at: self.now,
+            command,
+            in_spec,
+        });
+        Ok(result)
+    }
+
+    // ---- Checked, auto-waiting controller API ----
+
+    fn wait_until(&mut self, t: Nanoseconds) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Opens a row, waiting out tRP/tRC as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns address errors.
+    pub fn activate(&mut self, bank: usize, row: usize) -> Result<(), DramError> {
+        self.check_bank(bank)?;
+        let t = self.config.timing.clone();
+        if let Some(p) = self.last_pre[bank] {
+            self.wait_until(p + t.t_rp);
+        }
+        if let Some(a) = self.last_act[bank] {
+            self.wait_until(a + t.t_rc);
+        }
+        // Close any open row first.
+        if matches!(self.banks[bank].state(), BankState::Active { .. }) {
+            self.precharge(bank)?;
+            let p = self.last_pre[bank].expect("just precharged");
+            self.wait_until(p + t.t_rp);
+        }
+        self.issue_inner(Command::Activate { bank, row }, true)
+            .map(|_| ())
+    }
+
+    /// Reads a byte, waiting out tRCD/tCCD.
+    ///
+    /// # Errors
+    ///
+    /// Returns address errors or [`DramError::NoOpenRow`].
+    pub fn read(&mut self, bank: usize, col: usize) -> Result<u8, DramError> {
+        self.check_bank(bank)?;
+        let t = self.config.timing.clone();
+        if let BankState::Active { opened_at, .. } = self.banks[bank].state() {
+            self.wait_until(opened_at + t.t_rcd);
+        }
+        if let Some(c) = self.last_col {
+            self.wait_until(c + t.t_ccd);
+        }
+        self.issue_inner(Command::Read { bank, col }, true)
+            .map(|d| d.expect("read returns data"))
+    }
+
+    /// Writes a byte, waiting out tRCD/tCCD.
+    ///
+    /// # Errors
+    ///
+    /// Returns address errors or [`DramError::NoOpenRow`].
+    pub fn write(&mut self, bank: usize, col: usize, data: u8) -> Result<(), DramError> {
+        self.check_bank(bank)?;
+        let t = self.config.timing.clone();
+        if let BankState::Active { opened_at, .. } = self.banks[bank].state() {
+            self.wait_until(opened_at + t.t_rcd);
+        }
+        if let Some(c) = self.last_col {
+            self.wait_until(c + t.t_ccd);
+        }
+        self.issue_inner(Command::Write { bank, col, data }, true)
+            .map(|_| ())
+    }
+
+    /// Closes the open row, waiting out tRAS.
+    ///
+    /// # Errors
+    ///
+    /// Returns address errors.
+    pub fn precharge(&mut self, bank: usize) -> Result<(), DramError> {
+        self.check_bank(bank)?;
+        let t = self.config.timing.clone();
+        if let Some(a) = self.last_act[bank] {
+            self.wait_until(a + t.t_ras);
+        }
+        self.issue_inner(Command::Precharge { bank }, true)
+            .map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut dev = DramDevice::new(DeviceConfig::ddr4(SaTopologyKind::Classic));
+        dev.activate(0, 5).unwrap();
+        dev.write(0, 10, 0x5A).unwrap();
+        assert_eq!(dev.read(0, 10).unwrap(), 0x5A);
+        dev.precharge(0).unwrap();
+        dev.activate(0, 5).unwrap();
+        assert_eq!(dev.read(0, 10).unwrap(), 0x5A, "data survives close/open");
+    }
+
+    #[test]
+    fn checked_api_respects_timings_in_trace() {
+        let mut dev = DramDevice::new(DeviceConfig::ddr4(SaTopologyKind::Classic));
+        dev.activate(1, 0).unwrap();
+        dev.read(1, 0).unwrap();
+        dev.precharge(1).unwrap();
+        dev.activate(1, 1).unwrap();
+        assert!(dev.trace().iter().all(|r| r.in_spec), "{:?}", dev.trace());
+    }
+
+    #[test]
+    fn unchecked_violations_are_flagged_not_rejected() {
+        let mut dev = DramDevice::new(DeviceConfig::ddr4(SaTopologyKind::Classic));
+        dev.activate(0, 1).unwrap();
+        dev.step(Nanoseconds(40.0));
+        dev.issue_unchecked(Command::Precharge { bank: 0 }).unwrap();
+        dev.step(Nanoseconds(1.0)); // far below tRP
+        dev.issue_unchecked(Command::Activate { bank: 0, row: 2 })
+            .unwrap();
+        let last = dev.trace().last().unwrap();
+        assert!(!last.in_spec);
+    }
+
+    #[test]
+    fn read_without_open_row_errors() {
+        let mut dev = DramDevice::new(DeviceConfig::ddr4(SaTopologyKind::Classic));
+        assert_eq!(dev.read(0, 0), Err(DramError::NoOpenRow { bank: 0 }));
+    }
+
+    #[test]
+    fn address_checks() {
+        let mut dev = DramDevice::new(DeviceConfig::ddr4(SaTopologyKind::Classic));
+        assert!(matches!(
+            dev.activate(99, 0),
+            Err(DramError::AddressOutOfRange(_))
+        ));
+        assert!(matches!(
+            dev.activate(0, 100_000),
+            Err(DramError::AddressOutOfRange(_))
+        ));
+        dev.activate(0, 0).unwrap();
+        assert!(matches!(
+            dev.read(0, 10_000),
+            Err(DramError::AddressOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DramError::TimingViolation {
+            constraint: "tRP",
+            required: Nanoseconds(13.75),
+            actual: Nanoseconds(1.0),
+        };
+        let s = e.to_string();
+        assert!(s.contains("tRP") && s.contains("13.75"));
+    }
+}

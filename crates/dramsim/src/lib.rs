@@ -1,0 +1,40 @@
+//! Functional DDR DRAM device simulator with topology-aware sensing.
+//!
+//! Section VI-D of the paper warns that out-of-spec DRAM experiments —
+//! issuing command sequences that violate JEDEC timings to trigger charge
+//! sharing between rows, in-DRAM copy or majority operations — implicitly
+//! assume the classic SA. Chips with OCSAs behave differently: charge
+//! sharing is *delayed* until after the offset-cancellation phase, and
+//! bitlines are briefly connected to diode-connected transistors rather
+//! than holding only latched/precharged states.
+//!
+//! This crate provides the substrate to study that: a bank/row/column DRAM
+//! device with a JEDEC-style timing checker, a behavioural bitline-state
+//! model parameterised by the deployed SA topology, and the out-of-spec
+//! experiment drivers (row copy à la ComputeDRAM, truncated-precharge
+//! charge sharing).
+//!
+//! # Examples
+//!
+//! ```
+//! use hifi_dramsim::{DramDevice, DeviceConfig};
+//! use hifi_circuit::topology::SaTopologyKind;
+//!
+//! let mut dev = DramDevice::new(DeviceConfig::ddr4(SaTopologyKind::Classic));
+//! dev.activate(0, 7)?;
+//! dev.write(0, 3, 0xAB)?;
+//! assert_eq!(dev.read(0, 3)?, 0xAB);
+//! # Ok::<(), hifi_dramsim::DramError>(())
+//! ```
+
+mod bank;
+mod command;
+mod device;
+pub mod outofspec;
+mod timing;
+pub mod trace;
+
+pub use bank::{Bank, BankState, BitlineState};
+pub use command::{Command, CommandRecord};
+pub use device::{DeviceConfig, DramDevice, DramError};
+pub use timing::TimingParams;

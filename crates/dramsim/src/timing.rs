@@ -1,0 +1,103 @@
+//! JEDEC-style timing parameters, topology-aware.
+
+use hifi_circuit::topology::SaTopologyKind;
+use hifi_units::Nanoseconds;
+
+/// The timing parameters the simulator enforces (a practical subset of the
+/// DDR4/DDR5 standards) plus the internal SA phase timings that out-of-spec
+/// behaviour depends on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingParams {
+    /// ACT → internal read/write (row to column delay).
+    pub t_rcd: Nanoseconds,
+    /// ACT → PRE minimum (row active time; covers restore).
+    pub t_ras: Nanoseconds,
+    /// PRE → next ACT on the same bank (precharge time).
+    pub t_rp: Nanoseconds,
+    /// ACT → ACT on the same bank (`t_ras + t_rp`).
+    pub t_rc: Nanoseconds,
+    /// Column-to-column delay.
+    pub t_ccd: Nanoseconds,
+    /// Average refresh interval.
+    pub t_refi: Nanoseconds,
+    /// Internal: offset-cancellation phase duration after ACT
+    /// (zero on classic-SA devices; Fig. 9b event ①).
+    pub t_offset_cancel: Nanoseconds,
+    /// Internal: charge-sharing window before the latch fires.
+    pub t_charge_share: Nanoseconds,
+    /// Internal: latch/pre-sense to full-rail.
+    pub t_sense: Nanoseconds,
+}
+
+impl TimingParams {
+    /// DDR4-class timings for the given SA topology. The OCSA inserts its
+    /// offset-cancellation phase before charge sharing, which is internal —
+    /// tRCD already budgets for it in real parts.
+    pub fn ddr4(topology: SaTopologyKind) -> Self {
+        let t_oc = match topology {
+            SaTopologyKind::OffsetCancellation => Nanoseconds(3.0),
+            _ => Nanoseconds(0.0),
+        };
+        Self {
+            t_rcd: Nanoseconds(13.75),
+            t_ras: Nanoseconds(32.0),
+            t_rp: Nanoseconds(13.75),
+            t_rc: Nanoseconds(45.75),
+            t_ccd: Nanoseconds(5.0),
+            t_refi: Nanoseconds(7_800.0),
+            t_offset_cancel: t_oc,
+            t_charge_share: Nanoseconds(4.0),
+            t_sense: Nanoseconds(6.0),
+        }
+    }
+
+    /// DDR5-class timings (tighter column timing, same core latencies).
+    pub fn ddr5(topology: SaTopologyKind) -> Self {
+        let mut t = Self::ddr4(topology);
+        t.t_rcd = Nanoseconds(14.0);
+        t.t_rp = Nanoseconds(14.0);
+        t.t_ras = Nanoseconds(32.0);
+        t.t_rc = Nanoseconds(46.0);
+        t.t_ccd = Nanoseconds(3.3);
+        t.t_refi = Nanoseconds(3_900.0);
+        t
+    }
+
+    /// Time from ACT until the row's data is fully latched (charge sharing
+    /// plus sensing, after any offset-cancellation phase).
+    pub fn latch_complete(&self) -> Nanoseconds {
+        self.t_offset_cancel + self.t_charge_share + self.t_sense
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ocsa_adds_offset_cancel_phase() {
+        let classic = TimingParams::ddr4(SaTopologyKind::Classic);
+        let ocsa = TimingParams::ddr4(SaTopologyKind::OffsetCancellation);
+        assert_eq!(classic.t_offset_cancel, Nanoseconds(0.0));
+        assert!(ocsa.t_offset_cancel > Nanoseconds(0.0));
+        assert!(ocsa.latch_complete() > classic.latch_complete());
+    }
+
+    #[test]
+    fn trc_is_tras_plus_trp() {
+        for t in [
+            TimingParams::ddr4(SaTopologyKind::Classic),
+            TimingParams::ddr5(SaTopologyKind::Classic),
+        ] {
+            assert!((t.t_rc.value() - (t.t_ras + t.t_rp).value()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ddr5_has_tighter_column_timing() {
+        let d4 = TimingParams::ddr4(SaTopologyKind::Classic);
+        let d5 = TimingParams::ddr5(SaTopologyKind::Classic);
+        assert!(d5.t_ccd < d4.t_ccd);
+        assert!(d5.t_refi < d4.t_refi);
+    }
+}

@@ -1,0 +1,112 @@
+//! Appendix A: consequences of changing bitlines.
+//!
+//! Covers both directions the appendix discusses: the electrical penalties of
+//! shrinking bitlines (resistance, crosstalk) and the area arithmetic of
+//! Eq. 1 (halving bitline widths while keeping the safe distance still costs
+//! ≈33% region extension, ≈21% chip overhead on B5).
+
+use hifi_data::Chip;
+use hifi_units::Ratio;
+
+/// A hypothetical scaling of bitline geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BitlineScaling {
+    /// Multiplier on the bitline width (1.0 = unchanged).
+    pub width_scale: f64,
+    /// Multiplier on the bitline spacing.
+    pub spacing_scale: f64,
+}
+
+impl BitlineScaling {
+    /// Creates a scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both scales are strictly positive.
+    pub fn new(width_scale: f64, spacing_scale: f64) -> Self {
+        assert!(
+            width_scale > 0.0 && spacing_scale > 0.0,
+            "scales must be positive"
+        );
+        Self {
+            width_scale,
+            spacing_scale,
+        }
+    }
+
+    /// Relative increase in wire resistance: `R ∝ 1/(w·h)`, and only the
+    /// width changes here, so `R'/R = 1/width_scale`.
+    pub fn resistance_factor(&self) -> f64 {
+        1.0 / self.width_scale
+    }
+
+    /// Relative increase in capacitive crosstalk between adjacent bitlines:
+    /// coupling scales inversely with the separation, `X'/X = 1/spacing_scale`.
+    pub fn crosstalk_factor(&self) -> f64 {
+        1.0 / self.spacing_scale
+    }
+
+    /// First-order slowdown of bitline settling: the RC product grows with
+    /// resistance (capacitance to the substrate is roughly width-neutral at
+    /// constant pitch because sidewall coupling dominates modern bitlines).
+    pub fn rc_slowdown(&self) -> f64 {
+        self.resistance_factor() * self.crosstalk_factor().max(1.0)
+    }
+}
+
+/// Eq. 1: the Y-extension of the SA region when doubling the number of
+/// bitlines using half-width wires while keeping the safe distance `d`:
+///
+/// `Ext = 2(d + B_w/2)/(d + B_w) − 1` with `B_w ≈ 2d` gives `4/3 − 1 ≈ 33%`.
+pub fn halved_bitline_extension() -> Ratio {
+    // d = B_w / 2.
+    let bw = 2.0f64;
+    let d = 1.0f64;
+    Ratio(2.0 * (d + bw / 2.0) / (d + bw) - 1.0)
+}
+
+/// The chip-level overhead of that extension on a given chip: the extension
+/// applies to the MAT as well (or introduces equivalent empty space), so it
+/// scales the combined MAT+SA fraction. On B5 the paper reports ≈21%.
+pub fn halved_bitline_chip_overhead(chip: &Chip) -> Ratio {
+    let g = chip.geometry();
+    Ratio(
+        halved_bitline_extension().value()
+            * (g.mat_fraction().value() + g.sa_fraction().value()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hifi_data::{chips, ChipName};
+
+    #[test]
+    fn eq1_is_one_third() {
+        assert!((halved_bitline_extension().value() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn b5_chip_overhead_near_21_percent() {
+        let cs = chips();
+        let b5 = cs.iter().find(|c| c.name() == ChipName::B5).unwrap();
+        let o = halved_bitline_chip_overhead(b5).as_percent();
+        assert!((19.0..23.0).contains(&o), "B5 overhead {o}%");
+    }
+
+    #[test]
+    fn shrinking_raises_resistance_and_crosstalk() {
+        let s = BitlineScaling::new(0.5, 0.5);
+        assert!((s.resistance_factor() - 2.0).abs() < 1e-12);
+        assert!((s.crosstalk_factor() - 2.0).abs() < 1e-12);
+        assert!(s.rc_slowdown() >= 2.0);
+        let unchanged = BitlineScaling::new(1.0, 1.0);
+        assert_eq!(unchanged.rc_slowdown(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let _ = BitlineScaling::new(0.0, 1.0);
+    }
+}

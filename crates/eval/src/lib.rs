@@ -1,0 +1,35 @@
+//! The HiFi-DRAM evaluation engine (Section VI and the appendices).
+//!
+//! Everything the paper's evaluation computes from the reverse-engineered
+//! dataset lives here:
+//!
+//! - [`models`] — accuracy analysis of the public analog models REM and CROW
+//!   against the measured transistors (Figs. 11 & 12),
+//! - [`papers`] — the registry of 13 evaluated research papers with their
+//!   inaccuracy tags (I1–I5) and original overhead estimates,
+//! - [`overhead`] — the Appendix-B overhead formulas, overhead errors and
+//!   porting costs (Table II, Fig. 14, Observations 1 & 2),
+//! - [`space`] — the I1/I2 free-space checks (Fig. 13),
+//! - [`bitline`] — Appendix A: electrical and area consequences of shrinking
+//!   or adding bitlines (Eq. 1),
+//! - [`recommendations`] — R1–R4.
+//!
+//! # Examples
+//!
+//! ```
+//! use hifi_eval::overhead::table2;
+//!
+//! let rows = table2();
+//! let cool = rows.iter().find(|r| r.paper.name == "CoolDRAM").unwrap();
+//! // The paper's headline: up to 175x error vs the original estimate.
+//! assert!(cool.overhead_error.unwrap().value() > 100.0);
+//! ```
+
+pub mod bitline;
+pub mod modification;
+pub mod models;
+pub mod overhead;
+pub mod papers;
+pub mod recommendations;
+pub mod sensitivity;
+pub mod space;

@@ -1,0 +1,306 @@
+//! Accuracy analysis of public analog models against the measured chips
+//! (Section VI-A, Figs. 11 and 12).
+
+use hifi_data::{AnalogModel, Chip, ChipName, DdrGeneration};
+use hifi_circuit::{TransistorClass, TransistorDims};
+use hifi_units::Ratio;
+
+/// Which transistor dimension a deviation refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DimensionMetric {
+    /// Channel width.
+    Width,
+    /// Channel length.
+    Length,
+    /// Width-to-length ratio — the paper's primary optimism metric.
+    WOverL,
+}
+
+impl core::fmt::Display for DimensionMetric {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            DimensionMetric::Width => "W",
+            DimensionMetric::Length => "L",
+            DimensionMetric::WOverL => "W/L",
+        })
+    }
+}
+
+/// One model-vs-chip deviation for one transistor class and metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Deviation {
+    /// The chip compared against.
+    pub chip: ChipName,
+    /// The transistor class compared.
+    pub class: TransistorClass,
+    /// Which dimension.
+    pub metric: DimensionMetric,
+    /// `|model − measured| / measured`.
+    pub inaccuracy: Ratio,
+    /// The model's value (nm, or dimensionless for W/L).
+    pub model_value: f64,
+    /// The measured value.
+    pub measured_value: f64,
+}
+
+/// Aggregate inaccuracy of one model against one DDR generation (one group
+/// of bars in Fig. 12).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelComparison {
+    /// Model name ("REM" or "CROW").
+    pub model: String,
+    /// Which chips were compared (DDR4, or DDR5 for the ¥ portability bars).
+    pub generation: DdrGeneration,
+    /// Every individual deviation.
+    pub deviations: Vec<Deviation>,
+}
+
+impl ModelComparison {
+    /// Average inaccuracy for a metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the comparison is empty (no common transistor classes),
+    /// which cannot happen for the shipped models and chips.
+    pub fn average(&self, metric: DimensionMetric) -> Ratio {
+        Ratio::mean(
+            self.deviations
+                .iter()
+                .filter(|d| d.metric == metric)
+                .map(|d| d.inaccuracy),
+        )
+        .expect("models share classes with every chip")
+    }
+
+    /// The single worst deviation for a metric.
+    pub fn maximum(&self, metric: DimensionMetric) -> &Deviation {
+        self.deviations
+            .iter()
+            .filter(|d| d.metric == metric)
+            .max_by(|a, b| {
+                a.inaccuracy
+                    .value()
+                    .partial_cmp(&b.inaccuracy.value())
+                    .expect("finite inaccuracies")
+            })
+            .expect("models share classes with every chip")
+    }
+}
+
+fn push_deviations(
+    out: &mut Vec<Deviation>,
+    chip: ChipName,
+    class: TransistorClass,
+    model: TransistorDims,
+    measured: TransistorDims,
+) {
+    let entries = [
+        (
+            DimensionMetric::Width,
+            model.width.value(),
+            measured.width.value(),
+        ),
+        (
+            DimensionMetric::Length,
+            model.length.value(),
+            measured.length.value(),
+        ),
+        (DimensionMetric::WOverL, model.w_over_l(), measured.w_over_l()),
+    ];
+    for (metric, mv, xv) in entries {
+        out.push(Deviation {
+            chip,
+            class,
+            metric,
+            inaccuracy: Ratio::relative_deviation(mv, xv),
+            model_value: mv,
+            measured_value: xv,
+        });
+    }
+}
+
+/// Compares a model against every chip of one generation, over the transistor
+/// classes the model and each chip share.
+pub fn compare_model(
+    model: &AnalogModel,
+    chips: &[Chip],
+    generation: DdrGeneration,
+) -> ModelComparison {
+    let mut deviations = Vec::new();
+    for chip in chips.iter().filter(|c| c.generation() == generation) {
+        for (class, model_dims) in model.transistors() {
+            if let Some(measured) = chip.transistor(*class) {
+                push_deviations(&mut deviations, chip.name(), *class, *model_dims, measured.dims);
+            }
+        }
+    }
+    ModelComparison {
+        model: model.name().to_owned(),
+        generation,
+        deviations,
+    }
+}
+
+/// One row of Fig. 11: the latching-transistor dimensions of a chip (or of
+/// the REM model in the final row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig11Row {
+    /// "A4" … "C5", or "REM".
+    pub label: String,
+    /// nSA dimensions.
+    pub nsa: TransistorDims,
+    /// pSA dimensions.
+    pub psa: TransistorDims,
+}
+
+/// The data behind Fig. 11: measured pSA/nSA sizes for all chips plus REM.
+/// CROW is omitted as "severely out of the range", exactly as in the paper.
+pub fn fig11_rows(chips: &[Chip]) -> Vec<Fig11Row> {
+    let mut rows: Vec<Fig11Row> = chips
+        .iter()
+        .map(|c| Fig11Row {
+            label: c.name().to_string(),
+            nsa: c.transistor(TransistorClass::NSa).expect("all chips latch").dims,
+            psa: c.transistor(TransistorClass::PSa).expect("all chips latch").dims,
+        })
+        .collect();
+    let rem = hifi_data::rem();
+    rows.push(Fig11Row {
+        label: "REM".into(),
+        nsa: rem.transistor(TransistorClass::NSa).expect("rem models nsa"),
+        psa: rem.transistor(TransistorClass::PSa).expect("rem models psa"),
+    });
+    rows
+}
+
+/// The full Fig.-12 dataset: REM and CROW against DDR4 and DDR5 chips.
+pub fn fig12_comparisons(chips: &[Chip]) -> Vec<ModelComparison> {
+    let mut out = Vec::new();
+    for model in [hifi_data::rem(), hifi_data::crow()] {
+        for gen in [DdrGeneration::Ddr4, DdrGeneration::Ddr5] {
+            out.push(compare_model(&model, chips, gen));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hifi_data::chips;
+
+    fn crow_ddr4() -> ModelComparison {
+        compare_model(&hifi_data::crow(), &chips(), DdrGeneration::Ddr4)
+    }
+
+    fn rem_ddr4() -> ModelComparison {
+        compare_model(&hifi_data::rem(), &chips(), DdrGeneration::Ddr4)
+    }
+
+    #[test]
+    fn crow_average_wl_inaccuracy_near_paper_value() {
+        // Paper: "CROW has the higher inaccuracy between the two models (236%)".
+        let c = crow_ddr4();
+        let avg = c.average(DimensionMetric::WOverL).as_percent();
+        assert!((150.0..300.0).contains(&avg), "CROW avg W/L = {avg}%");
+        let r = rem_ddr4();
+        assert!(
+            r.average(DimensionMetric::WOverL) < c.average(DimensionMetric::WOverL),
+            "CROW is the worse model"
+        );
+    }
+
+    #[test]
+    fn crow_precharge_is_the_worst_case_on_c4() {
+        // Paper: max W/L inaccuracy 562% and max width inaccuracy 938%, both
+        // at C4's precharge.
+        let c = crow_ddr4();
+        let max_wl = c.maximum(DimensionMetric::WOverL);
+        assert_eq!(max_wl.chip, ChipName::C4);
+        assert_eq!(max_wl.class, TransistorClass::Precharge);
+        assert!(
+            (450.0..650.0).contains(&max_wl.inaccuracy.as_percent()),
+            "max W/L = {}%",
+            max_wl.inaccuracy.as_percent()
+        );
+        let max_w = c.maximum(DimensionMetric::Width);
+        assert_eq!(max_w.chip, ChipName::C4);
+        assert_eq!(max_w.class, TransistorClass::Precharge);
+        assert!(
+            (850.0..1000.0).contains(&max_w.inaccuracy.as_percent()),
+            "max W = {}%",
+            max_w.inaccuracy.as_percent()
+        );
+    }
+
+    #[test]
+    fn models_up_to_nine_x_inaccurate() {
+        // Abstract: "the public DRAM models are up to 9x inaccurate".
+        let worst = fig12_comparisons(&chips())
+            .iter()
+            .flat_map(|c| c.deviations.clone())
+            .map(|d| d.inaccuracy.value())
+            .fold(0.0f64, f64::max);
+        assert!(worst > 8.5, "worst deviation {worst}");
+    }
+
+    #[test]
+    fn crow_average_width_inaccuracy_band() {
+        // Paper: CROW widths are the most inaccurate on average (271%).
+        let avg = crow_ddr4().average(DimensionMetric::Width).as_percent();
+        assert!((230.0..320.0).contains(&avg), "CROW avg W = {avg}%");
+    }
+
+    #[test]
+    fn rem_lengths_most_inaccurate_on_average() {
+        // Paper: REM has the most inaccurate lengths on average (31%), with
+        // 101% against C4's equaliser.
+        let r = rem_ddr4();
+        let avg_l = r.average(DimensionMetric::Length).as_percent();
+        assert!((25.0..40.0).contains(&avg_l), "REM avg L = {avg_l}%");
+        let c = crow_ddr4();
+        assert!(
+            c.average(DimensionMetric::Length) < r.average(DimensionMetric::Length),
+            "REM lengths are worse than CROW lengths on average"
+        );
+        let max_l = r.maximum(DimensionMetric::Length);
+        assert_eq!(max_l.chip, ChipName::C4);
+        assert_eq!(max_l.class, TransistorClass::Equalizer);
+        assert!(
+            (90.0..115.0).contains(&max_l.inaccuracy.as_percent()),
+            "REM max L = {}%",
+            max_l.inaccuracy.as_percent()
+        );
+    }
+
+    #[test]
+    fn ddr5_trend_is_similar() {
+        // Paper: "The models follow a similar trend when considering the
+        // DDR5 technology."
+        let cs = chips();
+        let crow5 = compare_model(&hifi_data::crow(), &cs, DdrGeneration::Ddr5);
+        let rem5 = compare_model(&hifi_data::rem(), &cs, DdrGeneration::Ddr5);
+        assert!(crow5.average(DimensionMetric::Width) > rem5.average(DimensionMetric::Width));
+        assert!(crow5.average(DimensionMetric::WOverL) > rem5.average(DimensionMetric::WOverL));
+    }
+
+    #[test]
+    fn fig11_has_seven_rows_ending_with_rem() {
+        let rows = fig11_rows(&chips());
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows.last().unwrap().label, "REM");
+        assert!(!rows.iter().any(|r| r.label == "CROW"));
+    }
+
+    #[test]
+    fn comparisons_only_use_shared_classes() {
+        // CROW has no column transistor: no Column deviations may appear.
+        let c = crow_ddr4();
+        assert!(!c.deviations.iter().any(|d| d.class == TransistorClass::Column));
+        // OCSA chips have no equaliser: no A4 equaliser rows.
+        assert!(!c
+            .deviations
+            .iter()
+            .any(|d| d.chip == ChipName::A4 && d.class == TransistorClass::Equalizer));
+    }
+}

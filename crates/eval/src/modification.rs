@@ -1,0 +1,269 @@
+//! Scoring *new* SA-region modifications against the measured layouts.
+//!
+//! This is the forward-looking use of the dataset the paper argues for: a
+//! researcher designing a change can compute its realistic area cost on
+//! each studied chip instead of guessing from outdated averages. The cost
+//! model encodes the layout findings of Section V-C:
+//!
+//! - latch-style elements sit in per-SA slots, so adding one grows the SA
+//!   height by its effective **width**;
+//! - precharge/isolation/offset-cancellation-style elements use a common
+//!   gate spanning the region, so adding one grows the SA height by its
+//!   effective **length** — and it is shared across all bitlines;
+//! - both stacked SAs (SA1/SA2, Fig. 10) must receive per-SA elements;
+//! - extra bitlines do not fit (I1/I2): they trigger a region doubling;
+//! - splitting a MAT pays two MAT→SA transitions plus the new element.
+
+use crate::space;
+use hifi_data::{Chip, DdrGeneration};
+use hifi_circuit::TransistorClass;
+use hifi_units::{Nanometers, Ratio};
+
+/// One primitive change to the SA region or MAT.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Modification {
+    /// Add `count` per-SA transistors of a class (costs effective width per
+    /// SA, on both stacked SAs).
+    AddPerSaTransistors {
+        /// Transistor class whose effective size is used.
+        class: TransistorClass,
+        /// Devices added per sense amplifier.
+        count: u32,
+    },
+    /// Add `count` region-spanning common-gate elements (costs effective
+    /// length once per SA region; shared across all bitlines).
+    AddCommonGateElements {
+        /// Transistor class whose effective size is used.
+        class: TransistorClass,
+        /// Elements added per SA region.
+        count: u32,
+    },
+    /// Add one new bitline per `per_existing` existing bitlines — the DCC /
+    /// extra-wiring scenario. There is no free space (I1/I2), so the MAT and
+    /// SA regions stretch proportionally.
+    AddBitlines {
+        /// One new bitline per this many existing ones (1 = doubling).
+        per_existing: u32,
+    },
+    /// Split every MAT in two with an isolation element (Tiered-Latency-DRAM
+    /// style): two MAT→SA transitions plus the element length, per MAT.
+    SplitMat,
+}
+
+/// The per-chip cost report for a proposed modification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModificationCost {
+    /// Chip evaluated.
+    pub chip: hifi_data::ChipName,
+    /// DDR generation of the chip.
+    pub generation: DdrGeneration,
+    /// Extra area as a fraction of the chip.
+    pub chip_overhead: Ratio,
+    /// Extra SA-region height along the bitline direction (nm), when the
+    /// modification is SA-local.
+    pub sa_height_increase: Nanometers,
+}
+
+fn effective_dims(chip: &Chip, class: TransistorClass) -> hifi_circuit::TransistorDims {
+    if class == TransistorClass::Isolation {
+        return chip.isolation_dims_for_overheads();
+    }
+    chip.transistor(class)
+        .map(|t| t.effective)
+        .unwrap_or_else(|| {
+            // Class absent on this chip: scale the workspace-average drawn
+            // multiples to the chip's feature size, like the paper does for
+            // missing isolation transistors (Section VI-C).
+            let f = chip.geometry().feature_size.value();
+            let (wm, lm) = match class {
+                TransistorClass::NSa => (13.0, 3.5),
+                TransistorClass::PSa => (7.5, 3.5),
+                TransistorClass::Precharge => (4.6, 3.7),
+                TransistorClass::Equalizer => (4.2, 2.1),
+                TransistorClass::Column => (7.0, 3.0),
+                TransistorClass::OffsetCancel => (5.0, 2.8),
+                TransistorClass::LocalSa => (7.0, 3.0),
+                TransistorClass::Access => (2.0, 1.0),
+                TransistorClass::Isolation => unreachable!("handled above"),
+            };
+            hifi_circuit::TransistorDims::new(
+                Nanometers((wm * f * 1.3).round()),
+                Nanometers((lm * f * 1.3).round()),
+            )
+        })
+}
+
+/// Computes the realistic cost of a modification on one chip.
+pub fn cost_on_chip(modification: Modification, chip: &Chip) -> ModificationCost {
+    let g = chip.geometry();
+    let die = g.die_area.to_square_nanometers().value();
+    let mats = g.n_mats as f64;
+    let sa_w = g.mat_width().value();
+    let (extra_area, sa_height) = match modification {
+        Modification::AddPerSaTransistors { class, count } => {
+            let eff = effective_dims(chip, class);
+            // Per-SA elements replicate per bitline along the region width;
+            // their width stacks along the SA height. Both stacked SAs pay.
+            let dh = eff.width.value() * count as f64 * g.stacked_sa_count as f64;
+            (mats * sa_w * dh, Nanometers(dh))
+        }
+        Modification::AddCommonGateElements { class, count } => {
+            let eff = effective_dims(chip, class);
+            // Common-gate elements span the region: the height grows by the
+            // LENGTH (Section V-C), once per region, shared by all bitlines.
+            let dh = eff.length.value() * count as f64;
+            (mats * sa_w * dh, Nanometers(dh))
+        }
+        Modification::AddBitlines { per_existing } => {
+            let check = space::mat_free_space(chip);
+            debug_assert!(!check.fits, "no studied chip has bitline slack");
+            let stretch = 1.0 / per_existing.max(1) as f64;
+            let extra =
+                (g.total_mat_area().value() + g.total_sa_area().value()) * stretch;
+            (extra, Nanometers(g.sa_region_height.value() * stretch))
+        }
+        Modification::SplitMat => {
+            let iso = chip.isolation_dims_for_overheads();
+            let per_mat = g.split_mat_overhead(iso.length);
+            (
+                g.total_mat_area().value() * per_mat.value(),
+                Nanometers(0.0),
+            )
+        }
+    };
+    ModificationCost {
+        chip: chip.name(),
+        generation: chip.generation(),
+        chip_overhead: Ratio(extra_area / die),
+        sa_height_increase: sa_height,
+    }
+}
+
+/// Computes the cost on every studied chip plus the DDR4/DDR5 averages.
+pub fn cost_report(modification: Modification) -> Vec<ModificationCost> {
+    hifi_data::chips()
+        .iter()
+        .map(|c| cost_on_chip(modification, c))
+        .collect()
+}
+
+/// Average chip overhead across a generation.
+pub fn average_overhead(costs: &[ModificationCost], generation: DdrGeneration) -> Option<Ratio> {
+    Ratio::mean(
+        costs
+            .iter()
+            .filter(|c| c.generation == generation)
+            .map(|c| c.chip_overhead),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hifi_data::chips;
+
+    #[test]
+    fn common_gate_cheaper_than_per_sa_latch() {
+        // Adding one shared isolation element costs far less than adding a
+        // latch transistor to every SA (the R.B.DEC. vs Nov.DRAM contrast).
+        let iso = cost_report(Modification::AddCommonGateElements {
+            class: TransistorClass::Isolation,
+            count: 2,
+        });
+        let latch = cost_report(Modification::AddPerSaTransistors {
+            class: TransistorClass::NSa,
+            count: 2,
+        });
+        for (a, b) in iso.iter().zip(&latch) {
+            assert!(
+                a.chip_overhead.value() < b.chip_overhead.value(),
+                "{}: iso {} vs latch {}",
+                a.chip,
+                a.chip_overhead,
+                b.chip_overhead
+            );
+        }
+    }
+
+    #[test]
+    fn bitline_doubling_costs_most_of_the_chip() {
+        let costs = cost_report(Modification::AddBitlines { per_existing: 1 });
+        for c in &costs {
+            assert!(
+                c.chip_overhead.value() > 0.55,
+                "{}: {}",
+                c.chip,
+                c.chip_overhead
+            );
+        }
+        // One-per-three (REGA's layout) costs a third of that.
+        let third = cost_report(Modification::AddBitlines { per_existing: 3 });
+        for (a, b) in costs.iter().zip(&third) {
+            let ratio = b.chip_overhead.value() / a.chip_overhead.value();
+            assert!((ratio - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn split_mat_costs_about_one_and_a_half_percent_of_mats() {
+        let costs = cost_report(Modification::SplitMat);
+        for c in &costs {
+            // ~1–1.6% of the MAT area; MATs are ~57% of the die.
+            assert!(
+                (0.004..0.012).contains(&c.chip_overhead.value()),
+                "{}: {}",
+                c.chip,
+                c.chip_overhead
+            );
+        }
+    }
+
+    #[test]
+    fn ddr5_additions_are_cheaper_than_ddr4() {
+        // Observation 2 generalised: smaller nodes afford more circuitry.
+        let costs = cost_report(Modification::AddCommonGateElements {
+            class: TransistorClass::Isolation,
+            count: 2,
+        });
+        let d4 = average_overhead(&costs, DdrGeneration::Ddr4).unwrap();
+        let d5 = average_overhead(&costs, DdrGeneration::Ddr5).unwrap();
+        assert!(d5.value() < d4.value(), "ddr5 {d5} vs ddr4 {d4}");
+    }
+
+    #[test]
+    fn missing_class_falls_back_to_scaled_dims() {
+        let cs = chips();
+        let c4 = cs.iter().find(|c| c.name() == hifi_data::ChipName::C4).unwrap();
+        // C4 (classic) has no OC transistor; the cost is still computable.
+        let cost = cost_on_chip(
+            Modification::AddCommonGateElements {
+                class: TransistorClass::OffsetCancel,
+                count: 2,
+            },
+            c4,
+        );
+        assert!(cost.chip_overhead.value() > 0.0);
+        assert!(cost.sa_height_increase.value() > 0.0);
+    }
+
+    #[test]
+    fn per_sa_cost_scales_with_stacked_sa_count() {
+        let cs = chips();
+        let chip = &cs[0];
+        let one = cost_on_chip(
+            Modification::AddPerSaTransistors {
+                class: TransistorClass::PSa,
+                count: 1,
+            },
+            chip,
+        );
+        let two = cost_on_chip(
+            Modification::AddPerSaTransistors {
+                class: TransistorClass::PSa,
+                count: 2,
+            },
+            chip,
+        );
+        assert!((two.chip_overhead.value() / one.chip_overhead.value() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,250 @@
+//! Registry of the 13 evaluated research papers (Table II).
+
+use hifi_data::DdrGeneration;
+use hifi_units::Ratio;
+
+/// The five recurring inaccuracies the paper identifies (Section VI-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Inaccuracy {
+    /// I1: no free space for extra bitlines in the MAT area.
+    I1,
+    /// I2: no free space for extra bitlines in the SA area.
+    I2,
+    /// I3: assuming an SA circuitry that is not deployed in practice.
+    I3,
+    /// I4: assuming an SA physical layout that does not match deployment.
+    I4,
+    /// I5: not considering offset-cancellation designs.
+    I5,
+}
+
+impl core::fmt::Display for Inaccuracy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Inaccuracy::I1 => "I1",
+            Inaccuracy::I2 => "I2",
+            Inaccuracy::I3 => "I3",
+            Inaccuracy::I4 => "I4",
+            Inaccuracy::I5 => "I5",
+        })
+    }
+}
+
+/// Which Appendix-B formula computes a paper's realistic extra area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverheadFormula {
+    /// Papers that effectively double the bitlines (DCC-style or new SA-area
+    /// wiring): `P_extra = MAT_area + SA_area` (totals over the chip).
+    DoubleBitlines,
+    /// REGA: one new bitline every three on classic chips
+    /// (`(MAT+SA)/3`); on vendor-A chips the new connections fit on the
+    /// roomy M2 layer (Appendix A exemption), leaving only the new isolation
+    /// transistors and downsized SAs:
+    /// `MATs × SA_w × (2·iso_ls + 8·(san_ws+sap_ws)/6)`.
+    Rega,
+    /// Row-buffer decoupling: two isolation transistors per SA region:
+    /// `MATs × SA_w × 2 × iso_ls`.
+    IsolationOnly,
+    /// Nov. DRAM: isolation + column + a full extra SA per region:
+    /// `MATs × SA_w × (2·iso_ls + 2·col_ws + 8·(san_ws+sap_ws))`.
+    IsolationColumnsSa,
+    /// CHARM: aspect-ratio change (×2,/4 configuration) plus 1% layout
+    /// reorganisation: `MATs × SA_w × SA_h/4 + 0.01 × Chip_area`.
+    CharmAspect,
+    /// PF-DRAM: independent isolation transistors plus an SA-like imbalancer:
+    /// `MATs × SA_w × (4·iso_ls + 8·(san_ws+sap_ws))`.
+    PfDram,
+}
+
+/// One evaluated paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Paper {
+    /// Short name as used in Table II.
+    pub name: &'static str,
+    /// Publication year.
+    pub year: u16,
+    /// DDR generation the paper originally targeted.
+    pub original_generation: DdrGeneration,
+    /// The inaccuracies it suffers from (Table II column "Inacc.").
+    pub inaccuracies: &'static [Inaccuracy],
+    /// The paper's own overhead estimate `P_oe` (fraction of chip area).
+    pub original_overhead_estimate: Ratio,
+    /// The Appendix-B formula for its realistic overhead.
+    pub formula: OverheadFormula,
+}
+
+impl Paper {
+    /// Whether the paper suffers a given inaccuracy.
+    pub fn has(&self, inaccuracy: Inaccuracy) -> bool {
+        self.inaccuracies.contains(&inaccuracy)
+    }
+}
+
+/// The 13 evaluated papers in Table II order.
+///
+/// `original_overhead_estimate` values are the per-paper reported overheads
+/// (CoolDRAM's 0.4% is quoted directly in Section VI-C; the others are taken
+/// from the original publications at the precision our reproduction needs).
+pub fn papers() -> Vec<Paper> {
+    use DdrGeneration::{Ddr3, Ddr4};
+    use Inaccuracy::*;
+    use OverheadFormula::*;
+    vec![
+        Paper {
+            name: "CHARM",
+            year: 2013,
+            original_generation: Ddr3,
+            inaccuracies: &[I5],
+            original_overhead_estimate: Ratio(0.02151),
+            formula: CharmAspect,
+        },
+        Paper {
+            name: "R.B. DEC.",
+            year: 2014,
+            original_generation: Ddr3,
+            inaccuracies: &[I4, I5],
+            original_overhead_estimate: Ratio(0.00204),
+            formula: IsolationOnly,
+        },
+        Paper {
+            name: "AMBIT",
+            year: 2017,
+            original_generation: Ddr3,
+            inaccuracies: &[I1, I2, I5],
+            original_overhead_estimate: Ratio(0.00922),
+            formula: DoubleBitlines,
+        },
+        Paper {
+            name: "DrACC",
+            year: 2018,
+            original_generation: Ddr4,
+            inaccuracies: &[I1, I2, I5],
+            original_overhead_estimate: Ratio(0.01794),
+            formula: DoubleBitlines,
+        },
+        Paper {
+            name: "Graphide",
+            year: 2019,
+            original_generation: Ddr4,
+            inaccuracies: &[I1, I2, I5],
+            original_overhead_estimate: Ratio(0.01174),
+            formula: DoubleBitlines,
+        },
+        Paper {
+            name: "In-Mem.Lowcost.",
+            year: 2019,
+            original_generation: Ddr4,
+            inaccuracies: &[I1, I2, I5],
+            original_overhead_estimate: Ratio(0.00909),
+            formula: DoubleBitlines,
+        },
+        Paper {
+            name: "ELP2IM",
+            year: 2020,
+            original_generation: Ddr3,
+            inaccuracies: &[I2, I3, I5],
+            original_overhead_estimate: Ratio(0.00699),
+            formula: DoubleBitlines,
+        },
+        Paper {
+            name: "CLR-DRAM",
+            year: 2020,
+            original_generation: Ddr4,
+            inaccuracies: &[I2, I5],
+            original_overhead_estimate: Ratio(0.02807),
+            formula: DoubleBitlines,
+        },
+        Paper {
+            name: "SIMDRAM",
+            year: 2021,
+            original_generation: Ddr4,
+            inaccuracies: &[I1, I2, I5],
+            original_overhead_estimate: Ratio(0.00909),
+            formula: DoubleBitlines,
+        },
+        Paper {
+            name: "Nov. DRAM",
+            year: 2021,
+            original_generation: Ddr4,
+            inaccuracies: &[I4, I5],
+            original_overhead_estimate: Ratio(0.04014),
+            formula: IsolationColumnsSa,
+        },
+        Paper {
+            name: "PF-DRAM",
+            year: 2021,
+            original_generation: Ddr4,
+            inaccuracies: &[I5],
+            original_overhead_estimate: Ratio(0.04222),
+            formula: PfDram,
+        },
+        Paper {
+            name: "REGA",
+            year: 2023,
+            original_generation: Ddr4,
+            inaccuracies: &[I2, I4, I5],
+            original_overhead_estimate: Ratio(0.01631),
+            formula: Rega,
+        },
+        Paper {
+            name: "CoolDRAM",
+            year: 2023,
+            original_generation: Ddr4,
+            inaccuracies: &[I1, I2, I3, I5],
+            original_overhead_estimate: Ratio(0.00367),
+            formula: DoubleBitlines,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_papers_in_table_order() {
+        let ps = papers();
+        assert_eq!(ps.len(), 13);
+        assert_eq!(ps[0].name, "CHARM");
+        assert_eq!(ps[12].name, "CoolDRAM");
+        // Years span the paper's stated decade (2013–2023).
+        assert_eq!(ps.iter().map(|p| p.year).min(), Some(2013));
+        assert_eq!(ps.iter().map(|p| p.year).max(), Some(2023));
+    }
+
+    #[test]
+    fn every_paper_misses_ocsa() {
+        // "no paper includes the OCSA topology in their studies" (I5).
+        for p in papers() {
+            assert!(p.has(Inaccuracy::I5), "{} must carry I5", p.name);
+        }
+    }
+
+    #[test]
+    fn inaccuracy_tags_match_table2() {
+        let ps = papers();
+        let by = |n: &str| ps.iter().find(|p| p.name == n).unwrap();
+        assert_eq!(by("AMBIT").inaccuracies, &[Inaccuracy::I1, Inaccuracy::I2, Inaccuracy::I5]);
+        assert_eq!(
+            by("CoolDRAM").inaccuracies,
+            &[Inaccuracy::I1, Inaccuracy::I2, Inaccuracy::I3, Inaccuracy::I5]
+        );
+        assert_eq!(by("CHARM").inaccuracies, &[Inaccuracy::I5]);
+        assert_eq!(by("REGA").inaccuracies, &[Inaccuracy::I2, Inaccuracy::I4, Inaccuracy::I5]);
+        assert!(!by("PF-DRAM").has(Inaccuracy::I1));
+    }
+
+    #[test]
+    fn ddr3_papers_have_no_error_basis() {
+        // Table II: N/A overhead error when the original tech predates DDR4.
+        for p in papers() {
+            if p.original_generation == DdrGeneration::Ddr3 {
+                assert!(
+                    matches!(p.name, "CHARM" | "R.B. DEC." | "AMBIT" | "ELP2IM"),
+                    "{}",
+                    p.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! The paper's recommendations for high-fidelity DRAM research (Section VI-E).
+
+use crate::papers::Inaccuracy;
+
+/// One of the paper's four recommendations (R1–R4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recommendation {
+    /// Identifier ("R1" … "R4").
+    pub id: &'static str,
+    /// The recommendation text.
+    pub text: &'static str,
+    /// The inaccuracies it addresses.
+    pub addresses: &'static [Inaccuracy],
+}
+
+/// All four recommendations.
+pub fn recommendations() -> [Recommendation; 4] {
+    use Inaccuracy::*;
+    [
+        Recommendation {
+            id: "R1",
+            text: "overheads should be estimated including all additions to MATs or SAs, such as wires connections",
+            addresses: &[I1, I2],
+        },
+        Recommendation {
+            id: "R2",
+            text: "research modifying SAs should consider the impact on all the interconnected SAs",
+            addresses: &[I3],
+        },
+        Recommendation {
+            id: "R3",
+            text: "research should consider the physical layout and organization of SAs blocks",
+            addresses: &[I4],
+        },
+        Recommendation {
+            id: "R4",
+            text: "research should consider OCSA in the evaluation",
+            addresses: &[I5],
+        },
+    ]
+}
+
+/// The recommendations a given set of inaccuracies triggers.
+pub fn triggered_by(inaccuracies: &[Inaccuracy]) -> Vec<Recommendation> {
+    recommendations()
+        .into_iter()
+        .filter(|r| r.addresses.iter().any(|a| inaccuracies.contains(a)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::papers::papers;
+
+    #[test]
+    fn four_recommendations_cover_all_inaccuracies() {
+        let recs = recommendations();
+        assert_eq!(recs.len(), 4);
+        let covered: std::collections::BTreeSet<_> =
+            recs.iter().flat_map(|r| r.addresses.iter().copied()).collect();
+        assert_eq!(covered.len(), 5, "I1..I5 all covered");
+    }
+
+    #[test]
+    fn every_evaluated_paper_triggers_r4() {
+        // All 13 papers carry I5, so all trigger R4.
+        for p in papers() {
+            let recs = triggered_by(p.inaccuracies);
+            assert!(recs.iter().any(|r| r.id == "R4"), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn cooldram_triggers_all_but_r3() {
+        let cool = papers().into_iter().find(|p| p.name == "CoolDRAM").unwrap();
+        let ids: Vec<_> = triggered_by(cool.inaccuracies).into_iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec!["R1", "R2", "R4"]);
+    }
+}

@@ -1,0 +1,255 @@
+//! Functional classification of extracted transistors.
+//!
+//! Implements Section V-A's identification steps (iv)–(viii) as an
+//! algorithm:
+//!
+//! - **latch** transistors are the coupled devices whose *gates* sit on
+//!   nets that are source/drain elsewhere (the bitlines — used as the
+//!   anchor, step ii),
+//! - the latch pair with the **narrower** width is PMOS (step viii),
+//! - **common-gate** devices (gate spanning the region along Y) are the
+//!   precharge/equaliser (classic) or precharge/ISO/OC (OCSA) elements
+//!   (steps iv & vii),
+//! - ISO connects a latch drain to the *opposite* bitline of its latch
+//!   transistor's gate, OC to the *same* one (Section V's OCSA analysis),
+//! - the remaining devices are the **column multiplexers** (step v).
+
+use crate::netlist::Extraction;
+use crate::ExtractError;
+use hifi_circuit::{Mosfet, NetId, Polarity, TransistorClass};
+use std::collections::{HashMap, HashSet};
+
+/// Gate-span fraction above which a gate counts as region-spanning.
+const COMMON_GATE_SPAN: f64 = 0.8;
+
+/// Classifies every extracted transistor in place (updates both the
+/// metadata and the netlist's class/polarity labels).
+///
+/// # Errors
+///
+/// Returns [`ExtractError::ClassificationFailed`] when the circuit does not
+/// expose the expected structure (e.g. not exactly four latch devices).
+pub fn classify(extraction: &mut Extraction) -> Result<(), ExtractError> {
+    let mosfets: Vec<Mosfet> = extraction.netlist.mosfets().cloned().collect();
+    let n = mosfets.len();
+
+    // Net → devices having it as a source/drain terminal.
+    let mut sd_users: HashMap<NetId, Vec<usize>> = HashMap::new();
+    for (i, m) in mosfets.iter().enumerate() {
+        sd_users.entry(m.source).or_default().push(i);
+        sd_users.entry(m.drain).or_default().push(i);
+    }
+    let sd_nets: HashSet<NetId> = sd_users.keys().copied().collect();
+
+    // Latch devices: gate on a net that is S/D elsewhere.
+    let latch: Vec<usize> = (0..n)
+        .filter(|&i| sd_nets.contains(&mosfets[i].gate))
+        .collect();
+    if latch.len() < 4 || latch.len() % 4 != 0 {
+        return Err(ExtractError::ClassificationFailed(format!(
+            "expected a multiple of 4 cross-coupled latch devices, found {}",
+            latch.len()
+        )));
+    }
+    let latch_set: HashSet<usize> = latch.iter().copied().collect();
+    let bitline_nets: HashSet<NetId> = latch.iter().map(|&i| mosfets[i].gate).collect();
+    // One bitline pair per SA cell; rails (LA/LAB) are shared region-wide,
+    // which is why SAs cannot be analysed in isolation (Recommendation R2).
+    if bitline_nets.len() != latch.len() / 2 {
+        return Err(ExtractError::ClassificationFailed(format!(
+            "latch gates sit on {} nets, expected {} bitlines",
+            bitline_nets.len(),
+            latch.len() / 2
+        )));
+    }
+
+    // For each latch device, split its terminals into the shared rail (a net
+    // used only by latch devices) and the latch drain.
+    let is_rail = |net: NetId| -> bool {
+        sd_users
+            .get(&net)
+            .map(|users| users.iter().all(|u| latch_set.contains(u)))
+            .unwrap_or(false)
+    };
+    let mut latch_drain: HashMap<usize, NetId> = HashMap::new();
+    let mut latch_rail: HashMap<usize, NetId> = HashMap::new();
+    for &i in &latch {
+        let m = &mosfets[i];
+        match (is_rail(m.source), is_rail(m.drain)) {
+            (true, false) => {
+                latch_rail.insert(i, m.source);
+                latch_drain.insert(i, m.drain);
+            }
+            (false, true) => {
+                latch_rail.insert(i, m.drain);
+                latch_drain.insert(i, m.source);
+            }
+            _ => {
+                return Err(ExtractError::ClassificationFailed(format!(
+                    "latch device {i} has no unambiguous rail terminal"
+                )))
+            }
+        }
+    }
+
+    // Pair latch devices by rail; the narrower pair is PMOS (step viii).
+    let rails: Vec<NetId> = {
+        let mut r: Vec<NetId> = latch_rail.values().copied().collect();
+        r.sort_unstable();
+        r.dedup();
+        r
+    };
+    if rails.len() != 2 {
+        return Err(ExtractError::ClassificationFailed(format!(
+            "expected 2 latch rails, found {}",
+            rails.len()
+        )));
+    }
+    let pair_width = |rail: NetId| -> f64 {
+        let ws: Vec<f64> = latch
+            .iter()
+            .filter(|&&i| latch_rail[&i] == rail)
+            .map(|&i| mosfets[i].dims.width.value())
+            .collect();
+        ws.iter().sum::<f64>() / ws.len() as f64
+    };
+    let (psa_rail, _nsa_rail) = if pair_width(rails[0]) < pair_width(rails[1]) {
+        (rails[0], rails[1])
+    } else {
+        (rails[1], rails[0])
+    };
+
+    // Latch drains (SABL/SABLB in OCSA; the bitlines themselves in classic).
+    let internal_nets: HashSet<NetId> = latch_drain.values().copied().collect();
+    // Map latch-drain net → the gate (bitline) of a latch device driving it.
+    // For ISO/OC disambiguation.
+    let mut drain_to_gate: HashMap<NetId, NetId> = HashMap::new();
+    for &i in &latch {
+        drain_to_gate.insert(latch_drain[&i], mosfets[i].gate);
+    }
+
+    let mut classes: Vec<Option<TransistorClass>> = vec![None; n];
+    for &i in &latch {
+        classes[i] = Some(if latch_rail[&i] == psa_rail {
+            TransistorClass::PSa
+        } else {
+            TransistorClass::NSa
+        });
+    }
+
+    for i in 0..n {
+        if classes[i].is_some() {
+            continue;
+        }
+        let m = &mosfets[i];
+        let span = extraction.devices[i].gate_y_span_fraction;
+        let s_bl = bitline_nets.contains(&m.source);
+        let d_bl = bitline_nets.contains(&m.drain);
+        let s_int = internal_nets.contains(&m.source) && !bitline_nets.contains(&m.source);
+        let d_int = internal_nets.contains(&m.drain) && !bitline_nets.contains(&m.drain);
+        if span >= COMMON_GATE_SPAN {
+            // Precharge / equaliser / isolation / offset-cancellation.
+            classes[i] = Some(if s_bl && d_bl {
+                TransistorClass::Equalizer
+            } else if (s_int && d_bl) || (d_int && s_bl) {
+                let (internal, bitline) = if s_int { (m.source, m.drain) } else { (m.drain, m.source) };
+                let latch_gate = drain_to_gate.get(&internal).copied();
+                if latch_gate == Some(bitline) {
+                    TransistorClass::OffsetCancel
+                } else {
+                    TransistorClass::Isolation
+                }
+            } else if s_bl || d_bl {
+                TransistorClass::Precharge
+            } else {
+                return Err(ExtractError::ClassificationFailed(format!(
+                    "common-gate device {i} touches no bitline"
+                )));
+            });
+        } else if s_bl || d_bl {
+            // Bitline to datapath with a private gate: column multiplexer
+            // (the first elements after the MAT, Section V-C).
+            classes[i] = Some(TransistorClass::Column);
+        } else {
+            return Err(ExtractError::ClassificationFailed(format!(
+                "device {i} does not match any functional class"
+            )));
+        }
+    }
+
+    // Commit classes (and the polarity heuristic) to the netlist + metadata.
+    for (i, class) in classes.iter().enumerate() {
+        let class = class.expect("all devices classified above");
+        let polarity = if class == TransistorClass::PSa {
+            Polarity::Pmos
+        } else {
+            Polarity::Nmos
+        };
+        extraction
+            .netlist
+            .set_mosfet_role(extraction.devices[i].device, class, polarity);
+        extraction.devices[i].class = Some(class);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::extract_netlist;
+    use hifi_circuit::topology::SaTopologyKind;
+    use hifi_synth::{generate_region, SaRegionSpec};
+
+    fn classify_region(kind: SaTopologyKind) -> Extraction {
+        let spec = SaRegionSpec::new(kind).with_pairs(1);
+        let region = generate_region(&spec);
+        let volume = region.voxelize();
+        let mut ex = extract_netlist(&volume).expect("extraction succeeds");
+        classify(&mut ex).expect("classification succeeds");
+        ex
+    }
+
+    fn histogram(ex: &Extraction) -> HashMap<TransistorClass, usize> {
+        let mut h = HashMap::new();
+        for d in &ex.devices {
+            *h.entry(d.class.unwrap()).or_insert(0) += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn classic_classes_recovered() {
+        let ex = classify_region(SaTopologyKind::Classic);
+        let h = histogram(&ex);
+        assert_eq!(h[&TransistorClass::NSa], 2);
+        assert_eq!(h[&TransistorClass::PSa], 2);
+        assert_eq!(h[&TransistorClass::Precharge], 2);
+        assert_eq!(h[&TransistorClass::Equalizer], 1);
+        assert_eq!(h[&TransistorClass::Column], 2);
+    }
+
+    #[test]
+    fn ocsa_classes_recovered() {
+        let ex = classify_region(SaTopologyKind::OffsetCancellation);
+        let h = histogram(&ex);
+        assert_eq!(h[&TransistorClass::NSa], 2);
+        assert_eq!(h[&TransistorClass::PSa], 2);
+        assert_eq!(h[&TransistorClass::Precharge], 2);
+        assert_eq!(h[&TransistorClass::Isolation], 2);
+        assert_eq!(h[&TransistorClass::OffsetCancel], 2);
+        assert_eq!(h[&TransistorClass::Column], 2);
+        assert!(!h.contains_key(&TransistorClass::Equalizer));
+    }
+
+    #[test]
+    fn psa_polarity_follows_width_heuristic() {
+        let ex = classify_region(SaTopologyKind::Classic);
+        for m in ex.netlist.mosfets() {
+            if m.class == TransistorClass::PSa {
+                assert_eq!(m.polarity, Polarity::Pmos);
+            } else {
+                assert_eq!(m.polarity, Polarity::Nmos);
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! 2-D connected components over occupancy slabs.
+
+use crate::slabs::Slab;
+
+/// One connected region of a slab.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Component {
+    /// Bounding box in grid coordinates: `(x0, y0, x1, y1)` inclusive.
+    pub bbox: (usize, usize, usize, usize),
+    /// Number of cells.
+    pub area: usize,
+}
+
+impl Component {
+    /// Bounding-box width along x (cells).
+    pub fn width_x(&self) -> usize {
+        self.bbox.2 - self.bbox.0 + 1
+    }
+
+    /// Bounding-box height along y (cells).
+    pub fn height_y(&self) -> usize {
+        self.bbox.3 - self.bbox.1 + 1
+    }
+}
+
+/// Connected-component labelling result: a label grid (`usize::MAX` = empty)
+/// plus per-component metadata.
+#[derive(Debug, Clone)]
+pub struct Labeled {
+    /// Grid width.
+    pub nx: usize,
+    /// Grid height.
+    pub ny: usize,
+    /// Per-cell component label (`usize::MAX` when unoccupied).
+    pub labels: Vec<usize>,
+    /// Component metadata, indexed by label.
+    pub components: Vec<Component>,
+}
+
+impl Labeled {
+    /// Label at `(x, y)`, or `None` when unoccupied.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    #[inline]
+    pub fn label(&self, x: usize, y: usize) -> Option<usize> {
+        let l = self.labels[y * self.nx + x];
+        (l != usize::MAX).then_some(l)
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether no components were found.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+/// Labels the 4-connected components of a slab (BFS flood fill).
+pub fn label_components(slab: &Slab) -> Labeled {
+    let (nx, ny) = (slab.nx, slab.ny);
+    let mut labels = vec![usize::MAX; nx * ny];
+    let mut components = Vec::new();
+    let mut queue = Vec::new();
+    for start_y in 0..ny {
+        for start_x in 0..nx {
+            if !slab.get(start_x, start_y) || labels[start_y * nx + start_x] != usize::MAX {
+                continue;
+            }
+            let label = components.len();
+            let mut bbox = (start_x, start_y, start_x, start_y);
+            let mut area = 0usize;
+            queue.clear();
+            queue.push((start_x, start_y));
+            labels[start_y * nx + start_x] = label;
+            while let Some((x, y)) = queue.pop() {
+                area += 1;
+                bbox.0 = bbox.0.min(x);
+                bbox.1 = bbox.1.min(y);
+                bbox.2 = bbox.2.max(x);
+                bbox.3 = bbox.3.max(y);
+                let neighbours = [
+                    (x.wrapping_sub(1), y),
+                    (x + 1, y),
+                    (x, y.wrapping_sub(1)),
+                    (x, y + 1),
+                ];
+                for (px, py) in neighbours {
+                    if px < nx && py < ny && slab.get(px, py) && labels[py * nx + px] == usize::MAX
+                    {
+                        labels[py * nx + px] = label;
+                        queue.push((px, py));
+                    }
+                }
+            }
+            components.push(Component { bbox, area });
+        }
+    }
+    Labeled {
+        nx,
+        ny,
+        labels,
+        components,
+    }
+}
+
+/// Returns the set of labels in `b` that overlap (share a cell with) the
+/// given component label of `a`. Both labelings must cover the same grid.
+///
+/// # Panics
+///
+/// Panics on grid shape mismatch.
+pub fn overlapping_labels(a: &Labeled, a_label: usize, b: &Labeled) -> Vec<usize> {
+    assert_eq!((a.nx, a.ny), (b.nx, b.ny), "label grid mismatch");
+    let mut out = Vec::new();
+    for y in 0..a.ny {
+        for x in 0..a.nx {
+            if a.label(x, y) == Some(a_label) {
+                if let Some(bl) = b.label(x, y) {
+                    if !out.contains(&bl) {
+                        out.push(bl);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Labels in `b` that are 4-adjacent (touching, not overlapping) to the given
+/// component of `a`.
+///
+/// # Panics
+///
+/// Panics on grid shape mismatch.
+pub fn adjacent_labels(a: &Labeled, a_label: usize, b: &Labeled) -> Vec<usize> {
+    adjacent_labels_counted(a, a_label, b)
+        .into_iter()
+        .map(|(l, _)| l)
+        .collect()
+}
+
+/// Like [`adjacent_labels`] but returns, per label, the number of boundary
+/// cells shared — used to rank neighbours when reconstruction noise creates
+/// spurious one-pixel contacts.
+///
+/// # Panics
+///
+/// Panics on grid shape mismatch.
+pub fn adjacent_labels_counted(a: &Labeled, a_label: usize, b: &Labeled) -> Vec<(usize, usize)> {
+    assert_eq!((a.nx, a.ny), (b.nx, b.ny), "label grid mismatch");
+    let mut out: Vec<(usize, usize)> = Vec::new();
+    for y in 0..a.ny {
+        for x in 0..a.nx {
+            if a.label(x, y) != Some(a_label) {
+                continue;
+            }
+            let neighbours = [
+                (x.wrapping_sub(1), y),
+                (x + 1, y),
+                (x, y.wrapping_sub(1)),
+                (x, y + 1),
+            ];
+            for (px, py) in neighbours {
+                if px < a.nx && py < a.ny {
+                    if let Some(bl) = b.label(px, py) {
+                        match out.iter_mut().find(|(l, _)| *l == bl) {
+                            Some((_, c)) => *c += 1,
+                            None => out.push((bl, 1)),
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slab_from(rows: &[&str]) -> Slab {
+        let ny = rows.len();
+        let nx = rows[0].len();
+        let mut s = Slab::empty(nx, ny);
+        for (y, row) in rows.iter().enumerate() {
+            for (x, c) in row.chars().enumerate() {
+                if c == '#' {
+                    s.set(x, y, true);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn labels_two_islands() {
+        let s = slab_from(&["##..", "....", "..##"]);
+        let l = label_components(&s);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.components[0].area, 2);
+        assert_eq!(l.components[0].bbox, (0, 0, 1, 0));
+        assert_eq!(l.components[1].bbox, (2, 2, 3, 2));
+    }
+
+    #[test]
+    fn diagonals_do_not_connect() {
+        let s = slab_from(&["#.", ".#"]);
+        let l = label_components(&s);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn overlap_query() {
+        let a = label_components(&slab_from(&["###.", "...."]));
+        let b = label_components(&slab_from(&["..##", "...."]));
+        let hits = overlapping_labels(&a, 0, &b);
+        assert_eq!(hits, vec![0]);
+    }
+
+    #[test]
+    fn adjacency_query() {
+        // a's island touches b's island on the right edge only.
+        let a = label_components(&slab_from(&["##..", "...."]));
+        let b = label_components(&slab_from(&["..#.", "...."]));
+        assert_eq!(adjacent_labels(&a, 0, &b), vec![0]);
+        let far = label_components(&slab_from(&["...#", "...."]));
+        assert!(adjacent_labels(&a, 0, &far).is_empty());
+    }
+
+    #[test]
+    fn component_extents() {
+        let s = slab_from(&["####", "####"]);
+        let l = label_components(&s);
+        assert_eq!(l.components[0].width_x(), 4);
+        assert_eq!(l.components[0].height_y(), 2);
+    }
+}

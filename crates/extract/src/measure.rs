@@ -1,0 +1,162 @@
+//! Per-class dimension measurement (Section V-B).
+
+use crate::netlist::Extraction;
+use hifi_circuit::{TransistorClass, TransistorDims};
+use hifi_units::{Nanometers, Ratio};
+
+/// Aggregated measurements for one transistor class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassMeasurement {
+    /// The class measured.
+    pub class: TransistorClass,
+    /// Number of devices measured.
+    pub count: usize,
+    /// Mean measured width.
+    pub mean_width: Nanometers,
+    /// Mean measured length.
+    pub mean_length: Nanometers,
+    /// Largest deviation of any individual width from the mean (spread).
+    pub width_spread: Nanometers,
+    /// Largest deviation of any individual length from the mean.
+    pub length_spread: Nanometers,
+}
+
+impl ClassMeasurement {
+    /// Mean W/L ratio.
+    pub fn w_over_l(&self) -> f64 {
+        self.mean_width / self.mean_length
+    }
+}
+
+/// A full measurement report over an extraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasurementReport {
+    /// Per-class aggregates, ordered by [`TransistorClass::ALL`].
+    pub classes: Vec<ClassMeasurement>,
+    /// Total individual measurements taken (2 per device: W and L).
+    pub total_measurements: usize,
+}
+
+impl MeasurementReport {
+    /// The measurement for one class, if present.
+    pub fn class(&self, class: TransistorClass) -> Option<&ClassMeasurement> {
+        self.classes.iter().find(|c| c.class == class)
+    }
+
+    /// Worst relative deviation of the measured means from the expected
+    /// drawn dimensions (per class, W and L), e.g. to validate the pipeline
+    /// against generator ground truth.
+    pub fn worst_deviation(&self, expected: &[(TransistorClass, TransistorDims)]) -> Option<Ratio> {
+        let mut worst: Option<Ratio> = None;
+        for (class, dims) in expected {
+            let Some(m) = self.class(*class) else {
+                continue;
+            };
+            for (measured, truth) in [
+                (m.mean_width.value(), dims.width.value()),
+                (m.mean_length.value(), dims.length.value()),
+            ] {
+                let dev = Ratio::relative_deviation(measured, truth);
+                worst = Some(match worst {
+                    Some(w) => w.max(dev),
+                    None => dev,
+                });
+            }
+        }
+        worst
+    }
+}
+
+/// Measures all classified devices of an extraction.
+///
+/// Devices without a class (classification skipped or failed) are ignored.
+pub fn measure(extraction: &Extraction) -> MeasurementReport {
+    let mut classes = Vec::new();
+    let mut total = 0usize;
+    for class in TransistorClass::ALL {
+        let dims: Vec<TransistorDims> = extraction
+            .devices
+            .iter()
+            .filter(|d| d.class == Some(class))
+            .map(|d| d.dims)
+            .collect();
+        if dims.is_empty() {
+            continue;
+        }
+        let n = dims.len() as f64;
+        let mean_w = dims.iter().map(|d| d.width.value()).sum::<f64>() / n;
+        let mean_l = dims.iter().map(|d| d.length.value()).sum::<f64>() / n;
+        let spread_w = dims
+            .iter()
+            .map(|d| (d.width.value() - mean_w).abs())
+            .fold(0.0, f64::max);
+        let spread_l = dims
+            .iter()
+            .map(|d| (d.length.value() - mean_l).abs())
+            .fold(0.0, f64::max);
+        total += dims.len() * 2;
+        classes.push(ClassMeasurement {
+            class,
+            count: dims.len(),
+            mean_width: Nanometers(mean_w),
+            mean_length: Nanometers(mean_l),
+            width_spread: Nanometers(spread_w),
+            length_spread: Nanometers(spread_l),
+        });
+    }
+    MeasurementReport {
+        classes,
+        total_measurements: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract;
+    use hifi_circuit::topology::SaTopologyKind;
+    use hifi_synth::{generate_region, SaRegionSpec};
+
+    #[test]
+    fn measured_dims_match_ground_truth_within_a_voxel() {
+        let spec = SaRegionSpec::new(SaTopologyKind::OffsetCancellation).with_pairs(1);
+        let region = generate_region(&spec);
+        let ex = extract(&region.voxelize()).unwrap();
+        let report = measure(&ex);
+        let truth = &region.ground_truth().cell.dims_by_class;
+        let worst = report.worst_deviation(truth).unwrap();
+        // One voxel (8 nm) on a ~50 nm length is ~16%; stay under 20%.
+        assert!(
+            worst.value() < 0.20,
+            "worst deviation {}%",
+            worst.as_percent()
+        );
+    }
+
+    #[test]
+    fn report_counts_match_topology() {
+        let spec = SaRegionSpec::new(SaTopologyKind::Classic).with_pairs(2);
+        let region = generate_region(&spec);
+        let ex = extract(&region.voxelize()).unwrap();
+        let report = measure(&ex);
+        assert_eq!(report.class(TransistorClass::NSa).unwrap().count, 4);
+        assert_eq!(report.class(TransistorClass::Equalizer).unwrap().count, 2);
+        // 2 cells × 9 devices × 2 measurements each.
+        assert_eq!(report.total_measurements, 36);
+    }
+
+    #[test]
+    fn identical_cells_spread_stays_within_one_voxel() {
+        // Tiled cells are geometrically identical; only voxel quantisation
+        // (cell offsets need not be voxel-aligned) may differ.
+        let spec = SaRegionSpec::new(SaTopologyKind::Classic).with_pairs(2);
+        let region = generate_region(&spec);
+        let ex = extract(&region.voxelize()).unwrap();
+        let report = measure(&ex);
+        let voxel = Nanometers(spec.voxel_nm);
+        for c in &report.classes {
+            assert!(c.width_spread <= voxel, "{}: {}", c.class, c.width_spread);
+            assert!(c.length_spread <= voxel, "{}: {}", c.class, c.length_spread);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Collapsing layer z-bands into 2-D occupancy grids.
+
+use hifi_geometry::Layer;
+use hifi_synth::{Material, MaterialVolume};
+
+/// A boolean occupancy grid for one layer (x-major rows of y).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Slab {
+    /// Grid width along x.
+    pub nx: usize,
+    /// Grid height along y.
+    pub ny: usize,
+    /// Occupancy flags, index `y * nx + x`.
+    pub cells: Vec<bool>,
+}
+
+impl Slab {
+    /// Creates an empty slab.
+    pub fn empty(nx: usize, ny: usize) -> Self {
+        Self {
+            nx,
+            ny,
+            cells: vec![false; nx * ny],
+        }
+    }
+
+    /// Occupancy at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> bool {
+        self.cells[y * self.nx + x]
+    }
+
+    /// Sets occupancy at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: bool) {
+        self.cells[y * self.nx + x] = v;
+    }
+
+    /// Number of occupied cells.
+    pub fn count(&self) -> usize {
+        self.cells.iter().filter(|&&c| c).count()
+    }
+
+    /// Logical AND of two slabs (used for gate ∩ active).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn intersect(&self, other: &Slab) -> Slab {
+        assert_eq!((self.nx, self.ny), (other.nx, other.ny), "slab shape mismatch");
+        Slab {
+            nx: self.nx,
+            ny: self.ny,
+            cells: self
+                .cells
+                .iter()
+                .zip(&other.cells)
+                .map(|(a, b)| *a && *b)
+                .collect(),
+        }
+    }
+
+    /// Removes `other`'s occupied cells from `self` (active minus channel).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn subtract(&self, other: &Slab) -> Slab {
+        assert_eq!((self.nx, self.ny), (other.nx, other.ny), "slab shape mismatch");
+        Slab {
+            nx: self.nx,
+            ny: self.ny,
+            cells: self
+                .cells
+                .iter()
+                .zip(&other.cells)
+                .map(|(a, b)| *a && !*b)
+                .collect(),
+        }
+    }
+}
+
+/// Which material realises each extracted layer.
+pub fn layer_material(layer: Layer) -> Material {
+    match layer {
+        Layer::Active => Material::ActiveSi,
+        Layer::Gate => Material::GatePoly,
+        Layer::Contact => Material::Contact,
+        Layer::Metal1 => Material::Metal1,
+        Layer::Via1 => Material::Via,
+        Layer::Metal2 => Material::Metal2,
+        Layer::Capacitor => Material::Capacitor,
+    }
+}
+
+/// Morphological closing with a unit 4-neighbourhood structuring element:
+/// dilation followed by erosion. Bridges 1–2-cell breaks left by imaging
+/// noise/misregistration without permanently growing features (layout
+/// clearances are kept above the bridging distance by the generator).
+pub fn close_unit(slab: &Slab) -> Slab {
+    let (nx, ny) = (slab.nx, slab.ny);
+    let neighbours_or_self = |s: &Slab, x: usize, y: usize| -> [bool; 5] {
+        [
+            s.get(x, y),
+            x > 0 && s.get(x - 1, y),
+            x + 1 < nx && s.get(x + 1, y),
+            y > 0 && s.get(x, y - 1),
+            y + 1 < ny && s.get(x, y + 1),
+        ]
+    };
+    let mut dilated = Slab::empty(nx, ny);
+    for y in 0..ny {
+        for x in 0..nx {
+            if neighbours_or_self(slab, x, y).iter().any(|&b| b) {
+                dilated.set(x, y, true);
+            }
+        }
+    }
+    let mut closed = Slab::empty(nx, ny);
+    for y in 0..ny {
+        for x in 0..nx {
+            if neighbours_or_self(&dilated, x, y).iter().all(|&b| b) {
+                closed.set(x, y, true);
+            }
+        }
+    }
+    closed
+}
+
+/// Projects a layer's z-band onto a 2-D occupancy grid. A cell is occupied
+/// when at least a third of the band's voxels at that (x, y) carry the
+/// layer's material — robust to stray misclassified voxels after the
+/// imaging pipeline.
+pub fn project_layer(volume: &MaterialVolume, layer: Layer) -> Slab {
+    let (nx, ny, _) = volume.dims();
+    let (z0, z1) = volume.layer_z_range(layer);
+    let material = layer_material(layer);
+    let band = (z1.saturating_sub(z0)).max(1);
+    let threshold = band.div_ceil(3);
+    let mut slab = Slab::empty(nx, ny);
+    for y in 0..ny {
+        for x in 0..nx {
+            let mut hits = 0;
+            for z in z0..z1 {
+                if volume.get(x, y, z) == material {
+                    hits += 1;
+                }
+            }
+            if hits >= threshold {
+                slab.set(x, y, true);
+            }
+        }
+    }
+    slab
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hifi_geometry::LayerStack;
+
+    #[test]
+    fn projection_finds_filled_band() {
+        let mut v = MaterialVolume::new(10, 10, 141, 5.0, LayerStack::default_dram());
+        let (z0, z1) = v.layer_z_range(Layer::Metal1);
+        v.fill_box(2, 5, 3, 7, z0, z1, Material::Metal1, true);
+        let slab = project_layer(&v, Layer::Metal1);
+        assert!(slab.get(3, 4));
+        assert!(!slab.get(8, 8));
+        assert_eq!(slab.count(), 3 * 4);
+    }
+
+    #[test]
+    fn projection_tolerates_partial_band() {
+        let mut v = MaterialVolume::new(6, 6, 141, 5.0, LayerStack::default_dram());
+        let (z0, z1) = v.layer_z_range(Layer::Gate);
+        // Fill only half of the band: still occupied (>= 1/3).
+        let mid = z0 + (z1 - z0) / 2;
+        v.fill_box(1, 2, 1, 2, z0, mid, Material::GatePoly, true);
+        let slab = project_layer(&v, Layer::Gate);
+        assert!(slab.get(1, 1));
+    }
+
+    #[test]
+    fn intersect_and_subtract() {
+        let mut a = Slab::empty(4, 1);
+        let mut b = Slab::empty(4, 1);
+        a.set(0, 0, true);
+        a.set(1, 0, true);
+        b.set(1, 0, true);
+        b.set(2, 0, true);
+        let i = a.intersect(&b);
+        assert_eq!(i.count(), 1);
+        assert!(i.get(1, 0));
+        let s = a.subtract(&b);
+        assert_eq!(s.count(), 1);
+        assert!(s.get(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn shape_mismatch_panics() {
+        let a = Slab::empty(2, 2);
+        let b = Slab::empty(3, 2);
+        let _ = a.intersect(&b);
+    }
+}

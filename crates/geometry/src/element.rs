@@ -1,0 +1,131 @@
+//! Layout elements: labelled rectangles with a semantic kind.
+
+use crate::{Layer, Rect};
+
+/// What a layout rectangle physically is. The extractor recovers these roles
+/// from imagery; the generator knows them a priori, which is what makes the
+/// pipeline testable end to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElementKind {
+    /// A routed wire segment (bitline on M1, LIO on M2, …).
+    Wire,
+    /// A vertical connector (contact or via).
+    Via,
+    /// A transistor gate finger.
+    Gate,
+    /// A doped active region (source/drain diffusion).
+    ActiveRegion,
+    /// A storage capacitor in the MAT.
+    CellCapacitor,
+    /// A placement-blockage / filler region.
+    Filler,
+}
+
+impl core::fmt::Display for ElementKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            ElementKind::Wire => "wire",
+            ElementKind::Via => "via",
+            ElementKind::Gate => "gate",
+            ElementKind::ActiveRegion => "active",
+            ElementKind::CellCapacitor => "capacitor",
+            ElementKind::Filler => "filler",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One rectangle of a [`crate::Layout`]: a shape on a layer with a semantic
+/// kind and an optional net/instance label.
+///
+/// ```
+/// use hifi_geometry::{Element, ElementKind, Layer, Rect};
+/// let bl = Element::new(Layer::Metal1, Rect::from_origin_size(0, 0, 18, 3000), ElementKind::Wire)
+///     .with_label("BL3");
+/// assert_eq!(bl.label(), Some("BL3"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Element {
+    layer: Layer,
+    rect: Rect,
+    kind: ElementKind,
+    label: Option<String>,
+}
+
+impl Element {
+    /// Creates an unlabelled element.
+    pub fn new(layer: Layer, rect: Rect, kind: ElementKind) -> Self {
+        Self {
+            layer,
+            rect,
+            kind,
+            label: None,
+        }
+    }
+
+    /// Attaches a net or instance label (builder style).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// The layer this element sits on.
+    pub fn layer(&self) -> Layer {
+        self.layer
+    }
+
+    /// The element's footprint.
+    pub fn rect(&self) -> Rect {
+        self.rect
+    }
+
+    /// The semantic kind.
+    pub fn kind(&self) -> ElementKind {
+        self.kind
+    }
+
+    /// The label, if any.
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+
+    /// Returns a copy translated by `(dx, dy)`.
+    pub fn translated(&self, dx: i64, dy: i64) -> Self {
+        Self {
+            rect: self.rect.translated(dx, dy),
+            label: self.label.clone(),
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_builder() {
+        let e = Element::new(
+            Layer::Gate,
+            Rect::from_origin_size(0, 0, 55, 300),
+            ElementKind::Gate,
+        );
+        assert_eq!(e.label(), None);
+        let e = e.with_label("nSA.g");
+        assert_eq!(e.label(), Some("nSA.g"));
+    }
+
+    #[test]
+    fn translate_preserves_metadata() {
+        let e = Element::new(
+            Layer::Metal1,
+            Rect::from_origin_size(0, 0, 20, 100),
+            ElementKind::Wire,
+        )
+        .with_label("BL0");
+        let t = e.translated(10, -5);
+        assert_eq!(t.rect().min(), crate::Point::new(10, -5));
+        assert_eq!(t.label(), Some("BL0"));
+        assert_eq!(t.kind(), ElementKind::Wire);
+    }
+}

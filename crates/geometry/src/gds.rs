@@ -1,0 +1,548 @@
+//! Minimal GDSII stream-format writer and reader.
+//!
+//! The paper releases the reverse-engineered SA-region layouts "in the
+//! standard GDSII format" (Section V-C); this module provides the same
+//! capability for our layouts. It supports the subset of GDSII needed for
+//! rectangle-based layouts: one library, one or more structures, `BOUNDARY`
+//! elements (axis-aligned rectangles) and `TEXT` labels. Database unit is
+//! 1 nm (user unit 1 µm), matching the workspace convention.
+//!
+//! # Examples
+//!
+//! ```
+//! use hifi_geometry::{gds, Element, ElementKind, Layer, Layout, Rect};
+//!
+//! let mut cell = Layout::new("SA");
+//! cell.push(Element::new(Layer::Metal1, Rect::from_origin_size(0, 0, 18, 900), ElementKind::Wire)
+//!     .with_label("BL0"));
+//! let bytes = gds::write_library("hifi", &[cell.clone()])?;
+//! let cells = gds::read_library(&bytes)?;
+//! assert_eq!(cells, vec![cell]);
+//! # Ok::<(), gds::GdsError>(())
+//! ```
+
+use crate::{Element, ElementKind, Layer, Layout, Point, Rect};
+
+/// Error produced when encoding or decoding a GDSII stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GdsError {
+    /// The stream ended inside a record.
+    UnexpectedEof,
+    /// A record header was malformed (bad length or unknown type).
+    MalformedRecord(String),
+    /// Records appeared in an order the reader cannot interpret.
+    UnexpectedRecord {
+        /// The record type encountered.
+        found: u8,
+        /// What the reader was parsing at the time.
+        context: &'static str,
+    },
+    /// A coordinate does not form an axis-aligned rectangle.
+    NotARectangle,
+    /// A layer number outside the modelled stack.
+    UnknownLayer(i16),
+    /// A datatype number that does not map to an [`ElementKind`].
+    UnknownKind(i16),
+    /// A string record held invalid UTF-8.
+    InvalidString,
+}
+
+impl core::fmt::Display for GdsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GdsError::UnexpectedEof => write!(f, "unexpected end of gds stream"),
+            GdsError::MalformedRecord(m) => write!(f, "malformed gds record: {m}"),
+            GdsError::UnexpectedRecord { found, context } => {
+                write!(f, "unexpected record 0x{found:02x} while parsing {context}")
+            }
+            GdsError::NotARectangle => write!(f, "boundary is not an axis-aligned rectangle"),
+            GdsError::UnknownLayer(l) => write!(f, "unknown layer number {l}"),
+            GdsError::UnknownKind(d) => write!(f, "unknown datatype {d}"),
+            GdsError::InvalidString => write!(f, "string record is not valid ascii"),
+        }
+    }
+}
+
+impl std::error::Error for GdsError {}
+
+// Record type bytes (GDSII stream format).
+const HEADER: u8 = 0x00;
+const BGNLIB: u8 = 0x01;
+const LIBNAME: u8 = 0x02;
+const UNITS: u8 = 0x03;
+const ENDLIB: u8 = 0x04;
+const BGNSTR: u8 = 0x05;
+const STRNAME: u8 = 0x06;
+const ENDSTR: u8 = 0x07;
+const BOUNDARY: u8 = 0x08;
+const TEXT: u8 = 0x0C;
+const LAYER_REC: u8 = 0x0D;
+const DATATYPE: u8 = 0x0E;
+const XY: u8 = 0x10;
+const ENDEL: u8 = 0x11;
+const TEXTTYPE: u8 = 0x16;
+const STRING: u8 = 0x19;
+
+// Data type bytes.
+const DT_NONE: u8 = 0x00;
+const DT_I16: u8 = 0x02;
+const DT_I32: u8 = 0x03;
+const DT_F64: u8 = 0x05;
+const DT_ASCII: u8 = 0x06;
+
+fn kind_to_datatype(kind: ElementKind) -> i16 {
+    match kind {
+        ElementKind::Wire => 0,
+        ElementKind::Via => 1,
+        ElementKind::Gate => 2,
+        ElementKind::ActiveRegion => 3,
+        ElementKind::CellCapacitor => 4,
+        ElementKind::Filler => 5,
+    }
+}
+
+fn datatype_to_kind(dt: i16) -> Result<ElementKind, GdsError> {
+    Ok(match dt {
+        0 => ElementKind::Wire,
+        1 => ElementKind::Via,
+        2 => ElementKind::Gate,
+        3 => ElementKind::ActiveRegion,
+        4 => ElementKind::CellCapacitor,
+        5 => ElementKind::Filler,
+        other => return Err(GdsError::UnknownKind(other)),
+    })
+}
+
+/// Encodes an `f64` into the GDSII 8-byte excess-64 base-16 real format.
+fn encode_real8(v: f64) -> [u8; 8] {
+    if v == 0.0 {
+        return [0; 8];
+    }
+    let sign = if v < 0.0 { 0x80u8 } else { 0 };
+    let mut mantissa = v.abs();
+    let mut exponent: i32 = 64;
+    // Normalise mantissa into [1/16, 1).
+    while mantissa >= 1.0 {
+        mantissa /= 16.0;
+        exponent += 1;
+    }
+    while mantissa < 1.0 / 16.0 {
+        mantissa *= 16.0;
+        exponent -= 1;
+    }
+    let mut out = [0u8; 8];
+    out[0] = sign | (exponent as u8);
+    let mut frac = mantissa;
+    for byte in out.iter_mut().skip(1) {
+        frac *= 256.0;
+        let b = frac.floor();
+        *byte = b as u8;
+        frac -= b;
+    }
+    out
+}
+
+/// Decodes the GDSII 8-byte real format back into an `f64`.
+#[cfg(test)]
+fn decode_real8(b: &[u8; 8]) -> f64 {
+    let sign = if b[0] & 0x80 != 0 { -1.0 } else { 1.0 };
+    let exponent = (b[0] & 0x7f) as i32 - 64;
+    let mut mantissa = 0.0f64;
+    for (i, &byte) in b.iter().enumerate().skip(1) {
+        mantissa += byte as f64 / 256f64.powi(i as i32);
+    }
+    sign * mantissa * 16f64.powi(exponent)
+}
+
+struct RecordWriter {
+    buf: Vec<u8>,
+}
+
+impl RecordWriter {
+    fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    fn record(&mut self, rec_type: u8, data_type: u8, payload: &[u8]) {
+        let len = (payload.len() + 4) as u16;
+        self.buf.extend_from_slice(&len.to_be_bytes());
+        self.buf.push(rec_type);
+        self.buf.push(data_type);
+        self.buf.extend_from_slice(payload);
+    }
+
+    fn i16s(&mut self, rec_type: u8, values: &[i16]) {
+        let mut p = Vec::with_capacity(values.len() * 2);
+        for v in values {
+            p.extend_from_slice(&v.to_be_bytes());
+        }
+        self.record(rec_type, DT_I16, &p);
+    }
+
+    fn i32s(&mut self, rec_type: u8, values: &[i32]) {
+        let mut p = Vec::with_capacity(values.len() * 4);
+        for v in values {
+            p.extend_from_slice(&v.to_be_bytes());
+        }
+        self.record(rec_type, DT_I32, &p);
+    }
+
+    fn ascii(&mut self, rec_type: u8, s: &str) {
+        let mut p = s.as_bytes().to_vec();
+        if p.len() % 2 == 1 {
+            p.push(0); // GDSII pads strings to even length
+        }
+        self.record(rec_type, DT_ASCII, &p);
+    }
+}
+
+/// Serialises layout cells into a GDSII stream.
+///
+/// Each [`Layout`] becomes one GDSII structure; each element becomes a
+/// `BOUNDARY` (layer = [`Layer::index`], datatype = element kind) and, when
+/// labelled, an accompanying `TEXT` at the rectangle's minimum corner.
+///
+/// # Errors
+///
+/// Currently infallible in practice; returns `Result` for forward
+/// compatibility with size limits.
+pub fn write_library(lib_name: &str, cells: &[Layout]) -> Result<Vec<u8>, GdsError> {
+    let mut w = RecordWriter::new();
+    w.i16s(HEADER, &[600]);
+    // Fixed timestamps keep output deterministic (modification + access).
+    w.i16s(BGNLIB, &[2024, 1, 1, 0, 0, 0, 2024, 1, 1, 0, 0, 0]);
+    w.ascii(LIBNAME, lib_name);
+    // user unit = 1e-3 (dbu in user units: 1 nm in µm), dbu = 1e-9 m.
+    let mut units = Vec::new();
+    units.extend_from_slice(&encode_real8(1e-3));
+    units.extend_from_slice(&encode_real8(1e-9));
+    w.record(UNITS, DT_F64, &units);
+
+    for cell in cells {
+        w.i16s(BGNSTR, &[2024, 1, 1, 0, 0, 0, 2024, 1, 1, 0, 0, 0]);
+        w.ascii(STRNAME, cell.name());
+        for e in cell.iter() {
+            w.record(BOUNDARY, DT_NONE, &[]);
+            w.i16s(LAYER_REC, &[e.layer().index() as i16]);
+            w.i16s(DATATYPE, &[kind_to_datatype(e.kind())]);
+            let r = e.rect();
+            let (x0, y0) = (r.min().x as i32, r.min().y as i32);
+            let (x1, y1) = (r.max().x as i32, r.max().y as i32);
+            w.i32s(XY, &[x0, y0, x1, y0, x1, y1, x0, y1, x0, y0]);
+            w.record(ENDEL, DT_NONE, &[]);
+            if let Some(label) = e.label() {
+                w.record(TEXT, DT_NONE, &[]);
+                w.i16s(LAYER_REC, &[e.layer().index() as i16]);
+                w.i16s(TEXTTYPE, &[kind_to_datatype(e.kind())]);
+                w.i32s(XY, &[x0, y0]);
+                w.ascii(STRING, label);
+                w.record(ENDEL, DT_NONE, &[]);
+            }
+        }
+        w.record(ENDSTR, DT_NONE, &[]);
+    }
+    w.record(ENDLIB, DT_NONE, &[]);
+    Ok(w.buf)
+}
+
+struct RecordReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+struct Record<'a> {
+    rec_type: u8,
+    payload: &'a [u8],
+}
+
+impl<'a> RecordReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    fn next_record(&mut self) -> Result<Option<Record<'a>>, GdsError> {
+        if self.pos == self.data.len() {
+            return Ok(None);
+        }
+        if self.pos + 4 > self.data.len() {
+            return Err(GdsError::UnexpectedEof);
+        }
+        let len = u16::from_be_bytes([self.data[self.pos], self.data[self.pos + 1]]) as usize;
+        if len < 4 {
+            return Err(GdsError::MalformedRecord(format!("record length {len} < 4")));
+        }
+        if self.pos + len > self.data.len() {
+            return Err(GdsError::UnexpectedEof);
+        }
+        let rec_type = self.data[self.pos + 2];
+        let payload = &self.data[self.pos + 4..self.pos + len];
+        self.pos += len;
+        Ok(Some(Record { rec_type, payload }))
+    }
+}
+
+fn payload_i16(p: &[u8]) -> Result<i16, GdsError> {
+    if p.len() < 2 {
+        return Err(GdsError::MalformedRecord("short i16 payload".into()));
+    }
+    Ok(i16::from_be_bytes([p[0], p[1]]))
+}
+
+fn payload_i32s(p: &[u8]) -> Result<Vec<i32>, GdsError> {
+    if p.len() % 4 != 0 {
+        return Err(GdsError::MalformedRecord("xy payload not multiple of 4".into()));
+    }
+    Ok(p.chunks_exact(4)
+        .map(|c| i32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+fn payload_str(p: &[u8]) -> Result<String, GdsError> {
+    let trimmed: &[u8] = if p.last() == Some(&0) {
+        &p[..p.len() - 1]
+    } else {
+        p
+    };
+    String::from_utf8(trimmed.to_vec()).map_err(|_| GdsError::InvalidString)
+}
+
+fn rect_from_xy(xy: &[i32]) -> Result<Rect, GdsError> {
+    // Expect a closed 5-point axis-aligned rectangle.
+    if xy.len() != 10 {
+        return Err(GdsError::NotARectangle);
+    }
+    let points: Vec<Point> = xy
+        .chunks_exact(2)
+        .map(|c| Point::new(c[0] as i64, c[1] as i64))
+        .collect();
+    if points[0] != points[4] {
+        return Err(GdsError::NotARectangle);
+    }
+    let xs: Vec<i64> = points[..4].iter().map(|p| p.x).collect();
+    let ys: Vec<i64> = points[..4].iter().map(|p| p.y).collect();
+    let (xmin, xmax) = (*xs.iter().min().unwrap(), *xs.iter().max().unwrap());
+    let (ymin, ymax) = (*ys.iter().min().unwrap(), *ys.iter().max().unwrap());
+    // Verify every corner is one of the 4 rect corners.
+    for p in &points[..4] {
+        if (p.x != xmin && p.x != xmax) || (p.y != ymin && p.y != ymax) {
+            return Err(GdsError::NotARectangle);
+        }
+    }
+    Ok(Rect::new(Point::new(xmin, ymin), Point::new(xmax, ymax)))
+}
+
+/// Parses a GDSII stream produced by [`write_library`] (or any tool emitting
+/// the same rectangle-based subset) back into layout cells.
+///
+/// # Errors
+///
+/// Returns a [`GdsError`] on truncated streams, malformed records,
+/// non-rectangular boundaries, or unknown layer/datatype numbers.
+pub fn read_library(bytes: &[u8]) -> Result<Vec<Layout>, GdsError> {
+    let mut rr = RecordReader::new(bytes);
+    let mut cells = Vec::new();
+    let mut current: Option<Layout> = None;
+    // Pending label positions: (layer, point, text) applied after parsing.
+    let mut pending_labels: Vec<(Layer, Point, String)> = Vec::new();
+
+    // In-progress element state.
+    let mut in_boundary = false;
+    let mut in_text = false;
+    let mut cur_layer: Option<Layer> = None;
+    let mut cur_kind: Option<ElementKind> = None;
+    let mut cur_xy: Vec<i32> = Vec::new();
+    let mut cur_string: Option<String> = None;
+
+    while let Some(rec) = rr.next_record()? {
+        match rec.rec_type {
+            HEADER | BGNLIB | LIBNAME | UNITS => {}
+            BGNSTR => {
+                current = Some(Layout::new(""));
+            }
+            STRNAME => {
+                let name = payload_str(rec.payload)?;
+                if let Some(cell) = current.take() {
+                    // Recreate with the proper name, keeping any elements
+                    // (STRNAME always precedes elements in valid streams).
+                    let mut named = Layout::new(name);
+                    for e in cell.iter() {
+                        named.push(e.clone());
+                    }
+                    current = Some(named);
+                } else {
+                    return Err(GdsError::UnexpectedRecord {
+                        found: STRNAME,
+                        context: "structure name outside structure",
+                    });
+                }
+            }
+            BOUNDARY => {
+                in_boundary = true;
+                cur_layer = None;
+                cur_kind = None;
+                cur_xy.clear();
+            }
+            TEXT => {
+                in_text = true;
+                cur_layer = None;
+                cur_kind = None;
+                cur_xy.clear();
+                cur_string = None;
+            }
+            LAYER_REC => {
+                let num = payload_i16(rec.payload)?;
+                cur_layer = Some(
+                    Layer::from_index(num as usize).ok_or(GdsError::UnknownLayer(num))?,
+                );
+            }
+            DATATYPE | TEXTTYPE => {
+                cur_kind = Some(datatype_to_kind(payload_i16(rec.payload)?)?);
+            }
+            XY => {
+                cur_xy = payload_i32s(rec.payload)?;
+            }
+            STRING => {
+                cur_string = Some(payload_str(rec.payload)?);
+            }
+            ENDEL => {
+                let cell = current.as_mut().ok_or(GdsError::UnexpectedRecord {
+                    found: ENDEL,
+                    context: "element outside structure",
+                })?;
+                if in_boundary {
+                    let layer = cur_layer.ok_or(GdsError::MalformedRecord(
+                        "boundary without layer".into(),
+                    ))?;
+                    let kind = cur_kind.unwrap_or(ElementKind::Wire);
+                    let rect = rect_from_xy(&cur_xy)?;
+                    cell.push(Element::new(layer, rect, kind));
+                    in_boundary = false;
+                } else if in_text {
+                    let layer = cur_layer.ok_or(GdsError::MalformedRecord(
+                        "text without layer".into(),
+                    ))?;
+                    if cur_xy.len() != 2 {
+                        return Err(GdsError::MalformedRecord("text without position".into()));
+                    }
+                    let pos = Point::new(cur_xy[0] as i64, cur_xy[1] as i64);
+                    if let Some(s) = cur_string.take() {
+                        pending_labels.push((layer, pos, s));
+                    }
+                    in_text = false;
+                }
+            }
+            ENDSTR => {
+                let cell = current.take().ok_or(GdsError::UnexpectedRecord {
+                    found: ENDSTR,
+                    context: "structure end without begin",
+                })?;
+                // Re-attach labels to the element whose min corner matches.
+                let mut relabelled = Layout::new(cell.name());
+                for e in cell.iter() {
+                    let label = pending_labels
+                        .iter()
+                        .find(|(l, p, _)| *l == e.layer() && *p == e.rect().min())
+                        .map(|(_, _, s)| s.clone());
+                    match label {
+                        Some(s) => relabelled.push(e.clone().with_label(s)),
+                        None => relabelled.push(e.clone()),
+                    }
+                }
+                pending_labels.clear();
+                cells.push(relabelled);
+            }
+            ENDLIB => break,
+            other => {
+                return Err(GdsError::UnexpectedRecord {
+                    found: other,
+                    context: "library body",
+                })
+            }
+        }
+    }
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real8_round_trip() {
+        for v in [0.0, 1e-9, 1e-3, 1.0, -2.5, 6.25e-2, 1234.5] {
+            let enc = encode_real8(v);
+            let dec = decode_real8(&enc);
+            let err = if v == 0.0 {
+                dec.abs()
+            } else {
+                ((dec - v) / v).abs()
+            };
+            assert!(err < 1e-12, "round trip of {v} gave {dec}");
+        }
+    }
+
+    fn sample_cells() -> Vec<Layout> {
+        let mut a = Layout::new("SA1");
+        a.push(
+            Element::new(
+                Layer::Metal1,
+                Rect::from_origin_size(0, 0, 18, 2000),
+                ElementKind::Wire,
+            )
+            .with_label("BL0"),
+        );
+        a.push(Element::new(
+            Layer::Gate,
+            Rect::from_origin_size(100, 40, 55, 300),
+            ElementKind::Gate,
+        ));
+        let mut b = Layout::new("SA2");
+        b.push(Element::new(
+            Layer::Active,
+            Rect::from_origin_size(-50, -20, 200, 90),
+            ElementKind::ActiveRegion,
+        ));
+        vec![a, b]
+    }
+
+    #[test]
+    fn library_round_trip() {
+        let cells = sample_cells();
+        let bytes = write_library("hifi", &cells).unwrap();
+        let parsed = read_library(&bytes).unwrap();
+        assert_eq!(parsed, cells);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let bytes = write_library("hifi", &sample_cells()).unwrap();
+        let err = read_library(&bytes[..bytes.len() - 3]).unwrap_err();
+        assert!(matches!(
+            err,
+            GdsError::UnexpectedEof | GdsError::MalformedRecord(_)
+        ));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let err = read_library(&[0xde, 0xad, 0xbe]).unwrap_err();
+        // 0xdead as a length is huge -> EOF, or the record type is unknown.
+        assert!(matches!(
+            err,
+            GdsError::UnexpectedEof | GdsError::MalformedRecord(_) | GdsError::UnexpectedRecord { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_library_round_trips() {
+        let bytes = write_library("empty", &[]).unwrap();
+        assert_eq!(read_library(&bytes).unwrap(), Vec::<Layout>::new());
+    }
+
+    #[test]
+    fn error_display_is_lowercase() {
+        let msg = GdsError::UnexpectedEof.to_string();
+        assert!(msg.starts_with("unexpected"));
+        assert!(!msg.ends_with('.'));
+    }
+}

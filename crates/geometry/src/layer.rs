@@ -1,0 +1,244 @@
+//! The vertical IC layer stack.
+//!
+//! The paper images cross sections and reconstructs the stacked layers of the
+//! sense-amplifier region: the transistor layer at the bottom (active regions
+//! and gates), contacts, the metal-1 bitlines, via-1, metal-2 routing and —
+//! over the MATs — the honeycomb stacked capacitors (Figs. 4 and 7). The DRAM
+//! process has few metal layers (Section VI-B, "the number of IC layers is
+//! limited"), which is why this enum is deliberately small and closed.
+
+use hifi_units::Nanometers;
+
+/// A process layer of the modelled DRAM chip, bottom to top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Layer {
+    /// Doped active (diffusion) regions of transistors.
+    Active,
+    /// Transistor gates (and gate-level wires such as shared common gates).
+    Gate,
+    /// Contacts from active/gate up to metal 1.
+    Contact,
+    /// Metal 1: bitlines in and around the MAT, the narrowest wires (Appendix A).
+    Metal1,
+    /// Vias between metal 1 and metal 2.
+    Via1,
+    /// Metal 2: region-spanning routing; ~8x wider wires than M1 (Appendix A).
+    Metal2,
+    /// Stacked cell capacitors above the bitlines (honeycomb arrangement, Fig. 7a).
+    Capacitor,
+}
+
+impl Layer {
+    /// All layers, bottom to top.
+    pub const ALL: [Layer; 7] = [
+        Layer::Active,
+        Layer::Gate,
+        Layer::Contact,
+        Layer::Metal1,
+        Layer::Via1,
+        Layer::Metal2,
+        Layer::Capacitor,
+    ];
+
+    /// Stable small integer id, also used as the GDSII layer number.
+    pub const fn index(self) -> usize {
+        match self {
+            Layer::Active => 0,
+            Layer::Gate => 1,
+            Layer::Contact => 2,
+            Layer::Metal1 => 3,
+            Layer::Via1 => 4,
+            Layer::Metal2 => 5,
+            Layer::Capacitor => 6,
+        }
+    }
+
+    /// Inverse of [`Layer::index`].
+    pub const fn from_index(idx: usize) -> Option<Layer> {
+        match idx {
+            0 => Some(Layer::Active),
+            1 => Some(Layer::Gate),
+            2 => Some(Layer::Contact),
+            3 => Some(Layer::Metal1),
+            4 => Some(Layer::Via1),
+            5 => Some(Layer::Metal2),
+            6 => Some(Layer::Capacitor),
+            _ => None,
+        }
+    }
+
+    /// Short display name as used in figures ("M1", "M2", …).
+    pub const fn short_name(self) -> &'static str {
+        match self {
+            Layer::Active => "ACT",
+            Layer::Gate => "GATE",
+            Layer::Contact => "CONT",
+            Layer::Metal1 => "M1",
+            Layer::Via1 => "V1",
+            Layer::Metal2 => "M2",
+            Layer::Capacitor => "CAP",
+        }
+    }
+
+    /// Whether this layer is a vertical connector between two routing layers.
+    pub const fn is_via_like(self) -> bool {
+        matches!(self, Layer::Contact | Layer::Via1)
+    }
+}
+
+impl core::fmt::Display for Layer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// The vertical extent of one layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerExtent {
+    /// Bottom of the layer, nm above the substrate.
+    pub z_bottom: Nanometers,
+    /// Top of the layer, nm above the substrate.
+    pub z_top: Nanometers,
+}
+
+impl LayerExtent {
+    /// Layer thickness.
+    pub fn thickness(&self) -> Nanometers {
+        self.z_top - self.z_bottom
+    }
+}
+
+/// A full vertical stack: z-extents for every [`Layer`].
+///
+/// The paper measures wire heights in the SA region as small as 30 nm (B5,
+/// Section IV-C); the default stack reflects that scale.
+///
+/// ```
+/// use hifi_geometry::{Layer, LayerStack};
+/// let stack = LayerStack::default_dram();
+/// assert!(stack.extent(Layer::Metal1).thickness().value() >= 30.0);
+/// assert!(stack.total_height().value() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerStack {
+    extents: [LayerExtent; 7],
+}
+
+impl LayerStack {
+    /// A representative modern DRAM stack. Thicknesses follow the paper's
+    /// observations (30 nm M1 wires on B5) and the literature's description of
+    /// buried-channel array transistors below stacked capacitors.
+    pub fn default_dram() -> Self {
+        fn ext(b: f64, t: f64) -> LayerExtent {
+            LayerExtent {
+                z_bottom: Nanometers(b),
+                z_top: Nanometers(t),
+            }
+        }
+        Self {
+            extents: [
+                ext(0.0, 60.0),    // Active
+                ext(60.0, 110.0),  // Gate
+                ext(110.0, 160.0), // Contact
+                ext(160.0, 195.0), // Metal1 (~35 nm tall wires)
+                ext(195.0, 245.0), // Via1
+                ext(245.0, 305.0), // Metal2
+                ext(305.0, 705.0), // Capacitor (tall stacked caps)
+            ],
+        }
+    }
+
+    /// Builds a stack from explicit extents (bottom-to-top order of
+    /// [`Layer::ALL`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is inverted (`z_top < z_bottom`) or the layers
+    /// are not monotonically non-decreasing in z.
+    pub fn from_extents(extents: [LayerExtent; 7]) -> Self {
+        let mut prev_top = f64::NEG_INFINITY;
+        for (i, e) in extents.iter().enumerate() {
+            assert!(
+                e.z_top >= e.z_bottom,
+                "layer {i} extent inverted: {:?}",
+                e
+            );
+            assert!(
+                e.z_bottom.value() >= prev_top - 1e-9,
+                "layer {i} overlaps the layer below"
+            );
+            prev_top = e.z_top.value();
+        }
+        Self { extents }
+    }
+
+    /// The z-extent of `layer`.
+    pub fn extent(&self, layer: Layer) -> LayerExtent {
+        self.extents[layer.index()]
+    }
+
+    /// Total stack height (top of the capacitor layer).
+    pub fn total_height(&self) -> Nanometers {
+        self.extents[Layer::Capacitor.index()].z_top
+    }
+
+    /// The layer whose extent contains height `z`, if any.
+    pub fn layer_at(&self, z: Nanometers) -> Option<Layer> {
+        Layer::ALL
+            .into_iter()
+            .find(|l| {
+                let e = self.extent(*l);
+                z >= e.z_bottom && z < e.z_top
+            })
+    }
+}
+
+impl Default for LayerStack {
+    fn default() -> Self {
+        Self::default_dram()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for l in Layer::ALL {
+            assert_eq!(Layer::from_index(l.index()), Some(l));
+        }
+        assert_eq!(Layer::from_index(99), None);
+    }
+
+    #[test]
+    fn default_stack_is_ordered() {
+        let s = LayerStack::default_dram();
+        let mut prev = Nanometers(-1.0);
+        for l in Layer::ALL {
+            let e = s.extent(l);
+            assert!(e.z_bottom >= prev);
+            assert!(e.z_top >= e.z_bottom);
+            prev = e.z_top;
+        }
+    }
+
+    #[test]
+    fn layer_lookup_by_height() {
+        let s = LayerStack::default_dram();
+        assert_eq!(s.layer_at(Nanometers(0.0)), Some(Layer::Active));
+        assert_eq!(s.layer_at(Nanometers(170.0)), Some(Layer::Metal1));
+        assert_eq!(s.layer_at(Nanometers(10_000.0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_extent_panics() {
+        let mut e = LayerStack::default_dram().extents;
+        e[0] = LayerExtent {
+            z_bottom: Nanometers(10.0),
+            z_top: Nanometers(5.0),
+        };
+        let _ = LayerStack::from_extents(e);
+    }
+}

@@ -1,0 +1,208 @@
+//! A named layout cell: a bag of elements with spatial queries.
+
+use crate::{Element, ElementKind, Layer, Rect};
+use hifi_units::SquareNanometers;
+
+/// A named layout cell containing [`Element`]s on the process layers.
+///
+/// This is the in-memory equivalent of one GDSII structure; the paper's
+/// released SA-region layouts map 1:1 onto this type.
+///
+/// ```
+/// use hifi_geometry::{Element, ElementKind, Layer, Layout, Rect};
+/// let mut cell = Layout::new("ocsa-a5");
+/// cell.push(Element::new(Layer::Gate, Rect::from_origin_size(0, 0, 50, 220), ElementKind::Gate));
+/// assert_eq!(cell.len(), 1);
+/// assert_eq!(cell.area_on(Layer::Gate).value(), 11_000.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layout {
+    name: String,
+    elements: Vec<Element>,
+}
+
+impl Layout {
+    /// Creates an empty layout cell.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            elements: Vec::new(),
+        }
+    }
+
+    /// The cell name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds an element.
+    pub fn push(&mut self, element: Element) {
+        self.elements.push(element);
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the layout holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Iterates over all elements.
+    pub fn iter(&self) -> impl Iterator<Item = &Element> {
+        self.elements.iter()
+    }
+
+    /// Iterates over the elements on one layer.
+    pub fn elements_on(&self, layer: Layer) -> impl Iterator<Item = &Element> {
+        self.elements.iter().filter(move |e| e.layer() == layer)
+    }
+
+    /// Iterates over the elements of one kind.
+    pub fn elements_of_kind(&self, kind: ElementKind) -> impl Iterator<Item = &Element> {
+        self.elements.iter().filter(move |e| e.kind() == kind)
+    }
+
+    /// Finds elements whose label equals `label`.
+    pub fn labelled(&self, label: &str) -> impl Iterator<Item = &Element> + '_ {
+        let label = label.to_owned();
+        self.elements
+            .iter()
+            .filter(move |e| e.label() == Some(label.as_str()))
+    }
+
+    /// Bounding box over all elements, or `None` for an empty layout.
+    pub fn bounding_box(&self) -> Option<Rect> {
+        let mut it = self.elements.iter();
+        let first = it.next()?.rect();
+        Some(it.fold(first, |acc, e| acc.union(&e.rect())))
+    }
+
+    /// Summed rectangle area on a layer.
+    ///
+    /// Note: overlapping same-layer rectangles are counted twice; generator
+    /// layouts never overlap within a layer, and tests assert this via
+    /// [`Layout::has_same_layer_overlaps`].
+    pub fn area_on(&self, layer: Layer) -> SquareNanometers {
+        self.elements_on(layer).map(|e| e.rect().area()).sum()
+    }
+
+    /// Whether any two same-layer elements overlap in interior area.
+    pub fn has_same_layer_overlaps(&self) -> bool {
+        for layer in Layer::ALL {
+            let rects: Vec<Rect> = self.elements_on(layer).map(|e| e.rect()).collect();
+            for i in 0..rects.len() {
+                for j in (i + 1)..rects.len() {
+                    if rects[i].intersects(&rects[j]) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Elements on `layer` intersecting `window` (interior overlap).
+    pub fn query(&self, layer: Layer, window: Rect) -> impl Iterator<Item = &Element> {
+        self.elements_on(layer)
+            .filter(move |e| e.rect().intersects(&window))
+    }
+
+    /// Merges another layout's elements into this one, translated by
+    /// `(dx, dy)`. Used to tile SA cells into a full region.
+    pub fn merge_translated(&mut self, other: &Layout, dx: i64, dy: i64) {
+        self.elements
+            .extend(other.iter().map(|e| e.translated(dx, dy)));
+    }
+}
+
+impl Extend<Element> for Layout {
+    fn extend<T: IntoIterator<Item = Element>>(&mut self, iter: T) {
+        self.elements.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Layout {
+    type Item = &'a Element;
+    type IntoIter = std::slice::Iter<'a, Element>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.elements.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Layout {
+        let mut l = Layout::new("test");
+        l.push(
+            Element::new(
+                Layer::Metal1,
+                Rect::from_origin_size(0, 0, 20, 100),
+                ElementKind::Wire,
+            )
+            .with_label("BL0"),
+        );
+        l.push(
+            Element::new(
+                Layer::Metal1,
+                Rect::from_origin_size(40, 0, 20, 100),
+                ElementKind::Wire,
+            )
+            .with_label("BLB0"),
+        );
+        l.push(Element::new(
+            Layer::Gate,
+            Rect::from_origin_size(0, 120, 60, 50),
+            ElementKind::Gate,
+        ));
+        l
+    }
+
+    #[test]
+    fn queries() {
+        let l = sample();
+        assert_eq!(l.elements_on(Layer::Metal1).count(), 2);
+        assert_eq!(l.elements_of_kind(ElementKind::Gate).count(), 1);
+        assert_eq!(l.labelled("BL0").count(), 1);
+        assert_eq!(
+            l.query(Layer::Metal1, Rect::from_origin_size(0, 0, 10, 10))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn bbox_and_area() {
+        let l = sample();
+        let bb = l.bounding_box().unwrap();
+        assert_eq!(bb, Rect::from_origin_size(0, 0, 60, 170));
+        assert_eq!(l.area_on(Layer::Metal1), SquareNanometers(4000.0));
+        assert!(Layout::new("empty").bounding_box().is_none());
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let mut l = sample();
+        assert!(!l.has_same_layer_overlaps());
+        l.push(Element::new(
+            Layer::Metal1,
+            Rect::from_origin_size(10, 10, 20, 20),
+            ElementKind::Wire,
+        ));
+        assert!(l.has_same_layer_overlaps());
+    }
+
+    #[test]
+    fn merge_translated_tiles_cells() {
+        let cell = sample();
+        let mut region = Layout::new("region");
+        region.merge_translated(&cell, 0, 0);
+        region.merge_translated(&cell, 0, 200);
+        assert_eq!(region.len(), 2 * cell.len());
+        assert!(!region.has_same_layer_overlaps());
+    }
+}

@@ -1,0 +1,45 @@
+//! Layout geometry for the HiFi-DRAM reproduction.
+//!
+//! The paper re-creates the physical layouts of the sense-amplifier regions of
+//! six commodity DRAM chips and releases them "in the standard GDSII format"
+//! (Section V-C). This crate provides the layout model those layouts are
+//! expressed in:
+//!
+//! - [`Point`] / [`Rect`] — integer-nanometre geometry primitives,
+//! - [`Layer`] / [`LayerStack`] — the vertical IC stack (active, gate,
+//!   contact, metal-1 bitlines, via-1, metal-2 routing, capacitors) with
+//!   per-layer z-extent used by the voxeliser,
+//! - [`Layout`] / [`Element`] — a named cell holding labelled rectangles per
+//!   layer with spatial queries and area accounting,
+//! - [`DesignRules`] — minimum width/spacing checks (Appendix A discusses why
+//!   bitline width/spacing rules gate every proposed modification),
+//! - [`gds`] — a minimal GDSII stream-format writer and reader.
+//!
+//! # Examples
+//!
+//! ```
+//! use hifi_geometry::{Element, ElementKind, Layer, Layout, Rect};
+//!
+//! let mut layout = Layout::new("sa-region");
+//! layout.push(Element::new(
+//!     Layer::Metal1,
+//!     Rect::from_origin_size(0, 0, 20, 4000),
+//!     ElementKind::Wire,
+//! ).with_label("BL0"));
+//! assert_eq!(layout.elements_on(Layer::Metal1).count(), 1);
+//! ```
+
+mod element;
+pub mod gds;
+mod layer;
+mod layout;
+mod point;
+mod rect;
+mod rules;
+
+pub use element::{Element, ElementKind};
+pub use layer::{Layer, LayerExtent, LayerStack};
+pub use layout::Layout;
+pub use point::Point;
+pub use rect::Rect;
+pub use rules::{DesignRules, RuleViolation, ViolationKind};

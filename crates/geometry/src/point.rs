@@ -1,0 +1,89 @@
+//! Integer-nanometre point.
+
+/// A point in layout space. Coordinates are integer nanometres, matching the
+/// GDSII database unit used throughout the workspace (1 dbu = 1 nm).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Point {
+    /// X coordinate in nanometres. In the paper's figures X is the bitline
+    /// direction ("SA height" extends along X, Fig. 10).
+    pub x: i64,
+    /// Y coordinate in nanometres (the wordline direction; common-gate
+    /// elements span the SA region along Y).
+    pub y: i64,
+}
+
+impl Point {
+    /// The origin.
+    pub const ORIGIN: Self = Self { x: 0, y: 0 };
+
+    /// Creates a point.
+    ///
+    /// ```
+    /// use hifi_geometry::Point;
+    /// let p = Point::new(10, -5);
+    /// assert_eq!((p.x, p.y), (10, -5));
+    /// ```
+    #[inline]
+    pub const fn new(x: i64, y: i64) -> Self {
+        Self { x, y }
+    }
+
+    /// Translates by `(dx, dy)`.
+    #[inline]
+    pub const fn translated(self, dx: i64, dy: i64) -> Self {
+        Self::new(self.x + dx, self.y + dy)
+    }
+
+    /// Manhattan distance to another point — the relevant metric on
+    /// rectilinear layouts.
+    #[inline]
+    pub const fn manhattan_distance(self, other: Self) -> i64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+}
+
+impl core::ops::Add for Point {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl core::ops::Sub for Point {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl core::fmt::Display for Point {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "({}, {}) nm", self.x, self.y)
+    }
+}
+
+impl From<(i64, i64)> for Point {
+    fn from((x, y): (i64, i64)) -> Self {
+        Self::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Point::new(3, 4);
+        let b = Point::new(-1, 2);
+        assert_eq!(a + b, Point::new(2, 6));
+        assert_eq!(a - b, Point::new(4, 2));
+        assert_eq!(a.translated(1, 1), Point::new(4, 5));
+    }
+
+    #[test]
+    fn manhattan() {
+        assert_eq!(Point::new(0, 0).manhattan_distance(Point::new(3, -4)), 7);
+        assert_eq!(Point::ORIGIN.manhattan_distance(Point::ORIGIN), 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Axis-aligned rectangle in integer nanometres.
+
+use crate::Point;
+use hifi_units::{Nanometers, SquareNanometers};
+
+/// An axis-aligned rectangle with integer-nanometre corners.
+///
+/// Invariant: `min.x <= max.x` and `min.y <= max.y`; the constructors
+/// normalise their inputs so the invariant always holds.
+///
+/// ```
+/// use hifi_geometry::Rect;
+/// let r = Rect::new((10, 0).into(), (0, 5).into());
+/// assert_eq!(r.width(), 10);
+/// assert_eq!(r.height(), 5);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    min: Point,
+    max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two opposite corners (any order).
+    pub fn new(a: Point, b: Point) -> Self {
+        Self {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Creates a rectangle from an origin corner and a size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is negative.
+    pub fn from_origin_size(x: i64, y: i64, width: i64, height: i64) -> Self {
+        assert!(
+            width >= 0 && height >= 0,
+            "rect size must be non-negative, got {width}x{height}"
+        );
+        Self {
+            min: Point::new(x, y),
+            max: Point::new(x + width, y + height),
+        }
+    }
+
+    /// The corner with minimal coordinates.
+    #[inline]
+    pub const fn min(&self) -> Point {
+        self.min
+    }
+
+    /// The corner with maximal coordinates.
+    #[inline]
+    pub const fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Width along X, in nanometres.
+    #[inline]
+    pub const fn width(&self) -> i64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height along Y, in nanometres.
+    #[inline]
+    pub const fn height(&self) -> i64 {
+        self.max.y - self.min.y
+    }
+
+    /// Width as a typed length.
+    #[inline]
+    pub fn width_nm(&self) -> Nanometers {
+        Nanometers(self.width() as f64)
+    }
+
+    /// Height as a typed length.
+    #[inline]
+    pub fn height_nm(&self) -> Nanometers {
+        Nanometers(self.height() as f64)
+    }
+
+    /// Area as a typed quantity.
+    #[inline]
+    pub fn area(&self) -> SquareNanometers {
+        SquareNanometers(self.width() as f64 * self.height() as f64)
+    }
+
+    /// Centre point (rounded towards the minimum corner).
+    #[inline]
+    pub const fn center(&self) -> Point {
+        Point::new(
+            (self.min.x + self.max.x) / 2,
+            (self.min.y + self.max.y) / 2,
+        )
+    }
+
+    /// Whether this rectangle has zero area.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.width() == 0 || self.height() == 0
+    }
+
+    /// Whether `p` lies inside (boundary inclusive).
+    #[inline]
+    pub const fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Whether `other` lies entirely inside `self` (boundary inclusive).
+    #[inline]
+    pub const fn contains_rect(&self, other: &Rect) -> bool {
+        self.contains(other.min) && self.contains(other.max)
+    }
+
+    /// Whether the two rectangles share interior area (touching edges do not
+    /// count as intersection).
+    #[inline]
+    pub const fn intersects(&self, other: &Rect) -> bool {
+        self.min.x < other.max.x
+            && other.min.x < self.max.x
+            && self.min.y < other.max.y
+            && other.min.y < self.max.y
+    }
+
+    /// The overlapping region, or `None` when the interiors are disjoint.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect {
+            min: Point::new(self.min.x.max(other.min.x), self.min.y.max(other.min.y)),
+            max: Point::new(self.max.x.min(other.max.x), self.max.y.min(other.max.y)),
+        })
+    }
+
+    /// Smallest rectangle covering both inputs.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// Grows (or shrinks, for negative `margin`) the rectangle on all sides.
+    ///
+    /// Shrinking collapses to the centre rather than inverting.
+    pub fn expanded(&self, margin: i64) -> Rect {
+        let c = self.center();
+        Rect {
+            min: Point::new(
+                (self.min.x - margin).min(c.x),
+                (self.min.y - margin).min(c.y),
+            ),
+            max: Point::new(
+                (self.max.x + margin).max(c.x),
+                (self.max.y + margin).max(c.y),
+            ),
+        }
+    }
+
+    /// Translates by `(dx, dy)`.
+    pub const fn translated(&self, dx: i64, dy: i64) -> Rect {
+        Rect {
+            min: self.min.translated(dx, dy),
+            max: self.max.translated(dx, dy),
+        }
+    }
+
+    /// Edge-to-edge spacing between two non-overlapping rectangles along the
+    /// axes: the Chebyshev-style gap used by spacing design rules. Returns 0
+    /// when the rectangles touch or overlap.
+    pub fn spacing_to(&self, other: &Rect) -> i64 {
+        let dx = (other.min.x - self.max.x).max(self.min.x - other.max.x).max(0);
+        let dy = (other.min.y - self.max.y).max(self.min.y - other.max.y).max(0);
+        if dx > 0 && dy > 0 {
+            // Diagonal neighbours: rule distance is the larger axis gap under
+            // rectilinear spacing semantics.
+            dx.max(dy)
+        } else {
+            dx.max(dy)
+        }
+    }
+}
+
+impl core::fmt::Display for Rect {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "[{}..{}, {}..{}] nm",
+            self.min.x, self.max.x, self.min.y, self.max.y
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalised_corners() {
+        let r = Rect::new(Point::new(5, 7), Point::new(1, 2));
+        assert_eq!(r.min(), Point::new(1, 2));
+        assert_eq!(r.max(), Point::new(5, 7));
+    }
+
+    #[test]
+    fn area_and_size() {
+        let r = Rect::from_origin_size(0, 0, 30, 200);
+        assert_eq!(r.area(), SquareNanometers(6000.0));
+        assert_eq!(r.width_nm(), Nanometers(30.0));
+        assert_eq!(r.height_nm(), Nanometers(200.0));
+    }
+
+    #[test]
+    fn intersection_union() {
+        let a = Rect::from_origin_size(0, 0, 10, 10);
+        let b = Rect::from_origin_size(5, 5, 10, 10);
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, Rect::from_origin_size(5, 5, 5, 5));
+        assert_eq!(a.union(&b), Rect::from_origin_size(0, 0, 15, 15));
+    }
+
+    #[test]
+    fn touching_edges_do_not_intersect() {
+        let a = Rect::from_origin_size(0, 0, 10, 10);
+        let b = Rect::from_origin_size(10, 0, 10, 10);
+        assert!(!a.intersects(&b));
+        assert!(a.intersection(&b).is_none());
+        assert_eq!(a.spacing_to(&b), 0);
+    }
+
+    #[test]
+    fn spacing() {
+        let a = Rect::from_origin_size(0, 0, 10, 10);
+        let b = Rect::from_origin_size(25, 0, 10, 10);
+        assert_eq!(a.spacing_to(&b), 15);
+        assert_eq!(b.spacing_to(&a), 15);
+        let c = Rect::from_origin_size(0, 40, 10, 10);
+        assert_eq!(a.spacing_to(&c), 30);
+    }
+
+    #[test]
+    fn contains_boundary_inclusive() {
+        let r = Rect::from_origin_size(0, 0, 10, 10);
+        assert!(r.contains(Point::new(0, 0)));
+        assert!(r.contains(Point::new(10, 10)));
+        assert!(!r.contains(Point::new(11, 5)));
+        assert!(r.contains_rect(&Rect::from_origin_size(2, 2, 8, 8)));
+    }
+
+    #[test]
+    fn expanded_shrink_does_not_invert() {
+        let r = Rect::from_origin_size(0, 0, 4, 4);
+        let s = r.expanded(-10);
+        assert!(s.width() >= 0 && s.height() >= 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_size_panics() {
+        let _ = Rect::from_origin_size(0, 0, -1, 5);
+    }
+}

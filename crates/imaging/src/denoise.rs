@@ -1,0 +1,214 @@
+//! Total-variation denoising (Chambolle's dual projection algorithm).
+//!
+//! The paper filters every cross-section with an edge-preserving
+//! total-variation denoiser (split-Bregman or Chambolle) before alignment
+//! (Section IV-C). We implement Chambolle (2004): minimise
+//! `‖u − f‖² / (2λ) + TV(u)` by projected gradient on the dual variable.
+
+use crate::sem::{ImageStack, SemImage};
+
+/// Denoises one image with Chambolle's algorithm.
+///
+/// `lambda` balances fidelity against smoothing (larger = smoother);
+/// `iterations` of the dual update with the standard step 0.25.
+///
+/// # Panics
+///
+/// Panics if `lambda` is not positive.
+pub fn chambolle_tv(image: &SemImage, lambda: f32, iterations: usize) -> SemImage {
+    assert!(lambda > 0.0, "lambda must be positive");
+    let (ny, nz) = image.dims();
+    let n = ny * nz;
+    // Dual field p = (p1, p2).
+    let mut p1 = vec![0.0f32; n];
+    let mut p2 = vec![0.0f32; n];
+    let mut div = vec![0.0f32; n];
+    let idx = |y: usize, z: usize| z * ny + y;
+    let tau = 0.25f32;
+
+    for _ in 0..iterations {
+        // div p
+        for z in 0..nz {
+            for y in 0..ny {
+                let i = idx(y, z);
+                let a = p1[i] - if y > 0 { p1[idx(y - 1, z)] } else { 0.0 };
+                let b = p2[i] - if z > 0 { p2[idx(y, z - 1)] } else { 0.0 };
+                div[i] = a + b;
+            }
+        }
+        // u = f − λ div p ; grad u ; dual ascent with reprojection.
+        for z in 0..nz {
+            for y in 0..ny {
+                let i = idx(y, z);
+                let u = |yy: usize, zz: usize| {
+                    let j = idx(yy, zz);
+                    image.get(yy, zz) - lambda * div[j]
+                };
+                let here = u(y, z);
+                let gx = if y + 1 < ny { u(y + 1, z) - here } else { 0.0 };
+                let gy = if z + 1 < nz { u(y, z + 1) - here } else { 0.0 };
+                // Chambolle's dual ascent: with u = f − λ·div p, the update
+                // direction is ∇(div p − f/λ) = −∇u/λ, followed by the
+                // semi-implicit reprojection 1 + τ|g|.
+                let g1 = -gx / lambda;
+                let g2 = -gy / lambda;
+                let denom = 1.0 + tau * (g1 * g1 + g2 * g2).sqrt();
+                p1[i] = (p1[i] + tau * g1) / denom;
+                p2[i] = (p2[i] + tau * g2) / denom;
+            }
+        }
+    }
+    // Final primal: u = f − λ div p.
+    for z in 0..nz {
+        for y in 0..ny {
+            let i = idx(y, z);
+            let a = p1[i] - if y > 0 { p1[idx(y - 1, z)] } else { 0.0 };
+            let b = p2[i] - if z > 0 { p2[idx(y, z - 1)] } else { 0.0 };
+            div[i] = a + b;
+        }
+    }
+    let mut out = image.clone();
+    for z in 0..nz {
+        for y in 0..ny {
+            let v = image.get(y, z) - lambda * div[idx(y, z)];
+            out.set(y, z, v);
+        }
+    }
+    out
+}
+
+/// 3×3 median filter — the edge-preserving prefilter of the pipeline.
+///
+/// Unlike total variation, the median does not shrink the amplitude of
+/// small bright features (the SA region's wires are only 2–4 pixels wide in
+/// cross-section), while suppressing shot noise by ≈3×. Borders use the
+/// clamped neighbourhood.
+pub fn median3x3(image: &SemImage) -> SemImage {
+    let (ny, nz) = image.dims();
+    let mut out = image.clone();
+    let mut window = [0.0f32; 9];
+    for z in 0..nz {
+        for y in 0..ny {
+            let mut n = 0;
+            for dz in -1i32..=1 {
+                for dy in -1i32..=1 {
+                    let (py, pz) = (y as i32 + dy, z as i32 + dz);
+                    if py >= 0 && py < ny as i32 && pz >= 0 && pz < nz as i32 {
+                        window[n] = image.get(py as usize, pz as usize);
+                        n += 1;
+                    }
+                }
+            }
+            window[..n].sort_by(|a, b| a.partial_cmp(b).expect("finite pixels"));
+            out.set(y, z, window[n / 2]);
+        }
+    }
+    out
+}
+
+/// Denoises every slice of a stack in place with Chambolle TV. Keep `lambda`
+/// small (≈2) on SA-region stacks: wires are only 2–4 pixels across and
+/// stronger TV shrinks their amplitude below the classification margins.
+pub fn denoise(stack: &mut ImageStack, lambda: f32, iterations: usize) {
+    for s in stack.slices_mut() {
+        *s = chambolle_tv(s, lambda, iterations);
+    }
+}
+
+/// Averages each slice with its neighbours along the milling direction
+/// (window `i−radius ..= i+radius`, clamped at the stack ends). Structures
+/// extend across consecutive slices, so this cuts shot noise by ≈√(2r+1)
+/// with **no in-plane erosion** — run it *after* alignment.
+pub fn average_slices(stack: &mut ImageStack, radius: usize) {
+    if radius == 0 || stack.len() < 2 {
+        return;
+    }
+    let n = stack.len();
+    let originals: Vec<SemImage> = stack.slices().to_vec();
+    for i in 0..n {
+        let lo = i.saturating_sub(radius);
+        let hi = (i + radius).min(n - 1);
+        let count = (hi - lo + 1) as f32;
+        let out = stack.slices_mut()[i].pixels_mut();
+        for (p, v) in out.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for s in &originals[lo..=hi] {
+                acc += s.pixels()[p];
+            }
+            *v = acc / count;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A step-edge image with additive noise.
+    fn noisy_step(sigma: f32, seed: u64) -> (SemImage, SemImage) {
+        let (ny, nz) = (40, 30);
+        let mut clean = SemImage::filled(ny, nz, 30.0);
+        for z in 0..nz {
+            for y in 20..ny {
+                clean.set(y, z, 200.0);
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut noisy = clean.clone();
+        for p in noisy.pixels_mut() {
+            // Uniform noise is fine for this test.
+            *p += rng.gen_range(-sigma..sigma);
+        }
+        (clean, noisy)
+    }
+
+    fn mse(a: &SemImage, b: &SemImage) -> f32 {
+        let n = a.pixels().len() as f32;
+        a.pixels()
+            .iter()
+            .zip(b.pixels())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f32>()
+            / n
+    }
+
+    #[test]
+    fn denoising_reduces_error_against_clean_image() {
+        let (clean, noisy) = noisy_step(25.0, 7);
+        let den = chambolle_tv(&noisy, 12.0, 30);
+        let before = mse(&clean, &noisy);
+        let after = mse(&clean, &den);
+        assert!(
+            after < before * 0.5,
+            "denoise should halve the MSE: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn edges_are_preserved() {
+        let (_, noisy) = noisy_step(20.0, 11);
+        let den = chambolle_tv(&noisy, 10.0, 30);
+        // The step at y=20 must survive: strong contrast across the edge.
+        let left: f32 = (0..30).map(|z| den.get(18, z)).sum::<f32>() / 30.0;
+        let right: f32 = (0..30).map(|z| den.get(22, z)).sum::<f32>() / 30.0;
+        assert!(right - left > 120.0, "edge contrast {left} vs {right}");
+    }
+
+    #[test]
+    fn constant_image_is_fixed_point() {
+        let img = SemImage::filled(10, 10, 55.0);
+        let den = chambolle_tv(&img, 10.0, 15);
+        for (a, b) in img.pixels().iter().zip(den.pixels()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_lambda_rejected() {
+        let img = SemImage::filled(4, 4, 0.0);
+        let _ = chambolle_tv(&img, 0.0, 5);
+    }
+}

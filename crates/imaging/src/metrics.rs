@@ -1,0 +1,129 @@
+//! Quality metrics for the imaging pipeline: how faithfully does a
+//! processed stack reproduce the ground-truth volume?
+
+use crate::sem::{DriftTruth, SemImage};
+use hifi_synth::MaterialVolume;
+
+/// Peak signal-to-noise ratio between two images (peak = 255).
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn psnr(a: &SemImage, b: &SemImage) -> f64 {
+    assert_eq!(a.dims(), b.dims(), "image dimensions differ");
+    let n = a.pixels().len() as f64;
+    let mse: f64 = a
+        .pixels()
+        .iter()
+        .zip(b.pixels())
+        .map(|(x, y)| ((x - y) as f64).powi(2))
+        .sum::<f64>()
+        / n;
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / mse).log10()
+    }
+}
+
+/// Fraction of voxels whose material matches between a reconstruction and
+/// the ground-truth volume (over the common extent).
+pub fn voxel_accuracy(reconstructed: &MaterialVolume, truth: &MaterialVolume) -> f64 {
+    let (tx, ty, tz) = truth.dims();
+    let (rx, ry, rz) = reconstructed.dims();
+    let (nx, ny, nz) = (tx.min(rx), ty.min(ry), tz.min(rz));
+    let mut same = 0usize;
+    let mut total = 0usize;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                total += 1;
+                if reconstructed.get(x, y, z) == truth.get(x, y, z) {
+                    same += 1;
+                }
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        same as f64 / total as f64
+    }
+}
+
+/// Mean absolute residual drift after alignment, in pixels per slice:
+/// a perfect aligner's corrections are the negated ground-truth shifts.
+pub fn residual_drift(corrections: &[(i32, i32)], truth: &DriftTruth) -> f64 {
+    if corrections.is_empty() {
+        return 0.0;
+    }
+    let total: i32 = corrections
+        .iter()
+        .zip(&truth.shifts)
+        .map(|(c, t)| (c.0 + t.0).abs() + (c.1 + t.1).abs())
+        .sum();
+    total as f64 / corrections.len() as f64
+}
+
+/// The paper's alignment budget: residual misalignment must stay below
+/// 0.77% of the cross-section height (a 30 nm wire against a ~4 µm slice,
+/// Section IV-C). Returns the budget in pixels for a given slice height.
+pub fn alignment_budget_px(slice_height_px: usize) -> f64 {
+    slice_height_px as f64 * 0.0077
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hifi_geometry::LayerStack;
+    use hifi_synth::Material;
+
+    #[test]
+    fn psnr_of_identical_images_is_infinite() {
+        let img = SemImage::filled(8, 8, 100.0);
+        assert!(psnr(&img, &img).is_infinite());
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let a = SemImage::filled(8, 8, 100.0);
+        let mut b = a.clone();
+        b.add_offset(5.0);
+        let mut c = a.clone();
+        c.add_offset(20.0);
+        assert!(psnr(&a, &b) > psnr(&a, &c));
+    }
+
+    #[test]
+    fn voxel_accuracy_bounds() {
+        let a = MaterialVolume::new(4, 4, 4, 5.0, LayerStack::default_dram());
+        assert_eq!(voxel_accuracy(&a, &a), 1.0);
+        let mut b = a.clone();
+        for z in 0..4 {
+            for y in 0..4 {
+                for x in 0..4 {
+                    b.set(x, y, z, Material::Metal1);
+                }
+            }
+        }
+        assert_eq!(voxel_accuracy(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn residual_drift_zero_for_perfect_corrections() {
+        let truth = DriftTruth {
+            shifts: vec![(0, 0), (1, -2), (3, 0)],
+            brightness: vec![0.0; 3],
+        };
+        let perfect: Vec<(i32, i32)> = truth.shifts.iter().map(|&(a, b)| (-a, -b)).collect();
+        assert_eq!(residual_drift(&perfect, &truth), 0.0);
+        let off: Vec<(i32, i32)> = vec![(0, 0), (-1, 2), (-2, 0)];
+        assert!((residual_drift(&off, &truth) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alignment_budget_matches_paper_ratio() {
+        // 130x ratio: a 30 nm wire in a ~3.9 µm slice.
+        assert!((alignment_budget_px(130) - 1.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,441 @@
+//! FIB slicing and SEM image formation.
+
+use hifi_synth::MaterialVolume;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SEM detector choice (Table I uses SE for vendor A and BSE elsewhere).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorKind {
+    /// Secondary electrons: conductivity contrast.
+    Se,
+    /// Backscatter electrons: atomic-number contrast.
+    Bse,
+}
+
+/// Acquisition parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImagingConfig {
+    /// Detector used for the whole stack.
+    pub detector: DetectorKind,
+    /// Dwell time per pixel (µs). Noise σ scales as `1/√dwell`
+    /// (the paper uses 3 µs and 6 µs).
+    pub dwell_us: f64,
+    /// Standard deviation of the per-slice stage-drift innovation (pixels).
+    /// Drift follows a mean-reverting (Ornstein–Uhlenbeck) walk — operators
+    /// re-centre the field of view periodically, so drift stays bounded at
+    /// roughly ±3× this value.
+    pub drift_sigma_px: f64,
+    /// Per-slice brightness random-walk step (intensity units).
+    pub brightness_wander: f64,
+    /// FIB slice thickness in voxels of the source volume (the paper mills
+    /// 10 nm or 20 nm per slice).
+    pub slice_voxels: usize,
+    /// RNG seed: acquisitions are reproducible.
+    pub seed: u64,
+    /// Blank frame margin (pixels) around the cross-section, so stage drift
+    /// moves content within the frame instead of clipping it at the image
+    /// border — as an operator would frame the ROI with headroom.
+    pub frame_margin_px: usize,
+}
+
+impl Default for ImagingConfig {
+    fn default() -> Self {
+        Self {
+            detector: DetectorKind::Bse,
+            dwell_us: 6.0,
+            drift_sigma_px: 0.7,
+            brightness_wander: 1.5,
+            slice_voxels: 1,
+            seed: 0x5EED,
+            frame_margin_px: 16,
+        }
+    }
+}
+
+impl ImagingConfig {
+    /// Noise standard deviation implied by the dwell time. Calibrated so
+    /// that the paper's dwell times (3–6 µs) yield the SNR of a usable
+    /// FIB/SEM acquisition (contrast ≈ 30 intensity units between adjacent
+    /// material classes): ≈10σ at 3 µs, ≈7σ at 6 µs.
+    pub fn noise_sigma(&self) -> f64 {
+        18.0 / self.dwell_us.max(1e-6).sqrt()
+    }
+}
+
+/// One SEM cross-section image: `ny × nz` intensity pixels (f32), row-major
+/// in `y` per `z` row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemImage {
+    ny: usize,
+    nz: usize,
+    pixels: Vec<f32>,
+}
+
+impl SemImage {
+    /// Creates a constant image.
+    pub fn filled(ny: usize, nz: usize, value: f32) -> Self {
+        Self {
+            ny,
+            nz,
+            pixels: vec![value; ny * nz],
+        }
+    }
+
+    /// Image dimensions `(ny, nz)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.ny, self.nz)
+    }
+
+    /// Pixel accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    #[inline]
+    pub fn get(&self, y: usize, z: usize) -> f32 {
+        self.pixels[z * self.ny + y]
+    }
+
+    /// Pixel setter.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    #[inline]
+    pub fn set(&mut self, y: usize, z: usize, v: f32) {
+        self.pixels[z * self.ny + y] = v;
+    }
+
+    /// Raw pixel slice.
+    pub fn pixels(&self) -> &[f32] {
+        &self.pixels
+    }
+
+    /// Mutable raw pixels.
+    pub fn pixels_mut(&mut self) -> &mut [f32] {
+        &mut self.pixels
+    }
+
+    /// Returns the image translated by `(dy, dz)` pixels, filling exposed
+    /// borders with `fill`.
+    pub fn shifted(&self, dy: i32, dz: i32, fill: f32) -> SemImage {
+        let mut out = SemImage::filled(self.ny, self.nz, fill);
+        for z in 0..self.nz {
+            let sz = z as i32 - dz;
+            if sz < 0 || sz >= self.nz as i32 {
+                continue;
+            }
+            for y in 0..self.ny {
+                let sy = y as i32 - dy;
+                if sy < 0 || sy >= self.ny as i32 {
+                    continue;
+                }
+                out.set(y, z, self.get(sy as usize, sz as usize));
+            }
+        }
+        out
+    }
+
+    /// Median intensity (used for brightness normalisation: the oxide
+    /// background dominates every cross-section).
+    pub fn median(&self) -> f32 {
+        let mut v = self.pixels.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite pixels"));
+        v[v.len() / 2]
+    }
+
+    /// Adds a constant offset.
+    pub fn add_offset(&mut self, offset: f32) {
+        for p in &mut self.pixels {
+            *p += offset;
+        }
+    }
+}
+
+/// An acquired (or processed) stack of cross-section slices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImageStack {
+    slices: Vec<SemImage>,
+    /// Pixel edge in nm (equals the source voxel size).
+    pixel_nm: f64,
+    /// Slice thickness in source voxels.
+    slice_voxels: usize,
+    detector: DetectorKind,
+    /// Blank frame margin around the imaged cross-section (pixels).
+    frame_margin_px: usize,
+}
+
+impl ImageStack {
+    /// Builds a stack from parts (used by processing steps).
+    pub fn from_slices(
+        slices: Vec<SemImage>,
+        pixel_nm: f64,
+        slice_voxels: usize,
+        detector: DetectorKind,
+    ) -> Self {
+        Self {
+            slices,
+            pixel_nm,
+            slice_voxels,
+            detector,
+            frame_margin_px: 0,
+        }
+    }
+
+    /// Sets the frame margin recorded with the stack (builder style).
+    pub fn with_frame_margin(mut self, margin_px: usize) -> Self {
+        self.frame_margin_px = margin_px;
+        self
+    }
+
+    /// Blank frame margin around the cross-section content (pixels).
+    pub fn frame_margin_px(&self) -> usize {
+        self.frame_margin_px
+    }
+
+    /// Number of slices.
+    pub fn len(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slices.is_empty()
+    }
+
+    /// Slice accessor.
+    pub fn slice(&self, i: usize) -> &SemImage {
+        &self.slices[i]
+    }
+
+    /// Mutable slices.
+    pub fn slices_mut(&mut self) -> &mut [SemImage] {
+        &mut self.slices
+    }
+
+    /// All slices.
+    pub fn slices(&self) -> &[SemImage] {
+        &self.slices
+    }
+
+    /// Pixel size (nm).
+    pub fn pixel_nm(&self) -> f64 {
+        self.pixel_nm
+    }
+
+    /// Slice thickness in source voxels.
+    pub fn slice_voxels(&self) -> usize {
+        self.slice_voxels
+    }
+
+    /// Detector the stack was acquired with.
+    pub fn detector(&self) -> DetectorKind {
+        self.detector
+    }
+
+    /// A planar (top-down) view at height-row `z`: axes (slice index, y).
+    /// This is the cross-section → planar pivot of Section IV-C.
+    pub fn planar_view(&self, z: usize) -> SemImage {
+        let (ny, _) = self.slices[0].dims();
+        let mut out = SemImage::filled(self.len(), ny, 0.0);
+        for (x, s) in self.slices.iter().enumerate() {
+            for y in 0..ny {
+                out.set(x, y, s.get(y, z));
+            }
+        }
+        // Planar image dims: (n_slices, ny) mapped into SemImage(ny=n_slices, nz=ny).
+        out
+    }
+
+    /// Normalises per-slice brightness by pinning each slice's median (the
+    /// oxide background) to the stack-wide median.
+    pub fn normalize_brightness(&mut self) {
+        if self.slices.is_empty() {
+            return;
+        }
+        let medians: Vec<f32> = self.slices.iter().map(SemImage::median).collect();
+        let mut global = medians.clone();
+        global.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let target = global[global.len() / 2];
+        for (s, m) in self.slices.iter_mut().zip(medians) {
+            s.add_offset(target - m);
+        }
+    }
+}
+
+/// Ground-truth acquisition artefacts, for validating the post-processing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftTruth {
+    /// Cumulative (dy, dz) shift applied to each slice.
+    pub shifts: Vec<(i32, i32)>,
+    /// Brightness offset applied to each slice.
+    pub brightness: Vec<f64>,
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    // Box-Muller.
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Acquires a cross-section stack from a volume: for every FIB slice the
+/// cross-section is rendered with material-dependent contrast, shot noise,
+/// cumulative integer stage drift and brightness wander.
+///
+/// Returns the stack and the ground-truth artefacts (for validation only —
+/// the post-processing never sees them).
+pub fn acquire(volume: &MaterialVolume, cfg: &ImagingConfig) -> (ImageStack, DriftTruth) {
+    let (nx, ny, nz) = volume.dims();
+    let step = cfg.slice_voxels.max(1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let sigma = cfg.noise_sigma();
+
+    let mut slices = Vec::new();
+    let mut shifts = Vec::new();
+    let mut brightness = Vec::new();
+    // Continuous mean-reverting drift state, rounded per slice.
+    let (mut fy, mut fz) = (0.0f64, 0.0f64);
+    let mut bright = 0.0f64;
+    const REVERSION: f64 = 0.94;
+
+    let margin = cfg.frame_margin_px;
+    let oxide = match cfg.detector {
+        DetectorKind::Se => hifi_synth::Material::Oxide.se_intensity(),
+        DetectorKind::Bse => hifi_synth::Material::Oxide.bse_intensity(),
+    } as f32;
+    let mut x = 0usize;
+    while x < nx {
+        // Ideal cross-section, framed with blank margin so drift cannot
+        // push content off the image.
+        let mut img = SemImage::filled(ny + 2 * margin, nz + 2 * margin, oxide);
+        for z in 0..nz {
+            for y in 0..ny {
+                let m = volume.get(x, y, z);
+                let base = match cfg.detector {
+                    DetectorKind::Se => m.se_intensity(),
+                    DetectorKind::Bse => m.bse_intensity(),
+                };
+                img.set(y + margin, z + margin, base as f32);
+            }
+        }
+        // Stage drift: mean-reverting walk (first slice is the reference).
+        if !slices.is_empty() {
+            fy = fy * REVERSION + gaussian(&mut rng) * cfg.drift_sigma_px;
+            fz = fz * REVERSION + gaussian(&mut rng) * cfg.drift_sigma_px;
+            bright = bright * REVERSION + gaussian(&mut rng) * cfg.brightness_wander;
+        }
+        let (dy, dz) = (fy.round() as i32, fz.round() as i32);
+        let mut img = img.shifted(dy, dz, oxide);
+        // Shot noise + brightness offset.
+        for p in img.pixels_mut() {
+            *p += (gaussian(&mut rng) * sigma + bright) as f32;
+        }
+        slices.push(img);
+        shifts.push((dy, dz));
+        brightness.push(bright);
+        x += step;
+    }
+
+    (
+        ImageStack::from_slices(slices, volume.voxel_nm(), step, cfg.detector)
+            .with_frame_margin(margin),
+        DriftTruth { shifts, brightness },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hifi_geometry::LayerStack;
+    use hifi_synth::Material;
+
+    fn test_volume() -> MaterialVolume {
+        let mut v = MaterialVolume::new(20, 30, 25, 5.0, LayerStack::default_dram());
+        v.fill_box(0, 20, 10, 14, 8, 10, Material::Metal1, true);
+        v.fill_box(0, 20, 4, 6, 2, 4, Material::ActiveSi, true);
+        v
+    }
+
+    #[test]
+    fn acquisition_is_deterministic() {
+        let v = test_volume();
+        let cfg = ImagingConfig::default();
+        let (a, ta) = acquire(&v, &cfg);
+        let (b, tb) = acquire(&v, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn slice_count_follows_thickness() {
+        let v = test_volume();
+        let mut cfg = ImagingConfig::default();
+        cfg.slice_voxels = 1;
+        assert_eq!(acquire(&v, &cfg).0.len(), 20);
+        cfg.slice_voxels = 4;
+        assert_eq!(acquire(&v, &cfg).0.len(), 5);
+    }
+
+    #[test]
+    fn higher_dwell_means_less_noise() {
+        let mut cfg = ImagingConfig::default();
+        cfg.dwell_us = 3.0;
+        let s3 = cfg.noise_sigma();
+        cfg.dwell_us = 6.0;
+        let s6 = cfg.noise_sigma();
+        assert!(s6 < s3);
+        assert!((s3 / s6 - 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn materials_are_visible_above_noise() {
+        let v = test_volume();
+        let mut cfg = ImagingConfig::default();
+        cfg.drift_sigma_px = 0.0;
+        cfg.brightness_wander = 0.0;
+        let (stack, _) = acquire(&v, &cfg);
+        let img = stack.slice(5);
+        let m = cfg.frame_margin_px;
+        // Metal pixel vs oxide pixel: means far apart.
+        let metal = img.get(11 + m, 8 + m);
+        let oxide = img.get(m, 20 + m);
+        assert!(metal - oxide > 80.0, "metal {metal} vs oxide {oxide}");
+    }
+
+    #[test]
+    fn shifted_fills_border() {
+        let mut img = SemImage::filled(4, 4, 1.0);
+        img.set(0, 0, 9.0);
+        let s = img.shifted(1, 0, 0.0);
+        assert_eq!(s.get(1, 0), 9.0);
+        assert_eq!(s.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn normalization_removes_brightness_wander() {
+        let v = test_volume();
+        let mut cfg = ImagingConfig::default();
+        cfg.drift_sigma_px = 0.0;
+        cfg.brightness_wander = 8.0;
+        cfg.dwell_us = 1e6; // effectively noiseless
+        let (mut stack, truth) = acquire(&v, &cfg);
+        assert!(truth.brightness.iter().any(|b| b.abs() > 4.0));
+        stack.normalize_brightness();
+        let medians: Vec<f32> = stack.slices().iter().map(SemImage::median).collect();
+        let spread = medians.iter().cloned().fold(f32::MIN, f32::max)
+            - medians.iter().cloned().fold(f32::MAX, f32::min);
+        assert!(spread < 1.0, "median spread {spread}");
+    }
+
+    #[test]
+    fn planar_view_shape() {
+        let v = test_volume();
+        let cfg = ImagingConfig::default();
+        let (stack, _) = acquire(&v, &cfg);
+        let planar = stack.planar_view(8);
+        // Planar axes: (slice index, y including the frame margin).
+        assert_eq!(planar.dims(), (stack.len(), 30 + 2 * cfg.frame_margin_px));
+    }
+}

@@ -1,0 +1,115 @@
+//! Generator configuration.
+
+use hifi_circuit::topology::{SaDimensions, SaTopologyKind};
+
+/// Configuration for one generated SA region (builder style).
+///
+/// ```
+/// use hifi_synth::SaRegionSpec;
+/// use hifi_circuit::topology::SaTopologyKind;
+///
+/// let spec = SaRegionSpec::new(SaTopologyKind::Classic)
+///     .with_pairs(4)
+///     .with_voxel_nm(10.0);
+/// assert_eq!(spec.n_pairs, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaRegionSpec {
+    /// Which SA circuit to lay out.
+    pub topology: SaTopologyKind,
+    /// Transistor dimensions (drawn W/L per class). Defaults match a modern
+    /// node; pass a chip's measured dimensions to emulate that chip.
+    pub dims: SaDimensions,
+    /// Number of bitline pairs (stacked SA cells along Y).
+    pub n_pairs: usize,
+    /// Voxel edge for voxelisation (nm). The paper's SEM pixel resolutions
+    /// run 3.4–10.4 nm (Table I).
+    pub voxel_nm: f64,
+    /// MAT→SA transition-zone length along the bitline (nm);
+    /// 318 nm (DDR4) / 275 nm (DDR5) on average in the paper.
+    pub transition_nm: i64,
+    /// Whether to prepend a MAT strip with honeycomb capacitors (Fig. 7a).
+    pub include_mat: bool,
+    /// Length of the MAT strip when included (nm).
+    pub mat_length_nm: i64,
+}
+
+impl SaRegionSpec {
+    /// A spec with workspace defaults: two pairs, 8 nm voxels, 318 nm
+    /// transition, no MAT strip.
+    pub fn new(topology: SaTopologyKind) -> Self {
+        Self {
+            topology,
+            dims: SaDimensions::default(),
+            n_pairs: 2,
+            voxel_nm: 8.0,
+            transition_nm: 318,
+            include_mat: false,
+            mat_length_nm: 640,
+        }
+    }
+
+    /// Sets the transistor dimensions.
+    pub fn with_dims(mut self, dims: SaDimensions) -> Self {
+        self.dims = dims;
+        self
+    }
+
+    /// Sets the number of bitline pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_pairs(mut self, n: usize) -> Self {
+        assert!(n > 0, "a region needs at least one pair");
+        self.n_pairs = n;
+        self
+    }
+
+    /// Sets the voxel size.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the size is positive.
+    pub fn with_voxel_nm(mut self, nm: f64) -> Self {
+        assert!(nm > 0.0, "voxel size must be positive");
+        self.voxel_nm = nm;
+        self
+    }
+
+    /// Sets the MAT→SA transition length.
+    pub fn with_transition_nm(mut self, nm: i64) -> Self {
+        self.transition_nm = nm.max(0);
+        self
+    }
+
+    /// Enables the MAT capacitor strip.
+    pub fn with_mat_strip(mut self, include: bool) -> Self {
+        self.include_mat = include;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trip() {
+        let s = SaRegionSpec::new(SaTopologyKind::OffsetCancellation)
+            .with_pairs(3)
+            .with_voxel_nm(5.0)
+            .with_transition_nm(275)
+            .with_mat_strip(true);
+        assert_eq!(s.n_pairs, 3);
+        assert_eq!(s.voxel_nm, 5.0);
+        assert_eq!(s.transition_nm, 275);
+        assert!(s.include_mat);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pair")]
+    fn zero_pairs_rejected() {
+        let _ = SaRegionSpec::new(SaTopologyKind::Classic).with_pairs(0);
+    }
+}

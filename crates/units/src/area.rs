@@ -1,0 +1,107 @@
+//! Area quantities: square nanometres, micrometres and millimetres.
+
+use crate::quantity;
+use crate::Nanometers;
+
+quantity! {
+    /// An area in square nanometres — the native unit for transistor and
+    /// layout-element footprints.
+    SquareNanometers, "nm^2"
+}
+
+quantity! {
+    /// An area in square micrometres, used for imaged regions (the paper scans
+    /// 100 um^2 and 30 um^2 windows).
+    SquareMicrometers, "um^2"
+}
+
+quantity! {
+    /// An area in square millimetres, used for die areas (Table I reports die
+    /// sizes of 34–75 mm^2).
+    SquareMillimeters, "mm^2"
+}
+
+impl SquareNanometers {
+    /// Converts to square micrometres.
+    #[inline]
+    pub fn to_square_micrometers(self) -> SquareMicrometers {
+        SquareMicrometers(self.0 / 1e6)
+    }
+
+    /// Converts to square millimetres.
+    #[inline]
+    pub fn to_square_millimeters(self) -> SquareMillimeters {
+        SquareMillimeters(self.0 / 1e12)
+    }
+
+    /// Divides an area by a length, yielding a length.
+    ///
+    /// ```
+    /// use hifi_units::{Nanometers, SquareNanometers};
+    /// assert_eq!(SquareNanometers(12.0).over(Nanometers(4.0)), Nanometers(3.0));
+    /// ```
+    #[inline]
+    pub fn over(self, len: Nanometers) -> Nanometers {
+        Nanometers(self.0 / len.0)
+    }
+}
+
+impl SquareMicrometers {
+    /// Converts to square nanometres.
+    #[inline]
+    pub fn to_square_nanometers(self) -> SquareNanometers {
+        SquareNanometers(self.0 * 1e6)
+    }
+
+    /// Converts to square millimetres.
+    #[inline]
+    pub fn to_square_millimeters(self) -> SquareMillimeters {
+        SquareMillimeters(self.0 / 1e6)
+    }
+}
+
+impl SquareMillimeters {
+    /// Converts to square micrometres.
+    #[inline]
+    pub fn to_square_micrometers(self) -> SquareMicrometers {
+        SquareMicrometers(self.0 * 1e6)
+    }
+
+    /// Converts to square nanometres.
+    #[inline]
+    pub fn to_square_nanometers(self) -> SquareNanometers {
+        SquareNanometers(self.0 * 1e12)
+    }
+}
+
+impl From<SquareMicrometers> for SquareNanometers {
+    fn from(v: SquareMicrometers) -> Self {
+        v.to_square_nanometers()
+    }
+}
+
+impl From<SquareMillimeters> for SquareNanometers {
+    fn from(v: SquareMillimeters) -> Self {
+        v.to_square_nanometers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_are_consistent() {
+        let a = SquareMillimeters(34.0);
+        assert_eq!(a.to_square_micrometers(), SquareMicrometers(34e6));
+        assert_eq!(a.to_square_nanometers(), SquareNanometers(34e12));
+        let back = a.to_square_nanometers().to_square_millimeters();
+        assert!((back - a).abs() < SquareMillimeters(1e-9));
+    }
+
+    #[test]
+    fn area_over_length() {
+        let a = Nanometers(10.0).by(Nanometers(20.0));
+        assert_eq!(a.over(Nanometers(10.0)), Nanometers(20.0));
+    }
+}

@@ -1,0 +1,141 @@
+//! Electrical quantities: voltages and capacitances.
+
+use crate::quantity;
+
+quantity! {
+    /// A voltage in volts. DDR4 cores operate around 1.2 V, DDR5 around 1.1 V;
+    /// the bitline precharge reference `Vpre` is typically half the array
+    /// voltage.
+    Volts, "V"
+}
+
+quantity! {
+    /// A voltage in millivolts, the natural unit for sensing margins and
+    /// charge-sharing perturbations (tens of mV) and transistor offsets.
+    Millivolts, "mV"
+}
+
+quantity! {
+    /// A capacitance in femtofarads. DRAM cell capacitors are in the tens of
+    /// fF; bitlines run tens to a couple hundred fF depending on length.
+    Femtofarads, "fF"
+}
+
+quantity! {
+    /// A capacitance in attofarads, used for per-segment parasitics.
+    Attofarads, "aF"
+}
+
+impl Volts {
+    /// Converts to millivolts.
+    #[inline]
+    pub fn to_millivolts(self) -> Millivolts {
+        Millivolts(self.0 * 1e3)
+    }
+}
+
+impl Millivolts {
+    /// Converts to volts.
+    #[inline]
+    pub fn to_volts(self) -> Volts {
+        Volts(self.0 / 1e3)
+    }
+}
+
+impl Femtofarads {
+    /// Converts to attofarads.
+    #[inline]
+    pub fn to_attofarads(self) -> Attofarads {
+        Attofarads(self.0 * 1e3)
+    }
+
+    /// Charge stored at the given voltage, in femtocoulombs (fF × V = fC).
+    #[inline]
+    pub fn charge_at(self, v: Volts) -> f64 {
+        self.0 * v.0
+    }
+}
+
+impl Attofarads {
+    /// Converts to femtofarads.
+    #[inline]
+    pub fn to_femtofarads(self) -> Femtofarads {
+        Femtofarads(self.0 / 1e3)
+    }
+}
+
+impl From<Volts> for Millivolts {
+    fn from(v: Volts) -> Self {
+        v.to_millivolts()
+    }
+}
+
+impl From<Millivolts> for Volts {
+    fn from(v: Millivolts) -> Self {
+        v.to_volts()
+    }
+}
+
+/// Computes the ideal charge-sharing perturbation on a bitline.
+///
+/// When a cell capacitor `c_cell` charged to `v_cell` is connected to a
+/// bitline capacitance `c_bl` precharged to `v_pre`, the final shared voltage
+/// is the charge-weighted average; the returned value is the bitline
+/// perturbation `ΔV = (v_cell − v_pre) · c_cell / (c_cell + c_bl)`.
+///
+/// ```
+/// use hifi_units::{charge_sharing_delta, Femtofarads, Volts};
+/// let dv = charge_sharing_delta(
+///     Femtofarads(20.0), Volts(1.1),
+///     Femtofarads(200.0), Volts(0.55),
+/// );
+/// assert!((dv.value() - 50.0).abs() < 0.01); // 0.55 * 20/220 V = 50 mV
+/// ```
+pub fn charge_sharing_delta(
+    c_cell: Femtofarads,
+    v_cell: Volts,
+    c_bl: Femtofarads,
+    v_pre: Volts,
+) -> Millivolts {
+    let transfer = c_cell.0 / (c_cell.0 + c_bl.0);
+    Volts((v_cell.0 - v_pre.0) * transfer).to_millivolts()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volt_millivolt_round_trip() {
+        let v = Volts(1.2);
+        assert_eq!(v.to_millivolts(), Millivolts(1200.0));
+        assert!((Millivolts(1200.0).to_volts() - v).abs() < Volts(1e-12));
+    }
+
+    #[test]
+    fn charge_sharing_zero_when_cell_at_vpre() {
+        let dv = charge_sharing_delta(
+            Femtofarads(20.0),
+            Volts(0.55),
+            Femtofarads(180.0),
+            Volts(0.55),
+        );
+        assert_eq!(dv, Millivolts(0.0));
+    }
+
+    #[test]
+    fn charge_sharing_negative_for_stored_zero() {
+        let dv = charge_sharing_delta(
+            Femtofarads(20.0),
+            Volts(0.0),
+            Femtofarads(180.0),
+            Volts(0.55),
+        );
+        assert!(dv < Millivolts(0.0));
+    }
+
+    #[test]
+    fn charge_at_is_cv() {
+        assert_eq!(Femtofarads(20.0).charge_at(Volts(1.1)), 22.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Length quantities: nanometres, micrometres, millimetres.
+
+use crate::quantity;
+use crate::{SquareMicrometers, SquareNanometers};
+
+quantity! {
+    /// A length in nanometres — the native unit for transistor dimensions,
+    /// wire widths and layer thicknesses in this workspace.
+    ///
+    /// ```
+    /// use hifi_units::Nanometers;
+    /// let gate_length = Nanometers(55.0);
+    /// assert_eq!(gate_length.to_micrometers().value(), 0.055);
+    /// ```
+    Nanometers, "nm"
+}
+
+quantity! {
+    /// A length in micrometres, used for region-scale dimensions (MAT edges,
+    /// SA region heights, imaged areas).
+    ///
+    /// ```
+    /// use hifi_units::Micrometers;
+    /// assert_eq!(Micrometers(1.5).to_nanometers().value(), 1500.0);
+    /// ```
+    Micrometers, "um"
+}
+
+quantity! {
+    /// A length in millimetres, used for die-scale dimensions.
+    ///
+    /// ```
+    /// use hifi_units::Millimeters;
+    /// assert_eq!(Millimeters(2.0).to_micrometers().value(), 2000.0);
+    /// ```
+    Millimeters, "mm"
+}
+
+impl Nanometers {
+    /// Converts to micrometres.
+    #[inline]
+    pub fn to_micrometers(self) -> Micrometers {
+        Micrometers(self.0 / 1e3)
+    }
+
+    /// Converts to millimetres.
+    #[inline]
+    pub fn to_millimeters(self) -> Millimeters {
+        Millimeters(self.0 / 1e6)
+    }
+
+    /// Multiplies two lengths into an area.
+    ///
+    /// ```
+    /// use hifi_units::{Nanometers, SquareNanometers};
+    /// assert_eq!(Nanometers(3.0).by(Nanometers(4.0)), SquareNanometers(12.0));
+    /// ```
+    #[inline]
+    pub fn by(self, other: Nanometers) -> SquareNanometers {
+        SquareNanometers(self.0 * other.0)
+    }
+}
+
+impl Micrometers {
+    /// Converts to nanometres.
+    #[inline]
+    pub fn to_nanometers(self) -> Nanometers {
+        Nanometers(self.0 * 1e3)
+    }
+
+    /// Converts to millimetres.
+    #[inline]
+    pub fn to_millimeters(self) -> Millimeters {
+        Millimeters(self.0 / 1e3)
+    }
+
+    /// Multiplies two lengths into an area.
+    #[inline]
+    pub fn by(self, other: Micrometers) -> SquareMicrometers {
+        SquareMicrometers(self.0 * other.0)
+    }
+}
+
+impl Millimeters {
+    /// Converts to micrometres.
+    #[inline]
+    pub fn to_micrometers(self) -> Micrometers {
+        Micrometers(self.0 * 1e3)
+    }
+
+    /// Converts to nanometres.
+    #[inline]
+    pub fn to_nanometers(self) -> Nanometers {
+        Nanometers(self.0 * 1e6)
+    }
+}
+
+impl From<Micrometers> for Nanometers {
+    fn from(v: Micrometers) -> Self {
+        v.to_nanometers()
+    }
+}
+
+impl From<Millimeters> for Micrometers {
+    fn from(v: Millimeters) -> Self {
+        v.to_micrometers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_round_trip() {
+        let x = Nanometers(1234.5);
+        assert!((x.to_micrometers().to_nanometers() - x).abs() < Nanometers(1e-9));
+        let y = Millimeters(0.75);
+        assert!((y.to_micrometers().to_millimeters() - y).abs() < Millimeters(1e-12));
+    }
+
+    #[test]
+    fn area_from_lengths() {
+        let area = Nanometers(100.0).by(Nanometers(55.0));
+        assert_eq!(area, SquareNanometers(5500.0));
+    }
+
+    #[test]
+    fn from_impls() {
+        let nm: Nanometers = Micrometers(2.0).into();
+        assert_eq!(nm, Nanometers(2000.0));
+        let um: Micrometers = Millimeters(0.5).into();
+        assert_eq!(um, Micrometers(500.0));
+    }
+}

@@ -1,0 +1,202 @@
+//! Typed physical quantities for the HiFi-DRAM reproduction.
+//!
+//! DRAM reverse engineering mixes lengths spanning nine orders of magnitude
+//! (nanometre transistor gates to square-millimetre dies), voltages, charges,
+//! capacitances and times. This crate provides thin `f64` newtypes so the rest
+//! of the workspace cannot confuse a nanometre with a micrometre or an area
+//! with a length (C-NEWTYPE).
+//!
+//! # Examples
+//!
+//! ```
+//! use hifi_units::{Nanometers, Micrometers};
+//!
+//! let gate = Nanometers(55.0);
+//! let pitch = Micrometers(0.11).to_nanometers();
+//! assert_eq!(pitch, Nanometers(110.0));
+//! assert_eq!(gate * 2.0, pitch);
+//! ```
+
+mod area;
+mod electrical;
+mod length;
+mod ratio;
+mod time;
+
+pub use area::{SquareMicrometers, SquareMillimeters, SquareNanometers};
+pub use electrical::{charge_sharing_delta, Attofarads, Femtofarads, Millivolts, Volts};
+pub use length::{Micrometers, Millimeters, Nanometers};
+pub use ratio::Ratio;
+pub use time::{Nanoseconds, Picoseconds};
+
+/// Implements arithmetic and ordering boilerplate shared by all quantity
+/// newtypes over `f64`.
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Returns the raw `f64` value in this quantity's unit.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns `true` if the value is finite (not NaN or infinite).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        /// Dimensionless ratio of two like quantities.
+        impl core::ops::Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+
+        impl From<f64> for $name {
+            #[inline]
+            fn from(v: f64) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+pub(crate) use quantity;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_scale() {
+        let a = Nanometers(10.0);
+        let b = Nanometers(4.0);
+        assert_eq!(a + b, Nanometers(14.0));
+        assert_eq!(a - b, Nanometers(6.0));
+        assert_eq!(a * 3.0, Nanometers(30.0));
+        assert_eq!(a / 2.0, Nanometers(5.0));
+        assert_eq!(a / b, 2.5);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(Nanometers(3.5).to_string(), "3.5 nm");
+        assert_eq!(SquareMillimeters(34.0).to_string(), "34 mm^2");
+        assert_eq!(Volts(1.1).to_string(), "1.1 V");
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = Nanometers(-3.0);
+        assert_eq!(a.abs(), Nanometers(3.0));
+        assert_eq!(a.min(Nanometers(1.0)), a);
+        assert_eq!(a.max(Nanometers(1.0)), Nanometers(1.0));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Nanometers = [1.0, 2.0, 3.0].iter().map(|&v| Nanometers(v)).sum();
+        assert_eq!(total, Nanometers(6.0));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Nanometers::default(), Nanometers::ZERO);
+        assert_eq!(Volts::default(), Volts::ZERO);
+    }
+}

@@ -1,0 +1,48 @@
+//! Time quantities: nanoseconds and picoseconds.
+
+use crate::quantity;
+
+quantity! {
+    /// A time in nanoseconds — the natural unit for DDR timing parameters
+    /// (tRCD, tRAS, tRP are tens of ns).
+    Nanoseconds, "ns"
+}
+
+quantity! {
+    /// A time in picoseconds, used for analog simulation timesteps.
+    Picoseconds, "ps"
+}
+
+impl Nanoseconds {
+    /// Converts to picoseconds.
+    #[inline]
+    pub fn to_picoseconds(self) -> Picoseconds {
+        Picoseconds(self.0 * 1e3)
+    }
+}
+
+impl Picoseconds {
+    /// Converts to nanoseconds.
+    #[inline]
+    pub fn to_nanoseconds(self) -> Nanoseconds {
+        Nanoseconds(self.0 / 1e3)
+    }
+}
+
+impl From<Nanoseconds> for Picoseconds {
+    fn from(v: Nanoseconds) -> Self {
+        v.to_picoseconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_ps_round_trip() {
+        let t = Nanoseconds(13.75);
+        assert_eq!(t.to_picoseconds(), Picoseconds(13750.0));
+        assert!((t.to_picoseconds().to_nanoseconds() - t).abs() < Nanoseconds(1e-12));
+    }
+}

@@ -1,0 +1,48 @@
+//! Evaluate a DRAM research proposal against the reverse-engineered dataset:
+//! print the paper's Table II live, then score a hypothetical new proposal
+//! ("add two isolation transistors per SA region") the way Section VI-C
+//! scores the 13 published ones, and list the recommendations it triggers.
+//!
+//! ```text
+//! cargo run --release --example evaluate_research
+//! ```
+
+use hifi_dram::data::chips;
+use hifi_dram::eval::overhead::{overhead_error, paper_overhead_on_chip, porting_cost};
+use hifi_dram::eval::papers::{Inaccuracy, OverheadFormula, Paper};
+use hifi_dram::eval::recommendations::triggered_by;
+use hifi_dram::units::Ratio;
+
+fn main() {
+    // Table II, computed live.
+    println!("{}", hifi_bench::table2());
+
+    // A hypothetical proposal: isolation transistors for row-buffer
+    // decoupling, claiming 0.5% chip overhead on DDR4.
+    let proposal = Paper {
+        name: "MyNewProposal",
+        year: 2026,
+        original_generation: hifi_dram::data::DdrGeneration::Ddr4,
+        inaccuracies: &[Inaccuracy::I4, Inaccuracy::I5],
+        original_overhead_estimate: Ratio(0.005),
+        formula: OverheadFormula::IsolationOnly,
+    };
+    let cs = chips();
+    println!("Scoring a hypothetical proposal: {}", proposal.name);
+    for chip in &cs {
+        println!(
+            "  on {}: realistic overhead {:.3}% of the chip",
+            chip.name(),
+            paper_overhead_on_chip(&proposal, chip).as_percent()
+        );
+    }
+    if let Some(err) = overhead_error(&proposal, &cs) {
+        println!("  overhead error vs own estimate: {}", err.as_times());
+    }
+    println!("  porting cost to DDR5: {}", porting_cost(&proposal, &cs).as_times());
+
+    println!("\nRecommendations triggered:");
+    for r in triggered_by(proposal.inaccuracies) {
+        println!("  {}: {}", r.id, r.text);
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: reverse engineer a synthetic sense-amplifier region end to
+//! end and check the result against ground truth.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hifi_dram::circuit::topology::SaTopologyKind;
+use hifi_dram::pipeline::{Pipeline, PipelineConfig, PipelineError};
+
+fn main() -> Result<(), PipelineError> {
+    println!("HiFi-DRAM quickstart: generate -> voxelise -> extract -> identify\n");
+
+    for kind in [SaTopologyKind::Classic, SaTopologyKind::OffsetCancellation] {
+        let report = Pipeline::new(PipelineConfig::pristine(kind)).run()?;
+        println!("generated topology : {kind}");
+        println!(
+            "identified as      : {}",
+            report
+                .identified
+                .map(|k| k.to_string())
+                .unwrap_or_else(|| "<no match>".into())
+        );
+        println!("transistors found  : {}", report.device_count);
+        if let Some(worst) = report.worst_dimension_deviation {
+            println!(
+                "worst dimension err: {:.1}% (voxel quantisation)",
+                worst.as_percent()
+            );
+        }
+        println!("verdict            : {}\n", if report.topology_correct() {
+            "ground truth recovered"
+        } else {
+            "MISMATCH"
+        });
+    }
+
+    // The headline evaluation numbers, computed live from the dataset.
+    let rows = hifi_dram::eval::overhead::table2();
+    let cool = rows
+        .iter()
+        .find(|r| r.paper.name == "CoolDRAM")
+        .expect("CoolDRAM in registry");
+    println!(
+        "Evaluation headline: CoolDRAM overhead error = {} (paper: 175x)",
+        cool.overhead_error.expect("ddr4 paper").as_times()
+    );
+    Ok(())
+}

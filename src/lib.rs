@@ -1,0 +1,2 @@
+//! Workspace root crate: see `hifi-dram` for the library facade.
+pub use hifi_dram as facade;

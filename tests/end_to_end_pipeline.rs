@@ -1,0 +1,83 @@
+//! End-to-end integration: generate → FIB/SEM → post-process → reconstruct →
+//! extract → identify → measure, for both deployed topologies.
+
+use hifi_dram::circuit::topology::SaTopologyKind;
+use hifi_dram::imaging::ImagingConfig;
+use hifi_dram::pipeline::{Pipeline, PipelineConfig};
+
+fn imaging() -> ImagingConfig {
+    ImagingConfig {
+        dwell_us: 12.0,
+        drift_sigma_px: 0.5,
+        brightness_wander: 1.0,
+        slice_voxels: 2,
+        seed: 2024,
+        ..ImagingConfig::default()
+    }
+}
+
+fn run_full(kind: SaTopologyKind) -> hifi_dram::pipeline::PipelineReport {
+    let mut cfg = PipelineConfig::with_imaging(kind, imaging());
+    cfg.spec = cfg.spec.with_voxel_nm(10.0);
+    cfg.denoise_iterations = 12;
+    Pipeline::new(cfg).run().expect("pipeline completes")
+}
+
+#[test]
+fn full_pipeline_recovers_classic_topology() {
+    let report = run_full(SaTopologyKind::Classic);
+    assert_eq!(report.identified, Some(SaTopologyKind::Classic));
+    assert_eq!(report.device_count, 9);
+    let worst = report.worst_dimension_deviation.expect("measured");
+    assert!(
+        worst.value() < 0.35,
+        "dimension error through imaging: {}%",
+        worst.as_percent()
+    );
+}
+
+#[test]
+fn full_pipeline_recovers_ocsa_topology() {
+    let report = run_full(SaTopologyKind::OffsetCancellation);
+    assert_eq!(report.identified, Some(SaTopologyKind::OffsetCancellation));
+    assert_eq!(report.device_count, 12);
+    let worst = report.worst_dimension_deviation.expect("measured");
+    assert!(
+        worst.value() < 0.35,
+        "dimension error through imaging: {}%",
+        worst.as_percent()
+    );
+}
+
+#[test]
+fn pipeline_applies_drift_corrections() {
+    let report = run_full(SaTopologyKind::Classic);
+    let corrected: i32 = report
+        .alignment_corrections
+        .iter()
+        .map(|(a, b)| a.abs() + b.abs())
+        .sum();
+    assert!(
+        corrected > 0,
+        "stage drift was injected, so corrections must be non-zero"
+    );
+}
+
+#[test]
+fn every_studied_chip_reverse_engineers_correctly() {
+    // Pristine (no imaging) runs for all six chips: topology and dimensions
+    // must match the dataset they were generated from.
+    for chip in hifi_dram::data::chips() {
+        let report = Pipeline::new(PipelineConfig::for_chip(&chip))
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e}", chip.name()));
+        assert_eq!(report.identified, Some(chip.topology()), "{}", chip.name());
+        let worst = report.worst_dimension_deviation.expect("measured");
+        assert!(
+            worst.value() < 0.25,
+            "{}: worst deviation {}%",
+            chip.name(),
+            worst.as_percent()
+        );
+    }
+}

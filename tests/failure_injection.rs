@@ -1,0 +1,134 @@
+//! Failure injection: corrupt the volume between generation and extraction
+//! and check the pipeline *fails loudly* (typed errors or a non-match)
+//! instead of silently mis-identifying the circuit.
+
+use hifi_dram::circuit::identify::TopologyLibrary;
+use hifi_dram::circuit::topology::SaTopologyKind;
+use hifi_dram::extract::{extract, ExtractError};
+use hifi_dram::geometry::Layer;
+use hifi_dram::synth::{generate_region, Material, MaterialVolume, SaRegionSpec};
+
+fn cropped_volume(kind: SaTopologyKind) -> (MaterialVolume, hifi_dram::synth::SaRegion) {
+    let spec = SaRegionSpec::new(kind).with_pairs(1);
+    let region = generate_region(&spec);
+    let volume = region.voxelize();
+    let w = region.cell_window(0);
+    let v = volume.voxel_nm();
+    let tv = |nm: i64| ((nm as f64) / v).round().max(0.0) as usize;
+    (
+        volume.crop(tv(w.min().x), tv(w.max().x), tv(w.min().y), tv(w.max().y)),
+        region,
+    )
+}
+
+/// Erases every voxel of `material` inside an x-range (a simulated milling
+/// accident / failed slice).
+fn erase_material_in_x(vol: &mut MaterialVolume, material: Material, x0: usize, x1: usize) {
+    let (nx, ny, nz) = vol.dims();
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in x0..x1.min(nx) {
+                if vol.get(x, y, z) == material {
+                    vol.set(x, y, z, Material::Oxide);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn clean_volume_is_the_baseline() {
+    let (vol, _) = cropped_volume(SaTopologyKind::Classic);
+    let ex = extract(&vol).expect("clean volume extracts");
+    assert_eq!(
+        TopologyLibrary::standard().identify(&ex.netlist),
+        Some(SaTopologyKind::Classic)
+    );
+}
+
+#[test]
+fn empty_volume_reports_no_transistors() {
+    let vol = MaterialVolume::new(
+        50,
+        50,
+        90,
+        8.0,
+        hifi_dram::geometry::LayerStack::default_dram(),
+    );
+    assert!(matches!(extract(&vol), Err(ExtractError::NoTransistors)));
+}
+
+#[test]
+fn erasing_all_gates_reports_no_transistors() {
+    let (mut vol, _) = cropped_volume(SaTopologyKind::Classic);
+    let (nx, _, _) = vol.dims();
+    erase_material_in_x(&mut vol, Material::GatePoly, 0, nx);
+    assert!(matches!(extract(&vol), Err(ExtractError::NoTransistors)));
+}
+
+#[test]
+fn severing_a_metal_wire_changes_the_netlist_but_never_misidentifies() {
+    // Cut all M1 in a thin x-band in the middle of the region: some nets
+    // split. Whatever extraction yields, it must either error or produce a
+    // netlist that matches NOTHING in the library — never the wrong family.
+    for kind in [SaTopologyKind::Classic, SaTopologyKind::OffsetCancellation] {
+        let (mut vol, _) = cropped_volume(kind);
+        let (nx, _, _) = vol.dims();
+        let mid = nx / 2;
+        erase_material_in_x(&mut vol, Material::Metal1, mid, mid + 3);
+        match extract(&vol) {
+            Err(_) => {} // loud failure is acceptable
+            Ok(ex) => {
+                let id = TopologyLibrary::standard().identify(&ex.netlist);
+                assert!(
+                    id.is_none() || id == Some(kind),
+                    "{kind}: severed wire identified as {id:?}"
+                );
+                if id == Some(kind) {
+                    // Only acceptable if the cut landed on redundant metal.
+                    assert_eq!(ex.devices.len(), ex.netlist.mosfets().count());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn erasing_one_latch_device_breaks_identification() {
+    // Remove the active region of the first latch transistor: the extracted
+    // circuit is no longer isomorphic to any library topology.
+    let (vol_clean, region) = cropped_volume(SaTopologyKind::OffsetCancellation);
+    let ex_clean = extract(&vol_clean).expect("baseline");
+    assert_eq!(ex_clean.devices.len(), 12);
+
+    // Find an nSA channel via ground truth dims: erase active around its
+    // channel bbox.
+    let mut vol = vol_clean.clone();
+    let target = ex_clean
+        .devices
+        .iter()
+        .find(|d| d.class == Some(hifi_dram::circuit::TransistorClass::NSa))
+        .expect("nsa exists");
+    let (x0, y0, x1, y1) = target.channel_bbox;
+    let (_, _, nz) = vol.dims();
+    let (az0, az1) = vol.layer_z_range(Layer::Active);
+    for z in az0..az1.min(nz) {
+        for y in y0.saturating_sub(2)..(y1 + 3).min(vol.dims().1) {
+            for x in x0.saturating_sub(10)..(x1 + 11).min(vol.dims().0) {
+                vol.set(x, y, z, Material::Oxide);
+            }
+        }
+    }
+    match extract(&vol) {
+        Err(_) => {}
+        Ok(ex) => {
+            assert_ne!(ex.devices.len(), 12, "a device must have vanished");
+            assert_eq!(
+                TopologyLibrary::standard().identify(&ex.netlist),
+                None,
+                "damaged circuit must not match any known topology"
+            );
+        }
+    }
+    let _ = region;
+}

@@ -1,0 +1,79 @@
+//! Integration across the interchange formats: a reverse-engineered circuit
+//! must export cleanly to SPICE, its layout to GDSII, and the dataset to
+//! JSON — the complete "open sourcing" surface of the reproduction.
+
+use hifi_dram::circuit::spice::{to_spice, SpiceOptions};
+use hifi_dram::circuit::topology::SaTopologyKind;
+use hifi_dram::geometry::gds;
+use hifi_dram::pipeline::{Pipeline, PipelineConfig};
+use hifi_dram::synth::{generate_region, SaRegionSpec};
+
+#[test]
+fn extracted_netlist_exports_to_spice() {
+    let report = Pipeline::new(PipelineConfig::pristine(SaTopologyKind::OffsetCancellation))
+        .run()
+        .expect("pipeline runs");
+    let deck = to_spice(&report.extraction.netlist, &SpiceOptions::default())
+        .expect("extracted netlist serialises");
+    assert_eq!(
+        deck.lines().filter(|l| l.starts_with('M')).count(),
+        12,
+        "all twelve OCSA devices present:\n{deck}"
+    );
+    // The classified pSA devices carry the PMOS model.
+    assert_eq!(deck.matches("PCH").count(), 2 + 1, "2 cards + 1 .model line");
+}
+
+#[test]
+fn generated_layout_round_trips_through_gds() {
+    let region = generate_region(
+        &SaRegionSpec::new(SaTopologyKind::Classic)
+            .with_pairs(2)
+            .with_mat_strip(true),
+    );
+    let bytes = gds::write_library("it", &[region.layout().clone()]).expect("encodes");
+    let parsed = gds::read_library(&bytes).expect("decodes");
+    assert_eq!(parsed.len(), 1);
+    assert_eq!(parsed[0], *region.layout());
+}
+
+#[test]
+fn dataset_json_feeds_the_evaluation_engine() {
+    // Load the released dataset and recompute a headline number from the
+    // parsed copy: the engine must not depend on in-crate constructors.
+    let release = hifi_dram::data::export::from_json(&hifi_dram::data::export::to_json())
+        .expect("round trip");
+    let crow = release
+        .models
+        .iter()
+        .find(|m| m.name() == "CROW")
+        .expect("crow released");
+    let cmp = hifi_dram::eval::models::compare_model(
+        crow,
+        &release.chips,
+        hifi_dram::data::DdrGeneration::Ddr4,
+    );
+    let max_w = cmp.maximum(hifi_dram::eval::models::DimensionMetric::Width);
+    assert_eq!(max_w.chip, hifi_dram::data::ChipName::C4);
+    assert!(max_w.inaccuracy.as_percent() > 850.0);
+}
+
+#[test]
+fn spice_export_of_every_library_topology() {
+    use hifi_dram::circuit::topology;
+    for (netlist, fets) in [
+        (topology::classic_sa(Default::default()).into_netlist(), 9),
+        (topology::ocsa(Default::default()).into_netlist(), 12),
+        (
+            topology::classic_sa_with_isolation(Default::default()).into_netlist(),
+            11,
+        ),
+    ] {
+        let mut opts = SpiceOptions::default();
+        opts.ports = vec!["BL".into(), "BLB".into()];
+        let deck = to_spice(&netlist, &opts).expect("exports");
+        assert_eq!(deck.lines().filter(|l| l.starts_with('M')).count(), fets);
+        assert!(deck.contains(".SUBCKT"));
+        assert!(deck.trim_end().ends_with(")") || deck.contains(".ENDS"));
+    }
+}

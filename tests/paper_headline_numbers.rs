@@ -1,0 +1,122 @@
+//! Cross-crate checks of the paper's headline numbers: every value here is
+//! *computed* by the evaluation engine from the dataset, never hard-coded in
+//! library code. Tolerances reflect that our dataset is synthesised (see
+//! DESIGN.md); the orderings and worst-case locations must match exactly.
+
+use hifi_dram::circuit::topology::SaTopologyKind;
+use hifi_dram::circuit::TransistorClass;
+use hifi_dram::data::{chips, ChipName, DdrGeneration};
+use hifi_dram::eval::models::{compare_model, DimensionMetric};
+use hifi_dram::eval::overhead;
+use hifi_dram::eval::space;
+
+#[test]
+fn abstract_headline_models_up_to_9x_inaccurate() {
+    let cs = chips();
+    let worst = [hifi_dram::data::rem(), hifi_dram::data::crow()]
+        .iter()
+        .flat_map(|m| {
+            [DdrGeneration::Ddr4, DdrGeneration::Ddr5]
+                .into_iter()
+                .map(|g| compare_model(m, &cs, g))
+                .collect::<Vec<_>>()
+        })
+        .flat_map(|c| c.deviations)
+        .map(|d| d.inaccuracy.value())
+        .fold(0.0f64, f64::max);
+    assert!(worst > 8.5 && worst < 12.0, "worst model deviation {worst}x");
+}
+
+#[test]
+fn abstract_headline_research_up_to_175x_error() {
+    let worst = overhead::table2()
+        .iter()
+        .filter_map(|r| r.overhead_error)
+        .map(|e| e.value())
+        .fold(0.0f64, f64::max);
+    assert!(
+        (150.0..200.0).contains(&worst),
+        "worst research error {worst}x"
+    );
+}
+
+#[test]
+fn half_the_chips_deploy_ocsa() {
+    let cs = chips();
+    let ocsa = cs
+        .iter()
+        .filter(|c| c.topology() == SaTopologyKind::OffsetCancellation)
+        .map(|c| c.name())
+        .collect::<Vec<_>>();
+    assert_eq!(ocsa, vec![ChipName::A4, ChipName::A5, ChipName::B5]);
+}
+
+#[test]
+fn crow_worse_than_rem_and_worst_at_c4_precharge() {
+    let cs = chips();
+    let crow = compare_model(&hifi_dram::data::crow(), &cs, DdrGeneration::Ddr4);
+    let rem = compare_model(&hifi_dram::data::rem(), &cs, DdrGeneration::Ddr4);
+    assert!(crow.average(DimensionMetric::WOverL) > rem.average(DimensionMetric::WOverL));
+    let mx = crow.maximum(DimensionMetric::Width);
+    assert_eq!((mx.chip, mx.class), (ChipName::C4, TransistorClass::Precharge));
+}
+
+#[test]
+fn i1_mat_extension_is_about_57_percent() {
+    let v = overhead::i1_average_mat_extension().as_percent();
+    assert!((54.0..60.0).contains(&v), "I1 MAT extension {v}%");
+}
+
+#[test]
+fn appendix_a_b5_bitline_overhead_about_21_percent() {
+    let cs = chips();
+    let b5 = cs.iter().find(|c| c.name() == ChipName::B5).unwrap();
+    let o = hifi_dram::eval::bitline::halved_bitline_chip_overhead(b5).as_percent();
+    assert!((19.0..23.0).contains(&o), "B5 overhead {o}%");
+}
+
+#[test]
+fn no_free_space_anywhere_and_m2_headroom_exists() {
+    for c in chips() {
+        assert!(!space::mat_free_space(&c).fits, "{}", c.name());
+        assert!(
+            space::m2_reroute_possible(&c, hifi_dram::units::Ratio(0.25)),
+            "{}",
+            c.name()
+        );
+    }
+}
+
+#[test]
+fn ocsa_offset_tolerance_beats_classic() {
+    use hifi_dram::analog::events::{max_tolerated_offset, ActivationConfig};
+    let cfg = ActivationConfig::default();
+    // Coarse sweep keeps the test fast; the ordering is what matters.
+    let classic = max_tolerated_offset(SaTopologyKind::Classic, &cfg, 40.0, 160.0);
+    let ocsa = max_tolerated_offset(SaTopologyKind::OffsetCancellation, &cfg, 40.0, 160.0);
+    assert!(
+        ocsa >= classic + 40.0,
+        "ocsa {ocsa} mV vs classic {classic} mV"
+    );
+}
+
+#[test]
+fn table2_shape_matches_the_paper() {
+    let rows = overhead::table2();
+    let get = |n: &str| rows.iter().find(|r| r.paper.name == n).unwrap();
+    // DDR3 papers: N/A error.
+    for n in ["CHARM", "R.B. DEC.", "AMBIT", "ELP2IM"] {
+        assert!(get(n).overhead_error.is_none(), "{n}");
+    }
+    // Error ordering: CoolDRAM > In-Mem/SIMDRAM > Graphide > DrACC > CLR > REGA > Nov > PF.
+    let e = |n: &str| get(n).overhead_error.unwrap().value();
+    assert!(e("CoolDRAM") > e("In-Mem.Lowcost."));
+    assert!(e("In-Mem.Lowcost.") > e("Graphide"));
+    assert!(e("Graphide") > e("DrACC"));
+    assert!(e("DrACC") > e("CLR-DRAM"));
+    assert!(e("CLR-DRAM") > e("REGA"));
+    assert!(e("REGA") > e("Nov. DRAM"));
+    assert!(e("Nov. DRAM") > e("PF-DRAM"));
+    // Negative porting cost for R.B. DEC. (cheaper on newer tech).
+    assert!(get("R.B. DEC.").porting_cost.value() < 0.0);
+}

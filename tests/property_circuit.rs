@@ -1,0 +1,137 @@
+//! Property-based tests on netlists and topology identification: the
+//! isomorphism check must be invariant under every renaming/reordering an
+//! extractor could produce, and must reject structural edits.
+
+use hifi_circuit::identify::{are_isomorphic, signature, TopologyLibrary};
+use hifi_circuit::topology::{self, SaDimensions, SaTopologyKind};
+use hifi_circuit::{Device, Netlist, Polarity, TransistorClass};
+use proptest::prelude::*;
+
+fn build(kind: SaTopologyKind) -> Netlist {
+    match kind {
+        SaTopologyKind::Classic => topology::classic_sa(SaDimensions::default()).into_netlist(),
+        SaTopologyKind::OffsetCancellation => {
+            topology::ocsa(SaDimensions::default()).into_netlist()
+        }
+        SaTopologyKind::ClassicWithIsolation => {
+            topology::classic_sa_with_isolation(SaDimensions::default()).into_netlist()
+        }
+    }
+}
+
+fn arb_kind() -> impl Strategy<Value = SaTopologyKind> {
+    prop::sample::select(vec![
+        SaTopologyKind::Classic,
+        SaTopologyKind::OffsetCancellation,
+        SaTopologyKind::ClassicWithIsolation,
+    ])
+}
+
+/// Rebuilds a netlist with a device permutation, per-device source/drain
+/// swaps, anonymised net names and scrambled classes/polarities — everything
+/// that must NOT affect structural identity.
+fn scramble(src: &Netlist, order: &[usize], swaps: &[bool]) -> Netlist {
+    let devices: Vec<Device> = src.devices().map(|(_, d)| d.clone()).collect();
+    let mut out = Netlist::new("scrambled");
+    for (slot, &i) in order.iter().enumerate() {
+        match &devices[i] {
+            Device::Mosfet(m) => {
+                let g = out.add_net(format!("x{}", m.gate.0));
+                let (s, d) = if swaps[slot % swaps.len()] {
+                    (m.drain, m.source)
+                } else {
+                    (m.source, m.drain)
+                };
+                let s = out.add_net(format!("x{}", s.0));
+                let d = out.add_net(format!("x{}", d.0));
+                out.add_mosfet(
+                    format!("d{slot}"),
+                    Polarity::Nmos,
+                    TransistorClass::Access,
+                    m.dims,
+                    g,
+                    s,
+                    d,
+                );
+            }
+            Device::Capacitor(c) => {
+                let a = out.add_net(format!("x{}", c.a.0));
+                let b = out.add_net(format!("x{}", c.b.0));
+                out.add_capacitor(format!("d{slot}"), c.value, a, b);
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn identification_is_invariant_under_scrambling(
+        kind in arb_kind(),
+        seed in any::<u64>(),
+        swaps in prop::collection::vec(any::<bool>(), 1..16),
+    ) {
+        let nl = build(kind);
+        // Deterministic permutation from the seed (Fisher–Yates).
+        let n = nl.device_count();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let scrambled = scramble(&nl, &order, &swaps);
+        prop_assert!(are_isomorphic(&nl, &scrambled));
+        prop_assert_eq!(signature(&nl), signature(&scrambled));
+        prop_assert_eq!(TopologyLibrary::standard().identify(&scrambled), Some(kind));
+    }
+
+    #[test]
+    fn distinct_topologies_never_cross_identify(a in arb_kind(), b in arb_kind()) {
+        let na = build(a);
+        let nb = build(b);
+        prop_assert_eq!(are_isomorphic(&na, &nb), a == b);
+    }
+
+    #[test]
+    fn dropping_any_device_breaks_identification(
+        kind in arb_kind(),
+        victim_seed in any::<u32>(),
+    ) {
+        let nl = build(kind);
+        let victim = victim_seed as usize % nl.device_count();
+        let devices: Vec<Device> = nl
+            .devices()
+            .filter(|(id, _)| id.0 != victim)
+            .map(|(_, d)| d.clone())
+            .collect();
+        let mut cut = Netlist::new("cut");
+        for (i, d) in devices.iter().enumerate() {
+            match d {
+                Device::Mosfet(m) => {
+                    let g = cut.add_net(nl.net_name(m.gate));
+                    let s = cut.add_net(nl.net_name(m.source));
+                    let dr = cut.add_net(nl.net_name(m.drain));
+                    cut.add_mosfet(format!("d{i}"), m.polarity, m.class, m.dims, g, s, dr);
+                }
+                Device::Capacitor(c) => {
+                    let a = cut.add_net(nl.net_name(c.a));
+                    let b = cut.add_net(nl.net_name(c.b));
+                    cut.add_capacitor(format!("d{i}"), c.value, a, b);
+                }
+            }
+        }
+        prop_assert_eq!(TopologyLibrary::standard().identify(&cut), None);
+        prop_assert!(!are_isomorphic(&cut, &nl));
+    }
+
+    #[test]
+    fn signature_is_deterministic(kind in arb_kind()) {
+        let a = signature(&build(kind));
+        let b = signature(&build(kind));
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests on the DRAM simulator: in-spec traffic must behave
+//! like an ideal memory, regardless of the SA topology or command pattern.
+
+use hifi_dram::circuit::topology::SaTopologyKind;
+use hifi_dram::dramsim::{DeviceConfig, DramDevice};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { bank: usize, row: usize, col: usize, data: u8 },
+    Read { bank: usize, row: usize, col: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (0usize..4, 0usize..16, 0usize..16, any::<u8>(), any::<bool>()).prop_map(
+        |(bank, row, col, data, write)| {
+            if write {
+                Op::Write { bank, row, col, data }
+            } else {
+                Op::Read { bank, row, col }
+            }
+        },
+    )
+}
+
+fn arb_topology() -> impl Strategy<Value = SaTopologyKind> {
+    prop::sample::select(vec![
+        SaTopologyKind::Classic,
+        SaTopologyKind::OffsetCancellation,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn in_spec_traffic_matches_ideal_memory(
+        topology in arb_topology(),
+        ops in prop::collection::vec(arb_op(), 1..60),
+    ) {
+        let mut dev = DramDevice::new(DeviceConfig::ddr4(topology));
+        let mut model: HashMap<(usize, usize, usize), u8> = HashMap::new();
+        let mut open: HashMap<usize, usize> = HashMap::new();
+
+        for op in &ops {
+            let (bank, row) = match op {
+                Op::Write { bank, row, .. } | Op::Read { bank, row, .. } => (*bank, *row),
+            };
+            if open.get(&bank) != Some(&row) {
+                dev.activate(bank, row).expect("in-spec activate");
+                open.insert(bank, row);
+            }
+            match op {
+                Op::Write { bank, col, data, .. } => {
+                    dev.write(*bank, *col, *data).expect("in-spec write");
+                    model.insert((*bank, row, *col), *data);
+                }
+                Op::Read { bank, col, .. } => {
+                    let got = dev.read(*bank, *col).expect("in-spec read");
+                    let expected = model.get(&(*bank, row, *col)).copied().unwrap_or(0);
+                    prop_assert_eq!(got, expected, "bank {} row {} col {}", bank, row, col);
+                }
+            }
+        }
+        // Every recorded command was in spec.
+        prop_assert!(dev.trace().iter().all(|r| r.in_spec));
+        // Time advanced monotonically.
+        let times: Vec<f64> = dev.trace().iter().map(|r| r.at.value()).collect();
+        prop_assert!(times.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn ocsa_never_copies_rows_out_of_spec(gap in 0.5f64..20.0, src in 0usize..8, dst in 8usize..16) {
+        use hifi_dram::dramsim::outofspec::attempt_row_copy;
+        use hifi_dram::units::Nanoseconds;
+        let mut dev = DramDevice::new(DeviceConfig::ddr4(SaTopologyKind::OffsetCancellation));
+        let out = attempt_row_copy(&mut dev, 0, src, dst, Nanoseconds(gap)).expect("runs");
+        prop_assert!(!out.copied, "OCSA copied at gap {} ns", gap);
+    }
+
+    #[test]
+    fn classic_copy_succeeds_iff_gap_below_trp(gap in 0.5f64..30.0) {
+        use hifi_dram::dramsim::outofspec::attempt_row_copy;
+        use hifi_dram::units::Nanoseconds;
+        let mut dev = DramDevice::new(DeviceConfig::ddr4(SaTopologyKind::Classic));
+        let trp = dev.config().timing.t_rp.value();
+        let out = attempt_row_copy(&mut dev, 0, 1, 2, Nanoseconds(gap)).expect("runs");
+        prop_assert_eq!(out.copied, gap < trp, "gap {} vs tRP {}", gap, trp);
+    }
+}

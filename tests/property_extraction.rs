@@ -1,0 +1,80 @@
+//! Property-based test of the reverse-engineering round trip: for arbitrary
+//! plausible transistor dimensions, the generated region must extract back
+//! to the same topology with dimensions within voxel quantisation.
+
+use hifi_dram::circuit::identify::TopologyLibrary;
+use hifi_dram::circuit::topology::{SaDimensions, SaTopologyKind};
+use hifi_dram::circuit::TransistorDims;
+use hifi_dram::extract::{extract, measure};
+use hifi_dram::synth::{generate_region, SaRegionSpec};
+use hifi_dram::units::Nanometers;
+use proptest::prelude::*;
+
+fn arb_dims() -> impl Strategy<Value = SaDimensions> {
+    // Plausible modern-node ranges (kept coarse so every combination stays
+    // routable). The nSA must be wider than the pSA — the generator target
+    // is real layouts, where that convention always holds (Section V-A).
+    (
+        180.0f64..420.0, // nsa w
+        0.4f64..0.8,     // psa w as a fraction of nsa w
+        50.0f64..120.0,  // latch l
+        80.0f64..170.0,  // pre w
+        40.0f64..90.0,   // pre l
+        90.0f64..230.0,  // col w
+        40.0f64..100.0,  // col l
+    )
+        .prop_map(|(nw, pf, ll, pw, pl, cw, cl)| {
+            let q = |v: f64| Nanometers((v / 8.0).round() * 8.0); // voxel-aligned
+            SaDimensions {
+                nsa: TransistorDims::new(q(nw), q(ll)),
+                psa: TransistorDims::new(q(nw * pf), q(ll)),
+                precharge: TransistorDims::new(q(pw), q(pl)),
+                equalizer: TransistorDims::new(q(pw * 0.9), q(pl * 0.8)),
+                column: TransistorDims::new(q(cw), q(cl)),
+                isolation: TransistorDims::new(q(pw), q(pl * 0.9)),
+                offset_cancel: TransistorDims::new(q(pw * 0.9), q(pl * 0.9)),
+            }
+        })
+}
+
+fn arb_kind() -> impl Strategy<Value = SaTopologyKind> {
+    prop::sample::select(vec![
+        SaTopologyKind::Classic,
+        SaTopologyKind::OffsetCancellation,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn any_plausible_dims_round_trip(kind in arb_kind(), dims in arb_dims()) {
+        let spec = SaRegionSpec::new(kind).with_pairs(1).with_dims(dims);
+        let region = generate_region(&spec);
+        let volume = region.voxelize();
+        let window = region.cell_window(0);
+        let voxel = volume.voxel_nm();
+        let tv = |nm: i64| ((nm as f64) / voxel).round().max(0.0) as usize;
+        let cropped = volume.crop(
+            tv(window.min().x),
+            tv(window.max().x),
+            tv(window.min().y),
+            tv(window.max().y),
+        );
+        let extraction = extract(&cropped).expect("extraction succeeds");
+        prop_assert_eq!(
+            TopologyLibrary::standard().identify(&extraction.netlist),
+            Some(kind)
+        );
+        let report = measure(&extraction);
+        let worst = report
+            .worst_deviation(&region.ground_truth().cell.dims_by_class)
+            .expect("devices measured");
+        // Dimensions are voxel-aligned by construction, so measurement must
+        // be within ~1.5 voxels relative to the smallest dimension (40 nm).
+        prop_assert!(
+            worst.value() < 0.35,
+            "worst deviation {}%", worst.as_percent()
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests on the typed-quantity substrate.
+
+use hifi_dram::units::{
+    charge_sharing_delta, Femtofarads, Micrometers, Millimeters, Nanometers, Ratio, Volts,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn length_conversions_round_trip(v in -1e9f64..1e9) {
+        let nm = Nanometers(v);
+        let back = nm.to_micrometers().to_nanometers();
+        prop_assert!((back.value() - v).abs() <= v.abs() * 1e-12 + 1e-9);
+        let mm = Millimeters(v / 1e6);
+        let back = mm.to_nanometers().to_millimeters();
+        prop_assert!((back.value() - mm.value()).abs() <= mm.value().abs() * 1e-12 + 1e-9);
+    }
+
+    #[test]
+    fn area_of_lengths_is_product(w in 0.0f64..1e6, h in 0.0f64..1e6) {
+        let a = Nanometers(w).by(Nanometers(h));
+        prop_assert!((a.value() - w * h).abs() <= (w * h).abs() * 1e-12);
+        // Dividing back recovers the other side.
+        if h > 0.0 {
+            prop_assert!((a.over(Nanometers(h)).value() - w).abs() <= w.abs() * 1e-9 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn quantity_arithmetic_is_consistent(a in -1e6f64..1e6, b in -1e6f64..1e6, k in -100.0f64..100.0) {
+        let (x, y) = (Nanometers(a), Nanometers(b));
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!((x - y).value(), -(y - x).value());
+        prop_assert!(((x * k).value() - a * k).abs() <= (a * k).abs() * 1e-12 + 1e-12);
+        prop_assert_eq!(x.min(y).value(), a.min(b));
+        prop_assert_eq!(x.max(y).value(), a.max(b));
+    }
+
+    #[test]
+    fn relative_deviation_properties(model in 0.01f64..1e4, measured in 0.01f64..1e4) {
+        let d = Ratio::relative_deviation(model, measured);
+        prop_assert!(d.value() >= 0.0);
+        // Zero iff equal.
+        if (model - measured).abs() < 1e-12 {
+            prop_assert!(d.value() < 1e-9);
+        }
+        // Deviation of the measurement against itself is zero.
+        prop_assert_eq!(Ratio::relative_deviation(measured, measured), Ratio(0.0));
+    }
+
+    #[test]
+    fn overhead_error_inverts(p_oe in 1e-4f64..1.0, factor in 0.01f64..200.0) {
+        let est = p_oe * factor;
+        let e = Ratio::overhead_error(est, p_oe);
+        prop_assert!((e.value() - (factor - 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percent_round_trip(pct in -1e4f64..1e4) {
+        let r = Ratio::from_percent(pct);
+        prop_assert!((r.as_percent() - pct).abs() <= pct.abs() * 1e-12 + 1e-12);
+    }
+
+    #[test]
+    fn charge_sharing_is_a_weighted_average(
+        c_cell in 1.0f64..100.0, c_bl in 1.0f64..1000.0, v_cell in 0.0f64..1.5, v_pre in 0.0f64..1.5
+    ) {
+        let dv = charge_sharing_delta(
+            Femtofarads(c_cell), Volts(v_cell), Femtofarads(c_bl), Volts(v_pre),
+        );
+        // Final bitline voltage must sit between v_pre and v_cell.
+        let v_final = v_pre + dv.to_volts().value();
+        let (lo, hi) = if v_cell < v_pre { (v_cell, v_pre) } else { (v_pre, v_cell) };
+        prop_assert!(v_final >= lo - 1e-9 && v_final <= hi + 1e-9);
+        // And charge is conserved: c_cell*(v_cell - v_final) == c_bl*(v_final - v_pre).
+        let lhs = c_cell * (v_cell - v_final);
+        let rhs = c_bl * (v_final - v_pre);
+        prop_assert!((lhs - rhs).abs() < 1e-6, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn micrometer_chain(v in 0.0f64..1e4) {
+        let um = Micrometers(v);
+        prop_assert!((um.to_millimeters().to_micrometers().value() - v).abs() < 1e-9 + v*1e-12);
+    }
+}
