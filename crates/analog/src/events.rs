@@ -506,8 +506,10 @@ mod tests {
 
     #[test]
     fn large_offset_breaks_classic_but_not_ocsa() {
-        let mut cfg = ActivationConfig::default();
-        cfg.nsa_vt_offset = -0.08; // 80 mV early-conduction mismatch
+        let cfg = ActivationConfig {
+            nsa_vt_offset: -0.08, // 80 mV early-conduction mismatch
+            ..Default::default()
+        };
         let classic = simulate_classic_activation(&cfg, true);
         assert!(
             !classic.correct,

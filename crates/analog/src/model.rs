@@ -156,7 +156,10 @@ mod tests {
         let m = MosfetModel::new(Polarity::Nmos, 2.0);
         let i1 = m.current(m.vt() + 0.2, 1.2);
         let i2 = m.current(m.vt() + 0.4, 1.2);
-        assert!((i2 / i1 - 4.0).abs() < 1e-9, "doubling overdrive quadruples Isat");
+        assert!(
+            (i2 / i1 - 4.0).abs() < 1e-9,
+            "doubling overdrive quadruples Isat"
+        );
     }
 
     #[test]

@@ -385,7 +385,8 @@ impl Transient {
     /// Returns [`SimError`] for invalid timesteps, or stimuli/initial
     /// conditions naming unknown nets.
     pub fn run(&self, circuit: &AnalogCircuit, stimulus: &Stimulus) -> Result<Waveforms, SimError> {
-        if !(self.dt > 0.0) || !(self.t_end > 0.0) || !(self.dt_sample > 0.0) {
+        let positive = |x: f64| x.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+        if !positive(self.dt) || !positive(self.t_end) || !positive(self.dt_sample) {
             return Err(SimError::InvalidTimestep(self.dt));
         }
         let n = circuit.net_names.len();
@@ -506,7 +507,15 @@ mod tests {
         let gnd = nl.add_net("GND");
         let gate = nl.add_net("G");
         nl.add_capacitor("c", Femtofarads(50.0), cap_net, gnd);
-        nl.add_mosfet("sw", Polarity::Nmos, TransistorClass::Access, dims(4.0), gate, gnd, cap_net);
+        nl.add_mosfet(
+            "sw",
+            Polarity::Nmos,
+            TransistorClass::Access,
+            dims(4.0),
+            gate,
+            gnd,
+            cap_net,
+        );
 
         let circuit = AnalogCircuit::from_netlist(&nl);
         let mut stim = Stimulus::new();
@@ -527,7 +536,15 @@ mod tests {
         let gnd = nl.add_net("GND");
         let gate = nl.add_net("G");
         nl.add_capacitor("c", Femtofarads(50.0), cap_net, gnd);
-        nl.add_mosfet("sw", Polarity::Nmos, TransistorClass::Access, dims(4.0), gate, gnd, cap_net);
+        nl.add_mosfet(
+            "sw",
+            Polarity::Nmos,
+            TransistorClass::Access,
+            dims(4.0),
+            gate,
+            gnd,
+            cap_net,
+        );
         let circuit = AnalogCircuit::from_netlist(&nl);
         let mut stim = Stimulus::new();
         stim.hold("GND", 0.0).hold("G", 0.0); // gate off
@@ -547,7 +564,15 @@ mod tests {
         let wl = nl.add_net("WL");
         nl.add_capacitor("cbl", Femtofarads(180.0), bl, gnd);
         nl.add_capacitor("cs", Femtofarads(20.0), sn, gnd);
-        nl.add_mosfet("acc", Polarity::Nmos, TransistorClass::Access, dims(2.0), wl, sn, bl);
+        nl.add_mosfet(
+            "acc",
+            Polarity::Nmos,
+            TransistorClass::Access,
+            dims(2.0),
+            wl,
+            sn,
+            bl,
+        );
         let circuit = AnalogCircuit::from_netlist(&nl).with_parasitic(1e-18);
         let mut stim = Stimulus::new();
         stim.hold("GND", 0.0);
@@ -601,7 +626,15 @@ mod tests {
         let a = nl.add_net("A");
         let b = nl.add_net("B");
         let g = nl.add_net("G");
-        nl.add_mosfet("m1", Polarity::Nmos, TransistorClass::Access, dims(1.0), g, a, b);
+        nl.add_mosfet(
+            "m1",
+            Polarity::Nmos,
+            TransistorClass::Access,
+            dims(1.0),
+            g,
+            a,
+            b,
+        );
         let c = AnalogCircuit::from_netlist(&nl);
         let err = c.with_vt_offset("nope", 0.02).unwrap_err();
         assert_eq!(err, SimError::UnknownDevice("nope".into()));

@@ -19,14 +19,18 @@ fn bench_ablations(c: &mut Criterion) {
     // Dwell time: longer dwell = less noise but linearly more beam time —
     // the imaging-cost trade-off of Section IV.
     for dwell in [3.0, 6.0, 12.0] {
-        g.bench_with_input(BenchmarkId::new("acquire_dwell_us", dwell as u32), &dwell, |b, &d| {
-            let cfg = ImagingConfig {
-                dwell_us: d,
-                slice_voxels: 2,
-                ..ImagingConfig::default()
-            };
-            b.iter(|| acquire(&volume, &cfg));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("acquire_dwell_us", dwell as u32),
+            &dwell,
+            |b, &d| {
+                let cfg = ImagingConfig {
+                    dwell_us: d,
+                    slice_voxels: 2,
+                    ..ImagingConfig::default()
+                };
+                b.iter(|| acquire(&volume, &cfg));
+            },
+        );
     }
 
     // Detector choice: SE vs BSE contrast rendering.
@@ -49,9 +53,13 @@ fn bench_ablations(c: &mut Criterion) {
 
     // Denoise iteration count.
     for iters in [5usize, 20, 40] {
-        g.bench_with_input(BenchmarkId::new("chambolle_iters", iters), &iters, |b, &n| {
-            b.iter(|| chambolle_tv(stack.slice(0), 8.0, n));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("chambolle_iters", iters),
+            &iters,
+            |b, &n| {
+                b.iter(|| chambolle_tv(stack.slice(0), 8.0, n));
+            },
+        );
     }
 
     // Alignment metric: MI (paper's choice) vs SSD.

@@ -1,0 +1,124 @@
+//! Cost of the telemetry layer (OBS experiment).
+//!
+//! Three variants of the pristine pipeline are timed:
+//!
+//! 1. `uninstrumented` — the stages composed directly from the public
+//!    APIs, with no recorder anywhere (what `Pipeline::run` compiled to
+//!    before the telemetry layer existed),
+//! 2. `noop_recorder` — `Pipeline::run()`, which routes through
+//!    `run_with(&mut NoopRecorder)`,
+//! 3. `json_recorder` — `Pipeline::run_instrumented()`, paying for real
+//!    event recording and report assembly.
+//!
+//! After the Criterion groups, the harness measures (1) and (2) directly
+//! and prints the relative overhead; the telemetry design requires the
+//! no-op path to stay within 2% of the uninstrumented baseline.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, Criterion};
+use hifi_circuit::identify::TopologyLibrary;
+use hifi_circuit::topology::SaTopologyKind;
+use hifi_dram::pipeline::{Pipeline, PipelineConfig};
+use hifi_extract::measure;
+use hifi_synth::generate_region;
+
+fn config() -> PipelineConfig {
+    PipelineConfig::pristine(SaTopologyKind::Classic)
+}
+
+/// The pristine pipeline composed from the stage APIs with no recorder in
+/// sight — the baseline `Pipeline::run` is compared against.
+fn uninstrumented(cfg: &PipelineConfig) -> usize {
+    let region = generate_region(&cfg.spec);
+    let volume = region.voxelize();
+    let window = region.cell_window(cfg.window_pair);
+    let voxel = volume.voxel_nm();
+    let to_vox = |nm: i64| ((nm as f64) / voxel).round().max(0.0) as usize;
+    let cropped = volume.crop(
+        to_vox(window.min().x),
+        to_vox(window.max().x),
+        to_vox(window.min().y),
+        to_vox(window.max().y),
+    );
+    let extraction = hifi_extract::extract(&cropped).expect("extraction");
+    let identified = TopologyLibrary::standard().identify(&extraction.netlist);
+    let measurement = measure(&extraction);
+    let worst = measurement.worst_deviation(&region.ground_truth().cell.dims_by_class);
+    assert!(identified.is_some() && worst.is_some());
+    extraction.devices.len()
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry");
+    g.sample_size(10);
+    let cfg = config();
+    g.bench_function("uninstrumented", |b| b.iter(|| uninstrumented(&cfg)));
+    let pipeline = Pipeline::new(config());
+    g.bench_function("noop_recorder", |b| {
+        b.iter(|| pipeline.run().expect("pipeline"))
+    });
+    g.bench_function("json_recorder", |b| {
+        b.iter(|| pipeline.run_instrumented().expect("pipeline"))
+    });
+    g.finish();
+}
+
+fn time_secs<T>(f: &mut impl FnMut() -> T) -> f64 {
+    let start = Instant::now();
+    black_box(f());
+    start.elapsed().as_secs_f64()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    benches();
+
+    // Head-to-head: the two variants are timed in adjacent pairs and each
+    // pair yields one noop/baseline ratio. Slow load drift hits both
+    // members of a pair roughly equally and cancels in the ratio;
+    // alternating which variant runs first cancels order bias; a load
+    // spike contaminates only its own pair, and the median over all pairs
+    // discards those outliers. A real regression shifts *every* ratio, so
+    // it moves the median where noise cannot.
+    const PAIRS: usize = 60;
+    const BUDGET_PCT: f64 = 2.0;
+    let cfg = config();
+    let pipeline = Pipeline::new(config());
+    let mut run_base = || uninstrumented(&cfg);
+    let mut run_noop = || pipeline.run().expect("pipeline");
+    // Warm-up both paths once.
+    black_box(run_base());
+    black_box(run_noop());
+    let mut ratios = Vec::with_capacity(PAIRS);
+    let mut base_times = Vec::with_capacity(PAIRS);
+    for i in 0..PAIRS {
+        let (base, noop) = if i % 2 == 0 {
+            let base = time_secs(&mut run_base);
+            let noop = time_secs(&mut run_noop);
+            (base, noop)
+        } else {
+            let noop = time_secs(&mut run_noop);
+            let base = time_secs(&mut run_base);
+            (base, noop)
+        };
+        ratios.push(noop / base);
+        base_times.push(base);
+    }
+    let overhead = (median(ratios) - 1.0) * 100.0;
+    println!(
+        "noop-recorder overhead (median of {PAIRS} paired ratios): {overhead:+.2}%  \
+         (median uninstrumented {:.1} ms)",
+        median(base_times) * 1e3
+    );
+    assert!(
+        overhead < BUDGET_PCT,
+        "NoopRecorder overhead {overhead:.2}% exceeds the {BUDGET_PCT}% budget"
+    );
+}
+
+criterion_group!(benches, bench_variants);

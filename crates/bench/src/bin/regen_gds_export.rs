@@ -7,9 +7,12 @@ use hifi_dram::pipeline::dims_for_chip;
 use hifi_dram::synth::{generate_region, SaRegionSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let dir = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| std::env::temp_dir().join("hifi-dram-gds").display().to_string());
+    let dir = std::env::args().nth(1).unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join("hifi-dram-gds")
+            .display()
+            .to_string()
+    });
     std::fs::create_dir_all(&dir)?;
     for chip in chips() {
         let spec = SaRegionSpec::new(chip.topology())

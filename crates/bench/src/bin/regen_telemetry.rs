@@ -1,0 +1,4 @@
+//! Regenerates the telemetry run reports; see `hifi_bench::regen`.
+fn main() {
+    println!("{}", hifi_bench::telemetry_runs());
+}

@@ -18,7 +18,15 @@ use hifi_imaging::ImagingConfig;
 /// Table I: the six studied chips.
 pub fn table1() -> String {
     let mut t = Table::new(vec![
-        "ID", "Vendor", "Storage", "Yr.", "Size", "Det.", "MATs", "Pixl.Res.", "SA",
+        "ID",
+        "Vendor",
+        "Storage",
+        "Yr.",
+        "Size",
+        "Det.",
+        "MATs",
+        "Pixl.Res.",
+        "SA",
     ]);
     for c in chips() {
         t.row(vec![
@@ -28,7 +36,12 @@ pub fn table1() -> String {
             format!("'{}", c.production_year() % 100),
             format!("{}mm^2", c.die_area().value()),
             c.detector().to_string(),
-            if c.mats_visible_after_decap() { "V." } else { "N.V." }.into(),
+            if c.mats_visible_after_decap() {
+                "V."
+            } else {
+                "N.V."
+            }
+            .into(),
             format!("{} nm", c.pixel_resolution().value()),
             c.topology().to_string(),
         ]);
@@ -38,7 +51,14 @@ pub fn table1() -> String {
 
 /// Table II: research inaccuracies, overhead error and portability cost.
 pub fn table2() -> String {
-    let mut t = Table::new(vec!["Research", "Inacc.", "Error", "Port. Cost", "DDR", "Yr."]);
+    let mut t = Table::new(vec![
+        "Research",
+        "Inacc.",
+        "Error",
+        "Port. Cost",
+        "DDR",
+        "Yr.",
+    ]);
     for row in eval_table2() {
         let inacc = row
             .paper
@@ -145,7 +165,9 @@ pub fn offset_tolerance() -> String {
 /// Fig. 11: measured pSA/nSA dimensions per chip, plus REM (CROW omitted as
 /// out of range, as in the paper).
 pub fn fig11() -> String {
-    let mut t = Table::new(vec!["Chip", "nSA W", "nSA L", "pSA W", "pSA L", "nSA W/L", "pSA W/L"]);
+    let mut t = Table::new(vec![
+        "Chip", "nSA W", "nSA L", "pSA W", "pSA L", "nSA W/L", "pSA W/L",
+    ]);
     for row in hifi_eval::models::fig11_rows(&chips()) {
         t.row(vec![
             row.label.clone(),
@@ -157,13 +179,25 @@ pub fn fig11() -> String {
             format!("{:.2}", row.psa.w_over_l()),
         ]);
     }
-    format!("Fig. 11 — latch transistor sizes (nm); CROW omitted (out of range)\n\n{}", t.render())
+    format!(
+        "Fig. 11 — latch transistor sizes (nm); CROW omitted (out of range)\n\n{}",
+        t.render()
+    )
 }
 
 /// Fig. 12: average/maximum inaccuracies of REM and CROW.
 pub fn fig12() -> String {
     let cs = chips();
-    let mut t = Table::new(vec!["Model", "Tech", "avg W/L", "max W/L (@)", "avg W", "max W (@)", "avg L", "max L (@)"]);
+    let mut t = Table::new(vec![
+        "Model",
+        "Tech",
+        "avg W/L",
+        "max W/L (@)",
+        "avg W",
+        "max W (@)",
+        "avg L",
+        "max L (@)",
+    ]);
     for model in [rem(), crow()] {
         for gen in [DdrGeneration::Ddr4, DdrGeneration::Ddr5] {
             let cmp = compare_model(&model, &cs, gen);
@@ -171,7 +205,12 @@ pub fn fig12() -> String {
                 let mx = cmp.maximum(m);
                 (
                     format!("{:.0}%", cmp.average(m).as_percent()),
-                    format!("{:.0}% ({} {})", mx.inaccuracy.as_percent(), mx.chip, mx.class),
+                    format!(
+                        "{:.0}% ({} {})",
+                        mx.inaccuracy.as_percent(),
+                        mx.chip,
+                        mx.class
+                    ),
                 )
             };
             let (awl, mwl) = cell(DimensionMetric::WOverL);
@@ -179,17 +218,38 @@ pub fn fig12() -> String {
             let (al, ml) = cell(DimensionMetric::Length);
             t.row(vec![
                 model.name().to_owned(),
-                format!("{gen}{}", if gen == DdrGeneration::Ddr5 { " (¥)" } else { "" }),
-                awl, mwl, aw, mw, al, ml,
+                format!(
+                    "{gen}{}",
+                    if gen == DdrGeneration::Ddr5 {
+                        " (¥)"
+                    } else {
+                        ""
+                    }
+                ),
+                awl,
+                mwl,
+                aw,
+                mw,
+                al,
+                ml,
             ]);
         }
     }
-    format!("Fig. 12 — model inaccuracies vs measured transistors\n\n{}", t.render())
+    format!(
+        "Fig. 12 — model inaccuracies vs measured transistors\n\n{}",
+        t.render()
+    )
 }
 
 /// Fig. 13: free-space checks behind I1 and I2.
 pub fn fig13() -> String {
-    let mut t = Table::new(vec!["Chip", "BL pitch", "BL width", "usable gap", "extra BL fits?"]);
+    let mut t = Table::new(vec![
+        "Chip",
+        "BL pitch",
+        "BL width",
+        "usable gap",
+        "extra BL fits?",
+    ]);
     for c in chips() {
         let check = space::mat_free_space(&c);
         t.row(vec![
@@ -236,7 +296,10 @@ pub fn appendix_a() -> String {
                 "{:.1}%",
                 (c.geometry().mat_fraction().value() + c.geometry().sa_fraction().value()) * 100.0
             ),
-            format!("{:.1}%", bitline::halved_bitline_chip_overhead(c).as_percent()),
+            format!(
+                "{:.1}%",
+                bitline::halved_bitline_chip_overhead(c).as_percent()
+            ),
         ]);
     }
     let scaling = bitline::BitlineScaling::new(0.5, 0.5);
@@ -254,7 +317,12 @@ pub fn appendix_a() -> String {
 /// Section V-B: the measurement campaign — reverse engineer every chip's
 /// generated region and compare measured dimensions with the dataset.
 pub fn measurements() -> String {
-    let mut t = Table::new(vec!["Chip", "topology identified", "devices", "worst dim. dev."]);
+    let mut t = Table::new(vec![
+        "Chip",
+        "topology identified",
+        "devices",
+        "worst dim. dev.",
+    ]);
     let mut total = 0usize;
     for chip in chips() {
         let report = Pipeline::new(PipelineConfig::for_chip(&chip))
@@ -269,7 +337,11 @@ pub fn measurements() -> String {
                     .identified
                     .map(|k| k.to_string())
                     .unwrap_or_else(|| "unmatched".into()),
-                if report.topology_correct() { "correct" } else { "WRONG" }
+                if report.topology_correct() {
+                    "correct"
+                } else {
+                    "WRONG"
+                }
             ),
             report.device_count.to_string(),
             format!(
@@ -359,7 +431,12 @@ pub fn outofspec() -> String {
         mt.row(vec![
             kind.to_string(),
             format!("{:#04x} (expected {:#04x})", out.result[0], out.expected[0]),
-            if out.correct_majority { "correct" } else { "CORRUPTED" }.into(),
+            if out.correct_majority {
+                "correct"
+            } else {
+                "CORRUPTED"
+            }
+            .into(),
         ]);
     }
     format!(
@@ -401,7 +478,12 @@ pub fn yield_analysis() -> String {
 /// Recommendation R1 quantified: how much do optimistic assumptions (drawn
 /// sizes, a single SA per gap) underestimate the transistor-level papers?
 pub fn sensitivity() -> String {
-    let mut t = Table::new(vec!["Paper", "full assumptions", "optimistic", "underestimated by"]);
+    let mut t = Table::new(vec![
+        "Paper",
+        "full assumptions",
+        "optimistic",
+        "underestimated by",
+    ]);
     for row in hifi_eval::sensitivity::sensitivity_report() {
         t.row(vec![
             row.paper.to_owned(),
@@ -496,6 +578,39 @@ pub fn pipeline_fidelity() -> String {
     out
 }
 
+/// Structured JSON run reports: both topologies through the pristine and
+/// the imaged pipeline with a [`hifi_telemetry::JsonRecorder`] attached.
+/// Wall times vary run to run, so this artefact is *not* part of the
+/// deterministic drift-check set.
+pub fn telemetry_runs() -> String {
+    let mut reports = Vec::new();
+    for kind in [SaTopologyKind::Classic, SaTopologyKind::OffsetCancellation] {
+        for imaged in [false, true] {
+            let cfg = if imaged {
+                let imaging = ImagingConfig {
+                    dwell_us: 6.0,
+                    drift_sigma_px: 0.6,
+                    brightness_wander: 1.0,
+                    slice_voxels: 2,
+                    ..ImagingConfig::default()
+                };
+                PipelineConfig::with_imaging(kind, imaging)
+            } else {
+                PipelineConfig::pristine(kind)
+            };
+            let report = Pipeline::new(cfg)
+                .run_instrumented()
+                .expect("pipeline runs");
+            reports.push(
+                report
+                    .telemetry
+                    .expect("instrumented run carries telemetry"),
+            );
+        }
+    }
+    serde_json::to_string_pretty(&reports).expect("run reports serialize")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -520,7 +635,10 @@ mod tests {
     #[test]
     fn fig12_places_maxima_on_c4_precharge() {
         let s = fig12();
-        assert!(s.contains("C4 PRE"), "max inaccuracies at C4's precharge:\n{s}");
+        assert!(
+            s.contains("C4 PRE"),
+            "max inaccuracies at C4's precharge:\n{s}"
+        );
     }
 
     #[test]
@@ -542,5 +660,32 @@ mod tests {
     fn appendix_a_reports_one_third() {
         let s = appendix_a();
         assert!(s.contains("33.3%"));
+    }
+
+    #[test]
+    fn telemetry_runs_emits_valid_json_with_fidelity() {
+        let s = telemetry_runs();
+        let reports: Vec<hifi_telemetry::RunReport> =
+            serde_json::from_str(&s).expect("valid JSON run reports");
+        assert_eq!(reports.len(), 4, "2 topologies × (pristine, imaged)");
+        for r in &reports {
+            assert!(
+                !r.stages.is_empty(),
+                "{}: no stage timings",
+                r.config.topology
+            );
+        }
+        let imaged: Vec<_> = reports.iter().filter(|r| r.config.imaging).collect();
+        assert_eq!(imaged.len(), 2);
+        for r in imaged {
+            assert!(
+                r.fidelity.recorded_count() >= 3,
+                "{}: fewer than 3 fidelity metrics: {:?}",
+                r.config.topology,
+                r.fidelity
+            );
+            assert!(r.stage_us("align").is_some());
+            assert!(r.counter("extract.devices") > 0);
+        }
     }
 }

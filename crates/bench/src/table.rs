@@ -40,9 +40,9 @@ impl Table {
         }
         let fmt_row = |cells: &[String]| -> String {
             let mut line = String::new();
-            for i in 0..cols {
+            for (i, w) in widths.iter().enumerate() {
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
-                line.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+                line.push_str(&format!("{cell:<w$}  "));
             }
             line.trim_end().to_owned()
         };

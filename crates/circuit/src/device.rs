@@ -28,7 +28,9 @@ impl core::fmt::Display for Polarity {
 /// Functional class of a transistor in the SA region, as identified during
 /// reverse engineering (Section V-A classifies multiplexer, common-gate and
 /// coupled transistors, then maps them to these circuit roles).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum TransistorClass {
     /// NMOS half of the cross-coupled latch.
     NSa,
@@ -247,7 +249,10 @@ mod tests {
 
     #[test]
     fn class_short_names_unique() {
-        let mut names: Vec<_> = TransistorClass::ALL.iter().map(|c| c.short_name()).collect();
+        let mut names: Vec<_> = TransistorClass::ALL
+            .iter()
+            .map(|c| c.short_name())
+            .collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), TransistorClass::ALL.len());

@@ -165,7 +165,11 @@ pub fn are_isomorphic(a: &Netlist, b: &Netlist) -> bool {
         }
     }
 
-    fn undo(trail: &[(usize, usize)], net_map: &mut [Option<usize>], net_rev: &mut [Option<usize>]) {
+    fn undo(
+        trail: &[(usize, usize)],
+        net_map: &mut [Option<usize>],
+        net_rev: &mut [Option<usize>],
+    ) {
         for &(x, y) in trail {
             net_map[x] = None;
             net_rev[y] = None;
@@ -200,8 +204,16 @@ pub fn are_isomorphic(a: &Netlist, b: &Netlist) -> bool {
             // Enumerate terminal alignments.
             let alignments: Vec<Vec<(NetId, NetId)>> = match (dev_a, dev_b) {
                 (Device::Mosfet(ma), Device::Mosfet(mb)) => vec![
-                    vec![(ma.gate, mb.gate), (ma.source, mb.source), (ma.drain, mb.drain)],
-                    vec![(ma.gate, mb.gate), (ma.source, mb.drain), (ma.drain, mb.source)],
+                    vec![
+                        (ma.gate, mb.gate),
+                        (ma.source, mb.source),
+                        (ma.drain, mb.drain),
+                    ],
+                    vec![
+                        (ma.gate, mb.gate),
+                        (ma.source, mb.drain),
+                        (ma.drain, mb.source),
+                    ],
                 ],
                 (Device::Capacitor(ca), Device::Capacitor(cb)) => vec![
                     vec![(ca.a, cb.a), (ca.b, cb.b)],
@@ -211,10 +223,7 @@ pub fn are_isomorphic(a: &Netlist, b: &Netlist) -> bool {
             };
             for pairs in alignments {
                 // Colour pre-check on the nets.
-                if pairs
-                    .iter()
-                    .any(|&(x, y)| na_colors[x.0] != nb_colors[y.0])
-                {
+                if pairs.iter().any(|&(x, y)| na_colors[x.0] != nb_colors[y.0]) {
                     continue;
                 }
                 let mut trail = Vec::new();
@@ -225,8 +234,18 @@ pub fn are_isomorphic(a: &Netlist, b: &Netlist) -> bool {
                     dev_map[ai] = Some(bi);
                     dev_used[bi] = true;
                     if search(
-                        k + 1, order, a, b, da, db, na_colors, nb_colors, dev_map, dev_used,
-                        net_map, net_rev,
+                        k + 1,
+                        order,
+                        a,
+                        b,
+                        da,
+                        db,
+                        na_colors,
+                        nb_colors,
+                        dev_map,
+                        dev_used,
+                        net_map,
+                        net_rev,
                     ) {
                         return true;
                     }
@@ -240,7 +259,17 @@ pub fn are_isomorphic(a: &Netlist, b: &Netlist) -> bool {
     }
 
     search(
-        0, &order, a, b, &da, &db, &na, &nb, &mut dev_map, &mut dev_used, &mut net_map,
+        0,
+        &order,
+        a,
+        b,
+        &da,
+        &db,
+        &na,
+        &nb,
+        &mut dev_map,
+        &mut dev_used,
+        &mut net_map,
         &mut net_rev,
     )
 }
@@ -298,7 +327,7 @@ impl Default for TopologyLibrary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::device::{Polarity, TransistorClass, TransistorDims};
+    use crate::device::{Polarity, TransistorClass};
 
     #[test]
     fn self_isomorphism() {
@@ -412,7 +441,10 @@ mod tests {
                     let (s, dr) = if m.name == "eq" {
                         (bad.add_net("VPRE"), bad.add_net("BLB"))
                     } else {
-                        (bad.add_net(src.net_name(m.source)), bad.add_net(src.net_name(m.drain)))
+                        (
+                            bad.add_net(src.net_name(m.source)),
+                            bad.add_net(src.net_name(m.drain)),
+                        )
                     };
                     bad.add_mosfet(m.name.clone(), m.polarity, m.class, m.dims, g, s, dr);
                 }

@@ -239,8 +239,24 @@ mod tests {
         let bl = nl.add_net("BL");
         let blb = nl.add_net("BLB");
         let la = nl.add_net("LA");
-        nl.add_mosfet("p1", Polarity::Pmos, TransistorClass::PSa, dims(), blb, la, bl);
-        nl.add_mosfet("p2", Polarity::Pmos, TransistorClass::PSa, dims(), bl, la, blb);
+        nl.add_mosfet(
+            "p1",
+            Polarity::Pmos,
+            TransistorClass::PSa,
+            dims(),
+            blb,
+            la,
+            bl,
+        );
+        nl.add_mosfet(
+            "p2",
+            Polarity::Pmos,
+            TransistorClass::PSa,
+            dims(),
+            bl,
+            la,
+            blb,
+        );
         assert_eq!(nl.net_degree(la), 2);
         assert_eq!(nl.net_degree(bl), 2);
         assert_eq!(nl.devices_on_net(bl).len(), 2);

@@ -127,17 +127,89 @@ pub fn classic_sa(dims: SaDimensions) -> SaCircuit {
     let liob = nl.add_net("LIOB");
 
     // Cross-coupled latch: gates on the opposite bitline, drains on their own.
-    nl.add_mosfet("pSA_l", Polarity::Pmos, TransistorClass::PSa, dims.psa, blb, la, bl);
-    nl.add_mosfet("pSA_r", Polarity::Pmos, TransistorClass::PSa, dims.psa, bl, la, blb);
-    nl.add_mosfet("nSA_l", Polarity::Nmos, TransistorClass::NSa, dims.nsa, blb, lab, bl);
-    nl.add_mosfet("nSA_r", Polarity::Nmos, TransistorClass::NSa, dims.nsa, bl, lab, blb);
+    nl.add_mosfet(
+        "pSA_l",
+        Polarity::Pmos,
+        TransistorClass::PSa,
+        dims.psa,
+        blb,
+        la,
+        bl,
+    );
+    nl.add_mosfet(
+        "pSA_r",
+        Polarity::Pmos,
+        TransistorClass::PSa,
+        dims.psa,
+        bl,
+        la,
+        blb,
+    );
+    nl.add_mosfet(
+        "nSA_l",
+        Polarity::Nmos,
+        TransistorClass::NSa,
+        dims.nsa,
+        blb,
+        lab,
+        bl,
+    );
+    nl.add_mosfet(
+        "nSA_r",
+        Polarity::Nmos,
+        TransistorClass::NSa,
+        dims.nsa,
+        bl,
+        lab,
+        blb,
+    );
     // Precharge: each bitline to Vpre; equalise: bitline to bitline. All share PEQ.
-    nl.add_mosfet("pre_l", Polarity::Nmos, TransistorClass::Precharge, dims.precharge, peq, vpre, bl);
-    nl.add_mosfet("pre_r", Polarity::Nmos, TransistorClass::Precharge, dims.precharge, peq, vpre, blb);
-    nl.add_mosfet("eq", Polarity::Nmos, TransistorClass::Equalizer, dims.equalizer, peq, bl, blb);
+    nl.add_mosfet(
+        "pre_l",
+        Polarity::Nmos,
+        TransistorClass::Precharge,
+        dims.precharge,
+        peq,
+        vpre,
+        bl,
+    );
+    nl.add_mosfet(
+        "pre_r",
+        Polarity::Nmos,
+        TransistorClass::Precharge,
+        dims.precharge,
+        peq,
+        vpre,
+        blb,
+    );
+    nl.add_mosfet(
+        "eq",
+        Polarity::Nmos,
+        TransistorClass::Equalizer,
+        dims.equalizer,
+        peq,
+        bl,
+        blb,
+    );
     // Column multiplexer.
-    nl.add_mosfet("col_l", Polarity::Nmos, TransistorClass::Column, dims.column, yi, bl, lio);
-    nl.add_mosfet("col_r", Polarity::Nmos, TransistorClass::Column, dims.column, yi, blb, liob);
+    nl.add_mosfet(
+        "col_l",
+        Polarity::Nmos,
+        TransistorClass::Column,
+        dims.column,
+        yi,
+        bl,
+        lio,
+    );
+    nl.add_mosfet(
+        "col_r",
+        Polarity::Nmos,
+        TransistorClass::Column,
+        dims.column,
+        yi,
+        blb,
+        liob,
+    );
 
     SaCircuit {
         kind: SaTopologyKind::Classic,
@@ -177,23 +249,119 @@ pub fn ocsa(dims: SaDimensions) -> SaCircuit {
     let liob = nl.add_net("LIOB");
 
     // Latch: gates on bitlines, drains on internal nodes.
-    nl.add_mosfet("pSA_l", Polarity::Pmos, TransistorClass::PSa, dims.psa, blb, la, sabl);
-    nl.add_mosfet("pSA_r", Polarity::Pmos, TransistorClass::PSa, dims.psa, bl, la, sablb);
-    nl.add_mosfet("nSA_l", Polarity::Nmos, TransistorClass::NSa, dims.nsa, blb, lab, sabl);
-    nl.add_mosfet("nSA_r", Polarity::Nmos, TransistorClass::NSa, dims.nsa, bl, lab, sablb);
+    nl.add_mosfet(
+        "pSA_l",
+        Polarity::Pmos,
+        TransistorClass::PSa,
+        dims.psa,
+        blb,
+        la,
+        sabl,
+    );
+    nl.add_mosfet(
+        "pSA_r",
+        Polarity::Pmos,
+        TransistorClass::PSa,
+        dims.psa,
+        bl,
+        la,
+        sablb,
+    );
+    nl.add_mosfet(
+        "nSA_l",
+        Polarity::Nmos,
+        TransistorClass::NSa,
+        dims.nsa,
+        blb,
+        lab,
+        sabl,
+    );
+    nl.add_mosfet(
+        "nSA_r",
+        Polarity::Nmos,
+        TransistorClass::NSa,
+        dims.nsa,
+        bl,
+        lab,
+        sablb,
+    );
     // Isolation: internal node to its own bitline.
-    nl.add_mosfet("iso_l", Polarity::Nmos, TransistorClass::Isolation, dims.isolation, iso, sabl, bl);
-    nl.add_mosfet("iso_r", Polarity::Nmos, TransistorClass::Isolation, dims.isolation, iso, sablb, blb);
+    nl.add_mosfet(
+        "iso_l",
+        Polarity::Nmos,
+        TransistorClass::Isolation,
+        dims.isolation,
+        iso,
+        sabl,
+        bl,
+    );
+    nl.add_mosfet(
+        "iso_r",
+        Polarity::Nmos,
+        TransistorClass::Isolation,
+        dims.isolation,
+        iso,
+        sablb,
+        blb,
+    );
     // Offset cancellation: internal node to the *opposite* bitline, which
     // diode-connects each latch transistor during the OC phase.
-    nl.add_mosfet("oc_l", Polarity::Nmos, TransistorClass::OffsetCancel, dims.offset_cancel, oc, sabl, blb);
-    nl.add_mosfet("oc_r", Polarity::Nmos, TransistorClass::OffsetCancel, dims.offset_cancel, oc, sablb, bl);
+    nl.add_mosfet(
+        "oc_l",
+        Polarity::Nmos,
+        TransistorClass::OffsetCancel,
+        dims.offset_cancel,
+        oc,
+        sabl,
+        blb,
+    );
+    nl.add_mosfet(
+        "oc_r",
+        Polarity::Nmos,
+        TransistorClass::OffsetCancel,
+        dims.offset_cancel,
+        oc,
+        sablb,
+        bl,
+    );
     // Stand-alone precharge (no equaliser).
-    nl.add_mosfet("pre_l", Polarity::Nmos, TransistorClass::Precharge, dims.precharge, pre, vpre, bl);
-    nl.add_mosfet("pre_r", Polarity::Nmos, TransistorClass::Precharge, dims.precharge, pre, vpre, blb);
+    nl.add_mosfet(
+        "pre_l",
+        Polarity::Nmos,
+        TransistorClass::Precharge,
+        dims.precharge,
+        pre,
+        vpre,
+        bl,
+    );
+    nl.add_mosfet(
+        "pre_r",
+        Polarity::Nmos,
+        TransistorClass::Precharge,
+        dims.precharge,
+        pre,
+        vpre,
+        blb,
+    );
     // Column multiplexer.
-    nl.add_mosfet("col_l", Polarity::Nmos, TransistorClass::Column, dims.column, yi, bl, lio);
-    nl.add_mosfet("col_r", Polarity::Nmos, TransistorClass::Column, dims.column, yi, blb, liob);
+    nl.add_mosfet(
+        "col_l",
+        Polarity::Nmos,
+        TransistorClass::Column,
+        dims.column,
+        yi,
+        bl,
+        lio,
+    );
+    nl.add_mosfet(
+        "col_r",
+        Polarity::Nmos,
+        TransistorClass::Column,
+        dims.column,
+        yi,
+        blb,
+        liob,
+    );
 
     SaCircuit {
         kind: SaTopologyKind::OffsetCancellation,
@@ -221,17 +389,105 @@ pub fn classic_sa_with_isolation(dims: SaDimensions) -> SaCircuit {
     let lio = nl.add_net("LIO");
     let liob = nl.add_net("LIOB");
 
-    nl.add_mosfet("iso_l", Polarity::Nmos, TransistorClass::Isolation, dims.isolation, iso, bl, ibl);
-    nl.add_mosfet("iso_r", Polarity::Nmos, TransistorClass::Isolation, dims.isolation, iso, blb, iblb);
-    nl.add_mosfet("pSA_l", Polarity::Pmos, TransistorClass::PSa, dims.psa, iblb, la, ibl);
-    nl.add_mosfet("pSA_r", Polarity::Pmos, TransistorClass::PSa, dims.psa, ibl, la, iblb);
-    nl.add_mosfet("nSA_l", Polarity::Nmos, TransistorClass::NSa, dims.nsa, iblb, lab, ibl);
-    nl.add_mosfet("nSA_r", Polarity::Nmos, TransistorClass::NSa, dims.nsa, ibl, lab, iblb);
-    nl.add_mosfet("pre_l", Polarity::Nmos, TransistorClass::Precharge, dims.precharge, peq, vpre, ibl);
-    nl.add_mosfet("pre_r", Polarity::Nmos, TransistorClass::Precharge, dims.precharge, peq, vpre, iblb);
-    nl.add_mosfet("eq", Polarity::Nmos, TransistorClass::Equalizer, dims.equalizer, peq, ibl, iblb);
-    nl.add_mosfet("col_l", Polarity::Nmos, TransistorClass::Column, dims.column, yi, ibl, lio);
-    nl.add_mosfet("col_r", Polarity::Nmos, TransistorClass::Column, dims.column, yi, iblb, liob);
+    nl.add_mosfet(
+        "iso_l",
+        Polarity::Nmos,
+        TransistorClass::Isolation,
+        dims.isolation,
+        iso,
+        bl,
+        ibl,
+    );
+    nl.add_mosfet(
+        "iso_r",
+        Polarity::Nmos,
+        TransistorClass::Isolation,
+        dims.isolation,
+        iso,
+        blb,
+        iblb,
+    );
+    nl.add_mosfet(
+        "pSA_l",
+        Polarity::Pmos,
+        TransistorClass::PSa,
+        dims.psa,
+        iblb,
+        la,
+        ibl,
+    );
+    nl.add_mosfet(
+        "pSA_r",
+        Polarity::Pmos,
+        TransistorClass::PSa,
+        dims.psa,
+        ibl,
+        la,
+        iblb,
+    );
+    nl.add_mosfet(
+        "nSA_l",
+        Polarity::Nmos,
+        TransistorClass::NSa,
+        dims.nsa,
+        iblb,
+        lab,
+        ibl,
+    );
+    nl.add_mosfet(
+        "nSA_r",
+        Polarity::Nmos,
+        TransistorClass::NSa,
+        dims.nsa,
+        ibl,
+        lab,
+        iblb,
+    );
+    nl.add_mosfet(
+        "pre_l",
+        Polarity::Nmos,
+        TransistorClass::Precharge,
+        dims.precharge,
+        peq,
+        vpre,
+        ibl,
+    );
+    nl.add_mosfet(
+        "pre_r",
+        Polarity::Nmos,
+        TransistorClass::Precharge,
+        dims.precharge,
+        peq,
+        vpre,
+        iblb,
+    );
+    nl.add_mosfet(
+        "eq",
+        Polarity::Nmos,
+        TransistorClass::Equalizer,
+        dims.equalizer,
+        peq,
+        ibl,
+        iblb,
+    );
+    nl.add_mosfet(
+        "col_l",
+        Polarity::Nmos,
+        TransistorClass::Column,
+        dims.column,
+        yi,
+        ibl,
+        lio,
+    );
+    nl.add_mosfet(
+        "col_r",
+        Polarity::Nmos,
+        TransistorClass::Column,
+        dims.column,
+        yi,
+        iblb,
+        liob,
+    );
 
     SaCircuit {
         kind: SaTopologyKind::ClassicWithIsolation,
@@ -333,12 +589,12 @@ mod tests {
         let bl = nl.net("BL").unwrap();
         let blb = nl.net("BLB").unwrap();
         let sabl = nl.net("SABL").unwrap();
-        let iso_connects = nl.mosfets_of_class(TransistorClass::Isolation).any(|m| {
-            (m.source == sabl && m.drain == bl) || (m.source == bl && m.drain == sabl)
-        });
-        let oc_connects = nl.mosfets_of_class(TransistorClass::OffsetCancel).any(|m| {
-            (m.source == sabl && m.drain == blb) || (m.source == blb && m.drain == sabl)
-        });
+        let iso_connects = nl
+            .mosfets_of_class(TransistorClass::Isolation)
+            .any(|m| (m.source == sabl && m.drain == bl) || (m.source == bl && m.drain == sabl));
+        let oc_connects = nl
+            .mosfets_of_class(TransistorClass::OffsetCancel)
+            .any(|m| (m.source == sabl && m.drain == blb) || (m.source == blb && m.drain == sabl));
         assert!(iso_connects && oc_connects);
     }
 

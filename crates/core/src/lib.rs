@@ -39,6 +39,7 @@ pub use hifi_extract as extract;
 pub use hifi_geometry as geometry;
 pub use hifi_imaging as imaging;
 pub use hifi_synth as synth;
+pub use hifi_telemetry as telemetry;
 pub use hifi_units as units;
 
 pub mod pipeline;

@@ -5,8 +5,13 @@ use hifi_circuit::topology::{SaDimensions, SaTopologyKind};
 use hifi_circuit::TransistorClass;
 use hifi_data::Chip;
 use hifi_extract::{measure, ExtractError, Extraction, MeasurementReport};
-use hifi_imaging::{acquire, align, denoise, reconstruct, AlignMethod, ImagingConfig};
+use hifi_imaging::{
+    acquire, align_with, denoise, metrics, reconstruct, render_ideal, AlignMethod, ImagingConfig,
+};
 use hifi_synth::{generate_region, SaRegionSpec};
+use hifi_telemetry::{
+    names, with_span, ConfigEcho, JsonRecorder, NoopRecorder, Recorder, RunReport,
+};
 use hifi_units::Ratio;
 
 /// Error produced by the pipeline.
@@ -34,7 +39,14 @@ impl core::fmt::Display for PipelineError {
     }
 }
 
-impl std::error::Error for PipelineError {}
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Extract(e) => Some(e),
+            PipelineError::WindowOutOfRange { .. } => None,
+        }
+    }
+}
 
 impl From<ExtractError> for PipelineError {
     fn from(e: ExtractError) -> Self {
@@ -85,9 +97,10 @@ impl PipelineConfig {
     /// reverse engineering of that chip.
     pub fn for_chip(chip: &Chip) -> Self {
         let mut cfg = Self::pristine(chip.topology());
-        cfg.spec = cfg.spec.with_dims(dims_for_chip(chip)).with_transition_nm(
-            chip.geometry().mat_to_sa_transition.value().round() as i64,
-        );
+        cfg.spec = cfg
+            .spec
+            .with_dims(dims_for_chip(chip))
+            .with_transition_nm(chip.geometry().mat_to_sa_transition.value().round() as i64);
         cfg
     }
 }
@@ -129,6 +142,10 @@ pub struct PipelineReport {
     pub alignment_corrections: Vec<(i32, i32)>,
     /// The raw extraction, for further analysis.
     pub extraction: Extraction,
+    /// Provenance record of the run: config echo, per-stage wall times,
+    /// counters and fidelity metrics. `None` unless the pipeline ran via
+    /// [`Pipeline::run_instrumented`].
+    pub telemetry: Option<RunReport>,
 }
 
 impl PipelineReport {
@@ -158,6 +175,56 @@ impl Pipeline {
     /// Returns [`PipelineError`] if extraction or classification fails or
     /// the window index is invalid.
     pub fn run(&self) -> Result<PipelineReport, PipelineError> {
+        self.run_with(&mut NoopRecorder)
+    }
+
+    /// Runs the pipeline with a [`JsonRecorder`] attached and returns the
+    /// report with [`PipelineReport::telemetry`] populated: per-stage wall
+    /// times, extraction counters, and — for imaged runs — the fidelity
+    /// metrics of Section IV (PSNR before/after denoising against the
+    /// ideal render, voxel accuracy against the pristine volume, residual
+    /// drift against the acquisition's ground truth).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Pipeline::run`].
+    pub fn run_instrumented(&self) -> Result<PipelineReport, PipelineError> {
+        let mut rec = JsonRecorder::new();
+        let mut report = self.run_with(&mut rec)?;
+        report.telemetry = Some(RunReport::from_events(self.config_echo(), rec.events()));
+        Ok(report)
+    }
+
+    /// Echo of this pipeline's configuration for a [`RunReport`].
+    pub fn config_echo(&self) -> ConfigEcho {
+        let cfg = &self.config;
+        ConfigEcho {
+            topology: cfg.spec.topology.name().to_string(),
+            n_pairs: cfg.spec.n_pairs as u32,
+            voxel_nm: cfg.spec.voxel_nm,
+            imaging: cfg.imaging.is_some(),
+            dwell_us: cfg.imaging.as_ref().map(|i| i.dwell_us),
+            drift_sigma_px: cfg.imaging.as_ref().map(|i| i.drift_sigma_px),
+            slice_voxels: cfg.imaging.as_ref().map(|i| i.slice_voxels as u32),
+            seed: cfg.imaging.as_ref().map(|i| i.seed),
+            denoise_lambda: cfg.denoise_lambda as f64,
+            denoise_iterations: cfg.denoise_iterations as u32,
+            align_window: cfg.align_window.max(0) as u32,
+            window_pair: cfg.window_pair as u32,
+        }
+    }
+
+    /// [`Pipeline::run`] recording into an arbitrary [`Recorder`].
+    ///
+    /// Every stage runs inside a span; when `rec` is enabled and imaging is
+    /// configured, the fidelity of each post-processing step is measured
+    /// against ground truth the real analyst never has (the ideal render,
+    /// the pristine volume, the true drift) and recorded as gauges.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Pipeline::run`].
+    pub fn run_with<R: Recorder>(&self, rec: &mut R) -> Result<PipelineReport, PipelineError> {
         let cfg = &self.config;
         if cfg.window_pair >= cfg.spec.n_pairs {
             return Err(PipelineError::WindowOutOfRange {
@@ -165,41 +232,88 @@ impl Pipeline {
                 available: cfg.spec.n_pairs,
             });
         }
-        let region = generate_region(&cfg.spec);
-        let volume = region.voxelize();
+        let region = with_span(rec, "generate", |_| generate_region(&cfg.spec));
+        let pristine = with_span(rec, "voxelize", |_| region.voxelize());
 
         let (volume, corrections) = match &cfg.imaging {
-            None => (volume, Vec::new()),
+            None => (pristine, Vec::new()),
             Some(imaging_cfg) => {
-                let (mut stack, _truth) = acquire(&volume, imaging_cfg);
-                stack.normalize_brightness();
+                let (mut stack, truth) =
+                    with_span(rec, "acquire", |_| acquire(&pristine, imaging_cfg));
+                // Fidelity baseline: mean per-slice PSNR of the raw
+                // acquisition against what a perfect microscope would see.
+                let ideal = if rec.enabled() {
+                    let ideal = render_ideal(&pristine, imaging_cfg);
+                    rec.gauge(names::PSNR_NOISY, mean_stack_psnr(&stack, &ideal));
+                    Some(ideal)
+                } else {
+                    None
+                };
+                with_span(rec, "normalize", |_| stack.normalize_brightness());
                 // Alignment first (registration uses median-filtered copies
                 // internally), then light TV denoising. Averaging along the
                 // milling axis is available (`average_slices`) but blends
                 // across any residual per-slice misalignment, so the default
                 // pipeline relies on TV alone.
-                let corrections =
-                    align(&mut stack, AlignMethod::MutualInformation, cfg.align_window);
-                denoise(&mut stack, cfg.denoise_lambda, cfg.denoise_iterations);
-                (reconstruct(&stack), corrections)
+                let corrections = with_span(rec, "align", |rec| {
+                    align_with(
+                        &mut stack,
+                        AlignMethod::MutualInformation,
+                        cfg.align_window,
+                        rec,
+                    )
+                });
+                with_span(rec, "denoise", |_| {
+                    denoise(&mut stack, cfg.denoise_lambda, cfg.denoise_iterations)
+                });
+                let volume = with_span(rec, "reconstruct", |_| reconstruct(&stack));
+                if let Some(ideal) = &ideal {
+                    rec.gauge(names::PSNR_DENOISED, mean_stack_psnr(&stack, ideal));
+                    rec.gauge(
+                        names::VOXEL_ACCURACY,
+                        metrics::voxel_accuracy(&volume, &pristine),
+                    );
+                    rec.gauge(
+                        names::RESIDUAL_DRIFT,
+                        metrics::residual_drift(&corrections, &truth),
+                    );
+                    let (_, slice_height) = stack.slice(0).dims();
+                    rec.gauge(
+                        names::ALIGNMENT_BUDGET,
+                        metrics::alignment_budget_px(slice_height),
+                    );
+                }
+                (volume, corrections)
             }
         };
 
         // Crop to one cell's SA window, as the analyst crops the ROI.
-        let window = region.cell_window(cfg.window_pair);
-        let voxel = volume.voxel_nm();
-        let to_vox = |nm: i64| ((nm as f64) / voxel).round().max(0.0) as usize;
-        let cropped = volume.crop(
-            to_vox(window.min().x),
-            to_vox(window.max().x),
-            to_vox(window.min().y),
-            to_vox(window.max().y),
-        );
+        let cropped = with_span(rec, "crop", |_| {
+            let window = region.cell_window(cfg.window_pair);
+            let voxel = volume.voxel_nm();
+            let to_vox = |nm: i64| ((nm as f64) / voxel).round().max(0.0) as usize;
+            volume.crop(
+                to_vox(window.min().x),
+                to_vox(window.max().x),
+                to_vox(window.min().y),
+                to_vox(window.max().y),
+            )
+        });
 
-        let extraction = hifi_extract::extract(&cropped)?;
-        let identified = TopologyLibrary::standard().identify(&extraction.netlist);
-        let measurement = measure(&extraction);
-        let worst = measurement.worst_deviation(&region.ground_truth().cell.dims_by_class);
+        let extraction = with_span(rec, "extract", |rec| {
+            hifi_extract::extract_with(&cropped, rec)
+        })?;
+        let identified = with_span(rec, "identify", |_| {
+            TopologyLibrary::standard().identify(&extraction.netlist)
+        });
+        let (measurement, worst) = with_span(rec, "measure", |_| {
+            let measurement = measure(&extraction);
+            let worst = measurement.worst_deviation(&region.ground_truth().cell.dims_by_class);
+            (measurement, worst)
+        });
+        if let Some(w) = &worst {
+            rec.gauge(names::WORST_DIMENSION_DEVIATION, w.value());
+        }
 
         Ok(PipelineReport {
             identified,
@@ -209,8 +323,23 @@ impl Pipeline {
             measurement,
             alignment_corrections: corrections,
             extraction,
+            telemetry: None,
         })
     }
+}
+
+/// Mean per-slice PSNR of a stack against a reference stack of identical
+/// geometry; slices with infinite PSNR (bit-identical) are capped at 99 dB
+/// so the mean stays finite.
+fn mean_stack_psnr(stack: &hifi_imaging::ImageStack, reference: &hifi_imaging::ImageStack) -> f64 {
+    let n = stack.len().min(reference.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let total: f64 = (0..n)
+        .map(|i| metrics::psnr(stack.slice(i), reference.slice(i)).min(99.0))
+        .sum();
+    total / n as f64
 }
 
 #[cfg(test)]
@@ -258,5 +387,82 @@ mod tests {
         cfg.window_pair = 7;
         let err = Pipeline::new(cfg).run().unwrap_err();
         assert!(matches!(err, PipelineError::WindowOutOfRange { .. }));
+    }
+
+    #[test]
+    fn extract_error_is_exposed_as_source() {
+        use std::error::Error;
+        let err = PipelineError::Extract(ExtractError::NoTransistors);
+        let source = err.source().expect("extract errors carry a source");
+        assert_eq!(source.to_string(), ExtractError::NoTransistors.to_string());
+        let err = PipelineError::WindowOutOfRange {
+            pair: 3,
+            available: 1,
+        };
+        assert!(err.source().is_none());
+    }
+
+    #[test]
+    fn instrumented_pristine_run_reports_stage_timings() {
+        let pipeline = Pipeline::new(PipelineConfig::pristine(SaTopologyKind::Classic));
+        let report = pipeline.run_instrumented().unwrap();
+        let telemetry = report.telemetry.expect("telemetry populated");
+        assert_eq!(telemetry.config.topology, "classic");
+        assert!(!telemetry.config.imaging);
+        for stage in [
+            "generate", "voxelize", "crop", "extract", "identify", "measure",
+        ] {
+            assert!(telemetry.stage_us(stage).is_some(), "missing stage {stage}");
+        }
+        // No imaging → no imaging stages, no imaging fidelity metrics.
+        assert!(telemetry.stage_us("acquire").is_none());
+        assert!(telemetry.fidelity.psnr_noisy_db.is_none());
+        assert!(telemetry.fidelity.voxel_accuracy.is_none());
+        // The worst-deviation gauge is recorded for every run.
+        assert!(telemetry.fidelity.worst_dimension_deviation.is_some());
+        assert_eq!(
+            telemetry.counter("extract.devices"),
+            report.device_count as u64
+        );
+        // The plain run is unchanged and carries no telemetry.
+        let plain = pipeline.run().unwrap();
+        assert!(plain.telemetry.is_none());
+        assert_eq!(plain.identified, report.identified);
+        assert_eq!(plain.device_count, report.device_count);
+    }
+
+    #[test]
+    fn instrumented_imaged_run_records_fidelity_metrics() {
+        let cfg = PipelineConfig::with_imaging(
+            SaTopologyKind::Classic,
+            hifi_imaging::ImagingConfig::default(),
+        );
+        let report = Pipeline::new(cfg).run_instrumented().unwrap();
+        let telemetry = report.telemetry.expect("telemetry populated");
+        assert!(telemetry.config.imaging);
+        assert_eq!(telemetry.config.dwell_us, Some(6.0));
+        for stage in ["acquire", "normalize", "align", "denoise", "reconstruct"] {
+            assert!(telemetry.stage_us(stage).is_some(), "missing stage {stage}");
+        }
+        // At least the three headline fidelity metrics are recorded.
+        let f = &telemetry.fidelity;
+        let noisy = f.psnr_noisy_db.expect("psnr before denoise");
+        let denoised = f.psnr_denoised_db.expect("psnr after denoise");
+        let accuracy = f.voxel_accuracy.expect("voxel accuracy");
+        let drift = f.residual_drift_px.expect("residual drift");
+        assert!(f.recorded_count() >= 3, "metrics: {f:?}");
+        assert!(
+            denoised > noisy,
+            "denoising must raise PSNR: {noisy} → {denoised}"
+        );
+        assert!(
+            accuracy > 0.8 && accuracy <= 1.0,
+            "voxel accuracy {accuracy}"
+        );
+        assert!(drift >= 0.0);
+        assert_eq!(
+            telemetry.counter("align.slices"),
+            report.alignment_corrections.len() as u64
+        );
     }
 }

@@ -455,9 +455,7 @@ mod tests {
     fn topology_split_matches_section_v() {
         for c in chips() {
             let expected = match c.name() {
-                ChipName::A4 | ChipName::A5 | ChipName::B5 => {
-                    SaTopologyKind::OffsetCancellation
-                }
+                ChipName::A4 | ChipName::A5 | ChipName::B5 => SaTopologyKind::OffsetCancellation,
                 _ => SaTopologyKind::Classic,
             };
             assert_eq!(c.topology(), expected, "{}", c.name());
@@ -519,8 +517,11 @@ mod tests {
         // Papers affected by I1 need ~57% chip overhead for the MAT
         // extension: the average MAT fraction must sit near 0.57.
         let cs = chips();
-        let avg_mat: f64 =
-            cs.iter().map(|c| c.geometry().mat_fraction().value()).sum::<f64>() / 6.0;
+        let avg_mat: f64 = cs
+            .iter()
+            .map(|c| c.geometry().mat_fraction().value())
+            .sum::<f64>()
+            / 6.0;
         assert!((avg_mat - 0.57).abs() < 0.03, "avg mat fraction {avg_mat}");
         for c in &cs {
             let s = c.geometry().sa_fraction().value();

@@ -29,8 +29,7 @@ pub const DATASET_VERSION: u32 = 1;
 pub fn dataset_release() -> DatasetRelease {
     DatasetRelease {
         version: DATASET_VERSION,
-        source: "hifi-dram reproduction (synthesised, calibrated to the paper's aggregates)"
-            .into(),
+        source: "hifi-dram reproduction (synthesised, calibrated to the paper's aggregates)".into(),
         chips: chips(),
         models: vec![rem(), crow()],
     }

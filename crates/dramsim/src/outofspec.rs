@@ -54,7 +54,7 @@ pub fn attempt_row_copy(
     // Open src fully (in-spec) so its data is latched and restored.
     device.activate(bank, src)?;
     device.precharge(bank)?; // issued at tRAS — in-spec
-    // ...but interrupt the precharge: re-ACT after only `gap`.
+                             // ...but interrupt the precharge: re-ACT after only `gap`.
     device.step(gap);
     device.issue_unchecked(Command::Activate { bank, row: dst })?;
     device.step(device.config().timing.latch_complete() + Nanoseconds(2.0));
@@ -73,10 +73,7 @@ pub fn attempt_row_copy(
 /// succeeded. On classic chips short gaps succeed (residual charge wins);
 /// past tRP the bitlines equalise and the copy fails. On OCSA chips it
 /// fails at every gap.
-pub fn row_copy_gap_sweep(
-    topology: SaTopologyKind,
-    gaps_ns: &[f64],
-) -> Vec<RowCopyOutcome> {
+pub fn row_copy_gap_sweep(topology: SaTopologyKind, gaps_ns: &[f64]) -> Vec<RowCopyOutcome> {
     gaps_ns
         .iter()
         .map(|&g| {
@@ -191,7 +188,9 @@ pub fn attempt_majority(
     device.step(device.config().timing.latch_complete() + Nanoseconds(2.0));
     device.issue_unchecked(Command::Precharge { bank })?;
     device.step(device.config().timing.t_rp);
-    let result: Vec<u8> = (0..cols).map(|c| device.bank(bank).cell(rows[0], c)).collect();
+    let result: Vec<u8> = (0..cols)
+        .map(|c| device.bank(bank).cell(rows[0], c))
+        .collect();
     let correct_majority = result == expected;
     Ok(MajorityOutcome {
         correct_majority,
@@ -224,8 +223,7 @@ mod tests {
         // Section VI-D: charge sharing is delayed behind offset
         // cancellation, which destroys the residual charge.
         for gap in [1.0, 2.0, 5.0, 10.0] {
-            let mut dev =
-                DramDevice::new(DeviceConfig::ddr4(SaTopologyKind::OffsetCancellation));
+            let mut dev = DramDevice::new(DeviceConfig::ddr4(SaTopologyKind::OffsetCancellation));
             let out = attempt_row_copy(&mut dev, 0, 1, 2, Nanoseconds(gap)).unwrap();
             assert!(!out.copied, "ocsa must not copy at gap {gap} ns");
         }

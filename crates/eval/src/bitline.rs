@@ -70,10 +70,7 @@ pub fn halved_bitline_extension() -> Ratio {
 /// scales the combined MAT+SA fraction. On B5 the paper reports ≈21%.
 pub fn halved_bitline_chip_overhead(chip: &Chip) -> Ratio {
     let g = chip.geometry();
-    Ratio(
-        halved_bitline_extension().value()
-            * (g.mat_fraction().value() + g.sa_fraction().value()),
-    )
+    Ratio(halved_bitline_extension().value() * (g.mat_fraction().value() + g.sa_fraction().value()))
 }
 
 #[cfg(test)]

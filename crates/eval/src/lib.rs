@@ -26,8 +26,8 @@
 //! ```
 
 pub mod bitline;
-pub mod modification;
 pub mod models;
+pub mod modification;
 pub mod overhead;
 pub mod papers;
 pub mod recommendations;

@@ -1,8 +1,8 @@
 //! Accuracy analysis of public analog models against the measured chips
 //! (Section VI-A, Figs. 11 and 12).
 
-use hifi_data::{AnalogModel, Chip, ChipName, DdrGeneration};
 use hifi_circuit::{TransistorClass, TransistorDims};
+use hifi_data::{AnalogModel, Chip, ChipName, DdrGeneration};
 use hifi_units::Ratio;
 
 /// Which transistor dimension a deviation refers to.
@@ -105,7 +105,11 @@ fn push_deviations(
             model.length.value(),
             measured.length.value(),
         ),
-        (DimensionMetric::WOverL, model.w_over_l(), measured.w_over_l()),
+        (
+            DimensionMetric::WOverL,
+            model.w_over_l(),
+            measured.w_over_l(),
+        ),
     ];
     for (metric, mv, xv) in entries {
         out.push(Deviation {
@@ -130,7 +134,13 @@ pub fn compare_model(
     for chip in chips.iter().filter(|c| c.generation() == generation) {
         for (class, model_dims) in model.transistors() {
             if let Some(measured) = chip.transistor(*class) {
-                push_deviations(&mut deviations, chip.name(), *class, *model_dims, measured.dims);
+                push_deviations(
+                    &mut deviations,
+                    chip.name(),
+                    *class,
+                    *model_dims,
+                    measured.dims,
+                );
             }
         }
     }
@@ -160,15 +170,25 @@ pub fn fig11_rows(chips: &[Chip]) -> Vec<Fig11Row> {
         .iter()
         .map(|c| Fig11Row {
             label: c.name().to_string(),
-            nsa: c.transistor(TransistorClass::NSa).expect("all chips latch").dims,
-            psa: c.transistor(TransistorClass::PSa).expect("all chips latch").dims,
+            nsa: c
+                .transistor(TransistorClass::NSa)
+                .expect("all chips latch")
+                .dims,
+            psa: c
+                .transistor(TransistorClass::PSa)
+                .expect("all chips latch")
+                .dims,
         })
         .collect();
     let rem = hifi_data::rem();
     rows.push(Fig11Row {
         label: "REM".into(),
-        nsa: rem.transistor(TransistorClass::NSa).expect("rem models nsa"),
-        psa: rem.transistor(TransistorClass::PSa).expect("rem models psa"),
+        nsa: rem
+            .transistor(TransistorClass::NSa)
+            .expect("rem models nsa"),
+        psa: rem
+            .transistor(TransistorClass::PSa)
+            .expect("rem models psa"),
     });
     rows
 }
@@ -296,7 +316,10 @@ mod tests {
     fn comparisons_only_use_shared_classes() {
         // CROW has no column transistor: no Column deviations may appear.
         let c = crow_ddr4();
-        assert!(!c.deviations.iter().any(|d| d.class == TransistorClass::Column));
+        assert!(!c
+            .deviations
+            .iter()
+            .any(|d| d.class == TransistorClass::Column));
         // OCSA chips have no equaliser: no A4 equaliser rows.
         assert!(!c
             .deviations

@@ -15,8 +15,8 @@
 //! - splitting a MAT pays two MAT→SA transitions plus the new element.
 
 use crate::space;
-use hifi_data::{Chip, DdrGeneration};
 use hifi_circuit::TransistorClass;
+use hifi_data::{Chip, DdrGeneration};
 use hifi_units::{Nanometers, Ratio};
 
 /// One primitive change to the SA region or MAT.
@@ -118,8 +118,7 @@ pub fn cost_on_chip(modification: Modification, chip: &Chip) -> ModificationCost
             let check = space::mat_free_space(chip);
             debug_assert!(!check.fits, "no studied chip has bitline slack");
             let stretch = 1.0 / per_existing.max(1) as f64;
-            let extra =
-                (g.total_mat_area().value() + g.total_sa_area().value()) * stretch;
+            let extra = (g.total_mat_area().value() + g.total_sa_area().value()) * stretch;
             (extra, Nanometers(g.sa_region_height.value() * stretch))
         }
         Modification::SplitMat => {
@@ -233,7 +232,10 @@ mod tests {
     #[test]
     fn missing_class_falls_back_to_scaled_dims() {
         let cs = chips();
-        let c4 = cs.iter().find(|c| c.name() == hifi_data::ChipName::C4).unwrap();
+        let c4 = cs
+            .iter()
+            .find(|c| c.name() == hifi_data::ChipName::C4)
+            .unwrap();
         // C4 (classic) has no OC transistor; the cost is still computable.
         let cost = cost_on_chip(
             Modification::AddCommonGateElements {

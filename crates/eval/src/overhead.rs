@@ -1,8 +1,8 @@
 //! Appendix-B overhead formulas, Table II and Fig. 14.
 
 use crate::papers::{papers, OverheadFormula, Paper};
-use hifi_data::{chips, Chip, ChipName, DdrGeneration, Vendor};
 use hifi_circuit::TransistorClass;
+use hifi_data::{chips, Chip, ChipName, DdrGeneration, Vendor};
 use hifi_units::Ratio;
 
 /// `P_chip`: a paper's realistic extra area on one chip, as a fraction of the
@@ -39,12 +39,8 @@ pub fn paper_overhead_on_chip(paper: &Paper, chip: &Chip) -> Ratio {
         OverheadFormula::IsolationColumnsSa => {
             mats * sa_w * (2.0 * iso_ls + 2.0 * col_ws + 8.0 * (san_ws + sap_ws))
         }
-        OverheadFormula::CharmAspect => {
-            mats * sa_w * g.sa_region_height.value() / 4.0 + 0.01 * die
-        }
-        OverheadFormula::PfDram => {
-            mats * sa_w * (4.0 * iso_ls + 8.0 * (san_ws + sap_ws))
-        }
+        OverheadFormula::CharmAspect => mats * sa_w * g.sa_region_height.value() / 4.0 + 0.01 * die,
+        OverheadFormula::PfDram => mats * sa_w * (4.0 * iso_ls + 8.0 * (san_ws + sap_ws)),
     };
     Ratio(p_extra / die)
 }
@@ -260,7 +256,10 @@ mod tests {
         };
         let variation =
             (p(ChipName::A5) - p(ChipName::C5)) / charm.original_overhead_estimate.value();
-        assert!((0.3..0.6).contains(&variation), "CHARM A5→C5 variation {variation}");
+        assert!(
+            (0.3..0.6).contains(&variation),
+            "CHARM A5→C5 variation {variation}"
+        );
     }
 
     #[test]
@@ -268,7 +267,10 @@ mod tests {
         // Observation 2: porting R.B. DEC. to DDR5 yields the biggest drop
         // (−0.47x on A5).
         let cs = chips();
-        let rbdec = papers().into_iter().find(|p| p.name == "R.B. DEC.").unwrap();
+        let rbdec = papers()
+            .into_iter()
+            .find(|p| p.name == "R.B. DEC.")
+            .unwrap();
         let a5 = cs.iter().find(|c| c.name() == ChipName::A5).unwrap();
         let v = paper_overhead_on_chip(&rbdec, a5).value()
             / rbdec.original_overhead_estimate.value()
@@ -308,10 +310,11 @@ mod tests {
     #[test]
     fn fig14_omits_always_large_papers() {
         let entries = fig14();
-        let papers_shown: std::collections::BTreeSet<_> =
-            entries.iter().map(|e| e.paper).collect();
+        let papers_shown: std::collections::BTreeSet<_> = entries.iter().map(|e| e.paper).collect();
         // The doubling papers are all >10x everywhere and must be omitted.
-        for name in ["AMBIT", "DrACC", "Graphide", "SIMDRAM", "CoolDRAM", "ELP2IM"] {
+        for name in [
+            "AMBIT", "DrACC", "Graphide", "SIMDRAM", "CoolDRAM", "ELP2IM",
+        ] {
             assert!(!papers_shown.contains(name), "{name} should be omitted");
         }
         // The small-overhead papers are shown.

@@ -224,13 +224,24 @@ mod tests {
     fn inaccuracy_tags_match_table2() {
         let ps = papers();
         let by = |n: &str| ps.iter().find(|p| p.name == n).unwrap();
-        assert_eq!(by("AMBIT").inaccuracies, &[Inaccuracy::I1, Inaccuracy::I2, Inaccuracy::I5]);
+        assert_eq!(
+            by("AMBIT").inaccuracies,
+            &[Inaccuracy::I1, Inaccuracy::I2, Inaccuracy::I5]
+        );
         assert_eq!(
             by("CoolDRAM").inaccuracies,
-            &[Inaccuracy::I1, Inaccuracy::I2, Inaccuracy::I3, Inaccuracy::I5]
+            &[
+                Inaccuracy::I1,
+                Inaccuracy::I2,
+                Inaccuracy::I3,
+                Inaccuracy::I5
+            ]
         );
         assert_eq!(by("CHARM").inaccuracies, &[Inaccuracy::I5]);
-        assert_eq!(by("REGA").inaccuracies, &[Inaccuracy::I2, Inaccuracy::I4, Inaccuracy::I5]);
+        assert_eq!(
+            by("REGA").inaccuracies,
+            &[Inaccuracy::I2, Inaccuracy::I4, Inaccuracy::I5]
+        );
         assert!(!by("PF-DRAM").has(Inaccuracy::I1));
     }
 

@@ -57,8 +57,10 @@ mod tests {
     fn four_recommendations_cover_all_inaccuracies() {
         let recs = recommendations();
         assert_eq!(recs.len(), 4);
-        let covered: std::collections::BTreeSet<_> =
-            recs.iter().flat_map(|r| r.addresses.iter().copied()).collect();
+        let covered: std::collections::BTreeSet<_> = recs
+            .iter()
+            .flat_map(|r| r.addresses.iter().copied())
+            .collect();
         assert_eq!(covered.len(), 5, "I1..I5 all covered");
     }
 
@@ -74,7 +76,10 @@ mod tests {
     #[test]
     fn cooldram_triggers_all_but_r3() {
         let cool = papers().into_iter().find(|p| p.name == "CoolDRAM").unwrap();
-        let ids: Vec<_> = triggered_by(cool.inaccuracies).into_iter().map(|r| r.id).collect();
+        let ids: Vec<_> = triggered_by(cool.inaccuracies)
+            .into_iter()
+            .map(|r| r.id)
+            .collect();
         assert_eq!(ids, vec!["R1", "R2", "R4"]);
     }
 }

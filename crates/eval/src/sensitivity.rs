@@ -7,8 +7,8 @@
 //! single SA per MAT gap instead of the two the paper found.
 
 use crate::papers::{papers, OverheadFormula, Paper};
-use hifi_data::{chips, Chip};
 use hifi_circuit::TransistorClass;
+use hifi_data::{chips, Chip};
 use hifi_units::Ratio;
 
 /// Assumption set for the overhead computation.
@@ -53,9 +53,7 @@ pub fn overhead_under(paper: &Paper, chip: &Chip, assumptions: OverheadAssumptio
     let sap = eff(TransistorClass::PSa);
     let col = eff(TransistorClass::Column);
     let p_extra = match paper.formula {
-        OverheadFormula::DoubleBitlines => {
-            g.total_mat_area().value() + g.total_sa_area().value()
-        }
+        OverheadFormula::DoubleBitlines => g.total_mat_area().value() + g.total_sa_area().value(),
         OverheadFormula::Rega => {
             if chip.vendor() == hifi_data::Vendor::A {
                 mats * sa_w * (2.0 * iso_ls + 8.0 * (san + sap) / 6.0) * sa_factor
@@ -67,12 +65,8 @@ pub fn overhead_under(paper: &Paper, chip: &Chip, assumptions: OverheadAssumptio
         OverheadFormula::IsolationColumnsSa => {
             mats * sa_w * (2.0 * iso_ls + (2.0 * col + 8.0 * (san + sap)) * sa_factor)
         }
-        OverheadFormula::CharmAspect => {
-            mats * sa_w * g.sa_region_height.value() / 4.0 + 0.01 * die
-        }
-        OverheadFormula::PfDram => {
-            mats * sa_w * (4.0 * iso_ls + 8.0 * (san + sap) * sa_factor)
-        }
+        OverheadFormula::CharmAspect => mats * sa_w * g.sa_region_height.value() / 4.0 + 0.01 * die,
+        OverheadFormula::PfDram => mats * sa_w * (4.0 * iso_ls + 8.0 * (san + sap) * sa_factor),
     };
     Ratio(p_extra / die)
 }

@@ -45,7 +45,7 @@ pub fn classify(extraction: &mut Extraction) -> Result<(), ExtractError> {
     let latch: Vec<usize> = (0..n)
         .filter(|&i| sd_nets.contains(&mosfets[i].gate))
         .collect();
-    if latch.len() < 4 || latch.len() % 4 != 0 {
+    if latch.len() < 4 || !latch.len().is_multiple_of(4) {
         return Err(ExtractError::ClassificationFailed(format!(
             "expected a multiple of 4 cross-coupled latch devices, found {}",
             latch.len()
@@ -152,7 +152,11 @@ pub fn classify(extraction: &mut Extraction) -> Result<(), ExtractError> {
             classes[i] = Some(if s_bl && d_bl {
                 TransistorClass::Equalizer
             } else if (s_int && d_bl) || (d_int && s_bl) {
-                let (internal, bitline) = if s_int { (m.source, m.drain) } else { (m.drain, m.source) };
+                let (internal, bitline) = if s_int {
+                    (m.source, m.drain)
+                } else {
+                    (m.drain, m.source)
+                };
                 let latch_gate = drain_to_gate.get(&internal).copied();
                 if latch_gate == Some(bitline) {
                     TransistorClass::OffsetCancel

@@ -86,7 +86,24 @@ impl std::error::Error for ExtractError {}
 /// Returns [`ExtractError`] if no transistors are present, a channel is
 /// malformed, or the functional classification cannot be completed.
 pub fn extract(volume: &MaterialVolume) -> Result<Extraction, ExtractError> {
-    let mut extraction = netlist::extract_netlist(volume)?;
+    extract_with(volume, &mut hifi_telemetry::NoopRecorder)
+}
+
+/// [`extract`] with instrumentation: records per-layer component counts
+/// (`extract.components.<layer>`), rejected-candidate counters
+/// (`extract.rejected.speckle_channels`, `extract.rejected.small_gates`,
+/// `extract.rejected.weak_diffusion_contacts`) and the final device count
+/// (`extract.devices`).
+///
+/// # Errors
+///
+/// Same as [`extract`].
+pub fn extract_with<R: hifi_telemetry::Recorder>(
+    volume: &MaterialVolume,
+    rec: &mut R,
+) -> Result<Extraction, ExtractError> {
+    let mut extraction = netlist::extract_netlist_with(volume, rec)?;
     classify::classify(&mut extraction)?;
+    rec.counter("extract.devices", extraction.devices.len() as u64);
     Ok(extraction)
 }

@@ -77,6 +77,19 @@ impl UnionFind {
 /// exists, and [`ExtractError::MalformedChannel`] when a channel does not
 /// border exactly two diffusion regions.
 pub fn extract_netlist(volume: &MaterialVolume) -> Result<Extraction, ExtractError> {
+    extract_netlist_with(volume, &mut hifi_telemetry::NoopRecorder)
+}
+
+/// [`extract_netlist`] with instrumentation (see
+/// [`crate::extract_with`] for the recorded counter names).
+///
+/// # Errors
+///
+/// Same as [`extract_netlist`].
+pub fn extract_netlist_with<R: hifi_telemetry::Recorder>(
+    volume: &MaterialVolume,
+    rec: &mut R,
+) -> Result<Extraction, ExtractError> {
     let (nx, ny, _) = volume.dims();
     let voxel = volume.voxel_nm();
 
@@ -104,6 +117,16 @@ pub fn extract_netlist(volume: &MaterialVolume) -> Result<Extraction, ExtractErr
     let vias = label_components(&via);
     let m2s = label_components(&m2);
     let channels = label_components(&channel);
+
+    if rec.enabled() {
+        rec.counter("extract.components.gate", gates.len() as u64);
+        rec.counter("extract.components.diffusion", sds.len() as u64);
+        rec.counter("extract.components.contact", contacts.len() as u64);
+        rec.counter("extract.components.metal1", m1s.len() as u64);
+        rec.counter("extract.components.via1", vias.len() as u64);
+        rec.counter("extract.components.metal2", m2s.len() as u64);
+        rec.counter("extract.components.channel", channels.len() as u64);
+    }
 
     if channels.is_empty() {
         return Err(ExtractError::NoTransistors);
@@ -155,18 +178,33 @@ pub fn extract_netlist(volume: &MaterialVolume) -> Result<Extraction, ExtractErr
     let min_area = ((900.0 / (voxel * voxel)).ceil() as usize).max(4);
     for ch in 0..channels.len() {
         if channels.components[ch].area < min_area {
+            rec.counter("extract.rejected.speckle_channels", 1);
             continue;
         }
         let mut gate_labels = overlapping_labels(&channels, ch, &gates);
+        let gate_candidates = gate_labels.len();
         gate_labels.retain(|&g| gates.components[g].area >= min_area);
+        if rec.enabled() {
+            rec.counter(
+                "extract.rejected.small_gates",
+                (gate_candidates - gate_labels.len()) as u64,
+            );
+        }
         // Rank diffusion neighbours by shared boundary and keep substantial
         // ones; stray one-pixel contacts are artefacts.
-        let mut sd_neighbours: Vec<(usize, usize)> =
-            crate::components::adjacent_labels_counted(&channels, ch, &sds)
-                .into_iter()
-                .filter(|&(l, c)| c >= 2 && sds.components[l].area >= min_area)
-                .collect();
-        sd_neighbours.sort_by(|a, b| b.1.cmp(&a.1));
+        let sd_candidates = crate::components::adjacent_labels_counted(&channels, ch, &sds);
+        let sd_candidate_count = sd_candidates.len();
+        let mut sd_neighbours: Vec<(usize, usize)> = sd_candidates
+            .into_iter()
+            .filter(|&(l, c)| c >= 2 && sds.components[l].area >= min_area)
+            .collect();
+        if rec.enabled() {
+            rec.counter(
+                "extract.rejected.weak_diffusion_contacts",
+                (sd_candidate_count - sd_neighbours.len()) as u64,
+            );
+        }
+        sd_neighbours.sort_by_key(|&(_, contact)| std::cmp::Reverse(contact));
         let sd_neighbours: Vec<usize> = sd_neighbours.into_iter().map(|(l, _)| l).collect();
         if gate_labels.len() != 1 || sd_neighbours.len() < 2 {
             return Err(ExtractError::MalformedChannel {
@@ -271,7 +309,7 @@ mod tests {
         let (cz0, cz1) = (az1, mz0);
         v.fill_box(14, 17, 16, 19, cz0, cz1, Material::Contact, false);
         v.fill_box(33, 36, 16, 19, cz0, cz1, Material::Contact, false);
-        v.fill_box(23, 26, 29, 32, gz0.max(0), mz0, Material::Contact, false);
+        v.fill_box(23, 26, 29, 32, gz0, mz0, Material::Contact, false);
         // M1 pads over the contacts + a wire from the drain.
         v.fill_box(13, 18, 15, 20, mz0, mz1, Material::Metal1, true);
         v.fill_box(32, 55, 15, 20, mz0, mz1, Material::Metal1, true);
@@ -288,8 +326,16 @@ mod tests {
         let ex = extract_netlist(&v).unwrap();
         assert_eq!(ex.devices.len(), 1);
         let d = &ex.devices[0];
-        assert!((d.dims.width.value() - 80.0).abs() <= 5.0, "W = {}", d.dims.width);
-        assert!((d.dims.length.value() - 30.0).abs() <= 5.0, "L = {}", d.dims.length);
+        assert!(
+            (d.dims.width.value() - 80.0).abs() <= 5.0,
+            "W = {}",
+            d.dims.width
+        );
+        assert!(
+            (d.dims.length.value() - 30.0).abs() <= 5.0,
+            "L = {}",
+            d.dims.length
+        );
         // Three nets: gate, source, drain(+wire+via+m2).
         assert_eq!(ex.netlist.net_count(), 3);
     }
@@ -302,6 +348,25 @@ mod tests {
         // Drain net carries wire + via + m2: still a single net id.
         assert_ne!(m.source, m.drain);
         assert_ne!(m.gate, m.drain);
+    }
+
+    #[test]
+    fn instrumented_extraction_counts_components_and_devices() {
+        use hifi_telemetry::JsonRecorder;
+        let v = single_fet_volume();
+        let mut rec = JsonRecorder::new();
+        let ex = extract_netlist_with(&v, &mut rec).unwrap();
+        assert_eq!(ex.devices.len(), 1);
+        assert_eq!(rec.counter_total("extract.components.channel"), 1);
+        assert_eq!(rec.counter_total("extract.components.gate"), 1);
+        // Three contacts drawn, three components expected after closing.
+        assert_eq!(rec.counter_total("extract.components.contact"), 3);
+        // A clean hand-built volume rejects nothing.
+        assert_eq!(rec.counter_total("extract.rejected.speckle_channels"), 0);
+        assert_eq!(rec.counter_total("extract.rejected.small_gates"), 0);
+        // The instrumented path returns the identical extraction.
+        let plain = extract_netlist(&v).unwrap();
+        assert_eq!(ex.devices, plain.devices);
     }
 
     #[test]
@@ -324,7 +389,15 @@ mod tests {
         v.fill_box(4, 34, 22, 28, gz0, gz1, Material::GatePoly, true);
         let ex = extract_netlist(&v).unwrap();
         let d = &ex.devices[0];
-        assert!((d.dims.width.value() - 80.0).abs() <= 5.0, "W = {}", d.dims.width);
-        assert!((d.dims.length.value() - 30.0).abs() <= 5.0, "L = {}", d.dims.length);
+        assert!(
+            (d.dims.width.value() - 80.0).abs() <= 5.0,
+            "W = {}",
+            d.dims.width
+        );
+        assert!(
+            (d.dims.length.value() - 30.0).abs() <= 5.0,
+            "L = {}",
+            d.dims.length
+        );
     }
 }

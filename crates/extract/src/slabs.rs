@@ -55,7 +55,11 @@ impl Slab {
     ///
     /// Panics on dimension mismatch.
     pub fn intersect(&self, other: &Slab) -> Slab {
-        assert_eq!((self.nx, self.ny), (other.nx, other.ny), "slab shape mismatch");
+        assert_eq!(
+            (self.nx, self.ny),
+            (other.nx, other.ny),
+            "slab shape mismatch"
+        );
         Slab {
             nx: self.nx,
             ny: self.ny,
@@ -74,7 +78,11 @@ impl Slab {
     ///
     /// Panics on dimension mismatch.
     pub fn subtract(&self, other: &Slab) -> Slab {
-        assert_eq!((self.nx, self.ny), (other.nx, other.ny), "slab shape mismatch");
+        assert_eq!(
+            (self.nx, self.ny),
+            (other.nx, other.ny),
+            "slab shape mismatch"
+        );
         Slab {
             nx: self.nx,
             ny: self.ny,

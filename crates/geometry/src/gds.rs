@@ -269,7 +269,9 @@ impl<'a> RecordReader<'a> {
         }
         let len = u16::from_be_bytes([self.data[self.pos], self.data[self.pos + 1]]) as usize;
         if len < 4 {
-            return Err(GdsError::MalformedRecord(format!("record length {len} < 4")));
+            return Err(GdsError::MalformedRecord(format!(
+                "record length {len} < 4"
+            )));
         }
         if self.pos + len > self.data.len() {
             return Err(GdsError::UnexpectedEof);
@@ -289,8 +291,10 @@ fn payload_i16(p: &[u8]) -> Result<i16, GdsError> {
 }
 
 fn payload_i32s(p: &[u8]) -> Result<Vec<i32>, GdsError> {
-    if p.len() % 4 != 0 {
-        return Err(GdsError::MalformedRecord("xy payload not multiple of 4".into()));
+    if !p.len().is_multiple_of(4) {
+        return Err(GdsError::MalformedRecord(
+            "xy payload not multiple of 4".into(),
+        ));
     }
     Ok(p.chunks_exact(4)
         .map(|c| i32::from_be_bytes([c[0], c[1], c[2], c[3]]))
@@ -391,9 +395,8 @@ pub fn read_library(bytes: &[u8]) -> Result<Vec<Layout>, GdsError> {
             }
             LAYER_REC => {
                 let num = payload_i16(rec.payload)?;
-                cur_layer = Some(
-                    Layer::from_index(num as usize).ok_or(GdsError::UnknownLayer(num))?,
-                );
+                cur_layer =
+                    Some(Layer::from_index(num as usize).ok_or(GdsError::UnknownLayer(num))?);
             }
             DATATYPE | TEXTTYPE => {
                 cur_kind = Some(datatype_to_kind(payload_i16(rec.payload)?)?);
@@ -410,17 +413,15 @@ pub fn read_library(bytes: &[u8]) -> Result<Vec<Layout>, GdsError> {
                     context: "element outside structure",
                 })?;
                 if in_boundary {
-                    let layer = cur_layer.ok_or(GdsError::MalformedRecord(
-                        "boundary without layer".into(),
-                    ))?;
+                    let layer = cur_layer
+                        .ok_or(GdsError::MalformedRecord("boundary without layer".into()))?;
                     let kind = cur_kind.unwrap_or(ElementKind::Wire);
                     let rect = rect_from_xy(&cur_xy)?;
                     cell.push(Element::new(layer, rect, kind));
                     in_boundary = false;
                 } else if in_text {
-                    let layer = cur_layer.ok_or(GdsError::MalformedRecord(
-                        "text without layer".into(),
-                    ))?;
+                    let layer =
+                        cur_layer.ok_or(GdsError::MalformedRecord("text without layer".into()))?;
                     if cur_xy.len() != 2 {
                         return Err(GdsError::MalformedRecord("text without position".into()));
                     }
@@ -529,7 +530,9 @@ mod tests {
         // 0xdead as a length is huge -> EOF, or the record type is unknown.
         assert!(matches!(
             err,
-            GdsError::UnexpectedEof | GdsError::MalformedRecord(_) | GdsError::UnexpectedRecord { .. }
+            GdsError::UnexpectedEof
+                | GdsError::MalformedRecord(_)
+                | GdsError::UnexpectedRecord { .. }
         ));
     }
 

@@ -158,11 +158,7 @@ impl LayerStack {
     pub fn from_extents(extents: [LayerExtent; 7]) -> Self {
         let mut prev_top = f64::NEG_INFINITY;
         for (i, e) in extents.iter().enumerate() {
-            assert!(
-                e.z_top >= e.z_bottom,
-                "layer {i} extent inverted: {:?}",
-                e
-            );
+            assert!(e.z_top >= e.z_bottom, "layer {i} extent inverted: {:?}", e);
             assert!(
                 e.z_bottom.value() >= prev_top - 1e-9,
                 "layer {i} overlaps the layer below"
@@ -184,12 +180,10 @@ impl LayerStack {
 
     /// The layer whose extent contains height `z`, if any.
     pub fn layer_at(&self, z: Nanometers) -> Option<Layer> {
-        Layer::ALL
-            .into_iter()
-            .find(|l| {
-                let e = self.extent(*l);
-                z >= e.z_bottom && z < e.z_top
-            })
+        Layer::ALL.into_iter().find(|l| {
+            let e = self.extent(*l);
+            z >= e.z_bottom && z < e.z_top
+        })
     }
 }
 

@@ -90,10 +90,7 @@ impl Rect {
     /// Centre point (rounded towards the minimum corner).
     #[inline]
     pub const fn center(&self) -> Point {
-        Point::new(
-            (self.min.x + self.max.x) / 2,
-            (self.min.y + self.max.y) / 2,
-        )
+        Point::new((self.min.x + self.max.x) / 2, (self.min.y + self.max.y) / 2)
     }
 
     /// Whether this rectangle has zero area.
@@ -172,8 +169,12 @@ impl Rect {
     /// axes: the Chebyshev-style gap used by spacing design rules. Returns 0
     /// when the rectangles touch or overlap.
     pub fn spacing_to(&self, other: &Rect) -> i64 {
-        let dx = (other.min.x - self.max.x).max(self.min.x - other.max.x).max(0);
-        let dy = (other.min.y - self.max.y).max(self.min.y - other.max.y).max(0);
+        let dx = (other.min.x - self.max.x)
+            .max(self.min.x - other.max.x)
+            .max(0);
+        let dy = (other.min.y - self.max.y)
+            .max(self.min.y - other.max.y)
+            .max(0);
         if dx > 0 && dy > 0 {
             // Diagonal neighbours: rule distance is the larger axis gap under
             // rectilinear spacing semantics.

@@ -301,7 +301,9 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert!(matches!(
             v[0].kind,
-            ViolationKind::Enclosure { missing_on: Layer::Metal2 }
+            ViolationKind::Enclosure {
+                missing_on: Layer::Metal2
+            }
         ));
         // Add the M2 cover: clean.
         l.push(Element::new(

@@ -6,6 +6,7 @@
 //! residual misalignment must stay below 0.77% of the slice.
 
 use crate::sem::{ImageStack, SemImage};
+use hifi_telemetry::{NoopRecorder, Recorder};
 
 /// Similarity metric used for registration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,7 +25,8 @@ fn mutual_information(a: &SemImage, b: &SemImage, dy: i32, dz: i32) -> f64 {
     let mut count = 0u32;
     // Intensity range assumption: SEM intensities live in ~[0, 255] plus
     // noise; clamp into bins.
-    let bin = |v: f32| ((v / 256.0 * BINS as f32).floor() as i32).clamp(0, BINS as i32 - 1) as usize;
+    let bin =
+        |v: f32| ((v / 256.0 * BINS as f32).floor() as i32).clamp(0, BINS as i32 - 1) as usize;
     for z in 0..nz {
         let bz = z as i32 + dz;
         if bz < 0 || bz >= nz as i32 {
@@ -94,13 +96,14 @@ fn neg_ssd(a: &SemImage, b: &SemImage, dy: i32, dz: i32) -> f64 {
 /// Finds the shift of `b` relative to `a` maximising the similarity metric,
 /// searching `center ± window` in both axes. A small bias towards the
 /// `center` hypothesis suppresses metric jitter on featureless slices.
+/// Returns the winning shift and its similarity score.
 fn register(
     a: &SemImage,
     b: &SemImage,
     method: AlignMethod,
     window: i32,
     center: (i32, i32),
-) -> (i32, i32) {
+) -> ((i32, i32), f64) {
     let score_at = |dy: i32, dz: i32| match method {
         AlignMethod::MutualInformation => mutual_information(a, b, dy, dz),
         AlignMethod::SquaredDifference => neg_ssd(a, b, dy, dz),
@@ -122,9 +125,9 @@ fn register(
     }
     let margin = 0.002 * score_c.abs().max(1e-6);
     if best != center && best_score < score_c + margin {
-        return center;
+        return (center, score_c);
     }
-    best
+    (best, best_score)
 }
 
 /// Aligns every slice into slice 0's frame, mutating the stack in place.
@@ -138,7 +141,22 @@ fn register(
 /// errors independent. The metric operates on median-filtered copies
 /// (registration-only filtering); the slice data itself is not filtered.
 pub fn align(stack: &mut ImageStack, method: AlignMethod, window: i32) -> Vec<(i32, i32)> {
+    align_with(stack, method, window, &mut NoopRecorder)
+}
+
+/// [`align`] with instrumentation: records the registration score and the
+/// applied shift magnitude for every slice as gauges
+/// (`align.slice_score`, `align.slice_shift_px`), and counts slices whose
+/// correction is non-zero (`align.corrected_slices`) next to the total
+/// (`align.slices`).
+pub fn align_with<R: Recorder>(
+    stack: &mut ImageStack,
+    method: AlignMethod,
+    window: i32,
+    rec: &mut R,
+) -> Vec<(i32, i32)> {
     let n = stack.len();
+    rec.counter("align.slices", n as u64);
     let mut corrections = vec![(0, 0); n];
     if n < 2 {
         return corrections;
@@ -153,7 +171,14 @@ pub fn align(stack: &mut ImageStack, method: AlignMethod, window: i32) -> Vec<(i
     let mut prev_drift = (0i32, 0i32);
     const EMA: f32 = 0.15;
     for i in 1..n {
-        let (dy, dz) = register(&template, &filtered[i], method, window, prev_drift);
+        let ((dy, dz), score) = register(&template, &filtered[i], method, window, prev_drift);
+        if rec.enabled() {
+            rec.gauge("align.slice_score", score);
+            rec.gauge("align.slice_shift_px", ((dy * dy + dz * dz) as f64).sqrt());
+            if (dy, dz) != (0, 0) {
+                rec.counter("align.corrected_slices", 1);
+            }
+        }
         corrections[i] = (-dy, -dz);
         stack.slices_mut()[i] = originals[i].shifted(-dy, -dz, background);
         // Fold the corrected (filtered) slice into the template.
@@ -266,7 +291,33 @@ mod tests {
         let a = stack.slice(3).clone();
         let mut b = a.shifted(2, 1, a.median());
         b.add_offset(4.0); // within the same intensity bin: MI unaffected
-        let (dy, dz) = register(&a, &b, AlignMethod::MutualInformation, 4, (0, 0));
+        let ((dy, dz), score) = register(&a, &b, AlignMethod::MutualInformation, 4, (0, 0));
         assert_eq!((dy, dz), (2, 1));
+        assert!(score.is_finite());
+    }
+
+    #[test]
+    fn align_with_records_per_slice_gauges() {
+        use hifi_telemetry::JsonRecorder;
+        let v = structured_volume();
+        let (mut stack, _) = acquire(&v, &drifted_config(42));
+        let n = stack.len();
+        let mut rec = JsonRecorder::new();
+        let instrumented = align_with(&mut stack, AlignMethod::MutualInformation, 4, &mut rec);
+        // Same corrections as the uninstrumented path.
+        let (mut stack2, _) = acquire(&v, &drifted_config(42));
+        let plain = align(&mut stack2, AlignMethod::MutualInformation, 4);
+        assert_eq!(instrumented, plain);
+        assert_eq!(stack, stack2);
+        // One score and one shift gauge per registered slice (all but the
+        // reference slice 0).
+        let scores = rec
+            .events()
+            .iter()
+            .filter(|e| e.name == "align.slice_score")
+            .count();
+        assert_eq!(scores, n - 1);
+        assert_eq!(rec.counter_total("align.slices"), n as u64);
+        assert!(rec.counter_total("align.corrected_slices") <= (n - 1) as u64);
     }
 }

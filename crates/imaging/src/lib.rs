@@ -35,7 +35,9 @@ pub mod metrics;
 mod reconstruct;
 mod sem;
 
-pub use align::{align, AlignMethod};
+pub use align::{align, align_with, AlignMethod};
 pub use denoise::{average_slices, chambolle_tv, denoise, median3x3};
 pub use reconstruct::{classify_pixel, reconstruct};
-pub use sem::{acquire, DetectorKind, DriftTruth, ImageStack, ImagingConfig, SemImage};
+pub use sem::{
+    acquire, render_ideal, DetectorKind, DriftTruth, ImageStack, ImagingConfig, SemImage,
+};

@@ -6,9 +6,14 @@ use hifi_synth::MaterialVolume;
 
 /// Peak signal-to-noise ratio between two images (peak = 255).
 ///
+/// Identical images yield `f64::INFINITY` (zero mean-squared error).
+///
 /// # Panics
 ///
-/// Panics on dimension mismatch.
+/// Panics if the two images have different dimensions — comparing images
+/// of different sizes is always a caller bug (e.g. comparing a framed
+/// acquisition against an unframed render), never a measurable quantity,
+/// so it fails loudly instead of silently truncating.
 pub fn psnr(a: &SemImage, b: &SemImage) -> f64 {
     assert_eq!(a.dims(), b.dims(), "image dimensions differ");
     let n = a.pixels().len() as f64;
@@ -27,7 +32,13 @@ pub fn psnr(a: &SemImage, b: &SemImage) -> f64 {
 }
 
 /// Fraction of voxels whose material matches between a reconstruction and
-/// the ground-truth volume (over the common extent).
+/// the ground-truth volume.
+///
+/// Mismatched extents are tolerated: only the common (element-wise
+/// minimum) extent is compared, because a reconstruction from a thick-
+/// sliced stack legitimately has fewer milling-axis planes than the
+/// source volume. If the common extent is empty the function returns
+/// `0.0` — no voxel was verified, so no accuracy can be claimed.
 pub fn voxel_accuracy(reconstructed: &MaterialVolume, truth: &MaterialVolume) -> f64 {
     let (tx, ty, tz) = truth.dims();
     let (rx, ry, rz) = reconstructed.dims();
@@ -53,6 +64,9 @@ pub fn voxel_accuracy(reconstructed: &MaterialVolume, truth: &MaterialVolume) ->
 
 /// Mean absolute residual drift after alignment, in pixels per slice:
 /// a perfect aligner's corrections are the negated ground-truth shifts.
+///
+/// An empty `corrections` slice returns `0.0`: a stack that needed no
+/// alignment (zero or one slice) has, by definition, no residual drift.
 pub fn residual_drift(corrections: &[(i32, i32)], truth: &DriftTruth) -> f64 {
     if corrections.is_empty() {
         return 0.0;
@@ -119,6 +133,37 @@ mod tests {
         assert_eq!(residual_drift(&perfect, &truth), 0.0);
         let off: Vec<(i32, i32)> = vec![(0, 0), (-1, 2), (-2, 0)];
         assert!((residual_drift(&off, &truth) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "image dimensions differ")]
+    fn psnr_panics_on_dimension_mismatch() {
+        let a = SemImage::filled(8, 8, 100.0);
+        let b = SemImage::filled(8, 9, 100.0);
+        psnr(&a, &b);
+    }
+
+    #[test]
+    fn residual_drift_of_empty_corrections_is_zero() {
+        let truth = DriftTruth {
+            shifts: vec![(5, -3)],
+            brightness: vec![0.0],
+        };
+        assert_eq!(residual_drift(&[], &truth), 0.0);
+    }
+
+    #[test]
+    fn voxel_accuracy_compares_only_common_extent() {
+        // truth is larger than the reconstruction along every axis; the
+        // extra planes must not count against (or for) the accuracy.
+        let truth = MaterialVolume::new(6, 6, 6, 5.0, LayerStack::default_dram());
+        let mut recon = MaterialVolume::new(4, 5, 3, 5.0, LayerStack::default_dram());
+        assert_eq!(voxel_accuracy(&recon, &truth), 1.0);
+        // One mismatched voxel inside the common extent changes exactly
+        // 1/(4*5*3) of the score.
+        recon.set(0, 0, 0, Material::Metal1);
+        let expected = 1.0 - 1.0 / (4.0 * 5.0 * 3.0);
+        assert!((voxel_accuracy(&recon, &truth) - expected).abs() < 1e-12);
     }
 
     #[test]

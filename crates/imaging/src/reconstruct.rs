@@ -78,7 +78,10 @@ mod tests {
     fn classification_recovers_exact_means() {
         for m in Material::ALL {
             assert_eq!(classify_pixel(m.se_intensity() as f32, DetectorKind::Se), m);
-            assert_eq!(classify_pixel(m.bse_intensity() as f32, DetectorKind::Bse), m);
+            assert_eq!(
+                classify_pixel(m.bse_intensity() as f32, DetectorKind::Bse),
+                m
+            );
         }
     }
 

@@ -280,6 +280,52 @@ fn gaussian(rng: &mut StdRng) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
+fn oxide_intensity(detector: DetectorKind) -> f32 {
+    let base = match detector {
+        DetectorKind::Se => hifi_synth::Material::Oxide.se_intensity(),
+        DetectorKind::Bse => hifi_synth::Material::Oxide.bse_intensity(),
+    };
+    base as f32
+}
+
+/// Renders the ideal (artefact-free) cross-section at milling position `x`,
+/// framed with the configured blank margin.
+fn render_cross_section(volume: &MaterialVolume, x: usize, cfg: &ImagingConfig) -> SemImage {
+    let (_, ny, nz) = volume.dims();
+    let margin = cfg.frame_margin_px;
+    let mut img = SemImage::filled(
+        ny + 2 * margin,
+        nz + 2 * margin,
+        oxide_intensity(cfg.detector),
+    );
+    for z in 0..nz {
+        for y in 0..ny {
+            let m = volume.get(x, y, z);
+            let base = match cfg.detector {
+                DetectorKind::Se => m.se_intensity(),
+                DetectorKind::Bse => m.bse_intensity(),
+            };
+            img.set(y + margin, z + margin, base as f32);
+        }
+    }
+    img
+}
+
+/// Renders the ideal stack an artefact-free microscope would acquire: the
+/// same slicing, framing and material contrast as [`acquire`] with no
+/// noise, drift or brightness wander. Ground-truth reference for fidelity
+/// metrics (PSNR of an acquired or denoised stack is measured against it).
+pub fn render_ideal(volume: &MaterialVolume, cfg: &ImagingConfig) -> ImageStack {
+    let (nx, _, _) = volume.dims();
+    let step = cfg.slice_voxels.max(1);
+    let slices: Vec<SemImage> = (0..nx)
+        .step_by(step)
+        .map(|x| render_cross_section(volume, x, cfg))
+        .collect();
+    ImageStack::from_slices(slices, volume.voxel_nm(), step, cfg.detector)
+        .with_frame_margin(cfg.frame_margin_px)
+}
+
 /// Acquires a cross-section stack from a volume: for every FIB slice the
 /// cross-section is rendered with material-dependent contrast, shot noise,
 /// cumulative integer stage drift and brightness wander.
@@ -287,7 +333,7 @@ fn gaussian(rng: &mut StdRng) -> f64 {
 /// Returns the stack and the ground-truth artefacts (for validation only —
 /// the post-processing never sees them).
 pub fn acquire(volume: &MaterialVolume, cfg: &ImagingConfig) -> (ImageStack, DriftTruth) {
-    let (nx, ny, nz) = volume.dims();
+    let (nx, _, _) = volume.dims();
     let step = cfg.slice_voxels.max(1);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let sigma = cfg.noise_sigma();
@@ -301,25 +347,12 @@ pub fn acquire(volume: &MaterialVolume, cfg: &ImagingConfig) -> (ImageStack, Dri
     const REVERSION: f64 = 0.94;
 
     let margin = cfg.frame_margin_px;
-    let oxide = match cfg.detector {
-        DetectorKind::Se => hifi_synth::Material::Oxide.se_intensity(),
-        DetectorKind::Bse => hifi_synth::Material::Oxide.bse_intensity(),
-    } as f32;
+    let oxide = oxide_intensity(cfg.detector);
     let mut x = 0usize;
     while x < nx {
         // Ideal cross-section, framed with blank margin so drift cannot
         // push content off the image.
-        let mut img = SemImage::filled(ny + 2 * margin, nz + 2 * margin, oxide);
-        for z in 0..nz {
-            for y in 0..ny {
-                let m = volume.get(x, y, z);
-                let base = match cfg.detector {
-                    DetectorKind::Se => m.se_intensity(),
-                    DetectorKind::Bse => m.bse_intensity(),
-                };
-                img.set(y + margin, z + margin, base as f32);
-            }
-        }
+        let img = render_cross_section(volume, x, cfg);
         // Stage drift: mean-reverting walk (first slice is the reference).
         if !slices.is_empty() {
             fy = fy * REVERSION + gaussian(&mut rng) * cfg.drift_sigma_px;
@@ -371,8 +404,10 @@ mod tests {
     #[test]
     fn slice_count_follows_thickness() {
         let v = test_volume();
-        let mut cfg = ImagingConfig::default();
-        cfg.slice_voxels = 1;
+        let mut cfg = ImagingConfig {
+            slice_voxels: 1,
+            ..Default::default()
+        };
         assert_eq!(acquire(&v, &cfg).0.len(), 20);
         cfg.slice_voxels = 4;
         assert_eq!(acquire(&v, &cfg).0.len(), 5);
@@ -380,8 +415,10 @@ mod tests {
 
     #[test]
     fn higher_dwell_means_less_noise() {
-        let mut cfg = ImagingConfig::default();
-        cfg.dwell_us = 3.0;
+        let mut cfg = ImagingConfig {
+            dwell_us: 3.0,
+            ..Default::default()
+        };
         let s3 = cfg.noise_sigma();
         cfg.dwell_us = 6.0;
         let s6 = cfg.noise_sigma();
@@ -392,9 +429,11 @@ mod tests {
     #[test]
     fn materials_are_visible_above_noise() {
         let v = test_volume();
-        let mut cfg = ImagingConfig::default();
-        cfg.drift_sigma_px = 0.0;
-        cfg.brightness_wander = 0.0;
+        let cfg = ImagingConfig {
+            drift_sigma_px: 0.0,
+            brightness_wander: 0.0,
+            ..Default::default()
+        };
         let (stack, _) = acquire(&v, &cfg);
         let img = stack.slice(5);
         let m = cfg.frame_margin_px;
@@ -416,10 +455,12 @@ mod tests {
     #[test]
     fn normalization_removes_brightness_wander() {
         let v = test_volume();
-        let mut cfg = ImagingConfig::default();
-        cfg.drift_sigma_px = 0.0;
-        cfg.brightness_wander = 8.0;
-        cfg.dwell_us = 1e6; // effectively noiseless
+        let cfg = ImagingConfig {
+            drift_sigma_px: 0.0,
+            brightness_wander: 8.0,
+            dwell_us: 1e6, // effectively noiseless
+            ..Default::default()
+        };
         let (mut stack, truth) = acquire(&v, &cfg);
         assert!(truth.brightness.iter().any(|b| b.abs() > 4.0));
         stack.normalize_brightness();
@@ -427,6 +468,30 @@ mod tests {
         let spread = medians.iter().cloned().fold(f32::MIN, f32::max)
             - medians.iter().cloned().fold(f32::MAX, f32::min);
         assert!(spread < 1.0, "median spread {spread}");
+    }
+
+    #[test]
+    fn render_ideal_matches_artefact_free_acquisition() {
+        let v = test_volume();
+        let cfg = ImagingConfig {
+            drift_sigma_px: 0.0,
+            brightness_wander: 0.0,
+            dwell_us: 1e12, // noise sigma ≈ 0, rounds away in f32
+            ..Default::default()
+        };
+        let ideal = render_ideal(&v, &cfg);
+        let (acquired, _) = acquire(&v, &cfg);
+        assert_eq!(ideal.len(), acquired.len());
+        assert_eq!(ideal.frame_margin_px(), acquired.frame_margin_px());
+        for (a, b) in ideal.slices().iter().zip(acquired.slices()) {
+            let max_diff = a
+                .pixels()
+                .iter()
+                .zip(b.pixels())
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f32, f32::max);
+            assert!(max_diff < 0.01, "max pixel difference {max_diff}");
+        }
     }
 
     #[test]

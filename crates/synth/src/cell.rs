@@ -167,7 +167,10 @@ impl CellBuilder {
         self.rect(
             Layer::Contact,
             ElementKind::Via,
-            Rect::new((cx - CUT / 2, cy - CUT / 2).into(), (cx + CUT / 2, cy + CUT / 2).into()),
+            Rect::new(
+                (cx - CUT / 2, cy - CUT / 2).into(),
+                (cx + CUT / 2, cy + CUT / 2).into(),
+            ),
             label,
         );
     }
@@ -177,7 +180,10 @@ impl CellBuilder {
         self.rect(
             Layer::Via1,
             ElementKind::Via,
-            Rect::new((cx - CUT / 2, cy - CUT / 2).into(), (cx + CUT / 2, cy + CUT / 2).into()),
+            Rect::new(
+                (cx - CUT / 2, cy - CUT / 2).into(),
+                (cx + CUT / 2, cy + CUT / 2).into(),
+            ),
             label,
         );
     }
@@ -187,7 +193,11 @@ impl CellBuilder {
     /// row when the connector is offset from the pad).
     fn connect_to_track(&mut self, px: i64, py: i64, conn_x: i64, target: Track, label: &str) {
         // M1 stub from the pad to the connector position.
-        let (sx0, sx1) = if conn_x < px { (conn_x, px) } else { (px, conn_x) };
+        let (sx0, sx1) = if conn_x < px {
+            (conn_x, px)
+        } else {
+            (px, conn_x)
+        };
         self.rect(
             Layer::Metal1,
             ElementKind::Wire,
@@ -244,7 +254,10 @@ impl CellBuilder {
         self.rect(
             Layer::Gate,
             ElementKind::Gate,
-            Rect::new((chan_x0, row_y - GATE_OV).into(), (chan_x0 + l, row_y + w + GATE_OV).into()),
+            Rect::new(
+                (chan_x0, row_y - GATE_OV).into(),
+                (chan_x0 + l, row_y + w + GATE_OV).into(),
+            ),
             name,
         );
         // Terminal contacts.
@@ -366,10 +379,7 @@ pub fn generate_cell(spec: &SaRegionSpec) -> SaCell {
             2 * w_of(&d.offset_cancel) + STACK_GAP,
         ]
     } else {
-        vec![
-            2 * w_of(&d.precharge) + STACK_GAP,
-            w_of(&d.equalizer),
-        ]
+        vec![2 * w_of(&d.precharge) + STACK_GAP, w_of(&d.equalizer)]
     };
     let singles = [w_of(&d.nsa), w_of(&d.psa), w_of(&d.column)];
     let zone_h = strip_heights
@@ -417,8 +427,24 @@ pub fn generate_cell(spec: &SaRegionSpec) -> SaCell {
 
     let row = zone_y0 + GATE_OV;
     // Column transistors come first after the MAT (Section V-C).
-    b.cursor_x = b.local_gate_fet(b.cursor_x, row, d.column, Track::Bl, Track::Lio, Track::Y0, "col_l");
-    b.cursor_x = b.local_gate_fet(b.cursor_x, row, d.column, Track::Blb, Track::Liob, Track::Y0, "col_r");
+    b.cursor_x = b.local_gate_fet(
+        b.cursor_x,
+        row,
+        d.column,
+        Track::Bl,
+        Track::Lio,
+        Track::Y0,
+        "col_l",
+    );
+    b.cursor_x = b.local_gate_fet(
+        b.cursor_x,
+        row,
+        d.column,
+        Track::Blb,
+        Track::Liob,
+        Track::Y0,
+        "col_r",
+    );
 
     if is_ocsa {
         b.cursor_x = b
@@ -426,7 +452,10 @@ pub fn generate_cell(spec: &SaRegionSpec) -> SaCell {
                 b.cursor_x,
                 "PRE",
                 d.precharge,
-                &[(Track::Vpre, Track::Bl, "pre_l"), (Track::Vpre, Track::Blb, "pre_r")],
+                &[
+                    (Track::Vpre, Track::Bl, "pre_l"),
+                    (Track::Vpre, Track::Blb, "pre_r"),
+                ],
             )
             .0;
         b.cursor_x = b
@@ -434,7 +463,10 @@ pub fn generate_cell(spec: &SaRegionSpec) -> SaCell {
                 b.cursor_x,
                 "ISO",
                 d.isolation,
-                &[(Track::Sabl, Track::Bl, "iso_l"), (Track::Sablb, Track::Blb, "iso_r")],
+                &[
+                    (Track::Sabl, Track::Bl, "iso_l"),
+                    (Track::Sablb, Track::Blb, "iso_r"),
+                ],
             )
             .0;
         b.cursor_x = b
@@ -442,7 +474,10 @@ pub fn generate_cell(spec: &SaRegionSpec) -> SaCell {
                 b.cursor_x,
                 "OC",
                 d.offset_cancel,
-                &[(Track::Sabl, Track::Blb, "oc_l"), (Track::Sablb, Track::Bl, "oc_r")],
+                &[
+                    (Track::Sabl, Track::Blb, "oc_l"),
+                    (Track::Sablb, Track::Bl, "oc_r"),
+                ],
             )
             .0;
         let (dl, dr) = (Track::Sabl, Track::Sablb);
@@ -469,10 +504,42 @@ pub fn generate_cell(spec: &SaRegionSpec) -> SaCell {
         );
         b.cursor_x = next_x;
         b.bridge_strips(pre_gate_cx, eq_gate_cx, "PEQ");
-        b.cursor_x = b.local_gate_fet(b.cursor_x, row, d.nsa, Track::Lab, Track::Bl, Track::Blb, "nSA_l");
-        b.cursor_x = b.local_gate_fet(b.cursor_x, row, d.nsa, Track::Lab, Track::Blb, Track::Bl, "nSA_r");
-        b.cursor_x = b.local_gate_fet(b.cursor_x, row, d.psa, Track::La, Track::Bl, Track::Blb, "pSA_l");
-        b.cursor_x = b.local_gate_fet(b.cursor_x, row, d.psa, Track::La, Track::Blb, Track::Bl, "pSA_r");
+        b.cursor_x = b.local_gate_fet(
+            b.cursor_x,
+            row,
+            d.nsa,
+            Track::Lab,
+            Track::Bl,
+            Track::Blb,
+            "nSA_l",
+        );
+        b.cursor_x = b.local_gate_fet(
+            b.cursor_x,
+            row,
+            d.nsa,
+            Track::Lab,
+            Track::Blb,
+            Track::Bl,
+            "nSA_r",
+        );
+        b.cursor_x = b.local_gate_fet(
+            b.cursor_x,
+            row,
+            d.psa,
+            Track::La,
+            Track::Bl,
+            Track::Blb,
+            "pSA_l",
+        );
+        b.cursor_x = b.local_gate_fet(
+            b.cursor_x,
+            row,
+            d.psa,
+            Track::La,
+            Track::Blb,
+            Track::Bl,
+            "pSA_r",
+        );
     }
 
     let length = b.cursor_x + SLOT_GAP;
@@ -503,7 +570,12 @@ pub fn generate_cell(spec: &SaRegionSpec) -> SaCell {
     let rail_track_ys = b
         .tracks
         .iter()
-        .filter(|(t, _)| matches!(t, Track::Lio | Track::Liob | Track::Vpre | Track::La | Track::Lab))
+        .filter(|(t, _)| {
+            matches!(
+                t,
+                Track::Lio | Track::Liob | Track::Vpre | Track::La | Track::Lab
+            )
+        })
         .map(|(t, y)| (t.net_name().to_owned(), *y))
         .collect();
     let bl_track_y = b.track_y(Track::Bl);
@@ -533,7 +605,9 @@ mod tests {
         let cell = generate_cell(&spec);
         // 9 transistors → 9 active regions, 7 gates (PEQ strip shared by 3).
         assert_eq!(
-            cell.layout().elements_of_kind(ElementKind::ActiveRegion).count(),
+            cell.layout()
+                .elements_of_kind(ElementKind::ActiveRegion)
+                .count(),
             9
         );
         assert_eq!(cell.layout().elements_on(Layer::Gate).count(), 8);
@@ -546,7 +620,9 @@ mod tests {
         let spec = SaRegionSpec::new(SaTopologyKind::OffsetCancellation);
         let cell = generate_cell(&spec);
         assert_eq!(
-            cell.layout().elements_of_kind(ElementKind::ActiveRegion).count(),
+            cell.layout()
+                .elements_of_kind(ElementKind::ActiveRegion)
+                .count(),
             12
         );
         // 12 transistors, 3 strips + 6 local gates = 9 gate shapes.

@@ -114,7 +114,10 @@ impl MaterialVolume {
     ///
     /// Panics if any dimension is zero or the voxel size is not positive.
     pub fn new(nx: usize, ny: usize, nz: usize, voxel_nm: f64, stack: LayerStack) -> Self {
-        assert!(nx > 0 && ny > 0 && nz > 0, "volume dimensions must be non-zero");
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "volume dimensions must be non-zero"
+        );
         assert!(voxel_nm > 0.0, "voxel size must be positive");
         Self {
             nx,
@@ -242,7 +245,8 @@ impl MaterialVolume {
         let x1 = x1.min(self.nx);
         let y1 = y1.min(self.ny);
         assert!(x0 < x1 && y0 < y1, "empty crop window");
-        let mut out = MaterialVolume::new(x1 - x0, y1 - y0, self.nz, self.voxel_nm, self.stack.clone());
+        let mut out =
+            MaterialVolume::new(x1 - x0, y1 - y0, self.nz, self.voxel_nm, self.stack.clone());
         for z in 0..self.nz {
             for y in y0..y1 {
                 for x in x0..x1 {

@@ -151,7 +151,9 @@ fn region_netlist(spec: &SaRegionSpec) -> Netlist {
     let cell = generate_cell(spec);
     let src = &cell.ground_truth().netlist;
     let mut nl = Netlist::new(format!("region-{}x-{}", spec.n_pairs, spec.topology));
-    let shared = ["LA", "LAB", "VPRE", "LIO", "LIOB", "PEQ", "PRE", "ISO", "OC"];
+    let shared = [
+        "LA", "LAB", "VPRE", "LIO", "LIOB", "PEQ", "PRE", "ISO", "OC",
+    ];
     for pair in 0..spec.n_pairs {
         let map_name = |n: &str| -> String {
             if shared.contains(&n) {
@@ -191,7 +193,11 @@ fn region_netlist(spec: &SaRegionSpec) -> Netlist {
 /// Generates a full SA region from a spec.
 pub fn generate_region(spec: &SaRegionSpec) -> SaRegion {
     let cell = generate_cell(spec);
-    let mat_len = if spec.include_mat { spec.mat_length_nm } else { 0 };
+    let mat_len = if spec.include_mat {
+        spec.mat_length_nm
+    } else {
+        0
+    };
     let sa_x0 = mat_len + spec.transition_nm;
 
     let mut layout = Layout::new(format!(
@@ -291,10 +297,7 @@ pub fn generate_region(spec: &SaRegionSpec) -> SaRegion {
         spine_x += 2 * TRACK_PITCH;
     }
 
-    let extent = Rect::new(
-        (0, 0).into(),
-        (spine_x + 40, total_h).into(),
-    );
+    let extent = Rect::new((0, 0).into(), (spine_x + 40, total_h).into());
 
     SaRegion {
         spec: spec.clone(),
@@ -426,7 +429,10 @@ mod tests {
     fn transition_zone_has_only_wiring() {
         let spec = SaRegionSpec::new(SaTopologyKind::Classic).with_transition_nm(318);
         let region = generate_region(&spec);
-        let window = Rect::new((0, 0).into(), (region.sa_x0(), region.extent().max().y).into());
+        let window = Rect::new(
+            (0, 0).into(),
+            (region.sa_x0(), region.extent().max().y).into(),
+        );
         for layer in [Layer::Active, Layer::Gate] {
             assert_eq!(
                 region.layout().query(layer, window).count(),

@@ -1,0 +1,56 @@
+//! Observability for the reverse-engineering pipeline: spans, counters,
+//! gauges and structured run reports.
+//!
+//! HiFi-DRAM is a *measurement* pipeline — its credibility rests on knowing
+//! how much fidelity each stage preserves. This crate provides the
+//! instrumentation layer the rest of the workspace records into:
+//!
+//! - [`Recorder`] — the sink trait. Stages emit spans (monotonic wall
+//!   times), counters (monotonically accumulating totals) and gauges
+//!   (point-in-time measurements such as per-slice PSNR).
+//! - [`NoopRecorder`] — the zero-cost default: `enabled()` is `false`, every
+//!   method is an empty body, and instrumented code paths monomorphised
+//!   over it compile down to the uninstrumented pipeline.
+//! - [`JsonRecorder`] — records a structured event stream, serializable to
+//!   JSON, from which a [`RunReport`] is assembled.
+//! - [`RunReport`] — the provenance record of one pipeline run: config
+//!   echo, per-stage wall times, counter totals, gauge statistics and the
+//!   extracted [`FidelityMetrics`].
+//!
+//! # Examples
+//!
+//! ```
+//! use hifi_telemetry::{with_span, JsonRecorder, Recorder};
+//!
+//! let mut rec = JsonRecorder::new();
+//! let sum = with_span(&mut rec, "outer", |rec| {
+//!     rec.counter("items", 3);
+//!     with_span(rec, "inner", |_| 1 + 2)
+//! });
+//! assert_eq!(sum, 3);
+//! assert_eq!(rec.counter_total("items"), 3);
+//! assert_eq!(rec.events().len(), 5); // 2 starts + 1 counter + 2 ends
+//! ```
+
+mod recorder;
+mod report;
+
+pub use recorder::{with_span, Event, EventType, JsonRecorder, NoopRecorder, Recorder};
+pub use report::{ConfigEcho, CounterTotal, FidelityMetrics, GaugeStat, RunReport, StageTiming};
+
+/// Well-known gauge names the [`RunReport`] builder folds into
+/// [`FidelityMetrics`]. Stages recording fidelity use these exact names.
+pub mod names {
+    /// Mean per-slice PSNR of the raw acquisition vs. the ideal render (dB).
+    pub const PSNR_NOISY: &str = "fidelity.psnr_noisy_db";
+    /// Mean per-slice PSNR after alignment + denoising vs. the ideal render.
+    pub const PSNR_DENOISED: &str = "fidelity.psnr_denoised_db";
+    /// Fraction of voxels matching ground truth after reconstruction.
+    pub const VOXEL_ACCURACY: &str = "fidelity.voxel_accuracy";
+    /// Mean absolute residual drift after alignment (px/slice).
+    pub const RESIDUAL_DRIFT: &str = "fidelity.residual_drift_px";
+    /// The paper's alignment budget for this stack (px; Section IV-C).
+    pub const ALIGNMENT_BUDGET: &str = "fidelity.alignment_budget_px";
+    /// Worst relative dimension deviation vs. generator ground truth.
+    pub const WORST_DIMENSION_DEVIATION: &str = "fidelity.worst_dimension_deviation";
+}

@@ -1,0 +1,348 @@
+//! The [`Recorder`] trait and its two implementations.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// What a single [`Event`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventType {
+    /// A span opened (`name`, `seq`; `depth` is the nesting level).
+    SpanStart,
+    /// A span closed (`name`, `seq`, `duration_us`).
+    SpanEnd,
+    /// A counter was incremented (`name`, `delta`, `total`).
+    Counter,
+    /// A gauge observation (`name`, `value`).
+    Gauge,
+}
+
+/// One entry in a [`JsonRecorder`]'s event stream.
+///
+/// Flat by design: the vendored serde derive handles plain structs and unit
+/// enums, so the per-type payload lives in optional fields rather than enum
+/// variants. `elapsed_us` is measured from recorder construction on a
+/// monotonic clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Position in the stream (0-based, strictly increasing).
+    pub seq: u64,
+    /// Microseconds since the recorder was created (monotonic).
+    pub elapsed_us: u64,
+    /// What happened.
+    pub kind: EventType,
+    /// Span, counter or gauge name.
+    pub name: String,
+    /// Span nesting depth at the time of the event (0 = top level).
+    pub depth: u32,
+    /// `SpanEnd` only: span wall time in microseconds.
+    pub duration_us: Option<u64>,
+    /// `Counter` only: the increment.
+    pub delta: Option<u64>,
+    /// `Counter` only: the running total after the increment.
+    pub total: Option<u64>,
+    /// `Gauge` only: the observed value.
+    pub value: Option<f64>,
+}
+
+/// Sink for pipeline instrumentation.
+///
+/// Implementations must be cheap to call; code paths that compute a value
+/// *only* to record it should gate on [`Recorder::enabled`] first.
+pub trait Recorder {
+    /// `false` means events are discarded; callers may skip computing
+    /// expensive measurements (e.g. PSNR against an ideal render).
+    fn enabled(&self) -> bool;
+
+    /// Opens a named span. Pair with [`Recorder::span_end`], innermost
+    /// first. Prefer [`with_span`] which cannot unbalance the stack.
+    fn span_start(&mut self, name: &str);
+
+    /// Closes the innermost open span. `name` must match the most recent
+    /// unclosed [`Recorder::span_start`].
+    fn span_end(&mut self, name: &str);
+
+    /// Adds `delta` to the named monotonic counter.
+    fn counter(&mut self, name: &str, delta: u64);
+
+    /// Records a point-in-time observation. Non-finite values are
+    /// sanitized by the implementation (NaN dropped, ±∞ clamped).
+    fn gauge(&mut self, name: &str, value: f64);
+}
+
+/// Runs `body` inside a span on `rec`, closing it even on early return of
+/// a value (panics still unwind without closing — acceptable for a
+/// measurement pipeline where a panic aborts the run).
+pub fn with_span<R: Recorder + ?Sized, T>(
+    rec: &mut R,
+    name: &str,
+    body: impl FnOnce(&mut R) -> T,
+) -> T {
+    rec.span_start(name);
+    let out = body(rec);
+    rec.span_end(name);
+    out
+}
+
+/// The zero-overhead recorder: every method is an empty inlined body, so
+/// pipeline code monomorphised over it compiles to the uninstrumented
+/// machine code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+    #[inline(always)]
+    fn span_start(&mut self, _name: &str) {}
+    #[inline(always)]
+    fn span_end(&mut self, _name: &str) {}
+    #[inline(always)]
+    fn counter(&mut self, _name: &str, _delta: u64) {}
+    #[inline(always)]
+    fn gauge(&mut self, _name: &str, _value: f64) {}
+}
+
+/// Records a structured event stream suitable for JSON serialization and
+/// [`RunReport`](crate::RunReport) assembly.
+#[derive(Debug)]
+pub struct JsonRecorder {
+    origin: Instant,
+    events: Vec<Event>,
+    /// Open spans: (name, start seq, start instant).
+    stack: Vec<(String, u64, Instant)>,
+    /// Running totals per counter name, insertion-ordered.
+    totals: Vec<(String, u64)>,
+}
+
+impl Default for JsonRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonRecorder {
+    /// Creates an empty recorder; `elapsed_us` timestamps count from here.
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+            events: Vec::new(),
+            stack: Vec::new(),
+            totals: Vec::new(),
+        }
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Consumes the recorder, returning the event stream.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+
+    /// Running total of a counter (0 if never incremented).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.totals
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, t)| *t)
+    }
+
+    /// Names of spans currently open, outermost first.
+    pub fn open_spans(&self) -> Vec<&str> {
+        self.stack.iter().map(|(n, _, _)| n.as_str()).collect()
+    }
+
+    /// Serializes the event stream as a JSON array.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.events.to_vec()).unwrap_or_else(|_| "[]".into())
+    }
+
+    fn elapsed_us(&self) -> u64 {
+        self.origin.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+
+    fn push(&mut self, kind: EventType, name: &str, depth: u32) -> &mut Event {
+        let seq = self.events.len() as u64;
+        self.events.push(Event {
+            seq,
+            elapsed_us: self.elapsed_us(),
+            kind,
+            name: name.to_string(),
+            depth,
+            duration_us: None,
+            delta: None,
+            total: None,
+            value: None,
+        });
+        self.events.last_mut().expect("just pushed")
+    }
+}
+
+impl Recorder for JsonRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_start(&mut self, name: &str) {
+        let depth = self.stack.len() as u32;
+        let seq = self.events.len() as u64;
+        self.push(EventType::SpanStart, name, depth);
+        self.stack.push((name.to_string(), seq, Instant::now()));
+    }
+
+    fn span_end(&mut self, name: &str) {
+        let Some((open_name, _, started)) = self.stack.pop() else {
+            debug_assert!(false, "span_end(\"{name}\") with no open span");
+            return;
+        };
+        debug_assert_eq!(
+            open_name, name,
+            "span_end(\"{name}\") does not match innermost open span \"{open_name}\""
+        );
+        let duration_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let depth = self.stack.len() as u32;
+        let ev = self.push(EventType::SpanEnd, &open_name, depth);
+        ev.duration_us = Some(duration_us);
+    }
+
+    fn counter(&mut self, name: &str, delta: u64) {
+        let total = match self.totals.iter_mut().find(|(n, _)| n == name) {
+            Some((_, t)) => {
+                *t = t.saturating_add(delta);
+                *t
+            }
+            None => {
+                self.totals.push((name.to_string(), delta));
+                delta
+            }
+        };
+        let depth = self.stack.len() as u32;
+        let ev = self.push(EventType::Counter, name, depth);
+        ev.delta = Some(delta);
+        ev.total = Some(total);
+    }
+
+    fn gauge(&mut self, name: &str, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        let value = value.clamp(f64::MIN, f64::MAX);
+        let depth = self.stack.len() as u32;
+        let ev = self.push(EventType::Gauge, name, depth);
+        ev.value = Some(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_discards_everything() {
+        let mut rec = NoopRecorder;
+        assert!(!rec.enabled());
+        rec.span_start("a");
+        rec.counter("c", 5);
+        rec.gauge("g", 1.0);
+        rec.span_end("a");
+    }
+
+    #[test]
+    fn span_nesting_emits_start_end_in_stack_order() {
+        let mut rec = JsonRecorder::new();
+        with_span(&mut rec, "outer", |rec| {
+            with_span(rec, "inner", |_| ());
+        });
+        let kinds: Vec<(EventType, &str, u32)> = rec
+            .events()
+            .iter()
+            .map(|e| (e.kind, e.name.as_str(), e.depth))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (EventType::SpanStart, "outer", 0),
+                (EventType::SpanStart, "inner", 1),
+                (EventType::SpanEnd, "inner", 1),
+                (EventType::SpanEnd, "outer", 0),
+            ]
+        );
+        assert!(rec.open_spans().is_empty());
+        // Inner span closed before outer, so its duration is no longer.
+        let durations: Vec<u64> = rec.events().iter().filter_map(|e| e.duration_us).collect();
+        assert_eq!(durations.len(), 2);
+        assert!(
+            durations[0] <= durations[1],
+            "inner {} > outer {}",
+            durations[0],
+            durations[1]
+        );
+    }
+
+    #[test]
+    fn counters_accumulate_monotonically() {
+        let mut rec = JsonRecorder::new();
+        rec.counter("devices", 3);
+        rec.counter("devices", 0);
+        rec.counter("devices", 4);
+        rec.counter("other", 1);
+        assert_eq!(rec.counter_total("devices"), 7);
+        assert_eq!(rec.counter_total("other"), 1);
+        assert_eq!(rec.counter_total("missing"), 0);
+        // Running totals within one counter never decrease.
+        let totals: Vec<u64> = rec
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventType::Counter && e.name == "devices")
+            .map(|e| e.total.unwrap())
+            .collect();
+        assert_eq!(totals, vec![3, 3, 7]);
+        assert!(totals.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn gauges_sanitize_non_finite_values() {
+        let mut rec = JsonRecorder::new();
+        rec.gauge("nan", f64::NAN);
+        rec.gauge("inf", f64::INFINITY);
+        rec.gauge("ninf", f64::NEG_INFINITY);
+        rec.gauge("ok", 2.5);
+        let values: Vec<(String, f64)> = rec
+            .events()
+            .iter()
+            .map(|e| (e.name.clone(), e.value.unwrap()))
+            .collect();
+        assert_eq!(values.len(), 3, "NaN gauge must be dropped");
+        assert_eq!(values[0], ("inf".into(), f64::MAX));
+        assert_eq!(values[1], ("ninf".into(), f64::MIN));
+        assert_eq!(values[2], ("ok".into(), 2.5));
+    }
+
+    #[test]
+    fn event_stream_round_trips_through_json() {
+        let mut rec = JsonRecorder::new();
+        with_span(&mut rec, "stage", |rec| {
+            rec.counter("items", 2);
+            rec.gauge("score", 0.75);
+        });
+        let json = rec.to_json();
+        let back: Vec<Event> = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, rec.events());
+    }
+
+    #[test]
+    fn elapsed_and_seq_are_monotonic() {
+        let mut rec = JsonRecorder::new();
+        for i in 0..10 {
+            rec.counter("tick", i);
+        }
+        let evs = rec.events();
+        assert!(evs.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+        assert!(evs.windows(2).all(|w| w[0].elapsed_us <= w[1].elapsed_us));
+    }
+}

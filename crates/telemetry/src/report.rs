@@ -1,0 +1,354 @@
+//! The [`RunReport`] provenance record assembled from a recorded event
+//! stream.
+
+use serde::{Deserialize, Serialize};
+
+use crate::recorder::{Event, EventType};
+
+/// Echo of the pipeline configuration that produced a run, so a report is
+/// interpretable on its own. Filled in by the pipeline crate; plain fields
+/// here keep `hifi-telemetry` free of upstream dependencies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigEcho {
+    /// Sense-amplifier topology under study (e.g. `"open_bitline"`).
+    pub topology: String,
+    /// Number of sense-amplifier pairs in the synthesized region.
+    pub n_pairs: u32,
+    /// Voxel pitch of the synthetic volume in nanometres.
+    pub voxel_nm: f64,
+    /// Whether the SEM imaging degradation model ran (false = pristine).
+    pub imaging: bool,
+    /// SEM dwell time per pixel in microseconds (imaging runs only).
+    pub dwell_us: Option<f64>,
+    /// Per-slice drift sigma in pixels (imaging runs only).
+    pub drift_sigma_px: Option<f64>,
+    /// Slab thickness per acquired slice in voxels (imaging runs only).
+    pub slice_voxels: Option<u32>,
+    /// PRNG seed of the imaging model (imaging runs only).
+    pub seed: Option<u64>,
+    /// Total-variation denoise weight.
+    pub denoise_lambda: f64,
+    /// Denoise iteration count.
+    pub denoise_iterations: u32,
+    /// Alignment search window half-width in pixels.
+    pub align_window: u32,
+    /// Index of the sense-amplifier pair the analysis window centres on.
+    pub window_pair: u32,
+}
+
+impl ConfigEcho {
+    /// A pristine-run echo with the given topology; imaging fields unset.
+    pub fn pristine(topology: impl Into<String>) -> Self {
+        Self {
+            topology: topology.into(),
+            n_pairs: 0,
+            voxel_nm: 0.0,
+            imaging: false,
+            dwell_us: None,
+            drift_sigma_px: None,
+            slice_voxels: None,
+            seed: None,
+            denoise_lambda: 0.0,
+            denoise_iterations: 0,
+            align_window: 0,
+            window_pair: 0,
+        }
+    }
+}
+
+/// Wall time of one completed pipeline stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Span name (stage name for top-level stages).
+    pub name: String,
+    /// Nesting depth (0 = pipeline stage, 1 = sub-step, ...).
+    pub depth: u32,
+    /// Wall time in microseconds.
+    pub duration_us: u64,
+}
+
+/// Final accumulated value of one counter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterTotal {
+    /// Counter name.
+    pub name: String,
+    /// Sum of all increments over the run.
+    pub total: u64,
+}
+
+/// Summary statistics over all observations of one gauge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeStat {
+    /// Gauge name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+    /// Arithmetic mean of observations.
+    pub mean: f64,
+    /// The final observation (often the one that matters, e.g. a
+    /// whole-volume accuracy recorded once at stage end).
+    pub last: f64,
+}
+
+/// The fidelity metrics the paper's methodology tracks, pulled out of the
+/// gauge stream by well-known name (see [`crate::names`]). All `None` for
+/// pristine runs, which skip the imaging chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FidelityMetrics {
+    /// Mean per-slice PSNR of the raw acquisition vs. ideal render (dB).
+    pub psnr_noisy_db: Option<f64>,
+    /// Mean per-slice PSNR after alignment + denoise vs. ideal render (dB).
+    pub psnr_denoised_db: Option<f64>,
+    /// Fraction of reconstructed voxels matching the pristine volume.
+    pub voxel_accuracy: Option<f64>,
+    /// Mean absolute residual drift after alignment, px/slice.
+    pub residual_drift_px: Option<f64>,
+    /// The paper's alignment budget for this stack, px.
+    pub alignment_budget_px: Option<f64>,
+    /// Worst relative dimension deviation vs. generator ground truth.
+    pub worst_dimension_deviation: Option<f64>,
+}
+
+impl FidelityMetrics {
+    /// How many of the metrics were recorded.
+    pub fn recorded_count(&self) -> usize {
+        [
+            self.psnr_noisy_db,
+            self.psnr_denoised_db,
+            self.voxel_accuracy,
+            self.residual_drift_px,
+            self.alignment_budget_px,
+            self.worst_dimension_deviation,
+        ]
+        .iter()
+        .filter(|m| m.is_some())
+        .count()
+    }
+}
+
+/// Provenance record of one pipeline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Configuration that produced the run.
+    pub config: ConfigEcho,
+    /// Wall time per completed span, in completion order.
+    pub stages: Vec<StageTiming>,
+    /// Total wall time of the outermost span (µs), 0 if none completed.
+    pub total_us: u64,
+    /// Final counter totals, in first-increment order.
+    pub counters: Vec<CounterTotal>,
+    /// Per-gauge summary statistics, in first-observation order.
+    pub gauges: Vec<GaugeStat>,
+    /// Named fidelity metrics extracted from the gauge stream.
+    pub fidelity: FidelityMetrics,
+    /// Number of events in the underlying stream.
+    pub event_count: u64,
+}
+
+impl RunReport {
+    /// Assembles a report from a recorded event stream.
+    ///
+    /// Stage timings come from `SpanEnd` events; counters fold to their
+    /// final totals; gauges fold to min/max/mean/last; fidelity metrics
+    /// are the *last* observation of each [`crate::names`] gauge.
+    pub fn from_events(config: ConfigEcho, events: &[Event]) -> Self {
+        let mut stages = Vec::new();
+        let mut total_us = 0u64;
+        let mut counters: Vec<CounterTotal> = Vec::new();
+        let mut gauges: Vec<GaugeStat> = Vec::new();
+
+        for ev in events {
+            match ev.kind {
+                EventType::SpanEnd => {
+                    let duration_us = ev.duration_us.unwrap_or(0);
+                    if ev.depth == 0 {
+                        total_us = total_us.saturating_add(duration_us);
+                    }
+                    stages.push(StageTiming {
+                        name: ev.name.clone(),
+                        depth: ev.depth,
+                        duration_us,
+                    });
+                }
+                EventType::Counter => {
+                    let total = ev.total.unwrap_or(0);
+                    match counters.iter_mut().find(|c| c.name == ev.name) {
+                        Some(c) => c.total = c.total.max(total),
+                        None => counters.push(CounterTotal {
+                            name: ev.name.clone(),
+                            total,
+                        }),
+                    }
+                }
+                EventType::Gauge => {
+                    let Some(v) = ev.value else { continue };
+                    match gauges.iter_mut().find(|g| g.name == ev.name) {
+                        Some(g) => {
+                            g.min = g.min.min(v);
+                            g.max = g.max.max(v);
+                            g.mean += (v - g.mean) / (g.count + 1) as f64;
+                            g.count += 1;
+                            g.last = v;
+                        }
+                        None => gauges.push(GaugeStat {
+                            name: ev.name.clone(),
+                            count: 1,
+                            min: v,
+                            max: v,
+                            mean: v,
+                            last: v,
+                        }),
+                    }
+                }
+                EventType::SpanStart => {}
+            }
+        }
+
+        let find = |name: &str| gauges.iter().find(|g| g.name == name).map(|g| g.last);
+        let fidelity = FidelityMetrics {
+            psnr_noisy_db: find(crate::names::PSNR_NOISY),
+            psnr_denoised_db: find(crate::names::PSNR_DENOISED),
+            voxel_accuracy: find(crate::names::VOXEL_ACCURACY),
+            residual_drift_px: find(crate::names::RESIDUAL_DRIFT),
+            alignment_budget_px: find(crate::names::ALIGNMENT_BUDGET),
+            worst_dimension_deviation: find(crate::names::WORST_DIMENSION_DEVIATION),
+        };
+
+        Self {
+            config,
+            stages,
+            total_us,
+            counters,
+            gauges,
+            fidelity,
+            event_count: events.len() as u64,
+        }
+    }
+
+    /// Wall time of the named stage (first match), if it completed.
+    pub fn stage_us(&self, name: &str) -> Option<u64> {
+        self.stages
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.duration_us)
+    }
+
+    /// Final total of the named counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.total)
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".into())
+    }
+
+    /// One-line human summary: total time, stage count, fidelity headline.
+    pub fn summary_line(&self) -> String {
+        let stages = self.stages.iter().filter(|s| s.depth == 0).count();
+        let mut line = format!(
+            "{} run: {} stages in {:.1} ms",
+            self.config.topology,
+            stages,
+            self.total_us as f64 / 1e3
+        );
+        if let Some(acc) = self.fidelity.voxel_accuracy {
+            line.push_str(&format!(", voxel accuracy {:.3}", acc));
+        }
+        if let Some(psnr) = self.fidelity.psnr_denoised_db {
+            line.push_str(&format!(", denoised PSNR {:.1} dB", psnr));
+        }
+        if let Some(drift) = self.fidelity.residual_drift_px {
+            line.push_str(&format!(", residual drift {:.3} px", drift));
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{with_span, JsonRecorder, Recorder};
+
+    fn sample_report() -> RunReport {
+        let mut rec = JsonRecorder::new();
+        with_span(&mut rec, "acquire", |rec| {
+            rec.counter("slices", 8);
+            rec.gauge(crate::names::PSNR_NOISY, 17.2);
+            rec.gauge(crate::names::PSNR_NOISY, 18.4);
+        });
+        with_span(&mut rec, "extract", |rec| {
+            rec.counter("devices", 12);
+            rec.gauge(crate::names::VOXEL_ACCURACY, 0.97);
+        });
+        let mut echo = ConfigEcho::pristine("open_bitline");
+        echo.n_pairs = 4;
+        echo.voxel_nm = 8.0;
+        RunReport::from_events(echo, rec.events())
+    }
+
+    #[test]
+    fn report_folds_spans_counters_and_gauges() {
+        let report = sample_report();
+        assert_eq!(report.stages.len(), 2);
+        assert!(report.stage_us("acquire").is_some());
+        assert!(report.stage_us("missing").is_none());
+        assert_eq!(report.counter("slices"), 8);
+        assert_eq!(report.counter("devices"), 12);
+        assert_eq!(report.counter("missing"), 0);
+        let psnr = report
+            .gauges
+            .iter()
+            .find(|g| g.name == crate::names::PSNR_NOISY)
+            .unwrap();
+        assert_eq!(psnr.count, 2);
+        assert_eq!(psnr.min, 17.2);
+        assert_eq!(psnr.max, 18.4);
+        assert!((psnr.mean - 17.8).abs() < 1e-9);
+        assert_eq!(psnr.last, 18.4);
+        assert_eq!(report.fidelity.voxel_accuracy, Some(0.97));
+        assert_eq!(report.fidelity.psnr_noisy_db, Some(18.4));
+        assert_eq!(report.fidelity.recorded_count(), 2);
+        assert!(report.total_us <= report.stages.iter().map(|s| s.duration_us).sum());
+    }
+
+    #[test]
+    fn run_report_round_trips_through_json() {
+        let report = sample_report();
+        let json = report.to_json();
+        let back: RunReport = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.config, report.config);
+        assert_eq!(back.counters, report.counters);
+        assert_eq!(back.stages, report.stages);
+        assert_eq!(back.event_count, report.event_count);
+        assert_eq!(back.fidelity, report.fidelity);
+        assert_eq!(back.gauges.len(), report.gauges.len());
+    }
+
+    #[test]
+    fn summary_line_mentions_fidelity_when_present() {
+        let report = sample_report();
+        let line = report.summary_line();
+        assert!(line.contains("open_bitline"), "{line}");
+        assert!(line.contains("2 stages"), "{line}");
+        assert!(line.contains("voxel accuracy 0.970"), "{line}");
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_report() {
+        let report = RunReport::from_events(ConfigEcho::pristine("none"), &[]);
+        assert_eq!(report.total_us, 0);
+        assert!(report.stages.is_empty());
+        assert!(report.counters.is_empty());
+        assert!(report.gauges.is_empty());
+        assert_eq!(report.fidelity.recorded_count(), 0);
+        assert_eq!(report.event_count, 0);
+    }
+}

@@ -13,7 +13,9 @@
 /// let inacc = Ratio::relative_deviation(10.38, 1.0);
 /// assert!((inacc.as_percent() - 938.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize,
+)]
 pub struct Ratio(pub f64);
 
 impl Ratio {

@@ -39,7 +39,10 @@ fn main() {
     if let Some(err) = overhead_error(&proposal, &cs) {
         println!("  overhead error vs own estimate: {}", err.as_times());
     }
-    println!("  porting cost to DDR5: {}", porting_cost(&proposal, &cs).as_times());
+    println!(
+        "  porting cost to DDR5: {}",
+        porting_cost(&proposal, &cs).as_times()
+    );
 
     println!("\nRecommendations triggered:");
     for r in triggered_by(proposal.inaccuracies) {

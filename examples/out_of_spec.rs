@@ -39,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "ACT->PRE {:>5} ns: data {}",
             act_to_pre,
-            if out.data_survived { "survived" } else { "LOST (restore interrupted)" }
+            if out.data_survived {
+                "survived"
+            } else {
+                "LOST (restore interrupted)"
+            }
         );
     }
     Ok(())

@@ -12,7 +12,7 @@ fn main() -> Result<(), PipelineError> {
     println!("HiFi-DRAM quickstart: generate -> voxelise -> extract -> identify\n");
 
     for kind in [SaTopologyKind::Classic, SaTopologyKind::OffsetCancellation] {
-        let report = Pipeline::new(PipelineConfig::pristine(kind)).run()?;
+        let report = Pipeline::new(PipelineConfig::pristine(kind)).run_instrumented()?;
         println!("generated topology : {kind}");
         println!(
             "identified as      : {}",
@@ -28,11 +28,17 @@ fn main() -> Result<(), PipelineError> {
                 worst.as_percent()
             );
         }
-        println!("verdict            : {}\n", if report.topology_correct() {
-            "ground truth recovered"
-        } else {
-            "MISMATCH"
-        });
+        if let Some(telemetry) = &report.telemetry {
+            println!("telemetry          : {}", telemetry.summary_line());
+        }
+        println!(
+            "verdict            : {}\n",
+            if report.topology_correct() {
+                "ground truth recovered"
+            } else {
+                "MISMATCH"
+            }
+        );
     }
 
     // The headline evaluation numbers, computed live from the dataset.

@@ -48,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .identified
             .map(|k| k.to_string())
             .unwrap_or_else(|| "<no match>".into()),
-        if report.topology_correct() { "correct" } else { "WRONG" }
+        if report.topology_correct() {
+            "correct"
+        } else {
+            "WRONG"
+        }
     );
     let drift: i32 = report
         .alignment_corrections
@@ -79,6 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bytes = gds::write_library("hifi-dram-b5", &[region.layout().clone()])?;
     let path = std::env::temp_dir().join("hifi_dram_b5_sa_region.gds");
     std::fs::write(&path, &bytes)?;
-    println!("\nGDSII layout written to {} ({} bytes)", path.display(), bytes.len());
+    println!(
+        "\nGDSII layout written to {} ({} bytes)",
+        path.display(),
+        bytes.len()
+    );
     Ok(())
 }

@@ -41,8 +41,14 @@ fn main() {
     skewed.nsa_vt_offset = -0.08;
     let c = simulate_classic_activation(&skewed, true);
     let o = simulate_ocsa_activation(&skewed, true);
-    println!("classic senses: {} (expected failure)", if c.correct { "1 ok" } else { "0 WRONG" });
-    println!("OCSA    senses: {} (offset cancelled)\n", if o.correct { "1 ok" } else { "0 WRONG" });
+    println!(
+        "classic senses: {} (expected failure)",
+        if c.correct { "1 ok" } else { "0 WRONG" }
+    );
+    println!(
+        "OCSA    senses: {} (offset cancelled)\n",
+        if o.correct { "1 ok" } else { "0 WRONG" }
+    );
 
     println!("== Offset tolerance sweep (20 mV steps) ==");
     let tc = max_tolerated_offset(SaTopologyKind::Classic, &cfg, 20.0, 160.0);

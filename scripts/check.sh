@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Repo health gate: formatting, lints, and regen-output drift.
+#
+#   scripts/check.sh            # run everything
+#   scripts/check.sh --no-drift # skip the (slow) regen drift check
+#
+# The drift check re-runs every regen binary that has a pinned snapshot in
+# regen_outputs/ and diffs the output byte-for-byte. regen_telemetry and
+# regen_dataset_json are excluded: telemetry JSON embeds wall times
+# (non-deterministic by design) and the dataset JSON has no pinned snapshot.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_drift=1
+if [[ "${1:-}" == "--no-drift" ]]; then
+    run_drift=0
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+if [[ "$run_drift" -eq 1 ]]; then
+    echo "==> regen drift check"
+    cargo build --release --offline -p hifi-bench --bins
+    failed=0
+    for snapshot in regen_outputs/*.txt; do
+        name="$(basename "$snapshot" .txt)"
+        bin="target/release/regen_${name}"
+        if [[ ! -x "$bin" ]]; then
+            echo "MISSING BIN  regen_${name} (snapshot ${snapshot})"
+            failed=1
+            continue
+        fi
+        if diff -u "$snapshot" <("$bin") > /dev/null 2>&1; then
+            echo "ok           ${name}"
+        else
+            echo "DRIFT        ${name}  (run: cargo run --release -p hifi-bench --bin regen_${name} > ${snapshot})"
+            failed=1
+        fi
+    done
+    if [[ "$failed" -ne 0 ]]; then
+        echo "regen drift detected" >&2
+        exit 1
+    fi
+fi
+
+echo "all checks passed"

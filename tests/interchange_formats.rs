@@ -21,7 +21,11 @@ fn extracted_netlist_exports_to_spice() {
         "all twelve OCSA devices present:\n{deck}"
     );
     // The classified pSA devices carry the PMOS model.
-    assert_eq!(deck.matches("PCH").count(), 2 + 1, "2 cards + 1 .model line");
+    assert_eq!(
+        deck.matches("PCH").count(),
+        2 + 1,
+        "2 cards + 1 .model line"
+    );
 }
 
 #[test]
@@ -69,8 +73,10 @@ fn spice_export_of_every_library_topology() {
             11,
         ),
     ] {
-        let mut opts = SpiceOptions::default();
-        opts.ports = vec!["BL".into(), "BLB".into()];
+        let opts = SpiceOptions {
+            ports: vec!["BL".into(), "BLB".into()],
+            ..Default::default()
+        };
         let deck = to_spice(&netlist, &opts).expect("exports");
         assert_eq!(deck.lines().filter(|l| l.starts_with('M')).count(), fets);
         assert!(deck.contains(".SUBCKT"));

@@ -24,7 +24,10 @@ fn abstract_headline_models_up_to_9x_inaccurate() {
         .flat_map(|c| c.deviations)
         .map(|d| d.inaccuracy.value())
         .fold(0.0f64, f64::max);
-    assert!(worst > 8.5 && worst < 12.0, "worst model deviation {worst}x");
+    assert!(
+        worst > 8.5 && worst < 12.0,
+        "worst model deviation {worst}x"
+    );
 }
 
 #[test]
@@ -58,7 +61,10 @@ fn crow_worse_than_rem_and_worst_at_c4_precharge() {
     let rem = compare_model(&hifi_dram::data::rem(), &cs, DdrGeneration::Ddr4);
     assert!(crow.average(DimensionMetric::WOverL) > rem.average(DimensionMetric::WOverL));
     let mx = crow.maximum(DimensionMetric::Width);
-    assert_eq!((mx.chip, mx.class), (ChipName::C4, TransistorClass::Precharge));
+    assert_eq!(
+        (mx.chip, mx.class),
+        (ChipName::C4, TransistorClass::Precharge)
+    );
 }
 
 #[test]

@@ -8,20 +8,39 @@ use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Write { bank: usize, row: usize, col: usize, data: u8 },
-    Read { bank: usize, row: usize, col: usize },
+    Write {
+        bank: usize,
+        row: usize,
+        col: usize,
+        data: u8,
+    },
+    Read {
+        bank: usize,
+        row: usize,
+        col: usize,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
-    (0usize..4, 0usize..16, 0usize..16, any::<u8>(), any::<bool>()).prop_map(
-        |(bank, row, col, data, write)| {
+    (
+        0usize..4,
+        0usize..16,
+        0usize..16,
+        any::<u8>(),
+        any::<bool>(),
+    )
+        .prop_map(|(bank, row, col, data, write)| {
             if write {
-                Op::Write { bank, row, col, data }
+                Op::Write {
+                    bank,
+                    row,
+                    col,
+                    data,
+                }
             } else {
                 Op::Read { bank, row, col }
             }
-        },
-    )
+        })
 }
 
 fn arb_topology() -> impl Strategy<Value = SaTopologyKind> {

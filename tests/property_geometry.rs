@@ -25,15 +25,19 @@ fn arb_kind() -> impl Strategy<Value = ElementKind> {
 }
 
 fn arb_element() -> impl Strategy<Value = Element> {
-    (arb_layer(), arb_rect(), arb_kind(), prop::option::of("[a-zA-Z0-9_]{1,12}")).prop_map(
-        |(layer, rect, kind, label)| {
+    (
+        arb_layer(),
+        arb_rect(),
+        arb_kind(),
+        prop::option::of("[a-zA-Z0-9_]{1,12}"),
+    )
+        .prop_map(|(layer, rect, kind, label)| {
             let e = Element::new(layer, rect, kind);
             match label {
                 Some(l) => e.with_label(l),
                 None => e,
             }
-        },
-    )
+        })
 }
 
 fn arb_layout() -> impl Strategy<Value = Layout> {
@@ -98,7 +102,7 @@ proptest! {
 
     #[test]
     fn gds_round_trip_preserves_any_layout(layout in arb_layout()) {
-        let bytes = gds::write_library("prop", &[layout.clone()]).expect("encodes");
+        let bytes = gds::write_library("prop", std::slice::from_ref(&layout)).expect("encodes");
         let parsed = gds::read_library(&bytes).expect("decodes");
         prop_assert_eq!(parsed.len(), 1);
         // Labels attach by (layer, min-corner); colliding labelled elements

@@ -1,0 +1,240 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`
+//! / `iter_batched`, `BatchSize`, `BenchmarkId`, `black_box` and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! median-of-samples wall-clock measurement instead of criterion's
+//! statistical machinery. Each benchmark prints one line:
+//!
+//! ```text
+//! group/name  median 1.234 ms/iter  (15 samples x 8 iters)
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, mirroring `criterion::black_box`.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A parameterised benchmark name.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates `function_name/parameter` identifiers.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Benchmark driver handed to bench targets.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Registers a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_benchmark(name, self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (printing already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher {
+        samples: samples.max(2),
+        per_iter: Vec::new(),
+        iters_per_sample: 0,
+    };
+    f(&mut b);
+    b.per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = b
+        .per_iter
+        .get(b.per_iter.len() / 2)
+        .copied()
+        .unwrap_or(Duration::ZERO);
+    println!(
+        "{label:<40} median {}  ({} samples x {} iters)",
+        format_duration(median),
+        b.per_iter.len(),
+        b.iters_per_sample,
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s/iter", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms/iter", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.3} us/iter", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns/iter")
+    }
+}
+
+/// Times closures; handed to the bench body.
+pub struct Bencher {
+    samples: usize,
+    per_iter: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, amortising over enough iterations per sample to
+    /// exceed ~2 ms (or one iteration for slow routines).
+    pub fn iter<T, R: FnMut() -> T>(&mut self, mut routine: R) {
+        // Warm-up and calibration: how many iters fit in the target window?
+        let start = Instant::now();
+        black_box(routine());
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(2);
+        let iters = (target.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+        self.iters_per_sample = iters;
+        self.per_iter = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                start.elapsed() / iters as u32
+            })
+            .collect();
+    }
+
+    /// Times `routine` on values produced by `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<I, T, S: FnMut() -> I, R: FnMut(I) -> T>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        self.iters_per_sample = 1;
+        self.per_iter = (0..self.samples)
+            .map(|_| {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                start.elapsed()
+            })
+            .collect();
+    }
+}
+
+/// Declares a group of benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("test");
+        g.sample_size(3);
+        g.bench_function("spin", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        });
+        g.finish();
+    }
+}

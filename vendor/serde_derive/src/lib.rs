@@ -1,0 +1,288 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored mini-serde's `Value`-tree traits, using only `proc_macro` (no
+//! `syn`/`quote`, which are unavailable offline). Supported item shapes are
+//! exactly what this repository derives:
+//!
+//! - non-generic structs with named fields,
+//! - non-generic tuple structs (any arity; newtypes serialize transparently),
+//! - unit structs,
+//! - non-generic enums with unit variants only (serialized as the variant
+//!   name string).
+//!
+//! Anything else — generics, data-carrying enum variants, `#[serde(...)]`
+//! attributes — is rejected with a compile-time panic so unsupported shapes
+//! fail loudly instead of serializing wrongly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Advances `i` past any `#[...]` / `#![...]` attributes (doc comments
+/// included). Panics on `#[serde(...)]`, which this stand-in cannot honour.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while *i < tokens.len() && is_punct(&tokens[*i], '#') {
+        *i += 1;
+        if *i < tokens.len() && is_punct(&tokens[*i], '!') {
+            *i += 1;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            let body = g.stream().to_string();
+            if body.starts_with("serde") {
+                panic!("vendored serde_derive does not support #[serde(...)] attributes");
+            }
+            *i += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Splits a field/variant list on commas that sit outside `<...>` nesting
+/// (delimited groups arrive as single atomic `Group` tokens already).
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for tt in tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tt.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(group: &[TokenTree]) -> Vec<String> {
+    split_top_level(group)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs(&chunk, &mut i);
+            skip_visibility(&chunk, &mut i);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(group: &[TokenTree]) -> Vec<String> {
+    split_top_level(group)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs(&chunk, &mut i);
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected variant name, found {other:?}"),
+            };
+            i += 1;
+            match chunk.get(i) {
+                None => name,
+                // Explicit discriminant (`Variant = 3`) is fine; the value
+                // still serializes as the variant name.
+                Some(tt) if is_punct(tt, '=') => name,
+                Some(_) => panic!(
+                    "vendored serde_derive supports unit enum variants only \
+                     (variant `{name}` carries data)"
+                ),
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(tt) if is_punct(tt, '<')) {
+        panic!("vendored serde_derive does not support generic types (`{name}`)");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = split_top_level(&g.stream().into_iter().collect::<Vec<_>>());
+                Shape::Tuple(fields.iter().filter(|c| !c.is_empty()).count())
+            }
+            Some(tt) if is_punct(tt, ';') => Shape::Unit,
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(&g.stream().into_iter().collect::<Vec<_>>()))
+            }
+            other => panic!("unsupported enum body: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", entries.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_owned(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{v}\"))"
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?")
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok(Self {{ {} }})",
+                entries.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(v)?))".to_owned()
+        }
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(\
+                         items.get({i}).unwrap_or(&::serde::NULL))?"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Array(items) if items.len() == {n} => \
+                         ::std::result::Result::Ok(Self({fields})),\n\
+                     other => ::std::result::Result::Err(::serde::Error::new(\
+                         format!(\"expected {n}-element array for {name}, found {{}}\", \
+                                 other.kind()))),\n\
+                 }}",
+                fields = entries.join(", ")
+            )
+        }
+        Shape::Unit => "::std::result::Result::Ok(Self)".to_owned(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {arms},\n\
+                         other => ::std::result::Result::Err(::serde::Error::new(\
+                             format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     other => ::std::result::Result::Err(::serde::Error::new(\
+                         format!(\"expected string for {name}, found {{}}\", other.kind()))),\n\
+                 }}",
+                arms = arms.join(",\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
