@@ -323,11 +323,16 @@ pub fn measurements() -> String {
         "devices",
         "worst dim. dev.",
     ]);
-    let mut total = 0usize;
-    for chip in chips() {
-        let report = Pipeline::new(PipelineConfig::for_chip(&chip))
+    // Each chip's pipeline run is independent; fan the batch out and fold
+    // the reports into the table in chip order (par_map preserves it).
+    let chip_set = chips();
+    let reports = rayon::par_map(&chip_set, |chip| {
+        Pipeline::new(PipelineConfig::for_chip(chip))
             .run()
-            .expect("pipeline runs");
+            .expect("pipeline runs")
+    });
+    let mut total = 0usize;
+    for (chip, report) in chip_set.iter().zip(reports) {
         total += report.measurement.total_measurements;
         t.row(vec![
             chip.name().to_string(),
@@ -545,7 +550,10 @@ pub fn modification_costs() -> String {
 /// End-to-end fidelity: full FIB/SEM + post-processing + extraction run.
 pub fn pipeline_fidelity() -> String {
     let mut out = String::from("End-to-end pipeline fidelity (simulated FIB/SEM)\n\n");
-    for kind in [SaTopologyKind::Classic, SaTopologyKind::OffsetCancellation] {
+    // The two topologies run independent pipelines; par_map keeps the
+    // output lines in the classic-then-OCSA order the snapshot expects.
+    let kinds = [SaTopologyKind::Classic, SaTopologyKind::OffsetCancellation];
+    let lines = rayon::par_map(&kinds, |&kind| {
         let imaging = ImagingConfig {
             dwell_us: 6.0,
             drift_sigma_px: 0.6,
@@ -561,7 +569,7 @@ pub fn pipeline_fidelity() -> String {
             .iter()
             .map(|(a, b)| a.abs() + b.abs())
             .sum();
-        out.push_str(&format!(
+        format!(
             "{kind}: identified={} devices={} worst-dim-dev={:.1}% drift-corrections={} px total\n",
             report
                 .identified
@@ -573,7 +581,10 @@ pub fn pipeline_fidelity() -> String {
                 .map(|d| d.as_percent())
                 .unwrap_or(f64::NAN),
             total_correction,
-        ));
+        )
+    });
+    for line in lines {
+        out.push_str(&line);
     }
     out
 }
@@ -583,31 +594,33 @@ pub fn pipeline_fidelity() -> String {
 /// Wall times vary run to run, so this artefact is *not* part of the
 /// deterministic drift-check set.
 pub fn telemetry_runs() -> String {
-    let mut reports = Vec::new();
+    let mut variants = Vec::new();
     for kind in [SaTopologyKind::Classic, SaTopologyKind::OffsetCancellation] {
         for imaged in [false, true] {
-            let cfg = if imaged {
-                let imaging = ImagingConfig {
-                    dwell_us: 6.0,
-                    drift_sigma_px: 0.6,
-                    brightness_wander: 1.0,
-                    slice_voxels: 2,
-                    ..ImagingConfig::default()
-                };
-                PipelineConfig::with_imaging(kind, imaging)
-            } else {
-                PipelineConfig::pristine(kind)
-            };
-            let report = Pipeline::new(cfg)
-                .run_instrumented()
-                .expect("pipeline runs");
-            reports.push(
-                report
-                    .telemetry
-                    .expect("instrumented run carries telemetry"),
-            );
+            variants.push((kind, imaged));
         }
     }
+    // The four runs are independent; par_map returns the reports in the
+    // same classic/OCSA × pristine/imaged order the JSON consumers expect.
+    let reports = rayon::par_map(&variants, |&(kind, imaged)| {
+        let cfg = if imaged {
+            let imaging = ImagingConfig {
+                dwell_us: 6.0,
+                drift_sigma_px: 0.6,
+                brightness_wander: 1.0,
+                slice_voxels: 2,
+                ..ImagingConfig::default()
+            };
+            PipelineConfig::with_imaging(kind, imaging)
+        } else {
+            PipelineConfig::pristine(kind)
+        };
+        Pipeline::new(cfg)
+            .run_instrumented()
+            .expect("pipeline runs")
+            .telemetry
+            .expect("instrumented run carries telemetry")
+    });
     serde_json::to_string_pretty(&reports).expect("run reports serialize")
 }
 

@@ -232,6 +232,9 @@ impl Pipeline {
                 available: cfg.spec.n_pairs,
             });
         }
+        // Provenance: which thread count the parallel stages (acquire,
+        // align, denoise) resolved to for this run.
+        rec.gauge(names::PARALLEL_THREADS, rayon::current_num_threads() as f64);
         let region = with_span(rec, "generate", |_| generate_region(&cfg.spec));
         let pristine = with_span(rec, "voxelize", |_| region.voxelize());
 

@@ -23,10 +23,31 @@ fn mutual_information(a: &SemImage, b: &SemImage, dy: i32, dz: i32) -> f64 {
     let (ny, nz) = a.dims();
     let mut joint = [[0u32; BINS]; BINS];
     let mut count = 0u32;
-    // Intensity range assumption: SEM intensities live in ~[0, 255] plus
-    // noise; clamp into bins.
-    let bin =
-        |v: f32| ((v / 256.0 * BINS as f32).floor() as i32).clamp(0, BINS as i32 - 1) as usize;
+    // Derive each image's bin range from its observed intensities instead
+    // of the old fixed [0, 256): low-contrast BSE stacks collapsed into a
+    // handful of bins and degraded registration, and per-image ranges make
+    // MI exactly invariant to per-slice brightness offsets. The range
+    // spans the *whole* image rather than the candidate overlap so the
+    // bin edges stay identical across the offset search — per-overlap
+    // edges jitter as outlier pixels enter and leave the overlap, putting
+    // spurious maxima into the MI surface.
+    let range_of = |img: &SemImage| {
+        img.pixels().iter().fold(
+            (f32::INFINITY, f32::NEG_INFINITY),
+            // f32::min/max ignore NaN pixels rather than poisoning the range.
+            |(lo, hi), &v| (lo.min(v), hi.max(v)),
+        )
+    };
+    let (min_a, max_a) = range_of(a);
+    let (min_b, max_b) = range_of(b);
+    let bin = |v: f32, lo: f32, hi: f32| {
+        let width = hi - lo;
+        if width.is_nan() || width <= 0.0 {
+            // Constant (or all-NaN) image: a single degenerate bin.
+            return 0usize;
+        }
+        (((v - lo) / width * BINS as f32).floor() as i32).clamp(0, BINS as i32 - 1) as usize
+    };
     for z in 0..nz {
         let bz = z as i32 + dz;
         if bz < 0 || bz >= nz as i32 {
@@ -37,7 +58,8 @@ fn mutual_information(a: &SemImage, b: &SemImage, dy: i32, dz: i32) -> f64 {
             if by < 0 || by >= ny as i32 {
                 continue;
             }
-            joint[bin(a.get(y, z))][bin(b.get(by as usize, bz as usize))] += 1;
+            let (va, vb) = (a.get(y, z), b.get(by as usize, bz as usize));
+            joint[bin(va, min_a, max_a)][bin(vb, min_b, max_b)] += 1;
             count += 1;
         }
     }
@@ -109,18 +131,26 @@ fn register(
         AlignMethod::SquaredDifference => neg_ssd(a, b, dy, dz),
     };
     let score_c = score_at(center.0, center.1);
-    let mut best = center;
-    let mut best_score = score_c;
+    // The (2·window+1)² candidate offsets are scored in parallel; the
+    // argmax then scans the scores in the same order the sequential search
+    // visited them, with the same strict comparison, so the winning offset
+    // is identical at any thread count.
+    let mut candidates = Vec::with_capacity((2 * window as usize + 1).pow(2));
     for dz in (center.1 - window)..=(center.1 + window) {
         for dy in (center.0 - window)..=(center.0 + window) {
             if (dy, dz) == center {
                 continue;
             }
-            let score = score_at(dy, dz);
-            if score > best_score {
-                best_score = score;
-                best = (dy, dz);
-            }
+            candidates.push((dy, dz));
+        }
+    }
+    let scores = rayon::par_map(&candidates, |&(dy, dz)| score_at(dy, dz));
+    let mut best = center;
+    let mut best_score = score_c;
+    for (&(dy, dz), &score) in candidates.iter().zip(&scores) {
+        if score > best_score {
+            best_score = score;
+            best = (dy, dz);
         }
     }
     let margin = 0.002 * score_c.abs().max(1e-6);
@@ -163,7 +193,8 @@ pub fn align_with<R: Recorder>(
     }
     let background = stack.slice(0).median();
     let originals: Vec<SemImage> = stack.slices().to_vec();
-    let filtered: Vec<SemImage> = originals.iter().map(crate::denoise::median3x3).collect();
+    // The registration-only median prefilter is independent per slice.
+    let filtered: Vec<SemImage> = rayon::par_map(&originals, crate::denoise::median3x3);
     let (ny, nz) = filtered[0].dims();
     let mut template = filtered[0].clone();
     // Search around the previous slice's drift estimate: per-step drift is
@@ -294,6 +325,42 @@ mod tests {
         let ((dy, dz), score) = register(&a, &b, AlignMethod::MutualInformation, 4, (0, 0));
         assert_eq!((dy, dz), (2, 1));
         assert!(score.is_finite());
+    }
+
+    #[test]
+    fn mi_recovers_drift_on_low_contrast_stacks() {
+        // Compress a slice's intensities into [100, 108] — a low-contrast
+        // BSE acquisition. The fixed [0, 256) binning collapsed this into
+        // one or two bins; range-adaptive binning must still register the
+        // true shift.
+        let v = structured_volume();
+        let mut cfg = drifted_config(5);
+        cfg.drift_sigma_px = 0.0;
+        cfg.dwell_us = 1e6;
+        let (stack, _) = acquire(&v, &cfg);
+        let src = stack.slice(3);
+        let (lo, hi) = src
+            .pixels()
+            .iter()
+            .fold((f32::MAX, f32::MIN), |(l, h), &p| (l.min(p), h.max(p)));
+        let mut a = src.clone();
+        for p in a.pixels_mut() {
+            *p = 100.0 + (*p - lo) / (hi - lo) * 8.0;
+        }
+        let b = a.shifted(2, 1, a.median());
+        let ((dy, dz), score) = register(&a, &b, AlignMethod::MutualInformation, 4, (0, 0));
+        assert_eq!((dy, dz), (2, 1));
+        assert!(score.is_finite());
+    }
+
+    #[test]
+    fn mi_handles_constant_overlap() {
+        // Degenerate case for range-adaptive binning: zero intensity range.
+        let a = crate::sem::SemImage::filled(8, 8, 42.0);
+        let b = crate::sem::SemImage::filled(8, 8, 42.0);
+        let ((dy, dz), score) = register(&a, &b, AlignMethod::MutualInformation, 2, (0, 0));
+        assert_eq!((dy, dz), (0, 0));
+        assert!(score.is_finite() || score == f64::NEG_INFINITY);
     }
 
     #[test]

@@ -99,7 +99,10 @@ pub fn median3x3(image: &SemImage) -> SemImage {
                     }
                 }
             }
-            window[..n].sort_by(|a, b| a.partial_cmp(b).expect("finite pixels"));
+            // An order statistic, not the true median: the filter must
+            // only emit values present in the neighbourhood. `total_cmp`
+            // keeps a stray NaN pixel (sorted last) from aborting the run.
+            window[..n].sort_by(f32::total_cmp);
             out.set(y, z, window[n / 2]);
         }
     }
@@ -109,10 +112,16 @@ pub fn median3x3(image: &SemImage) -> SemImage {
 /// Denoises every slice of a stack in place with Chambolle TV. Keep `lambda`
 /// small (≈2) on SA-region stacks: wires are only 2–4 pixels across and
 /// stronger TV shrinks their amplitude below the classification margins.
+///
+/// Slices are independent, so they are denoised in parallel; each slice is
+/// transformed purely from its own pixels, making the result bit-identical
+/// at any thread count.
 pub fn denoise(stack: &mut ImageStack, lambda: f32, iterations: usize) {
-    for s in stack.slices_mut() {
-        *s = chambolle_tv(s, lambda, iterations);
-    }
+    rayon::par_chunks_mut(stack.slices_mut(), |chunk| {
+        for s in chunk {
+            *s = chambolle_tv(s, lambda, iterations);
+        }
+    });
 }
 
 /// Averages each slice with its neighbours along the milling direction

@@ -2,7 +2,7 @@
 
 use hifi_synth::MaterialVolume;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 /// SEM detector choice (Table I uses SE for vendor A and BSE elsewhere).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,10 +139,12 @@ impl SemImage {
 
     /// Median intensity (used for brightness normalisation: the oxide
     /// background dominates every cross-section).
+    ///
+    /// The true median: the mean of the two middle values for even pixel
+    /// counts. NaN pixels are tolerated (`total_cmp` sorts them last
+    /// instead of aborting the run) and an empty image reports `0.0`.
     pub fn median(&self) -> f32 {
-        let mut v = self.pixels.clone();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite pixels"));
-        v[v.len() / 2]
+        median_of(self.pixels.clone())
     }
 
     /// Adds a constant offset.
@@ -236,12 +238,21 @@ impl ImageStack {
 
     /// A planar (top-down) view at height-row `z`: axes (slice index, y).
     /// This is the cross-section → planar pivot of Section IV-C.
+    ///
+    /// `z` indexes *content* rows: on a framed stack the blank frame
+    /// margin is added internally, so the view reads the same physical
+    /// height whether or not the stack was acquired with headroom. An
+    /// empty stack yields an empty image.
     pub fn planar_view(&self, z: usize) -> SemImage {
-        let (ny, _) = self.slices[0].dims();
+        let Some(first) = self.slices.first() else {
+            return SemImage::filled(0, 0, 0.0);
+        };
+        let (ny, _) = first.dims();
+        let z_row = z + self.frame_margin_px;
         let mut out = SemImage::filled(self.len(), ny, 0.0);
         for (x, s) in self.slices.iter().enumerate() {
             for y in 0..ny {
-                out.set(x, y, s.get(y, z));
+                out.set(x, y, s.get(y, z_row));
             }
         }
         // Planar image dims: (n_slices, ny) mapped into SemImage(ny=n_slices, nz=ny).
@@ -249,15 +260,15 @@ impl ImageStack {
     }
 
     /// Normalises per-slice brightness by pinning each slice's median (the
-    /// oxide background) to the stack-wide median.
+    /// oxide background) to the stack-wide median (the true median — mean
+    /// of the two middle slices for even-length stacks; NaN pixels no
+    /// longer abort the run).
     pub fn normalize_brightness(&mut self) {
         if self.slices.is_empty() {
             return;
         }
         let medians: Vec<f32> = self.slices.iter().map(SemImage::median).collect();
-        let mut global = medians.clone();
-        global.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let target = global[global.len() / 2];
+        let target = median_of(medians.clone());
         for (s, m) in self.slices.iter_mut().zip(medians) {
             s.add_offset(target - m);
         }
@@ -273,11 +284,43 @@ pub struct DriftTruth {
     pub brightness: Vec<f64>,
 }
 
+/// True median of a sample: mean of the two middle values when the length
+/// is even, `0.0` when empty. `total_cmp` keeps a stray NaN pixel from
+/// aborting the sort (NaNs order last).
+fn median_of(mut v: Vec<f32>) -> f32 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(f32::total_cmp);
+    let mid = v.len() / 2;
+    if v.len().is_multiple_of(2) {
+        (v[mid - 1] + v[mid]) / 2.0
+    } else {
+        v[mid]
+    }
+}
+
 fn gaussian(rng: &mut StdRng) -> f64 {
     // Box-Muller.
     let u1: f64 = rng.gen_range(1e-12..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Advances `rng` past the draws [`gaussian`] would consume for `count`
+/// samples, without the Box-Muller arithmetic.
+///
+/// This is what lets [`acquire`] parallelise per-slice rendering while
+/// staying bit-identical to a single sequential RNG stream: the sequential
+/// artefact pass snapshots the RNG state at each slice boundary and skips
+/// over the slice's noise draws; the parallel pass then replays exactly
+/// those draws from the snapshot. Each `gaussian` consumes exactly two
+/// `u64` draws (one per `gen_range`), which the test
+/// `skipping_matches_gaussian_consumption` pins down.
+fn skip_gaussians(rng: &mut StdRng, count: usize) {
+    for _ in 0..2 * count {
+        rng.next_u64();
+    }
 }
 
 fn oxide_intensity(detector: DetectorKind) -> f32 {
@@ -318,27 +361,45 @@ fn render_cross_section(volume: &MaterialVolume, x: usize, cfg: &ImagingConfig) 
 pub fn render_ideal(volume: &MaterialVolume, cfg: &ImagingConfig) -> ImageStack {
     let (nx, _, _) = volume.dims();
     let step = cfg.slice_voxels.max(1);
-    let slices: Vec<SemImage> = (0..nx)
-        .step_by(step)
-        .map(|x| render_cross_section(volume, x, cfg))
-        .collect();
+    let positions: Vec<usize> = (0..nx).step_by(step).collect();
+    // Slices are independent; par_map preserves order, so the stack is
+    // identical at any thread count.
+    let slices = rayon::par_map(&positions, |&x| render_cross_section(volume, x, cfg));
     ImageStack::from_slices(slices, volume.voxel_nm(), step, cfg.detector)
         .with_frame_margin(cfg.frame_margin_px)
+}
+
+/// Sequentially-derived inputs for rendering one acquired slice: milling
+/// position, rounded stage drift, brightness offset, and the RNG state the
+/// slice's shot noise starts from.
+struct SliceArtefacts {
+    x: usize,
+    dy: i32,
+    dz: i32,
+    bright: f64,
+    noise_rng: StdRng,
 }
 
 /// Acquires a cross-section stack from a volume: for every FIB slice the
 /// cross-section is rendered with material-dependent contrast, shot noise,
 /// cumulative integer stage drift and brightness wander.
 ///
+/// Rendering is parallel across slices but the output is bit-identical to
+/// a fully sequential acquisition at any thread count: a sequential pass
+/// walks the single RNG stream — drawing each slice's drift and brightness
+/// innovations and snapshotting the state its noise starts from — and the
+/// parallel pass replays each slice's noise draws from its snapshot (see
+/// [`skip_gaussians`]).
+///
 /// Returns the stack and the ground-truth artefacts (for validation only —
 /// the post-processing never sees them).
 pub fn acquire(volume: &MaterialVolume, cfg: &ImagingConfig) -> (ImageStack, DriftTruth) {
-    let (nx, _, _) = volume.dims();
+    let (nx, ny, nz) = volume.dims();
     let step = cfg.slice_voxels.max(1);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let sigma = cfg.noise_sigma();
 
-    let mut slices = Vec::new();
+    let mut artefacts: Vec<SliceArtefacts> = Vec::new();
     let mut shifts = Vec::new();
     let mut brightness = Vec::new();
     // Continuous mean-reverting drift state, rounded per slice.
@@ -348,28 +409,46 @@ pub fn acquire(volume: &MaterialVolume, cfg: &ImagingConfig) -> (ImageStack, Dri
 
     let margin = cfg.frame_margin_px;
     let oxide = oxide_intensity(cfg.detector);
+    let pixels_per_slice = (ny + 2 * margin) * (nz + 2 * margin);
+    // Sequential artefact pass: one gaussian per drift/brightness
+    // innovation, then skip the slice's noise draws so the next slice sees
+    // the same RNG state a sequential acquisition would.
     let mut x = 0usize;
     while x < nx {
-        // Ideal cross-section, framed with blank margin so drift cannot
-        // push content off the image.
-        let img = render_cross_section(volume, x, cfg);
         // Stage drift: mean-reverting walk (first slice is the reference).
-        if !slices.is_empty() {
+        if !artefacts.is_empty() {
             fy = fy * REVERSION + gaussian(&mut rng) * cfg.drift_sigma_px;
             fz = fz * REVERSION + gaussian(&mut rng) * cfg.drift_sigma_px;
             bright = bright * REVERSION + gaussian(&mut rng) * cfg.brightness_wander;
         }
         let (dy, dz) = (fy.round() as i32, fz.round() as i32);
-        let mut img = img.shifted(dy, dz, oxide);
-        // Shot noise + brightness offset.
-        for p in img.pixels_mut() {
-            *p += (gaussian(&mut rng) * sigma + bright) as f32;
-        }
-        slices.push(img);
+        artefacts.push(SliceArtefacts {
+            x,
+            dy,
+            dz,
+            bright,
+            noise_rng: rng.clone(),
+        });
+        skip_gaussians(&mut rng, pixels_per_slice);
         shifts.push((dy, dz));
         brightness.push(bright);
         x += step;
     }
+
+    // Parallel render pass: every slice renders, shifts and replays its
+    // noise draws independently.
+    let slices = rayon::par_map(&artefacts, |a| {
+        // Ideal cross-section, framed with blank margin so drift cannot
+        // push content off the image.
+        let img = render_cross_section(volume, a.x, cfg);
+        let mut img = img.shifted(a.dy, a.dz, oxide);
+        // Shot noise + brightness offset.
+        let mut rng = a.noise_rng.clone();
+        for p in img.pixels_mut() {
+            *p += (gaussian(&mut rng) * sigma + a.bright) as f32;
+        }
+        img
+    });
 
     (
         ImageStack::from_slices(slices, volume.voxel_nm(), step, cfg.detector)
@@ -389,6 +468,19 @@ mod tests {
         v.fill_box(0, 20, 10, 14, 8, 10, Material::Metal1, true);
         v.fill_box(0, 20, 4, 6, 2, 4, Material::ActiveSi, true);
         v
+    }
+
+    #[test]
+    fn skipping_matches_gaussian_consumption() {
+        // The parallel acquire path depends on `skip_gaussians` advancing
+        // the RNG exactly as `gaussian` calls would.
+        let mut drawn = StdRng::seed_from_u64(0xABCD);
+        let mut skipped = drawn.clone();
+        for _ in 0..37 {
+            let _ = gaussian(&mut drawn);
+        }
+        skip_gaussians(&mut skipped, 37);
+        assert_eq!(drawn, skipped);
     }
 
     #[test]
@@ -502,5 +594,68 @@ mod tests {
         let planar = stack.planar_view(8);
         // Planar axes: (slice index, y including the frame margin).
         assert_eq!(planar.dims(), (stack.len(), 30 + 2 * cfg.frame_margin_px));
+    }
+
+    #[test]
+    fn planar_view_of_empty_stack_is_empty() {
+        let stack = ImageStack::from_slices(Vec::new(), 5.0, 1, DetectorKind::Bse);
+        let planar = stack.planar_view(3);
+        assert_eq!(planar.dims(), (0, 0));
+        assert!(planar.pixels().is_empty());
+    }
+
+    #[test]
+    fn planar_view_honors_frame_margin() {
+        // Two framed slices with a marker at *content* row z=2: the planar
+        // view indexed by content rows must read it, not the blank margin.
+        let margin = 4usize;
+        let (ny, nz) = (6usize, 5usize);
+        let mut slices = Vec::new();
+        for i in 0..2 {
+            let mut img = SemImage::filled(ny + 2 * margin, nz + 2 * margin, 0.0);
+            img.set(3 + margin, 2 + margin, 40.0 + i as f32);
+            slices.push(img);
+        }
+        let framed = ImageStack::from_slices(slices.clone(), 5.0, 1, DetectorKind::Bse)
+            .with_frame_margin(margin);
+        let planar = framed.planar_view(2);
+        assert_eq!(planar.get(0, 3 + margin), 40.0);
+        assert_eq!(planar.get(1, 3 + margin), 41.0);
+        // The same rows through an unframed stack of the same images land
+        // on the raw z index instead.
+        let unframed = ImageStack::from_slices(slices, 5.0, 1, DetectorKind::Bse);
+        assert_eq!(unframed.planar_view(2 + margin).get(0, 3 + margin), 40.0);
+    }
+
+    #[test]
+    fn median_is_true_even_length_median() {
+        let mut img = SemImage::filled(2, 1, 0.0);
+        img.set(0, 0, 1.0);
+        img.set(1, 0, 3.0);
+        assert_eq!(img.median(), 2.0);
+        let odd = SemImage::filled(3, 1, 5.0);
+        assert_eq!(odd.median(), 5.0);
+        let empty = SemImage::filled(0, 0, 0.0);
+        assert_eq!(empty.median(), 0.0);
+    }
+
+    #[test]
+    fn normalization_tolerates_nan_pixels() {
+        let v = test_volume();
+        let cfg = ImagingConfig {
+            drift_sigma_px: 0.0,
+            brightness_wander: 8.0,
+            dwell_us: 1e6,
+            ..Default::default()
+        };
+        let (mut stack, _) = acquire(&v, &cfg);
+        // A dead detector pixel in one slice must not abort the run.
+        stack.slices_mut()[2].set(1, 1, f32::NAN);
+        stack.normalize_brightness();
+        let medians: Vec<f32> = stack.slices().iter().map(SemImage::median).collect();
+        assert!(medians.iter().all(|m| m.is_finite()), "medians {medians:?}");
+        let spread = medians.iter().cloned().fold(f32::MIN, f32::max)
+            - medians.iter().cloned().fold(f32::MAX, f32::min);
+        assert!(spread < 1.0, "median spread {spread}");
     }
 }

@@ -36,7 +36,9 @@ mod recorder;
 mod report;
 
 pub use recorder::{with_span, Event, EventType, JsonRecorder, NoopRecorder, Recorder};
-pub use report::{ConfigEcho, CounterTotal, FidelityMetrics, GaugeStat, RunReport, StageTiming};
+pub use report::{
+    ConfigEcho, CounterTotal, FidelityMetrics, GaugeStat, RunReport, StageSpeedup, StageTiming,
+};
 
 /// Well-known gauge names the [`RunReport`] builder folds into
 /// [`FidelityMetrics`]. Stages recording fidelity use these exact names.
@@ -53,4 +55,10 @@ pub mod names {
     pub const ALIGNMENT_BUDGET: &str = "fidelity.alignment_budget_px";
     /// Worst relative dimension deviation vs. generator ground truth.
     pub const WORST_DIMENSION_DEVIATION: &str = "fidelity.worst_dimension_deviation";
+    /// Thread count the run's parallel stages resolved to.
+    pub const PARALLEL_THREADS: &str = "parallel.threads";
+    /// Per-stage speedup gauge prefix: `parallel.speedup.<stage>` records
+    /// a stage's single-thread wall time divided by its parallel wall time
+    /// (recorded by scaling harnesses that run a pipeline at both counts).
+    pub const PARALLEL_SPEEDUP_PREFIX: &str = "parallel.speedup.";
 }

@@ -130,11 +130,25 @@ impl FidelityMetrics {
     }
 }
 
+/// Speedup of one stage between two runs of the same pipeline at
+/// different thread counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSpeedup {
+    /// Stage name.
+    pub name: String,
+    /// Baseline (e.g. single-thread) wall time divided by this run's wall
+    /// time; > 1 means this run was faster.
+    pub speedup: f64,
+}
+
 /// Provenance record of one pipeline run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     /// Configuration that produced the run.
     pub config: ConfigEcho,
+    /// Thread count the run's parallel stages resolved to (the last
+    /// [`crate::names::PARALLEL_THREADS`] gauge), if recorded.
+    pub threads: Option<f64>,
     /// Wall time per completed span, in completion order.
     pub stages: Vec<StageTiming>,
     /// Total wall time of the outermost span (µs), 0 if none completed.
@@ -218,8 +232,11 @@ impl RunReport {
             worst_dimension_deviation: find(crate::names::WORST_DIMENSION_DEVIATION),
         };
 
+        let threads = find(crate::names::PARALLEL_THREADS);
+
         Self {
             config,
+            threads,
             stages,
             total_us,
             counters,
@@ -227,6 +244,29 @@ impl RunReport {
             fidelity,
             event_count: events.len() as u64,
         }
+    }
+
+    /// Per-stage speedups of this run against a `baseline` run of the same
+    /// pipeline (typically recorded with the thread count pinned to 1):
+    /// baseline wall time over this run's wall time, for every top-level
+    /// stage both runs completed with non-zero time. Scaling harnesses
+    /// record these as `parallel.speedup.<stage>` gauges (see
+    /// [`crate::names::PARALLEL_SPEEDUP_PREFIX`]).
+    pub fn stage_speedups(&self, baseline: &RunReport) -> Vec<StageSpeedup> {
+        self.stages
+            .iter()
+            .filter(|s| s.depth == 0 && s.duration_us > 0)
+            .filter_map(|s| {
+                let base = baseline.stage_us(&s.name)?;
+                if base == 0 {
+                    return None;
+                }
+                Some(StageSpeedup {
+                    name: s.name.clone(),
+                    speedup: base as f64 / s.duration_us as f64,
+                })
+            })
+            .collect()
     }
 
     /// Wall time of the named stage (first match), if it completed.
@@ -339,6 +379,38 @@ mod tests {
         assert!(line.contains("open_bitline"), "{line}");
         assert!(line.contains("2 stages"), "{line}");
         assert!(line.contains("voxel accuracy 0.970"), "{line}");
+    }
+
+    #[test]
+    fn threads_gauge_is_lifted_into_report() {
+        let mut rec = JsonRecorder::new();
+        rec.gauge(crate::names::PARALLEL_THREADS, 4.0);
+        with_span(&mut rec, "acquire", |_| {});
+        let report = RunReport::from_events(ConfigEcho::pristine("open_bitline"), rec.events());
+        assert_eq!(report.threads, Some(4.0));
+        assert_eq!(sample_report().threads, None);
+    }
+
+    #[test]
+    fn stage_speedups_divide_baseline_by_this_run() {
+        let mut baseline = sample_report();
+        let mut parallel = sample_report();
+        for s in &mut baseline.stages {
+            s.duration_us = 400;
+        }
+        for s in &mut parallel.stages {
+            s.duration_us = 100;
+        }
+        let speedups = parallel.stage_speedups(&baseline);
+        assert_eq!(speedups.len(), 2);
+        for s in &speedups {
+            assert_eq!(s.speedup, 4.0, "{}", s.name);
+        }
+        // Stages absent from the baseline, or with zero recorded time on
+        // either side, are skipped rather than reported as 0 or infinity.
+        baseline.stages[0].duration_us = 0;
+        parallel.stages[1].name = "only_here".into();
+        assert!(parallel.stage_speedups(&baseline).is_empty());
     }
 
     #[test]

@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
-# Repo health gate: formatting, lints, and regen-output drift.
+# Repo health gate: formatting, lints, thread-count determinism, and
+# regen-output drift.
 #
 #   scripts/check.sh            # run everything
-#   scripts/check.sh --no-drift # skip the (slow) regen drift check
+#   scripts/check.sh --no-drift # skip the (slow) tests + regen drift check
 #
 # The drift check re-runs every regen binary that has a pinned snapshot in
-# regen_outputs/ and diffs the output byte-for-byte. regen_telemetry and
+# regen_outputs/ and diffs the output byte-for-byte — once with the thread
+# count forced to 1 and once at available_parallelism (HIFI_THREADS, see
+# vendor/rayon): parallel execution must be a pure performance knob, so
+# both runs must match the snapshot exactly. regen_telemetry and
 # regen_dataset_json are excluded: telemetry JSON embeds wall times
 # (non-deterministic by design) and the dataset JSON has no pinned snapshot.
+# The tier-1 test suite likewise runs at both thread counts.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,6 +22,8 @@ if [[ "${1:-}" == "--no-drift" ]]; then
     run_drift=0
 fi
 
+threads="$(nproc 2>/dev/null || echo 1)"
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -24,7 +31,17 @@ echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
 if [[ "$run_drift" -eq 1 ]]; then
-    echo "==> regen drift check"
+    echo "==> tier-1 tests @ 1 thread"
+    HIFI_THREADS=1 cargo test -q --offline
+
+    if [[ "$threads" -gt 1 ]]; then
+        echo "==> tier-1 tests @ ${threads} threads"
+        HIFI_THREADS="$threads" cargo test -q --offline
+    else
+        echo "==> tier-1 tests @ available_parallelism: skipped (1 core)"
+    fi
+
+    echo "==> regen drift check (1 thread and ${threads} threads)"
     cargo build --release --offline -p hifi-bench --bins
     failed=0
     for snapshot in regen_outputs/*.txt; do
@@ -35,10 +52,20 @@ if [[ "$run_drift" -eq 1 ]]; then
             failed=1
             continue
         fi
-        if diff -u "$snapshot" <("$bin") > /dev/null 2>&1; then
-            echo "ok           ${name}"
+        ok=1
+        thread_list=(1)
+        if [[ "$threads" -gt 1 ]]; then
+            thread_list+=("$threads")
+        fi
+        for n in "${thread_list[@]}"; do
+            if ! HIFI_THREADS="$n" "$bin" | diff -u "$snapshot" - > /dev/null 2>&1; then
+                ok=0
+                echo "DRIFT        ${name} @ ${n} thread(s)  (run: cargo run --release -p hifi-bench --bin regen_${name} > ${snapshot})"
+            fi
+        done
+        if [[ "$ok" -eq 1 ]]; then
+            echo "ok           ${name} (thread-count independent)"
         else
-            echo "DRIFT        ${name}  (run: cargo run --release -p hifi-bench --bin regen_${name} > ${snapshot})"
             failed=1
         fi
     done

@@ -1,0 +1,122 @@
+//! Parallel execution must be a pure performance knob: every parallelized
+//! stage produces bit-identical output at every thread count.
+//!
+//! The acceptance bar for the deterministic `rayon` stand-in (see
+//! `vendor/rayon`) is that the regen snapshots in `regen_outputs/` never
+//! depend on `HIFI_THREADS`. These tests pin the thread count to 1, 2 and
+//! 8 via `rayon::with_num_threads` and compare the outputs of each hot
+//! loop — acquisition (whose drift RNG is split into a sequential
+//! artefact pass and a parallel render pass), ideal rendering, TV
+//! denoising, MI alignment — and the full imaged pipeline.
+
+use hifi_circuit::topology::SaTopologyKind;
+use hifi_dram::pipeline::{Pipeline, PipelineConfig};
+use hifi_imaging::{acquire, align, denoise, render_ideal, AlignMethod, ImageStack, ImagingConfig};
+use hifi_synth::{generate_region, MaterialVolume, SaRegionSpec};
+
+/// 1 = sequential baseline, 2 = an even split, 8 = more threads than
+/// slices in the small test volume (exercises the short-chunk tail).
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn test_volume(kind: SaTopologyKind) -> MaterialVolume {
+    generate_region(&SaRegionSpec::new(kind).with_pairs(1)).voxelize()
+}
+
+fn imaging_config() -> ImagingConfig {
+    ImagingConfig {
+        dwell_us: 6.0,
+        drift_sigma_px: 0.6,
+        brightness_wander: 1.0,
+        slice_voxels: 2,
+        ..ImagingConfig::default()
+    }
+}
+
+fn assert_stacks_identical(a: &ImageStack, b: &ImageStack, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: slice counts differ");
+    for (i, (x, y)) in a.slices().iter().zip(b.slices()).enumerate() {
+        // f32 bit patterns, not approximate equality: determinism means
+        // the parallel schedule cannot perturb a single ulp.
+        let xb: Vec<u32> = x.pixels().iter().map(|p| p.to_bits()).collect();
+        let yb: Vec<u32> = y.pixels().iter().map(|p| p.to_bits()).collect();
+        assert_eq!(xb, yb, "{what}: slice {i} differs");
+    }
+}
+
+#[test]
+fn acquire_is_bit_identical_across_thread_counts() {
+    let volume = test_volume(SaTopologyKind::Classic);
+    let cfg = imaging_config();
+    let (base_stack, base_truth) = rayon::with_num_threads(1, || acquire(&volume, &cfg));
+    for n in THREAD_COUNTS {
+        let (stack, truth) = rayon::with_num_threads(n, || acquire(&volume, &cfg));
+        assert_stacks_identical(&base_stack, &stack, &format!("acquire @ {n} threads"));
+        assert_eq!(
+            base_truth, truth,
+            "acquire @ {n} threads: drift truth differs"
+        );
+    }
+}
+
+#[test]
+fn render_ideal_is_bit_identical_across_thread_counts() {
+    let volume = test_volume(SaTopologyKind::Classic);
+    let cfg = imaging_config();
+    let base = rayon::with_num_threads(1, || render_ideal(&volume, &cfg));
+    for n in THREAD_COUNTS {
+        let stack = rayon::with_num_threads(n, || render_ideal(&volume, &cfg));
+        assert_stacks_identical(&base, &stack, &format!("render_ideal @ {n} threads"));
+    }
+}
+
+#[test]
+fn denoise_and_align_are_bit_identical_across_thread_counts() {
+    let volume = test_volume(SaTopologyKind::OffsetCancellation);
+    let cfg = imaging_config();
+    let (acquired, _) = rayon::with_num_threads(1, || acquire(&volume, &cfg));
+
+    let process = |n: usize| {
+        rayon::with_num_threads(n, || {
+            let mut stack = acquired.clone();
+            stack.normalize_brightness();
+            let corrections = align(&mut stack, AlignMethod::MutualInformation, 4);
+            denoise(&mut stack, 2.0, 10);
+            (stack, corrections)
+        })
+    };
+    let (base_stack, base_corrections) = process(1);
+    for n in THREAD_COUNTS {
+        let (stack, corrections) = process(n);
+        assert_eq!(
+            base_corrections, corrections,
+            "align @ {n} threads: corrections differ"
+        );
+        assert_stacks_identical(&base_stack, &stack, &format!("denoise @ {n} threads"));
+    }
+}
+
+#[test]
+fn full_imaged_pipeline_is_identical_across_thread_counts() {
+    let pipeline = Pipeline::new(PipelineConfig::with_imaging(
+        SaTopologyKind::OffsetCancellation,
+        imaging_config(),
+    ));
+    let run = |n: usize| rayon::with_num_threads(n, || pipeline.run().expect("pipeline runs"));
+    let base = run(1);
+    for n in THREAD_COUNTS {
+        let report = run(n);
+        assert_eq!(base.identified, report.identified, "@ {n} threads");
+        assert_eq!(base.device_count, report.device_count, "@ {n} threads");
+        assert_eq!(
+            base.alignment_corrections, report.alignment_corrections,
+            "@ {n} threads"
+        );
+        assert_eq!(
+            base.worst_dimension_deviation.map(|d| d.value().to_bits()),
+            report
+                .worst_dimension_deviation
+                .map(|d| d.value().to_bits()),
+            "@ {n} threads"
+        );
+    }
+}

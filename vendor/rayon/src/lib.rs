@@ -1,0 +1,299 @@
+//! Offline stand-in for the `rayon` crate: deterministic scoped-thread
+//! data parallelism.
+//!
+//! The build environment has no crates-io access, so the workspace patches
+//! `rayon` to this std-only implementation. It is **not** a work-stealing
+//! pool: every parallel call splits its input into one contiguous chunk per
+//! thread and runs the chunks on `std::thread::scope` threads. Two
+//! consequences the workspace relies on:
+//!
+//! - **Determinism.** [`par_map`] preserves input order exactly
+//!   (`out[i] = f(&items[i])`) and [`par_chunks_mut`] hands every element
+//!   to `f` exactly once, so a pure `f` produces bit-identical results at
+//!   any thread count. The imaging pipeline's acceptance bar is that one
+//!   thread and N threads produce byte-identical artefacts.
+//! - **No pool reuse.** Threads are spawned per call and joined before the
+//!   call returns. Spawn cost is ~tens of µs, so parallel calls only pay
+//!   off on work items of at least that magnitude (a full image slice,
+//!   a mutual-information surface — not a single pixel).
+//!
+//! # Thread-count resolution
+//!
+//! [`current_num_threads`] resolves, in priority order:
+//!
+//! 1. the innermost active [`with_num_threads`] override on this thread,
+//! 2. the global count set via [`set_num_threads`] or
+//!    [`ThreadPoolBuilder::build_global`],
+//! 3. the `HIFI_THREADS` environment variable, then upstream rayon's
+//!    `RAYON_NUM_THREADS` (read once; `0` or unparsable means "auto"),
+//! 4. [`std::thread::available_parallelism`] (falling back to 1).
+//!
+//! [`with_num_threads`] is an extension over upstream rayon (which scopes
+//! thread counts to explicit pools); it exists so tests and benches can pin
+//! a count without racing other tests through global state.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Global thread-count override; 0 = unset.
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override installed by [`with_num_threads`]; 0 = unset.
+    static LOCAL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Thread count requested through the environment; resolved once.
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        for var in ["HIFI_THREADS", "RAYON_NUM_THREADS"] {
+            if let Ok(v) = std::env::var(var) {
+                if let Ok(n) = v.trim().parse::<usize>() {
+                    if n > 0 {
+                        return n;
+                    }
+                }
+            }
+        }
+        0
+    })
+}
+
+/// The number of threads parallel calls on this thread will use.
+///
+/// See the crate docs for the resolution order.
+pub fn current_num_threads() -> usize {
+    let local = LOCAL_THREADS.with(Cell::get);
+    if local > 0 {
+        return local;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    let env = env_threads();
+    if env > 0 {
+        return env;
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Sets the process-wide thread count (`0` clears the override, returning
+/// to environment/auto resolution). Extension over upstream rayon, which
+/// configures this through [`ThreadPoolBuilder::build_global`].
+pub fn set_num_threads(n: usize) {
+    GLOBAL_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Runs `body` with the thread count pinned to `n` on the current thread
+/// (`0` = resolve as if no override were active). The previous override is
+/// restored afterwards, so nested and concurrent uses are safe — this is
+/// the knob tests and benches use to compare 1 vs N threads without racing
+/// each other through [`set_num_threads`].
+pub fn with_num_threads<T>(n: usize, body: impl FnOnce() -> T) -> T {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let prev = LOCAL_THREADS.with(|c| c.replace(n));
+    let _restore = Restore(prev);
+    body()
+}
+
+/// Error from [`ThreadPoolBuilder::build_global`] (never produced by this
+/// stand-in; the type exists for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("global thread pool already initialized")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Mirror of upstream rayon's global-pool configuration entry point.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with automatic thread-count resolution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests a specific thread count (`0` = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the configuration globally. Unlike upstream, calling this
+    /// more than once simply replaces the count.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        set_num_threads(self.num_threads);
+        Ok(())
+    }
+}
+
+/// How many elements each worker chunk gets for `n` items.
+fn chunk_len(n: usize) -> usize {
+    let threads = current_num_threads().max(1).min(n.max(1));
+    n.div_ceil(threads)
+}
+
+/// Maps `f` over `items` in parallel, preserving order: `out[i]` is
+/// `f(&items[i])`. Equivalent to `items.iter().map(f).collect()` — and
+/// exactly that when one thread is resolved — so a pure `f` yields
+/// bit-identical output at every thread count.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    let chunk = chunk_len(n);
+    if chunk >= n {
+        return items.iter().map(f).collect();
+    }
+    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let mut in_chunks = items.chunks(chunk);
+        let mut out_chunks = out.chunks_mut(chunk);
+        // First chunk runs on the calling thread; the rest get workers.
+        let (first_in, first_out) = (in_chunks.next(), out_chunks.next());
+        for (ins, outs) in in_chunks.zip(out_chunks) {
+            let f = &f;
+            scope.spawn(move || {
+                for (i, o) in ins.iter().zip(outs.iter_mut()) {
+                    *o = Some(f(i));
+                }
+            });
+        }
+        if let (Some(ins), Some(outs)) = (first_in, first_out) {
+            for (i, o) in ins.iter().zip(outs.iter_mut()) {
+                *o = Some(f(i));
+            }
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("every slot filled by exactly one worker"))
+        .collect()
+}
+
+/// Splits `data` into one contiguous chunk per thread and runs `f` on each
+/// chunk in parallel (the first chunk on the calling thread). Every element
+/// is visited exactly once; chunk boundaries are deterministic for a given
+/// length and thread count, and an element-wise pure `f` produces the same
+/// final `data` at every thread count.
+pub fn par_chunks_mut<T, F>(data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(&mut [T]) + Sync,
+{
+    let n = data.len();
+    let chunk = chunk_len(n);
+    if chunk >= n {
+        if n > 0 {
+            f(data);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut chunks = data.chunks_mut(chunk);
+        let first = chunks.next();
+        for c in chunks {
+            let f = &f;
+            scope.spawn(move || f(c));
+        }
+        if let Some(c) = first {
+            f(c);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential_map_at_any_thread_count() {
+        let items: Vec<u64> = (0..103).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = with_num_threads(threads, || par_map(&items, |x| x * x + 1));
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |x| *x).is_empty());
+        assert_eq!(par_map(&[7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_chunks_mut_visits_every_element_once() {
+        for threads in [1, 2, 5, 16] {
+            let mut data: Vec<i64> = (0..57).collect();
+            with_num_threads(threads, || {
+                par_chunks_mut(&mut data, |chunk| {
+                    for v in chunk {
+                        *v += 1000;
+                    }
+                })
+            });
+            let expected: Vec<i64> = (0..57).map(|i| i + 1000).collect();
+            assert_eq!(data, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn with_num_threads_overrides_and_restores() {
+        let outer = current_num_threads();
+        let inner = with_num_threads(3, || {
+            assert_eq!(current_num_threads(), 3);
+            with_num_threads(5, current_num_threads)
+        });
+        assert_eq!(inner, 5);
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn local_override_wins_over_global() {
+        // Serialised against other tests by using with_num_threads for the
+        // assertion; the global is restored before the test ends.
+        with_num_threads(2, || {
+            set_num_threads(7);
+            assert_eq!(current_num_threads(), 2);
+            set_num_threads(0);
+        });
+    }
+
+    #[test]
+    fn builder_sets_global_count() {
+        // with_num_threads shields this test from others; verify the
+        // builder stores the global by reading it back directly.
+        ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build_global()
+            .expect("build_global never fails");
+        assert_eq!(GLOBAL_THREADS.load(Ordering::Relaxed), 4);
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn current_num_threads_is_at_least_one() {
+        assert!(current_num_threads() >= 1);
+    }
+}
