@@ -1,5 +1,7 @@
 //! The end-to-end reverse-engineering pipeline.
 
+use std::path::PathBuf;
+
 use hifi_circuit::identify::TopologyLibrary;
 use hifi_circuit::topology::{SaDimensions, SaTopologyKind};
 use hifi_circuit::TransistorClass;
@@ -7,6 +9,10 @@ use hifi_data::Chip;
 use hifi_extract::{measure, ExtractError, Extraction, MeasurementReport};
 use hifi_imaging::{
     acquire, align_with, denoise, metrics, reconstruct, render_ideal, AlignMethod, ImagingConfig,
+};
+use hifi_store::fingerprint::salts;
+use hifi_store::{
+    codec, imaging_fingerprint, spec_fingerprint, stage, ArtifactStore, Key, StoreError,
 };
 use hifi_synth::{generate_region, SaRegionSpec};
 use hifi_telemetry::{
@@ -26,6 +32,9 @@ pub enum PipelineError {
         /// Pairs available.
         available: usize,
     },
+    /// The artifact store failed at the I/O level (corrupted blobs do
+    /// *not* produce this — they are evicted and recomputed silently).
+    Store(StoreError),
 }
 
 impl core::fmt::Display for PipelineError {
@@ -35,6 +44,7 @@ impl core::fmt::Display for PipelineError {
             PipelineError::WindowOutOfRange { pair, available } => {
                 write!(f, "window pair {pair} out of range ({available} pairs)")
             }
+            PipelineError::Store(e) => write!(f, "artifact store failed: {e}"),
         }
     }
 }
@@ -44,6 +54,7 @@ impl std::error::Error for PipelineError {
         match self {
             PipelineError::Extract(e) => Some(e),
             PipelineError::WindowOutOfRange { .. } => None,
+            PipelineError::Store(e) => Some(e),
         }
     }
 }
@@ -51,6 +62,12 @@ impl std::error::Error for PipelineError {
 impl From<ExtractError> for PipelineError {
     fn from(e: ExtractError) -> Self {
         PipelineError::Extract(e)
+    }
+}
+
+impl From<StoreError> for PipelineError {
+    fn from(e: StoreError) -> Self {
+        PipelineError::Store(e)
     }
 }
 
@@ -70,6 +87,11 @@ pub struct PipelineConfig {
     pub align_window: i32,
     /// Which bitline pair's cell window to extract.
     pub window_pair: usize,
+    /// Artifact store root for incremental execution; `None` falls back to
+    /// the `HIFI_STORE` environment variable, and caching stays off when
+    /// neither is set. Cached stages are replayed bit-identically, so a
+    /// warm run's report matches a store-less run's.
+    pub store: Option<PathBuf>,
 }
 
 impl PipelineConfig {
@@ -82,7 +104,14 @@ impl PipelineConfig {
             denoise_iterations: 10,
             align_window: 4,
             window_pair: 0,
+            store: None,
         }
+    }
+
+    /// Enables the artifact store rooted at `path` for this pipeline.
+    pub fn with_store(mut self, path: impl Into<PathBuf>) -> Self {
+        self.store = Some(path.into());
+        self
     }
 
     /// Full pipeline with simulated FIB/SEM imaging in between.
@@ -214,6 +243,20 @@ impl Pipeline {
         }
     }
 
+    /// Resolves the artifact store for this run: the config's path, else
+    /// the `HIFI_STORE` environment variable, else caching off.
+    fn resolve_store(&self) -> Result<Option<ArtifactStore>, PipelineError> {
+        let path = self.config.store.clone().or_else(|| {
+            std::env::var_os("HIFI_STORE")
+                .filter(|v| !v.is_empty())
+                .map(PathBuf::from)
+        });
+        Ok(match path {
+            Some(p) => Some(ArtifactStore::open(p)?),
+            None => None,
+        })
+    }
+
     /// [`Pipeline::run`] recording into an arbitrary [`Recorder`].
     ///
     /// Every stage runs inside a span; when `rec` is enabled and imaging is
@@ -221,9 +264,18 @@ impl Pipeline {
     /// against ground truth the real analyst never has (the ideal render,
     /// the pristine volume, the true drift) and recorded as gauges.
     ///
+    /// When an artifact store is configured (see [`PipelineConfig::store`]),
+    /// the expensive stages — voxelize, acquire, post-process, reconstruct,
+    /// extract — first consult the store under a key chaining the canonical
+    /// configuration through every upstream stage; hits replay the stored
+    /// artifact bit-identically and record `store.hit`, misses compute and
+    /// persist the result. Replayed stages skip their spans and internal
+    /// counters (the work they describe did not run).
+    ///
     /// # Errors
     ///
-    /// Same as [`Pipeline::run`].
+    /// Same as [`Pipeline::run`], plus [`PipelineError::Store`] when a
+    /// configured store fails at the I/O level.
     pub fn run_with<R: Recorder>(&self, rec: &mut R) -> Result<PipelineReport, PipelineError> {
         let cfg = &self.config;
         if cfg.window_pair >= cfg.spec.n_pairs {
@@ -232,17 +284,40 @@ impl Pipeline {
                 available: cfg.spec.n_pairs,
             });
         }
+        let store = self.resolve_store()?;
         // Provenance: which thread count the parallel stages (acquire,
         // align, denoise) resolved to for this run.
         rec.gauge(names::PARALLEL_THREADS, rayon::current_num_threads() as f64);
         let region = with_span(rec, "generate", |_| generate_region(&cfg.spec));
-        let pristine = with_span(rec, "voxelize", |_| region.voxelize());
 
-        let (volume, corrections) = match &cfg.imaging {
-            None => (pristine, Vec::new()),
+        let vox_key = stage(salts::VOXELIZE, spec_fingerprint(&cfg.spec)).finish();
+        let pristine = match fetch(&store, rec, vox_key, codec::decode_volume)? {
+            Some(v) => v,
+            None => {
+                let v = with_span(rec, "voxelize", |_| region.voxelize());
+                persist(&store, rec, vox_key, || codec::encode_volume(&v))?;
+                v
+            }
+        };
+
+        let (volume, corrections, upstream_key) = match &cfg.imaging {
+            None => (pristine, Vec::new(), vox_key),
             Some(imaging_cfg) => {
+                let acq_key = stage(salts::ACQUIRE, vox_key)
+                    .key(imaging_fingerprint(imaging_cfg))
+                    .finish();
                 let (mut stack, truth) =
-                    with_span(rec, "acquire", |_| acquire(&pristine, imaging_cfg));
+                    match fetch(&store, rec, acq_key, codec::decode_acquisition)? {
+                        Some(pair) => pair,
+                        None => {
+                            let (stack, truth) =
+                                with_span(rec, "acquire", |_| acquire(&pristine, imaging_cfg));
+                            persist(&store, rec, acq_key, || {
+                                codec::encode_acquisition(&stack, &truth)
+                            })?;
+                            (stack, truth)
+                        }
+                    };
                 // Fidelity baseline: mean per-slice PSNR of the raw
                 // acquisition against what a perfect microscope would see.
                 let ideal = if rec.enabled() {
@@ -252,24 +327,50 @@ impl Pipeline {
                 } else {
                     None
                 };
-                with_span(rec, "normalize", |_| stack.normalize_brightness());
-                // Alignment first (registration uses median-filtered copies
-                // internally), then light TV denoising. Averaging along the
-                // milling axis is available (`average_slices`) but blends
-                // across any residual per-slice misalignment, so the default
-                // pipeline relies on TV alone.
-                let corrections = with_span(rec, "align", |rec| {
-                    align_with(
-                        &mut stack,
-                        AlignMethod::MutualInformation,
-                        cfg.align_window,
-                        rec,
-                    )
-                });
-                with_span(rec, "denoise", |_| {
-                    denoise(&mut stack, cfg.denoise_lambda, cfg.denoise_iterations)
-                });
-                let volume = with_span(rec, "reconstruct", |_| reconstruct(&stack));
+                let post_key = stage(salts::POSTPROC, acq_key)
+                    .f64(f64::from(cfg.denoise_lambda))
+                    .u64(cfg.denoise_iterations as u64)
+                    .i64(i64::from(cfg.align_window))
+                    .finish();
+                let corrections = match fetch(&store, rec, post_key, codec::decode_processed)? {
+                    Some((processed, corrections)) => {
+                        stack = processed;
+                        corrections
+                    }
+                    None => {
+                        with_span(rec, "normalize", |_| stack.normalize_brightness());
+                        // Alignment first (registration uses median-filtered
+                        // copies internally), then light TV denoising.
+                        // Averaging along the milling axis is available
+                        // (`average_slices`) but blends across any residual
+                        // per-slice misalignment, so the default pipeline
+                        // relies on TV alone.
+                        let corrections = with_span(rec, "align", |rec| {
+                            align_with(
+                                &mut stack,
+                                AlignMethod::MutualInformation,
+                                cfg.align_window,
+                                rec,
+                            )
+                        });
+                        with_span(rec, "denoise", |_| {
+                            denoise(&mut stack, cfg.denoise_lambda, cfg.denoise_iterations)
+                        });
+                        persist(&store, rec, post_key, || {
+                            codec::encode_processed(&stack, &corrections)
+                        })?;
+                        corrections
+                    }
+                };
+                let recon_key = stage(salts::RECONSTRUCT, post_key).finish();
+                let volume = match fetch(&store, rec, recon_key, codec::decode_volume)? {
+                    Some(v) => v,
+                    None => {
+                        let v = with_span(rec, "reconstruct", |_| reconstruct(&stack));
+                        persist(&store, rec, recon_key, || codec::encode_volume(&v))?;
+                        v
+                    }
+                };
                 if let Some(ideal) = &ideal {
                     rec.gauge(names::PSNR_DENOISED, mean_stack_psnr(&stack, ideal));
                     rec.gauge(
@@ -286,34 +387,50 @@ impl Pipeline {
                         metrics::alignment_budget_px(slice_height),
                     );
                 }
-                (volume, corrections)
+                (volume, corrections, recon_key)
             }
         };
 
-        // Crop to one cell's SA window, as the analyst crops the ROI.
-        let cropped = with_span(rec, "crop", |_| {
-            let window = region.cell_window(cfg.window_pair);
-            let voxel = volume.voxel_nm();
-            let to_vox = |nm: i64| ((nm as f64) / voxel).round().max(0.0) as usize;
-            volume.crop(
-                to_vox(window.min().x),
-                to_vox(window.max().x),
-                to_vox(window.min().y),
-                to_vox(window.max().y),
-            )
-        });
-
-        let extraction = with_span(rec, "extract", |rec| {
-            hifi_extract::extract_with(&cropped, rec)
-        })?;
+        let ext_key = stage(salts::EXTRACT, upstream_key)
+            .u64(cfg.window_pair as u64)
+            .finish();
+        let (extraction, cached_measurement) =
+            match fetch(&store, rec, ext_key, codec::decode_extraction)? {
+                Some((extraction, measurement)) => (extraction, Some(measurement)),
+                None => {
+                    // Crop to one cell's SA window, as the analyst crops
+                    // the ROI.
+                    let cropped = with_span(rec, "crop", |_| {
+                        let window = region.cell_window(cfg.window_pair);
+                        let voxel = volume.voxel_nm();
+                        let to_vox = |nm: i64| ((nm as f64) / voxel).round().max(0.0) as usize;
+                        volume.crop(
+                            to_vox(window.min().x),
+                            to_vox(window.max().x),
+                            to_vox(window.min().y),
+                            to_vox(window.max().y),
+                        )
+                    });
+                    let extraction = with_span(rec, "extract", |rec| {
+                        hifi_extract::extract_with(&cropped, rec)
+                    })?;
+                    (extraction, None)
+                }
+            };
+        let ext_was_cached = cached_measurement.is_some();
         let identified = with_span(rec, "identify", |_| {
             TopologyLibrary::standard().identify(&extraction.netlist)
         });
         let (measurement, worst) = with_span(rec, "measure", |_| {
-            let measurement = measure(&extraction);
+            let measurement = cached_measurement.unwrap_or_else(|| measure(&extraction));
             let worst = measurement.worst_deviation(&region.ground_truth().cell.dims_by_class);
             (measurement, worst)
         });
+        if !ext_was_cached {
+            persist(&store, rec, ext_key, || {
+                codec::encode_extraction(&extraction, &measurement)
+            })?;
+        }
         if let Some(w) = &worst {
             rec.gauge(names::WORST_DIMENSION_DEVIATION, w.value());
         }
@@ -329,6 +446,52 @@ impl Pipeline {
             telemetry: None,
         })
     }
+}
+
+/// Looks `key` up in the store (when one is configured), decodes on hit,
+/// and records the hit/miss and bytes-read counters. A blob that passes
+/// the store checksum but fails to decode (written by an incompatible
+/// build) counts as a miss and is recomputed.
+fn fetch<R: Recorder, T>(
+    store: &Option<ArtifactStore>,
+    rec: &mut R,
+    key: Key,
+    decode: impl FnOnce(&[u8]) -> Result<T, hifi_store::CodecError>,
+) -> Result<Option<T>, PipelineError> {
+    let Some(store) = store else { return Ok(None) };
+    match store.get(key)? {
+        Some(bytes) => match decode(&bytes) {
+            Ok(value) => {
+                rec.counter(names::STORE_HIT, 1);
+                rec.counter(names::STORE_BYTES_READ, bytes.len() as u64);
+                Ok(Some(value))
+            }
+            Err(_) => {
+                rec.counter(names::STORE_MISS, 1);
+                Ok(None)
+            }
+        },
+        None => {
+            rec.counter(names::STORE_MISS, 1);
+            Ok(None)
+        }
+    }
+}
+
+/// Persists a freshly computed artifact (when a store is configured) and
+/// records the bytes-written counter. `encode` is only invoked when a
+/// store is present.
+fn persist<R: Recorder>(
+    store: &Option<ArtifactStore>,
+    rec: &mut R,
+    key: Key,
+    encode: impl FnOnce() -> Vec<u8>,
+) -> Result<(), PipelineError> {
+    let Some(store) = store else { return Ok(()) };
+    let bytes = encode();
+    store.put(key, &bytes)?;
+    rec.counter(names::STORE_BYTES_WRITTEN, bytes.len() as u64);
+    Ok(())
 }
 
 /// Mean per-slice PSNR of a stack against a reference stack of identical

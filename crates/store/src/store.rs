@@ -1,0 +1,556 @@
+//! The on-disk content-addressed artifact store.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! <root>/objects/<32-hex-key>   one artifact per file, self-checking header
+//! <root>/manifest               text index: key, size, checksum, LRU tick
+//! <root>/.lock                  advisory lock guarding manifest rewrites
+//! ```
+//!
+//! Blobs carry their own header (magic, version, payload length, FNV
+//! checksum), so a blob is verifiable without the manifest; the manifest
+//! exists for the LRU eviction order and for cheap `stats`/`gc` without
+//! touching every object. Writers stage to a temp file and `rename` into
+//! place, so concurrent writers of the *same* key race benignly (identical
+//! content) and readers never observe a half-written object. Corrupted
+//! blobs are detected by checksum, evicted, and reported as a miss — the
+//! pipeline recomputes instead of failing.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::hash::Hasher;
+use std::io::{ErrorKind, Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant, SystemTime};
+
+use crate::fingerprint::Key;
+use crate::stats;
+
+/// A store operation failure (I/O level, not corruption — corruption is
+/// handled internally by falling back to a miss).
+///
+/// Keeps `Clone + PartialEq` (the pipeline error type requires both) by
+/// carrying the underlying I/O error as its kind and rendered message
+/// rather than the live `std::io::Error`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreError {
+    /// The operation that failed (`"open"`, `"put"`, `"lock"`, …).
+    pub op: &'static str,
+    /// The path involved.
+    pub path: PathBuf,
+    /// The underlying `std::io::ErrorKind`.
+    pub kind: ErrorKind,
+    /// The rendered I/O error message.
+    pub message: String,
+}
+
+impl StoreError {
+    fn io(op: &'static str, path: &Path, err: &std::io::Error) -> Self {
+        Self {
+            op,
+            path: path.to_path_buf(),
+            kind: err.kind(),
+            message: err.to_string(),
+        }
+    }
+}
+
+impl core::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "artifact store {} failed at {}: {}",
+            self.op,
+            self.path.display(),
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Blob header magic.
+const BLOB_MAGIC: &[u8; 4] = b"HFST";
+/// Blob header version.
+const BLOB_VERSION: u16 = 1;
+/// Header bytes: magic + version + payload length + checksum.
+const HEADER_LEN: usize = 4 + 2 + 8 + 8;
+
+/// FNV-1a checksum of a payload (independent of the content key, which
+/// hashes the *inputs*; this hashes the stored *bytes*).
+fn checksum(payload: &[u8]) -> u64 {
+    let mut h = fnv::FnvHasher::default();
+    h.write(payload);
+    h.finish()
+}
+
+/// One manifest row.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    size: u64,
+    checksum: u64,
+    tick: u64,
+}
+
+/// A content-addressed artifact store rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    root: PathBuf,
+}
+
+/// Advisory cross-process lock: holds `<root>/.lock`, created with
+/// `create_new` so exactly one holder wins; removed on drop.
+struct LockGuard {
+    path: PathBuf,
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// How long a lock file may sit before it is presumed orphaned (a crashed
+/// holder) and broken.
+const LOCK_STALE: Duration = Duration::from_secs(30);
+/// How long to spin waiting for the lock before giving up.
+const LOCK_WAIT: Duration = Duration::from_secs(10);
+
+impl ArtifactStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] if the directory tree cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        let objects = root.join("objects");
+        fs::create_dir_all(&objects).map_err(|e| StoreError::io("open", &objects, &e))?;
+        Ok(Self { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn object_path(&self, key: Key) -> PathBuf {
+        self.root.join("objects").join(key.hex())
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.root.join("manifest")
+    }
+
+    fn lock(&self) -> Result<LockGuard, StoreError> {
+        let path = self.root.join(".lock");
+        let start = Instant::now();
+        loop {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(_) => return Ok(LockGuard { path }),
+                Err(e) if e.kind() == ErrorKind::AlreadyExists => {
+                    // Break locks orphaned by a crashed holder.
+                    if let Ok(meta) = fs::metadata(&path) {
+                        let age = meta
+                            .modified()
+                            .ok()
+                            .and_then(|m| SystemTime::now().duration_since(m).ok());
+                        if age.is_some_and(|a| a > LOCK_STALE) {
+                            let _ = fs::remove_file(&path);
+                            continue;
+                        }
+                    }
+                    if start.elapsed() > LOCK_WAIT {
+                        return Err(StoreError::io(
+                            "lock",
+                            &path,
+                            &std::io::Error::new(
+                                ErrorKind::TimedOut,
+                                "store lock held for too long",
+                            ),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(StoreError::io("lock", &path, &e)),
+            }
+        }
+    }
+
+    fn read_manifest(&self) -> BTreeMap<Key, Entry> {
+        // The manifest is advisory (LRU order + stats); damage to it must
+        // never fail the store, so parsing is best-effort.
+        let mut out = BTreeMap::new();
+        let Ok(text) = fs::read_to_string(self.manifest_path()) else {
+            return out;
+        };
+        for line in text.lines() {
+            let mut parts = line.split_whitespace();
+            let (Some(hex), Some(size), Some(sum), Some(tick)) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            let (Some(key), Ok(size), Ok(sum), Ok(tick)) = (
+                Key::from_hex(hex),
+                size.parse::<u64>(),
+                u64::from_str_radix(sum, 16),
+                tick.parse::<u64>(),
+            ) else {
+                continue;
+            };
+            out.insert(
+                key,
+                Entry {
+                    size,
+                    checksum: sum,
+                    tick,
+                },
+            );
+        }
+        out
+    }
+
+    fn write_manifest(&self, manifest: &BTreeMap<Key, Entry>) -> Result<(), StoreError> {
+        let mut text = String::new();
+        for (key, e) in manifest {
+            text.push_str(&format!(
+                "{} {} {:016x} {}\n",
+                key.hex(),
+                e.size,
+                e.checksum,
+                e.tick
+            ));
+        }
+        let tmp = self
+            .root
+            .join(format!(".manifest.tmp.{}", std::process::id()));
+        fs::write(&tmp, text).map_err(|e| StoreError::io("put", &tmp, &e))?;
+        fs::rename(&tmp, self.manifest_path())
+            .map_err(|e| StoreError::io("put", &self.manifest_path(), &e))
+    }
+
+    /// Updates the manifest under the store lock.
+    fn with_manifest(&self, f: impl FnOnce(&mut BTreeMap<Key, Entry>)) -> Result<(), StoreError> {
+        let _guard = self.lock()?;
+        let mut manifest = self.read_manifest();
+        f(&mut manifest);
+        self.write_manifest(&manifest)
+    }
+
+    /// Fetches the payload stored under `key`.
+    ///
+    /// Returns `Ok(None)` on a miss **or** on a corrupted blob (bad magic,
+    /// truncation, checksum mismatch) — the damaged object is evicted and
+    /// the caller recomputes. Only environmental I/O failures surface as
+    /// errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] if the object exists but cannot be read for
+    /// I/O reasons (permissions, hardware), or the lock cannot be taken.
+    pub fn get(&self, key: Key) -> Result<Option<Vec<u8>>, StoreError> {
+        let path = self.object_path(key);
+        let mut file = match fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == ErrorKind::NotFound => {
+                stats::record_miss();
+                return Ok(None);
+            }
+            Err(e) => return Err(StoreError::io("get", &path, &e)),
+        };
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)
+            .map_err(|e| StoreError::io("get", &path, &e))?;
+        drop(file);
+        match Self::check_blob(&buf) {
+            Some(payload_range) => {
+                let payload = buf[payload_range].to_vec();
+                stats::record_hit(payload.len() as u64);
+                // Touch the LRU tick; freshness is advisory, so lock
+                // failures here must not turn a hit into an error.
+                let _ = self.with_manifest(|m| {
+                    let next = m.values().map(|e| e.tick).max().unwrap_or(0) + 1;
+                    if let Some(e) = m.get_mut(&key) {
+                        e.tick = next;
+                    }
+                });
+                Ok(Some(payload))
+            }
+            None => {
+                // Corrupted: evict and report a miss so the stage recomputes.
+                let _ = fs::remove_file(&path);
+                let _ = self.with_manifest(|m| {
+                    m.remove(&key);
+                });
+                stats::record_corrupt();
+                stats::record_miss();
+                Ok(None)
+            }
+        }
+    }
+
+    /// Validates a raw blob; returns the payload byte range if intact.
+    fn check_blob(buf: &[u8]) -> Option<core::ops::Range<usize>> {
+        if buf.len() < HEADER_LEN || &buf[..4] != BLOB_MAGIC {
+            return None;
+        }
+        let version = u16::from_le_bytes(buf[4..6].try_into().ok()?);
+        if version != BLOB_VERSION {
+            return None;
+        }
+        let len = u64::from_le_bytes(buf[6..14].try_into().ok()?) as usize;
+        let sum = u64::from_le_bytes(buf[14..22].try_into().ok()?);
+        let payload = buf.get(HEADER_LEN..)?;
+        if payload.len() != len || checksum(payload) != sum {
+            return None;
+        }
+        Some(HEADER_LEN..buf.len())
+    }
+
+    /// Stores `payload` under `key` (atomic temp-file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] if the object or manifest cannot be written.
+    pub fn put(&self, key: Key, payload: &[u8]) -> Result<(), StoreError> {
+        let sum = checksum(payload);
+        let path = self.object_path(key);
+        let tmp =
+            self.root
+                .join("objects")
+                .join(format!(".tmp.{}.{}", std::process::id(), key.hex()));
+        {
+            let mut file = fs::File::create(&tmp).map_err(|e| StoreError::io("put", &tmp, &e))?;
+            let mut header = Vec::with_capacity(HEADER_LEN);
+            header.extend_from_slice(BLOB_MAGIC);
+            header.extend_from_slice(&BLOB_VERSION.to_le_bytes());
+            header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            header.extend_from_slice(&sum.to_le_bytes());
+            file.write_all(&header)
+                .and_then(|()| file.write_all(payload))
+                .and_then(|()| file.sync_all())
+                .map_err(|e| StoreError::io("put", &tmp, &e))?;
+        }
+        fs::rename(&tmp, &path).map_err(|e| StoreError::io("put", &path, &e))?;
+        let total = (payload.len() + HEADER_LEN) as u64;
+        self.with_manifest(|m| {
+            let next = m.values().map(|e| e.tick).max().unwrap_or(0) + 1;
+            m.insert(
+                key,
+                Entry {
+                    size: total,
+                    checksum: sum,
+                    tick: next,
+                },
+            );
+        })?;
+        stats::record_write(payload.len() as u64);
+        Ok(())
+    }
+
+    /// Number of objects and total bytes currently indexed.
+    pub fn usage(&self) -> (usize, u64) {
+        let manifest = self.read_manifest();
+        let bytes = manifest.values().map(|e| e.size).sum();
+        (manifest.len(), bytes)
+    }
+
+    /// Evicts least-recently-used objects until the store holds at most
+    /// `max_bytes`. Returns the number of objects evicted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] if the lock cannot be taken or the manifest
+    /// cannot be rewritten.
+    pub fn gc(&self, max_bytes: u64) -> Result<usize, StoreError> {
+        let _guard = self.lock()?;
+        let mut manifest = self.read_manifest();
+        let mut total: u64 = manifest.values().map(|e| e.size).sum();
+        let mut order: Vec<(u64, Key)> = manifest.iter().map(|(k, e)| (e.tick, *k)).collect();
+        order.sort_unstable();
+        let mut evicted = 0;
+        for (_, key) in order {
+            if total <= max_bytes {
+                break;
+            }
+            if let Some(e) = manifest.remove(&key) {
+                let _ = fs::remove_file(self.object_path(key));
+                total = total.saturating_sub(e.size);
+                evicted += 1;
+            }
+        }
+        self.write_manifest(&manifest)?;
+        Ok(evicted)
+    }
+
+    /// Re-checksums every object on disk; returns `(intact, corrupt)`
+    /// counts. Corrupt objects are left in place (use [`ArtifactStore::get`]
+    /// or `gc` to evict).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] if the objects directory cannot be listed.
+    pub fn verify(&self) -> Result<(usize, usize), StoreError> {
+        let dir = self.root.join("objects");
+        let entries = fs::read_dir(&dir).map_err(|e| StoreError::io("verify", &dir, &e))?;
+        let (mut intact, mut corrupt) = (0, 0);
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if Key::from_hex(name).is_none() {
+                continue; // temp files, strays
+            }
+            match fs::read(entry.path()) {
+                Ok(buf) if Self::check_blob(&buf).is_some() => intact += 1,
+                _ => corrupt += 1,
+            }
+        }
+        Ok((intact, corrupt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::Fingerprinter;
+
+    fn temp_store(tag: &str) -> ArtifactStore {
+        let dir =
+            std::env::temp_dir().join(format!("hifi-store-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ArtifactStore::open(&dir).expect("open store")
+    }
+
+    fn key_of(s: &str) -> Key {
+        Fingerprinter::new().str(s).finish()
+    }
+
+    #[test]
+    fn put_get_round_trips() {
+        let store = temp_store("roundtrip");
+        let key = key_of("alpha");
+        assert_eq!(store.get(key).expect("get"), None);
+        store.put(key, b"payload bytes").expect("put");
+        assert_eq!(
+            store.get(key).expect("get").as_deref(),
+            Some(&b"payload bytes"[..])
+        );
+        let (n, bytes) = store.usage();
+        assert_eq!(n, 1);
+        assert!(bytes > b"payload bytes".len() as u64);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn corrupted_blob_reads_as_miss_and_is_evicted() {
+        let store = temp_store("corrupt");
+        let key = key_of("beta");
+        store.put(key, b"precious data").expect("put");
+        let path = store.object_path(key);
+        let mut raw = fs::read(&path).expect("read blob");
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01; // flip one payload byte
+        fs::write(&path, &raw).expect("rewrite blob");
+        assert_eq!(store.get(key).expect("get"), None, "corrupt blob must miss");
+        assert!(!path.exists(), "corrupt blob must be evicted");
+        // The store recovers: a re-put works and reads back.
+        store.put(key, b"precious data").expect("re-put");
+        assert!(store.get(key).expect("get").is_some());
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn truncated_and_empty_blobs_miss_without_panic() {
+        let store = temp_store("truncate");
+        let key = key_of("gamma");
+        store.put(key, b"0123456789").expect("put");
+        let path = store.object_path(key);
+        let raw = fs::read(&path).expect("read");
+        fs::write(&path, &raw[..HEADER_LEN / 2]).expect("truncate");
+        assert_eq!(store.get(key).expect("get"), None);
+        store.put(key, b"x").expect("put");
+        fs::write(store.object_path(key), b"").expect("empty");
+        assert_eq!(store.get(key).expect("get"), None);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn gc_evicts_least_recently_used_first() {
+        let store = temp_store("gc");
+        let (a, b, c) = (key_of("a"), key_of("b"), key_of("c"));
+        store.put(a, &[1u8; 100]).expect("put a");
+        store.put(b, &[2u8; 100]).expect("put b");
+        store.put(c, &[3u8; 100]).expect("put c");
+        // Touch `a` so `b` becomes the coldest entry.
+        assert!(store.get(a).expect("get a").is_some());
+        let (_, total) = store.usage();
+        let evicted = store.gc(total - 1).expect("gc");
+        assert_eq!(evicted, 1);
+        assert_eq!(store.get(b).expect("get b"), None, "coldest entry evicted");
+        assert!(store.get(a).expect("get a").is_some());
+        assert!(store.get(c).expect("get c").is_some());
+        assert_eq!(store.gc(0).expect("gc all"), 2);
+        assert_eq!(store.usage().0, 0);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn verify_counts_intact_and_corrupt() {
+        let store = temp_store("verify");
+        store.put(key_of("one"), b"one").expect("put");
+        store.put(key_of("two"), b"two").expect("put");
+        assert_eq!(store.verify().expect("verify"), (2, 0));
+        let path = store.object_path(key_of("two"));
+        let mut raw = fs::read(&path).expect("read");
+        raw[HEADER_LEN] ^= 0xff;
+        fs::write(&path, raw).expect("corrupt");
+        assert_eq!(store.verify().expect("verify"), (1, 1));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_corrupt_the_store() {
+        let store = temp_store("concurrent");
+        let n_threads = 4;
+        let per_thread = 8;
+        std::thread::scope(|scope| {
+            for t in 0..n_threads {
+                let store = store.clone();
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let key = key_of(&format!("obj-{t}-{i}"));
+                        let payload = vec![t as u8; 64 + i];
+                        store.put(key, &payload).expect("put");
+                        assert_eq!(store.get(key).expect("get").as_deref(), Some(&payload[..]));
+                    }
+                });
+            }
+        });
+        let (n, _) = store.usage();
+        assert_eq!(n, n_threads * per_thread);
+        assert_eq!(store.verify().expect("verify"), (n_threads * per_thread, 0));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn waiting_writer_proceeds_once_lock_is_released() {
+        let store = temp_store("held-lock");
+        let lock_path = store.root().join(".lock");
+        fs::write(&lock_path, b"").expect("plant lock");
+        let planted = lock_path.clone();
+        let dropper = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            let _ = fs::remove_file(&planted);
+        });
+        store.put(key_of("delta"), b"waits for lock").expect("put");
+        dropper.join().expect("join");
+        assert!(store.get(key_of("delta")).expect("get").is_some());
+        let _ = fs::remove_dir_all(store.root());
+    }
+}

@@ -260,6 +260,47 @@ impl MaterialVolume {
         out
     }
 
+    /// The raw voxel bytes, `x`-major within `y` within `z` (the exact
+    /// [`MaterialVolume::index`] layout). Every byte is a valid
+    /// [`Material`] discriminant. Used by `hifi-store`'s binary codec.
+    pub fn raw_voxels(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Rebuilds a volume from raw parts (the inverse of
+    /// [`MaterialVolume::raw_voxels`] plus the geometry accessors), used
+    /// when decoding a stored volume. Returns `None` — instead of
+    /// panicking, since the input may be a decoded artifact — when a
+    /// dimension is zero, the voxel size is not positive, the data length
+    /// does not match `nx * ny * nz`, or any byte is not a valid
+    /// [`Material`].
+    pub fn from_raw(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        voxel_nm: f64,
+        stack: LayerStack,
+        data: Vec<u8>,
+    ) -> Option<Self> {
+        if nx == 0 || ny == 0 || nz == 0 || voxel_nm.is_nan() || voxel_nm <= 0.0 {
+            return None;
+        }
+        if data.len() != nx.checked_mul(ny)?.checked_mul(nz)? {
+            return None;
+        }
+        if data.iter().any(|&b| Material::from_byte(b).is_none()) {
+            return None;
+        }
+        Some(Self {
+            nx,
+            ny,
+            nz,
+            voxel_nm,
+            stack,
+            data,
+        })
+    }
+
     /// A cross-section slice at fixed `x` (the FIB cut plane): returns a
     /// `ny × nz` matrix of materials, row-major in `y` for each `z`.
     pub fn cross_section(&self, x: usize) -> Vec<Material> {
@@ -347,5 +388,41 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_dimension_rejected() {
         let _ = MaterialVolume::new(0, 4, 4, 5.0, LayerStack::default_dram());
+    }
+
+    #[test]
+    fn raw_round_trip_preserves_volume() {
+        let mut v = small();
+        v.fill_box(1, 4, 2, 5, 0, 3, Material::GatePoly, true);
+        let (nx, ny, nz) = v.dims();
+        let back = MaterialVolume::from_raw(
+            nx,
+            ny,
+            nz,
+            v.voxel_nm(),
+            v.stack().clone(),
+            v.raw_voxels().to_vec(),
+        )
+        .expect("valid raw parts");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn from_raw_rejects_invalid_parts() {
+        let v = small();
+        let (nx, ny, nz) = v.dims();
+        let stack = v.stack().clone();
+        let data = v.raw_voxels().to_vec();
+        // Wrong length.
+        assert!(
+            MaterialVolume::from_raw(nx, ny, nz + 1, 5.0, stack.clone(), data.clone()).is_none()
+        );
+        // Zero dimension / bad voxel size.
+        assert!(MaterialVolume::from_raw(0, ny, nz, 5.0, stack.clone(), Vec::new()).is_none());
+        assert!(MaterialVolume::from_raw(nx, ny, nz, -1.0, stack.clone(), data.clone()).is_none());
+        // A byte that is not a material.
+        let mut bad = data;
+        bad[0] = 200;
+        assert!(MaterialVolume::from_raw(nx, ny, nz, 5.0, stack, bad).is_none());
     }
 }

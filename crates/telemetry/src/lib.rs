@@ -61,4 +61,13 @@ pub mod names {
     /// a stage's single-thread wall time divided by its parallel wall time
     /// (recorded by scaling harnesses that run a pipeline at both counts).
     pub const PARALLEL_SPEEDUP_PREFIX: &str = "parallel.speedup.";
+    /// Counter: pipeline stages served from the artifact store.
+    pub const STORE_HIT: &str = "store.hit";
+    /// Counter: stage lookups that missed (or hit a corrupt, evicted blob)
+    /// and recomputed.
+    pub const STORE_MISS: &str = "store.miss";
+    /// Counter: artifact payload bytes written to the store this run.
+    pub const STORE_BYTES_WRITTEN: &str = "store.bytes_written";
+    /// Counter: artifact payload bytes read from the store this run.
+    pub const STORE_BYTES_READ: &str = "store.bytes_read";
 }

@@ -11,6 +11,11 @@ use hifi_dram::pipeline::{Pipeline, PipelineConfig, PipelineError};
 fn main() -> Result<(), PipelineError> {
     println!("HiFi-DRAM quickstart: generate -> voxelise -> extract -> identify\n");
 
+    // With `HIFI_STORE=<dir>` set, the pipelines below replay cached
+    // stage artifacts; the delta of these counters is reported at the end.
+    let store_enabled = std::env::var_os("HIFI_STORE").is_some_and(|v| !v.is_empty());
+    let store_before = hifi_store::stats::snapshot();
+
     for kind in [SaTopologyKind::Classic, SaTopologyKind::OffsetCancellation] {
         let report = Pipeline::new(PipelineConfig::pristine(kind)).run_instrumented()?;
         println!("generated topology : {kind}");
@@ -51,5 +56,9 @@ fn main() -> Result<(), PipelineError> {
         "Evaluation headline: CoolDRAM overhead error = {} (paper: 175x)",
         cool.overhead_error.expect("ddr4 paper").as_times()
     );
+    if store_enabled {
+        let delta = hifi_store::stats::snapshot().since(&store_before);
+        println!("{}", delta.summary());
+    }
     Ok(())
 }

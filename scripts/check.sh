@@ -73,6 +73,48 @@ if [[ "$run_drift" -eq 1 ]]; then
         echo "regen drift detected" >&2
         exit 1
     fi
+
+    # Artifact-store round trip: the same regen suite against a throwaway
+    # store must (a) leave the pinned stdout snapshots untouched on both
+    # the cold and the warm pass, (b) serve the warm pass entirely from
+    # cache, and (c) survive `hifi-store gc` with the snapshots intact.
+    echo "==> artifact store: cold + warm regen passes against a temp store"
+    store_dir="$(mktemp -d)"
+    trap 'rm -rf "$store_dir"' EXIT
+    store_bins=(pipeline_fidelity measurements)
+    for pass in cold warm; do
+        for name in "${store_bins[@]}"; do
+            summary="$(HIFI_STORE="$store_dir" "target/release/regen_${name}" 2>&1 >/dev/null || true)"
+            if ! HIFI_STORE="$store_dir" "target/release/regen_${name}" 2>/dev/null \
+                    | diff -u "regen_outputs/${name}.txt" - > /dev/null; then
+                echo "STORE DRIFT  ${name} (${pass} pass changed the pinned snapshot)" >&2
+                exit 1
+            fi
+            echo "ok           ${name} (${pass} pass, snapshot intact)${summary:+  [$summary]}"
+        done
+    done
+    misses="$(HIFI_STORE="$store_dir" target/release/regen_pipeline_fidelity 2>&1 >/dev/null \
+        | sed -n 's/.* \([0-9]*\) misses.*/\1/p')"
+    if [[ "${misses:-1}" -ne 0 ]]; then
+        echo "warm regen pass was not fully cached (${misses:-?} misses)" >&2
+        exit 1
+    fi
+    echo "ok           warm pass fully cached (0 misses)"
+
+    echo "==> artifact store: gc + re-verify"
+    cargo run --release --offline -q -p hifi-store --bin hifi-store -- stats "$store_dir"
+    cargo run --release --offline -q -p hifi-store --bin hifi-store -- verify "$store_dir"
+    # Halve the store; survivors must still verify and the regen output
+    # must still match the snapshot (evicted stages recompute).
+    bytes="$(cargo run --release --offline -q -p hifi-store --bin hifi-store -- stats "$store_dir" | sed -n 's/^bytes //p')"
+    cargo run --release --offline -q -p hifi-store --bin hifi-store -- gc "$store_dir" "$((bytes / 2))"
+    cargo run --release --offline -q -p hifi-store --bin hifi-store -- verify "$store_dir"
+    if ! HIFI_STORE="$store_dir" target/release/regen_pipeline_fidelity 2>/dev/null \
+            | diff -u regen_outputs/pipeline_fidelity.txt - > /dev/null; then
+        echo "STORE DRIFT  pipeline_fidelity (after gc)" >&2
+        exit 1
+    fi
+    echo "ok           pipeline_fidelity (post-gc recompute, snapshot intact)"
 fi
 
 echo "all checks passed"

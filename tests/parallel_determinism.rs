@@ -95,6 +95,29 @@ fn denoise_and_align_are_bit_identical_across_thread_counts() {
     }
 }
 
+fn assert_reports_identical(
+    base: &hifi_dram::pipeline::PipelineReport,
+    report: &hifi_dram::pipeline::PipelineReport,
+    what: &str,
+) {
+    assert_eq!(base.identified, report.identified, "{what}");
+    assert_eq!(base.device_count, report.device_count, "{what}");
+    assert_eq!(
+        base.alignment_corrections, report.alignment_corrections,
+        "{what}"
+    );
+    assert_eq!(
+        base.worst_dimension_deviation.map(|d| d.value().to_bits()),
+        report
+            .worst_dimension_deviation
+            .map(|d| d.value().to_bits()),
+        "{what}"
+    );
+    assert_eq!(base.measurement, report.measurement, "{what}");
+    assert_eq!(base.extraction.netlist, report.extraction.netlist, "{what}");
+    assert_eq!(base.extraction.devices, report.extraction.devices, "{what}");
+}
+
 #[test]
 fn full_imaged_pipeline_is_identical_across_thread_counts() {
     let pipeline = Pipeline::new(PipelineConfig::with_imaging(
@@ -105,18 +128,36 @@ fn full_imaged_pipeline_is_identical_across_thread_counts() {
     let base = run(1);
     for n in THREAD_COUNTS {
         let report = run(n);
-        assert_eq!(base.identified, report.identified, "@ {n} threads");
-        assert_eq!(base.device_count, report.device_count, "@ {n} threads");
-        assert_eq!(
-            base.alignment_corrections, report.alignment_corrections,
-            "@ {n} threads"
-        );
-        assert_eq!(
-            base.worst_dimension_deviation.map(|d| d.value().to_bits()),
-            report
-                .worst_dimension_deviation
-                .map(|d| d.value().to_bits()),
-            "@ {n} threads"
-        );
+        assert_reports_identical(&base, &report, &format!("@ {n} threads"));
     }
+}
+
+/// The artifact store must be invisible in the output: a cold (populating)
+/// run and a warm (fully cached) run produce the same report as a
+/// store-less run, at every thread count.
+#[test]
+fn full_imaged_pipeline_is_identical_with_store_off_cold_and_warm() {
+    let store_root =
+        std::env::temp_dir().join(format!("hifi-determinism-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_root);
+
+    let plain = Pipeline::new(PipelineConfig::with_imaging(
+        SaTopologyKind::OffsetCancellation,
+        imaging_config(),
+    ));
+    let cached = Pipeline::new(
+        PipelineConfig::with_imaging(SaTopologyKind::OffsetCancellation, imaging_config())
+            .with_store(&store_root),
+    );
+    let baseline = rayon::with_num_threads(1, || plain.run().expect("store-off run"));
+    for n in [1, THREAD_COUNTS[THREAD_COUNTS.len() - 1]] {
+        // Fresh store per thread count: the first run is cold (all
+        // misses), the second warm (all hits).
+        let _ = std::fs::remove_dir_all(&store_root);
+        let cold = rayon::with_num_threads(n, || cached.run().expect("cold run"));
+        let warm = rayon::with_num_threads(n, || cached.run().expect("warm run"));
+        assert_reports_identical(&baseline, &cold, &format!("cold @ {n} threads"));
+        assert_reports_identical(&baseline, &warm, &format!("warm @ {n} threads"));
+    }
+    let _ = std::fs::remove_dir_all(&store_root);
 }

@@ -1,0 +1,121 @@
+//! Offline stand-in for the `fnv` crate.
+//!
+//! The build environment has no network access, so the workspace patches
+//! `fnv` to this std-only implementation of the 64-bit Fowler–Noll–Vo
+//! (FNV-1a) hash covering the API surface the repository uses:
+//! [`FnvHasher`] (a [`std::hash::Hasher`]), [`FnvHasher::with_key`], and
+//! the [`FnvHashMap`]/[`FnvHashSet`] aliases.
+//!
+//! Unlike the platform-seeded `DefaultHasher`, FNV-1a is **fully
+//! specified**: the same byte stream hashes to the same value on every
+//! platform, every process and every run. `hifi-store` relies on this to
+//! derive stable on-disk content-address keys — a cache written by one run
+//! must be readable by the next.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The FNV-1a offset basis for 64-bit hashes.
+const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a prime for 64-bit hashes.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A 64-bit FNV-1a [`Hasher`].
+///
+/// ```
+/// use std::hash::Hasher;
+/// let mut h = fnv::FnvHasher::default();
+/// h.write(b"hifi");
+/// // The FNV-1a stream is fully specified, so this value is a constant.
+/// assert_eq!(h.finish(), 0x735d09cc9b347947);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(OFFSET_BASIS)
+    }
+}
+
+impl FnvHasher {
+    /// Creates a hasher whose state starts at `key` instead of the FNV
+    /// offset basis — independent hash streams over the same bytes.
+    pub fn with_key(key: u64) -> Self {
+        FnvHasher(key)
+    }
+}
+
+impl Hasher for FnvHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut state = self.0;
+        for &b in bytes {
+            state ^= u64::from(b);
+            state = state.wrapping_mul(PRIME);
+        }
+        self.0 = state;
+    }
+}
+
+/// A [`std::hash::BuildHasher`] producing [`FnvHasher`]s.
+pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
+
+/// A `HashMap` keyed with FNV (deterministic iteration-independent hashing).
+pub type FnvHashMap<K, V> = HashMap<K, V, FnvBuildHasher>;
+
+/// A `HashSet` hashed with FNV.
+pub type FnvHashSet<T> = HashSet<T, FnvBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vectors from the FNV specification (draft-eastlake-fnv):
+    /// FNV-1a 64 of "" is the offset basis; of "a" is 0xaf63dc4c8601ec8c.
+    #[test]
+    fn matches_published_vectors() {
+        let h = FnvHasher::default();
+        assert_eq!(h.finish(), OFFSET_BASIS);
+        let mut h = FnvHasher::default();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = FnvHasher::default();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn split_writes_equal_one_write() {
+        let mut a = FnvHasher::default();
+        a.write(b"hello world");
+        let mut b = FnvHasher::default();
+        b.write(b"hello ");
+        b.write(b"world");
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn keyed_streams_differ() {
+        let mut a = FnvHasher::with_key(1);
+        let mut b = FnvHasher::with_key(2);
+        a.write(b"same bytes");
+        b.write(b"same bytes");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FnvHashMap<&str, u32> = FnvHashMap::default();
+        m.insert("k", 1);
+        assert_eq!(m["k"], 1);
+        let mut s: FnvHashSet<u32> = FnvHashSet::default();
+        assert!(s.insert(7));
+        assert!(s.contains(&7));
+    }
+}
