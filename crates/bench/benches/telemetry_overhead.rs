@@ -110,11 +110,19 @@ fn main() {
         base_times.push(base);
     }
     let overhead = (median(ratios) - 1.0) * 100.0;
+    let base_ms = median(base_times) * 1e3;
     println!(
         "noop-recorder overhead (median of {PAIRS} paired ratios): {overhead:+.2}%  \
-         (median uninstrumented {:.1} ms)",
-        median(base_times) * 1e3
+         (median uninstrumented {base_ms:.1} ms)"
     );
+
+    let mut results = hifi_bench::results::BenchResults::default();
+    results.record("telemetry_overhead.noop_recorder_pct", overhead, "percent");
+    results.record("telemetry_overhead.uninstrumented_median_ms", base_ms, "ms");
+    let path = hifi_bench::results::results_path();
+    results.merge_into(&path).expect("record bench results");
+    println!("recorded → {}", path.display());
+
     assert!(
         overhead < BUDGET_PCT,
         "NoopRecorder overhead {overhead:.2}% exceeds the {BUDGET_PCT}% budget"

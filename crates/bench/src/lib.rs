@@ -7,6 +7,7 @@
 //! regenerated values for every artefact.
 
 pub mod regen;
+pub mod results;
 pub mod table;
 
 pub use regen::*;

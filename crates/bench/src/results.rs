@@ -1,0 +1,258 @@
+//! Machine-readable benchmark results for the CI regression gate.
+//!
+//! Overhead benches (`telemetry_overhead`, `fault_overhead`) record their
+//! headline numbers into `BENCH_results.json` at the workspace root; the
+//! committed `BENCH_baseline.json` pins the expected values and
+//! `scripts/bench_gate.sh` (via the `bench_gate` binary) fails CI when a
+//! metric regresses past the tolerance.
+//!
+//! Two kinds of metric are recorded:
+//!
+//! - `"ms"` — a wall-clock median. Load-sensitive, so the gate compares it
+//!   relatively (>15% over baseline fails by default).
+//! - `"percent"` — a paired-ratio overhead (see the bench methodology
+//!   comments). Load drift cancels in the pairs, so these are stable, but
+//!   their baselines sit near zero where relative comparison is
+//!   meaningless — the gate grants them a small absolute allowance
+//!   instead.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+/// One benchmark headline number.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metric {
+    /// Stable identifier, `"<bench>.<quantity>"` (e.g.
+    /// `"fault_overhead.zero_fault_plan_pct"`).
+    pub name: String,
+    /// The measured value; lower is better for every recorded metric.
+    pub value: f64,
+    /// `"ms"` or `"percent"` — selects the gate's comparison rule.
+    pub unit: String,
+}
+
+/// The results document (`BENCH_results.json` / `BENCH_baseline.json`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BenchResults {
+    /// Recorded metrics, sorted by name.
+    pub metrics: Vec<Metric>,
+}
+
+impl BenchResults {
+    /// Loads a results document, or an empty one if `path` doesn't exist.
+    ///
+    /// # Errors
+    ///
+    /// An existing file that fails to read or parse is an error — a
+    /// corrupt baseline must fail the gate, not pass it vacuously.
+    pub fn load_or_default(path: &Path) -> Result<Self, String> {
+        if !path.exists() {
+            return Ok(Self::default());
+        }
+        Self::load(path)
+    }
+
+    /// Loads a results document from `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O or parse failures, rendered with the offending path.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let raw =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        serde_json::from_str(&raw).map_err(|e| format!("parse {}: {e}", path.display()))
+    }
+
+    /// Inserts or replaces the metric named `name`, keeping name order.
+    pub fn record(&mut self, name: &str, value: f64, unit: &str) {
+        self.metrics.retain(|m| m.name != name);
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            value,
+            unit: unit.to_string(),
+        });
+        self.metrics.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// Writes the document as pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, rendered with the offending path.
+    pub fn write(&self, path: &Path) -> Result<(), String> {
+        let json = serde_json::to_string_pretty(self).map_err(|e| e.to_string())?;
+        std::fs::write(path, json + "\n").map_err(|e| format!("write {}: {e}", path.display()))
+    }
+
+    /// Merges `self`'s metrics into the document at `path` (other benches'
+    /// metrics are preserved) and writes it back.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::load`] / [`Self::write`].
+    pub fn merge_into(&self, path: &Path) -> Result<(), String> {
+        let mut existing = Self::load_or_default(path)?;
+        for m in &self.metrics {
+            existing.record(&m.name, m.value, &m.unit);
+        }
+        existing.write(path)
+    }
+}
+
+/// Where benches record their results: `$BENCH_RESULTS` when set, else
+/// `BENCH_results.json` at the workspace root.
+pub fn results_path() -> PathBuf {
+    if let Some(p) = std::env::var_os("BENCH_RESULTS").filter(|v| !v.is_empty()) {
+        return PathBuf::from(p);
+    }
+    workspace_root().join("BENCH_results.json")
+}
+
+/// The committed baseline the gate compares against:
+/// `$BENCH_BASELINE` when set, else `BENCH_baseline.json` at the
+/// workspace root.
+pub fn baseline_path() -> PathBuf {
+    if let Some(p) = std::env::var_os("BENCH_BASELINE").filter(|v| !v.is_empty()) {
+        return PathBuf::from(p);
+    }
+    workspace_root().join("BENCH_baseline.json")
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/bench/ → workspace root, robust to where cargo runs us from.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has a workspace root")
+        .to_path_buf()
+}
+
+/// Verdict of gating one metric against its baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Within tolerance (includes improvements).
+    Ok,
+    /// Regressed past the allowance.
+    Regressed {
+        /// The highest acceptable value.
+        allowed: f64,
+    },
+    /// Present in the baseline but missing from the results.
+    Missing,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Ok => write!(f, "ok"),
+            Verdict::Regressed { allowed } => write!(f, "REGRESSED (allowed ≤ {allowed:.3})"),
+            Verdict::Missing => write!(f, "MISSING from results"),
+        }
+    }
+}
+
+/// Gates one measured value against its baseline metric.
+///
+/// `"ms"` metrics fail when more than `tolerance_pct` over baseline.
+/// `"percent"` metrics (paired-ratio overheads with near-zero baselines)
+/// get the relative allowance *plus* one absolute percentage point, so a
+/// baseline of 0.2% doesn't turn measurement noise into a gate failure.
+pub fn gate_metric(baseline: &Metric, measured: Option<f64>, tolerance_pct: f64) -> Verdict {
+    let Some(value) = measured else {
+        return Verdict::Missing;
+    };
+    let relative = baseline.value.max(0.0) * (1.0 + tolerance_pct / 100.0);
+    let allowed = match baseline.unit.as_str() {
+        "percent" => relative + 1.0,
+        _ => relative,
+    };
+    if value > allowed {
+        Verdict::Regressed { allowed }
+    } else {
+        Verdict::Ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(name: &str, value: f64, unit: &str) -> Metric {
+        Metric {
+            name: name.to_string(),
+            value,
+            unit: unit.to_string(),
+        }
+    }
+
+    #[test]
+    fn record_upserts_and_sorts() {
+        let mut r = BenchResults::default();
+        r.record("b.time_ms", 20.0, "ms");
+        r.record("a.pct", 1.0, "percent");
+        r.record("b.time_ms", 25.0, "ms");
+        assert_eq!(r.metrics.len(), 2);
+        assert_eq!(r.metrics[0].name, "a.pct");
+        assert_eq!(r.get("b.time_ms").unwrap().value, 25.0);
+    }
+
+    #[test]
+    fn round_trips_and_merges_through_a_file() {
+        let path = std::env::temp_dir().join(format!("hifi-bench-res-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut first = BenchResults::default();
+        first.record("one.ms", 10.0, "ms");
+        first.merge_into(&path).unwrap();
+        let mut second = BenchResults::default();
+        second.record("two.pct", 0.5, "percent");
+        second.merge_into(&path).unwrap();
+        let loaded = BenchResults::load(&path).unwrap();
+        assert_eq!(loaded.metrics.len(), 2, "merge preserves other benches");
+        assert_eq!(loaded.get("one.ms").unwrap().value, 10.0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_baseline_is_an_error_not_a_pass() {
+        let path = std::env::temp_dir().join(format!("hifi-bench-bad-{}.json", std::process::id()));
+        std::fs::write(&path, "not json").unwrap();
+        assert!(BenchResults::load_or_default(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn gate_rules_per_unit() {
+        let ms = metric("t.ms", 100.0, "ms");
+        assert_eq!(gate_metric(&ms, Some(114.0), 15.0), Verdict::Ok);
+        assert!(matches!(
+            gate_metric(&ms, Some(116.0), 15.0),
+            Verdict::Regressed { .. }
+        ));
+        assert_eq!(gate_metric(&ms, None, 15.0), Verdict::Missing);
+        // Improvements always pass.
+        assert_eq!(gate_metric(&ms, Some(50.0), 15.0), Verdict::Ok);
+
+        // Percent metrics get +1 absolute point on top of the relative
+        // allowance: baseline 0.2% tolerates up to 1.23%.
+        let pct = metric("o.pct", 0.2, "percent");
+        assert_eq!(gate_metric(&pct, Some(1.2), 15.0), Verdict::Ok);
+        assert!(matches!(
+            gate_metric(&pct, Some(1.3), 15.0),
+            Verdict::Regressed { .. }
+        ));
+        // Negative overhead baselines clamp to zero before scaling.
+        let neg = metric("n.pct", -0.4, "percent");
+        assert_eq!(gate_metric(&neg, Some(0.9), 15.0), Verdict::Ok);
+        assert!(matches!(
+            gate_metric(&neg, Some(1.1), 15.0),
+            Verdict::Regressed { .. }
+        ));
+    }
+}

@@ -1,18 +1,23 @@
 //! The end-to-end reverse-engineering pipeline.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use hifi_circuit::identify::TopologyLibrary;
 use hifi_circuit::topology::{SaDimensions, SaTopologyKind};
 use hifi_circuit::TransistorClass;
 use hifi_data::Chip;
-use hifi_extract::{measure, ExtractError, Extraction, MeasurementReport};
+use hifi_extract::{measure, ExtractError, Extraction, MeasurementConfidence, MeasurementReport};
+use hifi_faults::{Exhausted, FaultPlan, FaultSpec, RetryError, RetryPolicy, VirtualClock};
 use hifi_imaging::{
-    acquire, align_with, denoise, metrics, reconstruct, render_ideal, AlignMethod, ImagingConfig,
+    acquire, acquire_with_recovery, align_with, denoise, metrics, reconstruct, render_ideal,
+    AcquireOutcome, AlignMethod, ImagingConfig,
 };
 use hifi_store::fingerprint::salts;
 use hifi_store::{
-    codec, imaging_fingerprint, spec_fingerprint, stage, ArtifactStore, Key, StoreError,
+    codec, fault_fingerprint, imaging_fingerprint, spec_fingerprint, stage, ArtifactStore, Key,
+    StoreError,
 };
 use hifi_synth::{generate_region, SaRegionSpec};
 use hifi_telemetry::{
@@ -34,7 +39,12 @@ pub enum PipelineError {
     },
     /// The artifact store failed at the I/O level (corrupted blobs do
     /// *not* produce this — they are evicted and recomputed silently).
+    /// Transient store failures are retried under the configured
+    /// [`RetryPolicy`] first; only non-transient ones surface here.
     Store(StoreError),
+    /// A retried operation (store I/O or a guarded stage) kept failing
+    /// transiently until its [`RetryPolicy`] budget ran out.
+    GaveUp(Exhausted),
 }
 
 impl core::fmt::Display for PipelineError {
@@ -45,6 +55,7 @@ impl core::fmt::Display for PipelineError {
                 write!(f, "window pair {pair} out of range ({available} pairs)")
             }
             PipelineError::Store(e) => write!(f, "artifact store failed: {e}"),
+            PipelineError::GaveUp(e) => write!(f, "retries exhausted: {e}"),
         }
     }
 }
@@ -55,6 +66,7 @@ impl std::error::Error for PipelineError {
             PipelineError::Extract(e) => Some(e),
             PipelineError::WindowOutOfRange { .. } => None,
             PipelineError::Store(e) => Some(e),
+            PipelineError::GaveUp(e) => Some(e),
         }
     }
 }
@@ -92,6 +104,15 @@ pub struct PipelineConfig {
     /// neither is set. Cached stages are replayed bit-identically, so a
     /// warm run's report matches a store-less run's.
     pub store: Option<PathBuf>,
+    /// Fault-injection plan for this run; `None` runs the clean pipeline.
+    /// With a plan whose every fault is recoverable under [`Self::retry`]
+    /// (`retry.max_retries >= faults.max_consecutive`), outputs are
+    /// byte-identical to the clean run at any thread count. Enabled plans
+    /// salt the cache keys (see [`hifi_store::fault_fingerprint`]), so
+    /// faulted and clean runs never share store artifacts.
+    pub faults: Option<FaultSpec>,
+    /// How transient failures (injected or environmental) are retried.
+    pub retry: RetryPolicy,
 }
 
 impl PipelineConfig {
@@ -105,12 +126,26 @@ impl PipelineConfig {
             align_window: 4,
             window_pair: 0,
             store: None,
+            faults: None,
+            retry: RetryPolicy::default(),
         }
     }
 
     /// Enables the artifact store rooted at `path` for this pipeline.
     pub fn with_store(mut self, path: impl Into<PathBuf>) -> Self {
         self.store = Some(path.into());
+        self
+    }
+
+    /// Enables fault injection under `spec` for this pipeline.
+    pub fn with_faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
+    }
+
+    /// Sets the retry policy for transient failures (builder style).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
         self
     }
 
@@ -240,19 +275,32 @@ impl Pipeline {
             denoise_iterations: cfg.denoise_iterations as u32,
             align_window: cfg.align_window.max(0) as u32,
             window_pair: cfg.window_pair as u32,
+            faults: cfg.faults.as_ref().is_some_and(FaultSpec::is_enabled),
+            fault_seed: cfg.faults.as_ref().map(|s| s.seed),
         }
     }
 
     /// Resolves the artifact store for this run: the config's path, else
-    /// the `HIFI_STORE` environment variable, else caching off.
-    fn resolve_store(&self) -> Result<Option<ArtifactStore>, PipelineError> {
+    /// the `HIFI_STORE` environment variable, else caching off. The run's
+    /// fault plan (if any) is attached so store I/O participates in
+    /// injection.
+    fn resolve_store(
+        &self,
+        plan: Option<&Arc<FaultPlan>>,
+    ) -> Result<Option<ArtifactStore>, PipelineError> {
         let path = self.config.store.clone().or_else(|| {
             std::env::var_os("HIFI_STORE")
                 .filter(|v| !v.is_empty())
                 .map(PathBuf::from)
         });
         Ok(match path {
-            Some(p) => Some(ArtifactStore::open(p)?),
+            Some(p) => {
+                let mut store = ArtifactStore::open(p)?;
+                if let Some(plan) = plan {
+                    store = store.with_fault_plan(plan.clone());
+                }
+                Some(store)
+            }
             None => None,
         })
     }
@@ -284,40 +332,84 @@ impl Pipeline {
                 available: cfg.spec.n_pairs,
             });
         }
-        let store = self.resolve_store()?;
+        // A fresh plan per run: injection is a pure function of the spec,
+        // so repeated runs of one config see exactly the same faults.
+        let ctx = FaultCtx {
+            plan: cfg.faults.clone().map(|s| Arc::new(FaultPlan::new(s))),
+            policy: cfg.retry.clone(),
+            clock: VirtualClock::new(),
+        };
+        let store = self.resolve_store(ctx.plan.as_ref())?;
         // Provenance: which thread count the parallel stages (acquire,
         // align, denoise) resolved to for this run.
         rec.gauge(names::PARALLEL_THREADS, rayon::current_num_threads() as f64);
         let region = with_span(rec, "generate", |_| generate_region(&cfg.spec));
 
-        let vox_key = stage(salts::VOXELIZE, spec_fingerprint(&cfg.spec)).finish();
-        let pristine = match fetch(&store, rec, vox_key, codec::decode_volume)? {
+        // An enabled plan may degrade artifacts; salt the root key so
+        // faulted and clean runs never share cache entries (key chaining
+        // propagates the salt to every downstream stage).
+        let mut vox_fp = stage(salts::VOXELIZE, spec_fingerprint(&cfg.spec));
+        if let Some(spec) = cfg.faults.as_ref().filter(|s| s.is_enabled()) {
+            vox_fp.key(fault_fingerprint(spec));
+        }
+        let vox_key = vox_fp.finish();
+        let pristine = match fetch(&store, &ctx, rec, vox_key, "voxelize", codec::decode_volume)? {
             Some(v) => v,
             None => {
-                let v = with_span(rec, "voxelize", |_| region.voxelize());
-                persist(&store, rec, vox_key, || codec::encode_volume(&v))?;
+                let v = guarded(&ctx, "voxelize", || {
+                    with_span(rec, "voxelize", |_| region.voxelize())
+                })?;
+                persist(&store, &ctx, rec, vox_key, "voxelize", || {
+                    codec::encode_volume(&v)
+                })?;
                 v
             }
         };
 
-        let (volume, corrections, upstream_key) = match &cfg.imaging {
-            None => (pristine, Vec::new(), vox_key),
+        let (volume, corrections, upstream_key, degraded_slices, total_slices) = match &cfg.imaging
+        {
+            None => (pristine, Vec::new(), vox_key, Vec::new(), 0),
             Some(imaging_cfg) => {
                 let acq_key = stage(salts::ACQUIRE, vox_key)
                     .key(imaging_fingerprint(imaging_cfg))
                     .finish();
-                let (mut stack, truth) =
-                    match fetch(&store, rec, acq_key, codec::decode_acquisition)? {
-                        Some(pair) => pair,
-                        None => {
-                            let (stack, truth) =
-                                with_span(rec, "acquire", |_| acquire(&pristine, imaging_cfg));
-                            persist(&store, rec, acq_key, || {
-                                codec::encode_acquisition(&stack, &truth)
-                            })?;
-                            (stack, truth)
-                        }
-                    };
+                let (mut stack, truth, degraded_slices) = match fetch(
+                    &store,
+                    &ctx,
+                    rec,
+                    acq_key,
+                    "acquire",
+                    codec::decode_acquisition,
+                )? {
+                    Some(triple) => triple,
+                    None => {
+                        let outcome = with_span(rec, "acquire", |_| match ctx.plan.as_deref() {
+                            Some(plan) => acquire_with_recovery(
+                                &pristine,
+                                imaging_cfg,
+                                plan,
+                                &ctx.policy,
+                                &ctx.clock,
+                            ),
+                            None => {
+                                let (stack, truth) = acquire(&pristine, imaging_cfg);
+                                AcquireOutcome {
+                                    stack,
+                                    truth,
+                                    degraded_slices: Vec::new(),
+                                }
+                            }
+                        });
+                        persist(&store, &ctx, rec, acq_key, "acquire", || {
+                            codec::encode_acquisition(
+                                &outcome.stack,
+                                &outcome.truth,
+                                &outcome.degraded_slices,
+                            )
+                        })?;
+                        (outcome.stack, outcome.truth, outcome.degraded_slices)
+                    }
+                };
                 // Fidelity baseline: mean per-slice PSNR of the raw
                 // acquisition against what a perfect microscope would see.
                 let ideal = if rec.enabled() {
@@ -332,7 +424,14 @@ impl Pipeline {
                     .u64(cfg.denoise_iterations as u64)
                     .i64(i64::from(cfg.align_window))
                     .finish();
-                let corrections = match fetch(&store, rec, post_key, codec::decode_processed)? {
+                let corrections = match fetch(
+                    &store,
+                    &ctx,
+                    rec,
+                    post_key,
+                    "postproc",
+                    codec::decode_processed,
+                )? {
                     Some((processed, corrections)) => {
                         stack = processed;
                         corrections
@@ -356,18 +455,29 @@ impl Pipeline {
                         with_span(rec, "denoise", |_| {
                             denoise(&mut stack, cfg.denoise_lambda, cfg.denoise_iterations)
                         });
-                        persist(&store, rec, post_key, || {
+                        persist(&store, &ctx, rec, post_key, "postproc", || {
                             codec::encode_processed(&stack, &corrections)
                         })?;
                         corrections
                     }
                 };
                 let recon_key = stage(salts::RECONSTRUCT, post_key).finish();
-                let volume = match fetch(&store, rec, recon_key, codec::decode_volume)? {
+                let volume = match fetch(
+                    &store,
+                    &ctx,
+                    rec,
+                    recon_key,
+                    "reconstruct",
+                    codec::decode_volume,
+                )? {
                     Some(v) => v,
                     None => {
-                        let v = with_span(rec, "reconstruct", |_| reconstruct(&stack));
-                        persist(&store, rec, recon_key, || codec::encode_volume(&v))?;
+                        let v = guarded(&ctx, "reconstruct", || {
+                            with_span(rec, "reconstruct", |_| reconstruct(&stack))
+                        })?;
+                        persist(&store, &ctx, rec, recon_key, "reconstruct", || {
+                            codec::encode_volume(&v)
+                        })?;
                         v
                     }
                 };
@@ -387,52 +497,94 @@ impl Pipeline {
                         metrics::alignment_budget_px(slice_height),
                     );
                 }
-                (volume, corrections, recon_key)
+                let total_slices = stack.len();
+                (
+                    volume,
+                    corrections,
+                    recon_key,
+                    degraded_slices,
+                    total_slices,
+                )
             }
         };
 
         let ext_key = stage(salts::EXTRACT, upstream_key)
             .u64(cfg.window_pair as u64)
             .finish();
-        let (extraction, cached_measurement) =
-            match fetch(&store, rec, ext_key, codec::decode_extraction)? {
-                Some((extraction, measurement)) => (extraction, Some(measurement)),
-                None => {
-                    // Crop to one cell's SA window, as the analyst crops
-                    // the ROI.
-                    let cropped = with_span(rec, "crop", |_| {
-                        let window = region.cell_window(cfg.window_pair);
-                        let voxel = volume.voxel_nm();
-                        let to_vox = |nm: i64| ((nm as f64) / voxel).round().max(0.0) as usize;
-                        volume.crop(
-                            to_vox(window.min().x),
-                            to_vox(window.max().x),
-                            to_vox(window.min().y),
-                            to_vox(window.max().y),
-                        )
-                    });
-                    let extraction = with_span(rec, "extract", |rec| {
+        let (extraction, cached_measurement) = match fetch(
+            &store,
+            &ctx,
+            rec,
+            ext_key,
+            "extract",
+            codec::decode_extraction,
+        )? {
+            Some((extraction, measurement)) => (extraction, Some(measurement)),
+            None => {
+                // Crop to one cell's SA window, as the analyst crops
+                // the ROI.
+                let cropped = with_span(rec, "crop", |_| {
+                    let window = region.cell_window(cfg.window_pair);
+                    let voxel = volume.voxel_nm();
+                    let to_vox = |nm: i64| ((nm as f64) / voxel).round().max(0.0) as usize;
+                    volume.crop(
+                        to_vox(window.min().x),
+                        to_vox(window.max().x),
+                        to_vox(window.min().y),
+                        to_vox(window.max().y),
+                    )
+                });
+                let extraction = guarded(&ctx, "extract", || {
+                    with_span(rec, "extract", |rec| {
                         hifi_extract::extract_with(&cropped, rec)
-                    })?;
-                    (extraction, None)
-                }
-            };
+                    })
+                })??;
+                (extraction, None)
+            }
+        };
         let ext_was_cached = cached_measurement.is_some();
         let identified = with_span(rec, "identify", |_| {
             TopologyLibrary::standard().identify(&extraction.netlist)
         });
         let (measurement, worst) = with_span(rec, "measure", |_| {
-            let measurement = cached_measurement.unwrap_or_else(|| measure(&extraction));
+            // Cached extractions carry their confidence in the blob; fresh
+            // ones inherit it from this run's degraded slices (if any).
+            let measurement = cached_measurement.unwrap_or_else(|| {
+                let mut m = measure(&extraction);
+                if !degraded_slices.is_empty() {
+                    m.confidence = MeasurementConfidence::degraded(degraded_slices, total_slices);
+                }
+                m
+            });
             let worst = measurement.worst_deviation(&region.ground_truth().cell.dims_by_class);
             (measurement, worst)
         });
         if !ext_was_cached {
-            persist(&store, rec, ext_key, || {
+            persist(&store, &ctx, rec, ext_key, "extract", || {
                 codec::encode_extraction(&extraction, &measurement)
             })?;
         }
         if let Some(w) = &worst {
             rec.gauge(names::WORST_DIMENSION_DEVIATION, w.value());
+        }
+        if let Some(plan) = ctx.plan.as_deref() {
+            let t = plan.tally();
+            if t.injected > 0 {
+                rec.counter(names::FAULT_INJECTED, t.injected);
+            }
+            if t.retried > 0 {
+                rec.counter(names::FAULT_RETRIED, t.retried);
+            }
+            if t.recovered > 0 {
+                rec.counter(names::FAULT_RECOVERED, t.recovered);
+            }
+            if t.degraded > 0 {
+                rec.counter(names::FAULT_DEGRADED, t.degraded);
+            }
+            let waited = ctx.clock.elapsed();
+            if !waited.is_zero() {
+                rec.gauge(names::FAULT_BACKOFF_MS, waited.as_secs_f64() * 1e3);
+            }
         }
 
         Ok(PipelineReport {
@@ -448,18 +600,124 @@ impl Pipeline {
     }
 }
 
+/// The per-run fault machinery: the plan (if injection is configured),
+/// the retry policy, and the virtual clock that backoff waits advance.
+struct FaultCtx {
+    plan: Option<Arc<FaultPlan>>,
+    policy: RetryPolicy,
+    clock: VirtualClock,
+}
+
+impl FaultCtx {
+    /// Runs a store operation under the retry policy. Transient failures
+    /// (injected or environmental, per [`StoreError::is_transient`]) back
+    /// off on the virtual clock and feed the plan's recovery tallies;
+    /// non-transient ones surface immediately as [`PipelineError::Store`].
+    fn retrying<T>(
+        &self,
+        site: &str,
+        mut op: impl FnMut() -> Result<T, StoreError>,
+    ) -> Result<T, PipelineError> {
+        match hifi_faults::retry(&self.policy, &self.clock, StoreError::is_transient, |_| {
+            op()
+        }) {
+            Ok((value, retries)) => {
+                if retries > 0 {
+                    if let Some(plan) = &self.plan {
+                        plan.record_retried(u64::from(retries));
+                        plan.record_recovered(1);
+                    }
+                }
+                Ok(value)
+            }
+            Err(RetryError::Fatal(e)) => Err(PipelineError::Store(e)),
+            Err(RetryError::GaveUp(gave_up)) => {
+                if let Some(plan) = &self.plan {
+                    plan.record_retried(u64::from(gave_up.attempts.saturating_sub(1)));
+                }
+                Err(PipelineError::GaveUp(gave_up.into_exhausted(site)))
+            }
+        }
+    }
+}
+
+/// Runs a pure stage under the stage-panic guard. With no plan attached
+/// the stage runs bare; with one, the plan may trip an injected panic and
+/// the unwind is caught and retried as a transient failure. Injected
+/// panics fire *before* the stage body (see [`FaultPlan::trip_stage`]), so
+/// nothing is half-mutated when the unwind crosses the `AssertUnwindSafe`.
+/// Only pure stages are guarded — the post-processing steps mutate their
+/// stack in place, so rerunning them after an unwind would be unsound.
+fn guarded<T>(
+    ctx: &FaultCtx,
+    stage_name: &'static str,
+    mut f: impl FnMut() -> T,
+) -> Result<T, PipelineError> {
+    let Some(plan) = ctx.plan.as_deref() else {
+        return Ok(f());
+    };
+    let outcome = hifi_faults::retry(
+        &ctx.policy,
+        &ctx.clock,
+        |_: &String| true,
+        |_attempt| {
+            catch_unwind(AssertUnwindSafe(|| {
+                plan.trip_stage(stage_name);
+                f()
+            }))
+            .map_err(|payload| panic_message(payload.as_ref()))
+        },
+    );
+    let site = || format!("stage:{stage_name}");
+    match outcome {
+        Ok((value, retries)) => {
+            if retries > 0 {
+                plan.record_retried(u64::from(retries));
+                plan.record_recovered(1);
+            }
+            Ok(value)
+        }
+        // Every panic is treated as transient, so `Fatal` cannot occur;
+        // map it defensively rather than asserting unreachability.
+        Err(RetryError::Fatal(message)) => Err(PipelineError::GaveUp(Exhausted {
+            site: site(),
+            attempts: 1,
+            last_error: message,
+            waited: std::time::Duration::ZERO,
+        })),
+        Err(RetryError::GaveUp(gave_up)) => {
+            plan.record_retried(u64::from(gave_up.attempts.saturating_sub(1)));
+            Err(PipelineError::GaveUp(gave_up.into_exhausted(site())))
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "stage panicked".to_string()
+    }
+}
+
 /// Looks `key` up in the store (when one is configured), decodes on hit,
 /// and records the hit/miss and bytes-read counters. A blob that passes
 /// the store checksum but fails to decode (written by an incompatible
-/// build) counts as a miss and is recomputed.
+/// build) counts as a miss and is recomputed. Transient read failures are
+/// retried via [`FaultCtx::retrying`].
 fn fetch<R: Recorder, T>(
     store: &Option<ArtifactStore>,
+    ctx: &FaultCtx,
     rec: &mut R,
     key: Key,
+    what: &str,
     decode: impl FnOnce(&[u8]) -> Result<T, hifi_store::CodecError>,
 ) -> Result<Option<T>, PipelineError> {
     let Some(store) = store else { return Ok(None) };
-    match store.get(key)? {
+    match ctx.retrying(&format!("store.get:{what}"), || store.get(key))? {
         Some(bytes) => match decode(&bytes) {
             Ok(value) => {
                 rec.counter(names::STORE_HIT, 1);
@@ -480,16 +738,19 @@ fn fetch<R: Recorder, T>(
 
 /// Persists a freshly computed artifact (when a store is configured) and
 /// records the bytes-written counter. `encode` is only invoked when a
-/// store is present.
+/// store is present. Transient write failures are retried via
+/// [`FaultCtx::retrying`].
 fn persist<R: Recorder>(
     store: &Option<ArtifactStore>,
+    ctx: &FaultCtx,
     rec: &mut R,
     key: Key,
+    what: &str,
     encode: impl FnOnce() -> Vec<u8>,
 ) -> Result<(), PipelineError> {
     let Some(store) = store else { return Ok(()) };
     let bytes = encode();
-    store.put(key, &bytes)?;
+    ctx.retrying(&format!("store.put:{what}"), || store.put(key, &bytes))?;
     rec.counter(names::STORE_BYTES_WRITTEN, bytes.len() as u64);
     Ok(())
 }
@@ -595,6 +856,117 @@ mod tests {
         assert!(plain.telemetry.is_none());
         assert_eq!(plain.identified, report.identified);
         assert_eq!(plain.device_count, report.device_count);
+    }
+
+    #[test]
+    fn recoverable_faults_reproduce_the_clean_report() {
+        use hifi_faults::FaultSpec;
+        let clean_cfg = PipelineConfig::with_imaging(
+            SaTopologyKind::Classic,
+            hifi_imaging::ImagingConfig::default(),
+        );
+        let clean = Pipeline::new(clean_cfg.clone()).run().unwrap();
+        // Every fault kind at 50%, capped at 2 consecutive per site; the
+        // default policy's 3 retries out-budget the cap, so the run must
+        // recover to the bit-identical clean result.
+        let faulted_cfg = clean_cfg.with_faults(FaultSpec::uniform(3, 0.5));
+        let faulted = Pipeline::new(faulted_cfg).run_instrumented().unwrap();
+        assert_eq!(clean.identified, faulted.identified);
+        assert_eq!(clean.device_count, faulted.device_count);
+        assert_eq!(clean.alignment_corrections, faulted.alignment_corrections);
+        assert_eq!(clean.measurement, faulted.measurement);
+        assert!(!faulted.measurement.confidence.is_degraded());
+
+        let telemetry = faulted.telemetry.expect("telemetry populated");
+        assert!(telemetry.config.faults);
+        assert_eq!(telemetry.config.fault_seed, Some(3));
+        let f = &telemetry.faults;
+        assert!(f.injected > 0, "plan must have fired: {f:?}");
+        assert!(f.recovered > 0 && f.retried >= f.recovered, "{f:?}");
+        assert_eq!(f.degraded, 0, "recoverable plan must not degrade: {f:?}");
+        assert!(
+            telemetry.summary_line().contains("faults"),
+            "{}",
+            telemetry.summary_line()
+        );
+    }
+
+    #[test]
+    fn exhausted_acquire_slices_degrade_confidence() {
+        use hifi_faults::{FaultKind, FaultSpec};
+        // A mild slice-failure rate with zero retries: a few slices
+        // exhaust their (empty) budget and are interpolated from
+        // neighbours — enough to flag confidence, not enough to break
+        // extraction outright.
+        let spec = FaultSpec::disabled()
+            .with_seed(11)
+            .with_rate(FaultKind::AcquireSlice, 0.1)
+            .with_max_consecutive(5);
+        let cfg = PipelineConfig::with_imaging(
+            SaTopologyKind::Classic,
+            hifi_imaging::ImagingConfig::default(),
+        )
+        .with_faults(spec)
+        .with_retry(RetryPolicy::none());
+        let report = Pipeline::new(cfg).run_instrumented().unwrap();
+        let confidence = &report.measurement.confidence;
+        assert!(confidence.is_degraded(), "confidence: {confidence:?}");
+        assert!(confidence.score < 1.0 && confidence.score > 0.0);
+        assert!(confidence.total_slices > 0);
+        let telemetry = report.telemetry.expect("telemetry populated");
+        assert_eq!(
+            telemetry.faults.degraded,
+            confidence.degraded_slices.len() as u64
+        );
+    }
+
+    #[test]
+    fn store_read_exhaustion_surfaces_as_gave_up() {
+        use hifi_faults::{FaultKind, FaultSpec};
+        let root = std::env::temp_dir().join(format!("hifi-gaveup-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let spec = FaultSpec::disabled()
+            .with_rate(FaultKind::StoreRead, 1.0)
+            .with_max_consecutive(u32::MAX);
+        let cfg = PipelineConfig::pristine(SaTopologyKind::Classic)
+            .with_store(&root)
+            .with_faults(spec)
+            .with_retry(RetryPolicy::none());
+        let err = Pipeline::new(cfg).run().unwrap_err();
+        match &err {
+            PipelineError::GaveUp(e) => {
+                assert!(e.site.starts_with("store.get:"), "site: {}", e.site);
+                assert_eq!(e.attempts, 1, "zero-retry policy: one attempt");
+            }
+            other => panic!("expected GaveUp, got {other:?}"),
+        }
+        assert!(err.to_string().contains("retries exhausted"), "{err}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn disabled_fault_specs_share_the_clean_cache_but_enabled_ones_do_not() {
+        use hifi_faults::{FaultKind, FaultSpec};
+        let root = std::env::temp_dir().join(format!("hifi-salt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let base = PipelineConfig::pristine(SaTopologyKind::Classic).with_store(&root);
+        let misses = |cfg: PipelineConfig| {
+            let report = Pipeline::new(cfg).run_instrumented().unwrap();
+            let t = report.telemetry.expect("telemetry");
+            (t.counter(names::STORE_HIT), t.counter(names::STORE_MISS))
+        };
+        assert_eq!(misses(base.clone()), (0, 2), "cold clean run populates");
+        // A disabled spec exercises the plumbing but must not fork the
+        // cache: it replays the clean run's artifacts.
+        assert_eq!(
+            misses(base.clone().with_faults(FaultSpec::disabled())),
+            (2, 0)
+        );
+        // Any non-zero rate salts the keys: faulted artifacts never serve
+        // (or get served by) clean runs.
+        let enabled = FaultSpec::disabled().with_rate(FaultKind::StoreWrite, 1e-12);
+        assert_eq!(misses(base.with_faults(enabled)), (0, 2));
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

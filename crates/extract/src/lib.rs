@@ -46,7 +46,7 @@ pub mod slabs;
 use hifi_synth::MaterialVolume;
 
 pub use classify::classify;
-pub use measure::{measure, ClassMeasurement, MeasurementReport};
+pub use measure::{measure, ClassMeasurement, MeasurementConfidence, MeasurementReport};
 pub use netlist::{ExtractedDevice, Extraction};
 
 /// Error produced during extraction.

@@ -28,6 +28,64 @@ impl ClassMeasurement {
     }
 }
 
+/// How much the measurements can be trusted, given the provenance of the
+/// data they were taken from.
+///
+/// The physical pipeline degrades gracefully: a slice that fails
+/// acquisition repeatedly is interpolated from its neighbours rather than
+/// aborting the run (the paper's authors re-mill and re-acquire; when that
+/// fails the region is simply less trustworthy). This record carries that
+/// provenance into the final report so a measurement over interpolated
+/// data is never mistaken for a clean one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasurementConfidence {
+    /// Input slices that were interpolated from neighbours after
+    /// exhausting re-acquisition retries (indices into the acquired
+    /// stack). Empty for clean runs and for pristine (non-imaged) runs.
+    pub degraded_slices: Vec<usize>,
+    /// Total input slices considered (0 for pristine runs).
+    pub total_slices: usize,
+    /// `1.0` minus the degraded input fraction; `1.0` for clean runs.
+    pub score: f64,
+}
+
+impl MeasurementConfidence {
+    /// Full confidence: nothing was degraded.
+    pub fn full() -> Self {
+        Self {
+            degraded_slices: Vec::new(),
+            total_slices: 0,
+            score: 1.0,
+        }
+    }
+
+    /// Confidence for a run where `degraded_slices` (out of
+    /// `total_slices`) were interpolated from neighbours.
+    pub fn degraded(degraded_slices: Vec<usize>, total_slices: usize) -> Self {
+        let score = if total_slices == 0 {
+            1.0
+        } else {
+            1.0 - degraded_slices.len() as f64 / total_slices as f64
+        };
+        Self {
+            degraded_slices,
+            total_slices,
+            score,
+        }
+    }
+
+    /// Whether any input had to be interpolated.
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded_slices.is_empty()
+    }
+}
+
+impl Default for MeasurementConfidence {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
 /// A full measurement report over an extraction.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MeasurementReport {
@@ -35,6 +93,9 @@ pub struct MeasurementReport {
     pub classes: Vec<ClassMeasurement>,
     /// Total individual measurements taken (2 per device: W and L).
     pub total_measurements: usize,
+    /// Provenance-based confidence in these numbers (degraded-input
+    /// flags; see [`MeasurementConfidence`]).
+    pub confidence: MeasurementConfidence,
 }
 
 impl MeasurementReport {
@@ -107,6 +168,7 @@ pub fn measure(extraction: &Extraction) -> MeasurementReport {
     MeasurementReport {
         classes,
         total_measurements: total,
+        confidence: MeasurementConfidence::full(),
     }
 }
 

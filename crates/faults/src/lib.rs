@@ -1,0 +1,49 @@
+//! Deterministic fault injection, bounded retries and graceful degradation.
+//!
+//! The paper's physical pipeline is riddled with partial failures — a FIB
+//! slice mills badly, the SEM image charges, the stage drifts past the
+//! correction budget — and the authors recover by re-milling and
+//! re-acquiring (Section IV). This crate gives the reproduction the same
+//! shape *as infrastructure*: every fallible boundary in the software
+//! pipeline (per-slice acquisition, artifact-store reads and writes,
+//! stage execution) can be made to fail on demand, deterministically, and
+//! the recovery machinery (retry with exponential backoff, neighbour
+//! interpolation for slices that stay dead) is exercised under test
+//! instead of being trusted on faith.
+//!
+//! - [`FaultSpec`] / [`FaultPlan`] — a seeded, pure-function description of
+//!   which attempt at which site fails. Decisions depend only on
+//!   `(seed, site, attempt)`, never on call order, so a faulted pipeline
+//!   is bit-identical at every thread count.
+//! - [`RetryPolicy`] — bounded retries with deterministic exponential
+//!   backoff. Backoff advances a [`VirtualClock`] instead of sleeping, so
+//!   recovery is reproducible and tests stay fast.
+//! - [`GaveUp`] / [`Exhausted`] — typed errors for operations that used up
+//!   their whole retry budget; callers either surface them or degrade
+//!   gracefully (and say so via the fault counters).
+//!
+//! # Examples
+//!
+//! ```
+//! use hifi_faults::{retry, FaultKind, FaultPlan, FaultSpec, RetryPolicy, VirtualClock};
+//!
+//! // Fail roughly half of all first attempts, never twice in a row.
+//! let plan = FaultPlan::new(FaultSpec::uniform(7, 0.5).with_max_consecutive(1));
+//! let policy = RetryPolicy::default();
+//! let clock = VirtualClock::new();
+//! let value = retry(&policy, &clock, |_| true, |attempt| {
+//!     if plan.check(FaultKind::StoreRead, "blob:42") {
+//!         Err(format!("injected fault on attempt {attempt}"))
+//!     } else {
+//!         Ok(42)
+//!     }
+//! })
+//! .expect("recoverable by construction");
+//! assert_eq!(value.0, 42);
+//! ```
+
+mod plan;
+mod retry;
+
+pub use plan::{FaultKind, FaultPlan, FaultSpec, FaultTally};
+pub use retry::{retry, Exhausted, GaveUp, RetryError, RetryPolicy, VirtualClock};

@@ -39,5 +39,6 @@ pub use align::{align, align_with, AlignMethod};
 pub use denoise::{average_slices, chambolle_tv, denoise, median3x3};
 pub use reconstruct::{classify_pixel, reconstruct};
 pub use sem::{
-    acquire, render_ideal, DetectorKind, DriftTruth, ImageStack, ImagingConfig, SemImage,
+    acquire, acquire_with_recovery, render_ideal, AcquireOutcome, DetectorKind, DriftTruth,
+    ImageStack, ImagingConfig, SemImage,
 };

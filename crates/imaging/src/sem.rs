@@ -1,5 +1,6 @@
 //! FIB slicing and SEM image formation.
 
+use hifi_faults::{retry, FaultKind, FaultPlan, RetryPolicy, VirtualClock};
 use hifi_synth::MaterialVolume;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -394,10 +395,34 @@ struct SliceArtefacts {
 /// Returns the stack and the ground-truth artefacts (for validation only —
 /// the post-processing never sees them).
 pub fn acquire(volume: &MaterialVolume, cfg: &ImagingConfig) -> (ImageStack, DriftTruth) {
+    let (artefacts, truth) = slice_artefacts(volume, cfg);
+    // Parallel render pass: every slice renders, shifts and replays its
+    // noise draws independently.
+    let slices = rayon::par_map(&artefacts, |a| render_slice(volume, cfg, a));
+    (
+        ImageStack::from_slices(
+            slices,
+            volume.voxel_nm(),
+            cfg.slice_voxels.max(1),
+            cfg.detector,
+        )
+        .with_frame_margin(cfg.frame_margin_px),
+        truth,
+    )
+}
+
+/// The sequential artefact pass of [`acquire`]: walks the single RNG
+/// stream, drawing each slice's drift and brightness innovations and
+/// snapshotting the state its noise starts from, then skipping over the
+/// slice's noise draws so the next slice sees the same RNG state a fully
+/// sequential acquisition would.
+fn slice_artefacts(
+    volume: &MaterialVolume,
+    cfg: &ImagingConfig,
+) -> (Vec<SliceArtefacts>, DriftTruth) {
     let (nx, ny, nz) = volume.dims();
     let step = cfg.slice_voxels.max(1);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let sigma = cfg.noise_sigma();
 
     let mut artefacts: Vec<SliceArtefacts> = Vec::new();
     let mut shifts = Vec::new();
@@ -408,11 +433,7 @@ pub fn acquire(volume: &MaterialVolume, cfg: &ImagingConfig) -> (ImageStack, Dri
     const REVERSION: f64 = 0.94;
 
     let margin = cfg.frame_margin_px;
-    let oxide = oxide_intensity(cfg.detector);
     let pixels_per_slice = (ny + 2 * margin) * (nz + 2 * margin);
-    // Sequential artefact pass: one gaussian per drift/brightness
-    // innovation, then skip the slice's noise draws so the next slice sees
-    // the same RNG state a sequential acquisition would.
     let mut x = 0usize;
     while x < nx {
         // Stage drift: mean-reverting walk (first slice is the reference).
@@ -434,27 +455,172 @@ pub fn acquire(volume: &MaterialVolume, cfg: &ImagingConfig) -> (ImageStack, Dri
         brightness.push(bright);
         x += step;
     }
+    (artefacts, DriftTruth { shifts, brightness })
+}
 
-    // Parallel render pass: every slice renders, shifts and replays its
-    // noise draws independently.
-    let slices = rayon::par_map(&artefacts, |a| {
-        // Ideal cross-section, framed with blank margin so drift cannot
-        // push content off the image.
-        let img = render_cross_section(volume, a.x, cfg);
-        let mut img = img.shifted(a.dy, a.dz, oxide);
-        // Shot noise + brightness offset.
-        let mut rng = a.noise_rng.clone();
-        for p in img.pixels_mut() {
-            *p += (gaussian(&mut rng) * sigma + a.bright) as f32;
+/// Renders one acquired slice from its sequentially-derived artefacts:
+/// ideal cross-section, framed with blank margin so drift cannot push
+/// content off the image, then drift shift, shot noise and brightness
+/// offset. A pure function of `(volume, cfg, artefacts)`, so re-rendering
+/// the same slice (a re-acquisition after a fault) is bit-identical.
+fn render_slice(volume: &MaterialVolume, cfg: &ImagingConfig, a: &SliceArtefacts) -> SemImage {
+    let oxide = oxide_intensity(cfg.detector);
+    let sigma = cfg.noise_sigma();
+    let img = render_cross_section(volume, a.x, cfg);
+    let mut img = img.shifted(a.dy, a.dz, oxide);
+    let mut rng = a.noise_rng.clone();
+    for p in img.pixels_mut() {
+        *p += (gaussian(&mut rng) * sigma + a.bright) as f32;
+    }
+    img
+}
+
+/// Result of a fault-aware acquisition ([`acquire_with_recovery`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcquireOutcome {
+    /// The acquired stack; degraded slices are interpolated in place.
+    pub stack: ImageStack,
+    /// Ground-truth artefacts, identical to a clean [`acquire`] (stage
+    /// drift is a property of the mill schedule, not of which slice
+    /// acquisitions failed).
+    pub truth: DriftTruth,
+    /// Slice indices that exhausted their retries and were interpolated
+    /// from neighbours. Empty whenever the plan is recoverable under the
+    /// policy (`policy.max_retries >= spec.max_consecutive`).
+    pub degraded_slices: Vec<usize>,
+}
+
+/// [`acquire`] under a fault plan: each slice acquisition consults the
+/// plan and, when a fault is injected, is re-acquired under `policy` with
+/// backoff charged to `clock`. A re-acquired slice replays the same RNG
+/// snapshot, so a recovered stack is **bit-identical** to a clean one at
+/// any thread count. A slice that exhausts its retries is interpolated
+/// from its nearest intact neighbours (mean of both sides, copy of one
+/// side at the stack edges, oxide fill if every slice failed) and flagged
+/// in [`AcquireOutcome::degraded_slices`].
+pub fn acquire_with_recovery(
+    volume: &MaterialVolume,
+    cfg: &ImagingConfig,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    clock: &VirtualClock,
+) -> AcquireOutcome {
+    let (artefacts, truth) = slice_artefacts(volume, cfg);
+
+    /// A failed slice acquisition (always transient: the stage position is
+    /// unchanged and the mill schedule already advanced).
+    #[derive(Debug)]
+    struct SliceFault;
+    impl core::fmt::Display for SliceFault {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str("slice acquisition failed")
         }
-        img
+    }
+
+    let indices: Vec<usize> = (0..artefacts.len()).collect();
+    let rendered: Vec<Option<SemImage>> = rayon::par_map(&indices, |&i| {
+        let site = format!("slice:{i}");
+        let outcome = retry(
+            policy,
+            clock,
+            |_: &SliceFault| true,
+            |_attempt| {
+                if plan.check(FaultKind::AcquireSlice, &site) {
+                    Err(SliceFault)
+                } else {
+                    Ok(render_slice(volume, cfg, &artefacts[i]))
+                }
+            },
+        );
+        match outcome {
+            Ok((img, retries)) => {
+                if retries > 0 {
+                    plan.record_retried(u64::from(retries));
+                    plan.record_recovered(1);
+                }
+                Some(img)
+            }
+            Err(_) => {
+                // Transient-only error type: the only reachable branch is
+                // an exhausted retry budget.
+                plan.record_retried(u64::from(policy.max_retries));
+                plan.record_degraded(1);
+                None
+            }
+        }
     });
 
-    (
-        ImageStack::from_slices(slices, volume.voxel_nm(), step, cfg.detector)
-            .with_frame_margin(margin),
-        DriftTruth { shifts, brightness },
-    )
+    let degraded_slices: Vec<usize> = rendered
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.is_none().then_some(i))
+        .collect();
+    // Interpolate from *rendered* neighbours only (never from another
+    // interpolated slice), reading the pre-fill state.
+    let (ny, nz) = framed_dims(volume, cfg);
+    let interpolated: Vec<(usize, SemImage)> = degraded_slices
+        .iter()
+        .map(|&i| (i, interpolate_slice(&rendered, i, ny, nz, cfg)))
+        .collect();
+    let mut rendered = rendered;
+    for (i, img) in interpolated {
+        rendered[i] = Some(img);
+    }
+    let slices: Vec<SemImage> = rendered
+        .into_iter()
+        .map(|r| r.expect("every slot rendered or interpolated"))
+        .collect();
+
+    AcquireOutcome {
+        stack: ImageStack::from_slices(
+            slices,
+            volume.voxel_nm(),
+            cfg.slice_voxels.max(1),
+            cfg.detector,
+        )
+        .with_frame_margin(cfg.frame_margin_px),
+        truth,
+        degraded_slices,
+    }
+}
+
+/// Framed slice dimensions `(ny, nz)` of an acquisition over `volume`.
+fn framed_dims(volume: &MaterialVolume, cfg: &ImagingConfig) -> (usize, usize) {
+    let (_, ny, nz) = volume.dims();
+    let m = cfg.frame_margin_px;
+    (ny + 2 * m, nz + 2 * m)
+}
+
+/// Best-effort stand-in for a slice whose acquisition exhausted retries:
+/// the pixel-wise mean of the nearest intact slices on both sides, a copy
+/// of the single intact side at a stack edge, or the oxide background if
+/// no slice survived.
+fn interpolate_slice(
+    rendered: &[Option<SemImage>],
+    i: usize,
+    ny: usize,
+    nz: usize,
+    cfg: &ImagingConfig,
+) -> SemImage {
+    let prev = rendered[..i]
+        .iter()
+        .rposition(|s| s.is_some())
+        .and_then(|p| rendered[p].as_ref());
+    let next = rendered[i + 1..]
+        .iter()
+        .position(|s| s.is_some())
+        .and_then(|n| rendered[i + 1 + n].as_ref());
+    match (prev, next) {
+        (Some(a), Some(b)) => {
+            let mut out = a.clone();
+            for (p, q) in out.pixels_mut().iter_mut().zip(b.pixels()) {
+                *p = (*p + q) / 2.0;
+            }
+            out
+        }
+        (Some(only), None) | (None, Some(only)) => only.clone(),
+        (None, None) => SemImage::filled(ny, nz, oxide_intensity(cfg.detector)),
+    }
 }
 
 #[cfg(test)]
@@ -637,6 +803,92 @@ mod tests {
         assert_eq!(odd.median(), 5.0);
         let empty = SemImage::filled(0, 0, 0.0);
         assert_eq!(empty.median(), 0.0);
+    }
+
+    #[test]
+    fn recovered_acquisition_is_bit_identical_to_clean() {
+        use hifi_faults::FaultSpec;
+        let v = test_volume();
+        let cfg = ImagingConfig::default();
+        let (clean, clean_truth) = acquire(&v, &cfg);
+        // Half the slice attempts fail, at most twice in a row — fully
+        // recoverable under the default policy (3 retries).
+        let plan = FaultPlan::new(
+            FaultSpec::disabled()
+                .with_seed(3)
+                .with_rate(FaultKind::AcquireSlice, 0.5)
+                .with_max_consecutive(2),
+        );
+        let clock = VirtualClock::new();
+        let out = acquire_with_recovery(&v, &cfg, &plan, &RetryPolicy::default(), &clock);
+        let tally = plan.tally();
+        assert!(tally.injected > 0, "plan must actually inject");
+        assert_eq!(tally.degraded, 0);
+        assert!(tally.recovered > 0);
+        assert!(out.degraded_slices.is_empty());
+        assert_eq!(out.stack, clean, "recovery must be bit-transparent");
+        assert_eq!(out.truth, clean_truth);
+        assert!(
+            clock.elapsed() > std::time::Duration::ZERO,
+            "backoff must be charged to the virtual clock"
+        );
+    }
+
+    #[test]
+    fn exhausted_slices_are_interpolated_and_flagged() {
+        use hifi_faults::FaultSpec;
+        let v = test_volume();
+        let cfg = ImagingConfig::default();
+        let (clean, _) = acquire(&v, &cfg);
+        // Zero-retry policy: every injected slice degrades immediately.
+        let plan = FaultPlan::new(
+            FaultSpec::disabled()
+                .with_seed(11)
+                .with_rate(FaultKind::AcquireSlice, 0.4)
+                .with_max_consecutive(5),
+        );
+        let clock = VirtualClock::new();
+        let out = acquire_with_recovery(&v, &cfg, &plan, &RetryPolicy::none(), &clock);
+        assert!(
+            !out.degraded_slices.is_empty(),
+            "seed 11 at 40% must degrade"
+        );
+        assert_eq!(out.stack.len(), clean.len(), "stack shape is preserved");
+        assert_eq!(plan.tally().degraded, out.degraded_slices.len() as u64);
+        for i in 0..clean.len() {
+            if out.degraded_slices.contains(&i) {
+                assert_eq!(out.stack.slice(i).dims(), clean.slice(i).dims());
+                assert_ne!(
+                    out.stack.slice(i),
+                    clean.slice(i),
+                    "slice {i} was interpolated, not re-acquired"
+                );
+            } else {
+                assert_eq!(out.stack.slice(i), clean.slice(i), "intact slice {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn interpolation_averages_neighbours_and_handles_edges() {
+        let cfg = ImagingConfig::default();
+        let img = |v: f32| SemImage::filled(2, 2, v);
+        // Middle gap: mean of both sides.
+        let rendered = vec![Some(img(10.0)), None, Some(img(30.0))];
+        assert_eq!(interpolate_slice(&rendered, 1, 2, 2, &cfg), img(20.0));
+        // Edge gap: copy of the single intact side.
+        let rendered = vec![None, Some(img(7.0))];
+        assert_eq!(interpolate_slice(&rendered, 0, 2, 2, &cfg), img(7.0));
+        // Nearest *rendered* neighbour wins, skipping other gaps.
+        let rendered = vec![Some(img(4.0)), None, None, Some(img(8.0))];
+        assert_eq!(interpolate_slice(&rendered, 1, 2, 2, &cfg), img(6.0));
+        assert_eq!(interpolate_slice(&rendered, 2, 2, 2, &cfg), img(6.0));
+        // Total loss: oxide background.
+        let rendered = vec![None, None];
+        assert_eq!(
+            interpolate_slice(&rendered, 0, 2, 2, &cfg),
+            SemImage::filled(2, 2, oxide_intensity(cfg.detector))
+        );
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! run.
 
 use hifi_circuit::{Device, DeviceId, Netlist, Polarity, TransistorClass, TransistorDims};
-use hifi_extract::{ClassMeasurement, ExtractedDevice, Extraction, MeasurementReport};
+use hifi_extract::{
+    ClassMeasurement, ExtractedDevice, Extraction, MeasurementConfidence, MeasurementReport,
+};
 use hifi_geometry::{Layer, LayerExtent, LayerStack};
 use hifi_imaging::{DetectorKind, DriftTruth, ImageStack, SemImage};
 use hifi_synth::MaterialVolume;
@@ -61,7 +63,11 @@ impl core::fmt::Display for CodecError {
 impl std::error::Error for CodecError {}
 
 /// Current format version shared by all artifact kinds.
-const VERSION: u16 = 1;
+///
+/// v2: measurement reports carry [`MeasurementConfidence`] provenance.
+/// Old blobs fail with [`CodecError::BadVersion`], which the store treats
+/// as a cache miss — never fatal.
+const VERSION: u16 = 2;
 
 /// Raw voxel bytes per RLE chunk (chunking bounds decoder allocations and
 /// keeps a flipped length byte from requesting gigabytes).
@@ -413,15 +419,22 @@ fn read_shift_list(r: &mut Reader<'_>, what: &'static str) -> Result<Vec<(i32, i
     Ok(out)
 }
 
-/// Encodes an acquisition result: the raw stack plus its ground-truth
-/// drift/brightness artefacts (needed by fidelity telemetry on cache hits).
-pub fn encode_acquisition(stack: &ImageStack, truth: &DriftTruth) -> Vec<u8> {
+/// Encodes an acquisition result: the raw stack, its ground-truth
+/// drift/brightness artefacts (needed by fidelity telemetry on cache
+/// hits), and the indices of slices that were interpolated after
+/// exhausting re-acquisition retries (so a cache hit keeps the degraded
+/// provenance a recomputation would rediscover).
+pub fn encode_acquisition(stack: &ImageStack, truth: &DriftTruth, degraded: &[usize]) -> Vec<u8> {
     let mut w = Writer::magic(STACK_MAGIC);
     write_stack(&mut w, stack);
     write_shift_list(&mut w, &truth.shifts);
     w.u32(truth.brightness.len() as u32);
     for &b in &truth.brightness {
         w.f64(b);
+    }
+    w.u32(degraded.len() as u32);
+    for &d in degraded {
+        w.u64(d as u64);
     }
     w.into_bytes()
 }
@@ -431,7 +444,7 @@ pub fn encode_acquisition(stack: &ImageStack, truth: &DriftTruth) -> Vec<u8> {
 /// # Errors
 ///
 /// Returns [`CodecError`] on structural damage (see [`decode_volume`]).
-pub fn decode_acquisition(buf: &[u8]) -> Result<(ImageStack, DriftTruth), CodecError> {
+pub fn decode_acquisition(buf: &[u8]) -> Result<(ImageStack, DriftTruth, Vec<usize>), CodecError> {
     let mut r = Reader::new(buf, "acquisition", STACK_MAGIC)?;
     let stack = read_stack(&mut r)?;
     let shifts = read_shift_list(&mut r, "drift shifts")?;
@@ -440,8 +453,19 @@ pub fn decode_acquisition(buf: &[u8]) -> Result<(ImageStack, DriftTruth), CodecE
     for _ in 0..n {
         brightness.push(r.f64("brightness offset")?);
     }
+    let n_degraded = r.count(8, "degraded slice count")?;
+    let mut degraded = Vec::with_capacity(n_degraded);
+    for _ in 0..n_degraded {
+        let idx = r.usize("degraded slice index")?;
+        if idx >= stack.len() {
+            return Err(CodecError::Invalid {
+                what: "degraded slice index",
+            });
+        }
+        degraded.push(idx);
+    }
     r.finish("acquisition trailing bytes")?;
-    Ok((stack, DriftTruth { shifts, brightness }))
+    Ok((stack, DriftTruth { shifts, brightness }, degraded))
 }
 
 const PROCESSED_MAGIC: &[u8; 4] = b"HPRC";
@@ -625,6 +649,12 @@ fn write_measurement(w: &mut Writer, m: &MeasurementReport) {
         w.f64(c.length_spread.value());
     }
     w.u64(m.total_measurements as u64);
+    w.u32(m.confidence.degraded_slices.len() as u32);
+    for &s in &m.confidence.degraded_slices {
+        w.u64(s as u64);
+    }
+    w.u64(m.confidence.total_slices as u64);
+    w.f64(m.confidence.score);
 }
 
 fn read_measurement(r: &mut Reader<'_>) -> Result<MeasurementReport, CodecError> {
@@ -640,9 +670,27 @@ fn read_measurement(r: &mut Reader<'_>) -> Result<MeasurementReport, CodecError>
             length_spread: Nanometers(r.f64("length spread")?),
         });
     }
+    let total_measurements = r.usize("total measurements")?;
+    let n_degraded = r.count(8, "degraded slice count")?;
+    let mut degraded_slices = Vec::with_capacity(n_degraded);
+    for _ in 0..n_degraded {
+        degraded_slices.push(r.usize("degraded slice index")?);
+    }
+    let total_slices = r.usize("confidence slice total")?;
+    let score = r.f64("confidence score")?;
+    if degraded_slices.len() > total_slices || !(0.0..=1.0).contains(&score) {
+        return Err(CodecError::Invalid {
+            what: "measurement confidence",
+        });
+    }
     Ok(MeasurementReport {
         classes,
-        total_measurements: r.usize("total measurements")?,
+        total_measurements,
+        confidence: MeasurementConfidence {
+            degraded_slices,
+            total_slices,
+            score,
+        },
     })
 }
 
@@ -779,11 +827,18 @@ mod tests {
             ..Default::default()
         };
         let (stack, truth) = hifi_imaging::acquire(&v, &cfg);
-        let blob = encode_acquisition(&stack, &truth);
-        let (s2, t2) = decode_acquisition(&blob).expect("decodes");
+        let blob = encode_acquisition(&stack, &truth, &[1, 3]);
+        let (s2, t2, degraded) = decode_acquisition(&blob).expect("decodes");
         assert_eq!(s2, stack);
         assert_eq!(t2, truth);
+        assert_eq!(degraded, vec![1, 3]);
         assert_eq!(s2.frame_margin_px(), stack.frame_margin_px());
+        // A degraded index past the stack length is structural damage.
+        let bad = encode_acquisition(&stack, &truth, &[stack.len()]);
+        assert!(matches!(
+            decode_acquisition(&bad),
+            Err(CodecError::Invalid { .. })
+        ));
     }
 
     #[test]
@@ -793,10 +848,12 @@ mod tests {
             shifts: Vec::new(),
             brightness: Vec::new(),
         };
-        let (s2, t2) = decode_acquisition(&encode_acquisition(&stack, &truth)).expect("decodes");
+        let (s2, t2, degraded) =
+            decode_acquisition(&encode_acquisition(&stack, &truth, &[])).expect("decodes");
         assert!(s2.is_empty());
         assert_eq!(s2.detector(), DetectorKind::Se);
         assert!(t2.shifts.is_empty());
+        assert!(degraded.is_empty());
         let (p, c) = decode_processed(&encode_processed(&stack, &[])).expect("decodes");
         assert!(p.is_empty() && c.is_empty());
     }

@@ -197,6 +197,21 @@ pub fn imaging_fingerprint(cfg: &ImagingConfig) -> Key {
     f.finish()
 }
 
+/// Canonical fingerprint of a fault spec. Pipelines running under an
+/// *enabled* fault plan salt their root stage key with this, so artifacts
+/// produced under injection (possibly degraded) can never be served to a
+/// fault-free run of the same configuration — and vice versa.
+pub fn fault_fingerprint(spec: &hifi_faults::FaultSpec) -> Key {
+    let mut f = Fingerprinter::new();
+    f.str("FaultSpec.v1");
+    f.u64(spec.seed);
+    for kind in hifi_faults::FaultKind::ALL {
+        f.f64(spec.rate(kind));
+    }
+    f.u64(u64::from(spec.max_consecutive));
+    f.finish()
+}
+
 /// Chains a stage onto its upstream: `stage_key = H(salt ‖ upstream ‖ extras)`.
 /// Call `.finish()` on the returned builder after feeding any stage-local
 /// parameters (denoise strength, window index, …).
@@ -292,6 +307,22 @@ mod tests {
             stage(1, up1).f64(2.0).finish(),
             stage(1, up1).f64(3.0).finish()
         );
+    }
+
+    #[test]
+    fn any_fault_spec_field_changes_the_key() {
+        use hifi_faults::{FaultKind, FaultSpec};
+        let base = FaultSpec::uniform(7, 0.1);
+        let k0 = fault_fingerprint(&base);
+        assert_eq!(k0, fault_fingerprint(&base), "must be stable");
+        let variants = [
+            base.clone().with_seed(8),
+            base.clone().with_rate(FaultKind::CorruptBlob, 0.2),
+            base.clone().with_max_consecutive(3),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(fault_fingerprint(v), k0, "variant {i} collided");
+        }
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub mod fingerprint;
 pub mod store;
 
 pub use codec::CodecError;
-pub use fingerprint::{imaging_fingerprint, spec_fingerprint, stage, Fingerprinter, Key};
+pub use fingerprint::{
+    fault_fingerprint, imaging_fingerprint, spec_fingerprint, stage, Fingerprinter, Key,
+};
 pub use store::{ArtifactStore, StoreError};
 
 /// Process-wide store activity counters.

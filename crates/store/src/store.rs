@@ -22,7 +22,10 @@ use std::fs;
 use std::hash::Hasher;
 use std::io::{ErrorKind, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime};
+
+use hifi_faults::{FaultKind, FaultPlan};
 
 use crate::fingerprint::Key;
 use crate::stats;
@@ -53,6 +56,28 @@ impl StoreError {
             kind: err.kind(),
             message: err.to_string(),
         }
+    }
+
+    /// A transient failure injected by an attached [`FaultPlan`]; carries
+    /// `ErrorKind::Interrupted` so [`StoreError::is_transient`] holds.
+    fn injected(op: &'static str, path: &Path, kind: FaultKind) -> Self {
+        Self {
+            op,
+            path: path.to_path_buf(),
+            kind: ErrorKind::Interrupted,
+            message: format!("injected transient {kind} fault"),
+        }
+    }
+
+    /// Whether retrying the failed operation can plausibly succeed.
+    ///
+    /// Injected faults and interrupted/timed-out I/O are transient; real
+    /// environmental failures (permissions, disk full) are not.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self.kind,
+            ErrorKind::Interrupted | ErrorKind::TimedOut | ErrorKind::WouldBlock
+        )
     }
 }
 
@@ -97,6 +122,10 @@ struct Entry {
 #[derive(Debug, Clone)]
 pub struct ArtifactStore {
     root: PathBuf,
+    /// Optional fault-injection plan exercising the error paths: transient
+    /// read/write failures and in-memory blob corruption. `None` (the
+    /// default) costs nothing on the hot paths.
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 /// Advisory cross-process lock: holds `<root>/.lock`, created with
@@ -127,7 +156,26 @@ impl ArtifactStore {
         let root = root.into();
         let objects = root.join("objects");
         fs::create_dir_all(&objects).map_err(|e| StoreError::io("open", &objects, &e))?;
-        Ok(Self { root })
+        Ok(Self {
+            root,
+            fault_plan: None,
+        })
+    }
+
+    /// Attaches a fault plan: subsequent [`ArtifactStore::get`] and
+    /// [`ArtifactStore::put`] calls consult it and may fail transiently
+    /// (`StoreRead`/`StoreWrite`, surfacing as [`StoreError`] with
+    /// [`StoreError::is_transient`] true) or observe a corrupted payload
+    /// (`CorruptBlob`, flipping a byte of the read buffer so the real
+    /// evict-and-recompute path runs against an intact on-disk object).
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault_plan.as_ref()
     }
 
     /// The store's root directory.
@@ -256,6 +304,11 @@ impl ArtifactStore {
     /// I/O reasons (permissions, hardware), or the lock cannot be taken.
     pub fn get(&self, key: Key) -> Result<Option<Vec<u8>>, StoreError> {
         let path = self.object_path(key);
+        if let Some(plan) = &self.fault_plan {
+            if plan.check(FaultKind::StoreRead, &key.hex()) {
+                return Err(StoreError::injected("get", &path, FaultKind::StoreRead));
+            }
+        }
         let mut file = match fs::File::open(&path) {
             Ok(f) => f,
             Err(e) if e.kind() == ErrorKind::NotFound => {
@@ -268,6 +321,15 @@ impl ArtifactStore {
         file.read_to_end(&mut buf)
             .map_err(|e| StoreError::io("get", &path, &e))?;
         drop(file);
+        if let Some(plan) = &self.fault_plan {
+            // Corrupt the *read buffer*, not the file: the checksum check
+            // below fails, the (intact) object is evicted, and the caller
+            // recomputes — exactly the bit-rot path, deterministically.
+            if !buf.is_empty() && plan.check(FaultKind::CorruptBlob, &key.hex()) {
+                let last = buf.len() - 1;
+                buf[last] ^= 0x01;
+            }
+        }
         match Self::check_blob(&buf) {
             Some(payload_range) => {
                 let payload = buf[payload_range].to_vec();
@@ -321,6 +383,11 @@ impl ArtifactStore {
     pub fn put(&self, key: Key, payload: &[u8]) -> Result<(), StoreError> {
         let sum = checksum(payload);
         let path = self.object_path(key);
+        if let Some(plan) = &self.fault_plan {
+            if plan.check(FaultKind::StoreWrite, &key.hex()) {
+                return Err(StoreError::injected("put", &path, FaultKind::StoreWrite));
+            }
+        }
         let tmp =
             self.root
                 .join("objects")
@@ -536,6 +603,59 @@ mod tests {
         assert_eq!(n, n_threads * per_thread);
         assert_eq!(store.verify().expect("verify"), (n_threads * per_thread, 0));
         let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn injected_store_faults_are_transient_and_clear_on_retry() {
+        use hifi_faults::FaultSpec;
+        let spec = FaultSpec::disabled()
+            .with_rate(FaultKind::StoreWrite, 1.0)
+            .with_rate(FaultKind::StoreRead, 1.0)
+            .with_max_consecutive(1);
+        let plan = Arc::new(FaultPlan::new(spec));
+        let store = temp_store("inject-rw").with_fault_plan(plan.clone());
+        let key = key_of("epsilon");
+        let err = store.put(key, b"x").expect_err("first put injected");
+        assert!(err.is_transient(), "{err}");
+        store.put(key, b"x").expect("second put clears");
+        let err = store.get(key).expect_err("first get injected");
+        assert!(err.is_transient(), "{err}");
+        assert_eq!(store.get(key).expect("get").as_deref(), Some(&b"x"[..]));
+        assert_eq!(plan.tally().injected, 2);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn injected_corruption_misses_then_recovers_via_reput() {
+        use hifi_faults::FaultSpec;
+        let spec = FaultSpec::disabled()
+            .with_rate(FaultKind::CorruptBlob, 1.0)
+            .with_max_consecutive(1);
+        let store = temp_store("inject-corrupt").with_fault_plan(Arc::new(FaultPlan::new(spec)));
+        let key = key_of("zeta");
+        store.put(key, b"artifact").expect("put");
+        // The read buffer is corrupted in memory; checksum fails, the
+        // object is evicted, the caller sees a plain miss.
+        assert_eq!(store.get(key).expect("get"), None);
+        assert!(!store.object_path(key).exists());
+        // The recompute-and-re-put path restores service; the corruption
+        // site has walked past `max_consecutive`, so the next read is clean.
+        store.put(key, b"artifact").expect("re-put");
+        assert_eq!(
+            store.get(key).expect("get").as_deref(),
+            Some(&b"artifact"[..])
+        );
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn real_io_errors_are_not_transient() {
+        let e = StoreError::io(
+            "get",
+            Path::new("/nope"),
+            &std::io::Error::new(ErrorKind::PermissionDenied, "denied"),
+        );
+        assert!(!e.is_transient());
     }
 
     #[test]

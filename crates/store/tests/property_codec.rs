@@ -66,11 +66,13 @@ proptest! {
     ) {
         let stack = stack_from(n_slices, ny, nz, &pixels, margin);
         let truth = DriftTruth { shifts: shifts.clone(), brightness };
-        let blob = codec::encode_acquisition(&stack, &truth);
-        let (s2, t2) = codec::decode_acquisition(&blob).expect("round trip");
+        let degraded: Vec<usize> = (0..stack.len()).step_by(2).collect();
+        let blob = codec::encode_acquisition(&stack, &truth, &degraded);
+        let (s2, t2, d2) = codec::decode_acquisition(&blob).expect("round trip");
         prop_assert_eq!(&s2, &stack);
         prop_assert_eq!(s2.frame_margin_px(), stack.frame_margin_px());
         prop_assert_eq!(t2, truth);
+        prop_assert_eq!(d2, degraded);
 
         let blob = codec::encode_processed(&stack, &shifts);
         let (s3, c3) = codec::decode_processed(&blob).expect("round trip");

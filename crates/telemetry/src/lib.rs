@@ -37,7 +37,8 @@ mod report;
 
 pub use recorder::{with_span, Event, EventType, JsonRecorder, NoopRecorder, Recorder};
 pub use report::{
-    ConfigEcho, CounterTotal, FidelityMetrics, GaugeStat, RunReport, StageSpeedup, StageTiming,
+    ConfigEcho, CounterTotal, FaultTotals, FidelityMetrics, GaugeStat, RunReport, StageSpeedup,
+    StageTiming,
 };
 
 /// Well-known gauge names the [`RunReport`] builder folds into
@@ -70,4 +71,15 @@ pub mod names {
     pub const STORE_BYTES_WRITTEN: &str = "store.bytes_written";
     /// Counter: artifact payload bytes read from the store this run.
     pub const STORE_BYTES_READ: &str = "store.bytes_read";
+    /// Counter: faults injected by the run's fault plan.
+    pub const FAULT_INJECTED: &str = "fault.injected";
+    /// Counter: retry attempts made in response to injected faults.
+    pub const FAULT_RETRIED: &str = "fault.retried";
+    /// Counter: operations that recovered after at least one retry.
+    pub const FAULT_RECOVERED: &str = "fault.recovered";
+    /// Counter: operations that exhausted retries and were gracefully
+    /// degraded (e.g. slices interpolated from neighbours).
+    pub const FAULT_DEGRADED: &str = "fault.degraded";
+    /// Gauge: virtual backoff milliseconds charged by the retry layer.
+    pub const FAULT_BACKOFF_MS: &str = "fault.backoff_ms";
 }

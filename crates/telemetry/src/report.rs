@@ -34,6 +34,10 @@ pub struct ConfigEcho {
     pub align_window: u32,
     /// Index of the sense-amplifier pair the analysis window centres on.
     pub window_pair: u32,
+    /// Whether a fault-injection plan was active for the run.
+    pub faults: bool,
+    /// Seed of the fault plan (fault runs only).
+    pub fault_seed: Option<u64>,
 }
 
 impl ConfigEcho {
@@ -52,6 +56,8 @@ impl ConfigEcho {
             denoise_iterations: 0,
             align_window: 0,
             window_pair: 0,
+            faults: false,
+            fault_seed: None,
         }
     }
 }
@@ -130,6 +136,28 @@ impl FidelityMetrics {
     }
 }
 
+/// Fault-injection and recovery totals of one run, extracted from the
+/// `fault.*` counters (see [`crate::names`]). All zero for runs without a
+/// fault plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultTotals {
+    /// Faults injected by the run's fault plan.
+    pub injected: u64,
+    /// Retry attempts made in response.
+    pub retried: u64,
+    /// Operations that recovered after at least one retry.
+    pub recovered: u64,
+    /// Operations that exhausted retries and were gracefully degraded.
+    pub degraded: u64,
+}
+
+impl FaultTotals {
+    /// Whether the run saw any fault activity at all.
+    pub fn any(&self) -> bool {
+        self.injected + self.retried + self.recovered + self.degraded > 0
+    }
+}
+
 /// Speedup of one stage between two runs of the same pipeline at
 /// different thread counts.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -159,6 +187,8 @@ pub struct RunReport {
     pub gauges: Vec<GaugeStat>,
     /// Named fidelity metrics extracted from the gauge stream.
     pub fidelity: FidelityMetrics,
+    /// Fault-injection and recovery totals extracted from the counters.
+    pub faults: FaultTotals,
     /// Number of events in the underlying stream.
     pub event_count: u64,
 }
@@ -234,6 +264,19 @@ impl RunReport {
 
         let threads = find(crate::names::PARALLEL_THREADS);
 
+        let counter = |name: &str| {
+            counters
+                .iter()
+                .find(|c| c.name == name)
+                .map_or(0, |c| c.total)
+        };
+        let faults = FaultTotals {
+            injected: counter(crate::names::FAULT_INJECTED),
+            retried: counter(crate::names::FAULT_RETRIED),
+            recovered: counter(crate::names::FAULT_RECOVERED),
+            degraded: counter(crate::names::FAULT_DEGRADED),
+        };
+
         Self {
             config,
             threads,
@@ -242,6 +285,7 @@ impl RunReport {
             counters,
             gauges,
             fidelity,
+            faults,
             event_count: events.len() as u64,
         }
     }
@@ -307,6 +351,12 @@ impl RunReport {
         }
         if let Some(drift) = self.fidelity.residual_drift_px {
             line.push_str(&format!(", residual drift {:.3} px", drift));
+        }
+        if self.faults.any() {
+            line.push_str(&format!(
+                ", faults {}/{} recovered ({} degraded)",
+                self.faults.recovered, self.faults.injected, self.faults.degraded
+            ));
         }
         line
     }
@@ -379,6 +429,33 @@ mod tests {
         assert!(line.contains("open_bitline"), "{line}");
         assert!(line.contains("2 stages"), "{line}");
         assert!(line.contains("voxel accuracy 0.970"), "{line}");
+    }
+
+    #[test]
+    fn fault_counters_are_lifted_into_totals() {
+        let mut rec = JsonRecorder::new();
+        rec.counter(crate::names::FAULT_INJECTED, 5);
+        rec.counter(crate::names::FAULT_RETRIED, 4);
+        rec.counter(crate::names::FAULT_RECOVERED, 3);
+        rec.counter(crate::names::FAULT_DEGRADED, 1);
+        let report = RunReport::from_events(ConfigEcho::pristine("classic"), rec.events());
+        assert_eq!(
+            report.faults,
+            FaultTotals {
+                injected: 5,
+                retried: 4,
+                recovered: 3,
+                degraded: 1,
+            }
+        );
+        assert!(report.faults.any());
+        let line = report.summary_line();
+        assert!(line.contains("faults 3/5 recovered (1 degraded)"), "{line}");
+        // Fault-free streams fold to all-zero totals and stay silent.
+        let clean = sample_report();
+        assert_eq!(clean.faults, FaultTotals::default());
+        assert!(!clean.faults.any());
+        assert!(!clean.summary_line().contains("faults"));
     }
 
     #[test]

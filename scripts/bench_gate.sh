@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Benchmark regression gate.
+#
+#   scripts/bench_gate.sh              # run the overhead benches, then gate
+#   scripts/bench_gate.sh --check-only # gate an existing BENCH_results.json
+#
+# The overhead benches (fault_overhead, telemetry_overhead) record their
+# headline numbers into BENCH_results.json; the bench_gate binary compares
+# them against the committed BENCH_baseline.json and fails on any metric
+# more than 15% over baseline (BENCH_GATE_TOLERANCE_PCT to override;
+# paired-ratio "percent" metrics additionally get one absolute point of
+# allowance — see crates/bench/src/results.rs for the exact rules).
+#
+# Wall-clock ("ms") baselines are machine-dependent. After a genuine,
+# intended performance change — or on new hardware — regenerate with:
+#
+#   scripts/bench_gate.sh && cp BENCH_results.json BENCH_baseline.json
+#
+# and commit the new baseline alongside the change that justifies it.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" != "--check-only" ]]; then
+    rm -f BENCH_results.json
+    echo "==> overhead benches (fault_overhead, telemetry_overhead)"
+    cargo bench --offline --locked -p hifi-bench \
+        --bench fault_overhead --bench telemetry_overhead
+fi
+
+echo "==> bench_gate: BENCH_results.json vs BENCH_baseline.json"
+cargo run -q --release --offline --locked -p hifi-bench --bin bench_gate

@@ -2,50 +2,83 @@
 # Repo health gate: formatting, lints, thread-count determinism, and
 # regen-output drift.
 #
-#   scripts/check.sh            # run everything
-#   scripts/check.sh --no-drift # skip the (slow) tests + regen drift check
+#   scripts/check.sh              # run everything
+#   scripts/check.sh --no-drift   # lint only: skip tests + regen drift
+#   scripts/check.sh --drift-only # regen/store drift only: skip lint + tests
+#                                 # (CI runs lint and tests as separate jobs)
 #
-# The drift check re-runs every regen binary that has a pinned snapshot in
-# regen_outputs/ and diffs the output byte-for-byte — once with the thread
-# count forced to 1 and once at available_parallelism (HIFI_THREADS, see
-# vendor/rayon): parallel execution must be a pure performance knob, so
-# both runs must match the snapshot exactly. regen_telemetry and
-# regen_dataset_json are excluded: telemetry JSON embeds wall times
-# (non-deterministic by design) and the dataset JSON has no pinned snapshot.
-# The tier-1 test suite likewise runs at both thread counts.
+# The drift check enumerates every regen binary under
+# crates/bench/src/bin/ and requires each to be accounted for:
+#
+#   - regen_outputs/<name>.txt   — pinned snapshot; the binary's stdout is
+#     diffed byte-for-byte against it, once with the thread count forced
+#     to 1 and once at available_parallelism (HIFI_THREADS, see
+#     vendor/rayon): parallel execution must be a pure performance knob.
+#   - regen_outputs/<name>.skip  — marker excluding the binary from the
+#     drift check; the file's contents state why (e.g. regen_telemetry
+#     embeds wall times, which are non-deterministic by design).
+#
+# A regen binary with neither file fails the gate: new artefacts must be
+# pinned or explicitly skipped, never silently unchecked. The tier-1 test
+# suite likewise runs at both thread counts.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+run_lint=1
+run_tests=1
 run_drift=1
-if [[ "${1:-}" == "--no-drift" ]]; then
-    run_drift=0
-fi
+case "${1:-}" in
+    --no-drift)
+        run_tests=0
+        run_drift=0
+        ;;
+    --drift-only)
+        run_lint=0
+        run_tests=0
+        ;;
+esac
 
 threads="$(nproc 2>/dev/null || echo 1)"
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+if [[ "$run_lint" -eq 1 ]]; then
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace --all-targets --offline -- -D warnings
+    echo "==> cargo clippy --workspace -- -D warnings"
+    cargo clippy --workspace --all-targets --offline --locked -- -D warnings
+fi
 
-if [[ "$run_drift" -eq 1 ]]; then
+if [[ "$run_tests" -eq 1 ]]; then
     echo "==> tier-1 tests @ 1 thread"
-    HIFI_THREADS=1 cargo test -q --offline
+    HIFI_THREADS=1 cargo test -q --offline --locked
 
     if [[ "$threads" -gt 1 ]]; then
         echo "==> tier-1 tests @ ${threads} threads"
-        HIFI_THREADS="$threads" cargo test -q --offline
+        HIFI_THREADS="$threads" cargo test -q --offline --locked
     else
         echo "==> tier-1 tests @ available_parallelism: skipped (1 core)"
     fi
+fi
 
+if [[ "$run_drift" -eq 1 ]]; then
     echo "==> regen drift check (1 thread and ${threads} threads)"
-    cargo build --release --offline -p hifi-bench --bins
+    cargo build --release --offline --locked -p hifi-bench --bins
     failed=0
-    for snapshot in regen_outputs/*.txt; do
-        name="$(basename "$snapshot" .txt)"
+    for src in crates/bench/src/bin/regen_*.rs; do
+        name="$(basename "$src" .rs)"
+        name="${name#regen_}"
+        snapshot="regen_outputs/${name}.txt"
+        skip_marker="regen_outputs/${name}.skip"
+        if [[ -f "$skip_marker" ]]; then
+            echo "skip         ${name} ($(head -n1 "$skip_marker"))"
+            continue
+        fi
+        if [[ ! -f "$snapshot" ]]; then
+            echo "UNACCOUNTED  ${name}: pin ${snapshot} or add ${skip_marker} with a reason"
+            failed=1
+            continue
+        fi
         bin="target/release/regen_${name}"
         if [[ ! -x "$bin" ]]; then
             echo "MISSING BIN  regen_${name} (snapshot ${snapshot})"
@@ -65,7 +98,18 @@ if [[ "$run_drift" -eq 1 ]]; then
         done
         if [[ "$ok" -eq 1 ]]; then
             echo "ok           ${name} (thread-count independent)"
-        else
+        fi
+        if [[ "$ok" -ne 1 ]]; then
+            failed=1
+        fi
+    done
+    # Stale snapshots/markers without a matching binary are drift too.
+    for pinned in regen_outputs/*.txt regen_outputs/*.skip; do
+        [[ -e "$pinned" ]] || continue
+        name="$(basename "$pinned")"
+        name="${name%.*}"
+        if [[ ! -f "crates/bench/src/bin/regen_${name}.rs" ]]; then
+            echo "STALE        ${pinned}: no crates/bench/src/bin/regen_${name}.rs"
             failed=1
         fi
     done
@@ -102,13 +146,13 @@ if [[ "$run_drift" -eq 1 ]]; then
     echo "ok           warm pass fully cached (0 misses)"
 
     echo "==> artifact store: gc + re-verify"
-    cargo run --release --offline -q -p hifi-store --bin hifi-store -- stats "$store_dir"
-    cargo run --release --offline -q -p hifi-store --bin hifi-store -- verify "$store_dir"
+    cargo run --release --offline --locked -q -p hifi-store --bin hifi-store -- stats "$store_dir"
+    cargo run --release --offline --locked -q -p hifi-store --bin hifi-store -- verify "$store_dir"
     # Halve the store; survivors must still verify and the regen output
     # must still match the snapshot (evicted stages recompute).
-    bytes="$(cargo run --release --offline -q -p hifi-store --bin hifi-store -- stats "$store_dir" | sed -n 's/^bytes //p')"
-    cargo run --release --offline -q -p hifi-store --bin hifi-store -- gc "$store_dir" "$((bytes / 2))"
-    cargo run --release --offline -q -p hifi-store --bin hifi-store -- verify "$store_dir"
+    bytes="$(cargo run --release --offline --locked -q -p hifi-store --bin hifi-store -- stats "$store_dir" | sed -n 's/^bytes //p')"
+    cargo run --release --offline --locked -q -p hifi-store --bin hifi-store -- gc "$store_dir" "$((bytes / 2))"
+    cargo run --release --offline --locked -q -p hifi-store --bin hifi-store -- verify "$store_dir"
     if ! HIFI_STORE="$store_dir" target/release/regen_pipeline_fidelity 2>/dev/null \
             | diff -u regen_outputs/pipeline_fidelity.txt - > /dev/null; then
         echo "STORE DRIFT  pipeline_fidelity (after gc)" >&2

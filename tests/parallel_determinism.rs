@@ -132,6 +132,30 @@ fn full_imaged_pipeline_is_identical_across_thread_counts() {
     }
 }
 
+/// Fault recovery must also be a no-op in the output: with a recoverable
+/// plan (every fault clears within the retry budget), the recovered
+/// pipeline is bit-identical to the clean single-threaded baseline at
+/// every thread count. Slice re-acquisition restarts from per-slice RNG
+/// snapshots, so which thread retries a slice — and when — cannot leak
+/// into the pixels.
+#[test]
+fn recovered_faulted_pipeline_is_identical_across_thread_counts() {
+    use hifi_faults::FaultSpec;
+    let clean = Pipeline::new(PipelineConfig::with_imaging(
+        SaTopologyKind::OffsetCancellation,
+        imaging_config(),
+    ));
+    let faulted = Pipeline::new(
+        PipelineConfig::with_imaging(SaTopologyKind::OffsetCancellation, imaging_config())
+            .with_faults(FaultSpec::uniform(7, 0.5)),
+    );
+    let baseline = rayon::with_num_threads(1, || clean.run().expect("clean run"));
+    for n in THREAD_COUNTS {
+        let report = rayon::with_num_threads(n, || faulted.run().expect("faulted run"));
+        assert_reports_identical(&baseline, &report, &format!("faulted @ {n} threads"));
+    }
+}
+
 /// The artifact store must be invisible in the output: a cold (populating)
 /// run and a warm (fully cached) run produce the same report as a
 /// store-less run, at every thread count.
