@@ -1,0 +1,29 @@
+//! Regenerates the pinned conformance-campaign summary.
+//!
+//! A tiny fixed campaign (seed 42, 2 runs) whose aggregate report is
+//! deterministic and thread-count independent, so `scripts/check.sh` can
+//! diff the stdout against `regen_outputs/conformance.txt` at 1 thread
+//! and at `available_parallelism`.
+
+use hifi_conformance::{run_campaign, CampaignConfig};
+
+fn main() {
+    let cfg = CampaignConfig {
+        seed: 42,
+        runs: 2,
+        ..CampaignConfig::default()
+    };
+    let report = run_campaign(&cfg);
+    println!("# Conformance campaign (seed 42, 2 runs)");
+    println!("{}", report.summary_line());
+    println!();
+    println!("oracle                      runs  failures");
+    for o in &report.oracles {
+        println!("{:<26}  {:>4}  {:>8}", o.oracle, o.runs, o.failures);
+    }
+    println!();
+    println!("worst dimension error (voxels), histogram:");
+    for b in &report.error_histogram {
+        println!("  {:<6} {}", b.bucket, b.count);
+    }
+}

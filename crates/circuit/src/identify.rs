@@ -274,6 +274,127 @@ pub fn are_isomorphic(a: &Netlist, b: &Netlist) -> bool {
     )
 }
 
+/// Structural difference between two netlists (typically an extracted
+/// netlist vs. its generator ground truth), derived from the same colour
+/// refinement [`are_isomorphic`] prunes with.
+///
+/// Devices and nets are matched by refinement colour: a colour class with
+/// more members on the reference side than the candidate side contributes
+/// *missing* entries, the converse contributes *spurious* ones. A rewired
+/// netlist with identical counts therefore still produces non-empty lists —
+/// the mis-wired elements refine to colours the other side lacks.
+///
+/// Colour refinement is an incomplete invariant, so in the (pathological)
+/// case where every colour class balances but backtracking still fails,
+/// `isomorphic` is `false` while all four lists are empty.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetlistDiff {
+    /// Exact [`are_isomorphic`] verdict.
+    pub isomorphic: bool,
+    /// Reference devices with no colour-matched candidate partner.
+    pub missing_devices: Vec<String>,
+    /// Candidate devices with no colour-matched reference partner.
+    pub spurious_devices: Vec<String>,
+    /// Reference nets with no colour-matched candidate partner.
+    pub missing_nets: Vec<String>,
+    /// Candidate nets with no colour-matched reference partner.
+    pub spurious_nets: Vec<String>,
+}
+
+impl NetlistDiff {
+    /// One-line human summary, e.g. for oracle failure reports.
+    pub fn summary(&self) -> String {
+        if self.isomorphic {
+            return "isomorphic".to_string();
+        }
+        format!(
+            "not isomorphic: {} missing / {} spurious devices, {} missing / {} spurious nets",
+            self.missing_devices.len(),
+            self.spurious_devices.len(),
+            self.missing_nets.len(),
+            self.spurious_nets.len()
+        )
+    }
+}
+
+/// Renders a device for a diff report: name, kind and gate net (the most
+/// recognisable terminal).
+fn describe_device(nl: &Netlist, id: DeviceId) -> String {
+    match nl.device(id) {
+        Device::Mosfet(m) => format!("{} (mosfet gate={})", m.name, nl.net_name(m.gate)),
+        Device::Capacitor(c) => format!("{} (capacitor)", c.name),
+    }
+}
+
+/// Colour-class multiset difference: for every colour where `from` has more
+/// members than `against`, describes the surplus `from` members.
+fn surplus<T>(from: &[u64], against: &[u64], describe: impl Fn(usize) -> T) -> Vec<T> {
+    let mut counts: std::collections::HashMap<u64, i64> = std::collections::HashMap::new();
+    for &c in against {
+        *counts.entry(c).or_default() += 1;
+    }
+    let mut out = Vec::new();
+    for (i, &c) in from.iter().enumerate() {
+        let n = counts.entry(c).or_default();
+        if *n > 0 {
+            *n -= 1;
+        } else {
+            out.push(describe(i));
+        }
+    }
+    out
+}
+
+/// Diffs `candidate` against `reference`: runs the exact isomorphism test
+/// and, on mismatch, reports which devices and nets each side cannot match
+/// in the other (by refinement colour). Lists are sorted for deterministic
+/// reports.
+///
+/// ```
+/// use hifi_circuit::{identify, topology};
+/// let classic = topology::classic_sa(Default::default());
+/// let ocsa = topology::ocsa(Default::default());
+/// let d = identify::diff(classic.netlist(), ocsa.netlist());
+/// assert!(!d.isomorphic);
+/// assert!(!d.missing_devices.is_empty(), "{}", d.summary());
+/// ```
+pub fn diff(candidate: &Netlist, reference: &Netlist) -> NetlistDiff {
+    let isomorphic = are_isomorphic(candidate, reference);
+    if isomorphic {
+        return NetlistDiff {
+            isomorphic,
+            ..NetlistDiff::default()
+        };
+    }
+    let (cand_nets, cand_devs) = refine(candidate, 6);
+    let (ref_nets, ref_devs) = refine(reference, 6);
+    fn net_desc(nl: &Netlist) -> impl Fn(usize) -> String + '_ {
+        |i| {
+            format!(
+                "{} (degree {})",
+                nl.net_name(NetId(i)),
+                nl.net_degree(NetId(i))
+            )
+        }
+    }
+    let mut d = NetlistDiff {
+        isomorphic,
+        missing_devices: surplus(&ref_devs, &cand_devs, |i| {
+            describe_device(reference, DeviceId(i))
+        }),
+        spurious_devices: surplus(&cand_devs, &ref_devs, |i| {
+            describe_device(candidate, DeviceId(i))
+        }),
+        missing_nets: surplus(&ref_nets, &cand_nets, net_desc(reference)),
+        spurious_nets: surplus(&cand_nets, &ref_nets, net_desc(candidate)),
+    };
+    d.missing_devices.sort();
+    d.spurious_devices.sort();
+    d.missing_nets.sort();
+    d.spurious_nets.sort();
+    d
+}
+
 /// A library of known SA topologies to match extracted circuits against.
 #[derive(Debug, Clone)]
 pub struct TopologyLibrary {
@@ -424,6 +545,80 @@ mod tests {
             }
         }
         assert_eq!(TopologyLibrary::standard().identify(&cut), None);
+    }
+
+    #[test]
+    fn diff_is_clean_for_isomorphic_netlists() {
+        let a = topology::ocsa(SaDimensions::default());
+        let b = topology::ocsa(SaDimensions::default());
+        let d = diff(a.netlist(), b.netlist());
+        assert!(d.isomorphic);
+        assert!(d.missing_devices.is_empty() && d.spurious_devices.is_empty());
+        assert!(d.missing_nets.is_empty() && d.spurious_nets.is_empty());
+        assert_eq!(d.summary(), "isomorphic");
+    }
+
+    #[test]
+    fn diff_reports_a_dropped_device_as_missing() {
+        let reference = topology::classic_sa(SaDimensions::default());
+        let src = reference.netlist();
+        let mut cut = Netlist::new("cut");
+        let devices: Vec<_> = src.devices().map(|(_, d)| d.clone()).collect();
+        for d in devices.iter().filter(|d| match d {
+            Device::Mosfet(m) => m.name != "eq",
+            _ => true,
+        }) {
+            if let Device::Mosfet(m) = d {
+                let g = cut.add_net(src.net_name(m.gate));
+                let s = cut.add_net(src.net_name(m.source));
+                let dr = cut.add_net(src.net_name(m.drain));
+                cut.add_mosfet(m.name.clone(), m.polarity, m.class, m.dims, g, s, dr);
+            }
+        }
+        let d = diff(&cut, src);
+        assert!(!d.isomorphic);
+        // The dropped equaliser itself cannot be matched, and its absence
+        // re-colours its neighbourhood, so it must appear among the missing
+        // devices.
+        assert!(
+            d.missing_devices.iter().any(|m| m.starts_with("eq ")),
+            "missing: {:?}",
+            d.missing_devices
+        );
+        assert!(d.summary().contains("not isomorphic"), "{}", d.summary());
+    }
+
+    #[test]
+    fn diff_flags_rewired_netlist_with_equal_counts() {
+        // Same device/net counts, one rewired terminal: count deltas are
+        // zero, so only colour-level matching can localise the defect.
+        let good = topology::classic_sa(SaDimensions::default());
+        let src = good.netlist();
+        let mut bad = Netlist::new("bad");
+        let devices: Vec<_> = src.devices().map(|(_, d)| d.clone()).collect();
+        for d in &devices {
+            if let Device::Mosfet(m) = d {
+                let g = bad.add_net(src.net_name(m.gate));
+                let (s, dr) = if m.name == "eq" {
+                    (bad.add_net("VPRE"), bad.add_net("BLB"))
+                } else {
+                    (
+                        bad.add_net(src.net_name(m.source)),
+                        bad.add_net(src.net_name(m.drain)),
+                    )
+                };
+                bad.add_mosfet(m.name.clone(), m.polarity, m.class, m.dims, g, s, dr);
+            }
+        }
+        let d = diff(&bad, src);
+        assert!(!d.isomorphic);
+        assert_eq!(bad.device_count(), src.device_count());
+        assert_eq!(bad.net_count(), src.net_count());
+        assert!(
+            !d.missing_nets.is_empty() || !d.missing_devices.is_empty(),
+            "rewiring must surface in the diff: {}",
+            d.summary()
+        );
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Greedy spec shrinking: from a failing [`ChipSpec`] to a minimal one.
+//!
+//! The vendored `proptest` stand-in has no shrinking, so the campaign
+//! carries its own: a fixed, ordered list of simplification moves (strip
+//! imaging, collapse pairs, undo scaling, …), each applied only if the
+//! shrunk spec *still fails* the caller's predicate. The move order sorts
+//! big semantic simplifications first, so counterexamples lose their
+//! incidental structure before their essential one. Because every move
+//! steps a field toward its [`ChipSpec::minimal`] value and never away,
+//! the walk terminates in at most a handful of accepted steps.
+
+use crate::spec::ChipSpec;
+
+/// The outcome of shrinking one failing spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shrunk {
+    /// The minimal spec that still fails.
+    pub spec: ChipSpec,
+    /// Accepted simplification steps (0 = the original was already
+    /// minimal with respect to the move set).
+    pub steps: u32,
+}
+
+/// All single-field simplification moves applicable to `spec`, most
+/// drastic first. Each returned spec differs from `spec` in exactly one
+/// aspect, moved toward [`ChipSpec::minimal`].
+fn moves(spec: &ChipSpec) -> Vec<ChipSpec> {
+    let mut out = Vec::new();
+    let minimal = ChipSpec::minimal();
+    if spec.imaging.is_some() {
+        out.push(spec.pristine_variant());
+    }
+    if spec.n_pairs > 1 {
+        let mut s = spec.clone();
+        s.n_pairs = 1;
+        s.window_pair = 0;
+        out.push(s);
+    }
+    if spec.window_pair > 0 {
+        let mut s = spec.clone();
+        s.window_pair = 0;
+        out.push(s);
+    }
+    if spec.mat_strip {
+        let mut s = spec.clone();
+        s.mat_strip = false;
+        out.push(s);
+    }
+    if spec.transition_nm != minimal.transition_nm {
+        let mut s = spec.clone();
+        s.transition_nm = minimal.transition_nm;
+        out.push(s);
+    }
+    if spec.dim_scale_pct != minimal.dim_scale_pct {
+        let mut s = spec.clone();
+        s.dim_scale_pct = minimal.dim_scale_pct;
+        out.push(s);
+    }
+    if spec.voxel_nm != minimal.voxel_nm {
+        let mut s = spec.clone();
+        s.voxel_nm = minimal.voxel_nm;
+        out.push(s);
+    }
+    if spec.topology != minimal.topology {
+        let mut s = spec.clone();
+        s.topology = minimal.topology;
+        out.push(s);
+    }
+    out
+}
+
+/// Shrinks `spec` under `fails` (true = the spec still exhibits the
+/// failure). Greedy fixpoint: repeatedly accept the first move whose
+/// result still fails, until no move is accepted. `fails(spec)` is assumed
+/// true on entry; `fails` must be deterministic or the result is
+/// meaningless.
+pub fn shrink(spec: &ChipSpec, fails: &dyn Fn(&ChipSpec) -> bool) -> Shrunk {
+    let mut current = spec.clone();
+    let mut steps = 0u32;
+    // Each accepted move strictly decreases a bounded measure (fields away
+    // from minimal), so this terminates; the explicit cap is a backstop
+    // against a non-deterministic predicate.
+    for _ in 0..64 {
+        let Some(next) = moves(&current).into_iter().find(|c| fails(c)) else {
+            break;
+        };
+        current = next;
+        steps += 1;
+    }
+    Shrunk {
+        spec: current,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ImagingNoise;
+
+    fn complex_spec() -> ChipSpec {
+        ChipSpec {
+            topology: hifi_circuit::topology::SaTopologyKind::OffsetCancellation,
+            n_pairs: 3,
+            window_pair: 2,
+            voxel_nm: 6.0,
+            dim_scale_pct: 120,
+            transition_nm: 275,
+            mat_strip: true,
+            imaging: Some(ImagingNoise {
+                dwell_us: 4.0,
+                drift_sigma_px: 0.7,
+                slice_voxels: 2,
+                seed: 99,
+            }),
+        }
+    }
+
+    #[test]
+    fn always_failing_predicate_shrinks_to_minimal() {
+        let shrunk = shrink(&complex_spec(), &|_| true);
+        assert_eq!(shrunk.spec, ChipSpec::minimal());
+        assert!(shrunk.steps >= 6, "steps: {}", shrunk.steps);
+    }
+
+    #[test]
+    fn shrinking_preserves_the_failing_property() {
+        // A failure that depends on the OCSA topology: the shrinker must
+        // keep the topology but strip everything incidental.
+        let fails =
+            |s: &ChipSpec| s.topology == hifi_circuit::topology::SaTopologyKind::OffsetCancellation;
+        let shrunk = shrink(&complex_spec(), &fails);
+        assert!(fails(&shrunk.spec));
+        assert_eq!(
+            shrunk.spec,
+            ChipSpec {
+                topology: hifi_circuit::topology::SaTopologyKind::OffsetCancellation,
+                ..ChipSpec::minimal()
+            }
+        );
+    }
+
+    #[test]
+    fn minimal_spec_does_not_shrink_further() {
+        let shrunk = shrink(&ChipSpec::minimal(), &|_| true);
+        assert_eq!(shrunk.spec, ChipSpec::minimal());
+        assert_eq!(shrunk.steps, 0);
+    }
+
+    #[test]
+    fn every_move_changes_exactly_one_aspect() {
+        let spec = complex_spec();
+        for m in moves(&spec) {
+            assert_ne!(m, spec);
+            // Each move must go toward minimal, never away: re-applying
+            // moves from the moved spec yields strictly fewer options.
+            assert!(moves(&m).len() < moves(&spec).len() + 1);
+        }
+        // The full move set covers every non-minimal field of this spec
+        // (imaging, pairs, window, mat, transition, scale, voxel, topology).
+        assert_eq!(moves(&spec).len(), 8);
+    }
+}

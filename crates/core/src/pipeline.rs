@@ -37,6 +37,16 @@ pub enum PipelineError {
         /// Pairs available.
         available: usize,
     },
+    /// The (possibly reconstructed) volume does not extend to the
+    /// requested cell window, so cropping it would be empty — e.g. a
+    /// degenerate imaging configuration collapsed the stack to a handful
+    /// of slices that never reach the SA circuitry.
+    EmptyWindow {
+        /// Requested pair.
+        pair: usize,
+        /// The volume's x/y extent in voxels.
+        volume_dims: (usize, usize),
+    },
     /// The artifact store failed at the I/O level (corrupted blobs do
     /// *not* produce this — they are evicted and recomputed silently).
     /// Transient store failures are retried under the configured
@@ -54,6 +64,13 @@ impl core::fmt::Display for PipelineError {
             PipelineError::WindowOutOfRange { pair, available } => {
                 write!(f, "window pair {pair} out of range ({available} pairs)")
             }
+            PipelineError::EmptyWindow { pair, volume_dims } => {
+                write!(
+                    f,
+                    "cell window {pair} lies outside the {}x{} voxel volume",
+                    volume_dims.0, volume_dims.1
+                )
+            }
             PipelineError::Store(e) => write!(f, "artifact store failed: {e}"),
             PipelineError::GaveUp(e) => write!(f, "retries exhausted: {e}"),
         }
@@ -65,6 +82,7 @@ impl std::error::Error for PipelineError {
         match self {
             PipelineError::Extract(e) => Some(e),
             PipelineError::WindowOutOfRange { .. } => None,
+            PipelineError::EmptyWindow { .. } => None,
             PipelineError::Store(e) => Some(e),
             PipelineError::GaveUp(e) => Some(e),
         }
@@ -229,6 +247,20 @@ impl Pipeline {
     /// Creates a pipeline.
     pub fn new(config: PipelineConfig) -> Self {
         Self { config }
+    }
+
+    /// The configuration this pipeline runs.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Regenerates the synthetic region this pipeline images — the ground
+    /// truth every run is judged against. Generation is deterministic, so
+    /// this matches the region [`Pipeline::run`] builds internally;
+    /// conformance harnesses use it for netlist/dimension oracles without
+    /// re-plumbing the generator.
+    pub fn region(&self) -> hifi_synth::SaRegion {
+        generate_region(&self.config.spec)
     }
 
     /// Runs generate → (image → post-process → reconstruct) → extract →
@@ -522,18 +554,18 @@ impl Pipeline {
             Some((extraction, measurement)) => (extraction, Some(measurement)),
             None => {
                 // Crop to one cell's SA window, as the analyst crops
-                // the ROI.
+                // the ROI. A volume that stops short of the window is a
+                // typed error, not a panic (degenerate reconstructions).
                 let cropped = with_span(rec, "crop", |_| {
-                    let window = region.cell_window(cfg.window_pair);
-                    let voxel = volume.voxel_nm();
-                    let to_vox = |nm: i64| ((nm as f64) / voxel).round().max(0.0) as usize;
-                    volume.crop(
-                        to_vox(window.min().x),
-                        to_vox(window.max().x),
-                        to_vox(window.min().y),
-                        to_vox(window.max().y),
-                    )
+                    region.window_volume(&volume, cfg.window_pair)
                 });
+                let cropped = cropped.ok_or_else(|| {
+                    let (nx, ny, _) = volume.dims();
+                    PipelineError::EmptyWindow {
+                        pair: cfg.window_pair,
+                        volume_dims: (nx, ny),
+                    }
+                })?;
                 let extraction = guarded(&ctx, "extract", || {
                     with_span(rec, "extract", |rec| {
                         hifi_extract::extract_with(&cropped, rec)

@@ -54,8 +54,13 @@ pub use netlist::{ExtractedDevice, Extraction};
 pub enum ExtractError {
     /// The volume contains no transistors (no gate ∩ active overlap).
     NoTransistors,
-    /// A channel did not split its active region into exactly two
-    /// source/drain regions (malformed or badly reconstructed volume).
+    /// A channel is partially connected: several substantial gates, or
+    /// exactly one substantial source/drain region. Such a channel is a
+    /// real-looking but malformed transistor, and silently dropping it
+    /// would produce a plausible wrong netlist. Channels with *no*
+    /// substantial gate or diffusion at all are reconstruction debris and
+    /// are skipped instead (counted under
+    /// `extract.rejected.orphan_channels`).
     MalformedChannel {
         /// Number of adjacent source/drain regions found.
         neighbours: usize,
@@ -92,7 +97,8 @@ pub fn extract(volume: &MaterialVolume) -> Result<Extraction, ExtractError> {
 /// [`extract`] with instrumentation: records per-layer component counts
 /// (`extract.components.<layer>`), rejected-candidate counters
 /// (`extract.rejected.speckle_channels`, `extract.rejected.small_gates`,
-/// `extract.rejected.weak_diffusion_contacts`) and the final device count
+/// `extract.rejected.weak_diffusion_contacts`,
+/// `extract.rejected.orphan_channels`) and the final device count
 /// (`extract.devices`).
 ///
 /// # Errors

@@ -74,8 +74,11 @@ impl UnionFind {
 /// # Errors
 ///
 /// Returns [`ExtractError::NoTransistors`] when no gate∩active overlap
-/// exists, and [`ExtractError::MalformedChannel`] when a channel does not
-/// border exactly two diffusion regions.
+/// exists (or every candidate was filtered as reconstruction debris), and
+/// [`ExtractError::MalformedChannel`] when a channel is partially
+/// connected — several substantial gates, or exactly one substantial
+/// diffusion neighbour. Channels bordering *no* substantial gate or
+/// diffusion at all are treated as debris and skipped, not errored.
 pub fn extract_netlist(volume: &MaterialVolume) -> Result<Extraction, ExtractError> {
     extract_netlist_with(volume, &mut hifi_telemetry::NoopRecorder)
 }
@@ -206,6 +209,17 @@ pub fn extract_netlist_with<R: hifi_telemetry::Recorder>(
         }
         sd_neighbours.sort_by_key(|&(_, contact)| std::cmp::Reverse(contact));
         let sd_neighbours: Vec<usize> = sd_neighbours.into_iter().map(|(l, _)| l).collect();
+        // A channel with no substantial gate or no substantial diffusion at
+        // all is reconstruction debris (thick-slice or heavy-drift stacks
+        // smear gate poly across bare areas) — skip it like a speckle so
+        // the genuine devices still extract. Anything *partially* connected
+        // (one diffusion island, or several gates) is a real but malformed
+        // transistor: silently dropping it would yield a plausible-looking
+        // wrong netlist, so that stays a hard error.
+        if gate_labels.is_empty() || sd_neighbours.is_empty() {
+            rec.counter("extract.rejected.orphan_channels", 1);
+            continue;
+        }
         if gate_labels.len() != 1 || sd_neighbours.len() < 2 {
             return Err(ExtractError::MalformedChannel {
                 neighbours: sd_neighbours.len(),

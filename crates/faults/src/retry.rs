@@ -64,8 +64,24 @@ impl RetryPolicy {
     }
 
     /// Total virtual delay if every retry in the budget is used.
+    ///
+    /// Saturates instead of overflowing: huge budgets (`max_retries` up to
+    /// `u32::MAX`) and ceiling-sized delays cap at [`Duration::MAX`]. The
+    /// sum is computed in closed form past the point the schedule goes
+    /// constant — [`Self::backoff`] clamps its exponent at 1000, so from
+    /// retry 1000 on every backoff equals `backoff(1000)` — keeping this
+    /// O(min(max_retries, 1000)) rather than O(max_retries).
     pub fn total_budget(&self) -> Duration {
-        (0..self.max_retries).map(|r| self.backoff(r)).sum()
+        let head = self.max_retries.min(1_000);
+        let mut total = Duration::ZERO;
+        for r in 0..head {
+            total = total.saturating_add(self.backoff(r));
+        }
+        let tail = self.max_retries - head;
+        if tail > 0 {
+            total = total.saturating_add(self.backoff(1_000).saturating_mul(tail));
+        }
+        total
     }
 }
 
@@ -228,6 +244,28 @@ mod tests {
         };
         assert_eq!(p.total_budget(), Duration::from_millis(10 + 20 + 40));
         assert_eq!(RetryPolicy::none().total_budget(), Duration::ZERO);
+    }
+
+    #[test]
+    fn total_budget_saturates_for_absurd_budgets() {
+        // u32::MAX retries at the delay ceiling must neither overflow nor
+        // take O(max_retries) time to account.
+        let p = RetryPolicy {
+            max_retries: u32::MAX,
+            base_delay: Duration::from_secs(u64::MAX / 2),
+            multiplier: 2.0,
+            max_delay: Duration::MAX,
+        };
+        assert_eq!(p.total_budget(), Duration::MAX);
+        // A non-growing schedule (multiplier 1.0) still sums in closed
+        // form: every retry costs the base delay.
+        let flat = RetryPolicy {
+            max_retries: 2_000_000,
+            base_delay: Duration::from_nanos(3),
+            multiplier: 1.0,
+            max_delay: Duration::from_secs(1),
+        };
+        assert_eq!(flat.total_budget(), Duration::from_nanos(3) * 2_000_000);
     }
 
     #[test]

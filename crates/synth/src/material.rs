@@ -260,6 +260,39 @@ impl MaterialVolume {
         out
     }
 
+    /// The volume mirrored along the bitline (`x`) axis. Geometry, voxel
+    /// size and layer stack are preserved; only the voxel contents flip.
+    /// Mirroring is an isometry of the layout, so a correct extractor must
+    /// recover an isomorphic netlist from the mirrored volume.
+    pub fn mirror_x(&self) -> MaterialVolume {
+        let mut out = self.clone();
+        for z in 0..self.nz {
+            for y in 0..self.ny {
+                for x in 0..self.nx {
+                    out.data[(z * self.ny + y) * self.nx + (self.nx - 1 - x)] =
+                        self.data[self.index(x, y, z)];
+                }
+            }
+        }
+        out
+    }
+
+    /// The volume mirrored along the wordline (`y`) axis; see
+    /// [`MaterialVolume::mirror_x`].
+    pub fn mirror_y(&self) -> MaterialVolume {
+        let mut out = self.clone();
+        for z in 0..self.nz {
+            for y in 0..self.ny {
+                let flipped = self.ny - 1 - y;
+                for x in 0..self.nx {
+                    out.data[(z * self.nx * self.ny) + flipped * self.nx + x] =
+                        self.data[self.index(x, y, z)];
+                }
+            }
+        }
+        out
+    }
+
     /// The raw voxel bytes, `x`-major within `y` within `z` (the exact
     /// [`MaterialVolume::index`] layout). Every byte is a valid
     /// [`Material`] discriminant. Used by `hifi-store`'s binary codec.
@@ -388,6 +421,21 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_dimension_rejected() {
         let _ = MaterialVolume::new(0, 4, 4, 5.0, LayerStack::default_dram());
+    }
+
+    #[test]
+    fn mirrors_are_involutions_and_flip_contents() {
+        let mut v = small();
+        v.fill_box(1, 3, 2, 5, 0, 2, Material::Metal1, true);
+        v.set(0, 0, 0, Material::GatePoly);
+        let mx = v.mirror_x();
+        let my = v.mirror_y();
+        assert_eq!(mx.dims(), v.dims());
+        assert_eq!(mx.get(9, 0, 0), Material::GatePoly);
+        assert_eq!(my.get(0, 7, 0), Material::GatePoly);
+        assert_eq!(mx.count(Material::Metal1), v.count(Material::Metal1));
+        assert_eq!(mx.mirror_x(), v, "mirror_x is an involution");
+        assert_eq!(my.mirror_y(), v, "mirror_y is an involution");
     }
 
     #[test]

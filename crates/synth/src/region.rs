@@ -81,6 +81,36 @@ impl SaRegion {
         &self.ground_truth
     }
 
+    /// The ground-truth netlist an extraction of one [`Self::cell_window`]
+    /// should recover (identical for every pair — cells share a topology).
+    pub fn window_netlist(&self) -> &Netlist {
+        &self.ground_truth.cell.netlist
+    }
+
+    /// Crops `volume` — a voxelisation (or imaging reconstruction) of this
+    /// region — to `cell_window(pair)`, using the same nm→voxel rounding
+    /// as [`SaRegion::voxelize`]. Returns `None` when the clamped window is
+    /// empty, i.e. the volume does not extend to the requested cell (a
+    /// degenerate reconstruction), instead of panicking like
+    /// [`MaterialVolume::crop`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pair` is out of range (same contract as
+    /// [`Self::cell_window`]).
+    pub fn window_volume(&self, volume: &MaterialVolume, pair: usize) -> Option<MaterialVolume> {
+        let window = self.cell_window(pair);
+        let voxel = volume.voxel_nm();
+        let to_vox = |nm: i64| ((nm as f64) / voxel).round().max(0.0) as usize;
+        let (nx, ny, _) = volume.dims();
+        let (x0, x1) = (to_vox(window.min().x), to_vox(window.max().x).min(nx));
+        let (y0, y1) = (to_vox(window.min().y), to_vox(window.max().y).min(ny));
+        if x0 >= x1 || y0 >= y1 {
+            return None;
+        }
+        Some(volume.crop(x0, x1, y0, y1))
+    }
+
     /// Voxelises the layout into a material volume at the spec's voxel size.
     pub fn voxelize(&self) -> MaterialVolume {
         let voxel = self.spec.voxel_nm;
@@ -373,6 +403,40 @@ mod tests {
         assert_eq!(w0.width(), region.cell_length());
         assert_eq!(w0.height(), region.cell_height());
         assert!(!w0.intersects(&w1));
+    }
+
+    #[test]
+    fn window_volume_crops_to_the_cell_and_rejects_short_volumes() {
+        let spec = SaRegionSpec::new(SaTopologyKind::Classic).with_pairs(2);
+        let region = generate_region(&spec);
+        let volume = region.voxelize();
+        let cropped = region
+            .window_volume(&volume, 1)
+            .expect("full voxelisation covers every window");
+        let voxel = volume.voxel_nm();
+        let expected_nx = (region.cell_window(1).width() as f64 / voxel).round() as usize;
+        assert!((cropped.dims().0 as i64 - expected_nx as i64).abs() <= 1);
+        assert_eq!(
+            region.window_netlist().device_count(),
+            region.ground_truth().cell.netlist.device_count()
+        );
+        // A volume that stops short of the window (degenerate
+        // reconstruction) yields None, not a panic.
+        let short = volume.crop(0, 4, 0, 4);
+        assert!(region.window_volume(&short, 0).is_none());
+    }
+
+    #[test]
+    fn mirrored_window_volume_preserves_material_census() {
+        let spec = SaRegionSpec::new(SaTopologyKind::OffsetCancellation);
+        let region = generate_region(&spec);
+        let volume = region.voxelize();
+        let window = region.window_volume(&volume, 0).unwrap();
+        for mirrored in [window.mirror_x(), window.mirror_y()] {
+            for m in Material::ALL {
+                assert_eq!(mirrored.count(m), window.count(m), "{m:?} census");
+            }
+        }
     }
 
     #[test]

@@ -82,4 +82,14 @@ pub mod names {
     pub const FAULT_DEGRADED: &str = "fault.degraded";
     /// Gauge: virtual backoff milliseconds charged by the retry layer.
     pub const FAULT_BACKOFF_MS: &str = "fault.backoff_ms";
+    /// Counter: seeded runs executed by a conformance campaign.
+    pub const CONFORMANCE_RUNS: &str = "conformance.runs";
+    /// Counter: campaign runs that passed every oracle.
+    pub const CONFORMANCE_PASSED: &str = "conformance.passed";
+    /// Counter: individual oracle verdicts that failed across a campaign.
+    pub const CONFORMANCE_ORACLE_FAILURES: &str = "conformance.oracle_failures";
+    /// Counter: accepted shrink steps while minimising failing specs.
+    pub const CONFORMANCE_SHRINK_STEPS: &str = "conformance.shrink_steps";
+    /// Gauge: worst per-device dimension error observed, in voxels.
+    pub const CONFORMANCE_WORST_DIM_ERROR: &str = "conformance.worst_dim_error_voxels";
 }

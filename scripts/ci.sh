@@ -14,6 +14,9 @@
 #   fault-matrix  tests/fault_recovery.rs under fault seeds; honours
 #                 HIFI_FAULT_SEED (one seed, as the CI matrix does), else
 #                 runs the default 3-seed matrix
+#   conformance   randomized ground-truth campaigns (bin conformance);
+#                 honours HIFI_CONFORMANCE_SEED (one seed, as the CI
+#                 matrix does), else sweeps the default 2-seed matrix
 #   bench-gate    overhead benches + regression gate vs BENCH_baseline.json
 #                 (scripts/bench_gate.sh)
 #
@@ -27,6 +30,12 @@ cd "$(dirname "$0")/.."
 # are arbitrary but pinned: the suite must pass for any seed, and a pinned
 # matrix makes failures reproducible.
 FAULT_SEEDS=(3 42 20240805)
+
+# Seeds the conformance job sweeps when HIFI_CONFORMANCE_SEED is unset.
+# Seed 42 is the acceptance campaign; seed 7 adds an independent spec
+# stream. Runs are few because every imaged spec costs ~10 pristine ones.
+CONFORMANCE_SEEDS=(42 7)
+CONFORMANCE_RUNS="${HIFI_CONFORMANCE_RUNS:-4}"
 
 job_lint() {
     echo "=== job: lint ==="
@@ -66,6 +75,20 @@ job_fault_matrix() {
     done
 }
 
+job_conformance() {
+    echo "=== job: conformance ==="
+    local seeds=("${CONFORMANCE_SEEDS[@]}")
+    if [[ -n "${HIFI_CONFORMANCE_SEED:-}" ]]; then
+        seeds=("$HIFI_CONFORMANCE_SEED")
+    fi
+    cargo build --release --offline --locked --bin conformance
+    for seed in "${seeds[@]}"; do
+        echo "==> conformance campaign @ seed ${seed} (${CONFORMANCE_RUNS} runs)"
+        cargo run --release --offline --locked --bin conformance -- \
+            --runs "$CONFORMANCE_RUNS" --seed "$seed" > /dev/null
+    done
+}
+
 job_bench_gate() {
     echo "=== job: bench-gate ==="
     scripts/bench_gate.sh
@@ -77,17 +100,18 @@ run_job() {
         test) job_test ;;
         regen-drift) job_regen_drift ;;
         fault-matrix) job_fault_matrix ;;
+        conformance) job_conformance ;;
         bench-gate) job_bench_gate ;;
         *)
             echo "unknown job: $1" >&2
-            echo "jobs: lint test regen-drift fault-matrix bench-gate" >&2
+            echo "jobs: lint test regen-drift fault-matrix conformance bench-gate" >&2
             exit 2
             ;;
     esac
 }
 
 if [[ "$#" -eq 0 ]]; then
-    set -- lint test regen-drift fault-matrix bench-gate
+    set -- lint test regen-drift fault-matrix conformance bench-gate
 fi
 for job in "$@"; do
     run_job "$job"

@@ -1,0 +1,163 @@
+//! Property-based tests of the fault-injection and retry subsystem.
+//!
+//! The fault plan's determinism contract — injection decisions are a pure
+//! function of `(spec, site, attempt)`, independent of evaluation order or
+//! thread count — and the retry policy's arithmetic safety (no overflow,
+//! saturating budgets) are what the conformance campaigns and CI fault
+//! matrix lean on. These properties pin them for arbitrary seeds, rates
+//! and site streams, not just the handful of fixed seeds CI sweeps.
+
+use std::time::Duration;
+
+use hifi_dram::circuit::topology::SaTopologyKind;
+use hifi_faults::{FaultKind, FaultPlan, FaultSpec, RetryPolicy};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = FaultSpec> {
+    (
+        any::<u64>(), // seed
+        0.0f64..1.0,  // rate
+        0u64..5,      // which kinds get the rate (bitmask-ish index)
+        1u32..6,      // max_consecutive
+    )
+        .prop_map(|(seed, rate, skip, cap)| {
+            let mut spec = FaultSpec::uniform(seed, rate).with_max_consecutive(cap);
+            // Zero out one kind so plans with heterogeneous rates are
+            // exercised too, not just uniform ones.
+            spec = spec.with_rate(FaultKind::ALL[skip as usize % FaultKind::ALL.len()], 0.0);
+            spec
+        })
+}
+
+fn arb_sites() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec("[a-z]{1,8}", 1..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Injection decisions depend only on `(kind, site, attempt)` — never
+    /// on the order sites are interrogated in. This is the property that
+    /// makes faulted parallel runs reproducible at any thread count.
+    #[test]
+    fn fault_decisions_are_order_independent(spec in arb_spec(), sites in arb_sites()) {
+        let plan_forward = FaultPlan::new(spec.clone());
+        let plan_reverse = FaultPlan::new(spec);
+        let decide = |plan: &FaultPlan, site: &str| -> Vec<bool> {
+            FaultKind::ALL
+                .iter()
+                .flat_map(|&k| (0..4).map(move |a| (k, a)))
+                .map(|(k, a)| plan.would_fail(k, site, a))
+                .collect()
+        };
+        let forward: Vec<Vec<bool>> = sites.iter().map(|s| decide(&plan_forward, s)).collect();
+        let reverse: Vec<Vec<bool>> = sites
+            .iter()
+            .rev()
+            .map(|s| decide(&plan_reverse, s))
+            .collect();
+        let reverse_reordered: Vec<Vec<bool>> = reverse.into_iter().rev().collect();
+        prop_assert_eq!(forward, reverse_reordered);
+    }
+
+    /// The same decisions are stable across interleaved, repeated and
+    /// concurrent interrogation (threads share one plan in the pipeline).
+    #[test]
+    fn fault_decisions_are_thread_independent(spec in arb_spec(), sites in arb_sites()) {
+        let plan = std::sync::Arc::new(FaultPlan::new(spec));
+        let sequential: Vec<bool> = sites
+            .iter()
+            .map(|s| plan.would_fail(FaultKind::StoreRead, s, 0))
+            .collect();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let plan = plan.clone();
+                let sites = sites.clone();
+                std::thread::spawn(move || {
+                    sites
+                        .iter()
+                        .map(|s| plan.would_fail(FaultKind::StoreRead, s, 0))
+                        .collect::<Vec<bool>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            prop_assert_eq!(h.join().unwrap(), sequential.clone());
+        }
+    }
+
+    /// Disabled kinds never fire, however hot the remaining rates run.
+    #[test]
+    fn zeroed_rates_never_fire(seed in any::<u64>(), sites in arb_sites()) {
+        let spec = FaultSpec::uniform(seed, 1.0).with_rate(FaultKind::AcquireSlice, 0.0);
+        let plan = FaultPlan::new(spec);
+        for site in &sites {
+            for attempt in 0..8 {
+                prop_assert!(!plan.would_fail(FaultKind::AcquireSlice, site, attempt));
+            }
+        }
+    }
+
+    /// Backoff is monotone in the retry number and never exceeds the
+    /// ceiling, for arbitrary policies — including absurd multipliers
+    /// where the exponential overflows `f64` range.
+    #[test]
+    fn backoff_is_monotone_and_capped(
+        base_ms in 0u64..10_000,
+        multiplier in 0.5f64..1e6,
+        max_ms in 1u64..100_000,
+        probes in prop::collection::vec(0u32..2_000, 1..16),
+    ) {
+        let policy = RetryPolicy {
+            max_retries: 10,
+            base_delay: Duration::from_millis(base_ms),
+            multiplier,
+            max_delay: Duration::from_millis(max_ms),
+        };
+        for &r in &probes {
+            let d = policy.backoff(r);
+            prop_assert!(d <= policy.max_delay);
+            prop_assert!(d <= policy.backoff(r.saturating_add(1)));
+        }
+        prop_assert_eq!(policy.backoff(u32::MAX), policy.backoff(1_000));
+    }
+
+    /// `total_budget` never panics or overflows: it is bounded by
+    /// `max_retries * max_delay` (saturating), monotone in `max_retries`,
+    /// and exact for budgets small enough to sum naively.
+    #[test]
+    fn total_budget_saturates_and_matches_naive_sum(
+        retries in 0u32..u32::MAX,
+        base_ms in 0u64..100_000,
+        multiplier in 0.5f64..100.0,
+        max_ms in 1u64..10_000_000,
+    ) {
+        let policy = RetryPolicy {
+            max_retries: retries,
+            base_delay: Duration::from_millis(base_ms),
+            multiplier,
+            max_delay: Duration::from_millis(max_ms),
+        };
+        let total = policy.total_budget();
+        let cap = policy.max_delay.saturating_mul(retries);
+        prop_assert!(total <= cap, "{total:?} > {cap:?}");
+        let smaller = RetryPolicy { max_retries: retries / 2, ..policy.clone() };
+        prop_assert!(smaller.total_budget() <= total);
+        if retries <= 4_000 {
+            let naive: Duration = (0..retries)
+                .map(|r| policy.backoff(r))
+                .fold(Duration::ZERO, |acc, d| acc.saturating_add(d));
+            prop_assert_eq!(total, naive);
+        }
+    }
+}
+
+/// Not a property, but the compile-time guard the `use` above needs: the
+/// fault subsystem's decisions must be visible to pipeline configs.
+#[test]
+fn fault_specs_slot_into_pipeline_configs() {
+    use hifi_dram::pipeline::PipelineConfig;
+    let cfg =
+        PipelineConfig::pristine(SaTopologyKind::Classic).with_faults(FaultSpec::uniform(7, 0.25));
+    assert!(cfg.faults.is_some_and(|s| s.is_enabled()));
+}

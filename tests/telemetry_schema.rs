@@ -1,0 +1,122 @@
+//! Golden snapshot of the [`RunReport`] JSON schema.
+//!
+//! Downstream consumers — CI artifact parsers, the conformance campaign,
+//! notebooks reading run reports — bind to the JSON field names and the
+//! well-known counter/gauge keys. This test pins the serialized shape of a
+//! fully-populated, deterministic report: renaming a field, a `fault.*`
+//! counter or a `store.*` key breaks it loudly here instead of silently
+//! downstream.
+//!
+//! The snapshot deliberately contains no wall times: it is built from a
+//! counter/gauge-only event stream, which the report builder folds with
+//! `stages: []` and `total_us: 0`, so the rendering is bit-stable.
+//!
+//! To regenerate after an *intentional* schema change:
+//!
+//! ```text
+//! HIFI_REGEN_GOLDEN=1 cargo test --test telemetry_schema
+//! ```
+
+use hifi_dram::telemetry::{names, ConfigEcho, JsonRecorder, Recorder, RunReport};
+
+const GOLDEN_PATH: &str = "tests/golden/run_report.json";
+
+/// A deterministic, fully-populated report: every well-known counter and
+/// gauge family observed at fixed values, no spans.
+fn synthetic_report() -> RunReport {
+    let config = ConfigEcho {
+        topology: "classic".to_string(),
+        n_pairs: 1,
+        voxel_nm: 8.0,
+        imaging: true,
+        dwell_us: Some(6.0),
+        drift_sigma_px: Some(0.7),
+        slice_voxels: Some(1),
+        seed: Some(0x5EED),
+        denoise_lambda: 2.0,
+        denoise_iterations: 10,
+        align_window: 4,
+        window_pair: 0,
+        faults: true,
+        fault_seed: Some(3),
+    };
+    let mut rec = JsonRecorder::new();
+    rec.gauge(names::PARALLEL_THREADS, 8.0);
+    rec.counter(names::STORE_HIT, 3);
+    rec.counter(names::STORE_MISS, 2);
+    rec.counter(names::STORE_BYTES_WRITTEN, 4096);
+    rec.counter(names::STORE_BYTES_READ, 1024);
+    rec.counter("extract.devices", 9);
+    rec.gauge(names::PSNR_NOISY, 19.25);
+    rec.gauge(names::PSNR_DENOISED, 24.5);
+    rec.gauge(names::VOXEL_ACCURACY, 0.96875);
+    rec.gauge(names::RESIDUAL_DRIFT, 0.125);
+    rec.gauge(names::ALIGNMENT_BUDGET, 1.5);
+    rec.gauge(names::WORST_DIMENSION_DEVIATION, 0.0625);
+    rec.counter(names::FAULT_INJECTED, 5);
+    rec.counter(names::FAULT_RETRIED, 4);
+    rec.counter(names::FAULT_RECOVERED, 3);
+    rec.counter(names::FAULT_DEGRADED, 1);
+    rec.gauge(names::FAULT_BACKOFF_MS, 30.0);
+    rec.gauge(names::CONFORMANCE_WORST_DIM_ERROR, 1.25);
+    // The same gauge observed twice exercises min/max/mean/last folding.
+    rec.gauge(names::CONFORMANCE_WORST_DIM_ERROR, 0.75);
+    RunReport::from_events(config, rec.events())
+}
+
+#[test]
+fn run_report_json_matches_the_golden_snapshot() {
+    let report = synthetic_report();
+    let rendered = report.to_json() + "\n";
+    if std::env::var_os("HIFI_REGEN_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "golden snapshot missing — run HIFI_REGEN_GOLDEN=1 cargo test --test telemetry_schema",
+    );
+    assert_eq!(
+        rendered, golden,
+        "RunReport JSON schema drifted from {GOLDEN_PATH}; if the change is \
+         intentional, regenerate with HIFI_REGEN_GOLDEN=1 and audit every \
+         consumer of the renamed fields"
+    );
+}
+
+#[test]
+fn golden_snapshot_covers_the_wellknown_key_families() {
+    // Belt and braces: even if someone regenerates the golden file without
+    // looking, the snapshot must keep covering the key families downstream
+    // tooling greps for.
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden snapshot present");
+    for key in [
+        "\"store.hit\"",
+        "\"store.miss\"",
+        "\"store.bytes_written\"",
+        "\"store.bytes_read\"",
+        "\"fault.injected\"",
+        "\"fault.retried\"",
+        "\"fault.recovered\"",
+        "\"fault.degraded\"",
+        "\"fault.backoff_ms\"",
+        "\"fidelity.psnr_noisy_db\"",
+        "\"conformance.worst_dim_error_voxels\"",
+        "\"parallel.threads\"",
+        // Struct fields consumers bind to.
+        "\"config\"",
+        "\"counters\"",
+        "\"gauges\"",
+        "\"fidelity\"",
+        "\"faults\"",
+        "\"stages\"",
+        "\"total_us\"",
+        "\"event_count\"",
+    ] {
+        assert!(golden.contains(key), "golden snapshot lost {key}");
+    }
+    // No wall-clock contamination: the snapshot is span-free.
+    let report = synthetic_report();
+    assert_eq!(report.total_us, 0);
+    assert!(report.stages.is_empty());
+    assert_eq!(report.faults.injected, 5);
+    assert_eq!(report.threads, Some(8.0));
+}
