@@ -43,3 +43,4 @@ pub use hifi_telemetry as telemetry;
 pub use hifi_units as units;
 
 pub mod pipeline;
+pub mod trace_out;

@@ -1,8 +1,10 @@
 //! The end-to-end reverse-engineering pipeline.
 
+use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use hifi_circuit::identify::TopologyLibrary;
 use hifi_circuit::topology::{SaDimensions, SaTopologyKind};
@@ -11,8 +13,8 @@ use hifi_data::Chip;
 use hifi_extract::{measure, ExtractError, Extraction, MeasurementConfidence, MeasurementReport};
 use hifi_faults::{Exhausted, FaultPlan, FaultSpec, RetryError, RetryPolicy, VirtualClock};
 use hifi_imaging::{
-    acquire, acquire_with_recovery, align_with, denoise, metrics, reconstruct, render_ideal,
-    AcquireOutcome, AlignMethod, ImagingConfig,
+    acquire_profiled, acquire_with_recovery_profiled, align_with, denoise_profiled, metrics,
+    reconstruct, render_ideal_profiled, AcquireOutcome, AlignMethod, ImagingConfig,
 };
 use hifi_store::fingerprint::salts;
 use hifi_store::{
@@ -21,7 +23,7 @@ use hifi_store::{
 };
 use hifi_synth::{generate_region, SaRegionSpec};
 use hifi_telemetry::{
-    names, with_span, ConfigEcho, JsonRecorder, NoopRecorder, Recorder, RunReport,
+    names, with_span, ConfigEcho, JsonRecorder, LaneProfiler, NoopRecorder, Recorder, RunReport,
 };
 use hifi_units::Ratio;
 
@@ -288,7 +290,27 @@ impl Pipeline {
         let mut rec = JsonRecorder::new();
         let mut report = self.run_with(&mut rec)?;
         report.telemetry = Some(RunReport::from_events(self.config_echo(), rec.events()));
+        // Opt-in trace sink: HIFI_TRACE=<path> captures every instrumented
+        // run's event stream and rewrites the Chrome trace, raw events and
+        // profile documents (see `crate::trace_out`).
+        crate::trace_out::record(&self.trace_label(), rec.events());
         Ok(report)
+    }
+
+    /// Short human label identifying this run in trace exports.
+    fn trace_label(&self) -> String {
+        let cfg = &self.config;
+        let mut label = cfg.spec.topology.name().to_string();
+        if cfg.imaging.is_some() {
+            label.push_str("+imaging");
+        }
+        if cfg.faults.as_ref().is_some_and(FaultSpec::is_enabled) {
+            label.push_str("+faults");
+        }
+        if cfg.store.is_some() {
+            label.push_str("+store");
+        }
+        label
     }
 
     /// Echo of this pipeline's configuration for a [`RunReport`].
@@ -370,8 +392,18 @@ impl Pipeline {
             plan: cfg.faults.clone().map(|s| Arc::new(FaultPlan::new(s))),
             policy: cfg.retry.clone(),
             clock: VirtualClock::new(),
+            backoffs: RefCell::new(Vec::new()),
         };
         let store = self.resolve_store(ctx.plan.as_ref())?;
+        // Per-slice lane profiling and the allocation high-water mark are
+        // collected only for instrumented runs; a NoopRecorder run skips
+        // both entirely (the <2% overhead budget).
+        let lanes = if rec.enabled() {
+            hifi_telemetry::alloc::reset_peak();
+            Some(LaneProfiler::new(rec.now_us()))
+        } else {
+            None
+        };
         // Provenance: which thread count the parallel stages (acquire,
         // align, denoise) resolved to for this run.
         rec.gauge(names::PARALLEL_THREADS, rayon::current_num_threads() as f64);
@@ -416,15 +448,17 @@ impl Pipeline {
                     Some(triple) => triple,
                     None => {
                         let outcome = with_span(rec, "acquire", |_| match ctx.plan.as_deref() {
-                            Some(plan) => acquire_with_recovery(
+                            Some(plan) => acquire_with_recovery_profiled(
                                 &pristine,
                                 imaging_cfg,
                                 plan,
                                 &ctx.policy,
                                 &ctx.clock,
+                                lanes.as_ref(),
                             ),
                             None => {
-                                let (stack, truth) = acquire(&pristine, imaging_cfg);
+                                let (stack, truth) =
+                                    acquire_profiled(&pristine, imaging_cfg, lanes.as_ref());
                                 AcquireOutcome {
                                     stack,
                                     truth,
@@ -445,7 +479,7 @@ impl Pipeline {
                 // Fidelity baseline: mean per-slice PSNR of the raw
                 // acquisition against what a perfect microscope would see.
                 let ideal = if rec.enabled() {
-                    let ideal = render_ideal(&pristine, imaging_cfg);
+                    let ideal = render_ideal_profiled(&pristine, imaging_cfg, lanes.as_ref());
                     rec.gauge(names::PSNR_NOISY, mean_stack_psnr(&stack, &ideal));
                     Some(ideal)
                 } else {
@@ -485,7 +519,12 @@ impl Pipeline {
                             )
                         });
                         with_span(rec, "denoise", |_| {
-                            denoise(&mut stack, cfg.denoise_lambda, cfg.denoise_iterations)
+                            denoise_profiled(
+                                &mut stack,
+                                cfg.denoise_lambda,
+                                cfg.denoise_iterations,
+                                lanes.as_ref(),
+                            )
                         });
                         persist(&store, &ctx, rec, post_key, "postproc", || {
                             codec::encode_processed(&stack, &corrections)
@@ -618,6 +657,23 @@ impl Pipeline {
                 rec.gauge(names::FAULT_BACKOFF_MS, waited.as_secs_f64() * 1e3);
             }
         }
+        // Flush the run's profiling collectors into the event stream: one
+        // thread-span event (plus a latency histogram sample) per timed
+        // per-slice closure, one histogram sample per retry backoff, and
+        // the allocation high-water mark when the counting allocator is
+        // installed (feature `alloc-track`).
+        if let Some(lanes) = &lanes {
+            for span in lanes.drain() {
+                rec.thread_span(&span.name, span.tid, span.start_us, span.duration_us);
+                rec.histogram(&format!("{}_us", span.name), span.duration_us);
+            }
+            for delay in ctx.backoffs.borrow_mut().drain(..) {
+                rec.histogram(names::HIST_FAULT_BACKOFF_US, delay.as_micros() as u64);
+            }
+            if let Some(peak) = hifi_telemetry::alloc::peak_bytes() {
+                rec.gauge(names::ALLOC_PEAK_BYTES, peak as f64);
+            }
+        }
 
         Ok(PipelineReport {
             identified,
@@ -638,6 +694,9 @@ struct FaultCtx {
     plan: Option<Arc<FaultPlan>>,
     policy: RetryPolicy,
     clock: VirtualClock,
+    /// Backoff delays observed by retried operations this run, drained
+    /// into the `fault.backoff_delay_us` histogram at the end of the run.
+    backoffs: RefCell<Vec<Duration>>,
 }
 
 impl FaultCtx {
@@ -650,9 +709,13 @@ impl FaultCtx {
         site: &str,
         mut op: impl FnMut() -> Result<T, StoreError>,
     ) -> Result<T, PipelineError> {
-        match hifi_faults::retry(&self.policy, &self.clock, StoreError::is_transient, |_| {
-            op()
-        }) {
+        match hifi_faults::retry_observed(
+            &self.policy,
+            &self.clock,
+            StoreError::is_transient,
+            |_retry, delay| self.backoffs.borrow_mut().push(delay),
+            |_| op(),
+        ) {
             Ok((value, retries)) => {
                 if retries > 0 {
                     if let Some(plan) = &self.plan {
@@ -688,10 +751,11 @@ fn guarded<T>(
     let Some(plan) = ctx.plan.as_deref() else {
         return Ok(f());
     };
-    let outcome = hifi_faults::retry(
+    let outcome = hifi_faults::retry_observed(
         &ctx.policy,
         &ctx.clock,
         |_: &String| true,
+        |_retry, delay| ctx.backoffs.borrow_mut().push(delay),
         |_attempt| {
             catch_unwind(AssertUnwindSafe(|| {
                 plan.trip_stage(stage_name);
@@ -749,11 +813,17 @@ fn fetch<R: Recorder, T>(
     decode: impl FnOnce(&[u8]) -> Result<T, hifi_store::CodecError>,
 ) -> Result<Option<T>, PipelineError> {
     let Some(store) = store else { return Ok(None) };
-    match ctx.retrying(&format!("store.get:{what}"), || store.get(key))? {
+    let t0 = rec.enabled().then(Instant::now);
+    let got = ctx.retrying(&format!("store.get:{what}"), || store.get(key))?;
+    if let Some(t0) = t0 {
+        rec.histogram(names::HIST_STORE_GET_US, t0.elapsed().as_micros() as u64);
+    }
+    match got {
         Some(bytes) => match decode(&bytes) {
             Ok(value) => {
                 rec.counter(names::STORE_HIT, 1);
                 rec.counter(names::STORE_BYTES_READ, bytes.len() as u64);
+                rec.histogram(names::HIST_STORE_GET_BYTES, bytes.len() as u64);
                 Ok(Some(value))
             }
             Err(_) => {
@@ -782,7 +852,12 @@ fn persist<R: Recorder>(
 ) -> Result<(), PipelineError> {
     let Some(store) = store else { return Ok(()) };
     let bytes = encode();
+    let t0 = rec.enabled().then(Instant::now);
     ctx.retrying(&format!("store.put:{what}"), || store.put(key, &bytes))?;
+    if let Some(t0) = t0 {
+        rec.histogram(names::HIST_STORE_PUT_US, t0.elapsed().as_micros() as u64);
+        rec.histogram(names::HIST_STORE_PUT_BYTES, bytes.len() as u64);
+    }
     rec.counter(names::STORE_BYTES_WRITTEN, bytes.len() as u64);
     Ok(())
 }

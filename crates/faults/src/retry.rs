@@ -187,6 +187,25 @@ pub fn retry<T, E>(
     policy: &RetryPolicy,
     clock: &VirtualClock,
     is_transient: impl Fn(&E) -> bool,
+    op: impl FnMut(u32) -> Result<T, E>,
+) -> Result<(T, u32), RetryError<E>> {
+    retry_observed(policy, clock, is_transient, |_, _| {}, op)
+}
+
+/// [`retry`] with a backoff observer: `observe(retry_number, delay)` is
+/// called for every backoff charged to the clock, *before* the retried
+/// attempt runs. Telemetry uses this to histogram individual backoff
+/// delays (the `fault.backoff_delay_us` histogram) where the clock only
+/// exposes their sum.
+///
+/// # Errors
+///
+/// Exactly as [`retry`].
+pub fn retry_observed<T, E>(
+    policy: &RetryPolicy,
+    clock: &VirtualClock,
+    is_transient: impl Fn(&E) -> bool,
+    mut observe: impl FnMut(u32, Duration),
     mut op: impl FnMut(u32) -> Result<T, E>,
 ) -> Result<(T, u32), RetryError<E>> {
     let mut waited = Duration::ZERO;
@@ -205,6 +224,7 @@ pub fn retry<T, E>(
                 }
                 let delay = policy.backoff(attempt);
                 clock.advance(delay);
+                observe(attempt, delay);
                 waited += delay;
                 attempt += 1;
             }
@@ -341,6 +361,43 @@ mod tests {
         let msg = ex.to_string();
         assert!(msg.contains("4 attempts"), "{msg}");
         assert!(msg.contains("disk on fire"), "{msg}");
+    }
+
+    #[test]
+    fn observer_sees_each_backoff_delay() {
+        let clock = VirtualClock::new();
+        let mut seen: Vec<(u32, Duration)> = Vec::new();
+        let mut failures = 3;
+        let ((), retries) = retry_observed(
+            &RetryPolicy::default(),
+            &clock,
+            |_: &&str| true,
+            |retry, delay| seen.push((retry, delay)),
+            |_| {
+                if failures > 0 {
+                    failures -= 1;
+                    Err("transient")
+                } else {
+                    Ok(())
+                }
+            },
+        )
+        .expect("recovers within budget");
+        assert_eq!(retries, 3);
+        assert_eq!(
+            seen,
+            vec![
+                (0, Duration::from_millis(10)),
+                (1, Duration::from_millis(20)),
+                (2, Duration::from_millis(40)),
+            ]
+        );
+        let total: Duration = seen.iter().map(|(_, d)| *d).sum();
+        assert_eq!(
+            clock.elapsed(),
+            total,
+            "observer sees what the clock is charged"
+        );
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! residual misalignment must stay below 0.77% of the slice.
 
 use crate::sem::{ImageStack, SemImage};
-use hifi_telemetry::{NoopRecorder, Recorder};
+use hifi_telemetry::{names, NoopRecorder, Recorder};
+use std::time::Instant;
 
 /// Similarity metric used for registration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -202,6 +203,7 @@ pub fn align_with<R: Recorder>(
     let mut prev_drift = (0i32, 0i32);
     const EMA: f32 = 0.15;
     for i in 1..n {
+        let t0 = rec.enabled().then(Instant::now);
         let ((dy, dz), score) = register(&template, &filtered[i], method, window, prev_drift);
         if rec.enabled() {
             rec.gauge("align.slice_score", score);
@@ -209,6 +211,12 @@ pub fn align_with<R: Recorder>(
             if (dy, dz) != (0, 0) {
                 rec.counter("align.corrected_slices", 1);
             }
+            if let Some(t0) = t0 {
+                rec.histogram(names::HIST_ALIGN_SLICE_US, t0.elapsed().as_micros() as u64);
+            }
+            // Every candidate offset in the ±window square is scored once.
+            let iters = (2 * window as u64 + 1).pow(2);
+            rec.histogram(names::HIST_ALIGN_SEARCH_ITERS, iters);
         }
         corrections[i] = (-dy, -dz);
         stack.slices_mut()[i] = originals[i].shifted(-dy, -dz, background);

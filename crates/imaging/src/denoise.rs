@@ -117,9 +117,28 @@ pub fn median3x3(image: &SemImage) -> SemImage {
 /// transformed purely from its own pixels, making the result bit-identical
 /// at any thread count.
 pub fn denoise(stack: &mut ImageStack, lambda: f32, iterations: usize) {
+    denoise_profiled(stack, lambda, iterations, None);
+}
+
+/// [`denoise`] with optional per-slice lane profiling: when `lanes` is
+/// set, each slice's TV pass is timed as a `denoise.slice` span on the
+/// worker lane that executed it.
+pub fn denoise_profiled(
+    stack: &mut ImageStack,
+    lambda: f32,
+    iterations: usize,
+    lanes: Option<&hifi_telemetry::LaneProfiler>,
+) {
     rayon::par_chunks_mut(stack.slices_mut(), |chunk| {
         for s in chunk {
-            *s = chambolle_tv(s, lambda, iterations);
+            *s = match lanes {
+                Some(l) => l.time(
+                    "denoise.slice",
+                    rayon::current_thread_index() as u32,
+                    || chambolle_tv(s, lambda, iterations),
+                ),
+                None => chambolle_tv(s, lambda, iterations),
+            };
         }
     });
 }

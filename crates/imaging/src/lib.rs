@@ -36,9 +36,10 @@ mod reconstruct;
 mod sem;
 
 pub use align::{align, align_with, AlignMethod};
-pub use denoise::{average_slices, chambolle_tv, denoise, median3x3};
+pub use denoise::{average_slices, chambolle_tv, denoise, denoise_profiled, median3x3};
 pub use reconstruct::{classify_pixel, reconstruct};
 pub use sem::{
-    acquire, acquire_with_recovery, render_ideal, AcquireOutcome, DetectorKind, DriftTruth,
-    ImageStack, ImagingConfig, SemImage,
+    acquire, acquire_profiled, acquire_with_recovery, acquire_with_recovery_profiled, render_ideal,
+    render_ideal_profiled, AcquireOutcome, DetectorKind, DriftTruth, ImageStack, ImagingConfig,
+    SemImage,
 };

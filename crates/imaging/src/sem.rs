@@ -2,6 +2,7 @@
 
 use hifi_faults::{retry, FaultKind, FaultPlan, RetryPolicy, VirtualClock};
 use hifi_synth::MaterialVolume;
+use hifi_telemetry::LaneProfiler;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
@@ -360,12 +361,29 @@ fn render_cross_section(volume: &MaterialVolume, x: usize, cfg: &ImagingConfig) 
 /// noise, drift or brightness wander. Ground-truth reference for fidelity
 /// metrics (PSNR of an acquired or denoised stack is measured against it).
 pub fn render_ideal(volume: &MaterialVolume, cfg: &ImagingConfig) -> ImageStack {
+    render_ideal_profiled(volume, cfg, None)
+}
+
+/// [`render_ideal`] with optional per-slice lane profiling: when `lanes`
+/// is set, every slice render is timed as a `render.slice` span on the
+/// worker lane that executed it. Rendering itself is unchanged — the
+/// profiler observes, it never reorders.
+pub fn render_ideal_profiled(
+    volume: &MaterialVolume,
+    cfg: &ImagingConfig,
+    lanes: Option<&LaneProfiler>,
+) -> ImageStack {
     let (nx, _, _) = volume.dims();
     let step = cfg.slice_voxels.max(1);
     let positions: Vec<usize> = (0..nx).step_by(step).collect();
     // Slices are independent; par_map preserves order, so the stack is
     // identical at any thread count.
-    let slices = rayon::par_map(&positions, |&x| render_cross_section(volume, x, cfg));
+    let slices = rayon::par_map(&positions, |&x| match lanes {
+        Some(l) => l.time("render.slice", rayon::current_thread_index() as u32, || {
+            render_cross_section(volume, x, cfg)
+        }),
+        None => render_cross_section(volume, x, cfg),
+    });
     ImageStack::from_slices(slices, volume.voxel_nm(), step, cfg.detector)
         .with_frame_margin(cfg.frame_margin_px)
 }
@@ -395,10 +413,28 @@ struct SliceArtefacts {
 /// Returns the stack and the ground-truth artefacts (for validation only —
 /// the post-processing never sees them).
 pub fn acquire(volume: &MaterialVolume, cfg: &ImagingConfig) -> (ImageStack, DriftTruth) {
+    acquire_profiled(volume, cfg, None)
+}
+
+/// [`acquire`] with optional per-slice lane profiling: when `lanes` is
+/// set, every slice acquisition is timed as an `acquire.slice` span on
+/// the worker lane that executed it.
+pub fn acquire_profiled(
+    volume: &MaterialVolume,
+    cfg: &ImagingConfig,
+    lanes: Option<&LaneProfiler>,
+) -> (ImageStack, DriftTruth) {
     let (artefacts, truth) = slice_artefacts(volume, cfg);
     // Parallel render pass: every slice renders, shifts and replays its
     // noise draws independently.
-    let slices = rayon::par_map(&artefacts, |a| render_slice(volume, cfg, a));
+    let slices = rayon::par_map(&artefacts, |a| match lanes {
+        Some(l) => l.time(
+            "acquire.slice",
+            rayon::current_thread_index() as u32,
+            || render_slice(volume, cfg, a),
+        ),
+        None => render_slice(volume, cfg, a),
+    });
     (
         ImageStack::from_slices(
             slices,
@@ -505,6 +541,20 @@ pub fn acquire_with_recovery(
     policy: &RetryPolicy,
     clock: &VirtualClock,
 ) -> AcquireOutcome {
+    acquire_with_recovery_profiled(volume, cfg, plan, policy, clock, None)
+}
+
+/// [`acquire_with_recovery`] with optional per-slice lane profiling: each
+/// slice's whole acquire-with-retries is timed as an `acquire.slice` span
+/// on its worker lane, so retried slices show up as long spans.
+pub fn acquire_with_recovery_profiled(
+    volume: &MaterialVolume,
+    cfg: &ImagingConfig,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    clock: &VirtualClock,
+    lanes: Option<&LaneProfiler>,
+) -> AcquireOutcome {
     let (artefacts, truth) = slice_artefacts(volume, cfg);
 
     /// A failed slice acquisition (always transient: the stage position is
@@ -518,7 +568,7 @@ pub fn acquire_with_recovery(
     }
 
     let indices: Vec<usize> = (0..artefacts.len()).collect();
-    let rendered: Vec<Option<SemImage>> = rayon::par_map(&indices, |&i| {
+    let acquire_one = |i: usize| -> Option<SemImage> {
         let site = format!("slice:{i}");
         let outcome = retry(
             policy,
@@ -548,6 +598,14 @@ pub fn acquire_with_recovery(
                 None
             }
         }
+    };
+    let rendered: Vec<Option<SemImage>> = rayon::par_map(&indices, |&i| match lanes {
+        Some(l) => l.time(
+            "acquire.slice",
+            rayon::current_thread_index() as u32,
+            || acquire_one(i),
+        ),
+        None => acquire_one(i),
     });
 
     let degraded_slices: Vec<usize> = rendered

@@ -1,0 +1,131 @@
+//! Allocation high-water tracking behind the `alloc-track` feature.
+//!
+//! When the feature is enabled, [`CountingAllocator`] is installed as the
+//! process `#[global_allocator]`: a thin wrapper over [`System`] that
+//! maintains live-bytes and peak-bytes atomics. The query API compiles in
+//! both configurations — without the feature (or in a process that
+//! installed a different allocator) [`peak_bytes`] returns `None`, so the
+//! pipeline can record the `alloc.peak_bytes` gauge opportunistically
+//! without any `cfg` of its own.
+//!
+//! The counters are process-global: concurrent pipeline runs (a campaign)
+//! share one high-water mark, so treat per-run peaks as an upper bound.
+//! Overhead is two relaxed atomic RMWs per allocation — negligible next
+//! to the allocation itself, but the feature is off by default to keep
+//! the bench-gated hot paths byte-identical.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Live heap bytes allocated through the counting allocator.
+static CURRENT: AtomicU64 = AtomicU64::new(0);
+/// High-water mark of [`CURRENT`] since process start or [`reset_peak`].
+static PEAK: AtomicU64 = AtomicU64::new(0);
+/// Set on first use; distinguishes "feature off" from "no allocations".
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+fn add(n: usize) {
+    let live = CURRENT.fetch_add(n as u64, Ordering::Relaxed) + n as u64;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+fn sub(n: usize) {
+    // Saturating: a dealloc of memory obtained before tracking started
+    // must not wrap the counter.
+    let _ = CURRENT.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |live| {
+        Some(live.saturating_sub(n as u64))
+    });
+}
+
+/// Byte-counting wrapper over the system allocator.
+pub struct CountingAllocator;
+
+// SAFETY: defers every allocation to `System`, which upholds the
+// `GlobalAlloc` contract; the wrapper only updates atomic counters.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        INSTALLED.store(true, Ordering::Relaxed);
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            add(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        INSTALLED.store(true, Ordering::Relaxed);
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            add(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        sub(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            sub(layout.size());
+            add(new_size);
+        }
+        new_ptr
+    }
+}
+
+#[cfg(feature = "alloc-track")]
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Whether the counting allocator is live in this process.
+pub fn tracking_enabled() -> bool {
+    INSTALLED.load(Ordering::Relaxed)
+}
+
+/// Live heap bytes, or `None` when tracking is not installed.
+pub fn current_bytes() -> Option<u64> {
+    tracking_enabled().then(|| CURRENT.load(Ordering::Relaxed))
+}
+
+/// Peak heap bytes since process start or the last [`reset_peak`], or
+/// `None` when tracking is not installed.
+pub fn peak_bytes() -> Option<u64> {
+    tracking_enabled().then(|| PEAK.load(Ordering::Relaxed))
+}
+
+/// Resets the high-water mark to the current live size, so a caller can
+/// measure the peak of one phase. No-op when tracking is not installed.
+pub fn reset_peak() {
+    if tracking_enabled() {
+        PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(not(feature = "alloc-track"))]
+    #[test]
+    fn queries_report_untracked_without_the_feature() {
+        assert!(!tracking_enabled());
+        assert_eq!(current_bytes(), None);
+        assert_eq!(peak_bytes(), None);
+        reset_peak(); // must be a safe no-op
+    }
+
+    #[cfg(feature = "alloc-track")]
+    #[test]
+    fn peak_rises_with_allocations() {
+        reset_peak();
+        let before = peak_bytes().expect("tracking installed");
+        let buf = vec![0u8; 1 << 20];
+        let after = peak_bytes().expect("tracking installed");
+        assert!(after >= before + (1 << 20), "{before} -> {after}");
+        drop(buf);
+        assert!(current_bytes().unwrap() <= after);
+    }
+}

@@ -32,13 +32,25 @@
 //! assert_eq!(rec.events().len(), 5); // 2 starts + 1 counter + 2 ends
 //! ```
 
+pub mod alloc;
+mod hist;
+mod profile;
 mod recorder;
 mod report;
+mod trace;
 
+pub use hist::{Histogram, HistogramSummary, HISTOGRAM_BUCKETS};
+pub use profile::{
+    parse_run_events, run_events_to_json, DiffRow, DiffVerdict, ProfileDiff, ProfileGate,
+    ProfileSummary, RunEvents, StageProfile, StoreTotals,
+};
 pub use recorder::{with_span, Event, EventType, JsonRecorder, NoopRecorder, Recorder};
 pub use report::{
     ConfigEcho, CounterTotal, FaultTotals, FidelityMetrics, GaugeStat, RunReport, StageSpeedup,
     StageTiming,
+};
+pub use trace::{
+    chrome_trace, validate_chrome, ChromeCheck, LaneProfiler, LaneSpan, Trace, TraceNode,
 };
 
 /// Well-known gauge names the [`RunReport`] builder folds into
@@ -82,6 +94,29 @@ pub mod names {
     pub const FAULT_DEGRADED: &str = "fault.degraded";
     /// Gauge: virtual backoff milliseconds charged by the retry layer.
     pub const FAULT_BACKOFF_MS: &str = "fault.backoff_ms";
+    /// Histogram: individual virtual backoff delays, µs per retry.
+    pub const HIST_FAULT_BACKOFF_US: &str = "fault.backoff_delay_us";
+    /// Histogram: per-slice SEM acquisition wall time, µs.
+    pub const HIST_ACQUIRE_SLICE_US: &str = "acquire.slice_us";
+    /// Histogram: per-slice ideal-render wall time, µs.
+    pub const HIST_RENDER_SLICE_US: &str = "render.slice_us";
+    /// Histogram: per-chunk TV-denoise wall time, µs.
+    pub const HIST_DENOISE_SLICE_US: &str = "denoise.slice_us";
+    /// Histogram: per-slice alignment registration wall time, µs.
+    pub const HIST_ALIGN_SLICE_US: &str = "align.slice_us";
+    /// Histogram: MI offset candidates scored per aligned slice.
+    pub const HIST_ALIGN_SEARCH_ITERS: &str = "align.search_iters";
+    /// Histogram: artifact store fetch latency, µs per get.
+    pub const HIST_STORE_GET_US: &str = "store.get_us";
+    /// Histogram: artifact store persist latency, µs per put.
+    pub const HIST_STORE_PUT_US: &str = "store.put_us";
+    /// Histogram: payload bytes per store get.
+    pub const HIST_STORE_GET_BYTES: &str = "store.get_bytes";
+    /// Histogram: payload bytes per store put.
+    pub const HIST_STORE_PUT_BYTES: &str = "store.put_bytes";
+    /// Gauge: allocation high-water mark of the run, bytes (recorded only
+    /// when the `alloc-track` counting allocator is installed).
+    pub const ALLOC_PEAK_BYTES: &str = "alloc.peak_bytes";
     /// Counter: seeded runs executed by a conformance campaign.
     pub const CONFORMANCE_RUNS: &str = "conformance.runs";
     /// Counter: campaign runs that passed every oracle.

@@ -15,6 +15,13 @@ pub enum EventType {
     Counter,
     /// A gauge observation (`name`, `value`).
     Gauge,
+    /// A histogram observation (`name`, `delta` holds the value).
+    Histogram,
+    /// A completed span on a worker-thread lane (`name`, `tid`,
+    /// `elapsed_us` is the lane-span start, `duration_us` its length).
+    /// Emitted after the fact when a stage drains its lane profiler, so
+    /// `elapsed_us` may precede earlier events in stream order.
+    ThreadSpan,
 }
 
 /// One entry in a [`JsonRecorder`]'s event stream.
@@ -35,6 +42,9 @@ pub struct Event {
     pub name: String,
     /// Span nesting depth at the time of the event (0 = top level).
     pub depth: u32,
+    /// Worker-lane index (vendored-rayon thread index). 0 for everything
+    /// on the main lane; only `ThreadSpan` events carry other values.
+    pub tid: u32,
     /// `SpanEnd` only: span wall time in microseconds.
     pub duration_us: Option<u64>,
     /// `Counter` only: the increment.
@@ -68,6 +78,21 @@ pub trait Recorder {
     /// Records a point-in-time observation. Non-finite values are
     /// sanitized by the implementation (NaN dropped, ±∞ clamped).
     fn gauge(&mut self, name: &str, value: f64);
+
+    /// Records one observation into the named histogram (log2 buckets;
+    /// see [`Histogram`](crate::Histogram)). Default: discarded.
+    fn histogram(&mut self, _name: &str, _value: u64) {}
+
+    /// Records a completed span that ran on a worker-thread lane, after
+    /// the fact: `start_us` is on the same clock as [`Recorder::now_us`].
+    /// Default: discarded.
+    fn thread_span(&mut self, _name: &str, _tid: u32, _start_us: u64, _duration_us: u64) {}
+
+    /// Microseconds elapsed on this recorder's clock (the `elapsed_us`
+    /// domain of its events). Default 0 for recorders with no clock.
+    fn now_us(&self) -> u64 {
+        0
+    }
 }
 
 /// Runs `body` inside a span on `rec`, closing it even on early return of
@@ -103,6 +128,14 @@ impl Recorder for NoopRecorder {
     fn counter(&mut self, _name: &str, _delta: u64) {}
     #[inline(always)]
     fn gauge(&mut self, _name: &str, _value: f64) {}
+    #[inline(always)]
+    fn histogram(&mut self, _name: &str, _value: u64) {}
+    #[inline(always)]
+    fn thread_span(&mut self, _name: &str, _tid: u32, _start_us: u64, _duration_us: u64) {}
+    #[inline(always)]
+    fn now_us(&self) -> u64 {
+        0
+    }
 }
 
 /// Records a structured event stream suitable for JSON serialization and
@@ -174,6 +207,7 @@ impl JsonRecorder {
             kind,
             name: name.to_string(),
             depth,
+            tid: 0,
             duration_us: None,
             delta: None,
             total: None,
@@ -235,6 +269,24 @@ impl Recorder for JsonRecorder {
         let depth = self.stack.len() as u32;
         let ev = self.push(EventType::Gauge, name, depth);
         ev.value = Some(value);
+    }
+
+    fn histogram(&mut self, name: &str, value: u64) {
+        let depth = self.stack.len() as u32;
+        let ev = self.push(EventType::Histogram, name, depth);
+        ev.delta = Some(value);
+    }
+
+    fn thread_span(&mut self, name: &str, tid: u32, start_us: u64, duration_us: u64) {
+        let depth = self.stack.len() as u32;
+        let ev = self.push(EventType::ThreadSpan, name, depth);
+        ev.elapsed_us = start_us;
+        ev.tid = tid;
+        ev.duration_us = Some(duration_us);
+    }
+
+    fn now_us(&self) -> u64 {
+        self.elapsed_us()
     }
 }
 
@@ -333,6 +385,32 @@ mod tests {
         let json = rec.to_json();
         let back: Vec<Event> = serde_json::from_str(&json).expect("parse");
         assert_eq!(back, rec.events());
+    }
+
+    #[test]
+    fn histogram_and_thread_span_events_carry_payload() {
+        let mut rec = JsonRecorder::new();
+        rec.histogram("acquire.slice_us", 1234);
+        rec.thread_span("acquire.slice", 3, 10, 90);
+        let evs = rec.events();
+        assert_eq!(evs[0].kind, EventType::Histogram);
+        assert_eq!(evs[0].delta, Some(1234));
+        assert_eq!(evs[0].tid, 0);
+        assert_eq!(evs[1].kind, EventType::ThreadSpan);
+        assert_eq!(evs[1].tid, 3);
+        assert_eq!(evs[1].elapsed_us, 10);
+        assert_eq!(evs[1].duration_us, Some(90));
+        // Round-trips through JSON like every other event kind.
+        let back: Vec<Event> = serde_json::from_str(&rec.to_json()).expect("parse");
+        assert_eq!(back, evs);
+    }
+
+    #[test]
+    fn noop_recorder_discards_new_kinds_too() {
+        let mut rec = NoopRecorder;
+        rec.histogram("h", 1);
+        rec.thread_span("s", 1, 0, 1);
+        assert_eq!(rec.now_us(), 0);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::hist::{Histogram, HistogramSummary};
 use crate::recorder::{Event, EventType};
 
 /// Echo of the pipeline configuration that produced a run, so a report is
@@ -185,6 +186,9 @@ pub struct RunReport {
     pub counters: Vec<CounterTotal>,
     /// Per-gauge summary statistics, in first-observation order.
     pub gauges: Vec<GaugeStat>,
+    /// Per-histogram summaries (count/min/p50/p90/p99/max), in
+    /// first-observation order.
+    pub histograms: Vec<HistogramSummary>,
     /// Named fidelity metrics extracted from the gauge stream.
     pub fidelity: FidelityMetrics,
     /// Fault-injection and recovery totals extracted from the counters.
@@ -204,6 +208,7 @@ impl RunReport {
         let mut total_us = 0u64;
         let mut counters: Vec<CounterTotal> = Vec::new();
         let mut gauges: Vec<GaugeStat> = Vec::new();
+        let mut hists: Vec<(String, Histogram)> = Vec::new();
 
         for ev in events {
             match ev.kind {
@@ -248,9 +253,21 @@ impl RunReport {
                         }),
                     }
                 }
-                EventType::SpanStart => {}
+                EventType::Histogram => {
+                    let value = ev.delta.unwrap_or(0);
+                    match hists.iter_mut().find(|(n, _)| *n == ev.name) {
+                        Some((_, h)) => h.record(value),
+                        None => {
+                            let mut h = Histogram::new();
+                            h.record(value);
+                            hists.push((ev.name.clone(), h));
+                        }
+                    }
+                }
+                EventType::SpanStart | EventType::ThreadSpan => {}
             }
         }
+        let histograms = hists.iter().map(|(n, h)| h.summarize(n)).collect();
 
         let find = |name: &str| gauges.iter().find(|g| g.name == name).map(|g| g.last);
         let fidelity = FidelityMetrics {
@@ -284,10 +301,16 @@ impl RunReport {
             total_us,
             counters,
             gauges,
+            histograms,
             fidelity,
             faults,
             event_count: events.len() as u64,
         }
+    }
+
+    /// Summary of the named histogram, if any observations were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.iter().find(|h| h.name == name)
     }
 
     /// Per-stage speedups of this run against a `baseline` run of the same
@@ -488,6 +511,59 @@ mod tests {
         baseline.stages[0].duration_us = 0;
         parallel.stages[1].name = "only_here".into();
         assert!(parallel.stage_speedups(&baseline).is_empty());
+    }
+
+    #[test]
+    fn zero_duration_stages_never_poison_speedup_gauges() {
+        // Pins the guard: a 0 µs stage on either side of the comparison is
+        // skipped outright, so `parallel.speedup.*` gauges can never see an
+        // infinite or NaN ratio.
+        let mut baseline = sample_report();
+        let mut this_run = sample_report();
+        for s in &mut baseline.stages {
+            s.duration_us = 0; // e.g. sub-µs stage on a fast machine
+        }
+        for s in &mut this_run.stages {
+            s.duration_us = 250;
+        }
+        assert!(
+            this_run.stage_speedups(&baseline).is_empty(),
+            "zero-duration baseline must yield no speedup entries"
+        );
+        // And the mirror image: this run at 0 µs would divide by zero.
+        for s in &mut baseline.stages {
+            s.duration_us = 250;
+        }
+        for s in &mut this_run.stages {
+            s.duration_us = 0;
+        }
+        assert!(this_run.stage_speedups(&baseline).is_empty());
+        // Mixed case: only the well-defined pair survives, finite and > 0.
+        this_run.stages[0].duration_us = 125;
+        let speedups = this_run.stage_speedups(&baseline);
+        assert_eq!(speedups.len(), 1);
+        assert!(speedups[0].speedup.is_finite());
+        assert_eq!(speedups[0].speedup, 2.0);
+    }
+
+    #[test]
+    fn histogram_events_fold_into_summaries() {
+        let mut rec = JsonRecorder::new();
+        for v in [100u64, 200, 400, 800] {
+            rec.histogram("acquire.slice_us", v);
+        }
+        rec.histogram("store.get_bytes", 4096);
+        let report = RunReport::from_events(ConfigEcho::pristine("classic"), rec.events());
+        assert_eq!(report.histograms.len(), 2);
+        let h = report.histogram("acquire.slice_us").expect("present");
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min, 100);
+        assert_eq!(h.max, 800);
+        assert!(h.p50 <= h.p90 && h.p90 <= h.p99);
+        assert!(report.histogram("missing").is_none());
+        // Report survives a JSON round trip with histograms attached.
+        let back: RunReport = serde_json::from_str(&report.to_json()).expect("parse");
+        assert_eq!(back.histograms, report.histograms);
     }
 
     #[test]

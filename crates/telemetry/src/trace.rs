@@ -1,0 +1,612 @@
+//! Hierarchical traces: span trees, worker lanes, and the Chrome
+//! trace-event / folded-stacks exporters.
+//!
+//! A [`JsonRecorder`](crate::JsonRecorder) emits a *flat* event stream;
+//! [`Trace::from_events`] rebuilds the span hierarchy from the
+//! `SpanStart`/`SpanEnd` bracketing (the recorder's stack discipline
+//! guarantees they nest) and computes per-span **self time** — wall time
+//! not covered by child spans, the quantity the profile gate regresses on.
+//!
+//! Two export formats:
+//!
+//! - **Chrome trace-event JSON** ([`chrome_trace`], [`Trace::to_chrome_json`])
+//!   — load in `chrome://tracing` or <https://ui.perfetto.dev>. Each
+//!   pipeline run is one *process* (pid); the main span tree renders on
+//!   tid 0 and per-slice work recorded through a [`LaneProfiler`] renders
+//!   on one lane per vendored-rayon worker index.
+//! - **Folded stacks** ([`Trace::to_folded`]) — `path;to;span <self_µs>`
+//!   lines, the input format of Brendan Gregg's `flamegraph.pl` and
+//!   speedscope. Worker-lane spans fold under the deepest main-lane span
+//!   that contains them in time.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::Value;
+
+use crate::recorder::{Event, EventType};
+
+/// Microseconds of slack tolerated by the nesting validator: span starts
+/// and durations are measured by separate clock reads and floored to µs,
+/// so a child's computed end may trail its parent's by a rounding hair.
+const NEST_SLACK_US: u64 = 5;
+
+/// One span in a reconstructed trace tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceNode {
+    /// Span name.
+    pub name: String,
+    /// Nesting depth (0 = top-level pipeline stage).
+    pub depth: u32,
+    /// Worker lane (0 = main thread).
+    pub tid: u32,
+    /// Start, µs on the recorder's clock.
+    pub start_us: u64,
+    /// Wall time, µs.
+    pub duration_us: u64,
+    /// Child spans, in completion order.
+    pub children: Vec<TraceNode>,
+}
+
+impl TraceNode {
+    /// Wall time not covered by child spans.
+    pub fn self_us(&self) -> u64 {
+        let children: u64 = self.children.iter().map(|c| c.duration_us).sum();
+        self.duration_us.saturating_sub(children)
+    }
+
+    /// Exclusive end timestamp, µs.
+    pub fn end_us(&self) -> u64 {
+        self.start_us.saturating_add(self.duration_us)
+    }
+}
+
+/// A reconstructed trace: the main-lane span forest plus worker-lane
+/// spans drained from a [`LaneProfiler`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Top-level spans in completion order (the pipeline stages).
+    pub roots: Vec<TraceNode>,
+    /// Per-slice worker spans (leaf nodes, `tid` = worker index).
+    pub lanes: Vec<TraceNode>,
+}
+
+impl Trace {
+    /// Rebuilds the span tree from a flat event stream.
+    ///
+    /// `SpanStart`/`SpanEnd` pairs become tree nodes (span start time from
+    /// the start event's `elapsed_us`, duration from the end event);
+    /// `ThreadSpan` events become [`Trace::lanes`] entries. Spans left
+    /// open at the end of the stream are discarded — an unbalanced stream
+    /// means the run aborted mid-stage and its timing is meaningless.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut open: Vec<TraceNode> = Vec::new();
+        let mut roots: Vec<TraceNode> = Vec::new();
+        let mut lanes: Vec<TraceNode> = Vec::new();
+        for ev in events {
+            match ev.kind {
+                EventType::SpanStart => open.push(TraceNode {
+                    name: ev.name.clone(),
+                    depth: ev.depth,
+                    tid: 0,
+                    start_us: ev.elapsed_us,
+                    duration_us: 0,
+                    children: Vec::new(),
+                }),
+                EventType::SpanEnd => {
+                    let Some(mut node) = open.pop() else { continue };
+                    node.duration_us = ev.duration_us.unwrap_or(0);
+                    match open.last_mut() {
+                        Some(parent) => parent.children.push(node),
+                        None => roots.push(node),
+                    }
+                }
+                EventType::ThreadSpan => lanes.push(TraceNode {
+                    name: ev.name.clone(),
+                    depth: 0,
+                    tid: ev.tid,
+                    start_us: ev.elapsed_us,
+                    duration_us: ev.duration_us.unwrap_or(0),
+                    children: Vec::new(),
+                }),
+                EventType::Counter | EventType::Gauge | EventType::Histogram => {}
+            }
+        }
+        Self { roots, lanes }
+    }
+
+    /// Total wall time of the top-level spans, µs.
+    pub fn total_us(&self) -> u64 {
+        self.roots.iter().map(|r| r.duration_us).sum()
+    }
+
+    /// Names of the top-level spans, in completion order.
+    pub fn stage_names(&self) -> Vec<&str> {
+        self.roots.iter().map(|r| r.name.as_str()).collect()
+    }
+
+    /// Single-run Chrome trace-event export; see [`chrome_trace`].
+    pub fn to_chrome_json(&self, label: &str) -> String {
+        chrome_trace(&[(label.to_string(), self.clone())])
+    }
+
+    /// Folded-stacks export: one `path;to;span <self_µs>` line per stack,
+    /// self times aggregated over identical stacks, lines sorted. Feed to
+    /// `flamegraph.pl` or paste into speedscope. Worker-lane spans attach
+    /// beneath the deepest main-lane span containing their start time.
+    pub fn to_folded(&self) -> String {
+        let mut acc: Vec<(String, u64)> = Vec::new();
+        fn add(acc: &mut Vec<(String, u64)>, path: String, us: u64) {
+            match acc.iter_mut().find(|(p, _)| *p == path) {
+                Some((_, total)) => *total += us,
+                None => acc.push((path, us)),
+            }
+        }
+        fn walk(acc: &mut Vec<(String, u64)>, node: &TraceNode, prefix: &str) {
+            let path = if prefix.is_empty() {
+                node.name.clone()
+            } else {
+                format!("{prefix};{}", node.name)
+            };
+            add(acc, path.clone(), node.self_us());
+            for child in &node.children {
+                walk(acc, child, &path);
+            }
+        }
+        for root in &self.roots {
+            walk(&mut acc, root, "");
+        }
+        for lane in &self.lanes {
+            let path = match deepest_containing(&self.roots, lane.start_us) {
+                Some(stack) => format!("{stack};{}", lane.name),
+                None => lane.name.clone(),
+            };
+            add(&mut acc, path, lane.duration_us);
+        }
+        let mut lines: Vec<String> = acc
+            .into_iter()
+            .map(|(path, us)| format!("{path} {us}"))
+            .collect();
+        lines.sort();
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// `path;to;deepest` main-lane stack containing timestamp `at_us`.
+fn deepest_containing(roots: &[TraceNode], at_us: u64) -> Option<String> {
+    let node = roots
+        .iter()
+        .find(|n| n.start_us <= at_us && at_us < n.end_us().max(n.start_us + 1))?;
+    match deepest_containing(&node.children, at_us) {
+        Some(rest) => Some(format!("{};{rest}", node.name)),
+        None => Some(node.name.clone()),
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn str_v(s: &str) -> Value {
+    Value::Str(s.to_string())
+}
+
+fn u64_v(v: u64) -> Value {
+    if v <= i64::MAX as u64 {
+        Value::Int(v as i64)
+    } else {
+        Value::UInt(v)
+    }
+}
+
+/// Renders one or more labelled traces as Chrome trace-event JSON.
+///
+/// Each `(label, trace)` pair becomes one *process*: pid `i + 1`, process
+/// name `label` (a metadata event), the main span tree as complete (`"X"`)
+/// events on tid 0 and worker-lane spans on their own tids. Timestamps are
+/// in microseconds as the format requires; `displayTimeUnit` asks viewers
+/// to display milliseconds.
+pub fn chrome_trace(runs: &[(String, Trace)]) -> String {
+    let mut events: Vec<Value> = Vec::new();
+    for (i, (label, trace)) in runs.iter().enumerate() {
+        let pid = (i + 1) as u64;
+        let meta = |name: &str, tid: u64, value: &str| {
+            obj(vec![
+                ("ph", str_v("M")),
+                ("pid", u64_v(pid)),
+                ("tid", u64_v(tid)),
+                ("name", str_v(name)),
+                ("args", obj(vec![("name", str_v(value))])),
+            ])
+        };
+        events.push(meta("process_name", 0, label));
+        events.push(meta("thread_name", 0, "main"));
+        let mut lane_tids: Vec<u32> = trace.lanes.iter().map(|l| l.tid).collect();
+        lane_tids.sort_unstable();
+        lane_tids.dedup();
+        for tid in lane_tids {
+            if tid != 0 {
+                events.push(meta("thread_name", tid as u64, &format!("worker {tid}")));
+            }
+        }
+        let complete = |node: &TraceNode, cat: &str| {
+            obj(vec![
+                ("ph", str_v("X")),
+                ("pid", u64_v(pid)),
+                ("tid", u64_v(node.tid as u64)),
+                ("name", str_v(&node.name)),
+                ("cat", str_v(cat)),
+                ("ts", u64_v(node.start_us)),
+                ("dur", u64_v(node.duration_us)),
+            ])
+        };
+        fn walk(events: &mut Vec<Value>, node: &TraceNode, f: &dyn Fn(&TraceNode, &str) -> Value) {
+            events.push(f(node, "stage"));
+            for child in &node.children {
+                walk(events, child, f);
+            }
+        }
+        for root in &trace.roots {
+            walk(&mut events, root, &complete);
+        }
+        for lane in &trace.lanes {
+            events.push(complete(lane, "slice"));
+        }
+    }
+    let doc = obj(vec![
+        ("displayTimeUnit", str_v("ms")),
+        ("traceEvents", Value::Array(events)),
+    ]);
+    serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".into())
+}
+
+/// What [`validate_chrome`] measured about a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChromeCheck {
+    /// Number of complete (`"X"`) span events.
+    pub span_events: u64,
+    /// Number of processes (distinct pids) — one per pipeline run.
+    pub processes: u64,
+    /// Number of distinct (pid, tid) lanes.
+    pub lanes: u64,
+}
+
+impl ChromeCheck {
+    /// One-line human rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "chrome trace OK: {} span events, {} runs, {} lanes, nesting balanced",
+            self.span_events, self.processes, self.lanes
+        )
+    }
+}
+
+/// Validates Chrome trace-event JSON produced by [`chrome_trace`]:
+/// parses, requires every `required_stage` to appear as a span event,
+/// and checks span nesting is balanced per lane (spans on one (pid, tid)
+/// either nest or are disjoint — the invariant viewers rely on).
+///
+/// # Errors
+///
+/// Returns a description of the first problem found.
+pub fn validate_chrome(text: &str, required_stages: &[&str]) -> Result<ChromeCheck, String> {
+    let doc: Value = serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = match doc.field("traceEvents") {
+        Ok(Value::Array(events)) => events,
+        _ => return Err("missing traceEvents array".to_string()),
+    };
+    let get_u64 = |v: &Value, key: &str| -> Result<u64, String> {
+        match v.field(key) {
+            Ok(Value::Int(n)) if *n >= 0 => Ok(*n as u64),
+            Ok(Value::UInt(n)) => Ok(*n),
+            _ => Err(format!("span event missing numeric `{key}`")),
+        }
+    };
+    // (pid, tid, ts, dur, name) per complete event.
+    let mut spans: Vec<(u64, u64, u64, u64, String)> = Vec::new();
+    for ev in events {
+        let ph = match ev.field("ph") {
+            Ok(Value::Str(s)) => s.clone(),
+            _ => return Err("event missing `ph`".to_string()),
+        };
+        if ph != "X" {
+            continue;
+        }
+        let name = match ev.field("name") {
+            Ok(Value::Str(s)) => s.clone(),
+            _ => return Err("span event missing `name`".to_string()),
+        };
+        spans.push((
+            get_u64(ev, "pid")?,
+            get_u64(ev, "tid")?,
+            get_u64(ev, "ts")?,
+            get_u64(ev, "dur")?,
+            name,
+        ));
+    }
+    for stage in required_stages {
+        if !spans.iter().any(|(_, _, _, _, n)| n == stage) {
+            return Err(format!("required stage span `{stage}` missing"));
+        }
+    }
+    // Per-lane nesting: sort by (pid, tid, ts, -dur) so a parent sorts
+    // before a child starting at the same instant, then run a stack.
+    spans.sort_by(|a, b| {
+        (a.0, a.1, a.2, std::cmp::Reverse(a.3)).cmp(&(b.0, b.1, b.2, std::cmp::Reverse(b.3)))
+    });
+    let mut lanes: Vec<(u64, u64)> = Vec::new();
+    let mut pids: Vec<u64> = Vec::new();
+    let mut stack: Vec<(u64, u64, u64, String)> = Vec::new(); // (pid, tid, end, name)
+    for (pid, tid, ts, dur, name) in &spans {
+        if !pids.contains(pid) {
+            pids.push(*pid);
+        }
+        if !lanes.contains(&(*pid, *tid)) {
+            lanes.push((*pid, *tid));
+            stack.clear();
+        }
+        while let Some((spid, stid, end, _)) = stack.last() {
+            if spid != pid || stid != tid || ts.saturating_add(NEST_SLACK_US) >= *end {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        let end = ts + dur;
+        if let Some((_, _, parent_end, parent)) = stack.last() {
+            if end > parent_end.saturating_add(NEST_SLACK_US) {
+                return Err(format!(
+                    "span `{name}` ([{ts}, {end}]) overlaps `{parent}` (ends {parent_end}) \
+                     on lane {pid}:{tid} without nesting"
+                ));
+            }
+        }
+        stack.push((*pid, *tid, end, name.clone()));
+    }
+    Ok(ChromeCheck {
+        span_events: spans.len() as u64,
+        processes: pids.len() as u64,
+        lanes: lanes.len() as u64,
+    })
+}
+
+/// One completed span captured on a worker lane by a [`LaneProfiler`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneSpan {
+    /// Span name (e.g. `acquire.slice`).
+    pub name: String,
+    /// Worker lane (vendored-rayon thread index).
+    pub tid: u32,
+    /// Start, µs on the owning recorder's clock.
+    pub start_us: u64,
+    /// Wall time, µs.
+    pub duration_us: u64,
+}
+
+/// Shared-reference span collector for parallel stages.
+///
+/// [`Recorder`](crate::Recorder) requires `&mut self`, so worker threads
+/// inside `rayon::par_map` cannot record into it directly. A stage instead
+/// creates a `LaneProfiler` aligned to the recorder's clock
+/// (`LaneProfiler::new(rec.now_us())`), shares `&LaneProfiler` with its
+/// workers — [`LaneProfiler::time`] takes `&self` — and afterwards drains
+/// the collected spans back into the recorder as `ThreadSpan` events.
+/// Contention is one short mutex hold per slice, far below the µs-scale
+/// work items the parallel stages split on.
+#[derive(Debug)]
+pub struct LaneProfiler {
+    base_us: u64,
+    origin: Instant,
+    spans: Mutex<Vec<LaneSpan>>,
+}
+
+impl LaneProfiler {
+    /// Creates a profiler whose span timestamps count from `base_us` on
+    /// the owning recorder's clock (pass `rec.now_us()`).
+    pub fn new(base_us: u64) -> Self {
+        Self {
+            base_us,
+            origin: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Times `body` and records it as `name` on lane `tid` (pass
+    /// `rayon::current_thread_index()`). Callable from any thread.
+    pub fn time<T>(&self, name: &str, tid: u32, body: impl FnOnce() -> T) -> T {
+        let start = self.origin.elapsed();
+        let out = body();
+        let end = self.origin.elapsed();
+        let span = LaneSpan {
+            name: name.to_string(),
+            tid,
+            start_us: self
+                .base_us
+                .saturating_add(start.as_micros().min(u64::MAX as u128) as u64),
+            duration_us: (end - start).as_micros().min(u64::MAX as u128) as u64,
+        };
+        if let Ok(mut spans) = self.spans.lock() {
+            spans.push(span);
+        }
+        out
+    }
+
+    /// Takes the collected spans, sorted by (start, lane, name) so the
+    /// drain order is stable however the workers interleaved.
+    pub fn drain(&self) -> Vec<LaneSpan> {
+        let mut spans = match self.spans.lock() {
+            Ok(mut guard) => std::mem::take(&mut *guard),
+            Err(_) => Vec::new(),
+        };
+        spans.sort_by(|a, b| (a.start_us, a.tid, &a.name).cmp(&(b.start_us, b.tid, &b.name)));
+        spans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{with_span, JsonRecorder, Recorder};
+
+    /// Deterministic fixture: two stages, nested child, two lane spans.
+    fn fixture() -> Trace {
+        let ev = |seq, kind, name: &str, depth, elapsed, dur, tid| Event {
+            seq,
+            elapsed_us: elapsed,
+            kind,
+            name: name.to_string(),
+            depth,
+            tid,
+            duration_us: dur,
+            delta: None,
+            total: None,
+            value: None,
+        };
+        let events = vec![
+            ev(0, EventType::SpanStart, "acquire", 0, 0, None, 0),
+            ev(1, EventType::SpanStart, "render", 1, 10, None, 0),
+            ev(2, EventType::SpanEnd, "render", 1, 80, Some(70), 0),
+            ev(3, EventType::SpanEnd, "acquire", 0, 100, Some(100), 0),
+            ev(4, EventType::SpanStart, "extract", 0, 100, None, 0),
+            ev(5, EventType::SpanEnd, "extract", 0, 160, Some(60), 0),
+            ev(
+                6,
+                EventType::ThreadSpan,
+                "acquire.slice",
+                0,
+                12,
+                Some(30),
+                1,
+            ),
+            ev(
+                7,
+                EventType::ThreadSpan,
+                "acquire.slice",
+                0,
+                14,
+                Some(28),
+                2,
+            ),
+        ];
+        Trace::from_events(&events)
+    }
+
+    #[test]
+    fn tree_reconstruction_computes_self_time() {
+        let t = fixture();
+        assert_eq!(t.stage_names(), vec!["acquire", "extract"]);
+        assert_eq!(t.total_us(), 160);
+        let acquire = &t.roots[0];
+        assert_eq!(acquire.children.len(), 1);
+        assert_eq!(acquire.duration_us, 100);
+        assert_eq!(acquire.self_us(), 30); // 100 − 70 in `render`
+        assert_eq!(acquire.children[0].self_us(), 70);
+        assert_eq!(t.lanes.len(), 2);
+        assert_eq!(t.lanes[0].tid, 1);
+    }
+
+    #[test]
+    fn unbalanced_stream_drops_open_spans() {
+        let mut rec = JsonRecorder::new();
+        rec.span_start("never_closed");
+        with_span(&mut rec, "done", |_| {});
+        let t = Trace::from_events(rec.events());
+        // `done` closed *inside* never_closed, which was then dropped —
+        // nothing reaches the roots, and nothing panics.
+        assert!(t.roots.is_empty());
+    }
+
+    #[test]
+    fn chrome_export_validates_and_carries_lanes() {
+        let t = fixture();
+        let json = t.to_chrome_json("test run");
+        let check = validate_chrome(&json, &["acquire", "extract"]).expect("valid");
+        assert_eq!(check.span_events, 5); // 3 tree + 2 lane spans
+        assert_eq!(check.processes, 1);
+        assert_eq!(check.lanes, 3); // main + worker 1 + worker 2
+        assert!(json.contains("\"displayTimeUnit\""));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"worker 1\""));
+        // A missing required stage is reported by name.
+        let err = validate_chrome(&json, &["measure"]).unwrap_err();
+        assert!(err.contains("measure"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_overlapping_siblings() {
+        // Two spans on one lane overlapping without containment.
+        let t = Trace {
+            roots: vec![
+                TraceNode {
+                    name: "a".into(),
+                    depth: 0,
+                    tid: 0,
+                    start_us: 0,
+                    duration_us: 100,
+                    children: Vec::new(),
+                },
+                TraceNode {
+                    name: "b".into(),
+                    depth: 0,
+                    tid: 0,
+                    start_us: 50,
+                    duration_us: 100,
+                    children: Vec::new(),
+                },
+            ],
+            lanes: Vec::new(),
+        };
+        let err = validate_chrome(&t.to_chrome_json("bad"), &[]).unwrap_err();
+        assert!(err.contains("overlaps"), "{err}");
+        assert!(validate_chrome("not json", &[]).is_err());
+        assert!(validate_chrome("{\"a\": 1}", &[]).is_err());
+    }
+
+    #[test]
+    fn folded_output_attaches_lanes_by_containment() {
+        let t = fixture();
+        let folded = t.to_folded();
+        let lines: Vec<&str> = folded.lines().collect();
+        assert!(lines.contains(&"acquire 30"), "{folded}");
+        assert!(lines.contains(&"acquire;render 70"), "{folded}");
+        assert!(lines.contains(&"extract 60"), "{folded}");
+        // Both lane spans start inside acquire;render → aggregated there.
+        assert!(
+            lines.contains(&"acquire;render;acquire.slice 58"),
+            "{folded}"
+        );
+        // Sorted, newline-terminated.
+        let mut sorted = lines.clone();
+        sorted.sort();
+        assert_eq!(lines, sorted);
+        assert!(folded.ends_with('\n'));
+    }
+
+    #[test]
+    fn lane_profiler_rides_the_recorder_clock() {
+        let mut rec = JsonRecorder::new();
+        let lanes = LaneProfiler::new(rec.now_us());
+        let v = lanes.time("work.slice", 2, || 21 * 2);
+        assert_eq!(v, 42);
+        lanes.time("work.slice", 1, || ());
+        let spans = lanes.drain();
+        assert_eq!(spans.len(), 2);
+        assert!(spans[0].start_us <= spans[1].start_us);
+        for s in &spans {
+            rec.thread_span(&s.name, s.tid, s.start_us, s.duration_us);
+        }
+        let t = Trace::from_events(rec.events());
+        assert_eq!(t.lanes.len(), 2);
+        // Second drain is empty: spans were taken.
+        assert!(lanes.drain().is_empty());
+    }
+}

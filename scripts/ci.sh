@@ -19,6 +19,11 @@
 #                 matrix does), else sweeps the default 2-seed matrix
 #   bench-gate    overhead benches + regression gate vs BENCH_baseline.json
 #                 (scripts/bench_gate.sh)
+#   profile-gate  quickstart under HIFI_TRACE, trace validation (parses,
+#                 required stage spans present, nesting balanced), then
+#                 `hifi-trace diff` of the run's profile against the
+#                 committed PROFILE_baseline.json; honours
+#                 HIFI_PROFILE_TOLERANCE_PCT
 #
 # Everything builds --offline --locked: the vendored crates under vendor/
 # are the only dependency source, and Cargo.lock is authoritative.
@@ -94,6 +99,24 @@ job_bench_gate() {
     scripts/bench_gate.sh
 }
 
+job_profile_gate() {
+    echo "=== job: profile-gate ==="
+    cargo build --release --offline --locked --example quickstart --bin hifi-trace
+    local trace_dir
+    trace_dir="$(mktemp -d)"
+    # shellcheck disable=SC2064 # expand now: the dir name is fixed here
+    trap "rm -rf '$trace_dir'" RETURN
+    echo "==> quickstart with HIFI_TRACE=$trace_dir/trace.json"
+    HIFI_TRACE="$trace_dir/trace.json" target/release/examples/quickstart > /dev/null
+    echo "==> validate exported Chrome trace"
+    target/release/hifi-trace validate "$trace_dir/trace.json"
+    echo "==> profile summary"
+    target/release/hifi-trace summarize "$trace_dir/trace.json.profile.json"
+    echo "==> profile gate vs PROFILE_baseline.json"
+    target/release/hifi-trace diff \
+        "$trace_dir/trace.json.profile.json" PROFILE_baseline.json
+}
+
 run_job() {
     case "$1" in
         lint) job_lint ;;
@@ -102,16 +125,17 @@ run_job() {
         fault-matrix) job_fault_matrix ;;
         conformance) job_conformance ;;
         bench-gate) job_bench_gate ;;
+        profile-gate) job_profile_gate ;;
         *)
             echo "unknown job: $1" >&2
-            echo "jobs: lint test regen-drift fault-matrix conformance bench-gate" >&2
+            echo "jobs: lint test regen-drift fault-matrix conformance bench-gate profile-gate" >&2
             exit 2
             ;;
     esac
 }
 
 if [[ "$#" -eq 0 ]]; then
-    set -- lint test regen-drift fault-matrix conformance bench-gate
+    set -- lint test regen-drift fault-matrix conformance bench-gate profile-gate
 fi
 for job in "$@"; do
     run_job "$job"

@@ -55,12 +55,29 @@ fn main() -> ExitCode {
         }
     }
 
+    let store_before = hifi_store::stats::snapshot();
+    let faults_before = hifi_faults::stats::snapshot();
     let report = match threads {
         Some(t) => rayon::with_num_threads(t, || run_campaign(&cfg)),
         None => run_campaign(&cfg),
     };
     println!("{}", report.to_json());
     eprintln!("{}", report.summary_line());
+    // Infrastructure one-liners (stderr, like quickstart's): what the
+    // campaign's runs did to the artifact store and the fault layer. The
+    // JSON report on stdout stays a pure function of (--runs, --seed).
+    let store_enabled =
+        cfg.store.is_some() || std::env::var_os("HIFI_STORE").is_some_and(|v| !v.is_empty());
+    if store_enabled {
+        eprintln!(
+            "{}",
+            hifi_store::stats::snapshot().since(&store_before).summary()
+        );
+    }
+    let fault_delta = hifi_faults::stats::snapshot().since(&faults_before);
+    if fault_delta.any() {
+        eprintln!("{}", fault_delta.summary());
+    }
     for failure in &report.failures {
         eprintln!(
             "  run {} (seed {:#x}) failed [{}]: {} — shrunk to: {}",

@@ -1,0 +1,218 @@
+//! Trace and profile tooling for `HIFI_TRACE` captures.
+//!
+//! ```text
+//! hifi-trace summarize <trace.json.events.json | profile.json>
+//! hifi-trace export-chrome <trace.json.events.json> [-o OUT]
+//! hifi-trace export-folded <trace.json.events.json> [-o OUT]
+//! hifi-trace validate <trace.json> [--require a,b,c]
+//! hifi-trace diff <current.profile.json> <baseline.profile.json>
+//!               [--tolerance-pct X]
+//! ```
+//!
+//! Running any pipeline with `HIFI_TRACE=<path>` writes three documents:
+//! the Chrome trace at `<path>` (load in Perfetto), the raw event streams
+//! at `<path>.events.json`, and the aggregated profile at
+//! `<path>.profile.json`. `summarize` renders a profile (from either the
+//! events or the profile document); the exporters re-derive Chrome and
+//! folded-stack (flamegraph) output from the raw events; `validate`
+//! checks a Chrome trace parses, carries the required stage spans and
+//! nests cleanly; `diff` is the CI profile gate — it compares per-stage
+//! self-time *shares* against a committed baseline and exits 1 on
+//! regression. `--tolerance-pct` (or `HIFI_PROFILE_TOLERANCE_PCT`)
+//! overrides the gate's default tolerance.
+
+use std::process::ExitCode;
+
+use hifi_telemetry::{
+    chrome_trace, parse_run_events, validate_chrome, ProfileGate, ProfileSummary, RunEvents, Trace,
+};
+
+/// Stage spans every pipeline run must contain, imaged or pristine.
+const REQUIRED_STAGES: [&str; 5] = ["generate", "voxelize", "extract", "identify", "measure"];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage();
+        return ExitCode::from(2);
+    };
+    match command.as_str() {
+        "summarize" => summarize(&args[1..]),
+        "export-chrome" => export(&args[1..], Format::Chrome),
+        "export-folded" => export(&args[1..], Format::Folded),
+        "validate" => validate(&args[1..]),
+        "diff" => diff(&args[1..]),
+        "--help" | "-h" | "help" => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        other => die(&format!("unknown command: {other}")),
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: hifi-trace <command>\n\
+         \n\
+         commands:\n\
+         \x20 summarize <events.json|profile.json>   render the aggregated profile\n\
+         \x20 export-chrome <events.json> [-o OUT]   Chrome trace JSON (Perfetto)\n\
+         \x20 export-folded <events.json> [-o OUT]   folded stacks (flamegraph)\n\
+         \x20 validate <trace.json> [--require a,b]  check a Chrome trace document\n\
+         \x20 diff <current> <baseline> [--tolerance-pct X]\n\
+         \x20                                        profile gate: exit 1 on regression"
+    );
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("hifi-trace: {message}");
+    std::process::exit(2)
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")))
+}
+
+/// Loads `.events.json` run streams from a path.
+fn load_runs(path: &str) -> Vec<RunEvents> {
+    parse_run_events(&read(path)).unwrap_or_else(|e| die(&format!("{path}: {e}")))
+}
+
+/// Loads a profile either directly (a `.profile.json` document) or by
+/// folding a `.events.json` document.
+fn load_profile(path: &str) -> ProfileSummary {
+    let text = read(path);
+    if let Ok(profile) = ProfileSummary::parse(&text) {
+        return profile;
+    }
+    match parse_run_events(&text) {
+        Ok(runs) => {
+            let streams: Vec<_> = runs.into_iter().map(|r| r.events).collect();
+            ProfileSummary::from_event_runs(&streams)
+        }
+        Err(e) => die(&format!(
+            "{path} is neither a profile nor an events document: {e}"
+        )),
+    }
+}
+
+fn summarize(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        die("summarize needs exactly one input path");
+    };
+    print!("{}", load_profile(path).render());
+    ExitCode::SUCCESS
+}
+
+enum Format {
+    Chrome,
+    Folded,
+}
+
+fn export(args: &[String], format: Format) -> ExitCode {
+    let mut input: Option<&str> = None;
+    let mut output: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-o" | "--output" => {
+                output = Some(it.next().unwrap_or_else(|| die("-o needs a path")).as_str())
+            }
+            other if input.is_none() => input = Some(other),
+            other => die(&format!("unexpected argument: {other}")),
+        }
+    }
+    let input = input.unwrap_or_else(|| die("export needs an events.json path"));
+    let runs = load_runs(input);
+    let traced: Vec<(String, Trace)> = runs
+        .iter()
+        .map(|r| (r.label.clone(), Trace::from_events(&r.events)))
+        .collect();
+    let text = match format {
+        Format::Chrome => chrome_trace(&traced),
+        // Folded lines are "path;to;span value"; flamegraph tooling sums
+        // duplicate paths, so concatenating the per-run documents merges
+        // them for free.
+        Format::Folded => traced
+            .iter()
+            .map(|(_, t)| t.to_folded())
+            .collect::<Vec<_>>()
+            .concat(),
+    };
+    match output {
+        Some(path) => {
+            std::fs::write(path, text).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")))
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn validate(args: &[String]) -> ExitCode {
+    let mut input: Option<&str> = None;
+    let mut required: Vec<String> = REQUIRED_STAGES.iter().map(|s| s.to_string()).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--require" => {
+                let list = it.next().unwrap_or_else(|| die("--require needs a list"));
+                required = list.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            other if input.is_none() => input = Some(other),
+            other => die(&format!("unexpected argument: {other}")),
+        }
+    }
+    let input = input.unwrap_or_else(|| die("validate needs a trace path"));
+    let required: Vec<&str> = required.iter().map(String::as_str).collect();
+    match validate_chrome(&read(input), &required) {
+        Ok(check) => {
+            println!("{input}: valid — {}", check.render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{input}: INVALID — {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn diff(args: &[String]) -> ExitCode {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut gate = ProfileGate::default();
+    if let Ok(tol) = std::env::var("HIFI_PROFILE_TOLERANCE_PCT") {
+        gate.tolerance_pct = tol
+            .parse()
+            .unwrap_or_else(|_| die("HIFI_PROFILE_TOLERANCE_PCT needs a number"));
+    }
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tolerance-pct" => {
+                gate.tolerance_pct = it
+                    .next()
+                    .unwrap_or_else(|| die("--tolerance-pct needs a value"))
+                    .parse()
+                    .unwrap_or_else(|_| die("--tolerance-pct needs a number"));
+            }
+            other => paths.push(other),
+        }
+    }
+    let [current, baseline] = paths[..] else {
+        die("diff needs <current> and <baseline> profile paths");
+    };
+    let current = load_profile(current);
+    let baseline = load_profile(baseline);
+    let result = current.diff(&baseline, &gate);
+    print!("{}", result.render());
+    if result.passed() {
+        println!("profile gate: PASS (tolerance {:.0}%)", gate.tolerance_pct);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "profile gate: FAIL — {} regression(s) beyond {:.0}% tolerance",
+            result.regressions(),
+            gate.tolerance_pct
+        );
+        ExitCode::FAILURE
+    }
+}

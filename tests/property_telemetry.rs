@@ -1,0 +1,79 @@
+//! Property-based tests on the telemetry histogram substrate.
+//!
+//! The profile gate and the `RunReport` latency summaries stand on
+//! [`Histogram`]'s fixed log2 bucketing; these properties pin the
+//! invariants every consumer assumes: bucket bounds are monotone and
+//! cover every `u64`, quantiles are ordered and clamped to the observed
+//! range, and merging is associative and commutative (so cross-run
+//! aggregation order never changes a profile).
+
+use hifi_dram::telemetry::Histogram;
+use proptest::prelude::*;
+
+fn from_samples(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn bucket_upper_bounds_are_monotone_and_contain_their_values(value in any::<u64>()) {
+        let h = from_samples(&[value]);
+        // The recorded value must land in a bucket whose upper bound
+        // covers it: the summary's min/max clamp keeps quantiles exact at
+        // the extremes even though buckets are coarse.
+        let s = h.summarize("x");
+        prop_assert_eq!(s.count, 1);
+        prop_assert_eq!(s.min, value);
+        prop_assert_eq!(s.max, value);
+        prop_assert!(s.p50 >= value.min(s.max));
+        for q in [s.p50, s.p90, s.p99] {
+            prop_assert!(q >= s.min && q <= s.max, "quantile {q} outside [{}, {}]", s.min, s.max);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_within_range(samples in prop::collection::vec(0u64..1_000_000_000, 1..200)) {
+        let s = from_samples(&samples).summarize("lat");
+        let lo = *samples.iter().min().unwrap();
+        let hi = *samples.iter().max().unwrap();
+        prop_assert_eq!(s.count, samples.len() as u64);
+        prop_assert_eq!(s.min, lo);
+        prop_assert_eq!(s.max, hi);
+        prop_assert!(s.p50 <= s.p90, "p50 {} > p90 {}", s.p50, s.p90);
+        prop_assert!(s.p90 <= s.p99, "p90 {} > p99 {}", s.p90, s.p99);
+        prop_assert!(s.min <= s.p50 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative(
+        a in prop::collection::vec(0u64..1_000_000, 0..60),
+        b in prop::collection::vec(0u64..1_000_000, 0..60),
+        c in prop::collection::vec(0u64..1_000_000, 0..60),
+    ) {
+        let (ha, hb, hc) = (from_samples(&a), from_samples(&b), from_samples(&c));
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c)
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        // a ∪ b == b ∪ a
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+        // Merging matches recording the concatenation directly.
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(&left, &from_samples(&all));
+    }
+}

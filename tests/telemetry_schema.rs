@@ -58,6 +58,10 @@ fn synthetic_report() -> RunReport {
     rec.counter(names::FAULT_RECOVERED, 3);
     rec.counter(names::FAULT_DEGRADED, 1);
     rec.gauge(names::FAULT_BACKOFF_MS, 30.0);
+    // Histogram samples surface as count/min/p50/p90/p99/max summaries.
+    rec.histogram(names::HIST_STORE_GET_US, 100);
+    rec.histogram(names::HIST_STORE_GET_US, 900);
+    rec.histogram(names::HIST_FAULT_BACKOFF_US, 10_000);
     rec.gauge(names::CONFORMANCE_WORST_DIM_ERROR, 1.25);
     // The same gauge observed twice exercises min/max/mean/last folding.
     rec.gauge(names::CONFORMANCE_WORST_DIM_ERROR, 0.75);
@@ -101,10 +105,13 @@ fn golden_snapshot_covers_the_wellknown_key_families() {
         "\"fidelity.psnr_noisy_db\"",
         "\"conformance.worst_dim_error_voxels\"",
         "\"parallel.threads\"",
+        "\"store.get_us\"",
+        "\"fault.backoff_delay_us\"",
         // Struct fields consumers bind to.
         "\"config\"",
         "\"counters\"",
         "\"gauges\"",
+        "\"histograms\"",
         "\"fidelity\"",
         "\"faults\"",
         "\"stages\"",

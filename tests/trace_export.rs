@@ -1,0 +1,117 @@
+//! Golden snapshot of the Chrome trace-event export schema.
+//!
+//! Perfetto, `chrome://tracing` and the `hifi-trace validate` checker all
+//! bind to the exported document's shape: the `traceEvents` envelope, the
+//! `M` (metadata) process/thread naming events, and the `X` (complete)
+//! span events with `pid`/`tid`/`ts`/`dur` in microseconds. This test
+//! pins that shape from a hand-built, fully deterministic event stream —
+//! no wall clock anywhere — so an export change breaks loudly here
+//! instead of silently producing traces Perfetto renders wrong.
+//!
+//! To regenerate after an *intentional* schema change:
+//!
+//! ```text
+//! HIFI_REGEN_GOLDEN=1 cargo test --test trace_export
+//! ```
+
+use hifi_dram::telemetry::{chrome_trace, validate_chrome, Event, EventType, Trace};
+
+const GOLDEN_PATH: &str = "tests/golden/trace_chrome.json";
+
+fn ev(seq: u64, elapsed_us: u64, kind: EventType, name: &str, depth: u32) -> Event {
+    Event {
+        seq,
+        elapsed_us,
+        kind,
+        name: name.to_string(),
+        depth,
+        tid: 0,
+        duration_us: None,
+        delta: None,
+        total: None,
+        value: None,
+    }
+}
+
+/// A miniature pipeline run: two top-level stages, one nested span, and
+/// two worker-lane slice spans inside `acquire`.
+fn synthetic_events() -> Vec<Event> {
+    let mut events = vec![
+        ev(0, 0, EventType::SpanStart, "generate", 0),
+        {
+            let mut e = ev(1, 100, EventType::SpanEnd, "generate", 0);
+            e.duration_us = Some(100);
+            e
+        },
+        ev(2, 150, EventType::SpanStart, "acquire", 0),
+        ev(3, 160, EventType::SpanStart, "acquire.render", 1),
+        {
+            let mut e = ev(4, 360, EventType::SpanEnd, "acquire.render", 1);
+            e.duration_us = Some(200);
+            e
+        },
+        {
+            let mut e = ev(5, 650, EventType::SpanEnd, "acquire", 0);
+            e.duration_us = Some(500);
+            e
+        },
+    ];
+    for (seq, (tid, start)) in [(1u32, 170u64), (2, 180)].into_iter().enumerate() {
+        let mut e = ev(
+            6 + seq as u64,
+            start,
+            EventType::ThreadSpan,
+            "acquire.slice",
+            0,
+        );
+        e.tid = tid;
+        e.duration_us = Some(150);
+        events.push(e);
+    }
+    events
+}
+
+#[test]
+fn chrome_export_matches_the_golden_snapshot() {
+    let trace = Trace::from_events(&synthetic_events());
+    let rendered = chrome_trace(&[("classic+imaging".to_string(), trace)]) + "\n";
+    if std::env::var_os("HIFI_REGEN_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden snapshot missing — run HIFI_REGEN_GOLDEN=1 cargo test --test trace_export");
+    assert_eq!(
+        rendered, golden,
+        "Chrome trace export schema drifted from {GOLDEN_PATH}; if the change \
+         is intentional, regenerate with HIFI_REGEN_GOLDEN=1 and re-check the \
+         export still loads in Perfetto"
+    );
+}
+
+#[test]
+fn golden_snapshot_is_a_valid_nested_trace() {
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden snapshot present");
+    // The exact envelope and event keys Perfetto binds to.
+    for key in [
+        "\"traceEvents\"",
+        "\"displayTimeUnit\"",
+        "\"ph\"",
+        "\"pid\"",
+        "\"tid\"",
+        "\"ts\"",
+        "\"dur\"",
+        "\"process_name\"",
+        "\"thread_name\"",
+    ] {
+        assert!(golden.contains(key), "golden snapshot lost {key}");
+    }
+    // The snapshot passes the same validator the CI profile-gate job runs.
+    let check = validate_chrome(&golden, &["generate", "acquire"]).expect("golden trace valid");
+    assert_eq!(check.span_events, 5, "2 stages + 1 nested + 2 lane slices");
+    assert_eq!(check.processes, 1);
+    // Lanes: main (tid 0) plus workers 1 and 2.
+    assert_eq!(check.lanes, 3);
+    // And the validator still rejects a trace missing a required stage.
+    let err = validate_chrome(&golden, &["generate", "no_such_stage"]).unwrap_err();
+    assert!(err.contains("no_such_stage"), "{err}");
+}

@@ -31,6 +31,13 @@
 //! [`with_num_threads`] is an extension over upstream rayon (which scopes
 //! thread counts to explicit pools); it exists so tests and benches can pin
 //! a count without racing other tests through global state.
+//!
+//! # Worker identity
+//!
+//! [`current_thread_index`] mirrors upstream rayon's API of the same name:
+//! inside a parallel call it returns the chunk index of the executing
+//! worker (0 is always the calling thread, which processes the first
+//! chunk). Telemetry uses it to attribute per-slice work to trace lanes.
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -42,6 +49,21 @@ static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
 thread_local! {
     /// Per-thread override installed by [`with_num_threads`]; 0 = unset.
     static LOCAL_THREADS: Cell<usize> = const { Cell::new(0) };
+
+    /// Chunk index of the executing worker inside a parallel call; 0 on
+    /// the calling thread (which also runs the first chunk).
+    static WORKER_INDEX: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Index of the current worker within the innermost parallel call.
+///
+/// The calling thread (which runs the first chunk) is index 0; a worker
+/// spawned for chunk `k` is index `k`. Outside any parallel call this
+/// returns 0. Unlike upstream rayon (which returns `Option<usize>` and
+/// `None` off-pool), this stand-in has no persistent pool, so the plain
+/// `usize` with 0-as-caller is the honest encoding.
+pub fn current_thread_index() -> usize {
+    WORKER_INDEX.with(Cell::get)
 }
 
 /// Thread count requested through the environment; resolved once.
@@ -171,9 +193,10 @@ where
         let mut out_chunks = out.chunks_mut(chunk);
         // First chunk runs on the calling thread; the rest get workers.
         let (first_in, first_out) = (in_chunks.next(), out_chunks.next());
-        for (ins, outs) in in_chunks.zip(out_chunks) {
+        for (k, (ins, outs)) in in_chunks.zip(out_chunks).enumerate() {
             let f = &f;
             scope.spawn(move || {
+                WORKER_INDEX.with(|c| c.set(k + 1));
                 for (i, o) in ins.iter().zip(outs.iter_mut()) {
                     *o = Some(f(i));
                 }
@@ -211,9 +234,12 @@ where
     std::thread::scope(|scope| {
         let mut chunks = data.chunks_mut(chunk);
         let first = chunks.next();
-        for c in chunks {
+        for (k, c) in chunks.enumerate() {
             let f = &f;
-            scope.spawn(move || f(c));
+            scope.spawn(move || {
+                WORKER_INDEX.with(|cell| cell.set(k + 1));
+                f(c)
+            });
         }
         if let Some(c) = first {
             f(c);
@@ -295,5 +321,23 @@ mod tests {
     #[test]
     fn current_num_threads_is_at_least_one() {
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_index_is_zero_outside_parallel_calls() {
+        assert_eq!(current_thread_index(), 0);
+    }
+
+    #[test]
+    fn thread_index_matches_chunk_assignment() {
+        // 4 threads over 8 items => chunks of 2; element i belongs to
+        // chunk i / 2 and must observe that worker index.
+        let items: Vec<usize> = (0..8).collect();
+        let indices = with_num_threads(4, || par_map(&items, |_| current_thread_index()));
+        let expected: Vec<usize> = (0..8).map(|i| i / 2).collect();
+        assert_eq!(indices, expected);
+        // Sequential fallback (one thread): everything on the caller.
+        let seq = with_num_threads(1, || par_map(&items, |_| current_thread_index()));
+        assert!(seq.iter().all(|&i| i == 0));
     }
 }
