@@ -6,15 +6,17 @@
 //! `scripts/bench_gate.sh` (via the `bench_gate` binary) fails CI when a
 //! metric regresses past the tolerance.
 //!
-//! Two kinds of metric are recorded:
+//! Three kinds of metric are recorded:
 //!
-//! - `"ms"` — a wall-clock median. Load-sensitive, so the gate compares it
-//!   relatively (>15% over baseline fails by default).
-//! - `"percent"` — a paired-ratio overhead (see the bench methodology
-//!   comments). Load drift cancels in the pairs, so these are stable, but
-//!   their baselines sit near zero where relative comparison is
-//!   meaningless — the gate grants them a small absolute allowance
-//!   instead.
+//! - `"ms"` — a wall-clock median, lower is better. Load-sensitive, so the
+//!   gate compares it relatively (>15% over baseline fails by default).
+//! - `"percent"` — a paired-ratio overhead, lower is better. Load drift
+//!   cancels in the pairs, so these are stable, but their baselines sit
+//!   near zero (and may be legitimately negative) where a purely relative
+//!   comparison is meaningless — the gate anchors the allowance at the
+//!   *signed* baseline and grants one absolute percentage point on top.
+//! - `"per_sec"` — a throughput rate, **higher** is better. The gate fails
+//!   when the measured rate drops more than the tolerance below baseline.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -27,9 +29,11 @@ pub struct Metric {
     /// Stable identifier, `"<bench>.<quantity>"` (e.g.
     /// `"fault_overhead.zero_fault_plan_pct"`).
     pub name: String,
-    /// The measured value; lower is better for every recorded metric.
+    /// The measured value; lower is better for `"ms"` and `"percent"`
+    /// metrics, higher is better for `"per_sec"` rates.
     pub value: f64,
-    /// `"ms"` or `"percent"` — selects the gate's comparison rule.
+    /// `"ms"`, `"percent"` or `"per_sec"` — selects the gate's comparison
+    /// rule (and its direction).
     pub unit: String,
 }
 
@@ -139,10 +143,15 @@ fn workspace_root() -> PathBuf {
 pub enum Verdict {
     /// Within tolerance (includes improvements).
     Ok,
-    /// Regressed past the allowance.
+    /// Regressed past the allowance (lower-is-better metrics).
     Regressed {
         /// The highest acceptable value.
         allowed: f64,
+    },
+    /// Fell below the requirement (higher-is-better `"per_sec"` rates).
+    TooSlow {
+        /// The lowest acceptable value.
+        required: f64,
     },
     /// Present in the baseline but missing from the results.
     Missing,
@@ -153,6 +162,7 @@ impl fmt::Display for Verdict {
         match self {
             Verdict::Ok => write!(f, "ok"),
             Verdict::Regressed { allowed } => write!(f, "REGRESSED (allowed ≤ {allowed:.3})"),
+            Verdict::TooSlow { required } => write!(f, "REGRESSED (required ≥ {required:.3})"),
             Verdict::Missing => write!(f, "MISSING from results"),
         }
     }
@@ -162,21 +172,42 @@ impl fmt::Display for Verdict {
 ///
 /// `"ms"` metrics fail when more than `tolerance_pct` over baseline.
 /// `"percent"` metrics (paired-ratio overheads with near-zero baselines)
-/// get the relative allowance *plus* one absolute percentage point, so a
-/// baseline of 0.2% doesn't turn measurement noise into a gate failure.
+/// get an allowance anchored at the **signed** baseline — the relative
+/// tolerance scales `|baseline|`, so a negative baseline tightens the gate
+/// symmetrically instead of being clamped to zero — *plus* one absolute
+/// percentage point, so a baseline of 0.2% doesn't turn measurement noise
+/// into a gate failure. `"per_sec"` rates are higher-is-better: they fail
+/// when more than `tolerance_pct` *below* baseline.
 pub fn gate_metric(baseline: &Metric, measured: Option<f64>, tolerance_pct: f64) -> Verdict {
     let Some(value) = measured else {
         return Verdict::Missing;
     };
-    let relative = baseline.value.max(0.0) * (1.0 + tolerance_pct / 100.0);
-    let allowed = match baseline.unit.as_str() {
-        "percent" => relative + 1.0,
-        _ => relative,
-    };
-    if value > allowed {
-        Verdict::Regressed { allowed }
-    } else {
-        Verdict::Ok
+    let tol = tolerance_pct / 100.0;
+    match baseline.unit.as_str() {
+        "per_sec" => {
+            let required = baseline.value * (1.0 - tol);
+            if value < required {
+                Verdict::TooSlow { required }
+            } else {
+                Verdict::Ok
+            }
+        }
+        "percent" => {
+            let allowed = baseline.value + baseline.value.abs() * tol + 1.0;
+            if value > allowed {
+                Verdict::Regressed { allowed }
+            } else {
+                Verdict::Ok
+            }
+        }
+        _ => {
+            let allowed = baseline.value.max(0.0) * (1.0 + tol);
+            if value > allowed {
+                Verdict::Regressed { allowed }
+            } else {
+                Verdict::Ok
+            }
+        }
     }
 }
 
@@ -247,12 +278,68 @@ mod tests {
             gate_metric(&pct, Some(1.3), 15.0),
             Verdict::Regressed { .. }
         ));
-        // Negative overhead baselines clamp to zero before scaling.
+        // Negative overhead baselines anchor the allowance below zero:
+        // -0.4% tolerates up to -0.4 + 0.06 + 1.0 = 0.66 — a swing to
+        // +0.9 is a regression the old zero-clamped rule waved through.
         let neg = metric("n.pct", -0.4, "percent");
-        assert_eq!(gate_metric(&neg, Some(0.9), 15.0), Verdict::Ok);
+        assert_eq!(gate_metric(&neg, Some(0.6), 15.0), Verdict::Ok);
         assert!(matches!(
-            gate_metric(&neg, Some(1.1), 15.0),
+            gate_metric(&neg, Some(0.9), 15.0),
             Verdict::Regressed { .. }
         ));
+    }
+
+    /// The percent allowance must be symmetric and direction-correct
+    /// around the signed baseline, not clamped at zero.
+    #[test]
+    fn percent_gate_is_anchored_at_the_signed_baseline() {
+        // Strongly negative baseline: allowed = -8 + 1.2 + 1 = -5.8; a
+        // sign-crossing drift to +0.5 — far under the old flat 1.0
+        // allowance — must fail.
+        let neg = metric("n.pct", -8.0, "percent");
+        assert_eq!(gate_metric(&neg, Some(-6.0), 15.0), Verdict::Ok);
+        assert_eq!(
+            gate_metric(&neg, Some(0.5), 15.0),
+            Verdict::Regressed { allowed: -5.8 }
+        );
+        // Near-zero baseline keeps the one-point noise floor exactly.
+        let zero = metric("z.pct", 0.0, "percent");
+        assert_eq!(gate_metric(&zero, Some(0.99), 15.0), Verdict::Ok);
+        assert_eq!(
+            gate_metric(&zero, Some(1.01), 15.0),
+            Verdict::Regressed { allowed: 1.0 }
+        );
+        // Positive and negative baselines of equal magnitude get
+        // allowances mirrored around their baselines (same headroom).
+        let pos = metric("p.pct", 2.0, "percent");
+        let Verdict::Regressed {
+            allowed: pos_allowed,
+        } = gate_metric(&pos, Some(1e9), 15.0)
+        else {
+            panic!("expected regression");
+        };
+        let mirror = metric("m.pct", -2.0, "percent");
+        let Verdict::Regressed {
+            allowed: neg_allowed,
+        } = gate_metric(&mirror, Some(1e9), 15.0)
+        else {
+            panic!("expected regression");
+        };
+        assert!((pos_allowed - 2.0 - (neg_allowed + 2.0)).abs() < 1e-12);
+    }
+
+    /// `per_sec` rates gate in the opposite direction: faster always
+    /// passes, slower than tolerance fails.
+    #[test]
+    fn rate_gate_is_higher_is_better() {
+        let rate = metric("s.vps", 1000.0, "per_sec");
+        assert_eq!(gate_metric(&rate, Some(2000.0), 15.0), Verdict::Ok);
+        assert_eq!(gate_metric(&rate, Some(860.0), 15.0), Verdict::Ok);
+        assert_eq!(
+            gate_metric(&rate, Some(840.0), 15.0),
+            Verdict::TooSlow { required: 850.0 }
+        );
+        assert_eq!(gate_metric(&rate, None, 15.0), Verdict::Missing);
+        assert!(format!("{}", Verdict::TooSlow { required: 850.0 }).contains("REGRESSED"));
     }
 }

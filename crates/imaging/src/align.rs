@@ -19,50 +19,73 @@ pub enum AlignMethod {
     SquaredDifference,
 }
 
-fn mutual_information(a: &SemImage, b: &SemImage, dy: i32, dz: i32) -> f64 {
-    const BINS: usize = 32;
+const BINS: usize = 32;
+
+/// `(min, max)` of an image's pixels. `f32::min`/`max` ignore NaN pixels
+/// rather than poisoning the range.
+fn pixel_range(img: &SemImage) -> (f32, f32) {
+    img.pixels()
+        .iter()
+        .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        })
+}
+
+/// Histogram bin of intensity `v` under a `[lo, hi)` range; a constant (or
+/// all-NaN) image degenerates to a single bin.
+#[inline(always)]
+fn bin(v: f32, lo: f32, hi: f32) -> usize {
+    let width = hi - lo;
+    if width.is_nan() || width <= 0.0 {
+        return 0;
+    }
+    (((v - lo) / width * BINS as f32).floor() as i32).clamp(0, BINS as i32 - 1) as usize
+}
+
+/// Mutual information of the overlap of `a` and `b` shifted by `(dy, dz)`.
+///
+/// Each image's bin range is derived from its observed intensities instead
+/// of the old fixed [0, 256): low-contrast BSE stacks collapsed into a
+/// handful of bins and degraded registration, and per-image ranges make MI
+/// exactly invariant to per-slice brightness offsets. The range spans the
+/// *whole* image rather than the candidate overlap so the bin edges stay
+/// identical across the offset search — per-overlap edges jitter as
+/// outlier pixels enter and leave the overlap, putting spurious maxima
+/// into the MI surface. Because the ranges are offset-independent, the
+/// caller computes them once per image ([`pixel_range`]) and the offset
+/// search no longer rescans both full images per candidate.
+///
+/// The joint-histogram fill is row-blocked: the overlapping `y` interval
+/// is resolved once per `z` row and the fill then walks two contiguous
+/// `f32` rows, instead of bounds-branching per pixel.
+fn mutual_information(
+    a: &SemImage,
+    b: &SemImage,
+    range_a: (f32, f32),
+    range_b: (f32, f32),
+    dy: i32,
+    dz: i32,
+) -> f64 {
     let (ny, nz) = a.dims();
     let mut joint = [[0u32; BINS]; BINS];
     let mut count = 0u32;
-    // Derive each image's bin range from its observed intensities instead
-    // of the old fixed [0, 256): low-contrast BSE stacks collapsed into a
-    // handful of bins and degraded registration, and per-image ranges make
-    // MI exactly invariant to per-slice brightness offsets. The range
-    // spans the *whole* image rather than the candidate overlap so the
-    // bin edges stay identical across the offset search — per-overlap
-    // edges jitter as outlier pixels enter and leave the overlap, putting
-    // spurious maxima into the MI surface.
-    let range_of = |img: &SemImage| {
-        img.pixels().iter().fold(
-            (f32::INFINITY, f32::NEG_INFINITY),
-            // f32::min/max ignore NaN pixels rather than poisoning the range.
-            |(lo, hi), &v| (lo.min(v), hi.max(v)),
-        )
-    };
-    let (min_a, max_a) = range_of(a);
-    let (min_b, max_b) = range_of(b);
-    let bin = |v: f32, lo: f32, hi: f32| {
-        let width = hi - lo;
-        if width.is_nan() || width <= 0.0 {
-            // Constant (or all-NaN) image: a single degenerate bin.
-            return 0usize;
-        }
-        (((v - lo) / width * BINS as f32).floor() as i32).clamp(0, BINS as i32 - 1) as usize
-    };
+    let (min_a, max_a) = range_a;
+    let (min_b, max_b) = range_b;
+    // Overlapping y interval in a's frame: 0 <= y < ny and 0 <= y + dy < ny.
+    let y_lo = 0.max(-dy) as usize;
+    let y_hi = ny.min((ny as i32 - dy).max(0) as usize);
     for z in 0..nz {
         let bz = z as i32 + dz;
-        if bz < 0 || bz >= nz as i32 {
+        if bz < 0 || bz >= nz as i32 || y_lo >= y_hi {
             continue;
         }
-        for y in 0..ny {
-            let by = y as i32 + dy;
-            if by < 0 || by >= ny as i32 {
-                continue;
-            }
-            let (va, vb) = (a.get(y, z), b.get(by as usize, bz as usize));
+        let a_row = &a.pixels()[z * ny + y_lo..z * ny + y_hi];
+        let b_base = bz as usize * ny + (y_lo as i32 + dy) as usize;
+        let b_row = &b.pixels()[b_base..b_base + (y_hi - y_lo)];
+        for (&va, &vb) in a_row.iter().zip(b_row) {
             joint[bin(va, min_a, max_a)][bin(vb, min_b, max_b)] += 1;
-            count += 1;
         }
+        count += (y_hi - y_lo) as u32;
     }
     if count == 0 {
         return f64::NEG_INFINITY;
@@ -127,8 +150,16 @@ fn register(
     window: i32,
     center: (i32, i32),
 ) -> ((i32, i32), f64) {
+    // Hoisted out of the offset search: bin ranges span the whole image,
+    // so they are identical for every candidate offset. Recomputing them
+    // inside `mutual_information` cost two full-image scans per candidate
+    // — O(pixels·window²) redundant work per registered slice.
+    let (range_a, range_b) = match method {
+        AlignMethod::MutualInformation => (pixel_range(a), pixel_range(b)),
+        AlignMethod::SquaredDifference => ((0.0, 0.0), (0.0, 0.0)),
+    };
     let score_at = |dy: i32, dz: i32| match method {
-        AlignMethod::MutualInformation => mutual_information(a, b, dy, dz),
+        AlignMethod::MutualInformation => mutual_information(a, b, range_a, range_b, dy, dz),
         AlignMethod::SquaredDifference => neg_ssd(a, b, dy, dz),
     };
     let score_c = score_at(center.0, center.1);
@@ -369,6 +400,129 @@ mod tests {
         let ((dy, dz), score) = register(&a, &b, AlignMethod::MutualInformation, 2, (0, 0));
         assert_eq!((dy, dz), (0, 0));
         assert!(score.is_finite() || score == f64::NEG_INFINITY);
+    }
+
+    /// The original MI kernel, kept verbatim as the scalar reference: it
+    /// recomputes both images' ranges per call and bounds-branches per
+    /// pixel instead of row-blocking the histogram fill.
+    fn mutual_information_reference(a: &SemImage, b: &SemImage, dy: i32, dz: i32) -> f64 {
+        const BINS: usize = 32;
+        let (ny, nz) = a.dims();
+        let mut joint = [[0u32; BINS]; BINS];
+        let mut count = 0u32;
+        let range_of = |img: &SemImage| {
+            img.pixels()
+                .iter()
+                .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
+                    (lo.min(v), hi.max(v))
+                })
+        };
+        let (min_a, max_a) = range_of(a);
+        let (min_b, max_b) = range_of(b);
+        let bin = |v: f32, lo: f32, hi: f32| {
+            let width = hi - lo;
+            if width.is_nan() || width <= 0.0 {
+                return 0usize;
+            }
+            (((v - lo) / width * BINS as f32).floor() as i32).clamp(0, BINS as i32 - 1) as usize
+        };
+        for z in 0..nz {
+            let bz = z as i32 + dz;
+            if bz < 0 || bz >= nz as i32 {
+                continue;
+            }
+            for y in 0..ny {
+                let by = y as i32 + dy;
+                if by < 0 || by >= ny as i32 {
+                    continue;
+                }
+                let (va, vb) = (a.get(y, z), b.get(by as usize, bz as usize));
+                joint[bin(va, min_a, max_a)][bin(vb, min_b, max_b)] += 1;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            return f64::NEG_INFINITY;
+        }
+        let n = count as f64;
+        let mut pa = [0.0f64; BINS];
+        let mut pb = [0.0f64; BINS];
+        for (i, row) in joint.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                let p = c as f64 / n;
+                pa[i] += p;
+                pb[j] += p;
+            }
+        }
+        let mut mi = 0.0;
+        for (i, row) in joint.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let p = c as f64 / n;
+                mi += p * (p / (pa[i] * pb[j])).ln();
+            }
+        }
+        mi
+    }
+
+    /// Regression test for the hoisted-range, row-blocked MI kernel: every
+    /// candidate offset (including fully and partially out-of-frame ones)
+    /// must score bit-identically to the per-offset-recompute reference.
+    #[test]
+    fn blocked_mi_matches_reference_at_every_offset() {
+        let v = structured_volume();
+        let (stack, _) = acquire(&v, &drifted_config(13));
+        let a = stack.slice(2);
+        let b = stack.slice(3);
+        let (ny, nz) = a.dims();
+        let big = ny.max(nz) as i32;
+        let mut offsets: Vec<(i32, i32)> = Vec::new();
+        for dz in -5..=5 {
+            for dy in -5..=5 {
+                offsets.push((dy, dz));
+            }
+        }
+        // Degenerate overlaps: entire rows/columns out of frame.
+        offsets.extend([(big, 0), (0, big), (-big, -big), (big - 1, 1 - big)]);
+        let (range_a, range_b) = (pixel_range(a), pixel_range(b));
+        for (dy, dz) in offsets {
+            let got = mutual_information(a, b, range_a, range_b, dy, dz);
+            let want = mutual_information_reference(a, b, dy, dz);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "offset ({dy}, {dz}): {got} vs {want}"
+            );
+        }
+        // Constant images: the degenerate single-bin path.
+        let ca = SemImage::filled(8, 8, 42.0);
+        let got = mutual_information(&ca, &ca, pixel_range(&ca), pixel_range(&ca), 1, -2);
+        assert_eq!(
+            got.to_bits(),
+            mutual_information_reference(&ca, &ca, 1, -2).to_bits()
+        );
+    }
+
+    /// Full alignment is bit-identical at 1, 2 and 8 threads with the
+    /// hoisted ranges (the candidate scoring is the parallel stage).
+    #[test]
+    fn alignment_is_identical_across_thread_counts() {
+        let v = structured_volume();
+        let run = |threads: usize| {
+            rayon::with_num_threads(threads, || {
+                let (mut stack, _) = acquire(&v, &drifted_config(42));
+                let corrections = align(&mut stack, AlignMethod::MutualInformation, 4);
+                (stack, corrections)
+            })
+        };
+        let (base_stack, base_corr) = run(1);
+        for threads in [2usize, 8] {
+            let (stack, corr) = run(threads);
+            assert_eq!(base_corr, corr, "corrections @ {threads} threads");
+            assert_eq!(base_stack, stack, "stack @ {threads} threads");
+        }
     }
 
     #[test]

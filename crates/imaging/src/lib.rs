@@ -36,10 +36,14 @@ mod reconstruct;
 mod sem;
 
 pub use align::{align, align_with, AlignMethod};
-pub use denoise::{average_slices, chambolle_tv, denoise, denoise_profiled, median3x3};
-pub use reconstruct::{classify_pixel, reconstruct};
+pub use denoise::{
+    average_slices, chambolle_tv, chambolle_tv_with, denoise, denoise_profiled, median3x3,
+    TvScratch,
+};
+pub use reconstruct::{classify_pixel, reconstruct, reconstruct_slab, reconstruct_tiled};
 pub use sem::{
-    acquire, acquire_profiled, acquire_with_recovery, acquire_with_recovery_profiled, render_ideal,
-    render_ideal_profiled, AcquireOutcome, DetectorKind, DriftTruth, ImageStack, ImagingConfig,
-    SemImage,
+    acquire, acquire_profiled, acquire_tiled, acquire_tiled_profiled, acquire_with_recovery,
+    acquire_with_recovery_profiled, acquire_with_recovery_tiled_profiled, render_ideal,
+    render_ideal_profiled, AcquireOutcome, AcquirePlan, DetectorKind, DriftTruth, ImageStack,
+    ImagingConfig, SemImage,
 };

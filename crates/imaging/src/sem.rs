@@ -333,24 +333,44 @@ fn oxide_intensity(detector: DetectorKind) -> f32 {
     base as f32
 }
 
+/// Per-material mean intensity, indexed by the voxel byte. The same
+/// `f64 → f32` conversion as the per-pixel `match` it replaces, done once
+/// per render instead of once per pixel.
+fn intensity_lut(detector: DetectorKind) -> [f32; 8] {
+    let mut lut = [0.0f32; 8];
+    for m in hifi_synth::Material::ALL {
+        let base = match detector {
+            DetectorKind::Se => m.se_intensity(),
+            DetectorKind::Bse => m.bse_intensity(),
+        };
+        lut[m as usize] = base as f32;
+    }
+    lut
+}
+
 /// Renders the ideal (artefact-free) cross-section at milling position `x`,
 /// framed with the configured blank margin.
+///
+/// The hot loop walks the raw voxel bytes of each `z` row directly and
+/// writes one contiguous pixel row per `z` through the intensity LUT —
+/// flat `f32` lanes with the per-pixel enum decode, detector branch and
+/// 2-D index arithmetic hoisted out (bit-identical to the scalar form,
+/// pinned by `blocked_render_matches_reference`).
 fn render_cross_section(volume: &MaterialVolume, x: usize, cfg: &ImagingConfig) -> SemImage {
-    let (_, ny, nz) = volume.dims();
+    let (nx, ny, nz) = volume.dims();
     let margin = cfg.frame_margin_px;
-    let mut img = SemImage::filled(
-        ny + 2 * margin,
-        nz + 2 * margin,
-        oxide_intensity(cfg.detector),
-    );
+    let width = ny + 2 * margin;
+    let mut img = SemImage::filled(width, nz + 2 * margin, oxide_intensity(cfg.detector));
+    let lut = intensity_lut(cfg.detector);
+    let raw = volume.raw_voxels();
+    let pixels = img.pixels_mut();
     for z in 0..nz {
-        for y in 0..ny {
-            let m = volume.get(x, y, z);
-            let base = match cfg.detector {
-                DetectorKind::Se => m.se_intensity(),
-                DetectorKind::Bse => m.bse_intensity(),
-            };
-            img.set(y + margin, z + margin, base as f32);
+        // Voxels of this z plane, strided by nx in y, starting at column x.
+        let src = &raw[z * ny * nx + x..];
+        let dst_base = (z + margin) * width + margin;
+        let dst = &mut pixels[dst_base..dst_base + ny];
+        for (y, d) in dst.iter_mut().enumerate() {
+            *d = lut[src[y * nx] as usize];
         }
     }
     img
@@ -399,6 +419,125 @@ struct SliceArtefacts {
     noise_rng: StdRng,
 }
 
+/// The sequential artefact schedule of an acquisition: per-slice drift,
+/// brightness and noise-RNG snapshots, derived from the die *dimensions*
+/// alone. This is what lets tiled acquisition stream a full-die volume
+/// slab by slab while staying bit-identical to a monolithic run — the
+/// schedule is O(slices) in memory, independent of the voxel payload, and
+/// any slice can then be rendered from whichever x-slab contains it.
+pub struct AcquirePlan {
+    artefacts: Vec<SliceArtefacts>,
+    truth: DriftTruth,
+    step: usize,
+}
+
+impl AcquirePlan {
+    /// Builds the schedule for a die of `(nx, ny, nz)` voxels. Walks the
+    /// single sequential RNG stream exactly as a monolithic acquisition
+    /// would (see [`skip_gaussians`]).
+    pub fn for_dims(nx: usize, ny: usize, nz: usize, cfg: &ImagingConfig) -> Self {
+        let step = cfg.slice_voxels.max(1);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let mut artefacts: Vec<SliceArtefacts> = Vec::new();
+        let mut shifts = Vec::new();
+        let mut brightness = Vec::new();
+        // Continuous mean-reverting drift state, rounded per slice.
+        let (mut fy, mut fz) = (0.0f64, 0.0f64);
+        let mut bright = 0.0f64;
+        const REVERSION: f64 = 0.94;
+
+        let margin = cfg.frame_margin_px;
+        let pixels_per_slice = (ny + 2 * margin) * (nz + 2 * margin);
+        let mut x = 0usize;
+        while x < nx {
+            // Stage drift: mean-reverting walk (first slice is the reference).
+            if !artefacts.is_empty() {
+                fy = fy * REVERSION + gaussian(&mut rng) * cfg.drift_sigma_px;
+                fz = fz * REVERSION + gaussian(&mut rng) * cfg.drift_sigma_px;
+                bright = bright * REVERSION + gaussian(&mut rng) * cfg.brightness_wander;
+            }
+            let (dy, dz) = (fy.round() as i32, fz.round() as i32);
+            artefacts.push(SliceArtefacts {
+                x,
+                dy,
+                dz,
+                bright,
+                noise_rng: rng.clone(),
+            });
+            skip_gaussians(&mut rng, pixels_per_slice);
+            shifts.push((dy, dz));
+            brightness.push(bright);
+            x += step;
+        }
+        Self {
+            artefacts,
+            truth: DriftTruth { shifts, brightness },
+            step,
+        }
+    }
+
+    /// [`AcquirePlan::for_dims`] for an in-memory volume.
+    pub fn for_volume(volume: &MaterialVolume, cfg: &ImagingConfig) -> Self {
+        let (nx, ny, nz) = volume.dims();
+        Self::for_dims(nx, ny, nz, cfg)
+    }
+
+    /// Number of scheduled slices.
+    pub fn len(&self) -> usize {
+        self.artefacts.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.artefacts.is_empty()
+    }
+
+    /// Ground-truth artefacts of the schedule.
+    pub fn truth(&self) -> &DriftTruth {
+        &self.truth
+    }
+
+    /// Global milling position of slice `i`.
+    pub fn slice_x(&self, i: usize) -> usize {
+        self.artefacts[i].x
+    }
+
+    /// Indices of the scheduled slices whose milling position lies in the
+    /// half-open x-slab `[x0, x1)`.
+    pub fn slices_in_slab(&self, x0: usize, x1: usize) -> std::ops::Range<usize> {
+        let start = x0.div_ceil(self.step).min(self.artefacts.len());
+        let end = x1.div_ceil(self.step).min(self.artefacts.len());
+        start..end.max(start)
+    }
+
+    /// Renders scheduled slice `i` from `slab`, a volume whose x-range
+    /// starts at global voxel column `slab_x0`. Rendering a slice from a
+    /// slab is bit-identical to rendering it from the whole die — the
+    /// cross-section only reads the slice's own voxel column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice's milling position does not fall inside the slab.
+    pub fn render(
+        &self,
+        slab: &MaterialVolume,
+        slab_x0: usize,
+        i: usize,
+        cfg: &ImagingConfig,
+    ) -> SemImage {
+        let a = &self.artefacts[i];
+        let (slab_nx, _, _) = slab.dims();
+        assert!(
+            a.x >= slab_x0 && a.x - slab_x0 < slab_nx,
+            "slice {i} at x={} outside slab [{slab_x0}, {})",
+            a.x,
+            slab_x0 + slab_nx
+        );
+        render_slice_at(slab, cfg, a, a.x - slab_x0)
+    }
+}
+
 /// Acquires a cross-section stack from a volume: for every FIB slice the
 /// cross-section is rendered with material-dependent contrast, shot noise,
 /// cumulative integer stage drift and brightness wander.
@@ -424,17 +563,62 @@ pub fn acquire_profiled(
     cfg: &ImagingConfig,
     lanes: Option<&LaneProfiler>,
 ) -> (ImageStack, DriftTruth) {
-    let (artefacts, truth) = slice_artefacts(volume, cfg);
-    // Parallel render pass: every slice renders, shifts and replays its
-    // noise draws independently.
-    let slices = rayon::par_map(&artefacts, |a| match lanes {
+    acquire_inner(volume, cfg, None, lanes)
+}
+
+/// [`acquire`] in streaming-tiled mode: the volume is walked in x-slabs of
+/// `tile_x` voxel columns (one slab buffer reused across tiles) and each
+/// slab's slices are rendered in parallel. Bit-identical to the monolithic
+/// path at any thread count — the artefact schedule is shared and every
+/// slice reads only its own voxel column.
+pub fn acquire_tiled(
+    volume: &MaterialVolume,
+    cfg: &ImagingConfig,
+    tile_x: usize,
+) -> (ImageStack, DriftTruth) {
+    acquire_tiled_profiled(volume, cfg, tile_x, None)
+}
+
+/// [`acquire_tiled`] with optional per-slice lane profiling.
+pub fn acquire_tiled_profiled(
+    volume: &MaterialVolume,
+    cfg: &ImagingConfig,
+    tile_x: usize,
+    lanes: Option<&LaneProfiler>,
+) -> (ImageStack, DriftTruth) {
+    acquire_inner(volume, cfg, Some(tile_x), lanes)
+}
+
+fn acquire_inner(
+    volume: &MaterialVolume,
+    cfg: &ImagingConfig,
+    tile_x: Option<usize>,
+    lanes: Option<&LaneProfiler>,
+) -> (ImageStack, DriftTruth) {
+    let plan = AcquirePlan::for_volume(volume, cfg);
+    let render_one = |src: &MaterialVolume, x0: usize, i: usize| match lanes {
         Some(l) => l.time(
             "acquire.slice",
             rayon::current_thread_index() as u32,
-            || render_slice(volume, cfg, a),
+            || plan.render(src, x0, i, cfg),
         ),
-        None => render_slice(volume, cfg, a),
-    });
+        None => plan.render(src, x0, i, cfg),
+    };
+    // Parallel render pass: every slice renders, shifts and replays its
+    // noise draws independently.
+    let mut slices: Vec<SemImage> = Vec::with_capacity(plan.len());
+    match tile_x {
+        None => {
+            let indices: Vec<usize> = (0..plan.len()).collect();
+            slices = rayon::par_map(&indices, |&i| render_one(volume, 0, i));
+        }
+        Some(t) => volume.for_each_slab_x(t, |slab, x0| {
+            let (slab_nx, _, _) = slab.dims();
+            let indices: Vec<usize> = plan.slices_in_slab(x0, x0 + slab_nx).collect();
+            slices.extend(rayon::par_map(&indices, |&i| render_one(slab, x0, i)));
+        }),
+    }
+    let truth = plan.truth;
     (
         ImageStack::from_slices(
             slices,
@@ -447,62 +631,21 @@ pub fn acquire_profiled(
     )
 }
 
-/// The sequential artefact pass of [`acquire`]: walks the single RNG
-/// stream, drawing each slice's drift and brightness innovations and
-/// snapshotting the state its noise starts from, then skipping over the
-/// slice's noise draws so the next slice sees the same RNG state a fully
-/// sequential acquisition would.
-fn slice_artefacts(
+/// Renders one acquired slice from its sequentially-derived artefacts:
+/// ideal cross-section at local column `x_local` of `volume` (the whole
+/// die, or the x-slab holding the slice), framed with blank margin so
+/// drift cannot push content off the image, then drift shift, shot noise
+/// and brightness offset. A pure function of its inputs, so re-rendering
+/// the same slice (a re-acquisition after a fault) is bit-identical.
+fn render_slice_at(
     volume: &MaterialVolume,
     cfg: &ImagingConfig,
-) -> (Vec<SliceArtefacts>, DriftTruth) {
-    let (nx, ny, nz) = volume.dims();
-    let step = cfg.slice_voxels.max(1);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-
-    let mut artefacts: Vec<SliceArtefacts> = Vec::new();
-    let mut shifts = Vec::new();
-    let mut brightness = Vec::new();
-    // Continuous mean-reverting drift state, rounded per slice.
-    let (mut fy, mut fz) = (0.0f64, 0.0f64);
-    let mut bright = 0.0f64;
-    const REVERSION: f64 = 0.94;
-
-    let margin = cfg.frame_margin_px;
-    let pixels_per_slice = (ny + 2 * margin) * (nz + 2 * margin);
-    let mut x = 0usize;
-    while x < nx {
-        // Stage drift: mean-reverting walk (first slice is the reference).
-        if !artefacts.is_empty() {
-            fy = fy * REVERSION + gaussian(&mut rng) * cfg.drift_sigma_px;
-            fz = fz * REVERSION + gaussian(&mut rng) * cfg.drift_sigma_px;
-            bright = bright * REVERSION + gaussian(&mut rng) * cfg.brightness_wander;
-        }
-        let (dy, dz) = (fy.round() as i32, fz.round() as i32);
-        artefacts.push(SliceArtefacts {
-            x,
-            dy,
-            dz,
-            bright,
-            noise_rng: rng.clone(),
-        });
-        skip_gaussians(&mut rng, pixels_per_slice);
-        shifts.push((dy, dz));
-        brightness.push(bright);
-        x += step;
-    }
-    (artefacts, DriftTruth { shifts, brightness })
-}
-
-/// Renders one acquired slice from its sequentially-derived artefacts:
-/// ideal cross-section, framed with blank margin so drift cannot push
-/// content off the image, then drift shift, shot noise and brightness
-/// offset. A pure function of `(volume, cfg, artefacts)`, so re-rendering
-/// the same slice (a re-acquisition after a fault) is bit-identical.
-fn render_slice(volume: &MaterialVolume, cfg: &ImagingConfig, a: &SliceArtefacts) -> SemImage {
+    a: &SliceArtefacts,
+    x_local: usize,
+) -> SemImage {
     let oxide = oxide_intensity(cfg.detector);
     let sigma = cfg.noise_sigma();
-    let img = render_cross_section(volume, a.x, cfg);
+    let img = render_cross_section(volume, x_local, cfg);
     let mut img = img.shifted(a.dy, a.dz, oxide);
     let mut rng = a.noise_rng.clone();
     for p in img.pixels_mut() {
@@ -555,7 +698,35 @@ pub fn acquire_with_recovery_profiled(
     clock: &VirtualClock,
     lanes: Option<&LaneProfiler>,
 ) -> AcquireOutcome {
-    let (artefacts, truth) = slice_artefacts(volume, cfg);
+    acquire_with_recovery_inner(volume, cfg, plan, policy, clock, None, lanes)
+}
+
+/// [`acquire_with_recovery`] in streaming-tiled mode (see
+/// [`acquire_tiled`]): fault checks, retries and interpolation are keyed
+/// by global slice index, so the outcome is bit-identical to the
+/// monolithic fault-aware path.
+pub fn acquire_with_recovery_tiled_profiled(
+    volume: &MaterialVolume,
+    cfg: &ImagingConfig,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    clock: &VirtualClock,
+    tile_x: usize,
+    lanes: Option<&LaneProfiler>,
+) -> AcquireOutcome {
+    acquire_with_recovery_inner(volume, cfg, plan, policy, clock, Some(tile_x), lanes)
+}
+
+fn acquire_with_recovery_inner(
+    volume: &MaterialVolume,
+    cfg: &ImagingConfig,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    clock: &VirtualClock,
+    tile_x: Option<usize>,
+    lanes: Option<&LaneProfiler>,
+) -> AcquireOutcome {
+    let aplan = AcquirePlan::for_volume(volume, cfg);
 
     /// A failed slice acquisition (always transient: the stage position is
     /// unchanged and the mill schedule already advanced).
@@ -567,8 +738,7 @@ pub fn acquire_with_recovery_profiled(
         }
     }
 
-    let indices: Vec<usize> = (0..artefacts.len()).collect();
-    let acquire_one = |i: usize| -> Option<SemImage> {
+    let acquire_one = |src: &MaterialVolume, x0: usize, i: usize| -> Option<SemImage> {
         let site = format!("slice:{i}");
         let outcome = retry(
             policy,
@@ -578,7 +748,7 @@ pub fn acquire_with_recovery_profiled(
                 if plan.check(FaultKind::AcquireSlice, &site) {
                     Err(SliceFault)
                 } else {
-                    Ok(render_slice(volume, cfg, &artefacts[i]))
+                    Ok(aplan.render(src, x0, i, cfg))
                 }
             },
         );
@@ -599,14 +769,27 @@ pub fn acquire_with_recovery_profiled(
             }
         }
     };
-    let rendered: Vec<Option<SemImage>> = rayon::par_map(&indices, |&i| match lanes {
+    let timed_one = |src: &MaterialVolume, x0: usize, i: usize| match lanes {
         Some(l) => l.time(
             "acquire.slice",
             rayon::current_thread_index() as u32,
-            || acquire_one(i),
+            || acquire_one(src, x0, i),
         ),
-        None => acquire_one(i),
-    });
+        None => acquire_one(src, x0, i),
+    };
+    let mut rendered: Vec<Option<SemImage>> = Vec::with_capacity(aplan.len());
+    match tile_x {
+        None => {
+            let indices: Vec<usize> = (0..aplan.len()).collect();
+            rendered = rayon::par_map(&indices, |&i| timed_one(volume, 0, i));
+        }
+        Some(t) => volume.for_each_slab_x(t, |slab, x0| {
+            let (slab_nx, _, _) = slab.dims();
+            let indices: Vec<usize> = aplan.slices_in_slab(x0, x0 + slab_nx).collect();
+            rendered.extend(rayon::par_map(&indices, |&i| timed_one(slab, x0, i)));
+        }),
+    }
+    let truth = aplan.truth;
 
     let degraded_slices: Vec<usize> = rendered
         .iter()
@@ -620,7 +803,6 @@ pub fn acquire_with_recovery_profiled(
         .iter()
         .map(|&i| (i, interpolate_slice(&rendered, i, ny, nz, cfg)))
         .collect();
-    let mut rendered = rendered;
     for (i, img) in interpolated {
         rendered[i] = Some(img);
     }
@@ -705,6 +887,122 @@ mod tests {
         }
         skip_gaussians(&mut skipped, 37);
         assert_eq!(drawn, skipped);
+    }
+
+    /// Scalar reference for the LUT/row-blocked cross-section renderer:
+    /// per-pixel volume accessor, detector `match` and `f64 → f32` cast.
+    fn render_cross_section_reference(
+        volume: &MaterialVolume,
+        x: usize,
+        cfg: &ImagingConfig,
+    ) -> SemImage {
+        let (_, ny, nz) = volume.dims();
+        let margin = cfg.frame_margin_px;
+        let mut img = SemImage::filled(
+            ny + 2 * margin,
+            nz + 2 * margin,
+            oxide_intensity(cfg.detector),
+        );
+        for z in 0..nz {
+            for y in 0..ny {
+                let m = volume.get(x, y, z);
+                let base = match cfg.detector {
+                    DetectorKind::Se => m.se_intensity(),
+                    DetectorKind::Bse => m.bse_intensity(),
+                };
+                img.set(y + margin, z + margin, base as f32);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn blocked_render_matches_reference() {
+        let v = test_volume();
+        for detector in [DetectorKind::Se, DetectorKind::Bse] {
+            for margin in [0usize, 16] {
+                let cfg = ImagingConfig {
+                    detector,
+                    frame_margin_px: margin,
+                    ..Default::default()
+                };
+                for x in [0usize, 7, 19] {
+                    let got = render_cross_section(&v, x, &cfg);
+                    let want = render_cross_section_reference(&v, x, &cfg);
+                    let gb: Vec<u32> = got.pixels().iter().map(|p| p.to_bits()).collect();
+                    let wb: Vec<u32> = want.pixels().iter().map(|p| p.to_bits()).collect();
+                    assert_eq!(gb, wb, "x {x} margin {margin} detector {detector:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_acquisition_matches_monolithic() {
+        let v = test_volume();
+        let cfg = ImagingConfig {
+            slice_voxels: 3,
+            ..Default::default()
+        };
+        let (mono, mono_truth) = acquire(&v, &cfg);
+        // Tile widths that divide, straddle and exceed the die, including
+        // tiles narrower than the slice step (slabs with no slice).
+        for tile in [1usize, 2, 3, 5, 7, 19, 20, 64] {
+            let (tiled, truth) = acquire_tiled(&v, &cfg, tile);
+            assert_eq!(tiled, mono, "tile width {tile}");
+            assert_eq!(truth, mono_truth, "tile width {tile}");
+        }
+    }
+
+    #[test]
+    fn tiled_recovery_matches_monolithic_recovery() {
+        use hifi_faults::FaultSpec;
+        let v = test_volume();
+        let cfg = ImagingConfig::default();
+        let make_plan = || {
+            FaultPlan::new(
+                FaultSpec::disabled()
+                    .with_seed(3)
+                    .with_rate(FaultKind::AcquireSlice, 0.5)
+                    .with_max_consecutive(2),
+            )
+        };
+        let clock = VirtualClock::new();
+        let mono = acquire_with_recovery(&v, &cfg, &make_plan(), &RetryPolicy::default(), &clock);
+        for tile in [4usize, 9, 32] {
+            let plan = make_plan();
+            let tiled = acquire_with_recovery_tiled_profiled(
+                &v,
+                &cfg,
+                &plan,
+                &RetryPolicy::default(),
+                &VirtualClock::new(),
+                tile,
+                None,
+            );
+            assert_eq!(tiled, mono, "tile width {tile}");
+            assert!(plan.tally().injected > 0, "plan must actually inject");
+        }
+    }
+
+    #[test]
+    fn acquire_plan_slab_ranges_cover_all_slices() {
+        let cfg = ImagingConfig {
+            slice_voxels: 3,
+            ..Default::default()
+        };
+        let plan = AcquirePlan::for_dims(20, 4, 4, &cfg);
+        assert_eq!(plan.len(), 7);
+        assert_eq!(plan.truth().shifts.len(), 7);
+        let mut covered = Vec::new();
+        for x0 in (0..20).step_by(5) {
+            covered.extend(plan.slices_in_slab(x0, x0 + 5));
+        }
+        let all: Vec<usize> = (0..plan.len()).collect();
+        assert_eq!(covered, all, "every slice in exactly one slab");
+        for i in 0..plan.len() {
+            assert_eq!(plan.slice_x(i), i * 3);
+        }
     }
 
     #[test]

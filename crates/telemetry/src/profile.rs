@@ -530,6 +530,34 @@ mod tests {
         assert!(ProfileSummary::parse("nonsense").is_err());
     }
 
+    /// Pins the odds-form clamp: a share of exactly 1.0 (single-stage
+    /// profile) must stay finite instead of dividing by zero, and such a
+    /// profile can never regress by share — there is no relative growth
+    /// for it to express.
+    #[test]
+    fn full_share_odds_stay_finite_and_never_regress() {
+        let odds = share_odds(1.0);
+        assert!(odds.is_finite(), "share=1.0 must not divide by zero");
+        assert!((odds - 0.9999 / (1.0 - 0.9999)).abs() < 1e-6);
+        // Shares beyond 1 (degenerate input) and below 0 clamp too.
+        assert!(share_odds(1.5).is_finite());
+        assert_eq!(share_odds(-0.3), 0.0);
+        // Monotone on the meaningful range, so the clamp only saturates.
+        assert!(share_odds(0.5) < share_odds(0.99));
+        assert!(share_odds(0.99) <= share_odds(1.0));
+
+        // End-to-end: a single-stage profile holds 100% share in both
+        // baseline and current; even wildly slower absolute time passes
+        // the share gate (shares are machine-speed independent).
+        let baseline = ProfileSummary::from_event_runs(&[events_with(&[("acquire", 4_000)])]);
+        let current = ProfileSummary::from_event_runs(&[events_with(&[("acquire", 400_000)])]);
+        let diff = current.diff(&baseline, &ProfileGate::default());
+        assert!(diff.passed(), "full-share stage must never regress");
+        let row = &diff.rows[0];
+        assert_eq!(row.verdict, DiffVerdict::Ok);
+        assert!(row.baseline_share.is_finite() && row.current_share.is_finite());
+    }
+
     #[test]
     fn diff_passes_on_identical_profiles_and_scaled_clones() {
         let p = ProfileSummary::from_event_runs(&[events_with(&[

@@ -4,12 +4,15 @@
 #   scripts/bench_gate.sh              # run the overhead benches, then gate
 #   scripts/bench_gate.sh --check-only # gate an existing BENCH_results.json
 #
-# The overhead benches (fault_overhead, telemetry_overhead) record their
-# headline numbers into BENCH_results.json; the bench_gate binary compares
-# them against the committed BENCH_baseline.json and fails on any metric
-# more than 15% over baseline (BENCH_GATE_TOLERANCE_PCT to override;
-# paired-ratio "percent" metrics additionally get one absolute point of
-# allowance — see crates/bench/src/results.rs for the exact rules).
+# The overhead benches (fault_overhead, telemetry_overhead) and the
+# full-die scale sweep (scale_sweep, streaming 256x the base region with
+# O(tile) memory) record their headline numbers into BENCH_results.json;
+# the bench_gate binary compares them against the committed
+# BENCH_baseline.json and fails on any metric more than 15% over baseline
+# (BENCH_GATE_TOLERANCE_PCT to override; paired-ratio "percent" metrics
+# additionally get one absolute point of allowance, and "per_sec"
+# throughput rates gate in the opposite direction — see
+# crates/bench/src/results.rs for the exact rules).
 #
 # Wall-clock ("ms") baselines are machine-dependent. After a genuine,
 # intended performance change — or on new hardware — regenerate with:
@@ -26,6 +29,9 @@ if [[ "${1:-}" != "--check-only" ]]; then
     echo "==> overhead benches (fault_overhead, telemetry_overhead)"
     cargo bench --offline --locked -p hifi-bench \
         --bench fault_overhead --bench telemetry_overhead
+    echo "==> full-die scale sweep (1x/16x/256x, streaming tiled)"
+    cargo bench --offline --locked -p hifi-bench \
+        --features hifi-telemetry/alloc-track --bench scale_sweep
 fi
 
 echo "==> bench_gate: BENCH_results.json vs BENCH_baseline.json"

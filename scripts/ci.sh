@@ -17,7 +17,12 @@
 #   conformance   randomized ground-truth campaigns (bin conformance);
 #                 honours HIFI_CONFORMANCE_SEED (one seed, as the CI
 #                 matrix does), else sweeps the default 2-seed matrix
-#   bench-gate    overhead benches + regression gate vs BENCH_baseline.json
+#   scale-smoke   16x-scale streaming sweep (scale_sweep bench capped via
+#                 SCALE_SWEEP_MAX=16) under the counting allocator; proves
+#                 the tiled path's O(tile) peak memory without the full
+#                 256x run (that stays bench-gate-only)
+#   bench-gate    overhead benches + full-die scale sweep (256x) +
+#                 regression gate vs BENCH_baseline.json
 #                 (scripts/bench_gate.sh)
 #   profile-gate  quickstart under HIFI_TRACE, trace validation (parses,
 #                 required stage spans present, nesting balanced), then
@@ -94,6 +99,22 @@ job_conformance() {
     done
 }
 
+job_scale_smoke() {
+    echo "=== job: scale-smoke ==="
+    local tmp
+    tmp="$(mktemp -d)"
+    # shellcheck disable=SC2064 # expand now: the dir name is fixed here
+    trap "rm -rf '$tmp'" RETURN
+    # Results go to a temp file: the smoke tier proves the streaming path
+    # completes at 16x with O(tile) peak allocation (the bench asserts it
+    # under alloc-track); only the bench-gate job's full 256x numbers are
+    # compared against the committed baseline.
+    echo "==> scale_sweep @ ≤16x under the counting allocator"
+    SCALE_SWEEP_MAX=16 BENCH_RESULTS="$tmp/results.json" \
+        cargo bench --offline --locked -p hifi-bench \
+        --features hifi-telemetry/alloc-track --bench scale_sweep
+}
+
 job_bench_gate() {
     echo "=== job: bench-gate ==="
     scripts/bench_gate.sh
@@ -124,18 +145,19 @@ run_job() {
         regen-drift) job_regen_drift ;;
         fault-matrix) job_fault_matrix ;;
         conformance) job_conformance ;;
+        scale-smoke) job_scale_smoke ;;
         bench-gate) job_bench_gate ;;
         profile-gate) job_profile_gate ;;
         *)
             echo "unknown job: $1" >&2
-            echo "jobs: lint test regen-drift fault-matrix conformance bench-gate profile-gate" >&2
+            echo "jobs: lint test regen-drift fault-matrix conformance scale-smoke bench-gate profile-gate" >&2
             exit 2
             ;;
     esac
 }
 
 if [[ "$#" -eq 0 ]]; then
-    set -- lint test regen-drift fault-matrix conformance bench-gate profile-gate
+    set -- lint test regen-drift fault-matrix conformance scale-smoke bench-gate profile-gate
 fi
 for job in "$@"; do
     run_job "$job"

@@ -1,0 +1,135 @@
+//! Tiling must be a pure execution knob: the streaming-tiled pipeline
+//! (`PipelineConfig::with_tiling`) produces bit-identical output to the
+//! monolithic pipeline — same netlist, same measurements, same fidelity —
+//! at every tile width, at 1 and 8 threads, with the store off, cold and
+//! warm, and under an enabled (recoverable) fault plan.
+//!
+//! Tiling deliberately does not enter the store fingerprints (outputs are
+//! identical, so tiled and monolithic runs share cache entries); the
+//! cold/warm cases also pin that sharing in both directions.
+
+use hifi_circuit::topology::SaTopologyKind;
+use hifi_dram::pipeline::{Pipeline, PipelineConfig, PipelineReport};
+use hifi_faults::FaultSpec;
+use hifi_imaging::ImagingConfig;
+
+/// 1 = sequential baseline, 8 = more threads than slices per tile
+/// (exercises the short-chunk tail inside each slab).
+const THREAD_COUNTS: [usize; 2] = [1, 8];
+
+/// Tile widths in voxel columns: 7 is prime (tiles straddle slice
+/// positions), 64 holds many slices, 10_000 exceeds the whole die
+/// (single-tile degenerate case).
+const TILE_WIDTHS: [usize; 3] = [7, 64, 10_000];
+
+fn imaging_config() -> ImagingConfig {
+    ImagingConfig {
+        dwell_us: 6.0,
+        drift_sigma_px: 0.6,
+        brightness_wander: 1.0,
+        slice_voxels: 2,
+        ..ImagingConfig::default()
+    }
+}
+
+fn base_config() -> PipelineConfig {
+    PipelineConfig::with_imaging(SaTopologyKind::OffsetCancellation, imaging_config())
+}
+
+fn assert_reports_identical(base: &PipelineReport, report: &PipelineReport, what: &str) {
+    assert_eq!(base.identified, report.identified, "{what}");
+    assert_eq!(base.device_count, report.device_count, "{what}");
+    assert_eq!(
+        base.alignment_corrections, report.alignment_corrections,
+        "{what}"
+    );
+    assert_eq!(
+        base.worst_dimension_deviation.map(|d| d.value().to_bits()),
+        report
+            .worst_dimension_deviation
+            .map(|d| d.value().to_bits()),
+        "{what}"
+    );
+    assert_eq!(base.measurement, report.measurement, "{what}");
+    assert_eq!(base.extraction.netlist, report.extraction.netlist, "{what}");
+    assert_eq!(base.extraction.devices, report.extraction.devices, "{what}");
+}
+
+#[test]
+fn tiled_pipeline_matches_monolithic_at_every_tile_and_thread_count() {
+    let monolithic = Pipeline::new(base_config());
+    let baseline = rayon::with_num_threads(1, || monolithic.run().expect("monolithic run"));
+    for tile in TILE_WIDTHS {
+        let tiled = Pipeline::new(base_config().with_tiling(tile));
+        for n in THREAD_COUNTS {
+            let report = rayon::with_num_threads(n, || tiled.run().expect("tiled run"));
+            assert_reports_identical(&baseline, &report, &format!("tile {tile} @ {n} threads"));
+        }
+    }
+}
+
+/// A recoverable fault plan (every fault clears within the retry budget)
+/// must leave the tiled run bit-identical to the clean monolithic run:
+/// fault sites key on the *global* slice index, so the tile-local retry
+/// order cannot leak into the pixels.
+#[test]
+fn tiled_faulted_pipeline_matches_clean_monolithic() {
+    let monolithic = Pipeline::new(base_config());
+    let baseline = rayon::with_num_threads(1, || monolithic.run().expect("clean run"));
+    for tile in [7usize, 64] {
+        let faulted_tiled = Pipeline::new(
+            base_config()
+                .with_tiling(tile)
+                .with_faults(FaultSpec::uniform(7, 0.5)),
+        );
+        for n in THREAD_COUNTS {
+            let report =
+                rayon::with_num_threads(n, || faulted_tiled.run().expect("faulted tiled run"));
+            assert_reports_identical(
+                &baseline,
+                &report,
+                &format!("faulted tile {tile} @ {n} threads"),
+            );
+        }
+    }
+}
+
+/// Cold and warm store runs of the tiled pipeline match the store-less
+/// monolithic baseline — and because tiling does not salt the cache keys,
+/// a store populated by a *monolithic* run serves a *tiled* run's fetches
+/// (and vice versa) bit-identically.
+#[test]
+fn tiled_pipeline_matches_monolithic_with_store_cold_and_warm() {
+    let store_root = std::env::temp_dir().join(format!("hifi-tiled-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_root);
+
+    let baseline = rayon::with_num_threads(1, || {
+        Pipeline::new(base_config()).run().expect("store-off run")
+    });
+    let tiled_cached = Pipeline::new(base_config().with_tiling(64).with_store(&store_root));
+    let mono_cached = Pipeline::new(base_config().with_store(&store_root));
+    for n in THREAD_COUNTS {
+        // Fresh store per thread count: the first run is cold (all
+        // misses), the second warm (all hits).
+        let _ = std::fs::remove_dir_all(&store_root);
+        let cold = rayon::with_num_threads(n, || tiled_cached.run().expect("cold tiled run"));
+        let warm = rayon::with_num_threads(n, || tiled_cached.run().expect("warm tiled run"));
+        assert_reports_identical(&baseline, &cold, &format!("cold tiled @ {n} threads"));
+        assert_reports_identical(&baseline, &warm, &format!("warm tiled @ {n} threads"));
+        // Cache sharing across execution modes: the monolithic run
+        // replays the tiled run's artifacts…
+        let mono_warm = rayon::with_num_threads(n, || mono_cached.run().expect("mono warm run"));
+        assert_reports_identical(
+            &baseline,
+            &mono_warm,
+            &format!("mono-on-tiled @ {n} threads"),
+        );
+    }
+    // …and a tiled run replays a monolithic-populated store.
+    let _ = std::fs::remove_dir_all(&store_root);
+    let _ = rayon::with_num_threads(1, || mono_cached.run().expect("mono cold run"));
+    let tiled_on_mono =
+        rayon::with_num_threads(1, || tiled_cached.run().expect("tiled-on-mono run"));
+    assert_reports_identical(&baseline, &tiled_on_mono, "tiled-on-mono");
+    let _ = std::fs::remove_dir_all(&store_root);
+}
