@@ -125,6 +125,12 @@ pub struct PipelineConfig {
     /// neither is set. Cached stages are replayed bit-identically, so a
     /// warm run's report matches a store-less run's.
     pub store: Option<PathBuf>,
+    /// An already-open artifact store shared across runs; takes precedence
+    /// over [`Self::store`] and the environment. Long-running callers (the
+    /// job server's worker pipelines) open the store once and hand every
+    /// run the same handle, skipping the per-run `open` (directory
+    /// creation, legacy-layout probe) entirely.
+    pub store_handle: Option<Arc<ArtifactStore>>,
     /// Fault-injection plan for this run; `None` runs the clean pipeline.
     /// With a plan whose every fault is recoverable under [`Self::retry`]
     /// (`retry.max_retries >= faults.max_consecutive`), outputs are
@@ -154,6 +160,7 @@ impl PipelineConfig {
             align_window: 4,
             window_pair: 0,
             store: None,
+            store_handle: None,
             faults: None,
             retry: RetryPolicy::default(),
             tile_x: None,
@@ -175,6 +182,13 @@ impl PipelineConfig {
     /// Enables the artifact store rooted at `path` for this pipeline.
     pub fn with_store(mut self, path: impl Into<PathBuf>) -> Self {
         self.store = Some(path.into());
+        self
+    }
+
+    /// Reuses an already-open artifact store for this pipeline (builder
+    /// style). See [`Self::store_handle`].
+    pub fn with_store_handle(mut self, store: Arc<ArtifactStore>) -> Self {
+        self.store_handle = Some(store);
         self
     }
 
@@ -355,14 +369,24 @@ impl Pipeline {
         }
     }
 
-    /// Resolves the artifact store for this run: the config's path, else
-    /// the `HIFI_STORE` environment variable, else caching off. The run's
-    /// fault plan (if any) is attached so store I/O participates in
-    /// injection.
+    /// Resolves the artifact store for this run: a shared handle if the
+    /// caller provided one, else the config's path, else the `HIFI_STORE`
+    /// environment variable, else caching off. The run's fault plan (if
+    /// any) is attached so store I/O participates in injection.
     fn resolve_store(
         &self,
         plan: Option<&Arc<FaultPlan>>,
     ) -> Result<Option<ArtifactStore>, PipelineError> {
+        if let Some(handle) = &self.config.store_handle {
+            // Clone the cheap handle (PathBuf + Arcs), then attach this
+            // run's plan: fault salting stays per-run even though the
+            // underlying store directory is shared.
+            let mut store = (**handle).clone();
+            if let Some(plan) = plan {
+                store = store.with_fault_plan(plan.clone());
+            }
+            return Ok(Some(store));
+        }
         let path = self.config.store.clone().or_else(|| {
             std::env::var_os("HIFI_STORE")
                 .filter(|v| !v.is_empty())
@@ -1126,6 +1150,31 @@ mod tests {
         // (or get served by) clean runs.
         let enabled = FaultSpec::disabled().with_rate(FaultKind::StoreWrite, 1e-12);
         assert_eq!(misses(base.with_faults(enabled)), (0, 2));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn shared_store_handle_serves_the_same_cache_as_a_store_path() {
+        let root = std::env::temp_dir().join(format!("hifi-handle-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let misses = |cfg: PipelineConfig| {
+            let report = Pipeline::new(cfg).run_instrumented().unwrap();
+            let t = report.telemetry.expect("telemetry");
+            (t.counter(names::STORE_HIT), t.counter(names::STORE_MISS))
+        };
+        // Cold-populate through a shared handle, then replay warm both
+        // through the same handle and through the path-based config: one
+        // cache, three views.
+        let handle = Arc::new(ArtifactStore::open(&root).expect("open store"));
+        let via_handle =
+            PipelineConfig::pristine(SaTopologyKind::Classic).with_store_handle(handle.clone());
+        assert_eq!(misses(via_handle.clone()), (0, 2), "cold via handle");
+        assert_eq!(misses(via_handle), (2, 0), "warm via handle");
+        assert_eq!(
+            misses(PipelineConfig::pristine(SaTopologyKind::Classic).with_store(&root)),
+            (2, 0),
+            "warm via path: handle and path address the same store"
+        );
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -1,0 +1,104 @@
+//! `hifi-serve` — the chip-analysis job-server daemon.
+//!
+//! ```text
+//! hifi-serve [--addr HOST:PORT] [--workers N] [--capacity N]
+//!            [--store PATH] [--retry-after SECS]
+//!            [--fault-seed N [--fault-rate R]]
+//! ```
+//!
+//! Binds the HTTP API, prints the bound address on stdout (port 0 is
+//! resolved, so scripts can parse it), then serves until SIGTERM/SIGINT
+//! or `POST /shutdown`, draining every admitted job before exiting.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use hifi_faults::FaultSpec;
+use hifi_serve::{signal, ServeConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hifi-serve [--addr HOST:PORT] [--workers N] [--capacity N]\n\
+         \x20                 [--store PATH] [--retry-after SECS]\n\
+         \x20                 [--fault-seed N [--fault-rate R]]\n\
+         \n\
+         defaults: --addr 127.0.0.1:7878, --workers 2, --capacity 64,\n\
+         \x20         --store $HIFI_STORE or ./hifi-serve-store"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut workers = 2usize;
+    let mut capacity = 64usize;
+    let mut retry_after = 1u64;
+    let mut store: Option<String> = None;
+    let mut fault_seed: Option<u64> = None;
+    let mut fault_rate = 0.25f64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--workers" => workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--capacity" => capacity = value("--capacity").parse().unwrap_or_else(|_| usage()),
+            "--retry-after" => {
+                retry_after = value("--retry-after").parse().unwrap_or_else(|_| usage());
+            }
+            "--store" => store = Some(value("--store")),
+            "--fault-seed" => {
+                fault_seed = Some(value("--fault-seed").parse().unwrap_or_else(|_| usage()));
+            }
+            "--fault-rate" => {
+                fault_rate = value("--fault-rate").parse().unwrap_or_else(|_| usage());
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+
+    let store_root = store
+        .or_else(|| std::env::var("HIFI_STORE").ok())
+        .unwrap_or_else(|| "./hifi-serve-store".to_string());
+
+    let mut cfg = ServeConfig::new(&store_root)
+        .with_addr(addr)
+        .with_workers(workers)
+        .with_capacity(capacity)
+        .with_retry_after(retry_after);
+    if let Some(seed) = fault_seed {
+        cfg = cfg.with_faults(FaultSpec::uniform(seed, fault_rate));
+        eprintln!("hifi-serve: fault plan enabled (seed {seed}, rate {fault_rate})");
+    }
+
+    let server = match hifi_serve::start(cfg) {
+        Ok(server) => server,
+        Err(msg) => {
+            eprintln!("hifi-serve: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    signal::install_handlers();
+
+    // Parsed by scripts (CI smoke job): keep this line format stable.
+    println!("hifi-serve listening on http://{}", server.addr());
+    eprintln!("hifi-serve: {workers} workers, queue capacity {capacity}, store {store_root}");
+
+    while !signal::shutdown_requested() && !server.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("hifi-serve: shutdown requested, draining queue");
+    server.stop();
+    eprintln!("hifi-serve: stopped");
+    ExitCode::SUCCESS
+}

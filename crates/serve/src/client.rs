@@ -1,0 +1,142 @@
+//! Tiny blocking HTTP/1.1 client for talking to a running server.
+//!
+//! Matches the vendored `tiny_http` server's constraints: one request per
+//! connection, `Content-Length` bodies, `Connection: close`. Used by the
+//! `load_test` binary, the CI smoke job and the integration tests; it is
+//! not a general-purpose HTTP client.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use serde::Value;
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code, e.g. `202`.
+    pub status: u16,
+    /// Header `(name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Body decoded as UTF-8 (lossy).
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses the body as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parser's message when the body is not valid JSON.
+    pub fn json(&self) -> Result<Value, String> {
+        serde_json::from_str(&self.body).map_err(|e| format!("response body is not JSON: {e}"))
+    }
+}
+
+/// Performs one request against `addr` and reads the full response.
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures and malformed response framing
+/// as [`std::io::Error`].
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_nodelay(true)?;
+    let payload = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        payload.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()?;
+
+    // The server always closes after one response, so read to EOF.
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// `GET path`.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<HttpResponse> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST path` with a JSON body.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<HttpResponse> {
+    request(addr, "POST", path, Some(body))
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<HttpResponse> {
+    let malformed =
+        |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let split_at = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| malformed("missing header/body separator"))?;
+    let head = String::from_utf8_lossy(&raw[..split_at]);
+    let body = String::from_utf8_lossy(&raw[split_at + 4..]).into_owned();
+
+    let mut lines = head.lines();
+    let status_line = lines.next().ok_or_else(|| malformed("empty response"))?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| malformed("bad status line"))?;
+    let headers = lines
+        .filter_map(|line| {
+            let (k, v) = line.split_once(':')?;
+            Some((k.trim().to_string(), v.trim().to_string()))
+        })
+        .collect();
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_headers_and_body() {
+        let raw =
+            b"HTTP/1.1 429 Too Many Requests\r\nRetry-After: 1\r\nContent-Length: 2\r\n\r\n{}";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert_eq!(resp.body, "{}");
+        assert!(resp.json().is_ok());
+    }
+
+    #[test]
+    fn missing_separator_is_invalid_data() {
+        let err = parse_response(b"HTTP/1.1 200 OK\r\n").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,213 @@
+//! Job descriptions, wire parsing and content-addressed job identity.
+//!
+//! A job names a conformance-style chip spec by seed rather than carrying
+//! the spec inline: [`ChipSpec::generate`] is deterministic, so the seed is
+//! a complete, compact description of the work. Two tenants submitting the
+//! same spec under the same fault plan hash to the same [`cache
+//! key`](JobRequest::cache_key), which is what the server dedups on.
+
+use hifi_conformance::ChipSpec;
+use hifi_faults::FaultSpec;
+use hifi_store::{fault_fingerprint, Fingerprinter, Key};
+use serde::Value;
+
+/// Lowest accepted priority (served last).
+pub const MIN_PRIORITY: u8 = 0;
+/// Highest accepted priority (served first).
+pub const MAX_PRIORITY: u8 = 9;
+/// Priority assigned when a submission omits the field.
+pub const DEFAULT_PRIORITY: u8 = 4;
+
+/// A chip-analysis job as submitted over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRequest {
+    /// Seed fed to [`ChipSpec::generate`].
+    pub spec_seed: u64,
+    /// Scheduling priority, `0..=9`; higher runs first, FIFO within a
+    /// priority level.
+    pub priority: u8,
+    /// Run the pristine (imaging-free) variant of the generated spec.
+    pub pristine: bool,
+}
+
+impl JobRequest {
+    /// Materializes the chip spec this job describes.
+    pub fn spec(&self) -> ChipSpec {
+        let spec = ChipSpec::generate(self.spec_seed);
+        if self.pristine {
+            spec.pristine_variant()
+        } else {
+            spec
+        }
+    }
+
+    /// Content-addressed identity of the work: a fingerprint of the full
+    /// generated spec (not the seed — distinct seeds that generate the
+    /// same spec collide here, by design) salted with the server's fault
+    /// plan when one is enabled, mirroring how the pipeline salts its
+    /// stage cache keys.
+    pub fn cache_key(&self, faults: Option<&FaultSpec>) -> Key {
+        let spec = self.spec();
+        let mut fp = Fingerprinter::new();
+        fp.str("serve.job/v1").str(&spec.describe());
+        match faults {
+            Some(plan) if plan.is_enabled() => {
+                fp.key(fault_fingerprint(plan));
+            }
+            _ => {
+                fp.bool(false);
+            }
+        }
+        fp.finish()
+    }
+
+    /// Parses a submission body.
+    ///
+    /// `spec_seed` is required and may be a JSON integer or a decimal
+    /// string (for clients whose JSON layer cannot carry full 64-bit
+    /// integers). `priority` and `pristine` are optional.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the body is not a JSON
+    /// object, the seed is missing or malformed, or the priority is out
+    /// of range.
+    pub fn from_json(body: &str) -> Result<Self, String> {
+        let value: Value =
+            serde_json::from_str(body).map_err(|e| format!("invalid JSON body: {e}"))?;
+        let spec_seed = match value.field("spec_seed").map_err(|e| e.to_string())? {
+            Value::UInt(v) => *v,
+            Value::Int(v) if *v >= 0 => *v as u64,
+            Value::Str(s) => s
+                .parse::<u64>()
+                .map_err(|_| format!("spec_seed string `{s}` is not a u64"))?,
+            Value::Null => return Err("missing required field `spec_seed`".into()),
+            other => return Err(format!("spec_seed must be a u64, found {}", other.kind())),
+        };
+        let priority = match value.field("priority").map_err(|e| e.to_string())? {
+            Value::Null => DEFAULT_PRIORITY,
+            Value::UInt(v) => u8::try_from(*v).unwrap_or(u8::MAX),
+            Value::Int(v) if *v >= 0 => u8::try_from(*v).unwrap_or(u8::MAX),
+            other => {
+                return Err(format!(
+                    "priority must be an integer, found {}",
+                    other.kind()
+                ))
+            }
+        };
+        if priority > MAX_PRIORITY {
+            return Err(format!(
+                "priority {priority} out of range ({MIN_PRIORITY}..={MAX_PRIORITY})"
+            ));
+        }
+        let pristine = match value.field("pristine").map_err(|e| e.to_string())? {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            other => return Err(format!("pristine must be a bool, found {}", other.kind())),
+        };
+        Ok(Self {
+            spec_seed,
+            priority,
+            pristine,
+        })
+    }
+
+    /// Renders the submission body [`from_json`](Self::from_json) parses.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"spec_seed\":{},\"priority\":{},\"pristine\":{}}}",
+            self.spec_seed, self.priority, self.pristine
+        )
+    }
+}
+
+/// Lifecycle of a job inside the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted, waiting in the priority queue.
+    Queued,
+    /// Claimed by a worker, pipeline running.
+    Running,
+    /// Finished successfully; a result digest and report are available.
+    Done,
+    /// The pipeline surfaced a non-recoverable error.
+    Failed,
+}
+
+impl JobStatus {
+    /// Wire rendering of the status.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+        }
+    }
+
+    /// Whether the job has reached a terminal state.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobStatus::Done | JobStatus::Failed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_preserves_full_u64_seeds() {
+        let req = JobRequest {
+            spec_seed: u64::MAX - 12345,
+            priority: 7,
+            pristine: true,
+        };
+        let parsed = JobRequest::from_json(&req.to_json()).expect("roundtrip");
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn seed_accepted_as_decimal_string() {
+        let parsed =
+            JobRequest::from_json("{\"spec_seed\":\"18446744073709551615\"}").expect("parse");
+        assert_eq!(parsed.spec_seed, u64::MAX);
+        assert_eq!(parsed.priority, DEFAULT_PRIORITY);
+        assert!(!parsed.pristine);
+    }
+
+    #[test]
+    fn missing_seed_and_bad_priority_are_rejected() {
+        assert!(JobRequest::from_json("{}").is_err());
+        assert!(JobRequest::from_json("{\"spec_seed\":1,\"priority\":10}").is_err());
+        assert!(JobRequest::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn cache_key_ignores_the_seed_but_not_the_spec_or_fault_plan() {
+        let a = JobRequest {
+            spec_seed: 1,
+            priority: 0,
+            pristine: false,
+        };
+        let same_spec_other_priority = JobRequest {
+            spec_seed: 1,
+            priority: 9,
+            pristine: false,
+        };
+        // Priority is a scheduling hint, not part of the work's identity.
+        assert_eq!(a.cache_key(None), same_spec_other_priority.cache_key(None));
+
+        let other_spec = JobRequest {
+            spec_seed: 2,
+            priority: 0,
+            pristine: false,
+        };
+        assert_ne!(a.cache_key(None), other_spec.cache_key(None));
+
+        let plan = FaultSpec::uniform(99, 0.5);
+        assert_ne!(a.cache_key(None), a.cache_key(Some(&plan)));
+        // A disabled plan is the same identity as no plan.
+        let disabled = FaultSpec::uniform(99, 0.0);
+        assert_eq!(a.cache_key(None), a.cache_key(Some(&disabled)));
+    }
+}

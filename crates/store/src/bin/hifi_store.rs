@@ -2,10 +2,16 @@
 //! store directory.
 //!
 //! ```text
-//! hifi-store stats  <root>              object count and total bytes
+//! hifi-store stats  <root>              object count and total bytes,
+//!                                       plus a per-shard breakdown
 //! hifi-store verify <root>              re-checksum every object
-//! hifi-store gc     <root> <max-bytes>  evict LRU objects over the budget
+//! hifi-store gc     <root> <max-bytes>  evict LRU objects over the budget,
+//!                                       locking one shard at a time
 //! ```
+//!
+//! `stats` keeps its `objects N` / `bytes N` lines first (scripts parse
+//! them); the sharded breakdown follows as `shard <s> objects N bytes N`
+//! lines, one per non-empty shard.
 
 use std::process::ExitCode;
 
@@ -33,9 +39,17 @@ fn main() -> ExitCode {
     };
     match cmd {
         "stats" => {
-            let (objects, bytes) = store.usage();
+            let by_shard = store.usage_by_shard();
+            let objects: usize = by_shard.iter().map(|s| s.objects).sum();
+            let bytes: u64 = by_shard.iter().map(|s| s.bytes).sum();
             println!("objects {objects}");
             println!("bytes {bytes}");
+            for s in by_shard.iter().filter(|s| s.objects > 0) {
+                println!(
+                    "shard {:x} objects {} bytes {}",
+                    s.shard, s.objects, s.bytes
+                );
+            }
             ExitCode::SUCCESS
         }
         "verify" => match store.verify() {

@@ -15,9 +15,11 @@
 //! - [`codec`] gives the large intermediates compact, fully-validating
 //!   binary encodings (chunked RLE for voxel volumes, raw IEEE-754 bit
 //!   patterns for image stacks) whose round trips are bit-identical.
-//! - [`store`] is the on-disk half: `objects/<key>` blobs with self-checking
-//!   headers, a manifest for LRU eviction (`gc`), a lock file for
-//!   concurrent writers, and corruption handling that turns damaged blobs
+//! - [`store`] is the on-disk half: `objects/<shard>/<key>` blobs with
+//!   self-checking headers, sharded by leading key nibble with a per-shard
+//!   manifest and lock file so concurrent pipelines contend per shard
+//!   instead of on one global lock, LRU eviction (`gc`) with globally
+//!   comparable ticks, and corruption handling that turns damaged blobs
 //!   into cache misses rather than errors.
 //!
 //! Caching is **opt-in** (a store path on the pipeline config, or the
@@ -34,7 +36,7 @@ pub use codec::CodecError;
 pub use fingerprint::{
     fault_fingerprint, imaging_fingerprint, spec_fingerprint, stage, Fingerprinter, Key,
 };
-pub use store::{ArtifactStore, StoreError};
+pub use store::{ArtifactStore, ShardUsage, StoreError, SHARD_COUNT};
 
 /// Process-wide store activity counters.
 ///

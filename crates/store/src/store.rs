@@ -1,12 +1,21 @@
 //! The on-disk content-addressed artifact store.
 //!
-//! Layout under the store root:
+//! Layout under the store root (sharded by the leading key nibble):
 //!
 //! ```text
-//! <root>/objects/<32-hex-key>   one artifact per file, self-checking header
-//! <root>/manifest               text index: key, size, checksum, LRU tick
-//! <root>/.lock                  advisory lock guarding manifest rewrites
+//! <root>/objects/<s>/<32-hex-key>   one artifact per file, self-checking header
+//! <root>/objects/<s>/manifest       per-shard text index: key, size, checksum, LRU tick
+//! <root>/objects/<s>/.lock          advisory lock guarding that shard's manifest
+//! <root>/.lock                      root lock, held only for legacy-layout migration
 //! ```
+//!
+//! `<s>` is the first hex character of the key, so keys spread uniformly
+//! over [`SHARD_COUNT`] shards and concurrent pipelines writing different
+//! stages contend only when their keys share a leading nibble, not on one
+//! global lock. LRU ticks are drawn from a process-wide monotone counter
+//! seeded by wall-clock microseconds, so eviction order stays comparable
+//! *across* shards (and across processes, to wall-clock precision) even
+//! though each shard keeps its own manifest.
 //!
 //! Blobs carry their own header (magic, version, payload length, FNV
 //! checksum), so a blob is verifiable without the manifest; the manifest
@@ -16,19 +25,27 @@
 //! content) and readers never observe a half-written object. Corrupted
 //! blobs are detected by checksum, evicted, and reported as a miss — the
 //! pipeline recomputes instead of failing.
+//!
+//! Stores written by older versions (flat `objects/<key>` plus a root
+//! `manifest`) are migrated in place on [`ArtifactStore::open`], under the
+//! root lock so exactly one opener performs the move.
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::hash::Hasher;
 use std::io::{ErrorKind, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant, SystemTime};
+use std::time::{Duration, SystemTime};
 
-use hifi_faults::{FaultKind, FaultPlan};
+use hifi_faults::{FaultKind, FaultPlan, RetryPolicy};
 
 use crate::fingerprint::Key;
 use crate::stats;
+
+/// Number of shards `objects/` is split into: one per leading hex nibble.
+pub const SHARD_COUNT: usize = 16;
 
 /// A store operation failure (I/O level, not corruption — corruption is
 /// handled internally by falling back to a miss).
@@ -37,20 +54,36 @@ use crate::stats;
 /// carrying the underlying I/O error as its kind and rendered message
 /// rather than the live `std::io::Error`.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct StoreError {
-    /// The operation that failed (`"open"`, `"put"`, `"lock"`, …).
-    pub op: &'static str,
-    /// The path involved.
-    pub path: PathBuf,
-    /// The underlying `std::io::ErrorKind`.
-    pub kind: ErrorKind,
-    /// The rendered I/O error message.
-    pub message: String,
+pub enum StoreError {
+    /// An I/O operation failed.
+    Io {
+        /// The operation that failed (`"open"`, `"put"`, `"lock"`, …).
+        op: &'static str,
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying `std::io::ErrorKind`.
+        kind: ErrorKind,
+        /// The rendered I/O error message.
+        message: String,
+    },
+    /// A lock stayed held by another holder for the whole retry budget.
+    ///
+    /// Contention is transient by nature (the holder finishes eventually),
+    /// so [`StoreError::is_transient`] holds and pipeline-level retry
+    /// policies treat it like any injected fault.
+    Contended {
+        /// The lock file that could not be acquired.
+        path: PathBuf,
+        /// Acquisition attempts made before giving up.
+        attempts: u32,
+        /// Total backoff slept across those attempts.
+        waited: Duration,
+    },
 }
 
 impl StoreError {
     fn io(op: &'static str, path: &Path, err: &std::io::Error) -> Self {
-        Self {
+        Self::Io {
             op,
             path: path.to_path_buf(),
             kind: err.kind(),
@@ -61,7 +94,7 @@ impl StoreError {
     /// A transient failure injected by an attached [`FaultPlan`]; carries
     /// `ErrorKind::Interrupted` so [`StoreError::is_transient`] holds.
     fn injected(op: &'static str, path: &Path, kind: FaultKind) -> Self {
-        Self {
+        Self::Io {
             op,
             path: path.to_path_buf(),
             kind: ErrorKind::Interrupted,
@@ -69,27 +102,66 @@ impl StoreError {
         }
     }
 
+    /// The operation that failed (`"open"`, `"put"`, `"lock"`, …).
+    pub fn op(&self) -> &'static str {
+        match self {
+            Self::Io { op, .. } => op,
+            Self::Contended { .. } => "lock",
+        }
+    }
+
+    /// The path involved in the failure.
+    pub fn path(&self) -> &Path {
+        match self {
+            Self::Io { path, .. } | Self::Contended { path, .. } => path,
+        }
+    }
+
+    /// Whether this is lock-budget exhaustion rather than an I/O failure.
+    pub fn is_contended(&self) -> bool {
+        matches!(self, Self::Contended { .. })
+    }
+
     /// Whether retrying the failed operation can plausibly succeed.
     ///
-    /// Injected faults and interrupted/timed-out I/O are transient; real
-    /// environmental failures (permissions, disk full) are not.
+    /// Injected faults, interrupted/timed-out I/O, and lock contention are
+    /// transient; real environmental failures (permissions, disk full)
+    /// are not.
     pub fn is_transient(&self) -> bool {
-        matches!(
-            self.kind,
-            ErrorKind::Interrupted | ErrorKind::TimedOut | ErrorKind::WouldBlock
-        )
+        match self {
+            Self::Io { kind, .. } => matches!(
+                kind,
+                ErrorKind::Interrupted | ErrorKind::TimedOut | ErrorKind::WouldBlock
+            ),
+            Self::Contended { .. } => true,
+        }
     }
 }
 
 impl core::fmt::Display for StoreError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(
-            f,
-            "artifact store {} failed at {}: {}",
-            self.op,
-            self.path.display(),
-            self.message
-        )
+        match self {
+            Self::Io {
+                op, path, message, ..
+            } => write!(
+                f,
+                "artifact store {} failed at {}: {}",
+                op,
+                path.display(),
+                message
+            ),
+            Self::Contended {
+                path,
+                attempts,
+                waited,
+            } => write!(
+                f,
+                "artifact store lock contended at {}: gave up after {} attempts ({:?} backoff)",
+                path.display(),
+                attempts,
+                waited
+            ),
+        }
     }
 }
 
@@ -118,6 +190,17 @@ struct Entry {
     tick: u64,
 }
 
+/// Per-shard usage, as reported by [`ArtifactStore::usage_by_shard`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardUsage {
+    /// Shard index (`0..SHARD_COUNT`, the leading key nibble).
+    pub shard: usize,
+    /// Objects indexed in this shard.
+    pub objects: usize,
+    /// Total on-disk bytes (headers included) indexed in this shard.
+    pub bytes: u64,
+}
+
 /// A content-addressed artifact store rooted at one directory.
 #[derive(Debug, Clone)]
 pub struct ArtifactStore {
@@ -126,9 +209,12 @@ pub struct ArtifactStore {
     /// read/write failures and in-memory blob corruption. `None` (the
     /// default) costs nothing on the hot paths.
     fault_plan: Option<Arc<FaultPlan>>,
+    /// Exponential-backoff schedule for lock acquisition; the budget runs
+    /// out into [`StoreError::Contended`].
+    lock_policy: RetryPolicy,
 }
 
-/// Advisory cross-process lock: holds `<root>/.lock`, created with
+/// Advisory cross-process lock: holds a `.lock` file, created with
 /// `create_new` so exactly one holder wins; removed on drop.
 struct LockGuard {
     path: PathBuf,
@@ -143,23 +229,66 @@ impl Drop for LockGuard {
 /// How long a lock file may sit before it is presumed orphaned (a crashed
 /// holder) and broken.
 const LOCK_STALE: Duration = Duration::from_secs(30);
-/// How long to spin waiting for the lock before giving up.
-const LOCK_WAIT: Duration = Duration::from_secs(10);
+
+/// The default lock-acquisition schedule: 1 ms doubling to a 250 ms
+/// ceiling, 47 retries ≈ 10 s of total backoff — the same wait budget the
+/// old spin loop had, but with exponentially fewer wakeups. Contention is
+/// retried with *real* sleeps (unlike pipeline-stage retries, which charge
+/// a [`hifi_faults::VirtualClock`]) because the holder genuinely needs the
+/// wall-clock time to finish.
+fn default_lock_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 47,
+        base_delay: Duration::from_millis(1),
+        multiplier: 2.0,
+        max_delay: Duration::from_millis(250),
+    }
+}
+
+/// Draws the next LRU tick: strictly increasing within the process,
+/// seeded by wall-clock microseconds so ticks stay comparable across
+/// shards *and* across cooperating processes. (The manifest is advisory —
+/// clock skew can only mis-order eviction, never corrupt data.)
+fn next_tick() -> u64 {
+    static TICK: AtomicU64 = AtomicU64::new(0);
+    let now = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0);
+    let mut cur = TICK.load(Ordering::Relaxed);
+    loop {
+        let next = cur.max(now).saturating_add(1);
+        match TICK.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return next,
+            Err(observed) => cur = observed,
+        }
+    }
+}
 
 impl ArtifactStore {
-    /// Opens (creating if needed) a store rooted at `root`.
+    /// Opens (creating if needed) a store rooted at `root`. A legacy flat
+    /// layout (objects directly under `objects/`, one root manifest) is
+    /// migrated into the sharded layout under the root lock.
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError`] if the directory tree cannot be created.
+    /// Returns [`StoreError`] if the directory tree cannot be created or a
+    /// legacy store cannot be migrated.
     pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
         let root = root.into();
         let objects = root.join("objects");
         fs::create_dir_all(&objects).map_err(|e| StoreError::io("open", &objects, &e))?;
-        Ok(Self {
+        let store = Self {
             root,
             fault_plan: None,
-        })
+            lock_policy: default_lock_policy(),
+        };
+        for shard in 0..SHARD_COUNT {
+            let dir = store.shard_dir(shard);
+            fs::create_dir_all(&dir).map_err(|e| StoreError::io("open", &dir, &e))?;
+        }
+        store.migrate_legacy_layout()?;
+        Ok(store)
     }
 
     /// Attaches a fault plan: subsequent [`ArtifactStore::get`] and
@@ -173,6 +302,13 @@ impl ArtifactStore {
         self
     }
 
+    /// Overrides the lock-acquisition backoff schedule (tests shrink the
+    /// budget to observe [`StoreError::Contended`] quickly).
+    pub fn with_lock_policy(mut self, policy: RetryPolicy) -> Self {
+        self.lock_policy = policy;
+        self
+    }
+
     /// The attached fault plan, if any.
     pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
         self.fault_plan.as_ref()
@@ -183,88 +319,139 @@ impl ArtifactStore {
         &self.root
     }
 
+    /// The shard a key lives in: its leading hex nibble.
+    fn shard_of(key: Key) -> usize {
+        (key.parts().0 >> 60) as usize
+    }
+
+    fn shard_dir(&self, shard: usize) -> PathBuf {
+        self.root.join("objects").join(format!("{shard:x}"))
+    }
+
     fn object_path(&self, key: Key) -> PathBuf {
-        self.root.join("objects").join(key.hex())
+        self.shard_dir(Self::shard_of(key)).join(key.hex())
     }
 
-    fn manifest_path(&self) -> PathBuf {
-        self.root.join("manifest")
+    fn shard_manifest_path(&self, shard: usize) -> PathBuf {
+        self.shard_dir(shard).join("manifest")
     }
 
-    fn lock(&self) -> Result<LockGuard, StoreError> {
-        let path = self.root.join(".lock");
-        let start = Instant::now();
+    fn shard_lock_path(&self, shard: usize) -> PathBuf {
+        self.shard_dir(shard).join(".lock")
+    }
+
+    /// Acquires the advisory lock at `path` with bounded exponential
+    /// backoff. Locks older than [`LOCK_STALE`] are presumed orphaned by a
+    /// crashed holder and broken.
+    fn acquire_lock(&self, path: &Path) -> Result<LockGuard, StoreError> {
+        let mut waited = Duration::ZERO;
+        let mut attempt: u32 = 0;
         loop {
             match fs::OpenOptions::new()
                 .write(true)
                 .create_new(true)
-                .open(&path)
+                .open(path)
             {
-                Ok(_) => return Ok(LockGuard { path }),
+                Ok(_) => {
+                    return Ok(LockGuard {
+                        path: path.to_path_buf(),
+                    })
+                }
                 Err(e) if e.kind() == ErrorKind::AlreadyExists => {
                     // Break locks orphaned by a crashed holder.
-                    if let Ok(meta) = fs::metadata(&path) {
+                    if let Ok(meta) = fs::metadata(path) {
                         let age = meta
                             .modified()
                             .ok()
                             .and_then(|m| SystemTime::now().duration_since(m).ok());
                         if age.is_some_and(|a| a > LOCK_STALE) {
-                            let _ = fs::remove_file(&path);
+                            let _ = fs::remove_file(path);
                             continue;
                         }
                     }
-                    if start.elapsed() > LOCK_WAIT {
-                        return Err(StoreError::io(
-                            "lock",
-                            &path,
-                            &std::io::Error::new(
-                                ErrorKind::TimedOut,
-                                "store lock held for too long",
-                            ),
-                        ));
+                    if attempt >= self.lock_policy.max_retries {
+                        return Err(StoreError::Contended {
+                            path: path.to_path_buf(),
+                            attempts: attempt + 1,
+                            waited,
+                        });
                     }
-                    std::thread::sleep(Duration::from_millis(2));
+                    let delay = self.lock_policy.backoff(attempt);
+                    std::thread::sleep(delay);
+                    waited += delay;
+                    attempt += 1;
                 }
-                Err(e) => return Err(StoreError::io("lock", &path, &e)),
+                Err(e) => return Err(StoreError::io("lock", path, &e)),
             }
         }
     }
 
-    fn read_manifest(&self) -> BTreeMap<Key, Entry> {
-        // The manifest is advisory (LRU order + stats); damage to it must
-        // never fail the store, so parsing is best-effort.
-        let mut out = BTreeMap::new();
-        let Ok(text) = fs::read_to_string(self.manifest_path()) else {
-            return out;
-        };
-        for line in text.lines() {
-            let mut parts = line.split_whitespace();
-            let (Some(hex), Some(size), Some(sum), Some(tick)) =
-                (parts.next(), parts.next(), parts.next(), parts.next())
-            else {
-                continue;
-            };
-            let (Some(key), Ok(size), Ok(sum), Ok(tick)) = (
-                Key::from_hex(hex),
-                size.parse::<u64>(),
-                u64::from_str_radix(sum, 16),
-                tick.parse::<u64>(),
-            ) else {
-                continue;
-            };
-            out.insert(
-                key,
-                Entry {
-                    size,
-                    checksum: sum,
-                    tick,
-                },
-            );
-        }
-        out
+    fn lock_shard(&self, shard: usize) -> Result<LockGuard, StoreError> {
+        self.acquire_lock(&self.shard_lock_path(shard))
     }
 
-    fn write_manifest(&self, manifest: &BTreeMap<Key, Entry>) -> Result<(), StoreError> {
+    /// Moves a pre-sharding store (flat `objects/<key>`, one root
+    /// `manifest`) into the sharded layout. Runs under the root lock so
+    /// concurrent openers serialize; a second opener finds nothing left to
+    /// move and returns immediately.
+    fn migrate_legacy_layout(&self) -> Result<(), StoreError> {
+        let objects = self.root.join("objects");
+        let legacy_manifest = self.root.join("manifest");
+        let has_flat_objects = fs::read_dir(&objects)
+            .ok()
+            .into_iter()
+            .flatten()
+            .flatten()
+            .any(|e| {
+                e.file_name()
+                    .to_str()
+                    .is_some_and(|n| Key::from_hex(n).is_some())
+            });
+        if !legacy_manifest.exists() && !has_flat_objects {
+            return Ok(());
+        }
+        let _guard = self.acquire_lock(&self.root.join(".lock"))?;
+        // Move each flat object into its shard.
+        let entries = fs::read_dir(&objects).map_err(|e| StoreError::io("open", &objects, &e))?;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(key) = Key::from_hex(name) else {
+                continue; // shard dirs, temp files, strays
+            };
+            let dest = self.object_path(key);
+            fs::rename(entry.path(), &dest).map_err(|e| StoreError::io("open", &dest, &e))?;
+        }
+        // Split the root manifest into per-shard manifests, preserving the
+        // relative LRU order (legacy ticks are small counters, far below
+        // the wall-clock-seeded ticks new writes draw).
+        if legacy_manifest.exists() {
+            let mut shards: Vec<BTreeMap<Key, Entry>> =
+                (0..SHARD_COUNT).map(|_| BTreeMap::new()).collect();
+            for (key, entry) in read_manifest_file(&legacy_manifest) {
+                shards[Self::shard_of(key)].insert(key, entry);
+            }
+            for (shard, manifest) in shards.iter().enumerate() {
+                if manifest.is_empty() {
+                    continue;
+                }
+                self.write_shard_manifest(shard, manifest)?;
+            }
+            fs::remove_file(&legacy_manifest)
+                .map_err(|e| StoreError::io("open", &legacy_manifest, &e))?;
+        }
+        Ok(())
+    }
+
+    fn read_shard_manifest(&self, shard: usize) -> BTreeMap<Key, Entry> {
+        read_manifest_file(&self.shard_manifest_path(shard))
+    }
+
+    fn write_shard_manifest(
+        &self,
+        shard: usize,
+        manifest: &BTreeMap<Key, Entry>,
+    ) -> Result<(), StoreError> {
         let mut text = String::new();
         for (key, e) in manifest {
             text.push_str(&format!(
@@ -276,19 +463,23 @@ impl ArtifactStore {
             ));
         }
         let tmp = self
-            .root
+            .shard_dir(shard)
             .join(format!(".manifest.tmp.{}", std::process::id()));
         fs::write(&tmp, text).map_err(|e| StoreError::io("put", &tmp, &e))?;
-        fs::rename(&tmp, self.manifest_path())
-            .map_err(|e| StoreError::io("put", &self.manifest_path(), &e))
+        let dest = self.shard_manifest_path(shard);
+        fs::rename(&tmp, &dest).map_err(|e| StoreError::io("put", &dest, &e))
     }
 
-    /// Updates the manifest under the store lock.
-    fn with_manifest(&self, f: impl FnOnce(&mut BTreeMap<Key, Entry>)) -> Result<(), StoreError> {
-        let _guard = self.lock()?;
-        let mut manifest = self.read_manifest();
+    /// Updates one shard's manifest under that shard's lock.
+    fn with_shard_manifest(
+        &self,
+        shard: usize,
+        f: impl FnOnce(&mut BTreeMap<Key, Entry>),
+    ) -> Result<(), StoreError> {
+        let _guard = self.lock_shard(shard)?;
+        let mut manifest = self.read_shard_manifest(shard);
         f(&mut manifest);
-        self.write_manifest(&manifest)
+        self.write_shard_manifest(shard, &manifest)
     }
 
     /// Fetches the payload stored under `key`.
@@ -330,14 +521,15 @@ impl ArtifactStore {
                 buf[last] ^= 0x01;
             }
         }
+        let shard = Self::shard_of(key);
         match Self::check_blob(&buf) {
             Some(payload_range) => {
                 let payload = buf[payload_range].to_vec();
                 stats::record_hit(payload.len() as u64);
                 // Touch the LRU tick; freshness is advisory, so lock
                 // failures here must not turn a hit into an error.
-                let _ = self.with_manifest(|m| {
-                    let next = m.values().map(|e| e.tick).max().unwrap_or(0) + 1;
+                let _ = self.with_shard_manifest(shard, |m| {
+                    let next = next_tick();
                     if let Some(e) = m.get_mut(&key) {
                         e.tick = next;
                     }
@@ -347,7 +539,7 @@ impl ArtifactStore {
             None => {
                 // Corrupted: evict and report a miss so the stage recomputes.
                 let _ = fs::remove_file(&path);
-                let _ = self.with_manifest(|m| {
+                let _ = self.with_shard_manifest(shard, |m| {
                     m.remove(&key);
                 });
                 stats::record_corrupt();
@@ -388,10 +580,18 @@ impl ArtifactStore {
                 return Err(StoreError::injected("put", &path, FaultKind::StoreWrite));
             }
         }
-        let tmp =
-            self.root
-                .join("objects")
-                .join(format!(".tmp.{}.{}", std::process::id(), key.hex()));
+        let shard = Self::shard_of(key);
+        // The temp name must be unique per *put*, not per key: two threads
+        // of one process racing the same key would otherwise share a temp
+        // path, and the loser's rename fails NotFound after the winner's
+        // rename consumes the file.
+        static PUT_SERIAL: AtomicU64 = AtomicU64::new(0);
+        let serial = PUT_SERIAL.fetch_add(1, Ordering::Relaxed);
+        let tmp = self.shard_dir(shard).join(format!(
+            ".tmp.{}.{serial}.{}",
+            std::process::id(),
+            key.hex()
+        ));
         {
             let mut file = fs::File::create(&tmp).map_err(|e| StoreError::io("put", &tmp, &e))?;
             let mut header = Vec::with_capacity(HEADER_LEN);
@@ -406,14 +606,13 @@ impl ArtifactStore {
         }
         fs::rename(&tmp, &path).map_err(|e| StoreError::io("put", &path, &e))?;
         let total = (payload.len() + HEADER_LEN) as u64;
-        self.with_manifest(|m| {
-            let next = m.values().map(|e| e.tick).max().unwrap_or(0) + 1;
+        self.with_shard_manifest(shard, |m| {
             m.insert(
                 key,
                 Entry {
                     size: total,
                     checksum: sum,
-                    tick: next,
+                    tick: next_tick(),
                 },
             );
         })?;
@@ -421,65 +620,139 @@ impl ArtifactStore {
         Ok(())
     }
 
-    /// Number of objects and total bytes currently indexed.
+    /// Number of objects and total bytes currently indexed, summed over
+    /// every shard.
     pub fn usage(&self) -> (usize, u64) {
-        let manifest = self.read_manifest();
-        let bytes = manifest.values().map(|e| e.size).sum();
-        (manifest.len(), bytes)
+        self.usage_by_shard()
+            .iter()
+            .fold((0, 0), |(n, b), s| (n + s.objects, b + s.bytes))
+    }
+
+    /// Per-shard object counts and byte totals (advisory: read without
+    /// locks, like `usage`).
+    pub fn usage_by_shard(&self) -> Vec<ShardUsage> {
+        (0..SHARD_COUNT)
+            .map(|shard| {
+                let manifest = self.read_shard_manifest(shard);
+                ShardUsage {
+                    shard,
+                    objects: manifest.len(),
+                    bytes: manifest.values().map(|e| e.size).sum(),
+                }
+            })
+            .collect()
     }
 
     /// Evicts least-recently-used objects until the store holds at most
     /// `max_bytes`. Returns the number of objects evicted.
     ///
+    /// Victims are chosen from an advisory cross-shard read of every
+    /// manifest, then evicted shard by shard — holding only the lock of
+    /// the shard currently being collected, so readers and writers of
+    /// other shards proceed. Objects touched between selection and
+    /// eviction may be evicted anyway (LRU freshness is advisory); the
+    /// next run recomputes them.
+    ///
     /// # Errors
     ///
-    /// Returns [`StoreError`] if the lock cannot be taken or the manifest
-    /// cannot be rewritten.
+    /// Returns [`StoreError`] if a shard lock cannot be taken or a
+    /// manifest cannot be rewritten.
     pub fn gc(&self, max_bytes: u64) -> Result<usize, StoreError> {
-        let _guard = self.lock()?;
-        let mut manifest = self.read_manifest();
-        let mut total: u64 = manifest.values().map(|e| e.size).sum();
-        let mut order: Vec<(u64, Key)> = manifest.iter().map(|(k, e)| (e.tick, *k)).collect();
+        let mut order: Vec<(u64, Key, u64)> = Vec::new();
+        let mut total: u64 = 0;
+        for shard in 0..SHARD_COUNT {
+            for (key, e) in self.read_shard_manifest(shard) {
+                order.push((e.tick, key, e.size));
+                total += e.size;
+            }
+        }
         order.sort_unstable();
-        let mut evicted = 0;
-        for (_, key) in order {
+        let mut victims: Vec<Vec<Key>> = (0..SHARD_COUNT).map(|_| Vec::new()).collect();
+        for (_, key, size) in &order {
             if total <= max_bytes {
                 break;
             }
-            if let Some(e) = manifest.remove(&key) {
-                let _ = fs::remove_file(self.object_path(key));
-                total = total.saturating_sub(e.size);
-                evicted += 1;
-            }
+            total = total.saturating_sub(*size);
+            victims[Self::shard_of(*key)].push(*key);
         }
-        self.write_manifest(&manifest)?;
+        let mut evicted = 0;
+        for (shard, keys) in victims.iter().enumerate() {
+            if keys.is_empty() {
+                continue;
+            }
+            let _guard = self.lock_shard(shard)?;
+            let mut manifest = self.read_shard_manifest(shard);
+            for key in keys {
+                if manifest.remove(key).is_some() {
+                    let _ = fs::remove_file(self.object_path(*key));
+                    evicted += 1;
+                }
+            }
+            self.write_shard_manifest(shard, &manifest)?;
+        }
         Ok(evicted)
     }
 
-    /// Re-checksums every object on disk; returns `(intact, corrupt)`
-    /// counts. Corrupt objects are left in place (use [`ArtifactStore::get`]
-    /// or `gc` to evict).
+    /// Re-checksums every object on disk across all shards; returns
+    /// `(intact, corrupt)` counts. Corrupt objects are left in place (use
+    /// [`ArtifactStore::get`] or `gc` to evict).
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError`] if the objects directory cannot be listed.
+    /// Returns [`StoreError`] if a shard directory cannot be listed.
     pub fn verify(&self) -> Result<(usize, usize), StoreError> {
-        let dir = self.root.join("objects");
-        let entries = fs::read_dir(&dir).map_err(|e| StoreError::io("verify", &dir, &e))?;
         let (mut intact, mut corrupt) = (0, 0);
-        for entry in entries.flatten() {
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
-            if Key::from_hex(name).is_none() {
-                continue; // temp files, strays
-            }
-            match fs::read(entry.path()) {
-                Ok(buf) if Self::check_blob(&buf).is_some() => intact += 1,
-                _ => corrupt += 1,
+        for shard in 0..SHARD_COUNT {
+            let dir = self.shard_dir(shard);
+            let entries = fs::read_dir(&dir).map_err(|e| StoreError::io("verify", &dir, &e))?;
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if Key::from_hex(name).is_none() {
+                    continue; // manifest, lock, temp files, strays
+                }
+                match fs::read(entry.path()) {
+                    Ok(buf) if Self::check_blob(&buf).is_some() => intact += 1,
+                    _ => corrupt += 1,
+                }
             }
         }
         Ok((intact, corrupt))
     }
+}
+
+/// Best-effort manifest parse: the manifest is advisory (LRU order +
+/// stats), so damage to it must never fail the store.
+fn read_manifest_file(path: &Path) -> BTreeMap<Key, Entry> {
+    let mut out = BTreeMap::new();
+    let Ok(text) = fs::read_to_string(path) else {
+        return out;
+    };
+    for line in text.lines() {
+        let mut parts = line.split_whitespace();
+        let (Some(hex), Some(size), Some(sum), Some(tick)) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        let (Some(key), Ok(size), Ok(sum), Ok(tick)) = (
+            Key::from_hex(hex),
+            size.parse::<u64>(),
+            u64::from_str_radix(sum, 16),
+            tick.parse::<u64>(),
+        ) else {
+            continue;
+        };
+        out.insert(
+            key,
+            Entry {
+                size,
+                checksum: sum,
+                tick,
+            },
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -512,6 +785,97 @@ mod tests {
         assert_eq!(n, 1);
         assert!(bytes > b"payload bytes".len() as u64);
         let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn objects_land_in_their_leading_nibble_shard() {
+        let store = temp_store("shard-paths");
+        for i in 0..64 {
+            let key = key_of(&format!("spread-{i}"));
+            store.put(key, &[i as u8; 16]).expect("put");
+            let shard = (key.parts().0 >> 60) as usize;
+            let expected = store
+                .root()
+                .join("objects")
+                .join(format!("{shard:x}"))
+                .join(key.hex());
+            assert!(expected.is_file(), "object must live in shard {shard:x}");
+        }
+        // 64 uniform keys cover more than one shard with overwhelming odds.
+        let populated = store
+            .usage_by_shard()
+            .iter()
+            .filter(|s| s.objects > 0)
+            .count();
+        assert!(populated > 1, "keys must spread across shards");
+        assert_eq!(store.usage().0, 64);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn usage_by_shard_sums_to_global_usage() {
+        let store = temp_store("shard-usage");
+        for i in 0..32 {
+            store
+                .put(key_of(&format!("u-{i}")), &[7u8; 32])
+                .expect("put");
+        }
+        let by_shard = store.usage_by_shard();
+        assert_eq!(by_shard.len(), SHARD_COUNT);
+        let n: usize = by_shard.iter().map(|s| s.objects).sum();
+        let bytes: u64 = by_shard.iter().map(|s| s.bytes).sum();
+        assert_eq!((n, bytes), store.usage());
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn legacy_flat_layout_is_migrated_on_open() {
+        let dir = std::env::temp_dir().join(format!(
+            "hifi-store-test-{}-legacy-migrate",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        // Build the store through the current API, then flatten it back
+        // into the legacy layout: objects directly under objects/, one
+        // root manifest.
+        let store = ArtifactStore::open(&dir).expect("open");
+        let keys: Vec<Key> = (0..16).map(|i| key_of(&format!("legacy-{i}"))).collect();
+        for (i, key) in keys.iter().enumerate() {
+            store.put(*key, &[i as u8; 24]).expect("put");
+        }
+        let mut legacy_manifest = String::new();
+        for shard in 0..SHARD_COUNT {
+            let manifest = store.shard_manifest_path(shard);
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                legacy_manifest.push_str(&text);
+                fs::remove_file(&manifest).expect("drop shard manifest");
+            }
+            for entry in fs::read_dir(store.shard_dir(shard))
+                .expect("list")
+                .flatten()
+            {
+                let name = entry.file_name();
+                if name.to_str().and_then(Key::from_hex).is_some() {
+                    fs::rename(entry.path(), dir.join("objects").join(name)).expect("flatten");
+                }
+            }
+        }
+        fs::write(dir.join("manifest"), legacy_manifest).expect("root manifest");
+
+        // Re-opening migrates: flat objects move into shards, the root
+        // manifest splits, and every object reads back.
+        let migrated = ArtifactStore::open(&dir).expect("open migrates");
+        assert!(!dir.join("manifest").exists(), "root manifest consumed");
+        assert_eq!(migrated.usage().0, keys.len());
+        for (i, key) in keys.iter().enumerate() {
+            assert_eq!(
+                migrated.get(*key).expect("get").as_deref(),
+                Some(&[i as u8; 24][..]),
+                "key {i} must survive migration"
+            );
+            assert!(migrated.object_path(*key).is_file());
+        }
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -554,7 +918,8 @@ mod tests {
         store.put(a, &[1u8; 100]).expect("put a");
         store.put(b, &[2u8; 100]).expect("put b");
         store.put(c, &[3u8; 100]).expect("put c");
-        // Touch `a` so `b` becomes the coldest entry.
+        // Touch `a` so `b` becomes the coldest entry. Ticks are globally
+        // comparable even though a, b, c hash into different shards.
         assert!(store.get(a).expect("get a").is_some());
         let (_, total) = store.usage();
         let evicted = store.gc(total - 1).expect("gc");
@@ -564,6 +929,36 @@ mod tests {
         assert!(store.get(c).expect("get c").is_some());
         assert_eq!(store.gc(0).expect("gc all"), 2);
         assert_eq!(store.usage().0, 0);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn gc_holds_only_the_lock_of_the_shard_being_collected() {
+        let store = temp_store("gc-shard-lock");
+        let key = key_of("lonely");
+        store.put(key, &[9u8; 64]).expect("put");
+        let victim_shard = ArtifactStore::shard_of(key);
+        // Plant fresh locks on every *other* shard: if gc took them, it
+        // would burn its whole backoff budget and return Contended.
+        let mut planted = Vec::new();
+        for shard in 0..SHARD_COUNT {
+            if shard != victim_shard {
+                let path = store.shard_lock_path(shard);
+                fs::write(&path, b"").expect("plant lock");
+                planted.push(path);
+            }
+        }
+        let quick = store.clone().with_lock_policy(RetryPolicy {
+            max_retries: 2,
+            base_delay: Duration::from_millis(1),
+            multiplier: 2.0,
+            max_delay: Duration::from_millis(4),
+        });
+        assert_eq!(quick.gc(0).expect("gc touches only the victim shard"), 1);
+        assert_eq!(store.usage().0, 0);
+        for path in planted {
+            let _ = fs::remove_file(path);
+        }
         let _ = fs::remove_dir_all(store.root());
     }
 
@@ -661,16 +1056,75 @@ mod tests {
     #[test]
     fn waiting_writer_proceeds_once_lock_is_released() {
         let store = temp_store("held-lock");
-        let lock_path = store.root().join(".lock");
+        let key = key_of("delta");
+        let lock_path = store.shard_lock_path(ArtifactStore::shard_of(key));
         fs::write(&lock_path, b"").expect("plant lock");
         let planted = lock_path.clone();
         let dropper = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(50));
             let _ = fs::remove_file(&planted);
         });
-        store.put(key_of("delta"), b"waits for lock").expect("put");
+        store.put(key, b"waits for lock").expect("put");
         dropper.join().expect("join");
-        assert!(store.get(key_of("delta")).expect("get").is_some());
+        assert!(store.get(key).expect("get").is_some());
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn exhausted_lock_budget_surfaces_typed_contended_error() {
+        let key = key_of("eta");
+        let store = temp_store("contended").with_lock_policy(RetryPolicy {
+            max_retries: 2,
+            base_delay: Duration::from_millis(1),
+            multiplier: 2.0,
+            max_delay: Duration::from_millis(4),
+        });
+        let lock_path = store.shard_lock_path(ArtifactStore::shard_of(key));
+        fs::write(&lock_path, b"").expect("plant lock");
+        let err = store.put(key, b"never lands").expect_err("budget runs out");
+        match &err {
+            StoreError::Contended {
+                path,
+                attempts,
+                waited,
+            } => {
+                assert_eq!(path, &lock_path);
+                assert_eq!(*attempts, 3, "initial try + 2 retries");
+                assert_eq!(*waited, Duration::from_millis(1 + 2));
+            }
+            other => panic!("expected Contended, got {other:?}"),
+        }
+        assert!(
+            err.is_transient(),
+            "contention clears when the holder exits"
+        );
+        assert!(err.is_contended());
+        assert_eq!(err.op(), "lock");
+        // Once the stuck lock clears, the same store works again.
+        fs::remove_file(&lock_path).expect("unstick");
+        store.put(key, b"lands now").expect("put");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn stale_locks_are_broken_not_waited_on() {
+        // A lock whose mtime is older than LOCK_STALE is orphaned; the
+        // acquirer breaks it instead of burning its backoff budget. Aging
+        // a file's mtime portably requires filetime juggling, so instead
+        // assert the cheap invariant: a *fresh* lock is NOT broken.
+        let store = temp_store("stale").with_lock_policy(RetryPolicy {
+            max_retries: 1,
+            base_delay: Duration::from_millis(1),
+            multiplier: 2.0,
+            max_delay: Duration::from_millis(2),
+        });
+        let key = key_of("theta");
+        let lock_path = store.shard_lock_path(ArtifactStore::shard_of(key));
+        fs::write(&lock_path, b"").expect("plant fresh lock");
+        let err = store.put(key, b"x").expect_err("fresh lock holds");
+        assert!(err.is_contended(), "fresh locks are respected: {err}");
+        assert!(lock_path.exists(), "fresh lock must not be broken");
+        let _ = fs::remove_file(&lock_path);
         let _ = fs::remove_dir_all(store.root());
     }
 }

@@ -127,4 +127,9 @@ pub mod names {
     pub const CONFORMANCE_SHRINK_STEPS: &str = "conformance.shrink_steps";
     /// Gauge: worst per-device dimension error observed, in voxels.
     pub const CONFORMANCE_WORST_DIM_ERROR: &str = "conformance.worst_dim_error_voxels";
+    /// Histogram: time a job spent queued before a serve worker claimed
+    /// it, µs.
+    pub const HIST_SERVE_QUEUE_WAIT_US: &str = "serve.queue_wait_us";
+    /// Histogram: queue depth observed at each job admission.
+    pub const HIST_SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
 }

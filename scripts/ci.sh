@@ -21,6 +21,10 @@
 #                 SCALE_SWEEP_MAX=16) under the counting allocator; proves
 #                 the tiled path's O(tile) peak memory without the full
 #                 256x run (that stays bench-gate-only)
+#   serve-smoke   start the hifi-serve daemon, push two load_test batches
+#                 through it over HTTP (the second resubmits completed
+#                 specs, which must dedup against the shared store), then
+#                 SIGTERM and assert a clean drained shutdown
 #   bench-gate    overhead benches + full-die scale sweep (256x) +
 #                 regression gate vs BENCH_baseline.json
 #                 (scripts/bench_gate.sh)
@@ -115,6 +119,45 @@ job_scale_smoke() {
         --features hifi-telemetry/alloc-track --bench scale_sweep
 }
 
+job_serve_smoke() {
+    echo "=== job: serve-smoke ==="
+    cargo build --release --offline --locked -p hifi-serve --bins
+    local tmp
+    tmp="$(mktemp -d)"
+    # shellcheck disable=SC2064 # expand now: the dir name is fixed here
+    trap "rm -rf '$tmp'" RETURN
+    echo "==> start daemon on an ephemeral port"
+    target/release/hifi-serve --addr 127.0.0.1:0 --workers 2 --capacity 16 \
+        --store "$tmp/store" > "$tmp/serve.out" 2> "$tmp/serve.err" &
+    local pid=$!
+    local addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's#^hifi-serve listening on http://##p' "$tmp/serve.out")"
+        [[ -n "$addr" ]] && break
+        sleep 0.1
+    done
+    if [[ -z "$addr" ]]; then
+        echo "serve-smoke: daemon never reported its address" >&2
+        kill "$pid" 2>/dev/null || true
+        cat "$tmp/serve.err" >&2 || true
+        exit 1
+    fi
+    echo "==> batch 1: 40 jobs over 8 distinct specs @ $addr"
+    target/release/load_test --connect "$addr" --jobs 40 --distinct 8 --clients 4
+    echo "==> batch 2: resubmit completed specs (must dedup via store hits)"
+    target/release/load_test --connect "$addr" --jobs 16 --distinct 8 --clients 4
+    echo "==> SIGTERM: daemon must drain and exit 0"
+    kill -TERM "$pid"
+    local status=0
+    wait "$pid" || status=$?
+    if [[ "$status" -ne 0 ]]; then
+        echo "serve-smoke: daemon exited $status on SIGTERM" >&2
+        cat "$tmp/serve.err" >&2 || true
+        exit 1
+    fi
+    grep -q "hifi-serve: stopped" "$tmp/serve.err"
+}
+
 job_bench_gate() {
     echo "=== job: bench-gate ==="
     scripts/bench_gate.sh
@@ -146,18 +189,19 @@ run_job() {
         fault-matrix) job_fault_matrix ;;
         conformance) job_conformance ;;
         scale-smoke) job_scale_smoke ;;
+        serve-smoke) job_serve_smoke ;;
         bench-gate) job_bench_gate ;;
         profile-gate) job_profile_gate ;;
         *)
             echo "unknown job: $1" >&2
-            echo "jobs: lint test regen-drift fault-matrix conformance scale-smoke bench-gate profile-gate" >&2
+            echo "jobs: lint test regen-drift fault-matrix conformance scale-smoke serve-smoke bench-gate profile-gate" >&2
             exit 2
             ;;
     esac
 }
 
 if [[ "$#" -eq 0 ]]; then
-    set -- lint test regen-drift fault-matrix conformance scale-smoke bench-gate profile-gate
+    set -- lint test regen-drift fault-matrix conformance scale-smoke serve-smoke bench-gate profile-gate
 fi
 for job in "$@"; do
     run_job "$job"

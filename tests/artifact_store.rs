@@ -88,15 +88,30 @@ fn corrupted_blobs_are_recomputed_not_fatal() {
     let pipeline = Pipeline::new(imaged_config(&root));
     let cold = pipeline.run_instrumented().expect("cold run");
 
+    // Objects live in per-nibble shard directories under objects/; corrupt
+    // every blob (32-hex file names) across all shards.
     let objects = root.join("objects");
     let mut corrupted = 0;
-    for entry in fs::read_dir(&objects).expect("objects dir") {
-        let path = entry.expect("entry").path();
-        let mut raw = fs::read(&path).expect("read blob");
-        let last = raw.len() - 1;
-        raw[last] ^= 0x5a; // flip payload bits; the header checksum catches it
-        fs::write(&path, raw).expect("rewrite blob");
-        corrupted += 1;
+    for shard in fs::read_dir(&objects).expect("objects dir") {
+        let shard = shard.expect("shard entry").path();
+        if !shard.is_dir() {
+            continue;
+        }
+        for entry in fs::read_dir(&shard).expect("shard dir") {
+            let path = entry.expect("entry").path();
+            let is_blob = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.len() == 32 && n.bytes().all(|b| b.is_ascii_hexdigit()));
+            if !is_blob {
+                continue; // per-shard manifest, lock files
+            }
+            let mut raw = fs::read(&path).expect("read blob");
+            let last = raw.len() - 1;
+            raw[last] ^= 0x5a; // flip payload bits; the header checksum catches it
+            fs::write(&path, raw).expect("rewrite blob");
+            corrupted += 1;
+        }
     }
     assert_eq!(corrupted, 5, "one blob per cached stage");
 
@@ -148,7 +163,7 @@ fn unusable_store_root_surfaces_as_store_error() {
         .expect_err("open fails");
     match &err {
         PipelineError::Store(store_err) => {
-            assert_eq!(store_err.op, "open");
+            assert_eq!(store_err.op(), "open");
             let source = err.source().expect("store errors carry a source");
             assert!(
                 source.to_string().contains("artifact store"),

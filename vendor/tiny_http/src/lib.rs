@@ -1,0 +1,544 @@
+//! Offline stand-in for the `tiny_http` crate: a minimal synchronous
+//! HTTP/1.1 server over `std::net`, implementing exactly the surface
+//! `hifi-serve` uses.
+//!
+//! Covered API (mirroring upstream names):
+//!
+//! - [`Server::http`] / [`Server::server_addr`] / [`Server::recv`] /
+//!   [`Server::recv_timeout`]
+//! - [`Request`]: `method()`, `url()`, `body()` (stand-in extension;
+//!   upstream reads the body through `as_reader()`), `respond()`
+//! - [`Response::from_string`] / [`Response::from_data`] with
+//!   `with_status_code` and `with_header`
+//! - [`Method`], [`StatusCode`], [`Header`]
+//!
+//! Deliberate simplifications: one request per connection (every response
+//! carries `Connection: close`), bodies are bounded by a 16 MiB cap and
+//! require `Content-Length` (no chunked transfer encoding), and requests
+//! are parsed inline on the accepting thread. The serving crate layers
+//! its own worker pool on top, so the stand-in stays single-purpose:
+//! parse one request, write one response, hang up.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Largest request body accepted, as a denial-of-service guard.
+const MAX_BODY_BYTES: u64 = 16 * 1024 * 1024;
+/// Per-connection socket read deadline while parsing one request.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+/// Accept-poll interval inside [`Server::recv_timeout`].
+const POLL_INTERVAL: Duration = Duration::from_millis(5);
+
+/// An HTTP request method.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Method {
+    Get,
+    Head,
+    Post,
+    Put,
+    Delete,
+    Options,
+    Patch,
+    /// Any method this stand-in does not name.
+    NonStandard(String),
+}
+
+impl Method {
+    fn parse(s: &str) -> Self {
+        match s {
+            "GET" => Self::Get,
+            "HEAD" => Self::Head,
+            "POST" => Self::Post,
+            "PUT" => Self::Put,
+            "DELETE" => Self::Delete,
+            "OPTIONS" => Self::Options,
+            "PATCH" => Self::Patch,
+            other => Self::NonStandard(other.to_string()),
+        }
+    }
+
+    /// The method's wire form.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Self::Get => "GET",
+            Self::Head => "HEAD",
+            Self::Post => "POST",
+            Self::Put => "PUT",
+            Self::Delete => "DELETE",
+            Self::Options => "OPTIONS",
+            Self::Patch => "PATCH",
+            Self::NonStandard(s) => s,
+        }
+    }
+}
+
+impl core::fmt::Display for Method {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An HTTP status code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatusCode(pub u16);
+
+impl From<u16> for StatusCode {
+    fn from(code: u16) -> Self {
+        Self(code)
+    }
+}
+
+impl StatusCode {
+    /// The canonical reason phrase (a representative subset).
+    pub fn default_reason_phrase(&self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            201 => "Created",
+            202 => "Accepted",
+            204 => "No Content",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+}
+
+/// One HTTP header (field name + value).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// Field name, e.g. `Content-Type`.
+    pub field: String,
+    /// Field value, e.g. `application/json`.
+    pub value: String,
+}
+
+impl Header {
+    /// Builds a header from raw field/value bytes; rejects non-UTF-8 and
+    /// embedded CR/LF (header-splitting guard).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(())` exactly as upstream does on invalid input.
+    pub fn from_bytes(field: impl AsRef<[u8]>, value: impl AsRef<[u8]>) -> Result<Self, ()> {
+        let field = core::str::from_utf8(field.as_ref()).map_err(|_| ())?;
+        let value = core::str::from_utf8(value.as_ref()).map_err(|_| ())?;
+        if field.is_empty() || field.contains(['\r', '\n', ':']) || value.contains(['\r', '\n']) {
+            return Err(());
+        }
+        Ok(Self {
+            field: field.to_string(),
+            value: value.to_string(),
+        })
+    }
+}
+
+/// An HTTP response: status, headers, body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    status: StatusCode,
+    headers: Vec<Header>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// A 200 response with a UTF-8 text body.
+    pub fn from_string(body: impl Into<String>) -> Self {
+        Self::from_data(body.into().into_bytes())
+    }
+
+    /// A 200 response with a raw byte body.
+    pub fn from_data(body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status: StatusCode(200),
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Sets the status code (builder style).
+    pub fn with_status_code(mut self, code: impl Into<StatusCode>) -> Self {
+        self.status = code.into();
+        self
+    }
+
+    /// Appends a header (builder style).
+    pub fn with_header(mut self, header: Header) -> Self {
+        self.headers.push(header);
+        self
+    }
+
+    /// The response's status code.
+    pub fn status_code(&self) -> StatusCode {
+        self.status
+    }
+
+    fn write_to(&self, stream: &mut TcpStream, include_body: bool) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\n",
+            self.status.0,
+            self.status.default_reason_phrase()
+        );
+        for h in &self.headers {
+            head.push_str(&format!("{}: {}\r\n", h.field, h.value));
+        }
+        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        head.push_str("Connection: close\r\n\r\n");
+        stream.write_all(head.as_bytes())?;
+        if include_body {
+            stream.write_all(&self.body)?;
+        }
+        stream.flush()
+    }
+}
+
+/// One parsed request, holding its connection until [`Request::respond`].
+#[derive(Debug)]
+pub struct Request {
+    method: Method,
+    url: String,
+    headers: Vec<Header>,
+    body: Vec<u8>,
+    remote_addr: Option<SocketAddr>,
+    stream: TcpStream,
+}
+
+impl Request {
+    /// The request method.
+    pub fn method(&self) -> &Method {
+        &self.method
+    }
+
+    /// The request target (path + query), e.g. `/jobs/3`.
+    pub fn url(&self) -> &str {
+        &self.url
+    }
+
+    /// The request headers in arrival order.
+    pub fn headers(&self) -> &[Header] {
+        &self.headers
+    }
+
+    /// The request body (stand-in extension: upstream exposes a reader;
+    /// here the body is already read in full during parsing).
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    /// The peer address, if the socket still knows it.
+    pub fn remote_addr(&self) -> Option<&SocketAddr> {
+        self.remote_addr.as_ref()
+    }
+
+    /// Writes `response` and closes the connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket write error, if any (the connection is torn
+    /// down either way).
+    pub fn respond(mut self, response: Response) -> std::io::Result<()> {
+        let include_body = self.method != Method::Head;
+        response.write_to(&mut self.stream, include_body)
+    }
+}
+
+/// A listening HTTP server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds a plain-HTTP server to `addr` (e.g. `"127.0.0.1:0"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error boxed, as upstream does.
+    pub fn http(addr: impl ToSocketAddrs) -> Result<Self, Box<dyn std::error::Error + Send + Sync>> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Self { listener, addr })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn server_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until one request arrives and parses it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept errors; a connection that sends an unparseable
+    /// request is answered 400 internally and the wait continues.
+    pub fn recv(&self) -> std::io::Result<Request> {
+        loop {
+            self.listener.set_nonblocking(false)?;
+            let (stream, peer) = self.listener.accept()?;
+            if let Some(req) = self.handle_connection(stream, peer) {
+                return Ok(req);
+            }
+        }
+    }
+
+    /// Waits up to `timeout` for a request; `Ok(None)` when the deadline
+    /// passes with nothing accepted — the shutdown-flag polling loop the
+    /// serving daemon runs on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept errors other than the non-blocking would-block.
+    pub fn recv_timeout(&self, timeout: Duration) -> std::io::Result<Option<Request>> {
+        let deadline = Instant::now() + timeout;
+        self.listener.set_nonblocking(true)?;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    if let Some(req) = self.handle_connection(stream, peer) {
+                        return Ok(Some(req));
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Ok(None);
+                    }
+                    std::thread::sleep(POLL_INTERVAL.min(
+                        deadline.saturating_duration_since(Instant::now()),
+                    ));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Parses one request off a fresh connection. Malformed requests are
+    /// answered 400 inline and yield `None` (the accept loop continues).
+    fn handle_connection(&self, stream: TcpStream, peer: SocketAddr) -> Option<Request> {
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+        match parse_request(stream.try_clone().ok()?, stream, peer) {
+            Ok(req) => Some(req),
+            Err(ParseFailure { stream, .. }) => {
+                if let Some(mut s) = stream {
+                    let _ = Response::from_string("bad request\n")
+                        .with_status_code(400)
+                        .write_to(&mut s, true);
+                }
+                None
+            }
+        }
+    }
+}
+
+/// Why a connection failed to yield a request; carries the stream back so
+/// the server can answer 400.
+struct ParseFailure {
+    stream: Option<TcpStream>,
+}
+
+fn parse_request(
+    read_half: TcpStream,
+    write_half: TcpStream,
+    peer: SocketAddr,
+) -> Result<Request, ParseFailure> {
+    let fail = |stream| ParseFailure { stream };
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    if reader.read_line(&mut line).is_err() || line.trim_end().is_empty() {
+        return Err(fail(None)); // dead or silent connection: no 400 due
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(url), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(fail(Some(write_half)));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(fail(Some(write_half)));
+    }
+    let method = Method::parse(method);
+    let url = url.to_string();
+
+    let mut headers = Vec::new();
+    let mut by_name: HashMap<String, String> = HashMap::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).is_err() {
+            return Err(fail(Some(write_half)));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let Some((field, value)) = line.split_once(':') else {
+            return Err(fail(Some(write_half)));
+        };
+        let (field, value) = (field.trim().to_string(), value.trim().to_string());
+        by_name.insert(field.to_ascii_lowercase(), value.clone());
+        headers.push(Header { field, value });
+    }
+
+    let content_length = match by_name.get("content-length") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) if n <= MAX_BODY_BYTES => n,
+            _ => return Err(fail(Some(write_half))),
+        },
+        None => 0,
+    };
+    let mut body = vec![0u8; content_length as usize];
+    if reader.read_exact(&mut body).is_err() {
+        return Err(fail(Some(write_half)));
+    }
+
+    Ok(Request {
+        method,
+        url,
+        headers,
+        body,
+        remote_addr: Some(peer),
+        stream: write_half,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sends `raw` to the server and returns the full response bytes.
+    fn roundtrip(server: &Server, raw: &[u8]) -> Vec<u8> {
+        let addr = server.server_addr();
+        let handle = {
+            let raw = raw.to_vec();
+            std::thread::spawn(move || {
+                let mut s = TcpStream::connect(addr).expect("connect");
+                s.write_all(&raw).expect("send");
+                let mut out = Vec::new();
+                s.read_to_end(&mut out).expect("read response");
+                out
+            })
+        };
+        let req = server.recv().expect("recv");
+        let body = format!("echo {} {} [{}]", req.method(), req.url(), req.body().len());
+        req.respond(
+            Response::from_string(body)
+                .with_status_code(200)
+                .with_header(Header::from_bytes("Content-Type", "text/plain").unwrap()),
+        )
+        .expect("respond");
+        handle.join().expect("client thread")
+    }
+
+    #[test]
+    fn parses_request_line_headers_and_body() {
+        let server = Server::http("127.0.0.1:0").expect("bind");
+        let raw = b"POST /jobs?x=1 HTTP/1.1\r\nHost: t\r\nContent-Length: 4\r\n\r\nbody";
+        let resp = String::from_utf8(roundtrip(&server, raw)).expect("utf8");
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+        assert!(resp.contains("Content-Type: text/plain"), "{resp}");
+        assert!(resp.contains("Connection: close"), "{resp}");
+        assert!(resp.ends_with("echo POST /jobs?x=1 [4]"), "{resp}");
+    }
+
+    #[test]
+    fn recv_timeout_returns_none_when_idle() {
+        let server = Server::http("127.0.0.1:0").expect("bind");
+        let got = server
+            .recv_timeout(Duration::from_millis(30))
+            .expect("recv_timeout");
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn recv_timeout_yields_a_request_when_one_arrives() {
+        let server = Server::http("127.0.0.1:0").expect("bind");
+        let addr = server.server_addr();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+                .expect("send");
+            let mut out = Vec::new();
+            s.read_to_end(&mut out).expect("read");
+            out
+        });
+        let req = server
+            .recv_timeout(Duration::from_secs(5))
+            .expect("recv_timeout")
+            .expect("request arrives");
+        assert_eq!(req.method(), &Method::Get);
+        assert_eq!(req.url(), "/healthz");
+        req.respond(Response::from_string("ok\n")).expect("respond");
+        let resp = String::from_utf8(client.join().expect("client")).expect("utf8");
+        assert!(resp.ends_with("ok\n"), "{resp}");
+    }
+
+    #[test]
+    fn malformed_requests_get_400_and_do_not_surface() {
+        let server = Server::http("127.0.0.1:0").expect("bind");
+        let addr = server.server_addr();
+        let bad = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(b"NOT-HTTP\r\n\r\n").expect("send");
+            let mut out = Vec::new();
+            s.read_to_end(&mut out).expect("read");
+            out
+        });
+        // recv skips the malformed connection and returns the next good one.
+        let good = std::thread::spawn(move || {
+            // Give the malformed connection a head start in the accept queue.
+            std::thread::sleep(Duration::from_millis(30));
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(b"GET /ok HTTP/1.1\r\nHost: t\r\n\r\n").expect("send");
+            let mut out = Vec::new();
+            s.read_to_end(&mut out).expect("read");
+            out
+        });
+        let req = server.recv().expect("recv");
+        assert_eq!(req.url(), "/ok");
+        req.respond(Response::from_string("fine")).expect("respond");
+        let bad_resp = String::from_utf8(bad.join().expect("bad client")).expect("utf8");
+        assert!(bad_resp.starts_with("HTTP/1.1 400"), "{bad_resp}");
+        assert!(good.join().expect("good client").ends_with(b"fine"));
+    }
+
+    #[test]
+    fn status_codes_and_headers_render() {
+        assert_eq!(StatusCode::from(429).default_reason_phrase(), "Too Many Requests");
+        assert!(Header::from_bytes("X-Bad\r\n", "v").is_err());
+        assert!(Header::from_bytes("Retry-After", "2").is_ok());
+        let r = Response::from_string("x").with_status_code(503);
+        assert_eq!(r.status_code(), StatusCode(503));
+    }
+
+    #[test]
+    fn oversized_content_length_is_rejected() {
+        let server = Server::http("127.0.0.1:0").expect("bind");
+        let addr = server.server_addr();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(
+                format!(
+                    "POST /jobs HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+                    MAX_BODY_BYTES + 1
+                )
+                .as_bytes(),
+            )
+            .expect("send");
+            let mut out = Vec::new();
+            s.read_to_end(&mut out).expect("read");
+            out
+        });
+        let got = server
+            .recv_timeout(Duration::from_millis(300))
+            .expect("recv_timeout");
+        assert!(got.is_none(), "oversized request must not surface");
+        let resp = String::from_utf8(client.join().expect("client")).expect("utf8");
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+    }
+}
