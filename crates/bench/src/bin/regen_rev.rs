@@ -1,0 +1,45 @@
+//! Regenerates the pinned rev-campaign summary.
+//!
+//! A tiny fixed campaign (seed 42, 2 runs, imaging route on) whose
+//! aggregate report is deterministic and thread-count independent, so
+//! `scripts/check.sh` can diff the stdout against `regen_outputs/rev.txt`
+//! at 1 thread and at `available_parallelism`.
+
+use hifi_rev::{run_rev_campaign, RevCampaignConfig};
+
+fn main() {
+    let cfg = RevCampaignConfig {
+        seed: 42,
+        runs: 2,
+        with_imaging: true,
+    };
+    let report = run_rev_campaign(&cfg);
+    println!("# Rev campaign (seed 42, 2 runs, two-route)");
+    println!("{}", report.summary_line());
+    println!();
+    println!("run  seed                device               fields  commands");
+    for o in &report.outcomes {
+        println!(
+            "{:>3}  {:#018x}  {:<19}  {:>2}/{:<2}   {:>8}",
+            o.run_index,
+            o.seed,
+            o.inference.topology.kind.name(),
+            o.comparison.fields.iter().filter(|f| f.agrees).count(),
+            o.comparison.fields.len(),
+            o.inference.commands_issued,
+        );
+    }
+    println!();
+    println!("counters:");
+    for c in &report.counters {
+        println!("  {:<24} {:>10}", c.name, c.total);
+    }
+    println!();
+    println!("probe latency (ns):");
+    for h in &report.histograms {
+        println!(
+            "  {:<24} n={} min={} p50={} p90={} max={}",
+            h.name, h.count, h.min, h.p50, h.p90, h.max
+        );
+    }
+}

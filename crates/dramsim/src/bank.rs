@@ -1,5 +1,6 @@
 //! Bank state with a topology-aware behavioural bitline model.
 
+use crate::profile::{CellPolarity, DeviceProfile};
 use hifi_circuit::topology::SaTopologyKind;
 use hifi_units::Nanoseconds;
 use std::collections::HashSet;
@@ -54,7 +55,9 @@ pub enum BitlineState {
     OffsetBiased,
 }
 
-/// One DRAM bank: cell array + row buffer + bitline model.
+/// One DRAM bank: cell array + row buffer + bitline model, plus the
+/// profile-driven charge dynamics (retention decay, polarity, activation
+/// disturbance) command-issuing RE observes.
 #[derive(Debug, Clone)]
 pub struct Bank {
     rows: usize,
@@ -66,15 +69,39 @@ pub struct Bank {
     weak_rows: HashSet<usize>,
     state: BankState,
     bitlines: BitlineState,
+    /// This bank's index in the device (seeds per-row draws).
+    bank_index: usize,
+    /// Device-internal structure (flat = historical behaviour).
+    profile: DeviceProfile,
+    /// When each row's charge was last restored (write-back or refresh).
+    last_restore: Vec<Nanoseconds>,
+    /// Activations per *physical* row since the last refresh (hammer
+    /// accounting; only maintained when the profile models disturbance).
+    act_counts: Vec<u32>,
 }
 
 impl Bank {
-    /// Creates a zero-initialised bank.
+    /// Creates a zero-initialised bank with the inert flat profile.
     ///
     /// # Panics
     ///
     /// Panics if `rows` or `cols` is zero.
     pub fn new(rows: usize, cols: usize, topology: SaTopologyKind) -> Self {
+        Self::with_profile(rows, cols, topology, 0, DeviceProfile::flat(0))
+    }
+
+    /// Creates a zero-initialised bank carrying a device profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn with_profile(
+        rows: usize,
+        cols: usize,
+        topology: SaTopologyKind,
+        bank_index: usize,
+        profile: DeviceProfile,
+    ) -> Self {
         assert!(rows > 0 && cols > 0, "bank dimensions must be non-zero");
         Self {
             rows,
@@ -84,6 +111,10 @@ impl Bank {
             weak_rows: HashSet::new(),
             state: BankState::Idle,
             bitlines: BitlineState::Precharged,
+            bank_index,
+            profile,
+            last_restore: vec![Nanoseconds(0.0); rows],
+            act_counts: vec![0; rows],
         }
     }
 
@@ -117,6 +148,12 @@ impl Bank {
         self.weak_rows.contains(&row)
     }
 
+    /// The cell polarity of a row (profile-driven; flat profiles are all
+    /// true-cell, matching the historical zero-discharge model).
+    pub fn polarity(&self, row: usize) -> CellPolarity {
+        self.profile.polarity(row)
+    }
+
     /// Raw cell access for experiment setup/verification (bypasses timing).
     ///
     /// # Panics
@@ -134,6 +171,18 @@ impl Bank {
     pub fn set_cell(&mut self, row: usize, col: usize, data: u8) {
         self.cells[row][col] = data;
         self.weak_rows.remove(&row);
+    }
+
+    /// Timed cell write through the open row buffer: the written cell's
+    /// charge is fully driven, which restarts the row's retention clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn write_cell(&mut self, row: usize, col: usize, data: u8, now: Nanoseconds) {
+        self.cells[row][col] = data;
+        self.weak_rows.remove(&row);
+        self.last_restore[row] = now;
     }
 
     /// Applies an activation's *sensing outcome* at latch-complete time.
@@ -163,23 +212,85 @@ impl Bank {
             }
             (BitlineState::ResidualCharge { .. }, SaTopologyKind::OffsetCancellation) => {
                 // Residue destroyed by the OC phase: normal self-sensing.
-                self.sense_own_data(row);
+                self.sense_own_data(row, opened_at);
             }
-            _ => self.sense_own_data(row),
+            _ => self.sense_own_data(row, opened_at),
         }
+        self.last_restore[row] = opened_at;
+        self.record_activation(row);
         self.bitlines = BitlineState::Latched { row };
         self.state = BankState::Active { row, opened_at };
     }
 
-    fn sense_own_data(&mut self, row: usize) {
-        if self.weak_rows.contains(&row) {
+    fn sense_own_data(&mut self, row: usize, now: Nanoseconds) {
+        // Charge leakage first: a row sensed past its retention window has
+        // already lost its signal, and the latch resolves every bit to the
+        // discharged side of the row's cell polarity.
+        let decayed = self
+            .profile
+            .retention_ns(self.bank_index, row)
+            .is_some_and(|ret| (now - self.last_restore[row]).value() > ret);
+        if decayed {
+            let byte = self.profile.polarity(row).discharged_byte();
+            self.cells[row].fill(byte);
+            self.weak_rows.remove(&row);
+        } else if self.weak_rows.contains(&row) {
             // Degraded charge: the latch resolves to the offset-favoured
-            // value; model as zeroed data, then restored as such.
-            for c in &mut self.cells[row] {
-                *c = 0;
-            }
+            // (discharged) value for the row's polarity and restores it.
+            let byte = self.profile.polarity(row).discharged_byte();
+            self.cells[row].fill(byte);
             self.weak_rows.remove(&row);
         }
+    }
+
+    /// Hammer accounting: counts the activation against the row's
+    /// *physical* position and, past the profile's threshold, flips the
+    /// vulnerable bits of the physically adjacent rows toward their
+    /// discharged value (idempotent, so repeated over-threshold
+    /// activations leave the same deterministic error pattern).
+    fn record_activation(&mut self, row: usize) {
+        let Some(disturbance) = self.profile.disturbance.clone() else {
+            return;
+        };
+        let phys = self.profile.physical_row(row);
+        if phys >= self.act_counts.len() {
+            return;
+        }
+        self.act_counts[phys] = self.act_counts[phys].saturating_add(1);
+        if self.act_counts[phys] < disturbance.hammer_threshold {
+            return;
+        }
+        for neighbour in [phys.wrapping_sub(1), phys + 1] {
+            if neighbour >= self.rows {
+                continue;
+            }
+            let victim = self.profile.logical_row(neighbour);
+            if victim >= self.rows {
+                continue;
+            }
+            let polarity = self.profile.polarity(victim);
+            for col in 0..self.cols {
+                let mask = self
+                    .profile
+                    .disturb_flip_mask(self.bank_index, neighbour, col);
+                match polarity {
+                    CellPolarity::True => self.cells[victim][col] &= !mask,
+                    CellPolarity::Anti => self.cells[victim][col] |= mask,
+                }
+            }
+        }
+    }
+
+    /// Refresh: every row is sensed and restored in place. Rows already
+    /// past their retention window restore the decayed value (refresh
+    /// arrived too late), weak rows resolve like any interrupted restore,
+    /// and the hammer accounting window resets.
+    pub fn refresh_all(&mut self, now: Nanoseconds) {
+        for row in 0..self.rows {
+            self.sense_own_data(row, now);
+            self.last_restore[row] = now;
+        }
+        self.act_counts.fill(0);
     }
 
     /// Marks an activation as *started* (before the latch completes). During
@@ -197,12 +308,17 @@ impl Bank {
     /// Applies a precharge issued at `now`. `restore_done` says whether the
     /// open row had completed its restore (tRAS honoured); if not, the row's
     /// charge is degraded (it was sensed but never fully written back).
-    pub fn begin_precharge(&mut self, now: Nanoseconds, restore_done: bool) {
+    /// `latch_elapsed` says whether the ACT → PRE dwell covered the SA's
+    /// latch-complete time: a precharge arriving before the latch fired
+    /// cannot leave residual charge — the bitlines never developed full-rail
+    /// data to linger, on *any* topology.
+    pub fn begin_precharge(&mut self, now: Nanoseconds, restore_done: bool, latch_elapsed: bool) {
         if let BankState::Active { row, .. } = self.state {
             if !restore_done {
                 self.weak_rows.insert(row);
             }
-            let was_latched = matches!(self.bitlines, BitlineState::Latched { .. });
+            let was_latched =
+                latch_elapsed && matches!(self.bitlines, BitlineState::Latched { .. });
             self.state = BankState::Precharging {
                 since: now,
                 closed_row: row,
@@ -305,7 +421,7 @@ mod tests {
         let mut b = bank(SaTopologyKind::Classic);
         b.begin_activation(1, Nanoseconds(0.0));
         b.complete_activation(1, Nanoseconds(0.0));
-        b.begin_precharge(Nanoseconds(40.0), true);
+        b.begin_precharge(Nanoseconds(40.0), true, true);
         b.finish_precharge(false); // interrupted before tRP
         assert_eq!(b.bitlines(), BitlineState::ResidualCharge { row: 1 });
     }
@@ -315,7 +431,7 @@ mod tests {
         let mut b = bank(SaTopologyKind::Classic);
         b.begin_activation(1, Nanoseconds(0.0));
         b.complete_activation(1, Nanoseconds(0.0));
-        b.begin_precharge(Nanoseconds(40.0), true);
+        b.begin_precharge(Nanoseconds(40.0), true, true);
         b.finish_precharge(false);
         b.begin_activation(2, Nanoseconds(50.0));
         b.complete_activation(2, Nanoseconds(50.0));
@@ -329,7 +445,7 @@ mod tests {
         let mut b = bank(SaTopologyKind::OffsetCancellation);
         b.begin_activation(1, Nanoseconds(0.0));
         b.complete_activation(1, Nanoseconds(0.0));
-        b.begin_precharge(Nanoseconds(40.0), true);
+        b.begin_precharge(Nanoseconds(40.0), true, true);
         b.finish_precharge(false);
         assert_eq!(b.bitlines(), BitlineState::ResidualCharge { row: 1 });
         b.begin_activation(2, Nanoseconds(50.0));
@@ -345,7 +461,7 @@ mod tests {
         let mut b = bank(SaTopologyKind::Classic);
         b.begin_activation(1, Nanoseconds(0.0));
         b.complete_activation(1, Nanoseconds(0.0));
-        b.begin_precharge(Nanoseconds(2.0), false); // way before tRAS
+        b.begin_precharge(Nanoseconds(2.0), false, false); // way before tRAS (and the latch)
         b.finish_precharge(true);
         assert!(b.is_weak(1));
         // Re-activating senses corrupted data.

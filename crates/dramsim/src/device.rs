@@ -2,6 +2,7 @@
 
 use crate::bank::{Bank, BankState};
 use crate::command::{Command, CommandRecord};
+use crate::profile::DeviceProfile;
 use crate::timing::TimingParams;
 use hifi_circuit::topology::SaTopologyKind;
 use hifi_units::Nanoseconds;
@@ -19,6 +20,10 @@ pub struct DeviceConfig {
     pub topology: SaTopologyKind,
     /// Timing parameters.
     pub timing: TimingParams,
+    /// Device-internal structure (address scramble, retention, polarity,
+    /// disturbance). [`DeviceProfile::flat`] reproduces the historical
+    /// profile-free behaviour exactly.
+    pub profile: DeviceProfile,
 }
 
 impl DeviceConfig {
@@ -30,6 +35,7 @@ impl DeviceConfig {
             cols: 64,
             topology,
             timing: TimingParams::ddr4(topology),
+            profile: DeviceProfile::flat(2),
         }
     }
 
@@ -41,8 +47,94 @@ impl DeviceConfig {
             cols: 64,
             topology,
             timing: TimingParams::ddr5(topology),
+            profile: DeviceProfile::flat(3),
         }
     }
+
+    /// A compact DDR4-class device carrying a seeded [`DeviceProfile`] —
+    /// the target geometry for `hifi-rev` black-box campaigns (12 address
+    /// bits keep full-die probe sweeps fast).
+    pub fn profiled(topology: SaTopologyKind, seed: u64) -> Self {
+        let banks = 4usize;
+        let rows = 64usize;
+        let cols = 16usize;
+        Self {
+            banks,
+            rows,
+            cols,
+            topology,
+            timing: TimingParams::ddr4(topology),
+            profile: DeviceProfile::generate(seed, banks.trailing_zeros(), rows.trailing_zeros()),
+        }
+    }
+
+    /// Column address bits (geometry is power-of-two).
+    pub fn col_bits(&self) -> u32 {
+        self.cols.trailing_zeros()
+    }
+
+    /// Bank address bits.
+    pub fn bank_bits(&self) -> u32 {
+        self.banks.trailing_zeros()
+    }
+
+    /// Row address bits.
+    pub fn row_bits(&self) -> u32 {
+        self.rows.trailing_zeros()
+    }
+
+    /// Total flat-address width: `[ row | bank | col ]`, low bits first.
+    pub fn address_bits(&self) -> u32 {
+        self.col_bits() + self.bank_bits() + self.row_bits()
+    }
+
+    /// The memory-controller address mapping: decodes a flat address into
+    /// `(bank, row, col)`. The bank is the address's bank field XORed with
+    /// the profile's per-output row-bit parities (bank hashing — the secret
+    /// Knock-Knock-style probing recovers); the row field additionally
+    /// passes through the device's logical row space unchanged (the
+    /// logical→physical scramble lives inside the banks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::AddressOutOfRange`] when `addr` exceeds the
+    /// device's address width.
+    pub fn decode(&self, addr: usize) -> Result<(usize, usize, usize), DramError> {
+        if addr >> self.address_bits() != 0 {
+            return Err(DramError::AddressOutOfRange(format!(
+                "flat address {addr:#x}"
+            )));
+        }
+        let col = addr & (self.cols - 1);
+        let bank_field = (addr >> self.col_bits()) & (self.banks - 1);
+        let row = (addr >> (self.col_bits() + self.bank_bits())) & (self.rows - 1);
+        let mut hash = 0usize;
+        for (i, mask) in self.profile.bank_xor.iter().enumerate() {
+            hash |= (((row as u64 & mask).count_ones() & 1) as usize) << i;
+        }
+        Ok((bank_field ^ hash, row, col))
+    }
+
+    /// Inverse of [`DeviceConfig::decode`] (the XOR hashing is involutive).
+    pub fn encode(&self, bank: usize, row: usize, col: usize) -> usize {
+        let mut hash = 0usize;
+        for (i, mask) in self.profile.bank_xor.iter().enumerate() {
+            hash |= (((row as u64 & mask).count_ones() & 1) as usize) << i;
+        }
+        let bank_field = bank ^ hash;
+        (row << (self.col_bits() + self.bank_bits())) | (bank_field << self.col_bits()) | col
+    }
+}
+
+/// The observable outcome of one flat-address access: the data plus the
+/// bus-visible service latency — the side channel address-mapping RE reads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessOutcome {
+    /// The byte read.
+    pub data: u8,
+    /// Time from request to data, including any row open/close the
+    /// controller had to perform.
+    pub latency: Nanoseconds,
 }
 
 /// Error produced by the device.
@@ -106,7 +198,15 @@ impl DramDevice {
     /// Creates a device.
     pub fn new(config: DeviceConfig) -> Self {
         let banks = (0..config.banks)
-            .map(|_| Bank::new(config.rows, config.cols, config.topology))
+            .map(|i| {
+                Bank::with_profile(
+                    config.rows,
+                    config.cols,
+                    config.topology,
+                    i,
+                    config.profile.clone(),
+                )
+            })
             .collect();
         let n = config.banks;
         Self {
@@ -178,6 +278,21 @@ impl DramDevice {
         self.issue_inner(command, false)
     }
 
+    /// Issues a command at the **current** time, enforcing JEDEC windows: a
+    /// command that would violate a constraint is rejected with
+    /// [`DramError::TimingViolation`] instead of taking effect. This is the
+    /// strict dual of [`DramDevice::issue_unchecked`]; the controller API
+    /// (`activate`/`read`/`write`/`precharge`/`refresh`) auto-waits the
+    /// windows out instead of rejecting.
+    ///
+    /// # Errors
+    ///
+    /// Address errors, [`DramError::NoOpenRow`], or
+    /// [`DramError::TimingViolation`] naming the violated constraint.
+    pub fn issue_checked(&mut self, command: Command) -> Result<Option<u8>, DramError> {
+        self.issue_inner(command, true)
+    }
+
     fn issue_inner(&mut self, command: Command, checked: bool) -> Result<Option<u8>, DramError> {
         let t = self.config.timing.clone();
         let mut in_spec = true;
@@ -243,10 +358,11 @@ impl DramDevice {
                     }
                 }
                 self.last_col = Some(self.now);
+                let now = self.now;
                 match command {
                     Command::Read { .. } => Some(self.banks[bank].cell(row, col)),
                     Command::Write { data, .. } => {
-                        self.banks[bank].set_cell(row, col, data);
+                        self.banks[bank].write_cell(row, col, data, now);
                         None
                     }
                     _ => unreachable!(),
@@ -254,31 +370,72 @@ impl DramDevice {
             }
             Command::Precharge { bank } => {
                 self.check_bank(bank)?;
-                let restore_done = match (self.banks[bank].state(), self.last_act[bank]) {
-                    (BankState::Active { .. }, Some(a)) => {
-                        let elapsed = self.now - a;
-                        if elapsed < t.t_ras {
-                            in_spec = false;
-                            if checked {
-                                return Err(DramError::TimingViolation {
-                                    constraint: "tRAS",
-                                    required: t.t_ras,
-                                    actual: elapsed,
-                                });
+                let (restore_done, latch_elapsed) =
+                    match (self.banks[bank].state(), self.last_act[bank]) {
+                        (BankState::Active { .. }, Some(a)) => {
+                            let elapsed = self.now - a;
+                            if elapsed < t.t_ras {
+                                in_spec = false;
+                                if checked {
+                                    return Err(DramError::TimingViolation {
+                                        constraint: "tRAS",
+                                        required: t.t_ras,
+                                        actual: elapsed,
+                                    });
+                                }
                             }
+                            (
+                                elapsed >= t.latch_complete() + Nanoseconds(2.0),
+                                elapsed >= t.latch_complete(),
+                            )
                         }
-                        elapsed >= t.latch_complete() + Nanoseconds(2.0)
-                    }
-                    _ => true,
-                };
+                        _ => (true, true),
+                    };
                 let now = self.now;
-                self.banks[bank].begin_precharge(now, restore_done);
+                self.banks[bank].begin_precharge(now, restore_done, latch_elapsed);
                 self.last_pre[bank] = Some(now);
                 None
             }
             Command::Refresh => {
-                // All banks must be idle; refresh restores every weak row in
-                // a real device — modelled as a no-op on healthy data.
+                // Every bank senses and restores all of its rows in place
+                // (decayed rows restore their decayed value — the refresh
+                // arrived too late) and the hammer accounting window resets.
+                // In spec only when no bank has an open row and every
+                // precharge in flight has completed tRP.
+                let now = self.now;
+                for b in 0..self.banks.len() {
+                    match self.banks[b].state() {
+                        BankState::Active { .. } => {
+                            in_spec = false;
+                            if checked {
+                                return Err(DramError::TimingViolation {
+                                    constraint: "REF-with-open-row",
+                                    required: t.t_rp,
+                                    actual: Nanoseconds(0.0),
+                                });
+                            }
+                        }
+                        BankState::Precharging { .. } => {
+                            let fully = match self.last_pre[b] {
+                                Some(p) => (now - p) >= t.t_rp,
+                                None => true,
+                            };
+                            if !fully {
+                                in_spec = false;
+                                if checked {
+                                    return Err(DramError::TimingViolation {
+                                        constraint: "tRP",
+                                        required: t.t_rp,
+                                        actual: now - self.last_pre[b].expect("pre recorded"),
+                                    });
+                                }
+                            }
+                            self.banks[b].finish_precharge(fully);
+                        }
+                        BankState::Idle => {}
+                    }
+                    self.banks[b].refresh_all(now);
+                }
                 None
             }
         };
@@ -371,6 +528,74 @@ impl DramDevice {
         }
         self.issue_inner(Command::Precharge { bank }, true)
             .map(|_| ())
+    }
+
+    /// Refreshes the whole device like a well-behaved controller: closes
+    /// any open rows (waiting out tRAS/tRP), issues REF, and waits out tRFC.
+    ///
+    /// # Errors
+    ///
+    /// Returns address errors (propagated from the implicit precharges).
+    pub fn refresh(&mut self) -> Result<(), DramError> {
+        let t = self.config.timing.clone();
+        for b in 0..self.banks.len() {
+            if matches!(self.banks[b].state(), BankState::Active { .. }) {
+                self.precharge(b)?;
+            }
+        }
+        let mut ready = self.now;
+        for p in self.last_pre.iter().flatten() {
+            let done = *p + t.t_rp;
+            if done > ready {
+                ready = done;
+            }
+        }
+        self.wait_until(ready);
+        self.issue_inner(Command::Refresh, true)?;
+        let end = self.now + t.t_rfc;
+        self.wait_until(end);
+        Ok(())
+    }
+
+    // ---- Flat-address controller front end ----
+
+    /// Services a flat-address read the way a memory controller would:
+    /// decodes through the (hidden) address mapping, opens/closes rows as
+    /// needed, and reports the bus-visible latency. Row hits cost ~tCCD,
+    /// row misses ~tRCD, row-buffer conflicts a precharge plus activation —
+    /// the timing side channel Knock-Knock-style RE keys on.
+    ///
+    /// # Errors
+    ///
+    /// Returns address errors.
+    pub fn access(&mut self, addr: usize) -> Result<AccessOutcome, DramError> {
+        let (bank, row, col) = self.config.decode(addr)?;
+        let start = self.now;
+        match self.banks[bank].state() {
+            BankState::Active { row: open, .. } if open == row => {}
+            _ => self.activate(bank, row)?,
+        }
+        let data = self.read(bank, col)?;
+        Ok(AccessOutcome {
+            data,
+            latency: self.now - start,
+        })
+    }
+
+    /// Flat-address write; returns the bus-visible latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns address errors.
+    pub fn write_at(&mut self, addr: usize, data: u8) -> Result<Nanoseconds, DramError> {
+        let (bank, row, col) = self.config.decode(addr)?;
+        let start = self.now;
+        match self.banks[bank].state() {
+            BankState::Active { row: open, .. } if open == row => {}
+            _ => self.activate(bank, row)?,
+        }
+        self.write(bank, col, data)?;
+        Ok(self.now - start)
     }
 }
 

@@ -31,10 +31,12 @@ mod bank;
 mod command;
 mod device;
 pub mod outofspec;
+pub mod profile;
 mod timing;
 pub mod trace;
 
 pub use bank::{Bank, BankState, BitlineState};
 pub use command::{Command, CommandRecord};
-pub use device::{DeviceConfig, DramDevice, DramError};
+pub use device::{AccessOutcome, DeviceConfig, DramDevice, DramError};
+pub use profile::{CellPolarity, DeviceProfile, DisturbanceModel, RetentionModel};
 pub use timing::TimingParams;

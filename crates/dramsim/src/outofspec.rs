@@ -69,6 +69,51 @@ pub fn attempt_row_copy(
     })
 }
 
+/// [`attempt_row_copy`] with an explicit ACT→PRE dwell: open `src` for
+/// only `act_to_pre` before the (interrupted) precharge. Residual charge
+/// is a property of a *latched* sense amplifier — a precharge issued
+/// before `latch_complete()` finds nothing on the bitlines to retain, so
+/// sub-latch dwells must never copy on any topology. The copy side
+/// channel only separates classic from OCSA once the latch completed.
+///
+/// # Errors
+///
+/// Propagates address errors from the device.
+///
+/// # Panics
+///
+/// Panics if `src == dst`.
+pub fn attempt_row_copy_with_dwell(
+    device: &mut DramDevice,
+    bank: usize,
+    src: usize,
+    dst: usize,
+    act_to_pre: Nanoseconds,
+    gap: Nanoseconds,
+) -> Result<RowCopyOutcome, DramError> {
+    assert_ne!(src, dst, "copy requires distinct rows");
+    let cols = device.config().cols;
+    for c in 0..cols {
+        device.bank_mut(bank).set_cell(src, c, (0xC0 + c) as u8);
+        device.bank_mut(bank).set_cell(dst, c, 0x00);
+    }
+    device.issue_unchecked(Command::Activate { bank, row: src })?;
+    device.step(act_to_pre);
+    device.issue_unchecked(Command::Precharge { bank })?;
+    device.step(gap);
+    device.issue_unchecked(Command::Activate { bank, row: dst })?;
+    device.step(device.config().timing.latch_complete() + Nanoseconds(2.0));
+    device.issue_unchecked(Command::Precharge { bank })?;
+    device.step(device.config().timing.t_rp);
+
+    let copied = (0..cols).all(|c| device.bank(bank).cell(dst, c) == (0xC0 + c) as u8);
+    Ok(RowCopyOutcome {
+        copied,
+        gap,
+        topology: device.config().topology,
+    })
+}
+
 /// Sweeps the PRE→ACT gap and reports, per gap, whether the row copy
 /// succeeded. On classic chips short gaps succeed (residual charge wins);
 /// past tRP the bitlines equalise and the copy fails. On OCSA chips it
@@ -256,6 +301,49 @@ mod tests {
         let mut ocsa = DramDevice::new(DeviceConfig::ddr4(SaTopologyKind::OffsetCancellation));
         let out = attempt_majority(&mut ocsa, 0, [1, 2, 3], patterns).unwrap();
         assert!(out.correct_majority, "no split bits, nothing to corrupt");
+    }
+
+    #[test]
+    fn pre_latch_precharge_never_leaves_residual_charge() {
+        // Audit pin: residual charge is restored row data held by a
+        // *latched* SA. A precharge issued before latch_complete() has
+        // nothing to retain, so the short-gap re-ACT must not copy on any
+        // topology — classic and OCSA behave identically here. The only
+        // sanctioned divergence between them is the documented
+        // offset-cancellation phase after a completed latch (pinned by
+        // the surrounding row-copy tests).
+        for topology in [
+            SaTopologyKind::Classic,
+            SaTopologyKind::ClassicWithIsolation,
+            SaTopologyKind::OffsetCancellation,
+        ] {
+            let mut dev = DramDevice::new(DeviceConfig::ddr4(topology));
+            let dwell = dev.config().timing.latch_complete() - Nanoseconds(1.0);
+            let out =
+                attempt_row_copy_with_dwell(&mut dev, 0, 1, 2, dwell, Nanoseconds(2.0)).unwrap();
+            assert!(
+                !out.copied,
+                "{topology:?}: sub-latch dwell must leave no residual charge"
+            );
+        }
+    }
+
+    #[test]
+    fn copy_side_channel_opens_exactly_at_latch_completion() {
+        // Boundary pin for the latch gate: the same interrupted-precharge
+        // sequence flips from no-copy to copy (classic only) the moment
+        // the dwell reaches latch_complete().
+        let mut dev = DramDevice::new(DeviceConfig::ddr4(SaTopologyKind::Classic));
+        let at_latch = dev.config().timing.latch_complete();
+        let out =
+            attempt_row_copy_with_dwell(&mut dev, 0, 1, 2, at_latch, Nanoseconds(2.0)).unwrap();
+        assert!(out.copied, "classic copies once the latch completed");
+
+        let mut dev = DramDevice::new(DeviceConfig::ddr4(SaTopologyKind::OffsetCancellation));
+        let at_latch = dev.config().timing.latch_complete();
+        let out =
+            attempt_row_copy_with_dwell(&mut dev, 0, 1, 2, at_latch, Nanoseconds(2.0)).unwrap();
+        assert!(!out.copied, "ocsa never exposes residual charge");
     }
 
     #[test]

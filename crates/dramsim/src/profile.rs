@@ -1,0 +1,218 @@
+//! Seeded device-internal structure: the ground truth command-issuing
+//! reverse engineering recovers.
+//!
+//! A [`DeviceProfile`] describes everything about a simulated chip that is
+//! *not* visible on the command bus: how controller addresses scramble into
+//! banks and physical rows, how long each row retains charge without a
+//! refresh, which rows use true vs. anti cells, and how vulnerable
+//! neighbouring rows are to activation disturbance. `hifi-rev` campaigns
+//! drive the device purely through commands and infer these fields from
+//! timing and error side effects; the cross-validation oracle then diffs
+//! the inference against this profile (and against the imaging route).
+//!
+//! The default [`DeviceProfile::flat`] profile is inert — identity address
+//! map, no retention limit, no disturbance — so pre-existing users of the
+//! simulator observe exactly the historical behaviour.
+
+/// True vs. anti cell: whether a stored logical `1` corresponds to a
+/// charged or a discharged capacitor. In open-bitline arrays the polarity
+/// alternates with the physical row's bitline attachment (BL vs. BLB), so
+/// a decayed true cell reads `0` while a decayed anti cell reads `1` — the
+/// data-pattern signature X-ray-style RE keys on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum CellPolarity {
+    /// Charged capacitor encodes logical `1`; decay pulls bits to `0`.
+    True,
+    /// Charged capacitor encodes logical `0`; decay pulls bits to `1`.
+    Anti,
+}
+
+impl CellPolarity {
+    /// The byte a fully-decayed (discharged) cell row reads as.
+    pub const fn discharged_byte(self) -> u8 {
+        match self {
+            CellPolarity::True => 0x00,
+            CellPolarity::Anti => 0xFF,
+        }
+    }
+
+    /// Short name for reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CellPolarity::True => "true",
+            CellPolarity::Anti => "anti",
+        }
+    }
+}
+
+/// Per-row retention window: each row's charge survives a deterministic,
+/// seeded time drawn log-uniformly from `[min_ns, max_ns]`; beyond it the
+/// next sensing resolves the whole row to its discharged value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetentionModel {
+    /// Shortest retention any row may draw (ns).
+    pub min_ns: f64,
+    /// Longest retention any row may draw (ns).
+    pub max_ns: f64,
+}
+
+impl RetentionModel {
+    /// DDR4-class miniature: retention between 1.2 ms and 9.6 ms so a
+    /// four-step refresh-withholding ladder brackets every row.
+    pub fn default_window() -> Self {
+        Self {
+            min_ns: 1.2e6,
+            max_ns: 9.6e6,
+        }
+    }
+}
+
+/// Activation-disturbance (RowHammer/RowPress) vulnerability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisturbanceModel {
+    /// Activations of one row within a refresh window after which the
+    /// physically adjacent rows start losing their weakest bits.
+    pub hammer_threshold: u32,
+}
+
+/// Everything about a device instance the command bus does not advertise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Structure seed; all per-row draws are pure hashes of it.
+    pub seed: u64,
+    /// Per bank-address output bit: the mask of *row-field* bits XORed
+    /// into that output (bank hashing). Each row bit feeds at most one
+    /// output, which keeps the Knock-Knock recovery well-posed.
+    pub bank_xor: Vec<u64>,
+    /// Logical-to-physical row scramble: `physical = logical ^ row_xor`.
+    pub row_xor: u64,
+    /// Charge retention; `None` retains forever (the historical model).
+    pub retention: Option<RetentionModel>,
+    /// Activation disturbance; `None` disables it.
+    pub disturbance: Option<DisturbanceModel>,
+}
+
+impl DeviceProfile {
+    /// The inert profile: identity mapping, infinite retention, no
+    /// disturbance. Devices built with it behave exactly like the
+    /// pre-profile simulator.
+    pub fn flat(bank_bits: u32) -> Self {
+        Self {
+            seed: 0,
+            bank_xor: vec![0; bank_bits as usize],
+            row_xor: 0,
+            retention: None,
+            disturbance: None,
+        }
+    }
+
+    /// Draws a full profile from `seed` for a device with `bank_bits` bank
+    /// address bits and `row_bits` row address bits.
+    ///
+    /// Every draw is a pure hash of the seed, so equal seeds give equal
+    /// profiles on any host. The bank masks respect the one-output-per-row-
+    /// bit constraint; the hammer threshold comes from a small palette so
+    /// a coarse doubling ladder always brackets it.
+    pub fn generate(seed: u64, bank_bits: u32, row_bits: u32) -> Self {
+        let mut bank_xor = vec![0u64; bank_bits as usize];
+        // Each row bit joins one bank output's mask with probability 1/2,
+        // choosing the output by hash — at most one output per row bit.
+        for j in 0..row_bits {
+            let h = mix(seed ^ 0xA11A_5EED ^ u64::from(j).wrapping_mul(0x9E37));
+            if h & 1 == 1 && bank_bits > 0 {
+                let i = ((h >> 1) % u64::from(bank_bits)) as usize;
+                bank_xor[i] |= 1 << j;
+            }
+        }
+        let row_xor = mix(seed ^ 0x5C4A_3B2E) & ((1 << row_bits) - 1);
+        let threshold_palette = [24u32, 48];
+        let threshold =
+            threshold_palette[(mix(seed ^ 0xD157_0000) % threshold_palette.len() as u64) as usize];
+        Self {
+            seed,
+            bank_xor,
+            row_xor,
+            retention: Some(RetentionModel::default_window()),
+            disturbance: Some(DisturbanceModel {
+                hammer_threshold: threshold,
+            }),
+        }
+    }
+
+    /// Whether this is the inert flat profile.
+    pub fn is_flat(&self) -> bool {
+        self.row_xor == 0
+            && self.bank_xor.iter().all(|m| *m == 0)
+            && self.retention.is_none()
+            && self.disturbance.is_none()
+    }
+
+    /// The physical row a logical row index lands on.
+    pub fn physical_row(&self, logical_row: usize) -> usize {
+        logical_row ^ self.row_xor as usize
+    }
+
+    /// The logical row occupying a physical position (XOR is involutive).
+    pub fn logical_row(&self, physical_row: usize) -> usize {
+        physical_row ^ self.row_xor as usize
+    }
+
+    /// Cell polarity of a logical row: open-bitline attachment alternates
+    /// with *physical* row parity. The inert flat profile is all-true-cell
+    /// (the historical model discharges every degraded row to zero).
+    pub fn polarity(&self, logical_row: usize) -> CellPolarity {
+        if self.is_flat() {
+            return CellPolarity::True;
+        }
+        if self.physical_row(logical_row).is_multiple_of(2) {
+            CellPolarity::True
+        } else {
+            CellPolarity::Anti
+        }
+    }
+
+    /// The seeded retention time of a row (ns); `None` without a model.
+    /// Log-uniform in the model's window, hashed per physical cell row.
+    pub fn retention_ns(&self, bank: usize, logical_row: usize) -> Option<f64> {
+        let model = self.retention.as_ref()?;
+        let phys = self.physical_row(logical_row);
+        let u = unit(mix(self.seed
+            ^ 0x8E7E_0000
+            ^ ((bank as u64) << 32)
+            ^ phys as u64));
+        Some(model.min_ns * (model.max_ns / model.min_ns).powf(u))
+    }
+
+    /// Bit mask of a victim row's hammer-vulnerable bits in one column:
+    /// ~1/8 of bits, hashed per (bank, physical row, column, bit).
+    pub fn disturb_flip_mask(&self, bank: usize, physical_row: usize, col: usize) -> u8 {
+        let mut mask = 0u8;
+        for bit in 0..8u64 {
+            let h = mix(self.seed
+                ^ 0xF11B_0000
+                ^ (bank as u64) << 48
+                ^ (physical_row as u64) << 24
+                ^ (col as u64) << 8
+                ^ bit);
+            if h & 7 == 0 {
+                mask |= 1 << bit;
+            }
+        }
+        mask
+    }
+}
+
+/// SplitMix64 finaliser: the profile's only source of randomness.
+pub(crate) fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Maps a hash to `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}

@@ -20,6 +20,8 @@ pub struct TimingParams {
     pub t_ccd: Nanoseconds,
     /// Average refresh interval.
     pub t_refi: Nanoseconds,
+    /// Refresh cycle time (REF → next command).
+    pub t_rfc: Nanoseconds,
     /// Internal: offset-cancellation phase duration after ACT
     /// (zero on classic-SA devices; Fig. 9b event ①).
     pub t_offset_cancel: Nanoseconds,
@@ -45,6 +47,7 @@ impl TimingParams {
             t_rc: Nanoseconds(45.75),
             t_ccd: Nanoseconds(5.0),
             t_refi: Nanoseconds(7_800.0),
+            t_rfc: Nanoseconds(350.0),
             t_offset_cancel: t_oc,
             t_charge_share: Nanoseconds(4.0),
             t_sense: Nanoseconds(6.0),
@@ -60,6 +63,7 @@ impl TimingParams {
         t.t_rc = Nanoseconds(46.0);
         t.t_ccd = Nanoseconds(3.3);
         t.t_refi = Nanoseconds(3_900.0);
+        t.t_rfc = Nanoseconds(295.0);
         t
     }
 

@@ -1,0 +1,206 @@
+//! The black-box test rig: the only window campaigns get onto a device.
+//!
+//! A [`BlackBox`] wraps a [`DramDevice`] and exposes exactly what a
+//! command-issuing RE rig observes: datasheet geometry and JEDEC timings,
+//! flat-address reads/writes with their bus-visible latency, refresh, the
+//! wall clock, and a canned out-of-spec row-copy sequence. It does **not**
+//! expose the device's [`hifi_dramsim::DeviceProfile`], bank internals, or
+//! raw cell accessors — campaigns must infer structure from behaviour, the
+//! same constraint DRAMScope/Knock-Knock-style work operates under. The
+//! rig itself resolves flat addresses through the platform's (hidden)
+//! controller mapping, exactly like software probing on a real machine.
+
+use hifi_dramsim::{AccessOutcome, Command, DramDevice, TimingParams};
+use hifi_units::Nanoseconds;
+
+/// Datasheet-level facts about the device under test: public knowledge a
+/// black-box campaign is allowed to start from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Number of banks.
+    pub banks: usize,
+    /// Rows per bank.
+    pub rows: usize,
+    /// Columns per row.
+    pub cols: usize,
+    /// Flat address width in bits.
+    pub address_bits: u32,
+    /// Column-field width in bits (`cols` is a power of two).
+    pub col_bits: u32,
+    /// Bank-field width in bits.
+    pub bank_bits: u32,
+    /// Row-field width in bits.
+    pub row_bits: u32,
+}
+
+impl Geometry {
+    /// Builds the flat address for `(bank_field, row_field, col)`. This is
+    /// pure bit packing of the *bus fields* — it does not (and cannot)
+    /// apply the hidden controller hashing.
+    pub fn pack(&self, bank_field: usize, row_field: usize, col: usize) -> usize {
+        (row_field << (self.col_bits + self.bank_bits)) | (bank_field << self.col_bits) | col
+    }
+}
+
+/// The campaigns' only handle on a device under test.
+#[derive(Debug)]
+pub struct BlackBox {
+    dev: DramDevice,
+}
+
+impl BlackBox {
+    /// Seals a device into the rig.
+    pub fn new(dev: DramDevice) -> Self {
+        Self { dev }
+    }
+
+    /// Datasheet geometry.
+    pub fn geometry(&self) -> Geometry {
+        let c = self.dev.config();
+        Geometry {
+            banks: c.banks,
+            rows: c.rows,
+            cols: c.cols,
+            address_bits: c.address_bits(),
+            col_bits: c.col_bits(),
+            bank_bits: c.bank_bits(),
+            row_bits: c.row_bits(),
+        }
+    }
+
+    /// Datasheet timing parameters (public JEDEC knowledge).
+    pub fn timing(&self) -> TimingParams {
+        self.dev.config().timing.clone()
+    }
+
+    /// Current device wall clock.
+    pub fn now(&self) -> Nanoseconds {
+        self.dev.now()
+    }
+
+    /// Commands issued so far (probe-budget accounting).
+    pub fn commands_issued(&self) -> u64 {
+        self.dev.trace().len() as u64
+    }
+
+    /// Reads one byte at a flat address, reporting the service latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address exceeds the device's address width (campaign
+    /// bug, not an observable device behaviour).
+    pub fn access(&mut self, addr: usize) -> AccessOutcome {
+        self.dev
+            .access(addr)
+            .expect("campaign uses in-range addresses")
+    }
+
+    /// Writes one byte at a flat address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range.
+    pub fn write_at(&mut self, addr: usize, data: u8) {
+        self.dev
+            .write_at(addr, data)
+            .expect("campaign uses in-range addresses");
+    }
+
+    /// Refreshes the device (closes open rows, restores every cell row,
+    /// resets the disturbance accounting window) and waits out tRFC.
+    pub fn refresh(&mut self) {
+        self.dev.refresh().expect("refresh takes no addresses");
+    }
+
+    /// Lets the device sit idle for `ns` nanoseconds (refresh withholding).
+    pub fn wait_ns(&mut self, ns: f64) {
+        self.dev.step(Nanoseconds(ns));
+    }
+
+    /// Replays the ComputeDRAM-style out-of-spec row-copy sequence between
+    /// two flat addresses and returns the destination row's bytes
+    /// afterwards: `ACT src → tRAS → PRE → (gap) → ACT dst → read row`.
+    /// With `gap_ns < tRP` the precharge is truncated; whether the
+    /// destination then carries the source's data is the topology side
+    /// channel (classic SAs copy, OCSAs destroy the residue).
+    ///
+    /// Returns `None` when the two addresses do not resolve to the same
+    /// bank — the rig reports the sequence as inapplicable, leaking
+    /// nothing beyond what the latency probes already reveal. Campaigns
+    /// find same-bank pairs empirically first.
+    pub fn copy_probe(&mut self, src: usize, dst: usize, gap_ns: f64) -> Option<Vec<u8>> {
+        let cfg = self.dev.config().clone();
+        let (src_bank, src_row, _) = cfg.decode(src).expect("in-range src");
+        let (dst_bank, dst_row, _) = cfg.decode(dst).expect("in-range dst");
+        if src_bank != dst_bank || src_row == dst_row {
+            return None;
+        }
+        let bank = src_bank;
+        let t = cfg.timing.clone();
+
+        // Quiesce: a refresh leaves every bank idle and fully precharged.
+        self.refresh();
+
+        let issue =
+            |dev: &mut DramDevice, c: Command| dev.issue_unchecked(c).expect("in-range command");
+        issue(&mut self.dev, Command::Activate { bank, row: src_row });
+        self.dev.step(t.t_ras);
+        issue(&mut self.dev, Command::Precharge { bank });
+        self.dev.step(Nanoseconds(gap_ns));
+        issue(&mut self.dev, Command::Activate { bank, row: dst_row });
+        self.dev.step(t.t_rcd);
+        let mut bytes = Vec::with_capacity(cfg.cols);
+        for col in 0..cfg.cols {
+            let b = issue(&mut self.dev, Command::Read { bank, col }).expect("read returns data");
+            bytes.push(b);
+            self.dev.step(t.t_ccd);
+        }
+        // Clean exit: the reads above already carried us past tRAS
+        // (tRCD + cols·tCCD > tRAS for every supported geometry).
+        issue(&mut self.dev, Command::Precharge { bank });
+        self.dev.step(t.t_rp);
+        Some(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hifi_circuit::topology::SaTopologyKind;
+    use hifi_dramsim::DeviceConfig;
+
+    fn boxed(topology: SaTopologyKind, seed: u64) -> BlackBox {
+        BlackBox::new(DramDevice::new(DeviceConfig::profiled(topology, seed)))
+    }
+
+    #[test]
+    // The literal is grouped as the [row|bank|col] fields pack() lays
+    // down, not in equal-width digit groups.
+    #[allow(clippy::unusual_byte_groupings)]
+    fn geometry_reports_datasheet_facts() {
+        let bb = boxed(SaTopologyKind::Classic, 1);
+        let g = bb.geometry();
+        assert_eq!((g.banks, g.rows, g.cols), (4, 64, 16));
+        assert_eq!(g.address_bits, 12);
+        assert_eq!(g.pack(0b11, 0b101, 0b1001), 0b101_11_1001);
+    }
+
+    #[test]
+    fn access_round_trips_and_reports_latency() {
+        let mut bb = boxed(SaTopologyKind::Classic, 2);
+        bb.write_at(0x123, 0x7E);
+        let o = bb.access(0x123);
+        assert_eq!(o.data, 0x7E);
+        assert!(o.latency.value() >= 0.0);
+    }
+
+    #[test]
+    fn copy_probe_rejects_cross_bank_pairs() {
+        let mut bb = boxed(SaTopologyKind::Classic, 3);
+        let g = bb.geometry();
+        // Same row field, different bank field: guaranteed different banks.
+        let a = g.pack(0, 5, 0);
+        let b = g.pack(1, 5, 0);
+        assert_eq!(bb.copy_probe(a, b, 2.0), None);
+    }
+}

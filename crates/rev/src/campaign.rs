@@ -1,0 +1,246 @@
+//! Seeded rev campaigns: fan out N devices, run the full black-box
+//! session on each, cross-validate against imaging, aggregate a
+//! deterministic [`RevReport`].
+//!
+//! The conformance-campaign contract applies verbatim: the report is a
+//! pure function of `(campaign seed, run count)` — sessions fan out over
+//! the vendored `rayon`'s order-preserving `par_map` and every aggregate
+//! folds sequentially from the ordered outcome list, so the bytes are
+//! identical at any thread count.
+
+use hifi_circuit::topology::SaTopologyKind;
+use hifi_conformance::{run_seed, ChipSpec};
+use hifi_dramsim::{DeviceConfig, DramDevice};
+use hifi_telemetry::{
+    names, ConfigEcho, CounterTotal, GaugeStat, HistogramSummary, JsonRecorder, Recorder, RunReport,
+};
+
+use crate::blackbox::BlackBox;
+use crate::disturb::characterize_disturbance;
+use crate::mapping::recover_mapping;
+use crate::oracle::{cross_validate, RouteComparison};
+use crate::report::DeviceInference;
+use crate::retention::map_retention;
+use crate::topology::probe_topology;
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct RevCampaignConfig {
+    /// Campaign seed; run `i` targets the device derived from
+    /// `run_seed(seed, i)` (same derivation as conformance campaigns).
+    pub seed: u64,
+    /// Number of seeded devices.
+    pub runs: usize,
+    /// Whether to run the imaging pipeline for the two-route topology
+    /// check (the expensive half; disable for microbenchmarks only —
+    /// without it the `topology.two_route` field cannot agree).
+    pub with_imaging: bool,
+}
+
+impl Default for RevCampaignConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            runs: 4,
+            with_imaging: true,
+        }
+    }
+}
+
+/// One device's session outcome.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct RunOutcome {
+    /// Campaign run index.
+    pub run_index: u64,
+    /// The derived seed (device profile + spec are reproduced from it).
+    pub seed: u64,
+    /// The conformance spec driving the imaging route, rendered.
+    pub spec: String,
+    /// What the black-box session inferred.
+    pub inference: DeviceInference,
+    /// Per-field cross-validation.
+    pub comparison: RouteComparison,
+    /// Whether every field agreed.
+    pub passed: bool,
+}
+
+/// Deterministic aggregate of one rev campaign.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct RevReport {
+    /// Campaign seed.
+    pub campaign_seed: u64,
+    /// Sessions executed.
+    pub runs: u64,
+    /// Sessions whose every field agreed.
+    pub passed: u64,
+    /// Sessions with at least one disagreeing field.
+    pub failed: u64,
+    /// Per-run outcomes, in index order.
+    pub outcomes: Vec<RunOutcome>,
+    /// `rev.*` counter totals (via the telemetry layer).
+    pub counters: Vec<CounterTotal>,
+    /// `rev.*` gauge statistics.
+    pub gauges: Vec<GaugeStat>,
+    /// `rev.*` histogram summaries (probe latencies).
+    pub histograms: Vec<HistogramSummary>,
+}
+
+impl RevReport {
+    /// Pretty-printed JSON rendering.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization is infallible")
+    }
+
+    /// One-line human summary.
+    pub fn summary_line(&self) -> String {
+        let disagreements: Vec<String> = self
+            .outcomes
+            .iter()
+            .filter(|o| !o.passed)
+            .map(|o| {
+                format!(
+                    "run {} ({}): {}",
+                    o.run_index,
+                    o.seed,
+                    o.comparison.disagreements().join(",")
+                )
+            })
+            .collect();
+        let tail = if disagreements.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", disagreements.join("; "))
+        };
+        format!(
+            "rev: seed {} — {}/{} devices cross-validated, {} failed{}",
+            self.campaign_seed, self.passed, self.runs, self.failed, tail
+        )
+    }
+}
+
+/// Runs the complete black-box session — mapping, retention/polarity,
+/// disturbance, topology — on one sealed device.
+pub fn infer_device(mut bb: BlackBox) -> DeviceInference {
+    let mapping = recover_mapping(&mut bb);
+    let retention = map_retention(&mut bb);
+    let disturbance = characterize_disturbance(&mut bb, &retention.polarity);
+    let topology = probe_topology(&mut bb);
+    DeviceInference {
+        mapping: mapping.inferred,
+        topology,
+        retention: retention.rows,
+        polarity: retention.polarity,
+        disturbance,
+        commands_issued: bb.commands_issued(),
+        probe_latencies_ns: mapping.probe_latencies_ns,
+    }
+}
+
+/// The device a campaign run fabricates: profile and topology both derive
+/// from the run seed (topology via the conformance spec, so the imaging
+/// route images the same design).
+pub fn device_for(spec_topology: SaTopologyKind, seed: u64) -> DeviceConfig {
+    DeviceConfig::profiled(spec_topology, seed)
+}
+
+/// Runs a rev campaign.
+pub fn run_rev_campaign(cfg: &RevCampaignConfig) -> RevReport {
+    let indices: Vec<u64> = (0..cfg.runs as u64).collect();
+    let with_imaging = cfg.with_imaging;
+    let seed0 = cfg.seed;
+    let infer_one = |&index: &u64| -> RunOutcome {
+        let seed = run_seed(seed0, index);
+        let spec = ChipSpec::generate(seed);
+        let device_cfg = device_for(spec.topology, seed);
+        let inference = infer_device(BlackBox::new(DramDevice::new(device_cfg.clone())));
+        let imaging = if with_imaging {
+            hifi_dram::pipeline::Pipeline::new(spec.pipeline_config())
+                .run()
+                .ok()
+                .and_then(|report| report.identified)
+        } else {
+            None
+        };
+        let comparison = cross_validate(&device_cfg, &inference, imaging);
+        let passed = comparison.passed();
+        RunOutcome {
+            run_index: index,
+            seed,
+            spec: spec.describe(),
+            inference,
+            comparison,
+            passed,
+        }
+    };
+    let outcomes = rayon::par_map(&indices, infer_one);
+    fold_report(cfg, outcomes)
+}
+
+/// Folds ordered outcomes into the report (sequential, deterministic).
+fn fold_report(cfg: &RevCampaignConfig, outcomes: Vec<RunOutcome>) -> RevReport {
+    let mut rec = JsonRecorder::new();
+    rec.counter(names::REV_RUNS, outcomes.len() as u64);
+    let mut passed = 0u64;
+    for outcome in &outcomes {
+        if outcome.passed {
+            passed += 1;
+            rec.counter(names::REV_PASSED, 1);
+        } else {
+            rec.counter(
+                names::REV_FIELD_DISAGREEMENTS,
+                outcome.comparison.disagreements().len() as u64,
+            );
+        }
+        rec.counter(names::REV_COMMANDS, outcome.inference.commands_issued);
+        for lat in &outcome.inference.probe_latencies_ns {
+            rec.histogram(names::HIST_REV_PROBE_LATENCY_NS, lat.round() as u64);
+        }
+    }
+    let telemetry = RunReport::from_events(ConfigEcho::pristine("rev"), rec.events());
+    RevReport {
+        campaign_seed: cfg.seed,
+        runs: outcomes.len() as u64,
+        passed,
+        failed: outcomes.len() as u64 - passed,
+        outcomes,
+        counters: telemetry.counters,
+        gauges: telemetry.gauges,
+        histograms: telemetry.histograms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_run_cross_validates_without_imaging_topology_field() {
+        let cfg = RevCampaignConfig {
+            seed: 11,
+            runs: 1,
+            with_imaging: false,
+        };
+        let report = run_rev_campaign(&cfg);
+        assert_eq!(report.runs, 1);
+        // Without the imaging route only the two-route field can disagree.
+        let outcome = &report.outcomes[0];
+        assert_eq!(
+            outcome.comparison.disagreements(),
+            vec!["topology.two_route"],
+            "{}",
+            report.summary_line()
+        );
+        let commands = report
+            .counters
+            .iter()
+            .find(|c| c.name == names::REV_COMMANDS)
+            .expect("commands counter");
+        assert!(commands.total > 1000, "session issued {}", commands.total);
+        let hist = report
+            .histograms
+            .iter()
+            .find(|h| h.name == names::HIST_REV_PROBE_LATENCY_NS)
+            .expect("latency histogram");
+        assert!(hist.count > 10);
+    }
+}

@@ -1,0 +1,53 @@
+//! hifi-rev: command-issuing reverse engineering of DRAM devices.
+//!
+//! The HiFi-DRAM paper's premise is that *imaging* (delayering + SEM) and
+//! *command-issuing* (black-box behavioral probing) are the two routes to
+//! DRAM internals, and that published command-issuing results need a
+//! ground-truth check. This crate implements the second route against
+//! `hifi-dramsim` devices and cross-validates it against the first (the
+//! imaging pipeline in `hifi-dram`), closing the loop in simulation.
+//!
+//! A campaign seals a seeded device behind [`BlackBox`] — flat addresses
+//! in, data bytes and latencies out, nothing else — and infers:
+//!
+//! - **address mapping** ([`mapping`]): row-buffer-conflict latency probes
+//!   classify address bits and recover XOR bank-function support sets
+//!   (Knock-Knock idiom);
+//! - **retention & polarity** ([`retention`]): refresh-withholding sweeps
+//!   bracket each row's retention time, and the decayed value exposes
+//!   true-/anti-cell polarity (data-pattern / X-ray idiom);
+//! - **disturbance & row scramble** ([`disturb`]): activation-hammer
+//!   ladders find the flip threshold, and victim adjacency pins the
+//!   logical→physical row XOR (RowHammer / DRAMScope idiom);
+//! - **SA topology** ([`topology`]): truncated-precharge row-copy attempts
+//!   separate classic from offset-cancelling sense amplifiers
+//!   (ComputeDRAM idiom).
+//!
+//! The [`oracle`] module diffs the inference per field against the
+//! device's generating profile *and* against the imaging pipeline's
+//! topology identification for the same conformance [`ChipSpec`]; a
+//! sabotaged device trips both routes independently. [`campaign`] fans
+//! seeded sessions over the vendored `rayon` with thread-count-invariant
+//! reports, surfacing `rev.*` counters and latency histograms through
+//! `hifi-telemetry`.
+//!
+//! [`ChipSpec`]: hifi_conformance::ChipSpec
+
+pub mod blackbox;
+pub mod campaign;
+pub mod disturb;
+pub mod mapping;
+pub mod oracle;
+pub mod report;
+pub mod retention;
+pub mod topology;
+
+pub use blackbox::{BlackBox, Geometry};
+pub use campaign::{
+    device_for, infer_device, run_rev_campaign, RevCampaignConfig, RevReport, RunOutcome,
+};
+pub use mapping::{classify, probe_pair, recover_mapping, ProbeClass};
+pub use oracle::{cross_validate, ground_truth_mapping, FieldAgreement, RouteComparison};
+pub use report::{
+    same_family, DeviceInference, InferredDisturbance, InferredMapping, InferredTopology,
+};

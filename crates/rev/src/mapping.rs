@@ -1,0 +1,166 @@
+//! Address-mapping recovery from row-buffer timing (Knock-Knock idiom).
+//!
+//! A memory controller's address mapping is invisible on the data bus but
+//! loud on the latency side channel: two accesses landing in the same bank
+//! and row are served from the open row buffer (~tCCD), two accesses to
+//! different banks each pay a fresh activation (~tRCD), and two accesses
+//! to *different rows of the same bank* force a precharge + activation
+//! (~tRAS remainder + tRP + tRCD). Single-address-bit flips therefore
+//! classify every bit as column / bank-affecting / row-only, and pairwise
+//! flips among the bank-affecting bits recover which of them XOR into the
+//! same bank-function output.
+
+use crate::blackbox::BlackBox;
+use crate::report::InferredMapping;
+
+/// Latency below which the second probe of a pair is a row-buffer hit
+/// (same bank, same row): comfortably above tCCD, below tRCD.
+const HIT_MAX_NS: f64 = 10.0;
+/// Latency above which the second probe is a row-buffer conflict (same
+/// bank, different row): above tRCD, below tRP + tRCD.
+const CONFLICT_MIN_NS: f64 = 22.0;
+
+/// How a probe pair's second access was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeClass {
+    /// Row-buffer hit: same bank, same row.
+    Hit,
+    /// Row miss in an idle bank: different bank.
+    Miss,
+    /// Row-buffer conflict: same bank, different row.
+    Conflict,
+}
+
+/// Classifies a second-access latency.
+pub fn classify(latency_ns: f64) -> ProbeClass {
+    if latency_ns < HIT_MAX_NS {
+        ProbeClass::Hit
+    } else if latency_ns < CONFLICT_MIN_NS {
+        ProbeClass::Miss
+    } else {
+        ProbeClass::Conflict
+    }
+}
+
+/// Everything the mapping campaign produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingOutcome {
+    /// The recovered mapping.
+    pub inferred: InferredMapping,
+    /// Second-access latencies observed, in probe order (telemetry).
+    pub probe_latencies_ns: Vec<f64>,
+}
+
+/// Probes the pair `(a, b)` from a quiesced device and classifies how `b`
+/// was served relative to `a`.
+pub fn probe_pair(bb: &mut BlackBox, a: usize, b: usize) -> (ProbeClass, f64) {
+    bb.refresh(); // every bank idle: the only open row is the one `a` opens
+    bb.access(a);
+    let o = bb.access(b);
+    (classify(o.latency.value()), o.latency.value())
+}
+
+/// Recovers the address mapping with single-bit and pairwise-bit flips.
+pub fn recover_mapping(bb: &mut BlackBox) -> MappingOutcome {
+    let bits = bb.geometry().address_bits;
+    let base = 0usize;
+    let mut latencies = Vec::new();
+
+    let mut col_bits = Vec::new();
+    let mut row_only = Vec::new();
+    let mut bankish = Vec::new();
+    for i in 0..bits {
+        let (class, lat) = probe_pair(bb, base, base ^ (1 << i));
+        latencies.push(lat);
+        match class {
+            ProbeClass::Hit => col_bits.push(i),
+            ProbeClass::Conflict => row_only.push(i),
+            ProbeClass::Miss => bankish.push(i),
+        }
+    }
+
+    // Pairwise flips among the bank-affecting bits: if flipping both bits
+    // of a pair lands back in `base`'s bank (a conflict — the row still
+    // differs, or a hit when neither was a row bit is impossible here),
+    // their effects on the bank function cancelled, i.e. they feed the
+    // same XOR output. This "cancellation" relation partitions the
+    // bank-affecting bits into one support set per output.
+    let mut group_of: Vec<usize> = (0..bankish.len()).collect();
+    for i in 0..bankish.len() {
+        for j in (i + 1)..bankish.len() {
+            let both = base ^ (1 << bankish[i]) ^ (1 << bankish[j]);
+            let (class, lat) = probe_pair(bb, base, both);
+            latencies.push(lat);
+            if class == ProbeClass::Conflict {
+                // Union the two groups (tiny n: relabel directly).
+                let (from, to) = (group_of[j], group_of[i]);
+                for g in &mut group_of {
+                    if *g == from {
+                        *g = to;
+                    }
+                }
+            }
+        }
+    }
+    let mut supports: Vec<Vec<u32>> = Vec::new();
+    let mut seen: Vec<usize> = Vec::new();
+    for (idx, g) in group_of.iter().enumerate() {
+        match seen.iter().position(|s| s == g) {
+            Some(p) => supports[p].push(bankish[idx]),
+            None => {
+                seen.push(*g);
+                supports.push(vec![bankish[idx]]);
+            }
+        }
+    }
+    for s in &mut supports {
+        s.sort_unstable();
+    }
+    supports.sort();
+
+    MappingOutcome {
+        inferred: InferredMapping {
+            col_bits,
+            bank_fn_supports: supports,
+            row_only_bits: row_only,
+        },
+        probe_latencies_ns: latencies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hifi_circuit::topology::SaTopologyKind;
+    use hifi_dramsim::{DeviceConfig, DramDevice};
+
+    #[test]
+    fn classification_thresholds_split_ddr4_latencies() {
+        assert_eq!(classify(5.0), ProbeClass::Hit);
+        assert_eq!(classify(13.75), ProbeClass::Miss);
+        assert_eq!(classify(27.5), ProbeClass::Conflict);
+        assert_eq!(classify(45.75), ProbeClass::Conflict);
+    }
+
+    #[test]
+    fn flat_profile_maps_to_plain_fields() {
+        // With no bank hashing, the supports are exactly the bank-field
+        // bits and every row bit is row-only.
+        let mut cfg = DeviceConfig::profiled(SaTopologyKind::Classic, 9);
+        cfg.profile = hifi_dramsim::DeviceProfile::flat(2);
+        let mut bb = BlackBox::new(DramDevice::new(cfg));
+        let out = recover_mapping(&mut bb);
+        assert_eq!(out.inferred.col_bits, vec![0, 1, 2, 3]);
+        assert_eq!(out.inferred.bank_fn_supports, vec![vec![4], vec![5]]);
+        assert_eq!(out.inferred.row_only_bits, (6..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hashed_profile_groups_row_bits_with_their_output() {
+        let cfg = DeviceConfig::profiled(SaTopologyKind::Classic, 42);
+        let gt = crate::oracle::ground_truth_mapping(&cfg);
+        let mut bb = BlackBox::new(DramDevice::new(cfg));
+        let out = recover_mapping(&mut bb);
+        assert_eq!(out.inferred, gt);
+    }
+}

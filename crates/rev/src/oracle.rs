@@ -1,0 +1,228 @@
+//! Cross-validation: the command-issuing route vs. ground truth vs. the
+//! imaging route.
+//!
+//! Two independent reverse-engineering methods agreeing on the same chip
+//! is a conformance oracle neither route has alone. This module compares
+//! a [`DeviceInference`] (black-box route) per field against the device's
+//! generating profile, and its topology claim against the imaging
+//! pipeline's identification for the same [`hifi_conformance::ChipSpec`].
+//! A sabotaged device — fabricated with a different topology than the
+//! spec — shows up here as a two-route disagreement, while a sabotaged
+//! *netlist* is caught independently by the conformance isomorphism
+//! oracle.
+
+use hifi_circuit::topology::SaTopologyKind;
+use hifi_dramsim::DeviceConfig;
+
+use crate::report::{same_family, DeviceInference, InferredMapping};
+
+/// Relative tolerance on retention bracket edges: absorbs the scan time
+/// that accrues between the refresh and each probe's read.
+const RETENTION_EDGE_TOLERANCE: f64 = 0.05;
+
+/// One field's agreement verdict.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct FieldAgreement {
+    /// Field name (`topology`, `mapping.col_bits`, …).
+    pub field: String,
+    /// Whether the routes agreed within tolerance.
+    pub agrees: bool,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+/// The full cross-validation verdict for one device.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct RouteComparison {
+    /// Per-field verdicts, in stable order.
+    pub fields: Vec<FieldAgreement>,
+}
+
+impl RouteComparison {
+    /// Whether every field agreed.
+    pub fn passed(&self) -> bool {
+        self.fields.iter().all(|f| f.agrees)
+    }
+
+    /// Names of the disagreeing fields.
+    pub fn disagreements(&self) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|f| !f.agrees)
+            .map(|f| f.field.as_str())
+            .collect()
+    }
+}
+
+/// The canonical ground-truth mapping for a device config, in the same
+/// support-set form the black-box route reports (the field-bit/row-bit
+/// distinction is not observable, so ground truth canonicalizes it away).
+pub fn ground_truth_mapping(cfg: &DeviceConfig) -> InferredMapping {
+    let cb = cfg.col_bits();
+    let bb = cfg.bank_bits();
+    let col_bits = (0..cb).collect();
+    let mut supports: Vec<Vec<u32>> = Vec::new();
+    for (i, mask) in cfg.profile.bank_xor.iter().enumerate() {
+        let mut s = vec![cb + i as u32];
+        for j in 0..cfg.row_bits() {
+            if mask & (1 << j) != 0 {
+                s.push(cb + bb + j);
+            }
+        }
+        s.sort_unstable();
+        supports.push(s);
+    }
+    supports.sort();
+    let folded: u64 = cfg.profile.bank_xor.iter().fold(0, |a, m| a | m);
+    let row_only_bits = (0..cfg.row_bits())
+        .filter(|j| folded & (1 << j) == 0)
+        .map(|j| cb + bb + j)
+        .collect();
+    InferredMapping {
+        col_bits,
+        bank_fn_supports: supports,
+        row_only_bits,
+    }
+}
+
+fn check(fields: &mut Vec<FieldAgreement>, field: &str, agrees: bool, detail: String) {
+    fields.push(FieldAgreement {
+        field: field.to_string(),
+        agrees,
+        detail,
+    });
+}
+
+/// Cross-validates one inference against the device's generating config
+/// and the imaging route's topology identification for the same spec.
+pub fn cross_validate(
+    device: &DeviceConfig,
+    inference: &DeviceInference,
+    imaging_identified: Option<SaTopologyKind>,
+) -> RouteComparison {
+    let mut fields = Vec::new();
+    let profile = &device.profile;
+
+    // Topology: black-box claim vs the silicon, then vs the imaging route.
+    check(
+        &mut fields,
+        "topology.device",
+        same_family(inference.topology.kind, device.topology) && inference.topology.control_ok,
+        format!(
+            "rev={:?} device={:?} control_ok={}",
+            inference.topology.kind, device.topology, inference.topology.control_ok
+        ),
+    );
+    check(
+        &mut fields,
+        "topology.two_route",
+        imaging_identified.is_some_and(|k| same_family(inference.topology.kind, k)),
+        format!(
+            "rev={:?} imaging={:?}",
+            inference.topology.kind, imaging_identified
+        ),
+    );
+
+    // Address mapping: exact canonical agreement.
+    let gt_map = ground_truth_mapping(device);
+    check(
+        &mut fields,
+        "mapping",
+        inference.mapping == gt_map,
+        format!("rev={:?} gt={:?}", inference.mapping, gt_map),
+    );
+
+    // Row scramble.
+    check(
+        &mut fields,
+        "mapping.row_xor",
+        inference.disturbance.row_xor == Some(profile.row_xor),
+        format!(
+            "rev={:?} gt={:#x}",
+            inference.disturbance.row_xor, profile.row_xor
+        ),
+    );
+
+    // Polarity: one claim per row, all matching.
+    let polarity_ok = inference.polarity.len() == device.rows
+        && inference
+            .polarity
+            .iter()
+            .all(|p| p.polarity == profile.polarity(p.row));
+    check(
+        &mut fields,
+        "polarity",
+        polarity_ok,
+        format!(
+            "{} rows claimed of {}",
+            inference.polarity.len(),
+            device.rows
+        ),
+    );
+
+    // Retention: every probe's bracket contains the ground-truth time.
+    let mut worst: Option<String> = None;
+    let mut retention_ok = !inference.retention.is_empty();
+    for r in &inference.retention {
+        let addr = (r.row << (device.col_bits() + device.bank_bits()))
+            | (r.bank_field << device.col_bits());
+        let Ok((bank, row, _)) = device.decode(addr) else {
+            retention_ok = false;
+            continue;
+        };
+        let Some(gt) = profile.retention_ns(bank, row) else {
+            retention_ok = false;
+            continue;
+        };
+        let lo = r.survived_ns * (1.0 - RETENTION_EDGE_TOLERANCE);
+        let hi = r.decayed_ns * (1.0 + RETENTION_EDGE_TOLERANCE);
+        if !(gt > lo && gt <= hi) {
+            retention_ok = false;
+            if worst.is_none() {
+                worst = Some(format!(
+                    "row {} bank_field {}: gt {gt:.0}ns outside ({lo:.0}, {hi:.0}]",
+                    r.row, r.bank_field
+                ));
+            }
+        }
+    }
+    check(
+        &mut fields,
+        "retention",
+        retention_ok,
+        worst.unwrap_or_else(|| format!("{} probes bracketed", inference.retention.len())),
+    );
+
+    // Disturbance threshold: exact (the ladder contains the palette).
+    let gt_threshold = profile.disturbance.as_ref().map(|d| d.hammer_threshold);
+    check(
+        &mut fields,
+        "disturbance.threshold",
+        inference.disturbance.threshold == gt_threshold,
+        format!(
+            "rev={:?} gt={:?}",
+            inference.disturbance.threshold, gt_threshold
+        ),
+    );
+
+    RouteComparison { fields }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_truth_canonicalization_shapes() {
+        let cfg = DeviceConfig::profiled(SaTopologyKind::Classic, 42);
+        let gt = ground_truth_mapping(&cfg);
+        assert_eq!(gt.col_bits, vec![0, 1, 2, 3]);
+        assert_eq!(gt.bank_fn_supports.len(), 2);
+        // Every address bit lands in exactly one class.
+        let mut all: Vec<u32> = gt.col_bits.clone();
+        all.extend(gt.bank_fn_supports.iter().flatten());
+        all.extend(&gt.row_only_bits);
+        all.sort_unstable();
+        assert_eq!(all, (0..12).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,152 @@
+//! Typed inference reports: what each campaign claims about the device.
+//!
+//! Every field here is phrased in terms of *observables* — address-bit
+//! positions, bus latencies, decayed read values — never in terms of the
+//! simulator's internal profile. The cross-validation oracle
+//! ([`crate::oracle`]) is what ties these claims back to ground truth.
+
+use hifi_circuit::topology::SaTopologyKind;
+use hifi_dramsim::CellPolarity;
+
+/// Address-mapping recovery (Knock-Knock idiom): how the flat physical
+/// address space maps onto banks, rows and columns, as far as timing side
+/// effects can resolve it.
+///
+/// XOR bank hashing is physically symmetric — a bank-field bit and a row
+/// bit folded into the same output are indistinguishable from latency
+/// alone — so the canonical result is one *support set* of address-bit
+/// positions per bank-function output, not a field/mask split. Sets are
+/// sorted ascending and listed by their smallest member.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct InferredMapping {
+    /// Address bits that select a column (row-buffer hits when flipped).
+    pub col_bits: Vec<u32>,
+    /// One support set per bank-function output: the address bits whose
+    /// XOR drives that output.
+    pub bank_fn_supports: Vec<Vec<u32>>,
+    /// Address bits that select a row and feed no bank output
+    /// (row-buffer conflicts when flipped).
+    pub row_only_bits: Vec<u32>,
+}
+
+/// SA-topology inference from the out-of-spec row-copy side channel.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct InferredTopology {
+    /// The inferred family: [`SaTopologyKind::Classic`] when a truncated
+    /// precharge lets residual charge copy a row (classic and
+    /// isolation-variant SAs are indistinguishable to this probe),
+    /// [`SaTopologyKind::OffsetCancellation`] when it never does.
+    pub kind: SaTopologyKind,
+    /// Whether the sub-tRP-gap row copy succeeded.
+    pub copy_succeeded: bool,
+    /// Control: with a full-tRP gap the copy must fail on every topology;
+    /// `true` means the control behaved.
+    pub control_ok: bool,
+}
+
+/// One row's retention bracket from the refresh-withholding ladder.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct RowRetention {
+    /// Bank field of the probe address (the ladder sweeps every field).
+    pub bank_field: usize,
+    /// Row field of the probe address.
+    pub row: usize,
+    /// Longest withhold the row survived (ns).
+    pub survived_ns: f64,
+    /// Shortest withhold at which the row decayed (ns).
+    pub decayed_ns: f64,
+    /// The byte the decayed row read as (polarity evidence).
+    pub decayed_value: u8,
+}
+
+/// One row's inferred cell polarity (X-ray / data-pattern idiom): decayed
+/// true cells read `0x00`, decayed anti cells read `0xFF`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct RowPolarity {
+    /// Row field.
+    pub row: usize,
+    /// Inferred polarity.
+    pub polarity: CellPolarity,
+}
+
+/// One disturbance experiment: hammer a same-bank aggressor pair, scan for
+/// collateral bit flips.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct HammerExperiment {
+    /// The two aggressor row fields (activated alternately).
+    pub aggressors: (usize, usize),
+    /// Row fields that showed bit flips, sorted.
+    pub victims: Vec<usize>,
+    /// Smallest per-aggressor activation count that produced flips
+    /// (`None` if no ladder rung triggered).
+    pub trigger_count: Option<u32>,
+}
+
+/// Disturbance characterization (RowHammer/RowPress, DRAMScope idiom).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct InferredDisturbance {
+    /// Inferred per-row activation threshold (minimum triggering ladder
+    /// rung across experiments).
+    pub threshold: Option<u32>,
+    /// The experiments behind the inference.
+    pub experiments: Vec<HammerExperiment>,
+    /// Logical→physical row scramble recovered from aggressor→victim
+    /// adjacency, the polarity map (polarity follows physical row parity,
+    /// anchoring bit 0), and boundary-crossing follow-up experiments
+    /// (`physical = logical ^ row_xor`). `None` when the observations
+    /// still admit more than one candidate — e.g. without a polarity map
+    /// the reflected scramble is indistinguishable.
+    pub row_xor: Option<u64>,
+}
+
+/// Everything one full black-box session inferred about a device.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct DeviceInference {
+    /// Address-mapping recovery.
+    pub mapping: InferredMapping,
+    /// SA-topology inference.
+    pub topology: InferredTopology,
+    /// Per-probe-address retention brackets.
+    pub retention: Vec<RowRetention>,
+    /// Per-row polarity map.
+    pub polarity: Vec<RowPolarity>,
+    /// Disturbance characterization.
+    pub disturbance: InferredDisturbance,
+    /// Total DRAM commands the session issued.
+    pub commands_issued: u64,
+    /// Sampled mapping-probe latencies (ns), for telemetry histograms.
+    pub probe_latencies_ns: Vec<f64>,
+}
+
+/// Whether two topology kinds are the same *family* as far as the
+/// out-of-spec copy probe can tell (classic and isolation-variant SAs
+/// share the residual-charge behaviour).
+pub fn same_family(a: SaTopologyKind, b: SaTopologyKind) -> bool {
+    let classic = |k: SaTopologyKind| k != SaTopologyKind::OffsetCancellation;
+    classic(a) == classic(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_collapses_isolation_onto_classic() {
+        use SaTopologyKind::*;
+        assert!(same_family(Classic, ClassicWithIsolation));
+        assert!(same_family(OffsetCancellation, OffsetCancellation));
+        assert!(!same_family(Classic, OffsetCancellation));
+        assert!(!same_family(ClassicWithIsolation, OffsetCancellation));
+    }
+
+    #[test]
+    fn reports_serialize() {
+        let m = InferredMapping {
+            col_bits: vec![0, 1],
+            bank_fn_supports: vec![vec![2, 7], vec![3]],
+            row_only_bits: vec![8],
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        assert!(json.contains("bank_fn_supports"));
+    }
+}

@@ -1,0 +1,105 @@
+//! SA-topology inference from the out-of-spec row-copy side channel
+//! (Section VI-D of the paper, ComputeDRAM idiom).
+//!
+//! A truncated precharge leaves residual charge on classic bitlines, so an
+//! immediate re-activation copies the previous row into the new one. An
+//! offset-cancelling SA re-biases its bitlines before charge sharing, so
+//! the same command sequence senses normally and the copy never happens —
+//! the observable difference the paper warns command-issuing RE relies on,
+//! reproduced here deliberately as the *second* route.
+
+use hifi_circuit::topology::SaTopologyKind;
+
+use crate::blackbox::BlackBox;
+use crate::mapping::{probe_pair, ProbeClass};
+use crate::report::InferredTopology;
+
+/// Marker written into the copy source row.
+pub const SRC_MARKER: u8 = 0xC3;
+/// Marker written into the copy destination row.
+pub const DST_MARKER: u8 = 0x3C;
+
+/// Finds a same-bank (conflict) address pair with distinct row fields,
+/// purely from latency probes.
+fn conflict_pair(bb: &mut BlackBox) -> (usize, usize) {
+    let g = bb.geometry();
+    let a = g.pack(0, 0, 0);
+    for row in 1..g.rows {
+        for bf in 0..g.banks {
+            let b = g.pack(bf, row, 0);
+            let (class, _) = probe_pair(bb, a, b);
+            if class == ProbeClass::Conflict {
+                return (a, b);
+            }
+        }
+    }
+    unreachable!("an XOR bank function always conflicts somewhere")
+}
+
+/// Probes the deployed SA family: classic (residual charge copies rows)
+/// vs offset-cancellation (it never does).
+pub fn probe_topology(bb: &mut BlackBox) -> InferredTopology {
+    let g = bb.geometry();
+    let t = bb.timing();
+    let (src, dst) = conflict_pair(bb);
+    for col in 0..g.cols {
+        bb.write_at(src | col, SRC_MARKER);
+        bb.write_at(dst | col, DST_MARKER);
+    }
+
+    let truncated_gap = t.t_rp.value() * 0.25;
+    let copied = bb
+        .copy_probe(src, dst, truncated_gap)
+        .map(|bytes| bytes.iter().all(|b| *b == SRC_MARKER))
+        .unwrap_or(false);
+
+    // Control: with a full precharge the destination must keep its own
+    // data on every topology.
+    for col in 0..g.cols {
+        bb.write_at(src | col, SRC_MARKER);
+        bb.write_at(dst | col, DST_MARKER);
+    }
+    let full_gap = t.t_rp.value() * 2.0;
+    let control_ok = bb
+        .copy_probe(src, dst, full_gap)
+        .map(|bytes| bytes.iter().all(|b| *b == DST_MARKER))
+        .unwrap_or(false);
+
+    let kind = if copied {
+        SaTopologyKind::Classic
+    } else {
+        SaTopologyKind::OffsetCancellation
+    };
+    InferredTopology {
+        kind,
+        copy_succeeded: copied,
+        control_ok,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hifi_dramsim::{DeviceConfig, DramDevice};
+
+    fn probe(topology: SaTopologyKind, seed: u64) -> InferredTopology {
+        let mut bb = BlackBox::new(DramDevice::new(DeviceConfig::profiled(topology, seed)));
+        probe_topology(&mut bb)
+    }
+
+    #[test]
+    fn classic_devices_copy_and_are_identified() {
+        let out = probe(SaTopologyKind::Classic, 21);
+        assert!(out.copy_succeeded);
+        assert!(out.control_ok);
+        assert_eq!(out.kind, SaTopologyKind::Classic);
+    }
+
+    #[test]
+    fn ocsa_devices_never_copy_and_are_identified() {
+        let out = probe(SaTopologyKind::OffsetCancellation, 21);
+        assert!(!out.copy_succeeded);
+        assert!(out.control_ok);
+        assert_eq!(out.kind, SaTopologyKind::OffsetCancellation);
+    }
+}

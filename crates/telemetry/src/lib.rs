@@ -132,4 +132,16 @@ pub mod names {
     pub const HIST_SERVE_QUEUE_WAIT_US: &str = "serve.queue_wait_us";
     /// Histogram: queue depth observed at each job admission.
     pub const HIST_SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+    /// Counter: seeded device runs executed by a rev (black-box RE) campaign.
+    pub const REV_RUNS: &str = "rev.runs";
+    /// Counter: rev runs whose inference agreed with ground truth on every
+    /// field.
+    pub const REV_PASSED: &str = "rev.passed";
+    /// Counter: individual cross-validation fields that disagreed across a
+    /// rev campaign.
+    pub const REV_FIELD_DISAGREEMENTS: &str = "rev.field_disagreements";
+    /// Counter: DRAM commands issued by a rev campaign's probes.
+    pub const REV_COMMANDS: &str = "rev.commands_issued";
+    /// Histogram: bus-visible latency of mapping probes, ns.
+    pub const HIST_REV_PROBE_LATENCY_NS: &str = "rev.probe_latency_ns";
 }

@@ -17,6 +17,11 @@
 #   conformance   randomized ground-truth campaigns (bin conformance);
 #                 honours HIFI_CONFORMANCE_SEED (one seed, as the CI
 #                 matrix does), else sweeps the default 2-seed matrix
+#   rev-campaign  black-box reverse-engineering campaigns (bin
+#                 rev_campaign) cross-validated against the imaging
+#                 route; honours HIFI_REV_SEED (one seed, as the CI
+#                 matrix does) and HIFI_REV_RUNS, else sweeps the
+#                 default 2-seed matrix
 #   scale-smoke   16x-scale streaming sweep (scale_sweep bench capped via
 #                 SCALE_SWEEP_MAX=16) under the counting allocator; proves
 #                 the tiled path's O(tile) peak memory without the full
@@ -36,6 +41,10 @@
 #
 # Everything builds --offline --locked: the vendored crates under vendor/
 # are the only dependency source, and Cargo.lock is authoritative.
+#
+# Each job ends with a "done in Ns" summary line so slow jobs stand out
+# in both local runs and the Actions log. Campaign JSON reports land in
+# target/ci-artifacts/ so the workflow can upload them when a job fails.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -50,6 +59,16 @@ FAULT_SEEDS=(3 42 20240805)
 # stream. Runs are few because every imaged spec costs ~10 pristine ones.
 CONFORMANCE_SEEDS=(42 7)
 CONFORMANCE_RUNS="${HIFI_CONFORMANCE_RUNS:-4}"
+
+# Seeds the rev-campaign job sweeps when HIFI_REV_SEED is unset. Seed 42
+# is the acceptance campaign (same stream the regen snapshot pins); seed
+# 7 proves the inference generalizes to an independent spec stream.
+REV_SEEDS=(42 7)
+REV_RUNS="${HIFI_REV_RUNS:-4}"
+
+# Campaign binaries write their JSON reports here so a failing workflow
+# run can upload them as artifacts for post-mortem diffing.
+ARTIFACT_DIR="target/ci-artifacts"
 
 job_lint() {
     echo "=== job: lint ==="
@@ -96,10 +115,28 @@ job_conformance() {
         seeds=("$HIFI_CONFORMANCE_SEED")
     fi
     cargo build --release --offline --locked --bin conformance
+    mkdir -p "$ARTIFACT_DIR"
     for seed in "${seeds[@]}"; do
         echo "==> conformance campaign @ seed ${seed} (${CONFORMANCE_RUNS} runs)"
         cargo run --release --offline --locked --bin conformance -- \
-            --runs "$CONFORMANCE_RUNS" --seed "$seed" > /dev/null
+            --runs "$CONFORMANCE_RUNS" --seed "$seed" \
+            > "$ARTIFACT_DIR/conformance_seed_${seed}.json"
+    done
+}
+
+job_rev_campaign() {
+    echo "=== job: rev-campaign ==="
+    local seeds=("${REV_SEEDS[@]}")
+    if [[ -n "${HIFI_REV_SEED:-}" ]]; then
+        seeds=("$HIFI_REV_SEED")
+    fi
+    cargo build --release --offline --locked --bin rev_campaign
+    mkdir -p "$ARTIFACT_DIR"
+    for seed in "${seeds[@]}"; do
+        echo "==> rev campaign @ seed ${seed} (${REV_RUNS} runs, two-route)"
+        cargo run --release --offline --locked --bin rev_campaign -- \
+            --runs "$REV_RUNS" --seed "$seed" \
+            > "$ARTIFACT_DIR/rev_seed_${seed}.json"
     done
 }
 
@@ -119,17 +156,35 @@ job_scale_smoke() {
         --features hifi-telemetry/alloc-track --bench scale_sweep
 }
 
+# serve-smoke state shared with its EXIT trap. A RETURN trap is not
+# enough here: under `set -e` a failing load_test aborts the whole
+# script, and only the EXIT trap still runs — without it the backgrounded
+# hifi-serve daemon would outlive CI.
+SERVE_SMOKE_PID=""
+SERVE_SMOKE_TMP=""
+
+serve_smoke_cleanup() {
+    if [[ -n "$SERVE_SMOKE_PID" ]]; then
+        kill "$SERVE_SMOKE_PID" 2>/dev/null || true
+        wait "$SERVE_SMOKE_PID" 2>/dev/null || true
+        SERVE_SMOKE_PID=""
+    fi
+    if [[ -n "$SERVE_SMOKE_TMP" ]]; then
+        rm -rf "$SERVE_SMOKE_TMP"
+        SERVE_SMOKE_TMP=""
+    fi
+}
+
 job_serve_smoke() {
     echo "=== job: serve-smoke ==="
     cargo build --release --offline --locked -p hifi-serve --bins
-    local tmp
-    tmp="$(mktemp -d)"
-    # shellcheck disable=SC2064 # expand now: the dir name is fixed here
-    trap "rm -rf '$tmp'" RETURN
+    SERVE_SMOKE_TMP="$(mktemp -d)"
+    trap serve_smoke_cleanup EXIT
+    local tmp="$SERVE_SMOKE_TMP"
     echo "==> start daemon on an ephemeral port"
     target/release/hifi-serve --addr 127.0.0.1:0 --workers 2 --capacity 16 \
         --store "$tmp/store" > "$tmp/serve.out" 2> "$tmp/serve.err" &
-    local pid=$!
+    SERVE_SMOKE_PID=$!
     local addr=""
     for _ in $(seq 1 100); do
         addr="$(sed -n 's#^hifi-serve listening on http://##p' "$tmp/serve.out")"
@@ -138,7 +193,6 @@ job_serve_smoke() {
     done
     if [[ -z "$addr" ]]; then
         echo "serve-smoke: daemon never reported its address" >&2
-        kill "$pid" 2>/dev/null || true
         cat "$tmp/serve.err" >&2 || true
         exit 1
     fi
@@ -147,15 +201,18 @@ job_serve_smoke() {
     echo "==> batch 2: resubmit completed specs (must dedup via store hits)"
     target/release/load_test --connect "$addr" --jobs 16 --distinct 8 --clients 4
     echo "==> SIGTERM: daemon must drain and exit 0"
-    kill -TERM "$pid"
+    kill -TERM "$SERVE_SMOKE_PID"
     local status=0
-    wait "$pid" || status=$?
+    wait "$SERVE_SMOKE_PID" || status=$?
+    SERVE_SMOKE_PID=""
     if [[ "$status" -ne 0 ]]; then
         echo "serve-smoke: daemon exited $status on SIGTERM" >&2
         cat "$tmp/serve.err" >&2 || true
         exit 1
     fi
     grep -q "hifi-serve: stopped" "$tmp/serve.err"
+    serve_smoke_cleanup
+    trap - EXIT
 }
 
 job_bench_gate() {
@@ -182,26 +239,29 @@ job_profile_gate() {
 }
 
 run_job() {
+    local start="$SECONDS"
     case "$1" in
         lint) job_lint ;;
         test) job_test ;;
         regen-drift) job_regen_drift ;;
         fault-matrix) job_fault_matrix ;;
         conformance) job_conformance ;;
+        rev-campaign) job_rev_campaign ;;
         scale-smoke) job_scale_smoke ;;
         serve-smoke) job_serve_smoke ;;
         bench-gate) job_bench_gate ;;
         profile-gate) job_profile_gate ;;
         *)
             echo "unknown job: $1" >&2
-            echo "jobs: lint test regen-drift fault-matrix conformance scale-smoke serve-smoke bench-gate profile-gate" >&2
+            echo "jobs: lint test regen-drift fault-matrix conformance rev-campaign scale-smoke serve-smoke bench-gate profile-gate" >&2
             exit 2
             ;;
     esac
+    echo "=== job: $1 done in $((SECONDS - start))s ==="
 }
 
 if [[ "$#" -eq 0 ]]; then
-    set -- lint test regen-drift fault-matrix conformance scale-smoke serve-smoke bench-gate profile-gate
+    set -- lint test regen-drift fault-matrix conformance rev-campaign scale-smoke serve-smoke bench-gate profile-gate
 fi
 for job in "$@"; do
     run_job "$job"

@@ -1,8 +1,11 @@
 //! Property-based tests on the DRAM simulator: in-spec traffic must behave
-//! like an ideal memory, regardless of the SA topology or command pattern.
+//! like an ideal memory, regardless of the SA topology or command pattern;
+//! the controller address mapping must be a bijection for every seeded
+//! profile; and the checked command path must reject exactly the sequences
+//! that violate a JEDEC window (tRCD/tRAS/tRP edges, REF ordering).
 
 use hifi_dram::circuit::topology::SaTopologyKind;
-use hifi_dram::dramsim::{DeviceConfig, DramDevice};
+use hifi_dram::dramsim::{Command, DeviceConfig, DramDevice, DramError};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -106,5 +109,165 @@ proptest! {
         let trp = dev.config().timing.t_rp.value();
         let out = attempt_row_copy(&mut dev, 0, 1, 2, Nanoseconds(gap)).expect("runs");
         prop_assert_eq!(out.copied, gap < trp, "gap {} vs tRP {}", gap, trp);
+    }
+
+    // ---- Controller address decoder ----
+
+    #[test]
+    fn decode_encode_round_trips_for_every_profile(
+        seed in any::<u64>(),
+        bank in 0usize..4,
+        row in 0usize..64,
+        col in 0usize..16,
+    ) {
+        let cfg = DeviceConfig::profiled(SaTopologyKind::Classic, seed);
+        let addr = cfg.encode(bank, row, col);
+        prop_assert!(addr >> cfg.address_bits() == 0, "encode stays in range");
+        prop_assert_eq!(cfg.decode(addr).expect("in range"), (bank, row, col));
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_flat_address(
+        seed in any::<u64>(),
+        addr in 0usize..4096,
+    ) {
+        let cfg = DeviceConfig::profiled(SaTopologyKind::Classic, seed);
+        let (bank, row, col) = cfg.decode(addr).expect("in range");
+        prop_assert!(bank < cfg.banks && row < cfg.rows && col < cfg.cols);
+        prop_assert_eq!(cfg.encode(bank, row, col), addr);
+    }
+
+    #[test]
+    fn out_of_range_addresses_are_rejected(seed in any::<u64>(), excess in 1usize..1000) {
+        let cfg = DeviceConfig::profiled(SaTopologyKind::Classic, seed);
+        let addr = (1usize << cfg.address_bits()) - 1 + excess;
+        prop_assert!(matches!(cfg.decode(addr), Err(DramError::AddressOutOfRange(_))));
+    }
+
+    #[test]
+    fn bank_hash_masks_never_share_a_row_bit(seed in any::<u64>()) {
+        // The decoder's XOR supports stay disjoint for every generated
+        // profile — the invariant the Knock-Knock-style support-set
+        // recovery (hifi-rev) relies on to partition address bits.
+        let cfg = DeviceConfig::profiled(SaTopologyKind::Classic, seed);
+        let mut seen = 0u64;
+        for mask in &cfg.profile.bank_xor {
+            prop_assert_eq!(seen & mask, 0, "overlapping masks in {:?}", cfg.profile.bank_xor);
+            seen |= mask;
+        }
+    }
+
+    // ---- JEDEC timing state machine (checked command placement) ----
+
+    #[test]
+    fn read_is_legal_exactly_at_the_trcd_edge(dt in 0.0f64..30.0) {
+        use hifi_dram::units::Nanoseconds;
+        let mut dev = DramDevice::new(DeviceConfig::ddr4(SaTopologyKind::Classic));
+        let t_rcd = dev.config().timing.t_rcd.value();
+        dev.activate(0, 3).expect("in-spec activate");
+        dev.write(0, 0, 0xAB).expect("seed the cell");
+        dev.precharge(0).expect("close");
+        dev.activate(0, 3).expect("reopen");
+        dev.step(Nanoseconds(dt));
+        let got = dev.issue_checked(Command::Read { bank: 0, col: 0 });
+        if dt >= t_rcd {
+            prop_assert_eq!(got, Ok(Some(0xAB)));
+        } else {
+            prop_assert!(
+                matches!(got, Err(DramError::TimingViolation { constraint: "tRCD", .. })),
+                "dt {} vs tRCD {}: {:?}", dt, t_rcd, got
+            );
+        }
+    }
+
+    #[test]
+    fn precharge_is_legal_exactly_at_the_tras_edge(dt in 0.0f64..60.0) {
+        use hifi_dram::units::Nanoseconds;
+        let mut dev = DramDevice::new(DeviceConfig::ddr4(SaTopologyKind::Classic));
+        let t_ras = dev.config().timing.t_ras.value();
+        dev.activate(0, 3).expect("in-spec activate");
+        dev.step(Nanoseconds(dt));
+        let got = dev.issue_checked(Command::Precharge { bank: 0 });
+        if dt >= t_ras {
+            prop_assert_eq!(got, Ok(None));
+        } else {
+            prop_assert!(
+                matches!(got, Err(DramError::TimingViolation { constraint: "tRAS", .. })),
+                "dt {} vs tRAS {}: {:?}", dt, t_ras, got
+            );
+        }
+    }
+
+    #[test]
+    fn activate_is_legal_exactly_at_the_trp_edge(dt in 0.0f64..30.0) {
+        use hifi_dram::units::Nanoseconds;
+        let mut dev = DramDevice::new(DeviceConfig::ddr4(SaTopologyKind::Classic));
+        let t_rp = dev.config().timing.t_rp.value();
+        dev.activate(0, 3).expect("in-spec activate");
+        dev.precharge(0).expect("in-spec precharge");
+        dev.step(Nanoseconds(dt));
+        let got = dev.issue_checked(Command::Activate { bank: 0, row: 5 });
+        if dt >= t_rp {
+            prop_assert_eq!(got, Ok(None));
+        } else {
+            prop_assert!(
+                matches!(got, Err(DramError::TimingViolation { constraint: "tRP", .. })),
+                "dt {} vs tRP {}: {:?}", dt, t_rp, got
+            );
+        }
+    }
+
+    #[test]
+    fn refresh_is_rejected_while_any_row_is_open(bank in 0usize..4, row in 0usize..128) {
+        let mut dev = DramDevice::new(DeviceConfig::ddr4(SaTopologyKind::Classic));
+        dev.activate(bank, row).expect("in-spec activate");
+        let got = dev.issue_checked(Command::Refresh);
+        prop_assert!(
+            matches!(got, Err(DramError::TimingViolation { constraint: "REF-with-open-row", .. })),
+            "{:?}", got
+        );
+        // Close the row properly: REF becomes legal once every precharge
+        // has run out its tRP window.
+        dev.precharge(bank).expect("in-spec precharge");
+        let t_rp = dev.config().timing.t_rp;
+        dev.step(t_rp);
+        prop_assert_eq!(dev.issue_checked(Command::Refresh), Ok(None));
+    }
+
+    #[test]
+    fn column_commands_without_an_open_row_are_rejected(
+        bank in 0usize..4,
+        col in 0usize..64,
+        write in any::<bool>(),
+    ) {
+        let mut dev = DramDevice::new(DeviceConfig::ddr4(SaTopologyKind::Classic));
+        let cmd = if write {
+            Command::Write { bank, col, data: 0x77 }
+        } else {
+            Command::Read { bank, col }
+        };
+        prop_assert_eq!(dev.issue_checked(cmd), Err(DramError::NoOpenRow { bank }));
+    }
+
+    #[test]
+    fn checked_refresh_preserves_data_and_stays_in_spec(
+        topology in arb_topology(),
+        writes in prop::collection::vec((0usize..4, 0usize..128, 0usize..64, any::<u8>()), 1..12),
+    ) {
+        let mut dev = DramDevice::new(DeviceConfig::ddr4(topology));
+        let mut model: HashMap<(usize, usize, usize), u8> = HashMap::new();
+        for &(bank, row, col, data) in &writes {
+            dev.activate(bank, row).expect("in-spec activate");
+            dev.write(bank, col, data).expect("in-spec write");
+            dev.precharge(bank).expect("in-spec precharge");
+            model.insert((bank, row, col), data);
+        }
+        dev.refresh().expect("controller refresh");
+        prop_assert!(dev.trace().iter().all(|r| r.in_spec), "{:?}", dev.trace());
+        for (&(bank, row, col), &data) in &model {
+            dev.activate(bank, row).expect("reopen");
+            prop_assert_eq!(dev.read(bank, col).expect("read"), data);
+            dev.precharge(bank).expect("close");
+        }
     }
 }

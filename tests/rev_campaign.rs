@@ -1,0 +1,140 @@
+//! End-to-end rev-campaign integration tests, exercised through the same
+//! public API the `rev_campaign` binary uses.
+//!
+//! Three contracts are pinned here because they span the whole stack:
+//! campaign reports must be bit-stable across thread counts, every seeded
+//! device's black-box inference must agree with the imaging route and
+//! with ground truth, and a sabotaged device must be flagged by *both*
+//! reverse-engineering routes independently.
+
+use hifi_circuit::topology::SaTopologyKind;
+use hifi_circuit::Netlist;
+use hifi_conformance::{judge_with, run_seed, ChipSpec, Tolerance};
+use hifi_dramsim::DramDevice;
+use hifi_rev::{
+    cross_validate, device_for, infer_device, run_rev_campaign, BlackBox, RevCampaignConfig,
+};
+
+/// The campaign report — JSON and all — must not depend on how many
+/// worker threads probed the devices. Same property the conformance
+/// campaign pins; it is what lets CI compare rev artifacts across
+/// heterogeneous runners.
+#[test]
+fn rev_reports_are_bit_identical_across_thread_counts() {
+    let cfg = RevCampaignConfig {
+        seed: 42,
+        runs: 2,
+        with_imaging: true,
+    };
+    let single = rayon::with_num_threads(1, || run_rev_campaign(&cfg));
+    let multi = rayon::with_num_threads(2, || run_rev_campaign(&cfg));
+    assert_eq!(single, multi);
+    assert_eq!(single.to_json(), multi.to_json());
+    assert_eq!(single.runs, 2);
+    assert_eq!(
+        single.failed,
+        0,
+        "seed-42 prefix must stay green: {}",
+        single.summary_line()
+    );
+}
+
+/// Acceptance criterion: on a second seed, every generated device's
+/// black-box inference recovers the address mapping, polarity map, row
+/// scramble, disturbance threshold and SA topology, and the topology
+/// claim matches the imaging route's identification of the same spec.
+#[test]
+fn second_seed_campaign_cross_validates_every_device() {
+    let cfg = RevCampaignConfig {
+        seed: 7,
+        runs: 2,
+        with_imaging: true,
+    };
+    let report = run_rev_campaign(&cfg);
+    assert_eq!(report.passed, report.runs, "{}", report.summary_line());
+    for outcome in &report.outcomes {
+        let named: Vec<&str> = outcome
+            .comparison
+            .fields
+            .iter()
+            .map(|f| f.field.as_str())
+            .collect();
+        assert_eq!(
+            named,
+            vec![
+                "topology.device",
+                "topology.two_route",
+                "mapping",
+                "mapping.row_xor",
+                "polarity",
+                "retention",
+                "disturbance.threshold",
+            ],
+            "fixed field shape for downstream diffing"
+        );
+    }
+}
+
+/// Sabotage, route one: fabricate the device with the *opposite* SA
+/// topology to what the spec (and hence the imaging route) says. The
+/// black-box route reads the truth off the silicon's behaviour, so the
+/// two routes disagree and cross-validation flags the device.
+#[test]
+fn sabotaged_device_is_flagged_by_the_rev_route() {
+    let seed = run_seed(42, 0);
+    let spec = ChipSpec::generate(seed);
+    let sabotaged = match spec.topology {
+        SaTopologyKind::OffsetCancellation => SaTopologyKind::Classic,
+        _ => SaTopologyKind::OffsetCancellation,
+    };
+    let device_cfg = device_for(sabotaged, seed);
+    let inference = infer_device(BlackBox::new(DramDevice::new(device_cfg.clone())));
+    let imaging = hifi_dram::pipeline::Pipeline::new(spec.pipeline_config())
+        .run()
+        .expect("imaging route runs")
+        .identified;
+    let comparison = cross_validate(&device_cfg, &inference, imaging);
+    // The behavioural probe still reads the sabotaged silicon correctly…
+    assert!(
+        comparison
+            .fields
+            .iter()
+            .any(|f| f.field == "topology.device" && f.agrees),
+        "black-box probe must identify the actual silicon"
+    );
+    // …which is exactly why the two routes disagree.
+    assert!(
+        comparison.disagreements().contains(&"topology.two_route"),
+        "two-route check must flag the spec/device mismatch: {comparison:?}"
+    );
+}
+
+/// Sabotage, route two: the same spec with a tampered *extraction* is
+/// rejected by the conformance (imaging-side) isomorphism oracle — each
+/// route catches sabotage on its own side of the fab.
+#[test]
+fn sabotaged_netlist_is_flagged_by_the_imaging_route() {
+    let drop_first_mosfet = |nl: &Netlist| -> Netlist {
+        let mut out = Netlist::new("tampered");
+        let mut dropped = false;
+        for (_, d) in nl.devices() {
+            if let hifi_circuit::Device::Mosfet(m) = d {
+                if !dropped {
+                    dropped = true;
+                    continue;
+                }
+                let g = out.add_net(nl.net_name(m.gate));
+                let s = out.add_net(nl.net_name(m.source));
+                let dr = out.add_net(nl.net_name(m.drain));
+                out.add_mosfet(m.name.clone(), m.polarity, m.class, m.dims, g, s, dr);
+            }
+        }
+        out
+    };
+    let spec = ChipSpec::generate(run_seed(42, 0));
+    let judgement = judge_with(&spec, &Tolerance::default(), Some(&drop_first_mosfet));
+    assert!(
+        judgement.failed_oracles().contains(&"netlist"),
+        "imaging-side oracle must reject the tampered extraction"
+    );
+}
