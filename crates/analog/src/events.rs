@@ -10,15 +10,24 @@
 //! | ③ precharge                  | ③ pre-sensing (no bitline load)      |
 //! |                              | ④ restore (ISO on), then precharge   |
 //!
-//! The testbench hangs a one-cell MAT column off `BL` (the activated MAT) and
-//! a dummy column off `BLB` (the reference MAT of the open-bitline scheme),
-//! injects threshold mismatch into a latch transistor, and reports whether
-//! the amplifier latched the right value.
+//! The schedules are pure stimulus descriptions executed by the MNA engine
+//! ([`crate::mna`]); the legacy explicit solver remains available through
+//! [`SimEngine::LegacyExplicit`] for cross-validation. Control nets are
+//! located by **role inference** ([`SaRoles::infer`]) rather than by name,
+//! so the same schedules drive hand-built topologies and netlists recovered
+//! by `hifi_extract` — the closed loop the paper's §VI-A argues for: a wrong
+//! extraction shows up as a wrong waveform, not just a wrong graph.
+//!
+//! The testbench hangs a one-cell MAT column off the inferred `BL` (the
+//! activated MAT) and a dummy column off `BLB` (the reference MAT of the
+//! open-bitline scheme), injects threshold mismatch into a latch transistor,
+//! and reports whether the amplifier latched the right value.
 
+use crate::mna::{MnaCircuit, MnaTransient, SolveStats};
 use crate::sim::{AnalogCircuit, SimError, Stimulus, Transient, Waveforms};
 use hifi_circuit::topology::{self, SaDimensions, SaTopologyKind};
-use hifi_circuit::TransistorDims;
-use hifi_units::{Femtofarads, Nanometers};
+use hifi_circuit::{Mosfet, NetId, Netlist, TransistorClass, TransistorDims};
+use hifi_units::{Femtofarads, Nanometers, Volts};
 
 /// Phase durations for an activation, in nanoseconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,6 +101,17 @@ impl Default for ActivationConfig {
     }
 }
 
+/// Which transient solver executes the activation schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimEngine {
+    /// The MNA backward-Euler engine ([`crate::mna`]) — the default.
+    #[default]
+    Mna,
+    /// The legacy explicit fixed-timestep integrator, kept for
+    /// cross-validating the MNA results.
+    LegacyExplicit,
+}
+
 /// Outcome of one simulated activation.
 #[derive(Debug, Clone)]
 pub struct SenseReport {
@@ -111,88 +131,503 @@ pub struct SenseReport {
     pub restored_level: f64,
     /// The topology simulated.
     pub topology: SaTopologyKind,
+    /// Solver diagnostics (`None` when run on the legacy engine).
+    pub solve_stats: Option<SolveStats>,
 }
 
-fn build_testbench(
-    kind: SaTopologyKind,
-    cfg: &ActivationConfig,
-) -> (hifi_circuit::Netlist, &'static str, &'static str) {
-    // Latch observation nodes differ: the classic latch drains *are* the
-    // bitlines; the OCSA latch drains are the internal SABL/SABLB nodes.
-    let (circuit, node_l, node_r) = match kind {
-        SaTopologyKind::Classic => (topology::classic_sa(cfg.dims.clone()), "BL", "BLB"),
-        SaTopologyKind::OffsetCancellation => (topology::ocsa(cfg.dims.clone()), "SABL", "SABLB"),
-        SaTopologyKind::ClassicWithIsolation => (
-            topology::classic_sa_with_isolation(cfg.dims.clone()),
-            "IBL",
-            "IBLB",
-        ),
-    };
-    let mut nl = circuit.into_netlist();
-    let access = TransistorDims::new(Nanometers(40.0), Nanometers(20.0));
-    // Activated MAT column on BL, reference column on BLB (never activated).
-    topology::attach_mat_column(
-        &mut nl,
-        "BL",
-        1,
-        Femtofarads(cfg.c_cell_ff),
-        Femtofarads(cfg.c_bitline_ff),
-        access,
-    );
-    topology::attach_mat_column(
-        &mut nl,
-        "BLB",
-        1,
-        Femtofarads(cfg.c_cell_ff),
-        Femtofarads(cfg.c_bitline_ff),
-        access,
-    );
-    // Explicit parasitics on internal latch nodes keep integration smooth.
-    for pair in [("SABL", "SABLB"), ("IBL", "IBLB")] {
-        if nl.net(pair.0).is_some() {
-            let gnd = nl.add_net("GND");
-            let l = nl.net(pair.0).expect("internal node");
-            let r = nl.net(pair.1).expect("internal node");
-            nl.add_capacitor(format!("c_{}", pair.0), Femtofarads(8.0), l, gnd);
-            nl.add_capacitor(format!("c_{}", pair.1), Femtofarads(8.0), r, gnd);
+/// The functional roles of a sense amplifier's nets and devices, inferred
+/// from a classified netlist.
+///
+/// The extractor names nets `n17` and devices `m4`; the activation
+/// schedules need to know which of those is the bitline, the latch rail or
+/// the precharge gate. This structure is that mapping. Side `l` is the side
+/// whose latch sense node has the smaller [`NetId`] — an arbitrary but
+/// deterministic orientation; the active MAT column always attaches to
+/// [`SaRoles::bl`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaRoles {
+    /// Topology family implied by the device classes present.
+    pub kind: SaTopologyKind,
+    /// Bitline carrying the activated MAT column.
+    pub bl: String,
+    /// Reference bitline (never-activated MAT).
+    pub blb: String,
+    /// Latch sense node on the `bl` side (`BL` itself for the classic SA,
+    /// `SABL`/`IBL` for topologies that decouple the latch).
+    pub sense_l: String,
+    /// Latch sense node on the `blb` side.
+    pub sense_r: String,
+    /// pSA latch rail (driven high to sense).
+    pub la: String,
+    /// nSA latch rail (driven low to sense).
+    pub lab: String,
+    /// Precharge reference net (Vdd/2 supply).
+    pub vpre: String,
+    /// Gate net shared by the precharge devices (`PEQ`/`PRE`).
+    pub precharge_gate: String,
+    /// Gate net of the isolation devices, when present.
+    pub iso_gate: Option<String>,
+    /// Gate net of the offset-cancellation devices, when present.
+    pub oc_gate: Option<String>,
+    /// Gate net of the column-select devices, when present and unanimous.
+    pub column_gate: Option<String>,
+    /// The `bl`-side nSA latch transistor — where
+    /// [`ActivationConfig::nsa_vt_offset`] is injected.
+    pub offset_device: String,
+}
+
+impl SaRoles {
+    /// The roles of a freshly built canonical topology (all named nets).
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the workspace topology builders are inconsistent.
+    pub fn canonical(kind: SaTopologyKind) -> Self {
+        let circuit = match kind {
+            SaTopologyKind::Classic => topology::classic_sa(SaDimensions::default()),
+            SaTopologyKind::OffsetCancellation => topology::ocsa(SaDimensions::default()),
+            SaTopologyKind::ClassicWithIsolation => {
+                topology::classic_sa_with_isolation(SaDimensions::default())
+            }
+        };
+        Self::infer(circuit.netlist()).expect("canonical topologies have well-defined roles")
+    }
+
+    /// Infers the roles from any classified netlist (hand-built or
+    /// extracted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RoleInference`] when the netlist does not
+    /// describe a recognisable single sense amplifier — wrong device-class
+    /// counts, a latch that is not cross-coupled, missing ISO/OC paths.
+    pub fn infer(nl: &Netlist) -> Result<Self, SimError> {
+        let fail = |why: String| Err(SimError::RoleInference(why));
+        let name = |id: NetId| nl.net_name(id).to_owned();
+
+        let nsa: Vec<&Mosfet> = nl.mosfets_of_class(TransistorClass::NSa).collect();
+        let psa: Vec<&Mosfet> = nl.mosfets_of_class(TransistorClass::PSa).collect();
+        if nsa.len() != 2 || psa.len() != 2 {
+            return fail(format!(
+                "expected 2 nSA and 2 pSA latch devices, found {} and {}",
+                nsa.len(),
+                psa.len()
+            ));
+        }
+        let shared_channel = |a: &Mosfet, b: &Mosfet| -> Option<NetId> {
+            [a.source, a.drain]
+                .into_iter()
+                .find(|t| *t == b.source || *t == b.drain)
+        };
+        let other_channel = |m: &Mosfet, not: NetId| -> NetId {
+            if m.source == not {
+                m.drain
+            } else {
+                m.source
+            }
+        };
+        let Some(lab) = shared_channel(nsa[0], nsa[1]) else {
+            return fail("nSA latch devices share no tail rail".into());
+        };
+        let Some(la) = shared_channel(psa[0], psa[1]) else {
+            return fail("pSA latch devices share no tail rail".into());
+        };
+        let n_sense = (other_channel(nsa[0], lab), other_channel(nsa[1], lab));
+        if n_sense.0 == n_sense.1 {
+            return fail("nSA latch devices collapse onto one sense node".into());
+        }
+        let p_sense = [other_channel(psa[0], la), other_channel(psa[1], la)];
+        if !(p_sense.contains(&n_sense.0) && p_sense.contains(&n_sense.1)) {
+            return fail("pSA and nSA halves sense different node pairs".into());
+        }
+        // Deterministic orientation: side l owns the smaller sense NetId.
+        let (nsa_l, nsa_r) = if n_sense.0 .0 <= n_sense.1 .0 {
+            (nsa[0], nsa[1])
+        } else {
+            (nsa[1], nsa[0])
+        };
+        let sense_l = other_channel(nsa_l, lab);
+        let sense_r = other_channel(nsa_r, lab);
+
+        let iso: Vec<&Mosfet> = nl.mosfets_of_class(TransistorClass::Isolation).collect();
+        let oc: Vec<&Mosfet> = nl.mosfets_of_class(TransistorClass::OffsetCancel).collect();
+        if !matches!(iso.len(), 0 | 2) || !matches!(oc.len(), 0 | 2) {
+            return fail(format!(
+                "expected 0 or 2 isolation/offset-cancel devices, found {} and {}",
+                iso.len(),
+                oc.len()
+            ));
+        }
+        let common_gate = |devices: &[&Mosfet]| -> Option<NetId> {
+            let g = devices.first()?.gate;
+            devices.iter().all(|m| m.gate == g).then_some(g)
+        };
+        // The device of `class` whose channel touches `node`; its far
+        // terminal tells us what the node connects onward to.
+        let attached_via = |devices: &[&Mosfet], node: NetId| -> Option<NetId> {
+            devices
+                .iter()
+                .find(|m| m.source == node || m.drain == node)
+                .map(|m| other_channel(m, node))
+        };
+
+        let gates_on_sense = nsa_l.gate == sense_r && nsa_r.gate == sense_l;
+        let (kind, bl, blb) = if gates_on_sense {
+            if iso.len() == 2 {
+                // Research-style isolation: the whole latch sits behind ISO.
+                let Some(bl) = attached_via(&iso, sense_l) else {
+                    return fail("no isolation device reaches the left sense node".into());
+                };
+                let Some(blb) = attached_via(&iso, sense_r) else {
+                    return fail("no isolation device reaches the right sense node".into());
+                };
+                (SaTopologyKind::ClassicWithIsolation, bl, blb)
+            } else {
+                (SaTopologyKind::Classic, sense_l, sense_r)
+            }
+        } else {
+            // Latch gates leave the sense nodes: offset-cancellation SA.
+            if iso.len() != 2 || oc.len() != 2 {
+                return fail(
+                    "latch gates are off the sense nodes but no ISO/OC device pair exists".into(),
+                );
+            }
+            let Some(bl) = attached_via(&iso, sense_l) else {
+                return fail("no isolation device reaches the left sense node".into());
+            };
+            let Some(blb) = attached_via(&iso, sense_r) else {
+                return fail("no isolation device reaches the right sense node".into());
+            };
+            if nsa_l.gate != blb || nsa_r.gate != bl {
+                return fail("latch gates are not cross-coupled to the bitlines".into());
+            }
+            if attached_via(&oc, sense_l) != Some(blb) || attached_via(&oc, sense_r) != Some(bl) {
+                return fail("offset-cancel devices do not reach the opposite bitlines".into());
+            }
+            (SaTopologyKind::OffsetCancellation, bl, blb)
+        };
+
+        let pre: Vec<&Mosfet> = nl.mosfets_of_class(TransistorClass::Precharge).collect();
+        if pre.len() != 2 {
+            return fail(format!("expected 2 precharge devices, found {}", pre.len()));
+        }
+        let Some(precharge_gate) = common_gate(&pre) else {
+            return fail("precharge devices do not share a gate".into());
+        };
+        let Some(vpre) = shared_channel(pre[0], pre[1]) else {
+            return fail("precharge devices share no reference net".into());
+        };
+
+        let cols: Vec<&Mosfet> = nl.mosfets_of_class(TransistorClass::Column).collect();
+        Ok(Self {
+            kind,
+            bl: name(bl),
+            blb: name(blb),
+            sense_l: name(sense_l),
+            sense_r: name(sense_r),
+            la: name(la),
+            lab: name(lab),
+            vpre: name(vpre),
+            precharge_gate: name(precharge_gate),
+            iso_gate: common_gate(&iso).map(name),
+            oc_gate: common_gate(&oc).map(name),
+            column_gate: common_gate(&cols).map(name),
+            offset_device: nsa_l.name.clone(),
+        })
+    }
+}
+
+/// Schedule landmarks shared by both topologies' stimulus programs.
+struct Landmarks {
+    t_share: f64,
+    t_restore_end: f64,
+    t_end: f64,
+}
+
+/// Builds the activation stimulus program for the inferred roles: the
+/// Fig. 2c events for classic-family topologies, the Fig. 9b events for the
+/// OCSA.
+fn schedule(roles: &SaRoles, cfg: &ActivationConfig) -> (Stimulus, Landmarks) {
+    let t = &cfg.timings;
+    let ns = 1e-9;
+    let slew = t.slew_ns * ns;
+    let t_act = t.precharge_ns * ns; // ACT command arrives here.
+
+    let mut stim = Stimulus::new();
+    stim.hold("GND", Volts(0.0));
+    stim.hold(&roles.vpre, Volts(cfg.vpre));
+    if let Some(y) = &roles.column_gate {
+        stim.hold(y, Volts(0.0)); // column not selected during activation
+    }
+    stim.hold(&format!("WL0_{}", roles.blb), Volts(0.0)); // reference MAT
+
+    let wl = format!("WL0_{}", roles.bl);
+    let (t_share, t_restore_end, t_end);
+    match roles.kind {
+        SaTopologyKind::Classic | SaTopologyKind::ClassicWithIsolation => {
+            // Charge sharing starts right after ACT.
+            t_share = t_act;
+            let t_sense = t_share + t.charge_share_ns * ns;
+            t_restore_end = t_sense + t.sense_ns * ns + t.restore_ns * ns;
+            t_end = t_restore_end + t.final_precharge_ns * ns;
+            // PEQ: on during precharge, off at ACT, on again at the end.
+            stim.pwl(
+                &roles.precharge_gate,
+                vec![
+                    (0.0, cfg.v_boost),
+                    (t_act, cfg.v_boost),
+                    (t_act + slew, 0.0),
+                    (t_restore_end, 0.0),
+                    (t_restore_end + slew, cfg.v_boost),
+                ],
+            );
+            if roles.kind == SaTopologyKind::ClassicWithIsolation {
+                if let Some(iso) = &roles.iso_gate {
+                    stim.hold(iso, Volts(cfg.v_boost)); // statically connected
+                }
+            }
+            stim.pwl(
+                &wl,
+                vec![
+                    (0.0, 0.0),
+                    (t_share, 0.0),
+                    (t_share + slew, cfg.v_boost),
+                    (t_restore_end, cfg.v_boost),
+                    (t_restore_end + slew, 0.0),
+                ],
+            );
+            // Latch rails: parked at Vpre, driven apart during sensing,
+            // re-parked for the final precharge.
+            stim.pwl(
+                &roles.la,
+                vec![
+                    (0.0, cfg.vpre),
+                    (t_sense, cfg.vpre),
+                    (t_sense + 2.0 * slew, cfg.vdd),
+                    (t_restore_end, cfg.vdd),
+                    (t_restore_end + slew, cfg.vpre),
+                ],
+            );
+            stim.pwl(
+                &roles.lab,
+                vec![
+                    (0.0, cfg.vpre),
+                    (t_sense, cfg.vpre),
+                    (t_sense + 2.0 * slew, 0.0),
+                    (t_restore_end, 0.0),
+                    (t_restore_end + slew, cfg.vpre),
+                ],
+            );
+        }
+        SaTopologyKind::OffsetCancellation => {
+            // Fig. 9b: offset cancellation precedes charge sharing.
+            let t_oc_end = t_act + t.offset_cancel_ns * ns;
+            t_share = t_oc_end;
+            let t_sense = t_share + t.charge_share_ns * ns;
+            let t_restore = t_sense + t.sense_ns * ns;
+            t_restore_end = t_restore + t.restore_ns * ns;
+            t_end = t_restore_end + t.final_precharge_ns * ns;
+            let iso = roles.iso_gate.as_deref().expect("ocsa roles carry ISO");
+            let oc = roles.oc_gate.as_deref().expect("ocsa roles carry OC");
+            // PRE: on during initial precharge and final precharge only.
+            stim.pwl(
+                &roles.precharge_gate,
+                vec![
+                    (0.0, cfg.v_boost),
+                    (t_act, cfg.v_boost),
+                    (t_act + slew, 0.0),
+                    (t_restore_end, 0.0),
+                    (t_restore_end + slew, cfg.v_boost),
+                ],
+            );
+            // ISO: on in precharge (and for equalisation), off from ACT
+            // until the restore phase reconnects the latch to the bitlines.
+            stim.pwl(
+                iso,
+                vec![
+                    (0.0, cfg.v_boost),
+                    (t_act, cfg.v_boost),
+                    (t_act + slew, 0.0),
+                    (t_restore, 0.0),
+                    (t_restore + slew, cfg.v_boost),
+                ],
+            );
+            // OC: on during precharge (equalisation = ISO+OC) and during the
+            // offset-cancellation phase.
+            stim.pwl(
+                oc,
+                vec![
+                    (0.0, cfg.v_boost),
+                    (t_oc_end, cfg.v_boost),
+                    (t_oc_end + slew, 0.0),
+                    (t_restore_end, 0.0),
+                    (t_restore_end + slew, cfg.v_boost),
+                ],
+            );
+            // Wordline rises only after offset cancellation.
+            stim.pwl(
+                &wl,
+                vec![
+                    (0.0, 0.0),
+                    (t_share, 0.0),
+                    (t_share + slew, cfg.v_boost),
+                    (t_restore_end, cfg.v_boost),
+                    (t_restore_end + slew, 0.0),
+                ],
+            );
+            // LAB drops at the start of offset cancellation to enable the
+            // nSA diode action; LA ramps only at pre-sensing.
+            stim.pwl(
+                &roles.lab,
+                vec![
+                    (0.0, cfg.vpre),
+                    (t_act, cfg.vpre),
+                    (t_act + 2.0 * slew, 0.0),
+                    (t_restore_end, 0.0),
+                    (t_restore_end + slew, cfg.vpre),
+                ],
+            );
+            stim.pwl(
+                &roles.la,
+                vec![
+                    (0.0, cfg.vpre),
+                    (t_sense, cfg.vpre),
+                    (t_sense + 2.0 * slew, cfg.vdd),
+                    (t_restore_end, cfg.vdd),
+                    (t_restore_end + slew, cfg.vpre),
+                ],
+            );
         }
     }
-    (nl, node_l, node_r)
+    (
+        stim,
+        Landmarks {
+            t_share,
+            t_restore_end,
+            t_end,
+        },
+    )
+}
+
+/// Attaches the MAT columns and internal-node parasitics to a bare SA
+/// netlist, completing the activation testbench.
+fn attach_testbench(nl: &mut Netlist, roles: &SaRoles, cfg: &ActivationConfig) {
+    let access = TransistorDims::new(Nanometers(40.0), Nanometers(20.0));
+    // Activated MAT column on BL, reference column on BLB (never activated).
+    for bitline in [&roles.bl, &roles.blb] {
+        topology::attach_mat_column(
+            nl,
+            bitline,
+            1,
+            Femtofarads(cfg.c_cell_ff),
+            Femtofarads(cfg.c_bitline_ff),
+            access,
+        );
+    }
+    // Explicit parasitics on internal latch nodes keep integration smooth.
+    for sense in [&roles.sense_l, &roles.sense_r] {
+        if *sense != roles.bl && *sense != roles.blb {
+            let gnd = nl.add_net("GND");
+            let node = nl.net(sense).expect("sense node exists");
+            nl.add_capacitor(format!("c_{sense}"), Femtofarads(8.0), node, gnd);
+        }
+    }
 }
 
 fn report_from(
     waveforms: Waveforms,
-    kind: SaTopologyKind,
+    roles: &SaRoles,
     cfg: &ActivationConfig,
     stored_one: bool,
-    node_l: &str,
-    node_r: &str,
     read_time: f64,
+    solve_stats: Option<SolveStats>,
 ) -> SenseReport {
     // During the final precharge the latch nodes re-equalise; read the
     // decision at the end of restore instead of the end of simulation.
-    let v_l = waveforms.voltage(node_l, read_time).unwrap_or(0.0);
-    let v_r = waveforms.voltage(node_r, read_time).unwrap_or(0.0);
+    let v_l = waveforms.voltage(&roles.sense_l, read_time).unwrap_or(0.0);
+    let v_r = waveforms.voltage(&roles.sense_r, read_time).unwrap_or(0.0);
     let sensed_one = v_l > v_r;
     // Charge-sharing onset: first movement of the active cell node.
-    let sn = "SN0_BL";
+    let sn = format!("SN0_{}", roles.bl);
     let initial = if stored_one { cfg.vdd } else { 0.0 };
-    let onset = waveforms.trace(sn).and_then(|t| {
+    let onset = waveforms.trace(&sn).and_then(|t| {
         t.iter()
             .position(|&v| (v - initial).abs() > 0.02)
             .map(|i| i as f64 * waveforms.sample_interval())
     });
-    let split = waveforms.split_time(node_l, node_r, cfg.vdd / 2.0);
-    let restored = waveforms.voltage(sn, read_time).unwrap_or(f64::NAN);
+    let split = waveforms.split_time(&roles.sense_l, &roles.sense_r, cfg.vdd / 2.0);
+    let restored = waveforms.voltage(&sn, read_time).unwrap_or(f64::NAN);
     SenseReport {
         sensed_one,
         correct: sensed_one == stored_one,
         charge_sharing_onset: onset,
         latch_split_time: split,
         restored_level: restored,
-        topology: kind,
+        topology: roles.kind,
+        solve_stats,
         waveforms,
     }
+}
+
+/// Runs the activation schedule for an already-prepared testbench netlist.
+fn run_activation(
+    nl: &Netlist,
+    roles: &SaRoles,
+    cfg: &ActivationConfig,
+    stored_one: bool,
+    engine: SimEngine,
+) -> Result<SenseReport, SimError> {
+    let (stim, marks) = schedule(roles, cfg);
+    let mut initial: Vec<(String, f64)> = vec![
+        (roles.bl.clone(), cfg.vpre),
+        (roles.blb.clone(), cfg.vpre),
+        (
+            format!("SN0_{}", roles.bl),
+            if stored_one { cfg.vdd } else { 0.0 },
+        ),
+        (format!("SN0_{}", roles.blb), 0.0),
+    ];
+    for sense in [&roles.sense_l, &roles.sense_r] {
+        if *sense != roles.bl && *sense != roles.blb {
+            initial.push((sense.clone(), cfg.vpre));
+        }
+    }
+
+    let (waveforms, stats) = match engine {
+        SimEngine::Mna => {
+            let mut circuit = MnaCircuit::from_netlist(nl);
+            if cfg.nsa_vt_offset != 0.0 {
+                circuit = circuit.with_vt_offset(&roles.offset_device, Volts(cfg.nsa_vt_offset))?;
+            }
+            let mut tr = MnaTransient::new(marks.t_end);
+            for (net, v) in initial {
+                tr = tr.with_initial(&net, Volts(v));
+            }
+            let run = tr.run(&circuit, &stim)?;
+            (run.waveforms, Some(run.stats))
+        }
+        SimEngine::LegacyExplicit => {
+            let mut circuit = AnalogCircuit::from_netlist(nl);
+            if cfg.nsa_vt_offset != 0.0 {
+                circuit = circuit.with_vt_offset(&roles.offset_device, Volts(cfg.nsa_vt_offset))?;
+            }
+            let mut tr = Transient::new(marks.t_end);
+            for (net, v) in initial {
+                tr = tr.with_initial(&net, Volts(v));
+            }
+            tr.dt = 0.25e-12;
+            (tr.run(&circuit, &stim)?, None)
+        }
+    };
+    let _ = marks.t_share;
+    Ok(report_from(
+        waveforms,
+        roles,
+        cfg,
+        stored_one,
+        marks.t_restore_end,
+        stats,
+    ))
 }
 
 /// Simulates a full classic-SA activation (Fig. 2c) for a cell storing
@@ -217,7 +652,7 @@ pub fn simulate_ocsa_activation(cfg: &ActivationConfig, stored_one: bool) -> Sen
         .expect("internal testbench is valid")
 }
 
-/// Simulates one activation of the given topology.
+/// Simulates one activation of the given topology on the MNA engine.
 ///
 /// # Errors
 ///
@@ -228,178 +663,54 @@ pub fn try_simulate(
     cfg: &ActivationConfig,
     stored_one: bool,
 ) -> Result<SenseReport, SimError> {
-    let (nl, node_l, node_r) = build_testbench(kind, cfg);
-    let mut circuit = AnalogCircuit::from_netlist(&nl);
-    if cfg.nsa_vt_offset != 0.0 {
-        circuit = circuit.with_vt_offset("nSA_l", cfg.nsa_vt_offset)?;
-    }
+    try_simulate_with(SimEngine::Mna, kind, cfg, stored_one)
+}
 
-    let t = &cfg.timings;
-    let ns = 1e-9;
-    let slew = t.slew_ns * ns;
-    let t_act = t.precharge_ns * ns; // ACT command arrives here.
-
-    let mut stim = Stimulus::new();
-    stim.hold("GND", 0.0);
-    stim.hold("Y0", 0.0); // column not selected during activation
-    stim.hold("VPRE", cfg.vpre);
-    stim.hold("WL0_BLB", 0.0); // reference MAT never activated
-
-    let (t_share, t_sense, t_restore_end, t_end);
-    match kind {
-        SaTopologyKind::Classic | SaTopologyKind::ClassicWithIsolation => {
-            // Charge sharing starts right after ACT.
-            t_share = t_act;
-            t_sense = t_share + t.charge_share_ns * ns;
-            t_restore_end = t_sense + t.sense_ns * ns + t.restore_ns * ns;
-            t_end = t_restore_end + t.final_precharge_ns * ns;
-            // PEQ: on during precharge, off at ACT, on again at the end.
-            stim.pwl(
-                "PEQ",
-                vec![
-                    (0.0, cfg.v_boost),
-                    (t_act, cfg.v_boost),
-                    (t_act + slew, 0.0),
-                    (t_restore_end, 0.0),
-                    (t_restore_end + slew, cfg.v_boost),
-                ],
-            );
-            if kind == SaTopologyKind::ClassicWithIsolation {
-                stim.hold("ISO", cfg.v_boost); // statically connected
-            }
-            stim.pwl(
-                "WL0_BL",
-                vec![
-                    (0.0, 0.0),
-                    (t_share, 0.0),
-                    (t_share + slew, cfg.v_boost),
-                    (t_restore_end, cfg.v_boost),
-                    (t_restore_end + slew, 0.0),
-                ],
-            );
-            // Latch rails: parked at Vpre, driven apart during sensing,
-            // re-parked for the final precharge.
-            stim.pwl(
-                "LA",
-                vec![
-                    (0.0, cfg.vpre),
-                    (t_sense, cfg.vpre),
-                    (t_sense + 2.0 * slew, cfg.vdd),
-                    (t_restore_end, cfg.vdd),
-                    (t_restore_end + slew, cfg.vpre),
-                ],
-            );
-            stim.pwl(
-                "LAB",
-                vec![
-                    (0.0, cfg.vpre),
-                    (t_sense, cfg.vpre),
-                    (t_sense + 2.0 * slew, 0.0),
-                    (t_restore_end, 0.0),
-                    (t_restore_end + slew, cfg.vpre),
-                ],
-            );
+/// Simulates one activation of the given topology on a chosen engine.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the configuration produces an invalid testbench.
+pub fn try_simulate_with(
+    engine: SimEngine,
+    kind: SaTopologyKind,
+    cfg: &ActivationConfig,
+    stored_one: bool,
+) -> Result<SenseReport, SimError> {
+    let circuit = match kind {
+        SaTopologyKind::Classic => topology::classic_sa(cfg.dims.clone()),
+        SaTopologyKind::OffsetCancellation => topology::ocsa(cfg.dims.clone()),
+        SaTopologyKind::ClassicWithIsolation => {
+            topology::classic_sa_with_isolation(cfg.dims.clone())
         }
-        SaTopologyKind::OffsetCancellation => {
-            // Fig. 9b: offset cancellation precedes charge sharing.
-            let t_oc_end = t_act + t.offset_cancel_ns * ns;
-            t_share = t_oc_end;
-            t_sense = t_share + t.charge_share_ns * ns;
-            let t_restore = t_sense + t.sense_ns * ns;
-            t_restore_end = t_restore + t.restore_ns * ns;
-            t_end = t_restore_end + t.final_precharge_ns * ns;
-            // PRE: on during initial precharge and final precharge only.
-            stim.pwl(
-                "PRE",
-                vec![
-                    (0.0, cfg.v_boost),
-                    (t_act, cfg.v_boost),
-                    (t_act + slew, 0.0),
-                    (t_restore_end, 0.0),
-                    (t_restore_end + slew, cfg.v_boost),
-                ],
-            );
-            // ISO: on in precharge (and for equalisation), off from ACT
-            // until the restore phase reconnects the latch to the bitlines.
-            stim.pwl(
-                "ISO",
-                vec![
-                    (0.0, cfg.v_boost),
-                    (t_act, cfg.v_boost),
-                    (t_act + slew, 0.0),
-                    (t_restore, 0.0),
-                    (t_restore + slew, cfg.v_boost),
-                ],
-            );
-            // OC: on during precharge (equalisation = ISO+OC) and during the
-            // offset-cancellation phase.
-            stim.pwl(
-                "OC",
-                vec![
-                    (0.0, cfg.v_boost),
-                    (t_oc_end, cfg.v_boost),
-                    (t_oc_end + slew, 0.0),
-                    (t_restore_end, 0.0),
-                    (t_restore_end + slew, cfg.v_boost),
-                ],
-            );
-            // Wordline rises only after offset cancellation.
-            stim.pwl(
-                "WL0_BL",
-                vec![
-                    (0.0, 0.0),
-                    (t_share, 0.0),
-                    (t_share + slew, cfg.v_boost),
-                    (t_restore_end, cfg.v_boost),
-                    (t_restore_end + slew, 0.0),
-                ],
-            );
-            // LAB drops at the start of offset cancellation to enable the
-            // nSA diode action; LA ramps only at pre-sensing.
-            stim.pwl(
-                "LAB",
-                vec![
-                    (0.0, cfg.vpre),
-                    (t_act, cfg.vpre),
-                    (t_act + 2.0 * slew, 0.0),
-                    (t_restore_end, 0.0),
-                    (t_restore_end + slew, cfg.vpre),
-                ],
-            );
-            stim.pwl(
-                "LA",
-                vec![
-                    (0.0, cfg.vpre),
-                    (t_sense, cfg.vpre),
-                    (t_sense + 2.0 * slew, cfg.vdd),
-                    (t_restore_end, cfg.vdd),
-                    (t_restore_end + slew, cfg.vpre),
-                ],
-            );
-        }
-    }
+    };
+    let mut nl = circuit.into_netlist();
+    let roles = SaRoles::infer(&nl)?;
+    attach_testbench(&mut nl, &roles, cfg);
+    run_activation(&nl, &roles, cfg, stored_one, engine)
+}
 
-    let mut tr = Transient::new(t_end)
-        .with_initial("BL", cfg.vpre)
-        .with_initial("BLB", cfg.vpre)
-        .with_initial("SN0_BL", if stored_one { cfg.vdd } else { 0.0 })
-        .with_initial("SN0_BLB", 0.0);
-    for internal in ["SABL", "SABLB", "IBL", "IBLB"] {
-        if nl.net(internal).is_some() {
-            tr = tr.with_initial(internal, cfg.vpre);
-        }
-    }
-    tr.dt = 0.25e-12;
-    let waveforms = tr.run(&circuit, &stim)?;
-    Ok(report_from(
-        waveforms,
-        kind,
-        cfg,
-        stored_one,
-        node_l,
-        node_r,
-        t_restore_end,
-    ))
+/// Simulates an activation of an **extracted** netlist: infers the SA roles
+/// from the device classes, attaches the MAT-column testbench to the
+/// inferred bitlines, and runs the matching schedule on the MNA engine.
+///
+/// This is the paper's closed loop (§VI-A): a `Pipeline` extraction can be
+/// handed straight to the simulator, and a mis-extracted circuit fails with
+/// a waveform deviation instead of only a graph mismatch.
+///
+/// # Errors
+///
+/// Returns [`SimError::RoleInference`] when the netlist is not a
+/// recognisable sense amplifier, or any simulation error from the run.
+pub fn simulate_extracted_activation(
+    netlist: &Netlist,
+    cfg: &ActivationConfig,
+    stored_one: bool,
+) -> Result<SenseReport, SimError> {
+    let roles = SaRoles::infer(netlist)?;
+    let mut nl = netlist.clone();
+    attach_testbench(&mut nl, &roles, cfg);
+    run_activation(&nl, &roles, cfg, stored_one, SimEngine::Mna)
 }
 
 /// Sweeps threshold mismatch and returns the largest offset magnitude (in
@@ -420,6 +731,22 @@ pub fn max_tolerated_offset(
     step_mv: f64,
     max_mv: f64,
 ) -> f64 {
+    max_tolerated_offset_with(SimEngine::Mna, kind, cfg, step_mv, max_mv)
+}
+
+/// [`max_tolerated_offset`] on a chosen engine (the cross-validation tests
+/// compare the two).
+///
+/// # Panics
+///
+/// Panics if `step_mv` is not positive or `max_mv < step_mv`.
+pub fn max_tolerated_offset_with(
+    engine: SimEngine,
+    kind: SaTopologyKind,
+    cfg: &ActivationConfig,
+    step_mv: f64,
+    max_mv: f64,
+) -> f64 {
     assert!(step_mv > 0.0 && max_mv >= step_mv, "invalid sweep bounds");
     let mut tolerated = 0.0;
     let mut offset = step_mv;
@@ -429,7 +756,7 @@ pub fn max_tolerated_offset(
             for sign in [-1.0, 1.0] {
                 let mut c = cfg.clone();
                 c.nsa_vt_offset = sign * offset * 1e-3;
-                let rep = try_simulate(kind, &c, stored).expect("valid testbench");
+                let rep = try_simulate_with(engine, kind, &c, stored).expect("valid testbench");
                 if !rep.correct {
                     all_ok = false;
                     break 'combo;
@@ -517,5 +844,107 @@ mod tests {
         );
         let ocsa = simulate_ocsa_activation(&cfg, true);
         assert!(ocsa.correct, "ocsa should cancel an 80 mV offset");
+    }
+
+    #[test]
+    fn canonical_roles_use_the_schematic_names() {
+        let classic = SaRoles::canonical(SaTopologyKind::Classic);
+        assert_eq!(classic.bl, "BL");
+        assert_eq!(classic.sense_l, "BL");
+        assert_eq!(classic.lab, "LAB");
+        assert_eq!(classic.precharge_gate, "PEQ");
+        assert_eq!(classic.offset_device, "nSA_l");
+        assert_eq!(classic.iso_gate, None);
+
+        let ocsa = SaRoles::canonical(SaTopologyKind::OffsetCancellation);
+        assert_eq!(ocsa.bl, "BL");
+        assert_eq!(ocsa.sense_l, "SABL");
+        assert_eq!(ocsa.precharge_gate, "PRE");
+        assert_eq!(ocsa.iso_gate.as_deref(), Some("ISO"));
+        assert_eq!(ocsa.oc_gate.as_deref(), Some("OC"));
+        assert_eq!(ocsa.offset_device, "nSA_l");
+
+        let iso = SaRoles::canonical(SaTopologyKind::ClassicWithIsolation);
+        assert_eq!(iso.bl, "BL");
+        assert_eq!(iso.sense_l, "IBL");
+        assert_eq!(iso.iso_gate.as_deref(), Some("ISO"));
+    }
+
+    #[test]
+    fn role_inference_rejects_a_broken_latch() {
+        // Cut the cross-coupling: retarget one latch gate to its own sense
+        // node. The graph is still a 9-transistor circuit, but no valid
+        // schedule exists for it.
+        let sa = topology::classic_sa(SaDimensions::default());
+        let mut nl = Netlist::new("broken");
+        for m in sa.netlist().mosfets() {
+            let gate_name = if m.name == "nSA_l" {
+                // Gate onto its own drain instead of the opposite bitline.
+                sa.netlist().net_name(m.drain).to_owned()
+            } else {
+                sa.netlist().net_name(m.gate).to_owned()
+            };
+            let g = nl.add_net(gate_name);
+            let s = nl.add_net(sa.netlist().net_name(m.source).to_owned());
+            let d = nl.add_net(sa.netlist().net_name(m.drain).to_owned());
+            nl.add_mosfet(m.name.clone(), m.polarity, m.class, m.dims, g, s, d);
+        }
+        let err = SaRoles::infer(&nl).unwrap_err();
+        assert!(matches!(err, SimError::RoleInference(_)), "{err}");
+    }
+
+    #[test]
+    fn extracted_style_netlist_simulates_via_inferred_roles() {
+        // Rebuild the classic SA with anonymised extractor-style names; the
+        // schedule must come out of role inference alone.
+        let sa = topology::classic_sa(SaDimensions::default());
+        let src = sa.netlist();
+        let mut nl = Netlist::new("anon");
+        let mut ids = std::collections::HashMap::new();
+        for (i, _) in (0..src.net_count()).enumerate() {
+            let id = nl.add_net(format!("n{i}"));
+            ids.insert(i, id);
+        }
+        for (k, m) in src.mosfets().enumerate() {
+            nl.add_mosfet(
+                format!("m{k}"),
+                m.polarity,
+                m.class,
+                m.dims,
+                ids[&m.gate.0],
+                ids[&m.source.0],
+                ids[&m.drain.0],
+            );
+        }
+        let cfg = ActivationConfig::default();
+        for stored in [false, true] {
+            let rep = simulate_extracted_activation(&nl, &cfg, stored).expect("roles infer");
+            assert!(rep.correct, "anon netlist failed stored={stored}");
+            assert_eq!(rep.topology, SaTopologyKind::Classic);
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_verdicts() {
+        // The MNA core must reproduce the legacy fixed-schedule verdicts:
+        // healthy SAs sense correctly, an 80 mV offset defeats the classic
+        // latch but not the OCSA — on both engines.
+        for (kind, offset, expect_correct) in [
+            (SaTopologyKind::Classic, 0.0, true),
+            (SaTopologyKind::Classic, -0.08, false),
+            (SaTopologyKind::OffsetCancellation, -0.08, true),
+        ] {
+            let cfg = ActivationConfig {
+                nsa_vt_offset: offset,
+                ..Default::default()
+            };
+            for engine in [SimEngine::Mna, SimEngine::LegacyExplicit] {
+                let rep = try_simulate_with(engine, kind, &cfg, true).expect("valid");
+                assert_eq!(
+                    rep.correct, expect_correct,
+                    "{kind} offset={offset} on {engine:?}"
+                );
+            }
+        }
     }
 }

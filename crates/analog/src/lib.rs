@@ -7,13 +7,20 @@
 //!
 //! - [`MosfetModel`] — a square-law (SPICE level-1 style) MOSFET with
 //!   per-device threshold mismatch, the mechanism behind sensing offset,
-//! - [`sim`] — a fixed-timestep transient solver over [`hifi_circuit::Netlist`]s
-//!   with piecewise-linear stimuli and recorded waveforms,
+//! - [`mna`] — a Modified-Nodal-Analysis transient engine (backward-Euler
+//!   companion models, damped Newton iteration, KCL residual audits) driven
+//!   directly by [`hifi_circuit::Netlist`]s — including netlists recovered
+//!   by the extraction pipeline,
+//! - [`sim`] — the legacy fixed-timestep explicit solver, kept for
+//!   cross-validating the MNA engine,
 //! - [`events`] — the paper's SA operation sequences: the classic events of
 //!   Fig. 2c (charge sharing → latch & restore → precharge/equalise) and the
 //!   OCSA events of Fig. 9b (offset cancellation → *delayed* charge sharing →
-//!   pre-sensing → restore), plus offset-tolerance sweeps that reproduce why
-//!   vendors moved to offset-cancellation designs.
+//!   pre-sensing → restore), built as stimulus schedules over roles inferred
+//!   from the netlist ([`events::SaRoles`]), plus offset-tolerance sweeps
+//!   that reproduce why vendors moved to offset-cancellation designs,
+//! - [`montecarlo`] — seeded, thread-count-invariant Monte-Carlo mismatch
+//!   sweeps feeding the §VI sensitivity tables.
 //!
 //! # Examples
 //!
@@ -25,9 +32,14 @@
 //! ```
 
 pub mod events;
+pub mod mna;
 mod model;
+pub mod montecarlo;
 pub mod reliability;
 pub mod sim;
+mod stamp;
 
+pub use mna::{MnaCircuit, MnaRun, MnaTransient, SolveStats};
 pub use model::{MosfetModel, MosfetOpRegion};
+pub use montecarlo::{run_sweep, McConfig, McReport, McSample};
 pub use sim::{AnalogCircuit, SimError, Stimulus, Transient, Waveform, Waveforms};

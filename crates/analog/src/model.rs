@@ -1,6 +1,7 @@
 //! Square-law MOSFET model with threshold mismatch.
 
 use hifi_circuit::Polarity;
+use hifi_units::Volts;
 
 /// Operating region of a MOSFET at a given bias point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,14 +71,19 @@ impl MosfetModel {
     }
 
     /// Returns the model with an added threshold offset (builder style).
-    pub fn with_vt_offset(mut self, offset_v: f64) -> Self {
-        self.vt_offset = offset_v;
+    pub fn with_vt_offset(mut self, offset: Volts) -> Self {
+        self.vt_offset = offset.value();
         self
     }
 
-    /// Effective threshold magnitude including mismatch.
+    /// Effective threshold magnitude including mismatch (V).
     pub fn vt(&self) -> f64 {
         self.vt0 + self.vt_offset
+    }
+
+    /// Effective threshold magnitude including mismatch, as a typed voltage.
+    pub fn vt_volts(&self) -> Volts {
+        Volts(self.vt())
     }
 
     /// Operating region for the given overdrive and drain-source voltage
@@ -178,7 +184,7 @@ mod tests {
     #[test]
     fn vt_offset_shifts_conduction() {
         let base = MosfetModel::new(Polarity::Nmos, 2.0);
-        let skewed = base.with_vt_offset(0.05);
+        let skewed = base.with_vt_offset(Volts(0.05));
         let vgs = base.vt() + 0.03;
         assert!(base.current(vgs, 1.0) > 0.0);
         assert_eq!(skewed.current(vgs, 1.0), 0.0, "raised threshold cuts off");

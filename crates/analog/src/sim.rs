@@ -2,6 +2,7 @@
 
 use crate::model::MosfetModel;
 use hifi_circuit::{Device, Netlist};
+use hifi_units::{Femtofarads, Volts};
 use std::collections::HashMap;
 
 /// Error produced while building or running a simulation.
@@ -15,6 +16,23 @@ pub enum SimError {
     InvalidTimestep(f64),
     /// A piecewise-linear waveform had unsorted time points.
     UnsortedWaveform(String),
+    /// Newton iteration failed to converge at a timestep (MNA engine).
+    NoConvergence {
+        /// Simulation time of the failing step (s).
+        time_s: f64,
+        /// Iterations spent before giving up.
+        iterations: usize,
+        /// Largest node-voltage update at the last iteration (V).
+        worst_delta_v: f64,
+    },
+    /// The linearised MNA system had no usable pivot at a timestep.
+    SingularSystem {
+        /// Simulation time of the failing step (s).
+        time_s: f64,
+    },
+    /// A netlist's sense-amplifier roles could not be inferred, so no
+    /// activation schedule can be built for it.
+    RoleInference(String),
 }
 
 impl core::fmt::Display for SimError {
@@ -24,6 +42,19 @@ impl core::fmt::Display for SimError {
             SimError::UnknownDevice(d) => write!(f, "unknown device `{d}`"),
             SimError::InvalidTimestep(dt) => write!(f, "invalid timestep {dt}"),
             SimError::UnsortedWaveform(n) => write!(f, "waveform for `{n}` is not time-sorted"),
+            SimError::NoConvergence {
+                time_s,
+                iterations,
+                worst_delta_v,
+            } => write!(
+                f,
+                "newton iteration did not converge at t={time_s}s after \
+                 {iterations} iterations (last |Δv| = {worst_delta_v} V)"
+            ),
+            SimError::SingularSystem { time_s } => {
+                write!(f, "singular MNA system at t={time_s}s")
+            }
+            SimError::RoleInference(why) => write!(f, "cannot infer SA roles: {why}"),
         }
     }
 }
@@ -89,8 +120,9 @@ impl Waveform {
 ///
 /// ```
 /// use hifi_analog::Stimulus;
+/// use hifi_units::Volts;
 /// let mut stim = Stimulus::new();
-/// stim.hold("GND", 0.0);
+/// stim.hold("GND", Volts(0.0));
 /// stim.ramp("LA", 5e-9, 7e-9, 0.55, 1.1);
 /// assert_eq!(stim.driven_nets().count(), 2);
 /// ```
@@ -106,8 +138,9 @@ impl Stimulus {
     }
 
     /// Holds a net at a constant voltage for the whole run.
-    pub fn hold(&mut self, net: &str, volts: f64) -> &mut Self {
-        self.drives.insert(net.into(), Waveform::constant(volts));
+    pub fn hold(&mut self, net: &str, v: Volts) -> &mut Self {
+        self.drives
+            .insert(net.into(), Waveform::constant(v.value()));
         self
     }
 
@@ -143,7 +176,7 @@ impl Stimulus {
         self.drives.keys().map(String::as_str)
     }
 
-    fn waveform(&self, net: &str) -> Option<&Waveform> {
+    pub(crate) fn waveform(&self, net: &str) -> Option<&Waveform> {
         self.drives.get(net)
     }
 }
@@ -151,8 +184,8 @@ impl Stimulus {
 /// Recorded node voltages, sampled on a regular grid.
 #[derive(Debug, Clone)]
 pub struct Waveforms {
-    dt_sample: f64,
-    traces: HashMap<String, Vec<f64>>,
+    pub(crate) dt_sample: f64,
+    pub(crate) traces: HashMap<String, Vec<f64>>,
 }
 
 impl Waveforms {
@@ -267,7 +300,7 @@ pub struct AnalogCircuit {
     mosfets: Vec<SimMosfet>,
     caps: Vec<SimCap>,
     parasitic_f: f64,
-    vt_offsets: HashMap<String, f64>,
+    vt_offsets: HashMap<String, Volts>,
 }
 
 impl AnalogCircuit {
@@ -313,8 +346,8 @@ impl AnalogCircuit {
     }
 
     /// Sets the per-node parasitic capacitance (builder style).
-    pub fn with_parasitic(mut self, farads: f64) -> Self {
-        self.parasitic_f = farads;
+    pub fn with_parasitic(mut self, c: Femtofarads) -> Self {
+        self.parasitic_f = c.value() * 1e-15;
         self
     }
 
@@ -324,12 +357,12 @@ impl AnalogCircuit {
     /// # Errors
     ///
     /// Returns [`SimError::UnknownDevice`] if no MOSFET has that name.
-    pub fn with_vt_offset(mut self, device: &str, offset_v: f64) -> Result<Self, SimError> {
+    pub fn with_vt_offset(mut self, device: &str, offset: Volts) -> Result<Self, SimError> {
         let Some(idx) = self.mosfet_names.iter().position(|n| n == device) else {
             return Err(SimError::UnknownDevice(device.into()));
         };
-        self.mosfets[idx].model = self.mosfets[idx].model.with_vt_offset(offset_v);
-        self.vt_offsets.insert(device.into(), offset_v);
+        self.mosfets[idx].model = self.mosfets[idx].model.with_vt_offset(offset);
+        self.vt_offsets.insert(device.into(), offset);
         Ok(self)
     }
 
@@ -343,7 +376,7 @@ impl AnalogCircuit {
     }
 
     /// The threshold offsets applied so far, by device name.
-    pub fn vt_offsets(&self) -> &HashMap<String, f64> {
+    pub fn vt_offsets(&self) -> &HashMap<String, Volts> {
         &self.vt_offsets
     }
 }
@@ -373,8 +406,8 @@ impl Transient {
     }
 
     /// Sets an initial condition on a floating net (builder style).
-    pub fn with_initial(mut self, net: &str, volts: f64) -> Self {
-        self.initial.insert(net.into(), volts);
+    pub fn with_initial(mut self, net: &str, v: Volts) -> Self {
+        self.initial.insert(net.into(), v.value());
         self
     }
 
@@ -484,7 +517,7 @@ impl Transient {
 mod tests {
     use super::*;
     use hifi_circuit::{Netlist, Polarity, TransistorClass, TransistorDims};
-    use hifi_units::{Femtofarads, Nanometers};
+    use hifi_units::Nanometers;
 
     fn dims(wl: f64) -> TransistorDims {
         TransistorDims::new(Nanometers(100.0 * wl), Nanometers(100.0))
@@ -519,8 +552,8 @@ mod tests {
 
         let circuit = AnalogCircuit::from_netlist(&nl);
         let mut stim = Stimulus::new();
-        stim.hold("GND", 0.0).hold("G", 1.2);
-        let tr = Transient::new(5e-9).with_initial("C", 1.0);
+        stim.hold("GND", Volts(0.0)).hold("G", Volts(1.2));
+        let tr = Transient::new(5e-9).with_initial("C", Volts(1.0));
         let wf = tr.run(&circuit, &stim).unwrap();
         let v_end = wf.final_voltage("C").unwrap();
         assert!(v_end < 0.05, "discharged to near ground, got {v_end}");
@@ -547,8 +580,8 @@ mod tests {
         );
         let circuit = AnalogCircuit::from_netlist(&nl);
         let mut stim = Stimulus::new();
-        stim.hold("GND", 0.0).hold("G", 0.0); // gate off
-        let tr = Transient::new(5e-9).with_initial("C", 1.0);
+        stim.hold("GND", Volts(0.0)).hold("G", Volts(0.0)); // gate off
+        let tr = Transient::new(5e-9).with_initial("C", Volts(1.0));
         let wf = tr.run(&circuit, &stim).unwrap();
         assert!((wf.final_voltage("C").unwrap() - 1.0).abs() < 1e-6);
     }
@@ -573,13 +606,13 @@ mod tests {
             sn,
             bl,
         );
-        let circuit = AnalogCircuit::from_netlist(&nl).with_parasitic(1e-18);
+        let circuit = AnalogCircuit::from_netlist(&nl).with_parasitic(Femtofarads(0.001));
         let mut stim = Stimulus::new();
-        stim.hold("GND", 0.0);
+        stim.hold("GND", Volts(0.0));
         stim.ramp("WL", 1e-9, 1.5e-9, 0.0, 2.4); // boosted wordline
         let tr = Transient::new(20e-9)
-            .with_initial("BL", 0.55)
-            .with_initial("SN", 1.1);
+            .with_initial("BL", Volts(0.55))
+            .with_initial("SN", Volts(1.1));
         let wf = tr.run(&circuit, &stim).unwrap();
         let v = wf.final_voltage("BL").unwrap();
         assert!((v - 0.605).abs() < 0.01, "charge sharing gave {v}");
@@ -596,9 +629,9 @@ mod tests {
         nl.add_capacitor("c", Femtofarads(10.0), a, gnd);
         let circuit = AnalogCircuit::from_netlist(&nl);
         let mut stim = Stimulus::new();
-        stim.hold("GND", 0.0);
+        stim.hold("GND", Volts(0.0));
         let wf = Transient::new(1e-9)
-            .with_initial("A", 0.7)
+            .with_initial("A", Volts(0.7))
             .run(&circuit, &stim)
             .unwrap();
         let csv = wf.to_csv(&["A", "MISSING", "GND"]);
@@ -615,7 +648,7 @@ mod tests {
         nl.add_net("A");
         let circuit = AnalogCircuit::from_netlist(&nl);
         let mut stim = Stimulus::new();
-        stim.hold("NOPE", 0.0);
+        stim.hold("NOPE", Volts(0.0));
         let err = Transient::new(1e-9).run(&circuit, &stim).unwrap_err();
         assert_eq!(err, SimError::UnknownNet("NOPE".into()));
     }
@@ -636,11 +669,11 @@ mod tests {
             b,
         );
         let c = AnalogCircuit::from_netlist(&nl);
-        let err = c.with_vt_offset("nope", 0.02).unwrap_err();
+        let err = c.with_vt_offset("nope", Volts(0.02)).unwrap_err();
         assert_eq!(err, SimError::UnknownDevice("nope".into()));
         let c = AnalogCircuit::from_netlist(&nl)
-            .with_vt_offset("m1", 0.02)
+            .with_vt_offset("m1", Volts(0.02))
             .unwrap();
-        assert_eq!(c.vt_offsets()["m1"], 0.02);
+        assert_eq!(c.vt_offsets()["m1"], Volts(0.02));
     }
 }

@@ -1,0 +1,214 @@
+//! Dense MNA system assembly and direct solution.
+//!
+//! A Modified-Nodal-Analysis system over `n` unknowns: one row per
+//! non-ground node (KCL) plus one row per voltage-source branch (the branch
+//! current is an unknown, the branch row pins the node-voltage difference).
+//! The ground node is eliminated at stamp time: stamps that reference
+//! [`NodeRef::Ground`] simply skip the ground row/column.
+//!
+//! Sense-amplifier testbenches stay small (tens of nodes), so a dense
+//! row-major matrix with Gaussian elimination and partial pivoting is both
+//! the simplest and the fastest correct choice — no sparse bookkeeping, and
+//! pivoting keeps the latch's near-singular high-gain moments stable.
+
+/// A node reference in the MNA system: either the eliminated ground
+/// reference or a numbered unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NodeRef {
+    /// The global reference; its row and column are eliminated.
+    Ground,
+    /// Unknown `i` (a node voltage or, above the node count, a branch
+    /// current).
+    Node(usize),
+}
+
+impl NodeRef {
+    fn index(self) -> Option<usize> {
+        match self {
+            NodeRef::Ground => None,
+            NodeRef::Node(i) => Some(i),
+        }
+    }
+}
+
+/// Dense `A·x = b` system with MNA stamp helpers.
+#[derive(Debug, Clone)]
+pub(crate) struct MnaSystem {
+    n: usize,
+    a: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl MnaSystem {
+    pub(crate) fn new(n: usize) -> Self {
+        Self {
+            n,
+            a: vec![0.0; n * n],
+            b: vec![0.0; n],
+        }
+    }
+
+    /// Zeroes the system for re-assembly (same sparsity every Newton
+    /// iteration, so the allocation is reused).
+    pub(crate) fn clear(&mut self) {
+        self.a.iter_mut().for_each(|x| *x = 0.0);
+        self.b.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    fn add(&mut self, row: usize, col: usize, v: f64) {
+        self.a[row * self.n + col] += v;
+    }
+
+    /// Stamps a conductance `g` (siemens) between two nodes: the standard
+    /// four-point pattern, rows/columns at ground skipped.
+    pub(crate) fn stamp_conductance(&mut self, a: NodeRef, b: NodeRef, g: f64) {
+        if let Some(i) = a.index() {
+            self.add(i, i, g);
+            if let Some(j) = b.index() {
+                self.add(i, j, -g);
+            }
+        }
+        if let Some(j) = b.index() {
+            self.add(j, j, g);
+            if let Some(i) = a.index() {
+                self.add(j, i, -g);
+            }
+        }
+    }
+
+    /// Stamps a partial derivative ∂(current leaving `row`)/∂v(`col`) into
+    /// the Jacobian — the general stamp nonlinear devices reduce to.
+    pub(crate) fn stamp_jacobian(&mut self, row: NodeRef, col: NodeRef, dgdv: f64) {
+        if let (Some(r), Some(c)) = (row.index(), col.index()) {
+            self.add(r, c, dgdv);
+        }
+    }
+
+    /// Adds to the right-hand side of a row (KCL residual or branch
+    /// equation residual).
+    pub(crate) fn stamp_rhs(&mut self, row: NodeRef, v: f64) {
+        if let Some(r) = row.index() {
+            self.b[r] += v;
+        }
+    }
+
+    /// Couples a voltage-source branch current (unknown `branch`) into the
+    /// KCL rows of its terminals: the branch current leaves the positive
+    /// node and enters the negative one. The branch row itself pins
+    /// `v(pos) − v(neg)`, whose residual the caller stamps via
+    /// [`MnaSystem::stamp_rhs`].
+    pub(crate) fn stamp_branch(&mut self, branch: usize, pos: NodeRef, neg: NodeRef) {
+        if let Some(p) = pos.index() {
+            self.add(p, branch, 1.0);
+            self.add(branch, p, 1.0);
+        }
+        if let Some(q) = neg.index() {
+            self.add(q, branch, -1.0);
+            self.add(branch, q, -1.0);
+        }
+    }
+
+    /// Solves the assembled system in place by Gaussian elimination with
+    /// partial pivoting, returning the solution vector. Returns `None` when
+    /// the matrix is numerically singular (no usable pivot).
+    pub(crate) fn solve(&mut self) -> Option<Vec<f64>> {
+        let n = self.n;
+        if n == 0 {
+            return Some(Vec::new());
+        }
+        let a = &mut self.a;
+        let b = &mut self.b;
+        for col in 0..n {
+            // Partial pivot: largest magnitude in this column at or below
+            // the diagonal.
+            let mut pivot_row = col;
+            let mut pivot_mag = a[col * n + col].abs();
+            for row in (col + 1)..n {
+                let mag = a[row * n + col].abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = row;
+                }
+            }
+            if pivot_mag < 1e-300 {
+                return None;
+            }
+            if pivot_row != col {
+                for k in 0..n {
+                    a.swap(col * n + k, pivot_row * n + k);
+                }
+                b.swap(col, pivot_row);
+            }
+            let pivot = a[col * n + col];
+            for row in (col + 1)..n {
+                let factor = a[row * n + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                a[row * n + col] = 0.0;
+                for k in (col + 1)..n {
+                    a[row * n + k] -= factor * a[col * n + k];
+                }
+                b[row] -= factor * b[col];
+            }
+        }
+        let mut x = vec![0.0; n];
+        for row in (0..n).rev() {
+            let mut sum = b[row];
+            for k in (row + 1)..n {
+                sum -= a[row * n + k] * x[k];
+            }
+            x[row] = sum / a[row * n + row];
+        }
+        Some(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resistor_divider_solves_exactly() {
+        // 1 V source -> 1 kΩ -> node0 -> 1 kΩ -> ground: node0 = 0.5 V.
+        // Unknowns: v0 (0), v_src (1), i_branch (2).
+        let mut sys = MnaSystem::new(3);
+        let v0 = NodeRef::Node(0);
+        let vs = NodeRef::Node(1);
+        sys.stamp_conductance(vs, v0, 1e-3);
+        sys.stamp_conductance(v0, NodeRef::Ground, 1e-3);
+        sys.stamp_branch(2, vs, NodeRef::Ground);
+        sys.stamp_rhs(NodeRef::Node(2), 1.0);
+        let x = sys.solve().expect("non-singular");
+        assert!((x[0] - 0.5).abs() < 1e-12, "divider mid = {}", x[0]);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+        // Branch current: by the stamp convention it *leaves* the positive
+        // node into the source, so a delivering source reads negative —
+        // 1 V over 2 kΩ gives −0.5 mA.
+        assert!((x[2] + 0.5e-3).abs() < 1e-12, "i_branch = {}", x[2]);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        // A floating node with no conductance anywhere.
+        let mut sys = MnaSystem::new(2);
+        sys.stamp_conductance(NodeRef::Node(0), NodeRef::Ground, 1.0);
+        assert!(sys.solve().is_none());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // Pure voltage source between two nodes bridged by a conductance:
+        // the branch row has a zero diagonal until pivoted.
+        let mut sys = MnaSystem::new(3);
+        let a = NodeRef::Node(0);
+        let b = NodeRef::Node(1);
+        sys.stamp_conductance(a, NodeRef::Ground, 1.0);
+        sys.stamp_conductance(b, NodeRef::Ground, 1.0);
+        sys.stamp_branch(2, a, b);
+        sys.stamp_rhs(NodeRef::Node(2), 0.4);
+        let x = sys.solve().expect("pivoting succeeds");
+        assert!((x[0] - x[1] - 0.4).abs() < 1e-12);
+        assert!(((x[0] + x[1]) - 0.0).abs() < 1e-12, "symmetric split");
+    }
+}

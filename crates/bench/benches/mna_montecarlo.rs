@@ -1,0 +1,40 @@
+//! MNA Monte-Carlo throughput: how many mismatch samples per second the
+//! transient engine sustains.
+//!
+//! One sample is two full activations (stored 0 and stored 1) of the
+//! classic schedule — ~29 ns of simulated time each at the 5 ps
+//! backward-Euler step. The headline rate lands in `BENCH_results.json` as
+//! the higher-is-better `analog.mna.samples_per_sec` metric so the gate
+//! catches solver slowdowns, not just wrong waveforms.
+
+use std::time::Instant;
+
+use hifi_analog::montecarlo::{run_sweep, McConfig};
+use hifi_circuit::topology::SaTopologyKind;
+
+fn main() {
+    let samples: usize = std::env::var("MNA_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24);
+
+    // Warm up allocator and caches with a small sweep before timing.
+    run_sweep(&McConfig::new(SaTopologyKind::Classic, 45.0, 2));
+
+    let start = Instant::now();
+    let report = run_sweep(&McConfig::new(SaTopologyKind::Classic, 45.0, samples));
+    let secs = start.elapsed().as_secs_f64();
+    let rate = samples as f64 / secs;
+    println!(
+        "mna_montecarlo: {samples} samples in {secs:.2}s — {rate:.1} samples/s \
+         (yield {:.0}%, worst Newton {} iters)",
+        report.yield_fraction * 100.0,
+        report.solve.max_newton_iterations
+    );
+
+    let mut results = hifi_bench::results::BenchResults::default();
+    results.record("analog.mna.samples_per_sec", rate, "per_sec");
+    let path = hifi_bench::results::results_path();
+    results.merge_into(&path).expect("record bench results");
+    println!("recorded → {}", path.display());
+}

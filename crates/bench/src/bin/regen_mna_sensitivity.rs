@@ -1,0 +1,4 @@
+//! Regenerates the paper artefact; see `hifi_bench::regen`.
+fn main() {
+    println!("{}", hifi_bench::mna_sensitivity());
+}

@@ -624,6 +624,44 @@ pub fn telemetry_runs() -> String {
     serde_json::to_string_pretty(&reports).expect("run reports serialize")
 }
 
+/// Section VI sensing sensitivity, recomputed by the MNA Monte-Carlo engine:
+/// seeded classic-vs-OCSA yields as latch Vt mismatch grows. The per-sample
+/// seeds make the table bit-identical at any thread count, which is what
+/// lets the drift gate pin it.
+pub fn mna_sensitivity() -> String {
+    let samples = 12;
+    let rows =
+        hifi_eval::mc_sensitivity::mc_sensitivity_report(42, samples, &[20.0, 45.0, 70.0, 95.0]);
+    let mut t = Table::new(vec![
+        "mismatch σ (mV)",
+        "classic yield",
+        "OCSA yield",
+        "OCSA advantage",
+    ]);
+    for row in &rows {
+        t.row(vec![
+            format!("{:.0}", row.sigma_mv),
+            format!("{:.0}%", row.classic.yield_fraction * 100.0),
+            format!("{:.0}%", row.ocsa.yield_fraction * 100.0),
+            format!("{:+.0} pp", row.ocsa_advantage_pct()),
+        ]);
+    }
+    let worst_newton = rows
+        .iter()
+        .flat_map(|r| [&r.classic, &r.ocsa])
+        .map(|rep| rep.solve.max_newton_iterations)
+        .max()
+        .unwrap_or(0);
+    format!(
+        "MNA Monte-Carlo sensing sensitivity (seed 42, {samples} samples per cell)\n\n{}\n\
+         Same per-sample Vt draws on both topologies; the offset cancellation\n\
+         is the only variable. Worst Newton iteration count across every\n\
+         transient: {worst_newton} (cap 100) — the solver stays comfortably\n\
+         convergent over the whole mismatch range.\n",
+        t.render()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,6 +9,11 @@
 //!   identified correctly.
 //! - `dimensions` — every classified transistor's W/L is within a
 //!   voxel-resolution tolerance band of its drawn dimensions.
+//! - `behavioral` — the extracted netlist, handed straight to the MNA
+//!   transient engine through its inferred activation schedule, senses,
+//!   latches and restores both stored values. Graph isomorphism ignores
+//!   transistor dimensions; this oracle turns a behaviorally-broken
+//!   extraction into a waveform deviation instead of a silent pass.
 //! - `voxel_accuracy` — imaged runs reconstruct enough of the volume
 //!   (fidelity gauge); pristine runs recover the exact device count.
 //! - `metamorphic.zero_noise` — stripping imaging from the spec yields
@@ -18,6 +23,7 @@
 //! - `metamorphic.voxel_pitch` — halving the voxel pitch never makes the
 //!   worst dimension error meaningfully worse.
 
+use hifi_analog::events::{simulate_extracted_activation, ActivationConfig};
 use hifi_circuit::identify::{are_isomorphic, diff};
 use hifi_circuit::TransistorClass;
 use hifi_circuit::{Netlist, TransistorDims};
@@ -34,9 +40,10 @@ pub type Tamper = dyn Fn(&Netlist) -> Netlist + Sync;
 
 /// Stable oracle names, in report order. The pseudo-oracle `"pipeline"`
 /// (run failed outright) is reported separately.
-pub const ORACLE_NAMES: [&str; 6] = [
+pub const ORACLE_NAMES: [&str; 7] = [
     "netlist",
     "dimensions",
+    "behavioral",
     "voxel_accuracy",
     "metamorphic.zero_noise",
     "metamorphic.mirror",
@@ -243,6 +250,10 @@ pub fn judge_in(
         },
     ));
 
+    // behavioral: simulate the candidate netlist (tampered, when a Tamper
+    // is installed — a sabotage must be visible to this oracle).
+    verdicts.push(behavioral_oracle(&candidate));
+
     // voxel_accuracy: reconstruction fidelity (imaged) or exact device
     // recovery (pristine — there is no reconstruction to score).
     match (&spec.imaging, voxel_accuracy) {
@@ -317,6 +328,62 @@ pub fn judge_in(
         worst_dim_error_voxels: worst_voxels,
         voxel_accuracy,
     }
+}
+
+/// Behavioral conformance: infer the candidate's SA roles, attach the MAT
+/// testbench to the inferred bitlines, run both stored values through the
+/// MNA engine, and demand correct sensing with a full-rail latch split.
+///
+/// Failure details carry the waveform evidence (sensed value, restored
+/// cell level, latch split), so a mis-extraction that happens to stay
+/// graph-isomorphic — wrong dimensions, swapped device roles — shows up as
+/// a concrete sensing deviation rather than a clean bill of health.
+fn behavioral_oracle(candidate: &Netlist) -> OracleVerdict {
+    let cfg = ActivationConfig::default();
+    for stored in [false, true] {
+        match simulate_extracted_activation(candidate, &cfg, stored) {
+            Ok(report) => {
+                if !report.correct {
+                    let split = report
+                        .latch_split_time
+                        .map_or("never split".to_string(), |t| {
+                            format!("split at {:.2} ns", t * 1e9)
+                        });
+                    return OracleVerdict::fail(
+                        "behavioral",
+                        format!(
+                            "stored {} sensed as {} on the {} schedule (cell restored \
+                             to {:.3} V, latch {split})",
+                            u8::from(stored),
+                            u8::from(report.sensed_one),
+                            report.topology,
+                            report.restored_level,
+                        ),
+                    );
+                }
+                let expected = if stored { cfg.vdd } else { 0.0 };
+                if (report.restored_level - expected).abs() > 0.15 * cfg.vdd {
+                    return OracleVerdict::fail(
+                        "behavioral",
+                        format!(
+                            "stored {} sensed correctly but restored the cell to \
+                             {:.3} V (expected {:.2} V)",
+                            u8::from(stored),
+                            report.restored_level,
+                            expected,
+                        ),
+                    );
+                }
+            }
+            Err(e) => {
+                return OracleVerdict::fail(
+                    "behavioral",
+                    format!("no activation schedule for the extracted netlist: {e}"),
+                )
+            }
+        }
+    }
+    OracleVerdict::pass("behavioral")
 }
 
 /// Worst absolute W/L error (nm) across classified devices, with the class
@@ -484,15 +551,76 @@ mod tests {
         };
         let j = judge_with(&ChipSpec::minimal(), &Tolerance::default(), Some(&tamper));
         assert!(!j.passed());
-        assert_eq!(j.failed_oracles(), vec!["netlist"]);
+        // Both candidate-facing oracles see the sabotage: the graph diff
+        // reports the dropped device, and no valid activation schedule can
+        // be inferred for the crippled latch.
+        assert!(j.failed_oracles().contains(&"netlist"));
         let netlist = &j.verdicts[0];
         assert!(
             netlist.detail.contains("missing"),
             "diff detail: {}",
             netlist.detail
         );
-        // The pipeline itself is healthy: every other oracle still passes.
-        assert!(j.verdicts[1..].iter().all(|v| v.passed));
+        // The pipeline itself is healthy: every oracle that judges the
+        // *untampered* run still passes.
+        assert!(j
+            .verdicts
+            .iter()
+            .filter(|v| v.oracle != "netlist" && v.oracle != "behavioral")
+            .all(|v| v.passed));
+    }
+
+    #[test]
+    fn behaviorally_sabotaged_netlist_fails_with_a_waveform_deviation() {
+        // Shrink the nSA latch devices to near-uselessness but keep the
+        // connectivity graph intact. Isomorphism deliberately ignores
+        // dimensions, so the `netlist` oracle waves this through — only
+        // the behavioral oracle catches it, as a sensing failure with
+        // waveform evidence.
+        let tamper = |nl: &Netlist| {
+            let mut out = Netlist::new("weak-latch");
+            for (_, d) in nl.devices() {
+                match d {
+                    hifi_circuit::Device::Mosfet(m) => {
+                        let g = out.add_net(nl.net_name(m.gate));
+                        let s = out.add_net(nl.net_name(m.source));
+                        let dr = out.add_net(nl.net_name(m.drain));
+                        let dims = if m.class == TransistorClass::NSa {
+                            TransistorDims::new(
+                                hifi_units::Nanometers(1.0),
+                                hifi_units::Nanometers(4000.0),
+                            )
+                        } else {
+                            m.dims
+                        };
+                        out.add_mosfet(m.name.clone(), m.polarity, m.class, dims, g, s, dr);
+                    }
+                    hifi_circuit::Device::Capacitor(c) => {
+                        let a = out.add_net(nl.net_name(c.a));
+                        let b = out.add_net(nl.net_name(c.b));
+                        out.add_capacitor(c.name.clone(), c.value, a, b);
+                    }
+                }
+            }
+            out
+        };
+        let j = judge_with(&ChipSpec::minimal(), &Tolerance::default(), Some(&tamper));
+        assert!(!j.passed());
+        assert_eq!(
+            j.failed_oracles(),
+            vec!["behavioral"],
+            "only the waveform oracle sees a dimensions-only sabotage"
+        );
+        let behavioral = j
+            .verdicts
+            .iter()
+            .find(|v| v.oracle == "behavioral")
+            .expect("behavioral verdict present");
+        assert!(
+            behavioral.detail.contains("sensed") || behavioral.detail.contains("restored"),
+            "deviation detail should carry waveform evidence: {}",
+            behavioral.detail
+        );
     }
 
     #[test]

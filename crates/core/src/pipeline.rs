@@ -272,6 +272,24 @@ impl PipelineReport {
     pub fn topology_correct(&self) -> bool {
         self.identified == Some(self.expected)
     }
+
+    /// Drives the MNA transient engine with the *extracted* netlist: infers
+    /// the sense-amp roles from connectivity alone, attaches a cell storing
+    /// `stored_one` and runs the topology's activation schedule. This is the
+    /// behavioural half of extraction fidelity — a netlist can be graph-
+    /// isomorphic to the ground truth and still sense the wrong value if the
+    /// extraction mangled dimensions or polarities.
+    pub fn simulate_activation(
+        &self,
+        cfg: &hifi_analog::events::ActivationConfig,
+        stored_one: bool,
+    ) -> Result<hifi_analog::events::SenseReport, hifi_analog::SimError> {
+        hifi_analog::events::simulate_extracted_activation(
+            &self.extraction.netlist,
+            cfg,
+            stored_one,
+        )
+    }
 }
 
 /// The end-to-end pipeline driver.
@@ -956,6 +974,22 @@ fn mean_stack_psnr(stack: &hifi_imaging::ImageStack, reference: &hifi_imaging::I
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn extracted_netlists_sense_both_stored_values() {
+        let cfg = hifi_analog::events::ActivationConfig::default();
+        for kind in [SaTopologyKind::Classic, SaTopologyKind::OffsetCancellation] {
+            let report = Pipeline::new(PipelineConfig::pristine(kind)).run().unwrap();
+            for stored in [false, true] {
+                let sense = report.simulate_activation(&cfg, stored).unwrap();
+                assert!(
+                    sense.correct,
+                    "{kind:?} extraction stored {stored} sensed {}",
+                    sense.sensed_one
+                );
+            }
+        }
+    }
 
     #[test]
     fn pristine_pipeline_identifies_both_topologies() {

@@ -12,7 +12,9 @@
 //! - [`space`] — the I1/I2 free-space checks (Fig. 13),
 //! - [`bitline`] — Appendix A: electrical and area consequences of shrinking
 //!   or adding bitlines (Eq. 1),
-//! - [`recommendations`] — R1–R4.
+//! - [`recommendations`] — R1–R4,
+//! - [`mc_sensitivity`] — seeded Monte-Carlo sensing-yield tables from the
+//!   MNA transient engine (classic vs OCSA under latch Vt mismatch).
 //!
 //! # Examples
 //!
@@ -26,6 +28,7 @@
 //! ```
 
 pub mod bitline;
+pub mod mc_sensitivity;
 pub mod models;
 pub mod modification;
 pub mod overhead;

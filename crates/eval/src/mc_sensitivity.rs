@@ -1,0 +1,96 @@
+//! Section VI sensitivity tables driven by the MNA Monte-Carlo engine.
+//!
+//! [`crate::sensitivity`] quantifies how the *overhead* verdicts move under
+//! estimation assumptions; this module does the same for the *sensing*
+//! verdicts: how the classic and offset-cancellation topologies degrade as
+//! latch Vt mismatch grows. Each row is a pair of seeded
+//! [`hifi_analog::montecarlo`] sweeps, so the table is bit-identical across
+//! thread counts and machines — the property the regen drift gate relies on.
+
+use hifi_analog::montecarlo::{run_sweep, McConfig, McReport};
+use hifi_circuit::topology::SaTopologyKind;
+
+/// One mismatch point of the sensing-sensitivity table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McSensitivityRow {
+    /// Per-device Vt mismatch sigma applied to the latch pair (mV).
+    pub sigma_mv: f64,
+    /// Classic-SA sweep at this sigma.
+    pub classic: McReport,
+    /// OCSA sweep at this sigma, same per-sample seeds as the classic one.
+    pub ocsa: McReport,
+}
+
+impl McSensitivityRow {
+    /// How much yield the offset cancellation buys at this mismatch level
+    /// (percentage points; negative would mean the OCSA is worse).
+    pub fn ocsa_advantage_pct(&self) -> f64 {
+        (self.ocsa.yield_fraction - self.classic.yield_fraction) * 100.0
+    }
+}
+
+/// Runs the paired classic/OCSA sweeps for every sigma in `sigmas_mv`.
+///
+/// Both topologies see the same `seed`, so each sample index draws the same
+/// Vt offset on both — the comparison isolates the topology, not the noise.
+pub fn mc_sensitivity_report(
+    seed: u64,
+    samples: usize,
+    sigmas_mv: &[f64],
+) -> Vec<McSensitivityRow> {
+    sigmas_mv
+        .iter()
+        .map(|&sigma_mv| {
+            let sweep = |topology| {
+                run_sweep(&McConfig {
+                    seed,
+                    ..McConfig::new(topology, sigma_mv, samples)
+                })
+            };
+            McSensitivityRow {
+                sigma_mv,
+                classic: sweep(SaTopologyKind::Classic),
+                ocsa: sweep(SaTopologyKind::OffsetCancellation),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_deterministic_for_a_fixed_seed() {
+        let a = mc_sensitivity_report(42, 4, &[30.0, 80.0]);
+        let b = mc_sensitivity_report(42, 4, &[30.0, 80.0]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].sigma_mv, 30.0);
+    }
+
+    #[test]
+    fn both_topologies_draw_the_same_offsets() {
+        let rows = mc_sensitivity_report(7, 4, &[60.0]);
+        let row = &rows[0];
+        for (c, o) in row.classic.samples.iter().zip(&row.ocsa.samples) {
+            assert_eq!(c.seed, o.seed);
+            assert_eq!(c.offset_mv, o.offset_mv);
+        }
+    }
+
+    #[test]
+    fn offset_cancellation_never_loses_yield() {
+        // The paper's Section V argument: at every mismatch level the OCSA
+        // matches or beats the classic latch on the same noise draws.
+        for row in mc_sensitivity_report(42, 6, &[25.0, 60.0, 95.0]) {
+            assert!(
+                row.ocsa_advantage_pct() >= 0.0,
+                "sigma {} mV: classic {:.2} vs ocsa {:.2}",
+                row.sigma_mv,
+                row.classic.yield_fraction,
+                row.ocsa.yield_fraction
+            );
+        }
+    }
+}

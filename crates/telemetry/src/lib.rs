@@ -144,4 +144,14 @@ pub mod names {
     pub const REV_COMMANDS: &str = "rev.commands_issued";
     /// Histogram: bus-visible latency of mapping probes, ns.
     pub const HIST_REV_PROBE_LATENCY_NS: &str = "rev.probe_latency_ns";
+    /// Counter: Monte-Carlo mismatch samples run by an MNA offset sweep.
+    pub const MNA_SAMPLES: &str = "analog.mna.samples";
+    /// Counter: Monte-Carlo samples in which a stored value mis-sensed.
+    pub const MNA_FAILURES: &str = "analog.mna.failures";
+    /// Gauge: sensing yield of an MNA Monte-Carlo sweep, percent.
+    pub const MNA_YIELD_PCT: &str = "analog.mna.yield_pct";
+    /// Histogram: worst per-step Newton iteration count per MC sample.
+    pub const HIST_MNA_NEWTON_ITERS: &str = "analog.mna.newton_iters";
+    /// Histogram: latch split time of the stored-1 activation, ps.
+    pub const HIST_MNA_SPLIT_PS: &str = "analog.mna.latch_split_ps";
 }

@@ -32,6 +32,8 @@ if [[ "${1:-}" != "--check-only" ]]; then
     echo "==> full-die scale sweep (1x/16x/256x, streaming tiled)"
     cargo bench --offline --locked -p hifi-bench \
         --features hifi-telemetry/alloc-track --bench scale_sweep
+    echo "==> MNA Monte-Carlo throughput (mna_montecarlo)"
+    cargo bench --offline --locked -p hifi-bench --bench mna_montecarlo
     echo "==> serve throughput (load_test --bench)"
     cargo build --release --offline --locked -p hifi-serve --bin load_test
     target/release/load_test --jobs 300 --distinct 32 --workers 4 --clients 8 --bench

@@ -22,6 +22,11 @@
 #                 route; honours HIFI_REV_SEED (one seed, as the CI
 #                 matrix does) and HIFI_REV_RUNS, else sweeps the
 #                 default 2-seed matrix
+#   mna-oracle    MNA waveform oracle (bin mna_oracle): activation
+#                 schedules + extracted-netlist verdicts + a reduced
+#                 Monte-Carlo sweep; honours HIFI_MNA_SEED (one seed, as
+#                 the CI matrix does) and HIFI_MNA_SAMPLES, else sweeps
+#                 the default 2-seed matrix
 #   scale-smoke   16x-scale streaming sweep (scale_sweep bench capped via
 #                 SCALE_SWEEP_MAX=16) under the counting allocator; proves
 #                 the tiled path's O(tile) peak memory without the full
@@ -65,6 +70,12 @@ CONFORMANCE_RUNS="${HIFI_CONFORMANCE_RUNS:-4}"
 # 7 proves the inference generalizes to an independent spec stream.
 REV_SEEDS=(42 7)
 REV_RUNS="${HIFI_REV_RUNS:-4}"
+
+# Seeds the mna-oracle job sweeps when HIFI_MNA_SEED is unset — the same
+# pair the conformance job uses, so the waveform oracle and the
+# isomorphism oracles judge the same spec streams.
+MNA_SEEDS=(42 7)
+MNA_SAMPLES="${HIFI_MNA_SAMPLES:-8}"
 
 # Campaign binaries write their JSON reports here so a failing workflow
 # run can upload them as artifacts for post-mortem diffing.
@@ -137,6 +148,22 @@ job_rev_campaign() {
         cargo run --release --offline --locked --bin rev_campaign -- \
             --runs "$REV_RUNS" --seed "$seed" \
             > "$ARTIFACT_DIR/rev_seed_${seed}.json"
+    done
+}
+
+job_mna_oracle() {
+    echo "=== job: mna-oracle ==="
+    local seeds=("${MNA_SEEDS[@]}")
+    if [[ -n "${HIFI_MNA_SEED:-}" ]]; then
+        seeds=("$HIFI_MNA_SEED")
+    fi
+    cargo build --release --offline --locked --bin mna_oracle
+    mkdir -p "$ARTIFACT_DIR"
+    for seed in "${seeds[@]}"; do
+        echo "==> MNA waveform oracle @ seed ${seed} (${MNA_SAMPLES} MC samples)"
+        cargo run --release --offline --locked --bin mna_oracle -- \
+            --seed "$seed" --samples "$MNA_SAMPLES" \
+            > "$ARTIFACT_DIR/mna_oracle_seed_${seed}.json"
     done
 }
 
@@ -247,13 +274,14 @@ run_job() {
         fault-matrix) job_fault_matrix ;;
         conformance) job_conformance ;;
         rev-campaign) job_rev_campaign ;;
+        mna-oracle) job_mna_oracle ;;
         scale-smoke) job_scale_smoke ;;
         serve-smoke) job_serve_smoke ;;
         bench-gate) job_bench_gate ;;
         profile-gate) job_profile_gate ;;
         *)
             echo "unknown job: $1" >&2
-            echo "jobs: lint test regen-drift fault-matrix conformance rev-campaign scale-smoke serve-smoke bench-gate profile-gate" >&2
+            echo "jobs: lint test regen-drift fault-matrix conformance rev-campaign mna-oracle scale-smoke serve-smoke bench-gate profile-gate" >&2
             exit 2
             ;;
     esac
@@ -261,7 +289,7 @@ run_job() {
 }
 
 if [[ "$#" -eq 0 ]]; then
-    set -- lint test regen-drift fault-matrix conformance rev-campaign scale-smoke serve-smoke bench-gate profile-gate
+    set -- lint test regen-drift fault-matrix conformance rev-campaign mna-oracle scale-smoke serve-smoke bench-gate profile-gate
 fi
 for job in "$@"; do
     run_job "$job"

@@ -51,7 +51,7 @@ fn campaign_reports_are_bit_identical_across_thread_counts() {
     );
     // Every oracle (plus the pipeline pseudo-oracle) gets a summary row
     // even when it never fails, so downstream diffing sees a fixed shape.
-    assert_eq!(single.oracles.len(), 7);
+    assert_eq!(single.oracles.len(), 8);
     assert!(single.summary_line().contains("2/2"));
 }
 

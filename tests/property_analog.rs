@@ -73,10 +73,12 @@ proptest! {
             "sw", Polarity::Nmos, TransistorClass::Access,
             TransistorDims::new(Nanometers(400.0), Nanometers(50.0)), g, a, b,
         );
-        let circuit = AnalogCircuit::from_netlist(&nl).with_parasitic(1e-18);
+        let circuit = AnalogCircuit::from_netlist(&nl).with_parasitic(Femtofarads(0.001));
         let mut stim = Stimulus::new();
-        stim.hold("GND", 0.0).hold("G", 2.4);
-        let tr = Transient::new(30e-9).with_initial("A", v0).with_initial("B", 0.0);
+        stim.hold("GND", Volts(0.0)).hold("G", Volts(2.4));
+        let tr = Transient::new(30e-9)
+            .with_initial("A", Volts(v0))
+            .with_initial("B", Volts(0.0));
         let wf = tr.run(&circuit, &stim).expect("runs");
         let va = wf.final_voltage("A").unwrap();
         let vb = wf.final_voltage("B").unwrap();

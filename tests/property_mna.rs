@@ -1,0 +1,141 @@
+//! Property-based tests on the MNA transient engine: KCL residuals on
+//! random linear networks, backward-Euler timestep convergence, and
+//! thread-count invariance of the Monte-Carlo mismatch sweeps.
+
+use hifi_dram::analog::{run_sweep, McConfig, MnaCircuit, MnaTransient, Stimulus};
+use hifi_dram::circuit::topology::SaTopologyKind;
+use hifi_dram::units::{Femtofarads, Volts};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any random resistor-divider chain from a driven source to ground
+    /// satisfies Kirchhoff's current law at every accepted solution point,
+    /// and its midpoints land on the analytic voltage-divider values.
+    #[test]
+    fn kcl_holds_on_random_resistor_chains(
+        v_src in 0.1f64..2.0,
+        ohms in prop::collection::vec(1e2f64..1e6, 2..6),
+    ) {
+        let mut circuit = MnaCircuit::new().with_parasitic(Femtofarads(0.001));
+        let names: Vec<String> = (0..=ohms.len()).map(|i| format!("N{i}")).collect();
+        circuit.node("GND");
+        for (i, &r) in ohms.iter().enumerate() {
+            circuit.add_resistor(&names[i], &names[i + 1], r);
+        }
+        circuit.add_resistor(&names[ohms.len()], "GND", 1e3);
+        let mut stim = Stimulus::new();
+        stim.hold("GND", Volts(0.0));
+        stim.hold(&names[0], Volts(v_src));
+
+        let run = MnaTransient::new(1e-10)
+            .run(&circuit, &stim)
+            .expect("linear chain solves");
+        prop_assert!(
+            run.stats.worst_kcl_residual_amps < 1e-9,
+            "KCL residual {} A",
+            run.stats.worst_kcl_residual_amps
+        );
+        // Divider check: the last interior node sees v_src scaled by the
+        // terminating resistor over the total chain resistance.
+        let total: f64 = ohms.iter().sum::<f64>() + 1e3;
+        let expected = v_src * 1e3 / total;
+        let got = run
+            .waveforms
+            .final_voltage(&names[ohms.len()])
+            .expect("traced");
+        prop_assert!(
+            (got - expected).abs() < 1e-6 + expected * 1e-6,
+            "divider node {got} V, analytic {expected} V"
+        );
+    }
+
+    /// RC networks (random R and C) also settle with KCL intact — the
+    /// capacitor companion model injects history current that must balance.
+    #[test]
+    fn kcl_holds_on_random_rc_networks(
+        v0 in 0.0f64..1.2,
+        r in 1e3f64..1e5,
+        c in 10.0f64..200.0,
+    ) {
+        let mut circuit = MnaCircuit::new().with_parasitic(Femtofarads(0.001));
+        circuit.node("GND");
+        circuit.add_capacitor("A", "GND", Femtofarads(c));
+        circuit.add_resistor("A", "GND", r);
+        let mut stim = Stimulus::new();
+        stim.hold("GND", Volts(0.0));
+        let run = MnaTransient::new(2e-9)
+            .with_initial("A", Volts(v0))
+            .run(&circuit, &stim)
+            .expect("rc settles");
+        prop_assert!(run.stats.worst_kcl_residual_amps < 1e-9);
+        // The trace must decay monotonically — backward Euler never rings
+        // on a first-order network.
+        let trace = run.waveforms.trace("A").expect("traced");
+        prop_assert!(trace.windows(2).all(|w| w[1] <= w[0] + 1e-9));
+    }
+
+    /// Halving the backward-Euler timestep monotonically shrinks the error
+    /// against the analytic RC discharge — first-order convergence.
+    #[test]
+    fn timestep_halving_converges_on_rc_discharge(
+        r_kohm in 5.0f64..50.0,
+        c_ff in 50.0f64..200.0,
+    ) {
+        let r = r_kohm * 1e3;
+        let c = c_ff * 1e-15;
+        let tau = r * c;
+        let mut circuit = MnaCircuit::new().with_parasitic(Femtofarads(0.0001));
+        circuit.node("GND");
+        circuit.add_capacitor("A", "GND", Femtofarads(c_ff));
+        circuit.add_resistor("A", "GND", r);
+        let mut stim = Stimulus::new();
+        stim.hold("GND", Volts(0.0));
+
+        let error_at = |dt: f64| -> f64 {
+            let mut tr = MnaTransient::new(tau).with_initial("A", Volts(1.0));
+            tr.dt = dt;
+            tr.dt_sample = dt;
+            let run = tr.run(&circuit, &stim).expect("rc runs");
+            let got = run.waveforms.final_voltage("A").expect("traced");
+            (got - (-1.0f64).exp()).abs()
+        };
+        // Start near the engine default and halve twice.
+        let base_dt = tau / 250.0;
+        let errs = [error_at(base_dt), error_at(base_dt / 2.0), error_at(base_dt / 4.0)];
+        prop_assert!(
+            errs[0] > errs[1] && errs[1] > errs[2],
+            "errors not monotone under halving: {errs:?}"
+        );
+        // And the finest run is genuinely accurate.
+        prop_assert!(errs[2] < 2e-3, "finest error {}", errs[2]);
+    }
+}
+
+proptest! {
+    // Each case runs full MNA activations, so keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// A Monte-Carlo sweep is a pure function of its config: running it at
+    /// 1, 2 and 8 rayon threads yields bit-identical reports for any seed.
+    #[test]
+    fn mc_sweep_is_bit_identical_across_thread_counts(seed in any::<u64>()) {
+        let cfg = McConfig {
+            seed,
+            ..McConfig::new(SaTopologyKind::Classic, 45.0, 3)
+        };
+        let one = rayon::with_num_threads(1, || run_sweep(&cfg));
+        let two = rayon::with_num_threads(2, || run_sweep(&cfg));
+        let eight = rayon::with_num_threads(8, || run_sweep(&cfg));
+        prop_assert_eq!(&one, &two);
+        prop_assert_eq!(&one, &eight);
+        // Sample offsets are reproducible from their recorded seeds.
+        for s in &one.samples {
+            prop_assert_eq!(
+                s.seed,
+                hifi_dram::analog::montecarlo::sample_seed(seed, s.index as u64)
+            );
+        }
+    }
+}

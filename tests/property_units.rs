@@ -83,4 +83,36 @@ proptest! {
         let um = Micrometers(v);
         prop_assert!((um.to_millimeters().to_micrometers().value() - v).abs() < 1e-9 + v*1e-12);
     }
+
+    #[test]
+    fn electrical_conversions_round_trip(v in -1e4f64..1e4) {
+        let volts = Volts(v);
+        let back = volts.to_millivolts().to_volts();
+        prop_assert!((back.value() - v).abs() <= v.abs() * 1e-12 + 1e-12);
+        let ff = Femtofarads(v.abs());
+        let back = ff.to_attofarads().to_femtofarads();
+        prop_assert!((back.value() - ff.value()).abs() <= ff.value() * 1e-12 + 1e-12);
+    }
+
+    #[test]
+    fn mna_holds_reproduce_their_typed_voltages(v in -1.5f64..1.5, c in 1.0f64..100.0) {
+        // The typed boundary of the MNA engine: a net held at `Volts(v)`
+        // with a `Femtofarads(c)` load must read back exactly v — no unit
+        // scaling hides inside the solver.
+        use hifi_dram::analog::{MnaCircuit, MnaTransient, Stimulus};
+        let mut ckt = MnaCircuit::new();
+        ckt.add_resistor("DRV", "OUT", 1e3);
+        ckt.add_capacitor("OUT", "GND", Femtofarads(c));
+        let mut stim = Stimulus::new();
+        stim.hold("DRV", Volts(v)).hold("GND", Volts(0.0));
+        let run = MnaTransient::new(2e-9)
+            .with_initial("OUT", Volts(0.0))
+            .run(&ckt, &stim)
+            .expect("solves");
+        let drv = run.waveforms.final_voltage("DRV").expect("driven net traced");
+        prop_assert!((drv - v).abs() < 1e-12, "held {v} read {drv}");
+        // And the RC output settles toward it without overshoot.
+        let out = run.waveforms.final_voltage("OUT").expect("out traced");
+        prop_assert!((out - v).abs() <= v.abs() + 1e-6);
+    }
 }

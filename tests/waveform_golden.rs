@@ -1,0 +1,201 @@
+//! Golden waveform snapshots for the MNA activation schedules.
+//!
+//! One snapshot per topology family pins the node voltages at the named
+//! schedule checkpoints (end of charge sharing, latch split, end of
+//! restore) to 1 nV. The MNA engine is deterministic, so any diff here
+//! means the solver, the schedules or the device models changed behaviour —
+//! not noise.
+//!
+//! To regenerate after an *intentional* engine change:
+//!
+//! ```text
+//! HIFI_REGEN_GOLDEN=1 cargo test --test waveform_golden
+//! ```
+
+use hifi_dram::analog::events::{try_simulate, ActivationConfig, SenseReport};
+use hifi_dram::circuit::topology::SaTopologyKind;
+
+/// One node's voltage rendered at fixed 1 nV precision.
+#[derive(serde::Serialize)]
+struct NodeVoltage {
+    net: &'static str,
+    volts: String,
+}
+
+#[derive(serde::Serialize)]
+struct Checkpoint {
+    name: &'static str,
+    time_ns: f64,
+    /// Node voltages in the schedule's fixed net order.
+    voltages: Vec<NodeVoltage>,
+}
+
+#[derive(serde::Serialize)]
+struct WaveformSnapshot {
+    topology: String,
+    engine: &'static str,
+    stored_one: bool,
+    sensed_one: bool,
+    correct: bool,
+    checkpoints: Vec<Checkpoint>,
+}
+
+fn checkpoint(
+    report: &SenseReport,
+    name: &'static str,
+    t_ns: f64,
+    nets: &[&'static str],
+) -> Checkpoint {
+    let voltages = nets
+        .iter()
+        .map(|net| {
+            let v = report
+                .waveforms
+                .voltage(net, t_ns * 1e-9)
+                .unwrap_or_else(|| panic!("net {net} traced"));
+            NodeVoltage {
+                net,
+                volts: format!("{v:.9}"),
+            }
+        })
+        .collect();
+    Checkpoint {
+        name,
+        time_ns: t_ns,
+        voltages,
+    }
+}
+
+fn snapshot(kind: SaTopologyKind) -> String {
+    let cfg = ActivationConfig::default();
+    let report = try_simulate(kind, &cfg, true).expect("testbench valid");
+    let t = &cfg.timings;
+
+    // Schedule landmarks from the default timings (ns).
+    let t_act = t.precharge_ns;
+    let (t_share_end, t_latch, t_restore_end, nets): (f64, f64, f64, &[&'static str]) = match kind {
+        SaTopologyKind::Classic => {
+            let share_end = t_act + t.charge_share_ns;
+            (
+                share_end,
+                share_end + t.sense_ns,
+                share_end + t.sense_ns + t.restore_ns,
+                &["BL", "BLB", "SN0_BL"],
+            )
+        }
+        SaTopologyKind::OffsetCancellation => {
+            let share_end = t_act + t.offset_cancel_ns + t.charge_share_ns;
+            (
+                share_end,
+                share_end + t.sense_ns,
+                share_end + t.sense_ns + t.restore_ns,
+                &["BL", "BLB", "SABL", "SABLB", "SN0_BL"],
+            )
+        }
+        SaTopologyKind::ClassicWithIsolation => unreachable!("not snapshotted"),
+    };
+
+    let snap = WaveformSnapshot {
+        topology: kind.to_string(),
+        engine: "mna",
+        stored_one: true,
+        sensed_one: report.sensed_one,
+        correct: report.correct,
+        checkpoints: vec![
+            checkpoint(&report, "precharged", t_act, nets),
+            checkpoint(&report, "charge_share_end", t_share_end, nets),
+            checkpoint(&report, "latched", t_latch, nets),
+            checkpoint(&report, "restore_end", t_restore_end, nets),
+        ],
+    };
+    serde_json::to_string_pretty(&snap).expect("serializable") + "\n"
+}
+
+fn assert_matches_golden(kind: SaTopologyKind, path: &str) {
+    let rendered = snapshot(kind);
+    if std::env::var_os("HIFI_REGEN_GOLDEN").is_some() {
+        std::fs::write(path, &rendered).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(path).expect(
+        "golden waveform missing — run HIFI_REGEN_GOLDEN=1 cargo test --test waveform_golden",
+    );
+    assert_eq!(
+        rendered, golden,
+        "activation waveform drifted from {path}; if the engine change is \
+         intentional, regenerate with HIFI_REGEN_GOLDEN=1 and re-validate \
+         the offset-tolerance snapshots"
+    );
+}
+
+#[test]
+fn classic_activation_matches_the_golden_waveform() {
+    assert_matches_golden(
+        SaTopologyKind::Classic,
+        "tests/golden/waveform_classic.json",
+    );
+}
+
+#[test]
+fn ocsa_activation_matches_the_golden_waveform() {
+    assert_matches_golden(
+        SaTopologyKind::OffsetCancellation,
+        "tests/golden/waveform_ocsa.json",
+    );
+}
+
+#[test]
+fn golden_waveforms_pin_the_sensing_checkpoints() {
+    // Even a blind regeneration must keep the physics: after restore the
+    // stored-1 side sits near Vdd and the reference side near ground.
+    for (kind, path) in [
+        (
+            SaTopologyKind::Classic,
+            "tests/golden/waveform_classic.json",
+        ),
+        (
+            SaTopologyKind::OffsetCancellation,
+            "tests/golden/waveform_ocsa.json",
+        ),
+    ] {
+        // During regeneration the snapshot tests race this one on the
+        // files; render independently instead of reading a partial write.
+        let golden = if std::env::var_os("HIFI_REGEN_GOLDEN").is_some() {
+            snapshot(kind)
+        } else {
+            std::fs::read_to_string(path).expect("golden present")
+        };
+        let snap: serde_json::Value = serde_json::from_str(&golden).expect("valid JSON");
+        assert_eq!(
+            snap.field("correct").expect("object"),
+            &serde_json::Value::Bool(true),
+            "{path}"
+        );
+        let serde_json::Value::Array(checkpoints) = snap.field("checkpoints").expect("object")
+        else {
+            panic!("{path}: checkpoints is not an array");
+        };
+        let restore = checkpoints
+            .iter()
+            .find(
+                |c| matches!(c.field("name"), Ok(serde_json::Value::Str(s)) if s == "restore_end"),
+            )
+            .expect("restore checkpoint");
+        let volt_of = |net: &str| -> f64 {
+            let serde_json::Value::Array(voltages) = restore.field("voltages").expect("object")
+            else {
+                panic!("{path}: voltages is not an array");
+            };
+            let entry = voltages
+                .iter()
+                .find(|v| matches!(v.field("net"), Ok(serde_json::Value::Str(s)) if s == net))
+                .unwrap_or_else(|| panic!("net {net} in {path}"));
+            match entry.field("volts") {
+                Ok(serde_json::Value::Str(s)) => s.parse().expect("parses"),
+                other => panic!("{path}: volts for {net} is {other:?}"),
+            }
+        };
+        let bl = volt_of("BL");
+        let blb = volt_of("BLB");
+        assert!(bl > 0.9 && blb < 0.2, "{path}: BL {bl} V, BLB {blb} V");
+    }
+}
